@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Ablation for Section 4.3.2 and its footnote 4: where should the PAL
+ * be hashed? AMD streams every byte to the TPM (steep slope); Intel
+ * hashes on the CPU under a ~10 KB ACMod (large constant, tiny slope);
+ * the footnote's two-part AMD trick gets the best of both. Locates the
+ * size crossovers the paper alludes to ("for large PALs, Intel's
+ * implementation decision pays off").
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "latelaunch/latelaunch.hh"
+#include "support/benchutil.hh"
+
+using namespace mintcb;
+using machine::Machine;
+using machine::PlatformId;
+
+namespace
+{
+
+void
+placeSlb(Machine &m, std::size_t total_bytes)
+{
+    Bytes code;
+    if (total_bytes > latelaunch::slbHeaderBytes)
+        code.assign(total_bytes - latelaunch::slbHeaderBytes, 0x42);
+    m.writeAs(0, 0x10000, latelaunch::Slb::wrap(code)->image());
+}
+
+double
+amdFullMs(std::size_t kb, std::uint64_t seed = 0)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750, seed);
+    placeSlb(m, kb * 1024);
+    latelaunch::LateLaunch launcher(m);
+    return launcher.invoke(0, 0x10000)->total.toMillis();
+}
+
+double
+amdTwoPartMs(std::size_t kb, std::uint64_t seed = 0)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750, seed);
+    placeSlb(m, kb * 1024);
+    latelaunch::LateLaunch launcher(m);
+    const std::size_t loader = std::min<std::size_t>(4096, kb * 1024);
+    auto r = launcher.invokeAmdTwoPart(0, 0x10000, loader,
+                                       kb * 1024 - loader);
+    return r->total.toMillis();
+}
+
+double
+intelMs(std::size_t kb, std::uint64_t seed = 0)
+{
+    Machine m = Machine::forPlatform(PlatformId::intelTep, seed);
+    placeSlb(m, kb * 1024);
+    latelaunch::LateLaunch launcher(m);
+    return launcher.invoke(0, 0x10000)->total.toMillis();
+}
+
+void
+BM_HashLocation(benchmark::State &state, int which)
+{
+    const auto kb = static_cast<std::size_t>(state.range(0));
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        double ms = 0;
+        switch (which) {
+          case 0:
+            ms = amdFullMs(kb, seed++);
+            break;
+          case 1:
+            ms = amdTwoPartMs(kb, seed++);
+            break;
+          default:
+            ms = intelMs(kb, seed++);
+            break;
+        }
+        state.SetIterationTime(ms / 1000.0);
+    }
+}
+
+void
+reproductionTable()
+{
+    benchutil::heading("Hash-location ablation (Section 4.3.2, footnote "
+                       "4): launch latency vs PAL size");
+
+    std::printf("\n  %6s  %16s  %16s  %16s\n", "KB", "AMD full (TPM)",
+                "AMD 2-part (CPU)", "Intel SENTER");
+    std::size_t amd_vs_intel_crossover = 0;
+    for (std::size_t kb : {4u, 8u, 12u, 16u, 24u, 32u, 48u, 64u}) {
+        const double full = amdFullMs(kb);
+        const double split = amdTwoPartMs(kb);
+        const double intel = intelMs(kb);
+        std::printf("  %6zu  %13.2f ms  %13.2f ms  %13.2f ms\n", kb, full,
+                    split, intel);
+        if (!amd_vs_intel_crossover && intel < full)
+            amd_vs_intel_crossover = kb;
+    }
+
+    std::printf("\nShape checks:\n");
+    benchutil::check("small PALs: AMD full beats Intel (no ACMod tax)",
+                     amdFullMs(4) < intelMs(4));
+    benchutil::check(
+        "large PALs: Intel beats AMD full (CPU-side hashing pays off)",
+        intelMs(64) < amdFullMs(64));
+    std::printf("      crossover observed near %zu KB (paper: between 8 "
+                "and 16 KB)\n", amd_vs_intel_crossover);
+    benchutil::check("crossover falls in 8-16 KB",
+                     amd_vs_intel_crossover >= 8 &&
+                         amd_vs_intel_crossover <= 16);
+    benchutil::check(
+        "two-part AMD beats BOTH at 64 KB (footnote 4's flexibility)",
+        amdTwoPartMs(64) < intelMs(64) &&
+            amdTwoPartMs(64) < amdFullMs(64));
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_HashLocation, amd_full_tpm_hash, 0)
+    ->Arg(4)->Arg(16)->Arg(64)->UseManualTime()
+    ->Unit(benchmark::kMillisecond)->Iterations(10);
+BENCHMARK_CAPTURE(BM_HashLocation, amd_two_part_cpu_hash, 1)
+    ->Arg(4)->Arg(16)->Arg(64)->UseManualTime()
+    ->Unit(benchmark::kMillisecond)->Iterations(10);
+BENCHMARK_CAPTURE(BM_HashLocation, intel_senter, 2)
+    ->Arg(4)->Arg(16)->Arg(64)->UseManualTime()
+    ->Unit(benchmark::kMillisecond)->Iterations(10);
+
+int
+main(int argc, char **argv)
+{
+    reproductionTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Ablation for Section 5.7's closing alternative: "we could instead
+ * consider increasing the speed of the TPM and the bus." Sweeps a TPM/
+ * LPC speed multiplier and asks how fast the TPM must get before the
+ * seal/unseal context switch matches SLAUNCH's sub-microsecond cost --
+ * the paper's point being that the required factor is absurd (~10^6).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "sea/palgen.hh"
+#include "support/benchutil.hh"
+
+using namespace mintcb;
+using machine::Machine;
+using machine::PlatformId;
+
+namespace
+{
+
+/** Round-trip context switch (unseal in + seal out + launch) with the
+ *  Broadcom TPM sped up by @p factor. Returns microseconds. */
+double
+switchCostUs(double factor, std::uint64_t seed)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750, seed);
+    m.tpm().setProfile(
+        tpm::TpmTimingProfile::forVendor(tpm::TpmVendor::broadcom)
+            .scaled(factor));
+    sea::SeaDriver driver(m);
+    auto gen = sea::runPalGen(driver);
+    auto use = sea::runPalUse(driver, gen->blob, /*reseal=*/true);
+    const Duration cost = use->session.lateLaunch + use->session.unseal +
+                          use->session.seal;
+    return cost.toMicros();
+}
+
+void
+BM_ScaledTpmSwitch(benchmark::State &state)
+{
+    const double factor = std::pow(10.0, state.range(0));
+    std::uint64_t seed = 0;
+    for (auto _ : state)
+        state.SetIterationTime(switchCostUs(factor, seed++) / 1e6);
+    state.SetLabel("TPM " + std::to_string(state.range(0)) +
+                   " orders faster");
+}
+
+void
+reproductionTable()
+{
+    benchutil::heading("Section 5.7 ablation: how fast must the TPM get "
+                       "to match SLAUNCH?");
+
+    const double slaunch_target_us = 0.56 + 0.52; // VM enter + exit
+
+    std::printf("\n  %-22s %18s %14s\n", "TPM/LPC speedup",
+                "switch cost", "vs SLAUNCH");
+    double crossover_factor = -1;
+    for (int exponent = 0; exponent <= 6; ++exponent) {
+        const double factor = std::pow(10.0, exponent);
+        const double cost = switchCostUs(factor, exponent);
+        std::printf("  10^%d %-17s %15.3f us %13.0fx\n", exponent, "",
+                    cost, cost / slaunch_target_us);
+        if (crossover_factor < 0 && cost <= 10 * slaunch_target_us)
+            crossover_factor = factor;
+    }
+
+    std::printf("\nShape checks:\n");
+    benchutil::check(
+        "a 100x faster TPM still leaves a millisecond-class switch",
+        switchCostUs(100, 42) > 1000);
+    benchutil::check(
+        "matching SLAUNCH (within 10x) needs >= 10^5 speedup",
+        crossover_factor < 0 || crossover_factor >= 1e5);
+    std::printf("\n  => \"achieving sub-microsecond overhead comparable "
+                "to our recommendations\n     would require significant "
+                "hardware engineering of the TPM\" (Section 5.7)\n");
+}
+
+} // namespace
+
+BENCHMARK(BM_ScaledTpmSwitch)->Arg(0)->Arg(2)->Arg(4)->Arg(6)
+    ->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(5);
+
+int
+main(int argc, char **argv)
+{
+    reproductionTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

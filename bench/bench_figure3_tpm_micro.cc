@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Reproduces paper Figure 3: TPM operation microbenchmarks across the
+ * four benchmarked v1.2 TPMs (Atmel/T60, Broadcom, Infineon, Atmel/TEP),
+ * 20 trials with error bars, plus every exact number the text states.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/stats.hh"
+#include "support/benchutil.hh"
+#include "tpm/tpm.hh"
+
+using namespace mintcb;
+using tpm::TpmVendor;
+
+namespace
+{
+
+constexpr TpmVendor vendors[] = {TpmVendor::atmelT60, TpmVendor::broadcom,
+                                 TpmVendor::infineon, TpmVendor::atmelTep};
+
+enum class Op
+{
+    extend,
+    seal,
+    quote,
+    unseal,
+    getRandom,
+};
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::extend:
+        return "PCR Extend";
+      case Op::seal:
+        return "Seal";
+      case Op::quote:
+        return "Quote";
+      case Op::unseal:
+        return "Unseal";
+      case Op::getRandom:
+        return "GetRand 128B";
+    }
+    return "?";
+}
+
+/** Run one timed op against a fresh TPM; returns simulated ms. */
+double
+runOp(tpm::Tpm &t, Timeline &clock, Op op, tpm::SealedBlob &blob)
+{
+    const TimePoint start = clock.now();
+    switch (op) {
+      case Op::extend:
+        t.pcrExtend(16, Bytes(20, 0x31));
+        break;
+      case Op::seal:
+        blob = *t.seal(Bytes(128, 0x01), {17});
+        break;
+      case Op::quote:
+        t.quote(Bytes(20, 0x02), {17, 18});
+        break;
+      case Op::unseal:
+        t.unseal(blob);
+        break;
+      case Op::getRandom:
+        t.getRandom(128);
+        break;
+    }
+    return (clock.now() - start).toMillis();
+}
+
+StatsAccumulator
+trials(TpmVendor vendor, Op op, int n = 20)
+{
+    tpm::Tpm t(vendor);
+    Timeline clock;
+    t.attachClock(&clock);
+    tpm::SealedBlob blob = *t.seal(Bytes(128, 0x01), {17});
+    StatsAccumulator acc;
+    for (int i = 0; i < n; ++i)
+        acc.add(runOp(t, clock, op, blob));
+    return acc;
+}
+
+void
+BM_TpmOp(benchmark::State &state, TpmVendor vendor, Op op)
+{
+    tpm::Tpm t(vendor);
+    Timeline clock;
+    t.attachClock(&clock);
+    tpm::SealedBlob blob = *t.seal(Bytes(128, 0x01), {17});
+    for (auto _ : state)
+        state.SetIterationTime(runOp(t, clock, op, blob) / 1000.0);
+    state.SetLabel(std::string(tpm::vendorName(vendor)) + " / " +
+                   opName(op));
+}
+
+void
+reproductionTable()
+{
+    benchutil::heading("Figure 3 reproduction: TPM microbenchmarks, "
+                       "mean over 20 trials (ms, +/- sd)");
+
+    std::printf("\n%-14s", "");
+    for (TpmVendor v : vendors)
+        std::printf("  %-21s", tpm::vendorName(v));
+    std::printf("\n");
+    for (Op op : {Op::extend, Op::seal, Op::quote, Op::unseal,
+                  Op::getRandom}) {
+        std::printf("%-14s", opName(op));
+        for (TpmVendor v : vendors) {
+            const StatsAccumulator s = trials(v, op);
+            std::printf("  %8.2f +/- %-8.2f", s.mean(), s.stddev());
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nExact figures stated in the paper's text:\n");
+    benchutil::row("Broadcom Seal, 128 B (PAL Use)", 11.39,
+                   trials(TpmVendor::broadcom, Op::seal).mean(), "ms");
+    {
+        tpm::Tpm t(TpmVendor::broadcom);
+        Timeline clock;
+        t.attachClock(&clock);
+        StatsAccumulator acc;
+        for (int i = 0; i < 20; ++i) {
+            const TimePoint start = clock.now();
+            t.seal(Bytes(416, 0x01), {17});
+            acc.add((clock.now() - start).toMillis());
+        }
+        benchutil::row("Broadcom Seal, 416 B (PAL Gen)", 20.01,
+                       acc.mean(), "ms");
+    }
+    benchutil::row("Infineon Unseal", 390.98,
+                   trials(TpmVendor::infineon, Op::unseal).mean(), "ms");
+
+    const double bcm_qu = trials(TpmVendor::broadcom, Op::quote).mean() +
+                          trials(TpmVendor::broadcom, Op::unseal).mean();
+    const double inf_qu = trials(TpmVendor::infineon, Op::quote).mean() +
+                          trials(TpmVendor::infineon, Op::unseal).mean();
+    benchutil::row("Quote+Unseal delta Bcm->Inf", 1132.0, bcm_qu - inf_qu,
+                   "ms");
+
+    std::printf("\nShape checks:\n");
+    bool bcm_slowest = true;
+    for (TpmVendor v : {TpmVendor::atmelT60, TpmVendor::infineon,
+                        TpmVendor::atmelTep}) {
+        bcm_slowest &=
+            trials(TpmVendor::broadcom, Op::quote).mean() >
+                trials(v, Op::quote).mean() &&
+            trials(TpmVendor::broadcom, Op::unseal).mean() >
+                trials(v, Op::unseal).mean();
+    }
+    benchutil::check("Broadcom slowest for Quote and Unseal",
+                     bcm_slowest);
+
+    auto avg = [](TpmVendor v) {
+        double sum = 0;
+        for (Op op : {Op::extend, Op::seal, Op::quote, Op::unseal,
+                      Op::getRandom})
+            sum += trials(v, op).mean();
+        return sum / 5;
+    };
+    benchutil::check("Infineon best average across the five ops",
+                     avg(TpmVendor::infineon) < avg(TpmVendor::atmelT60) &&
+                     avg(TpmVendor::infineon) < avg(TpmVendor::broadcom) &&
+                     avg(TpmVendor::infineon) < avg(TpmVendor::atmelTep));
+    benchutil::check(
+        "RSA-bearing ops (Quote/Unseal) dwarf Extend on every TPM",
+        trials(TpmVendor::infineon, Op::quote).mean() >
+            10 * trials(TpmVendor::infineon, Op::extend).mean());
+}
+
+} // namespace
+
+#define REGISTER_VENDOR(vendor, tag)                                      \
+    BENCHMARK_CAPTURE(BM_TpmOp, tag##_extend, vendor, Op::extend)         \
+        ->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(20); \
+    BENCHMARK_CAPTURE(BM_TpmOp, tag##_seal, vendor, Op::seal)             \
+        ->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(20); \
+    BENCHMARK_CAPTURE(BM_TpmOp, tag##_quote, vendor, Op::quote)           \
+        ->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(20); \
+    BENCHMARK_CAPTURE(BM_TpmOp, tag##_unseal, vendor, Op::unseal)         \
+        ->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(20); \
+    BENCHMARK_CAPTURE(BM_TpmOp, tag##_getrandom, vendor, Op::getRandom)   \
+        ->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(20);
+
+REGISTER_VENDOR(TpmVendor::atmelT60, t60_atmel)
+REGISTER_VENDOR(TpmVendor::broadcom, broadcom)
+REGISTER_VENDOR(TpmVendor::infineon, infineon)
+REGISTER_VENDOR(TpmVendor::atmelTep, tep_atmel)
+
+int
+main(int argc, char **argv)
+{
+    reproductionTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

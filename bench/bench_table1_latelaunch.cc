@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Reproduces paper Table 1: SKINIT / SENTER latency vs PAL size on the
+ * HP dc5750 (AMD + Broadcom TPM), the Tyan n3600R (AMD, no TPM), and
+ * the Intel TEP.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "latelaunch/latelaunch.hh"
+#include "support/benchutil.hh"
+
+using namespace mintcb;
+using machine::Machine;
+using machine::PlatformId;
+
+namespace
+{
+
+/** Place an SLB of @p total_bytes at the load address. */
+void
+placeSlb(Machine &m, std::size_t total_bytes)
+{
+    Bytes code;
+    if (total_bytes > latelaunch::slbHeaderBytes)
+        code.assign(total_bytes - latelaunch::slbHeaderBytes, 0x6b);
+    auto slb = latelaunch::Slb::wrap(code);
+    m.writeAs(0, 0x10000, slb->image());
+}
+
+double
+launchMillis(PlatformId platform, std::size_t kb, std::uint64_t seed = 0)
+{
+    Machine m = Machine::forPlatform(platform, seed);
+    placeSlb(m, kb * 1024);
+    latelaunch::LateLaunch launcher(m);
+    auto report = launcher.invoke(0, 0x10000);
+    return report.ok() ? report->total.toMillis() : -1.0;
+}
+
+void
+BM_LateLaunch(benchmark::State &state, PlatformId platform)
+{
+    const auto kb = static_cast<std::size_t>(state.range(0));
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        const double ms = launchMillis(platform, kb, seed++);
+        state.SetIterationTime(ms / 1000.0);
+    }
+    state.SetLabel(std::to_string(kb) + " KB PAL");
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_LateLaunch, skinit_hp_dc5750,
+                  PlatformId::hpDc5750)
+    ->Arg(0)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(20);
+
+BENCHMARK_CAPTURE(BM_LateLaunch, skinit_tyan_n3600r,
+                  PlatformId::tyanN3600R)
+    ->Arg(0)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(20);
+
+BENCHMARK_CAPTURE(BM_LateLaunch, senter_intel_tep, PlatformId::intelTep)
+    ->Arg(0)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(20);
+
+namespace
+{
+
+void
+reproductionTable()
+{
+    benchutil::heading(
+        "Table 1 reproduction: SKINIT / SENTER vs PAL size (ms)");
+
+    struct RowSpec
+    {
+        PlatformId platform;
+        const char *name;
+        double paper[6];
+    };
+    const std::size_t sizes[6] = {0, 4, 8, 16, 32, 64};
+    const RowSpec rows[] = {
+        {PlatformId::hpDc5750, "HP dc5750 (TPM)",
+         {0.00, 11.94, 22.98, 45.05, 89.21, 177.52}},
+        {PlatformId::tyanN3600R, "Tyan n3600R (no TPM)",
+         {0.01, 0.56, 1.11, 2.21, 4.41, 8.82}},
+        {PlatformId::intelTep, "Intel TEP (SENTER)",
+         {26.39, 26.88, 27.38, 28.37, 30.46, 34.35}},
+    };
+
+    double dc_slope = 0, tep_slope = 0;
+    for (const RowSpec &r : rows) {
+        std::printf("\n%s\n", r.name);
+        double sim64 = 0, sim4 = 0;
+        for (int i = 0; i < 6; ++i) {
+            const double sim = launchMillis(r.platform, sizes[i]);
+            benchutil::row(std::to_string(sizes[i]) + " KB", r.paper[i],
+                           sim, "ms");
+            if (sizes[i] == 4)
+                sim4 = sim;
+            if (sizes[i] == 64)
+                sim64 = sim;
+        }
+        const double slope = (sim64 - sim4) / 60.0;
+        if (r.platform == PlatformId::hpDc5750)
+            dc_slope = slope;
+        if (r.platform == PlatformId::intelTep)
+            tep_slope = slope;
+    }
+
+    std::printf("\nShape checks:\n");
+    benchutil::check(
+        "TPM stretches a 64 KB SKINIT ~20x over the raw bus (177/8.8)",
+        launchMillis(PlatformId::hpDc5750, 64) >
+            15 * launchMillis(PlatformId::tyanN3600R, 64));
+    benchutil::check(
+        "AMD per-KB slope >> Intel slope (TPM-side vs CPU-side hashing)",
+        dc_slope > 10 * tep_slope);
+    benchutil::check(
+        "SENTER flat-ish: 64 KB costs < 1.4x the 0 KB launch",
+        launchMillis(PlatformId::intelTep, 64) <
+            1.4 * launchMillis(PlatformId::intelTep, 0));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    reproductionTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

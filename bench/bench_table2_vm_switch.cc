@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Reproduces paper Table 2: VM Entry / VM Exit latency on AMD SVM
+ * (Tyan n3600R) and Intel TXT (MPC ClientPro 385) -- the measurement
+ * that anchors the recommended architecture's context-switch cost.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/stats.hh"
+#include "machine/vmswitch.hh"
+#include "support/benchutil.hh"
+
+using namespace mintcb;
+using machine::CpuVendor;
+using machine::VmSwitchTiming;
+
+namespace
+{
+
+void
+BM_VmEnter(benchmark::State &state, CpuVendor vendor)
+{
+    const VmSwitchTiming t = VmSwitchTiming::forVendor(vendor);
+    Rng rng(1);
+    for (auto _ : state)
+        state.SetIterationTime(t.sampleEnter(rng).toSeconds());
+    state.SetLabel(machine::cpuVendorName(vendor));
+}
+
+void
+BM_VmExit(benchmark::State &state, CpuVendor vendor)
+{
+    const VmSwitchTiming t = VmSwitchTiming::forVendor(vendor);
+    Rng rng(2);
+    for (auto _ : state)
+        state.SetIterationTime(t.sampleExit(rng).toSeconds());
+    state.SetLabel(machine::cpuVendorName(vendor));
+}
+
+void
+reproductionTable()
+{
+    benchutil::heading(
+        "Table 2 reproduction: VM Entry / VM Exit (us, 10000 samples)");
+
+    struct RowSpec
+    {
+        CpuVendor vendor;
+        double paper_enter, paper_enter_sd;
+        double paper_exit, paper_exit_sd;
+    };
+    const RowSpec rows[] = {
+        {CpuVendor::amd, 0.5580, 0.0028, 0.5193, 0.0036},
+        {CpuVendor::intel, 0.4457, 0.0029, 0.4491, 0.0015},
+    };
+
+    for (const RowSpec &r : rows) {
+        const VmSwitchTiming t = VmSwitchTiming::forVendor(r.vendor);
+        Rng rng(42);
+        StatsAccumulator enter, exit;
+        for (int i = 0; i < 10000; ++i) {
+            enter.add(t.sampleEnter(rng).toMicros());
+            exit.add(t.sampleExit(rng).toMicros());
+        }
+        std::printf("\n%s\n", machine::cpuVendorName(r.vendor));
+        benchutil::row("VM Enter mean", r.paper_enter, enter.mean(), "us");
+        benchutil::row("VM Enter stdev", r.paper_enter_sd, enter.stddev(),
+                       "us");
+        benchutil::row("VM Exit mean", r.paper_exit, exit.mean(), "us");
+        benchutil::row("VM Exit stdev", r.paper_exit_sd, exit.stddev(),
+                       "us");
+    }
+
+    std::printf("\nShape checks:\n");
+    {
+        Rng rng(7);
+        const auto amd = VmSwitchTiming::forVendor(CpuVendor::amd);
+        const auto intel = VmSwitchTiming::forVendor(CpuVendor::intel);
+        benchutil::check("every switch is sub-microsecond",
+                         amd.sampleEnter(rng) < Duration::micros(1) &&
+                             intel.sampleExit(rng) < Duration::micros(1));
+        benchutil::check("Intel slightly faster than AMD on both legs",
+                         intel.enterMean < amd.enterMean &&
+                             intel.exitMean < amd.exitMean);
+    }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_VmEnter, amd_svm, CpuVendor::amd)
+    ->UseManualTime()->Unit(benchmark::kMicrosecond)->Iterations(1000);
+BENCHMARK_CAPTURE(BM_VmExit, amd_svm, CpuVendor::amd)
+    ->UseManualTime()->Unit(benchmark::kMicrosecond)->Iterations(1000);
+BENCHMARK_CAPTURE(BM_VmEnter, intel_txt, CpuVendor::intel)
+    ->UseManualTime()->Unit(benchmark::kMicrosecond)->Iterations(1000);
+BENCHMARK_CAPTURE(BM_VmExit, intel_txt, CpuVendor::intel)
+    ->UseManualTime()->Unit(benchmark::kMicrosecond)->Iterations(1000);
+
+int
+main(int argc, char **argv)
+{
+    reproductionTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benchmarks.
+ *
+ * Every bench binary does two things:
+ *   1. registers google-benchmark cases whose *manual* time is the
+ *      simulated latency (so the standard benchmark output reports the
+ *      modeled 2007-hardware numbers, not host wall time);
+ *   2. prints a paper-vs-simulated reproduction table with shape checks,
+ *      which is the artifact EXPERIMENTS.md records.
+ */
+
+#ifndef MINTCB_BENCH_SUPPORT_BENCHUTIL_HH
+#define MINTCB_BENCH_SUPPORT_BENCHUTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace mintcb::benchutil
+{
+
+/** Print a section heading. */
+inline void
+heading(const std::string &title)
+{
+    std::printf("\n================================================="
+                "=============\n%s\n"
+                "================================================="
+                "=============\n",
+                title.c_str());
+}
+
+/** One paper-vs-simulated row; deviation printed as a percentage. */
+inline void
+row(const std::string &label, double paper, double simulated,
+    const char *unit)
+{
+    const double dev =
+        paper != 0.0 ? (simulated - paper) / paper * 100.0 : 0.0;
+    std::printf("  %-34s paper %10.3f %-3s  sim %10.3f %-3s  (%+5.1f%%)\n",
+                label.c_str(), paper, unit, simulated, unit, dev);
+}
+
+/** A row with no paper reference value. */
+inline void
+rowSimOnly(const std::string &label, double simulated, const char *unit)
+{
+    std::printf("  %-34s %51s %10.3f %-3s\n", label.c_str(), "sim",
+                simulated, unit);
+}
+
+/** Record a qualitative shape check ("who wins / by what factor"). */
+inline void
+check(const std::string &what, bool ok)
+{
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+}
+
+} // namespace mintcb::benchutil
+
+#endif // MINTCB_BENCH_SUPPORT_BENCHUTIL_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Scenario: SETI@Home-style distributed factoring with sealed
+ * intermediate state (paper Section 4.1). Each chunk of work is one SEA
+ * session; the example prints how badly the session overhead dominates
+ * -- the economic motivation for the paper's recommendations.
+ */
+
+#include <cstdio>
+
+#include "apps/factoring_pal.hh"
+
+using namespace mintcb;
+
+int
+main()
+{
+    auto machine =
+        machine::Machine::forPlatform(machine::PlatformId::hpDc5750);
+    sea::SeaDriver driver(machine);
+
+    // 1000003 * 1000033 would overflow trial division budgets; use a
+    // semiprime that needs a handful of sessions at this chunk size.
+    const std::uint64_t composite = 99400891ull; // 9967 * 9973
+    const std::uint64_t chunk = 1024;
+    apps::DistributedFactoring worker(driver, composite, chunk);
+
+    std::printf("Factoring %llu, %llu candidates per PAL session...\n\n",
+                static_cast<unsigned long long>(composite),
+                static_cast<unsigned long long>(chunk));
+
+    while (true) {
+        auto p = worker.step();
+        if (!p.ok()) {
+            std::fprintf(stderr, "step failed: %s\n",
+                         p.error().str().c_str());
+            return 1;
+        }
+        std::printf("  session %3llu: next candidate %llu%s\n",
+                    static_cast<unsigned long long>(p->sessions),
+                    static_cast<unsigned long long>(p->nextCandidate),
+                    p->found ? "  -> FACTOR FOUND" : "");
+        if (p->found) {
+            std::printf("\n%llu = %llu * %llu\n",
+                        static_cast<unsigned long long>(composite),
+                        static_cast<unsigned long long>(p->factor),
+                        static_cast<unsigned long long>(composite /
+                                                        p->factor));
+            break;
+        }
+        if (p->exhausted) {
+            std::printf("\n%llu is prime.\n",
+                        static_cast<unsigned long long>(composite));
+            break;
+        }
+    }
+
+    const double overhead_ms = worker.overheadTime().toMillis();
+    const double compute_ms = worker.computeTime().toMillis();
+    std::printf("\nUseful compute : %10.3f ms\n", compute_ms);
+    std::printf("SEA overhead   : %10.3f ms  (launch + seal + unseal)\n",
+                overhead_ms);
+    std::printf("Overhead ratio : %10.1fx\n", overhead_ms / compute_ms);
+    std::printf("\nWith the paper's SLAUNCH recommendations the seal/"
+                "unseal context-switch\ncost disappears (sub-us switches),"
+                " leaving only the one-time measurement.\n");
+    return 0;
+}

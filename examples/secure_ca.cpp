@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Scenario: a certificate authority whose private key never exists in
+ * cleartext outside a PAL (paper Section 4.1).
+ *
+ * Shows the PAL Gen (initialize) and PAL Use (sign) cost structure that
+ * Figure 2 measures, then demonstrates that certificates verify and
+ * tampering is caught.
+ */
+
+#include <cstdio>
+
+#include "apps/ca_pal.hh"
+#include "crypto/keycache.hh"
+
+using namespace mintcb;
+
+int
+main()
+{
+    auto machine =
+        machine::Machine::forPlatform(machine::PlatformId::hpDc5750);
+    sea::SeaDriver driver(machine);
+    apps::CertificateAuthority ca(driver, /*key_bits=*/1024);
+
+    std::printf("== Initializing the CA (PAL Gen flow) ==\n");
+    if (auto s = ca.initialize(); !s.ok()) {
+        std::fprintf(stderr, "init failed: %s\n", s.error().str().c_str());
+        return 1;
+    }
+    const sea::SessionReport &init = ca.lastReport();
+    std::printf("  late launch : %s\n", init.lateLaunch.str().c_str());
+    std::printf("  keygen+work : %s\n", init.palCompute.str().c_str());
+    std::printf("  TPM seal    : %s\n", init.seal.str().c_str());
+    std::printf("  total       : %s\n", init.total.str().c_str());
+    std::printf("  CA public modulus: %zu bits\n",
+                ca.publicKey().n.bitLength());
+
+    std::printf("\n== Issuing certificates (PAL Use flow) ==\n");
+    const auto &subject_key = crypto::cachedKey("ca-example-server", 512);
+    apps::CertificateRequest req;
+    req.subject = "server.cylab.example";
+    req.subjectPublicKey = subject_key.pub.encode();
+
+    auto cert = ca.sign(req);
+    if (!cert.ok()) {
+        std::fprintf(stderr, "sign failed: %s\n",
+                     cert.error().str().c_str());
+        return 1;
+    }
+    const sea::SessionReport &sign = ca.lastReport();
+    std::printf("  late launch : %s\n", sign.lateLaunch.str().c_str());
+    std::printf("  TPM unseal  : %s   <-- the paper's bottleneck\n",
+                sign.unseal.str().c_str());
+    std::printf("  signing     : %s\n", sign.palCompute.str().c_str());
+    std::printf("  total       : %s\n", sign.total.str().c_str());
+
+    std::printf("\n== Verification ==\n");
+    std::printf("  genuine certificate verifies: %s\n",
+                apps::verifyCertificate(ca.publicKey(), *cert) ? "yes"
+                                                               : "NO");
+    apps::Certificate forged = *cert;
+    forged.subject = "evil.example";
+    std::printf("  forged subject rejected:      %s\n",
+                !apps::verifyCertificate(ca.publicKey(), forged) ? "yes"
+                                                                 : "NO");
+
+    std::printf("\nNote: every signature costs >1 s of platform stall on "
+                "2007 hardware;\nthe paper's recommendations cut the "
+                "context-switch share to ~0.6 us.\n");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Scenario: a rollback-protected secret store. Every operation runs in
+ * a PAL; the store travels as a sealed blob; a TPM monotonic counter
+ * defeats the OS's replay of stale state.
+ *
+ * This is the composition the paper's primitives were built for -- and
+ * the per-operation price tag is the paper's complaint in miniature.
+ */
+
+#include <cstdio>
+
+#include "apps/kvstore_pal.hh"
+#include "common/hex.hh"
+
+using namespace mintcb;
+
+int
+main()
+{
+    auto machine =
+        machine::Machine::forPlatform(machine::PlatformId::hpDc5750);
+    sea::SeaDriver driver(machine);
+    apps::SecureKvStore store(driver);
+
+    if (auto s = store.initialize(); !s.ok()) {
+        std::fprintf(stderr, "init failed: %s\n", s.error().str().c_str());
+        return 1;
+    }
+    std::printf("Store initialized (sealed, version-counted).\n\n");
+
+    const TimePoint t0 = machine.cpu(0).now();
+    store.put("deploy-key", asciiBytes("ssh-ed25519 AAAA..."));
+    store.put("db-password", asciiBytes("hunter2"));
+    const Duration two_puts = machine.cpu(0).now() - t0;
+    std::printf("2 puts took %s of simulated time (each is a full "
+                "launch+unseal+reseal\nsession on 2007 hardware).\n\n",
+                two_puts.str().c_str());
+
+    auto key = store.get("deploy-key");
+    std::printf("get(deploy-key) -> \"%.*s\"\n",
+                static_cast<int>(key->size()),
+                reinterpret_cast<const char *>(key->data()));
+
+    std::printf("\n== Credential revocation vs a replaying OS ==\n");
+    const Bytes snapshot = store.sealedImage(); // OS keeps the old disk
+    store.remove("db-password");                // admin revokes
+    std::printf("db-password revoked; store has %zu keys\n",
+                *store.size());
+
+    store.setSealedImage(snapshot); // OS swaps the old image back
+    auto resurrect = store.get("db-password");
+    std::printf("OS replays the pre-revocation image: %s\n",
+                resurrect.ok() ? "credential RESURRECTED (bug!)"
+                               : resurrect.error().str().c_str());
+    return 0;
+}

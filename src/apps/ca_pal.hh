@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Certificate-authority PAL (paper Section 4.1).
+ *
+ * "We also use the architecture to protect the confidentiality of a
+ * certificate authority's private signing key": the key is generated
+ * inside a PAL, sealed to the PAL's identity, and only ever decrypted
+ * inside later runs of the same PAL. The OS ferries opaque blobs.
+ */
+
+#ifndef MINTCB_APPS_CA_PAL_HH
+#define MINTCB_APPS_CA_PAL_HH
+
+#include <string>
+
+#include "common/result.hh"
+#include "crypto/rsa.hh"
+#include "sea/session.hh"
+
+namespace mintcb::apps
+{
+
+/** A certificate signing request. */
+struct CertificateRequest
+{
+    std::string subject;
+    Bytes subjectPublicKey; //!< encoded RsaPublicKey
+};
+
+/** A certificate issued by the CA PAL. */
+struct Certificate
+{
+    std::string subject;
+    Bytes subjectPublicKey;
+    Bytes signature; //!< CA signature over tbs()
+
+    /** The byte string the CA signs. */
+    Bytes tbs() const;
+};
+
+/** Verify @p cert against the CA's public key. */
+bool verifyCertificate(const crypto::RsaPublicKey &ca_key,
+                       const Certificate &cert);
+
+/**
+ * The CA service: untrusted front end + the security-sensitive PAL.
+ * The private key exists in cleartext only inside PAL sessions.
+ */
+class CertificateAuthority
+{
+  public:
+    /** @p key_bits sizes the CA key (tests use 512 for speed). */
+    CertificateAuthority(sea::SeaDriver &driver,
+                         std::size_t key_bits = 1024);
+
+    /**
+     * PAL-Gen-style session: generate the CA keypair inside the PAL,
+     * seal the private half, publish the public half.
+     */
+    Status initialize(CpuId cpu = 0);
+
+    bool initialized() const { return initialized_; }
+    const crypto::RsaPublicKey &publicKey() const { return publicKey_; }
+
+    /** PAL-Use-style session: unseal the key, sign @p request. */
+    Result<Certificate> sign(const CertificateRequest &request,
+                             CpuId cpu = 0);
+
+    /** Phase breakdown of the most recent session (Figure 2 shape). */
+    const sea::SessionReport &lastReport() const { return lastReport_; }
+
+    /** The sealed private key as the OS stores it (opaque). */
+    const tpm::SealedBlob &sealedKey() const { return sealedKey_; }
+
+  private:
+    sea::Pal makeCaPal(bool initialize, CertificateRequest request);
+
+    sea::SeaDriver &driver_;
+    std::size_t keyBits_;
+    bool initialized_ = false;
+    crypto::RsaPublicKey publicKey_;
+    tpm::SealedBlob sealedKey_;
+    sea::SessionReport lastReport_;
+};
+
+} // namespace mintcb::apps
+
+#endif // MINTCB_APPS_CA_PAL_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Distributed-factoring PAL (paper Section 4.1).
+ *
+ * "...a distributed factoring program that use[s] our architecture to
+ * provide isolation and integrity protection": a SETI@Home-style worker
+ * performs a bounded chunk of trial division per PAL session and seals
+ * its intermediate state, so a malicious host can neither corrupt the
+ * computation nor forge results -- but pays the full session overhead
+ * per chunk, which is exactly the cost structure Figure 2 laments.
+ */
+
+#ifndef MINTCB_APPS_FACTORING_PAL_HH
+#define MINTCB_APPS_FACTORING_PAL_HH
+
+#include <cstdint>
+
+#include "common/result.hh"
+#include "sea/session.hh"
+
+namespace mintcb::apps
+{
+
+/** The factoring worker. */
+class DistributedFactoring
+{
+  public:
+    /**
+     * Factor @p composite by trial division, @p chunk candidate
+     * divisors per PAL session.
+     */
+    DistributedFactoring(sea::SeaDriver &driver, std::uint64_t composite,
+                         std::uint64_t chunk = 4096);
+
+    /** Progress after a session. */
+    struct Progress
+    {
+        bool found = false;        //!< a factor was discovered
+        std::uint64_t factor = 0;  //!< the factor, when found
+        std::uint64_t nextCandidate = 3; //!< resume point
+        bool exhausted = false;    //!< proved prime (no factor <= sqrt)
+        std::uint64_t sessions = 0; //!< PAL sessions consumed so far
+    };
+
+    /** Run one PAL session (one work chunk). */
+    Result<Progress> step(CpuId cpu = 0);
+
+    /** Run sessions until a factor is found or the search completes. */
+    Result<Progress> runToCompletion(std::size_t max_sessions = 100000,
+                                     CpuId cpu = 0);
+
+    /** Cumulative SEA overhead (late launch + seal + unseal) so far. */
+    Duration overheadTime() const { return overhead_; }
+    /** Cumulative useful compute so far. */
+    Duration computeTime() const { return compute_; }
+
+  private:
+    sea::SeaDriver &driver_;
+    std::uint64_t composite_;
+    std::uint64_t chunk_;
+    Progress progress_;
+    bool haveState_ = false;
+    tpm::SealedBlob state_;
+    Duration overhead_;
+    Duration compute_;
+};
+
+} // namespace mintcb::apps
+
+#endif // MINTCB_APPS_FACTORING_PAL_HH

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Secure KV store implementation.
+ *
+ * Sealed state layout: u64 version | u32 count | count x (key, value).
+ * The PAL refuses state whose version trails the hardware counter.
+ */
+
+#include "apps/kvstore_pal.hh"
+
+#include <map>
+
+#include "common/bytebuf.hh"
+
+namespace mintcb::apps
+{
+
+namespace
+{
+
+using Store = std::map<std::string, Bytes>;
+
+Bytes
+encodeStore(std::uint64_t version, const Store &store)
+{
+    ByteWriter w;
+    w.u64(version);
+    w.u32(static_cast<std::uint32_t>(store.size()));
+    for (const auto &[key, value] : store) {
+        w.str(key);
+        w.lengthPrefixed(value);
+    }
+    return w.take();
+}
+
+Result<std::pair<std::uint64_t, Store>>
+decodeStore(const Bytes &wire)
+{
+    ByteReader r(wire);
+    auto version = r.u64();
+    if (!version)
+        return version.error();
+    auto count = r.u32();
+    if (!count)
+        return count.error();
+    Store store;
+    for (std::uint32_t i = 0; i < *count; ++i) {
+        auto key = r.str();
+        if (!key)
+            return key.error();
+        auto value = r.lengthPrefixed();
+        if (!value)
+            return value.error();
+        store.emplace(key.take(), value.take());
+    }
+    if (!r.atEnd())
+        return Error(Errc::integrityFailure, "trailing store bytes");
+    return std::make_pair(*version, std::move(store));
+}
+
+/** Per-op modeled compute. */
+constexpr Duration opCost = Duration::micros(40);
+
+} // namespace
+
+SecureKvStore::SecureKvStore(sea::SeaDriver &driver) : driver_(driver)
+{
+}
+
+Result<Bytes>
+SecureKvStore::session(Op op, const std::string &key, const Bytes &value,
+                       CpuId cpu)
+{
+    const std::uint32_t counter = counterHandle_;
+    const Bytes state_in = sealedImage_;
+
+    // One PAL identity for every operation: the store must unseal across
+    // operations, so all flows share (name, codeBytes).
+    const sea::Pal pal = sea::Pal::fromLogic(
+        "secure-kvstore-pal", 10 * 1024,
+        [op, key, value, counter,
+         state_in](sea::PalContext &ctx) -> Status {
+            std::uint64_t version = 0;
+            Store store;
+
+            if (op != Op::init) {
+                auto blob = tpm::SealedBlob::decode(state_in);
+                if (!blob)
+                    return blob.error();
+                auto wire = ctx.unsealState(*blob);
+                if (!wire)
+                    return wire.error();
+                auto decoded = decodeStore(*wire);
+                if (!decoded)
+                    return decoded.error();
+                version = decoded->first;
+                store = std::move(decoded->second);
+
+                // Freshness: the sealed version must match the hardware
+                // counter exactly; anything lower is a replayed image.
+                auto hw = ctx.tpm().counterRead(counter);
+                if (!hw)
+                    return hw.error();
+                if (version < *hw) {
+                    return Error(Errc::integrityFailure,
+                                 "stale store image: rollback detected");
+                }
+            }
+
+            ctx.compute(opCost);
+            ByteWriter out;
+            bool mutate = false;
+            switch (op) {
+              case Op::init:
+                mutate = true;
+                break;
+              case Op::put:
+                store[key] = value;
+                mutate = true;
+                break;
+              case Op::remove:
+                if (store.erase(key) == 0) {
+                    return Error(Errc::notFound,
+                                 "no such key: " + key);
+                }
+                mutate = true;
+                break;
+              case Op::get: {
+                  auto it = store.find(key);
+                  if (it == store.end()) {
+                      return Error(Errc::notFound,
+                                   "no such key: " + key);
+                  }
+                  out.u8(0);
+                  out.lengthPrefixed(it->second);
+                  break;
+              }
+              case Op::size: {
+                  ByteWriter inner;
+                  inner.u32(static_cast<std::uint32_t>(store.size()));
+                  out.u8(0);
+                  out.lengthPrefixed(inner.bytes());
+                  break;
+              }
+            }
+
+            if (mutate) {
+                auto next = ctx.tpm().counterIncrement(counter);
+                if (!next)
+                    return next.error();
+                auto blob = ctx.sealState(encodeStore(*next, store));
+                if (!blob)
+                    return blob.error();
+                out.u8(1);
+                out.lengthPrefixed(blob->encode());
+            }
+            ctx.setOutput(out.take());
+            return okStatus();
+        });
+
+    auto report = driver_.execute(pal, {}, cpu);
+    if (!report)
+        return report.error();
+
+    ByteReader r(report->palOutput);
+    auto kind = r.u8();
+    if (!kind)
+        return kind.error();
+    auto payload = r.lengthPrefixed();
+    if (!payload)
+        return payload.error();
+    if (*kind == 1) {
+        sealedImage_ = payload.take();
+        return Bytes{};
+    }
+    return payload.take();
+}
+
+Status
+SecureKvStore::initialize(CpuId cpu)
+{
+    if (initialized_) {
+        return Error(Errc::failedPrecondition,
+                     "store already initialized");
+    }
+    auto counter = driver_.machine().tpm().counterCreate();
+    if (!counter)
+        return counter.error();
+    counterHandle_ = *counter;
+    auto out = session(Op::init, {}, {}, cpu);
+    if (!out)
+        return out.error();
+    initialized_ = true;
+    return okStatus();
+}
+
+Status
+SecureKvStore::put(const std::string &key, const Bytes &value, CpuId cpu)
+{
+    if (!initialized_)
+        return Error(Errc::failedPrecondition, "store not initialized");
+    auto out = session(Op::put, key, value, cpu);
+    if (!out)
+        return out.error();
+    return okStatus();
+}
+
+Result<Bytes>
+SecureKvStore::get(const std::string &key, CpuId cpu)
+{
+    if (!initialized_)
+        return Error(Errc::failedPrecondition, "store not initialized");
+    return session(Op::get, key, {}, cpu);
+}
+
+Status
+SecureKvStore::remove(const std::string &key, CpuId cpu)
+{
+    if (!initialized_)
+        return Error(Errc::failedPrecondition, "store not initialized");
+    auto out = session(Op::remove, key, {}, cpu);
+    if (!out)
+        return out.error();
+    return okStatus();
+}
+
+Result<std::size_t>
+SecureKvStore::size(CpuId cpu)
+{
+    if (!initialized_)
+        return Error(Errc::failedPrecondition, "store not initialized");
+    auto out = session(Op::size, {}, {}, cpu);
+    if (!out)
+        return out.error();
+    ByteReader r(*out);
+    auto n = r.u32();
+    if (!n || !r.atEnd())
+        return Error(Errc::integrityFailure, "malformed size response");
+    return static_cast<std::size_t>(*n);
+}
+
+} // namespace mintcb::apps

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A rollback-protected secure key-value store.
+ *
+ * The most demanding composition of the paper's primitives: every
+ * mutation runs inside a PAL, the whole store travels as one sealed
+ * blob bound to the PAL's identity, and a TPM monotonic counter embedded
+ * in the sealed state defeats the untrusted OS's last move -- replaying
+ * yesterday's store. This is the "protect application state across
+ * context switches" problem of Section 3.3 taken to its logical
+ * conclusion.
+ */
+
+#ifndef MINTCB_APPS_KVSTORE_PAL_HH
+#define MINTCB_APPS_KVSTORE_PAL_HH
+
+#include <map>
+#include <string>
+
+#include "common/result.hh"
+#include "sea/session.hh"
+
+namespace mintcb::apps
+{
+
+/** The secure store service (untrusted front end). */
+class SecureKvStore
+{
+  public:
+    explicit SecureKvStore(sea::SeaDriver &driver);
+
+    /** Create an empty store: binds a fresh monotonic counter and seals
+     *  version 1. */
+    Status initialize(CpuId cpu = 0);
+
+    /** In-PAL: unseal, check freshness, insert/overwrite, bump the
+     *  counter, reseal. */
+    Status put(const std::string &key, const Bytes &value,
+               CpuId cpu = 0);
+
+    /** In-PAL: unseal, check freshness, look up. */
+    Result<Bytes> get(const std::string &key, CpuId cpu = 0);
+
+    /** In-PAL: unseal, check freshness, erase, bump, reseal. */
+    Status remove(const std::string &key, CpuId cpu = 0);
+
+    /** Number of keys (requires a session; reads the sealed state). */
+    Result<std::size_t> size(CpuId cpu = 0);
+
+    /** The opaque sealed image the OS stores (for attack experiments). */
+    const Bytes &sealedImage() const { return sealedImage_; }
+    /** Replace the stored image (models disk tampering / replay). */
+    void setSealedImage(Bytes image) { sealedImage_ = std::move(image); }
+
+  private:
+    /** Operations tunneled into the PAL. */
+    enum class Op : std::uint8_t
+    {
+        init = 0,
+        put = 1,
+        get = 2,
+        remove = 3,
+        size = 4,
+    };
+
+    Result<Bytes> session(Op op, const std::string &key,
+                          const Bytes &value, CpuId cpu);
+
+    sea::SeaDriver &driver_;
+    bool initialized_ = false;
+    std::uint32_t counterHandle_ = 0;
+    Bytes sealedImage_;
+};
+
+} // namespace mintcb::apps
+
+#endif // MINTCB_APPS_KVSTORE_PAL_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Rootkit detector implementation.
+ */
+
+#include "apps/rootkit_pal.hh"
+
+#include "crypto/hmac.hh"
+#include "crypto/sha1.hh"
+
+namespace mintcb::apps
+{
+
+namespace
+{
+
+/** One PAL identity for both the baseline and scan flows. */
+sea::Pal
+detectorPal(PhysAddr base, std::uint64_t bytes, bool make_baseline)
+{
+    return sea::Pal::fromLogic(
+        "rootkit-detector-pal", 8 * 1024,
+        [base, bytes, make_baseline](sea::PalContext &ctx) -> Status {
+            // Hash the kernel text through the memory controller, as the
+            // PAL's CPU would; charge the CPU-side SHA-1 rate.
+            auto text = ctx.machine().readAs(ctx.cpuId(), base, bytes);
+            if (!text)
+                return text.error();
+            ctx.compute(ctx.machine().spec().cpuHashPerByte *
+                        static_cast<double>(bytes));
+            const Bytes digest = crypto::Sha1::digestBytes(*text);
+
+            if (make_baseline) {
+                auto blob = ctx.sealState(digest);
+                if (!blob)
+                    return blob.error();
+                ctx.setOutput(blob->encode());
+                return okStatus();
+            }
+
+            auto blob = tpm::SealedBlob::decode(ctx.input());
+            if (!blob)
+                return blob.error();
+            auto known_good = ctx.unsealState(*blob);
+            if (!known_good)
+                return known_good.error();
+            const bool clean =
+                crypto::constantTimeEqual(digest, *known_good);
+            Bytes out;
+            out.push_back(clean ? 1 : 0);
+            out.insert(out.end(), digest.begin(), digest.end());
+            ctx.setOutput(out);
+            return okStatus();
+        });
+}
+
+} // namespace
+
+RootkitDetector::RootkitDetector(sea::SeaDriver &driver,
+                                 PhysAddr kernel_base,
+                                 std::uint64_t kernel_bytes)
+    : driver_(driver), kernelBase_(kernel_base),
+      kernelBytes_(kernel_bytes)
+{
+}
+
+Status
+RootkitDetector::baseline(CpuId cpu)
+{
+    auto session = driver_.execute(
+        detectorPal(kernelBase_, kernelBytes_, true), {}, cpu);
+    if (!session)
+        return session.error();
+    lastReport_ = session.take();
+    auto blob = tpm::SealedBlob::decode(lastReport_.palOutput);
+    if (!blob)
+        return blob.error();
+    baseline_ = blob.take();
+    haveBaseline_ = true;
+    return okStatus();
+}
+
+Result<RootkitDetector::ScanResult>
+RootkitDetector::scan(CpuId cpu)
+{
+    if (!haveBaseline_) {
+        return Error(Errc::failedPrecondition,
+                     "no sealed baseline; run baseline() first");
+    }
+    auto session = driver_.execute(
+        detectorPal(kernelBase_, kernelBytes_, false),
+        baseline_.encode(), cpu);
+    if (!session)
+        return session.error();
+    lastReport_ = session.take();
+
+    const Bytes &out = lastReport_.palOutput;
+    if (out.size() != 1 + crypto::sha1DigestSize) {
+        return Error(Errc::integrityFailure,
+                     "malformed verdict from detector PAL");
+    }
+    ScanResult result;
+    result.clean = out[0] == 1;
+    result.currentHash.assign(out.begin() + 1, out.end());
+    return result;
+}
+
+} // namespace mintcb::apps

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Kernel rootkit detector PAL (paper Section 4.1).
+ *
+ * "We implemented a kernel rootkit detector ... that use[s] our
+ * architecture to provide isolation and integrity protection": a PAL
+ * hashes the (simulated) kernel text region, compares against a sealed
+ * baseline, and emits an attestable verdict. Because the measurement
+ * runs inside the minimal TCB, a rootkit that owns the OS cannot lie to
+ * the PAL about the kernel bytes -- it can only be caught.
+ */
+
+#ifndef MINTCB_APPS_ROOTKIT_PAL_HH
+#define MINTCB_APPS_ROOTKIT_PAL_HH
+
+#include "common/result.hh"
+#include "sea/session.hh"
+
+namespace mintcb::apps
+{
+
+/** The rootkit detector service. */
+class RootkitDetector
+{
+  public:
+    /**
+     * Watch the kernel text at [@p kernel_base, +@p kernel_bytes) of
+     * @p driver's machine.
+     */
+    RootkitDetector(sea::SeaDriver &driver, PhysAddr kernel_base,
+                    std::uint64_t kernel_bytes);
+
+    /** In-PAL: hash the kernel text and seal it as the known-good
+     *  baseline. Run this while the kernel is trusted (e.g. right after
+     *  a verified boot). */
+    Status baseline(CpuId cpu = 0);
+
+    /** Verdict of one scan. */
+    struct ScanResult
+    {
+        bool clean;        //!< kernel text matches the baseline
+        Bytes currentHash; //!< SHA-1 the PAL computed this scan
+    };
+
+    /** In-PAL: re-hash the kernel text and compare to the baseline. */
+    Result<ScanResult> scan(CpuId cpu = 0);
+
+    /** Phase breakdown of the most recent session. */
+    const sea::SessionReport &lastReport() const { return lastReport_; }
+
+  private:
+    sea::SeaDriver &driver_;
+    PhysAddr kernelBase_;
+    std::uint64_t kernelBytes_;
+    bool haveBaseline_ = false;
+    tpm::SealedBlob baseline_;
+    sea::SessionReport lastReport_;
+};
+
+} // namespace mintcb::apps
+
+#endif // MINTCB_APPS_ROOTKIT_PAL_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * SSH password-handling PAL (paper Section 4.1).
+ *
+ * "...and to secure an SSH server's password handling routines": the
+ * salted password verifier is created and checked only inside a PAL, so
+ * a compromised OS sees neither passwords nor verifiers in cleartext.
+ */
+
+#ifndef MINTCB_APPS_SSH_PAL_HH
+#define MINTCB_APPS_SSH_PAL_HH
+
+#include <map>
+#include <string>
+
+#include "common/result.hh"
+#include "sea/session.hh"
+
+namespace mintcb::apps
+{
+
+/** The SSH server's password back end, with SEA-protected records. */
+class PasswordVault
+{
+  public:
+    explicit PasswordVault(sea::SeaDriver &driver) : driver_(driver) {}
+
+    /** In-PAL: derive a salted verifier for @p password, seal it. */
+    Status enroll(const std::string &user, const std::string &password,
+                  CpuId cpu = 0);
+
+    /** In-PAL: unseal @p user's verifier and check @p password.
+     *  Returns false for a wrong password; an Error for system faults
+     *  (unknown user, tampered record, ...). */
+    Result<bool> authenticate(const std::string &user,
+                              const std::string &password, CpuId cpu = 0);
+
+    /** Users with enrolled records. */
+    std::size_t userCount() const { return records_.size(); }
+
+    /** The sealed verifier as stored by the untrusted OS (for tamper
+     *  experiments). */
+    Result<tpm::SealedBlob> record(const std::string &user) const;
+    /** Replace a stored record (models on-disk tampering). */
+    void setRecord(const std::string &user, tpm::SealedBlob blob);
+
+    /** Phase breakdown of the most recent session. */
+    const sea::SessionReport &lastReport() const { return lastReport_; }
+
+  private:
+    sea::SeaDriver &driver_;
+    std::map<std::string, tpm::SealedBlob> records_;
+    sea::SessionReport lastReport_;
+};
+
+} // namespace mintcb::apps
+
+#endif // MINTCB_APPS_SSH_PAL_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Big-endian serialization implementation.
+ */
+
+#include "common/bytebuf.hh"
+
+namespace mintcb
+{
+
+void
+ByteWriter::u16(std::uint16_t v)
+{
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void
+ByteWriter::u32(std::uint32_t v)
+{
+    for (int shift = 24; shift >= 0; shift -= 8)
+        buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void
+ByteWriter::u64(std::uint64_t v)
+{
+    for (int shift = 56; shift >= 0; shift -= 8)
+        buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void
+ByteWriter::lengthPrefixed(const Bytes &b)
+{
+    u32(static_cast<std::uint32_t>(b.size()));
+    raw(b);
+}
+
+void
+ByteWriter::str(const std::string &s)
+{
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+Error
+ByteReader::truncated(const char *what) const
+{
+    return Error(Errc::integrityFailure,
+                 std::string("truncated blob while reading ") + what);
+}
+
+Result<std::uint8_t>
+ByteReader::u8()
+{
+    if (remaining() < 1)
+        return truncated("u8");
+    return src_[pos_++];
+}
+
+Result<std::uint16_t>
+ByteReader::u16()
+{
+    if (remaining() < 2)
+        return truncated("u16");
+    std::uint16_t v = static_cast<std::uint16_t>(src_[pos_]) << 8 |
+                      static_cast<std::uint16_t>(src_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+}
+
+Result<std::uint32_t>
+ByteReader::u32()
+{
+    if (remaining() < 4)
+        return truncated("u32");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v = (v << 8) | src_[pos_ + i];
+    pos_ += 4;
+    return v;
+}
+
+Result<std::uint64_t>
+ByteReader::u64()
+{
+    if (remaining() < 8)
+        return truncated("u64");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v = (v << 8) | src_[pos_ + i];
+    pos_ += 8;
+    return v;
+}
+
+Result<Bytes>
+ByteReader::raw(std::size_t n)
+{
+    if (remaining() < n)
+        return truncated("raw bytes");
+    Bytes out(src_.begin() + pos_, src_.begin() + pos_ + n);
+    pos_ += n;
+    return out;
+}
+
+Result<Bytes>
+ByteReader::lengthPrefixed()
+{
+    auto len = u32();
+    if (!len)
+        return len.error();
+    return raw(*len);
+}
+
+Result<std::string>
+ByteReader::str()
+{
+    auto bytes = lengthPrefixed();
+    if (!bytes)
+        return bytes.error();
+    return std::string(bytes->begin(), bytes->end());
+}
+
+} // namespace mintcb

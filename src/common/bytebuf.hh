@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Big-endian byte serialization helpers.
+ *
+ * TPM structures (sealed blobs, quote payloads, PCR composites) are packed
+ * big-endian on the wire, as in the TCG v1.2 specification. ByteWriter and
+ * ByteReader provide the small structured-encoding vocabulary the tpm and
+ * sea modules need.
+ */
+
+#ifndef MINTCB_COMMON_BYTEBUF_HH
+#define MINTCB_COMMON_BYTEBUF_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.hh"
+#include "common/types.hh"
+
+namespace mintcb
+{
+
+/** Appends big-endian encoded fields to a growing byte vector. */
+class ByteWriter
+{
+  public:
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+
+    /** Append raw bytes verbatim. */
+    void raw(const Bytes &b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+
+    /** Append a u32 length prefix followed by the bytes. */
+    void lengthPrefixed(const Bytes &b);
+
+    /** Append a u32 length prefix followed by the UTF-8 string bytes. */
+    void str(const std::string &s);
+
+    const Bytes &bytes() const { return buf_; }
+    Bytes take() { return std::move(buf_); }
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    Bytes buf_;
+};
+
+/**
+ * Decodes big-endian fields from a byte span. All extractors return a
+ * Result so that truncated or corrupted blobs surface as integrityFailure
+ * instead of undefined behaviour.
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const Bytes &src) : src_(src) {}
+
+    Result<std::uint8_t> u8();
+    Result<std::uint16_t> u16();
+    Result<std::uint32_t> u32();
+    Result<std::uint64_t> u64();
+
+    /** Read exactly @p n raw bytes. */
+    Result<Bytes> raw(std::size_t n);
+
+    /** Read a u32 length prefix, then that many bytes. */
+    Result<Bytes> lengthPrefixed();
+
+    /** Read a u32 length prefix, then that many bytes as a string. */
+    Result<std::string> str();
+
+    /** Bytes not yet consumed. */
+    std::size_t remaining() const { return src_.size() - pos_; }
+
+    /** True when every byte has been consumed (well-formed blob check). */
+    bool atEnd() const { return pos_ == src_.size(); }
+
+  private:
+    Error truncated(const char *what) const;
+
+    const Bytes &src_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace mintcb
+
+#endif // MINTCB_COMMON_BYTEBUF_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Hardware event counters (gem5-style observability).
+ *
+ * Components own one of these structs and bump it as events happen;
+ * machine::statsReport() renders a platform-wide summary.
+ */
+
+#ifndef MINTCB_COMMON_COUNTERS_HH
+#define MINTCB_COMMON_COUNTERS_HH
+
+#include <cstdint>
+
+namespace mintcb
+{
+
+/** Memory-controller access counters. */
+struct MemCtrlStats
+{
+    std::uint64_t cpuReads = 0;
+    std::uint64_t cpuWrites = 0;
+    std::uint64_t dmaReads = 0;
+    std::uint64_t dmaWrites = 0;
+    std::uint64_t cpuDenials = 0; //!< ACL blocked a CPU access
+    std::uint64_t dmaDenials = 0; //!< DEV or ACL blocked a DMA access
+    std::uint64_t aclTransitions = 0; //!< page state changes
+};
+
+/** TPM command counters. */
+struct TpmStats
+{
+    std::uint64_t extends = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t seals = 0;
+    std::uint64_t unseals = 0;
+    std::uint64_t quotes = 0;
+    std::uint64_t getRandoms = 0;
+    std::uint64_t hashSequences = 0; //!< late-launch measurements
+    std::uint64_t deniedCommands = 0; //!< locality/lock refusals
+};
+
+} // namespace mintcb
+
+#endif // MINTCB_COMMON_COUNTERS_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Hex codec implementation.
+ */
+
+#include "common/hex.hh"
+
+namespace mintcb
+{
+
+namespace
+{
+
+int
+nibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // namespace
+
+std::string
+toHex(const Bytes &data)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(data.size() * 2);
+    for (std::uint8_t b : data) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+Result<Bytes>
+fromHex(const std::string &hex)
+{
+    if (hex.size() % 2 != 0)
+        return Error(Errc::invalidArgument, "odd-length hex string");
+    Bytes out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        const int hi = nibble(hex[i]);
+        const int lo = nibble(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            return Error(Errc::invalidArgument, "non-hex character");
+        out.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
+    }
+    return out;
+}
+
+Bytes
+asciiBytes(const std::string &s)
+{
+    return Bytes(s.begin(), s.end());
+}
+
+} // namespace mintcb

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Hex encoding/decoding for digests and test vectors.
+ */
+
+#ifndef MINTCB_COMMON_HEX_HH
+#define MINTCB_COMMON_HEX_HH
+
+#include <string>
+
+#include "common/result.hh"
+#include "common/types.hh"
+
+namespace mintcb
+{
+
+/** Lowercase hex rendering of a byte string. */
+std::string toHex(const Bytes &data);
+
+/** Parse lowercase or uppercase hex; rejects odd lengths and non-hex. */
+Result<Bytes> fromHex(const std::string &hex);
+
+/** Bytes from a C string literal (test convenience). */
+Bytes asciiBytes(const std::string &s);
+
+} // namespace mintcb
+
+#endif // MINTCB_COMMON_HEX_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Logging implementation.
+ */
+
+#include "common/log.hh"
+
+#include <cstdio>
+
+namespace mintcb
+{
+
+namespace
+{
+
+LogLevel g_level = LogLevel::warn;
+
+void
+emit(const char *level, const std::string &tag, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s: %s\n", level, tag.c_str(), msg.c_str());
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+inform(const std::string &tag, const std::string &msg)
+{
+    if (g_level >= LogLevel::inform)
+        emit("info", tag, msg);
+}
+
+void
+warn(const std::string &tag, const std::string &msg)
+{
+    if (g_level >= LogLevel::warn)
+        emit("warn", tag, msg);
+}
+
+void
+debugLog(const std::string &tag, const std::string &msg)
+{
+    if (g_level >= LogLevel::debug)
+        emit("debug", tag, msg);
+}
+
+} // namespace mintcb

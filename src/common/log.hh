@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Minimal leveled logging, gem5-flavoured (inform/warn levels; fatal
+ * conditions use Result, bugs use assert).
+ */
+
+#ifndef MINTCB_COMMON_LOG_HH
+#define MINTCB_COMMON_LOG_HH
+
+#include <string>
+
+namespace mintcb
+{
+
+/** Verbosity levels, most severe first. */
+enum class LogLevel
+{
+    silent = 0,
+    warn = 1,
+    inform = 2,
+    debug = 3,
+};
+
+/** Set the global log verbosity (default: warn). */
+void setLogLevel(LogLevel level);
+
+/** Current global log verbosity. */
+LogLevel logLevel();
+
+/** Emit @p msg at inform level, prefixed with the subsystem @p tag. */
+void inform(const std::string &tag, const std::string &msg);
+
+/** Emit @p msg at warn level. */
+void warn(const std::string &tag, const std::string &msg);
+
+/** Emit @p msg at debug level. */
+void debugLog(const std::string &tag, const std::string &msg);
+
+} // namespace mintcb
+
+#endif // MINTCB_COMMON_LOG_HH

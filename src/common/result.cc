@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Error-category names.
+ */
+
+#include "common/result.hh"
+
+namespace mintcb
+{
+
+const char *
+errcName(Errc c)
+{
+    switch (c) {
+      case Errc::ok:
+        return "ok";
+      case Errc::invalidArgument:
+        return "invalidArgument";
+      case Errc::permissionDenied:
+        return "permissionDenied";
+      case Errc::notFound:
+        return "notFound";
+      case Errc::resourceExhausted:
+        return "resourceExhausted";
+      case Errc::failedPrecondition:
+        return "failedPrecondition";
+      case Errc::integrityFailure:
+        return "integrityFailure";
+      case Errc::unavailable:
+        return "unavailable";
+    }
+    return "unknown";
+}
+
+} // namespace mintcb

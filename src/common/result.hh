@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Lightweight expected-style error handling.
+ *
+ * Following the gem5 fatal()/panic() split: conditions that are the *user's*
+ * (or the modeled attacker's) fault -- a TPM op refused by access control, a
+ * late launch from the wrong ring, an unseal against moved PCRs -- travel as
+ * Result errors; conditions that indicate a bug in mintcb itself abort via
+ * assertions.
+ */
+
+#ifndef MINTCB_COMMON_RESULT_HH
+#define MINTCB_COMMON_RESULT_HH
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mintcb
+{
+
+/** Machine-readable failure category accompanying every Error. */
+enum class Errc
+{
+    ok = 0,
+    invalidArgument,   //!< malformed input (bad SLB header, oversized PAL)
+    permissionDenied,  //!< access-control refusal (DEV, ACL table, sePCR)
+    notFound,          //!< unknown handle / missing resource
+    resourceExhausted, //!< no free sePCR, no memory, TPM busy
+    failedPrecondition,//!< op invoked in the wrong state (lifecycle, ring)
+    integrityFailure,  //!< MAC/signature/digest mismatch
+    unavailable,       //!< device absent (platform without a TPM)
+};
+
+/** Printable name for an error category. */
+const char *errcName(Errc c);
+
+/** Failure descriptor: a category plus a human-readable explanation. */
+struct Error
+{
+    Errc code = Errc::ok;
+    std::string message;
+
+    Error() = default;
+    Error(Errc c, std::string msg) : code(c), message(std::move(msg)) {}
+
+    /** Render as "permissionDenied: <message>". */
+    std::string
+    str() const
+    {
+        return std::string(errcName(code)) + ": " + message;
+    }
+};
+
+/**
+ * Either a value of type T or an Error. A minimal stand-in for C++23
+ * std::expected, with the subset of the interface mintcb uses.
+ */
+template <typename T>
+class Result
+{
+  public:
+    /* implicit */ Result(T value) : v_(std::move(value)) {}
+    /* implicit */ Result(Error err) : v_(std::move(err)) {}
+
+    bool ok() const { return std::holds_alternative<T>(v_); }
+    explicit operator bool() const { return ok(); }
+
+    /** The contained value; asserts on error (check ok() first). */
+    T &
+    value()
+    {
+        assert(ok() && "Result::value() on an error");
+        return std::get<T>(v_);
+    }
+    const T &
+    value() const
+    {
+        assert(ok() && "Result::value() on an error");
+        return std::get<T>(v_);
+    }
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+    T &operator*() { return value(); }
+    const T &operator*() const { return value(); }
+
+    /** The contained error; asserts if the result holds a value. */
+    const Error &
+    error() const
+    {
+        assert(!ok() && "Result::error() on a value");
+        return std::get<Error>(v_);
+    }
+
+    /** Take the value out (moves). */
+    T
+    take()
+    {
+        assert(ok());
+        return std::move(std::get<T>(v_));
+    }
+
+  private:
+    std::variant<T, Error> v_;
+};
+
+/** Result specialization for operations that produce no value. */
+template <>
+class Result<void>
+{
+  public:
+    Result() : err_() {}
+    /* implicit */ Result(Error err) : err_(std::move(err)) {}
+
+    bool ok() const { return err_.code == Errc::ok; }
+    explicit operator bool() const { return ok(); }
+
+    const Error &
+    error() const
+    {
+        assert(!ok());
+        return err_;
+    }
+
+  private:
+    Error err_;
+};
+
+/** Convenience alias for value-free operations. */
+using Status = Result<void>;
+
+/** Success value for Status-returning functions. */
+inline Status
+okStatus()
+{
+    return Status();
+}
+
+} // namespace mintcb
+
+#endif // MINTCB_COMMON_RESULT_HH

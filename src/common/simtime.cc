@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Human-readable formatting for simulated durations.
+ */
+
+#include "common/simtime.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mintcb
+{
+
+std::string
+Duration::format(Duration d)
+{
+    const double ps = static_cast<double>(d.ticks());
+    const double abs_ps = std::fabs(ps);
+    char buf[64];
+    if (abs_ps >= 1e12) {
+        std::snprintf(buf, sizeof(buf), "%.3f s", ps / 1e12);
+    } else if (abs_ps >= 1e9) {
+        std::snprintf(buf, sizeof(buf), "%.3f ms", ps / 1e9);
+    } else if (abs_ps >= 1e6) {
+        std::snprintf(buf, sizeof(buf), "%.3f us", ps / 1e6);
+    } else if (abs_ps >= 1e3) {
+        std::snprintf(buf, sizeof(buf), "%.3f ns", ps / 1e3);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%lld ps",
+                      static_cast<long long>(d.ticks()));
+    }
+    return buf;
+}
+
+} // namespace mintcb

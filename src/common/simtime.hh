@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Simulated time for the mintcb platform model.
+ *
+ * The whole reproduction runs on virtual clocks: hardware models *charge*
+ * time to a timeline instead of sleeping, so benchmarks report the latency
+ * the modeled 2007-era hardware would exhibit, deterministically and in
+ * microseconds of wall time. Ticks are picoseconds so that sub-nanosecond
+ * quantities from the paper (e.g. Intel VM Entry = 0.4457 us) are exact.
+ */
+
+#ifndef MINTCB_COMMON_SIMTIME_HH
+#define MINTCB_COMMON_SIMTIME_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mintcb
+{
+
+/**
+ * A span of simulated time. Internally a signed 64-bit picosecond count,
+ * which covers +/- 106 days -- far beyond any experiment in the paper.
+ */
+class Duration
+{
+  public:
+    constexpr Duration() : ticks_(0) {}
+
+    /** @name Named constructors. @{ */
+    static constexpr Duration
+    picos(std::int64_t v)
+    {
+        return Duration(v);
+    }
+    static constexpr Duration
+    nanos(double v)
+    {
+        return Duration(static_cast<std::int64_t>(v * 1e3));
+    }
+    static constexpr Duration
+    micros(double v)
+    {
+        return Duration(static_cast<std::int64_t>(v * 1e6));
+    }
+    static constexpr Duration
+    millis(double v)
+    {
+        return Duration(static_cast<std::int64_t>(v * 1e9));
+    }
+    static constexpr Duration
+    seconds(double v)
+    {
+        return Duration(static_cast<std::int64_t>(v * 1e12));
+    }
+    static constexpr Duration
+    zero()
+    {
+        return Duration(0);
+    }
+    /** @} */
+
+    /** @name Conversions back to floating-point units. @{ */
+    constexpr std::int64_t ticks() const { return ticks_; }
+    constexpr double toNanos() const { return ticks_ / 1e3; }
+    constexpr double toMicros() const { return ticks_ / 1e6; }
+    constexpr double toMillis() const { return ticks_ / 1e9; }
+    constexpr double toSeconds() const { return ticks_ / 1e12; }
+    /** @} */
+
+    constexpr Duration
+    operator+(Duration o) const
+    {
+        return Duration(ticks_ + o.ticks_);
+    }
+    constexpr Duration
+    operator-(Duration o) const
+    {
+        return Duration(ticks_ - o.ticks_);
+    }
+    constexpr Duration
+    operator*(double k) const
+    {
+        return Duration(static_cast<std::int64_t>(
+            static_cast<double>(ticks_) * k));
+    }
+    constexpr double
+    operator/(Duration o) const
+    {
+        return static_cast<double>(ticks_) / static_cast<double>(o.ticks_);
+    }
+    constexpr Duration
+    operator/(std::int64_t k) const
+    {
+        return Duration(ticks_ / k);
+    }
+    Duration &
+    operator+=(Duration o)
+    {
+        ticks_ += o.ticks_;
+        return *this;
+    }
+    Duration &
+    operator-=(Duration o)
+    {
+        ticks_ -= o.ticks_;
+        return *this;
+    }
+    constexpr auto operator<=>(const Duration &) const = default;
+
+    /** Render with an auto-selected unit, e.g. "177.52 ms" or "0.558 us". */
+    std::string
+    str() const
+    {
+        return format(*this);
+    }
+
+  private:
+    static std::string format(Duration d); // defined in simtime.cc
+
+    constexpr explicit Duration(std::int64_t t) : ticks_(t) {}
+
+    std::int64_t ticks_;
+};
+
+/**
+ * A point on a simulated timeline; only meaningful relative to the timeline
+ * that produced it.
+ */
+class TimePoint
+{
+  public:
+    constexpr TimePoint() : sinceEpoch_() {}
+    constexpr explicit TimePoint(Duration since) : sinceEpoch_(since) {}
+
+    constexpr Duration sinceEpoch() const { return sinceEpoch_; }
+
+    constexpr TimePoint
+    operator+(Duration d) const
+    {
+        return TimePoint(sinceEpoch_ + d);
+    }
+    constexpr Duration
+    operator-(TimePoint o) const
+    {
+        return sinceEpoch_ - o.sinceEpoch_;
+    }
+    TimePoint &
+    operator+=(Duration d)
+    {
+        sinceEpoch_ += d;
+        return *this;
+    }
+    constexpr auto operator<=>(const TimePoint &) const = default;
+
+  private:
+    Duration sinceEpoch_;
+};
+
+/**
+ * A monotonically advancing virtual clock. Each CPU core owns one, and the
+ * platform synchronizes them at barrier events (e.g. SKINIT halting every
+ * core).
+ */
+class Timeline
+{
+  public:
+    /** Current simulated instant. */
+    TimePoint now() const { return now_; }
+
+    /** Charge @p d of simulated work to this timeline. */
+    void advance(Duration d) { now_ += d; }
+
+    /** Move forward to @p t if it is in the future (barrier sync). */
+    void
+    syncTo(TimePoint t)
+    {
+        if (t > now_)
+            now_ = t;
+    }
+
+    /** Reset to the epoch (used when a platform reboots). */
+    void reset() { now_ = TimePoint(); }
+
+  private:
+    TimePoint now_;
+};
+
+} // namespace mintcb
+
+#endif // MINTCB_COMMON_SIMTIME_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Welford accumulator implementation.
+ */
+
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace mintcb
+{
+
+void
+StatsAccumulator::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+StatsAccumulator::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+StatsAccumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+StatsAccumulator::merge(const StatsAccumulator &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+std::string
+StatsAccumulator::str() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "mean=%.4f sd=%.4f min=%.4f max=%.4f n=%llu",
+                  mean(), stddev(), min(), max(),
+                  static_cast<unsigned long long>(n_));
+    return buf;
+}
+
+} // namespace mintcb

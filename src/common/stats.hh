@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Streaming summary statistics for benchmark trials.
+ *
+ * The paper reports means with standard deviations over repeated trials
+ * (Figure 3: 20 trials; Figure 2: 100 runs). StatsAccumulator implements
+ * Welford's online algorithm so benches can feed simulated durations in and
+ * print mean/stddev/min/max without retaining samples.
+ */
+
+#ifndef MINTCB_COMMON_STATS_HH
+#define MINTCB_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/simtime.hh"
+
+namespace mintcb
+{
+
+/** Online mean/variance/min/max over a stream of doubles. */
+class StatsAccumulator
+{
+  public:
+    /** Fold one sample into the summary. */
+    void add(double x);
+
+    /** Convenience overload: samples measured as simulated durations. */
+    void add(Duration d) { add(d.toMillis()); }
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Sample (n-1) variance. */
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Merge another accumulator into this one (parallel-safe combine). */
+    void merge(const StatsAccumulator &other);
+
+    /** "mean=12.34 sd=0.56 n=20" style rendering. */
+    std::string str() const;
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace mintcb
+
+#endif // MINTCB_COMMON_STATS_HH

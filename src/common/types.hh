@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fundamental type aliases shared by every mintcb subsystem.
+ */
+
+#ifndef MINTCB_COMMON_TYPES_HH
+#define MINTCB_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mintcb
+{
+
+/** A contiguous run of raw octets (hash inputs, PAL images, TPM blobs). */
+using Bytes = std::vector<std::uint8_t>;
+
+/** Physical memory address on the simulated platform. */
+using PhysAddr = std::uint64_t;
+
+/** Index of a physical 4 KB page. */
+using PageNum = std::uint64_t;
+
+/** Identifier of a CPU core; also used as the memory-request agent id. */
+using CpuId = std::uint32_t;
+
+/** Size of a physical page on the simulated platform. */
+inline constexpr std::size_t pageSize = 4096;
+
+/** Convert a physical address to the page that contains it. */
+constexpr PageNum
+pageOf(PhysAddr addr)
+{
+    return addr / pageSize;
+}
+
+/** First address of a physical page. */
+constexpr PhysAddr
+pageBase(PageNum page)
+{
+    return page * pageSize;
+}
+
+/** Round a byte count up to whole pages. */
+constexpr std::uint64_t
+pagesFor(std::uint64_t bytes)
+{
+    return (bytes + pageSize - 1) / pageSize;
+}
+
+} // namespace mintcb
+
+#endif // MINTCB_COMMON_TYPES_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * HMAC (RFC 2104) over any of the mintcb hash contexts.
+ *
+ * Used by the simulated TPM for sealed-blob integrity and by the SEA
+ * attestation path for transport-session binding (paper Section 3.3 notes
+ * the TPM's secure transport sessions keep the south bridge out of the TCB).
+ */
+
+#ifndef MINTCB_CRYPTO_HMAC_HH
+#define MINTCB_CRYPTO_HMAC_HH
+
+#include "common/types.hh"
+#include "crypto/sha1.hh"
+#include "crypto/sha256.hh"
+
+namespace mintcb::crypto
+{
+
+/** HMAC-SHA1 of @p message under @p key. */
+Bytes hmacSha1(const Bytes &key, const Bytes &message);
+
+/** HMAC-SHA256 of @p message under @p key. */
+Bytes hmacSha256(const Bytes &key, const Bytes &message);
+
+/** Constant-time byte comparison (avoids modeling a timing oracle). */
+bool constantTimeEqual(const Bytes &a, const Bytes &b);
+
+} // namespace mintcb::crypto
+
+#endif // MINTCB_CRYPTO_HMAC_HH

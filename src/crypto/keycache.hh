@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Process-wide deterministic RSA key cache.
+ *
+ * Every simulated TPM needs an SRK and an AIK; generating fresh 2048-bit
+ * keys per test would dominate wall time without testing anything new.
+ * The cache derives each key deterministically from a (label, bits) pair,
+ * generates it once per process, and hands out copies. Tests that *do*
+ * exercise key generation call rsaGenerate directly.
+ */
+
+#ifndef MINTCB_CRYPTO_KEYCACHE_HH
+#define MINTCB_CRYPTO_KEYCACHE_HH
+
+#include <string>
+
+#include "crypto/rsa.hh"
+
+namespace mintcb::crypto
+{
+
+/**
+ * Return the deterministic RSA key for @p label at @p bits, generating and
+ * memoizing it on first use. Thread-compatible (mintcb simulations are
+ * single-threaded by design; simulated concurrency uses virtual time).
+ */
+const RsaPrivateKey &cachedKey(const std::string &label, std::size_t bits);
+
+/** Default modulus size for simulated TPM keys (TCG v1.2: 2048). */
+inline constexpr std::size_t tpmKeyBits = 2048;
+
+} // namespace mintcb::crypto
+
+#endif // MINTCB_CRYPTO_KEYCACHE_HH

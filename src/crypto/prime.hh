@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Probabilistic prime generation for RSA key material.
+ */
+
+#ifndef MINTCB_CRYPTO_PRIME_HH
+#define MINTCB_CRYPTO_PRIME_HH
+
+#include "common/rng.hh"
+#include "crypto/bignum.hh"
+
+namespace mintcb::crypto
+{
+
+/** Uniform random BigNum with exactly @p bits bits (top bit set). */
+BigNum randomBits(Rng &rng, std::size_t bits);
+
+/** Uniform random BigNum in [0, bound). */
+BigNum randomBelow(Rng &rng, const BigNum &bound);
+
+/**
+ * Miller-Rabin probable-prime test with @p rounds random bases.
+ * Deterministically correct for the small primes it special-cases.
+ */
+bool isProbablePrime(const BigNum &n, Rng &rng, int rounds = 16);
+
+/**
+ * Generate a random probable prime of exactly @p bits bits with both the
+ * top bit and the low bit set. Uses trial division by small primes before
+ * Miller-Rabin.
+ */
+BigNum generatePrime(Rng &rng, std::size_t bits);
+
+} // namespace mintcb::crypto
+
+#endif // MINTCB_CRYPTO_PRIME_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * SHA-1 (RFC 3174), implemented from scratch.
+ *
+ * SHA-1 is the measurement hash of the TPM v1.2 era: PCR extends, SKINIT's
+ * TPM_HASH_DATA path, the ACMod's CPU-side PAL hash, and quote composites
+ * all use it (paper Sections 2.1 and 3.3). It is cryptographically broken
+ * today; we implement it because the reproduction targets 2008 semantics.
+ */
+
+#ifndef MINTCB_CRYPTO_SHA1_HH
+#define MINTCB_CRYPTO_SHA1_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace mintcb::crypto
+{
+
+/** Size of a SHA-1 digest in bytes. */
+inline constexpr std::size_t sha1DigestSize = 20;
+
+/** A SHA-1 digest value. */
+using Sha1Digest = std::array<std::uint8_t, sha1DigestSize>;
+
+/** Incremental SHA-1 context. */
+class Sha1
+{
+  public:
+    Sha1() { reset(); }
+
+    /** Restart the hash computation. */
+    void reset();
+
+    /** Absorb @p len bytes at @p data. */
+    void update(const std::uint8_t *data, std::size_t len);
+
+    /** Absorb a byte vector. */
+    void update(const Bytes &data) { update(data.data(), data.size()); }
+
+    /** Finish and return the digest; the context must be reset to reuse. */
+    Sha1Digest finish();
+
+    /** One-shot digest of a byte vector. */
+    static Sha1Digest digest(const Bytes &data);
+
+    /** One-shot digest returned as a 20-entry byte vector. */
+    static Bytes digestBytes(const Bytes &data);
+
+    /** Digest size as a Bytes-compatible constant. */
+    static constexpr std::size_t digestSize = sha1DigestSize;
+
+    /** Internal block size in bytes (for HMAC). */
+    static constexpr std::size_t blockSize = 64;
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::uint32_t h_[5];
+    std::uint8_t buffer_[64];
+    std::size_t bufferLen_;
+    std::uint64_t totalBits_;
+};
+
+/** Convert a digest array to a Bytes vector. */
+Bytes toBytes(const Sha1Digest &d);
+
+} // namespace mintcb::crypto
+
+#endif // MINTCB_CRYPTO_SHA1_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4), implemented from scratch.
+ *
+ * The TPM v1.2 interface is SHA-1 based, but the simulated TPM's *internal*
+ * sealed-blob integrity check uses HMAC-SHA-256 so that blob tampering in
+ * tests is detected by a hash that is not trivially collidable.
+ */
+
+#ifndef MINTCB_CRYPTO_SHA256_HH
+#define MINTCB_CRYPTO_SHA256_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace mintcb::crypto
+{
+
+/** Size of a SHA-256 digest in bytes. */
+inline constexpr std::size_t sha256DigestSize = 32;
+
+/** A SHA-256 digest value. */
+using Sha256Digest = std::array<std::uint8_t, sha256DigestSize>;
+
+/** Incremental SHA-256 context. */
+class Sha256
+{
+  public:
+    Sha256() { reset(); }
+
+    /** Restart the hash computation. */
+    void reset();
+
+    /** Absorb @p len bytes at @p data. */
+    void update(const std::uint8_t *data, std::size_t len);
+
+    /** Absorb a byte vector. */
+    void update(const Bytes &data) { update(data.data(), data.size()); }
+
+    /** Finish and return the digest. */
+    Sha256Digest finish();
+
+    /** One-shot digest of a byte vector. */
+    static Sha256Digest digest(const Bytes &data);
+
+    /** One-shot digest returned as a 32-entry byte vector. */
+    static Bytes digestBytes(const Bytes &data);
+
+    static constexpr std::size_t digestSize = sha256DigestSize;
+    static constexpr std::size_t blockSize = 64;
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::uint32_t h_[8];
+    std::uint8_t buffer_[64];
+    std::size_t bufferLen_;
+    std::uint64_t totalBits_;
+};
+
+/** Convert a digest array to a Bytes vector. */
+Bytes toBytes(const Sha256Digest &d);
+
+} // namespace mintcb::crypto
+
+#endif // MINTCB_CRYPTO_SHA256_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * ACMod implementation.
+ */
+
+#include "latelaunch/acmod.hh"
+
+#include "common/rng.hh"
+#include "crypto/keycache.hh"
+
+namespace mintcb::latelaunch
+{
+
+namespace
+{
+
+const crypto::RsaPrivateKey &
+vendorSigningKey()
+{
+    return crypto::cachedKey("intel-acmod-vendor", 1024);
+}
+
+Bytes
+moduleContents(std::uint32_t bytes, std::uint64_t seed)
+{
+    Rng rng(0xac0d ^ seed);
+    return rng.bytes(bytes);
+}
+
+} // namespace
+
+const crypto::RsaPublicKey &
+AcMod::chipsetKey()
+{
+    return vendorSigningKey().pub;
+}
+
+AcMod
+AcMod::genuine(std::uint32_t bytes)
+{
+    AcMod mod;
+    mod.image = moduleContents(bytes, 0);
+    mod.signature = crypto::rsaSignSha1(vendorSigningKey(), mod.image);
+    return mod;
+}
+
+AcMod
+AcMod::forged(std::uint32_t bytes)
+{
+    AcMod mod;
+    mod.image = moduleContents(bytes, 0xbad);
+    // Signed by an attacker key the chipset does not trust.
+    mod.signature = crypto::rsaSignSha1(
+        crypto::cachedKey("attacker-acmod", 1024), mod.image);
+    return mod;
+}
+
+bool
+AcMod::verify() const
+{
+    return crypto::rsaVerifySha1(chipsetKey(), image, signature);
+}
+
+} // namespace mintcb::latelaunch

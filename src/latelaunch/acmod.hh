@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Intel Authenticated Code Module.
+ *
+ * SENTER's first phase loads an Intel-signed module: "the platform's
+ * chipset verifies the signature on the ACMod using a built-in public
+ * key, extends a measurement of the ACMod into PCR 17, and finally
+ * executes the ACMod" (Section 2.2.2). The ACMod then measures the MLE
+ * on the main CPU and extends PCR 18.
+ */
+
+#ifndef MINTCB_LATELAUNCH_ACMOD_HH
+#define MINTCB_LATELAUNCH_ACMOD_HH
+
+#include <cstdint>
+
+#include "common/result.hh"
+#include "common/types.hh"
+#include "crypto/rsa.hh"
+
+namespace mintcb::latelaunch
+{
+
+/** A (simulated) Intel-signed Authenticated Code Module. */
+struct AcMod
+{
+    Bytes image;     //!< module contents (measured into PCR 17)
+    Bytes signature; //!< vendor signature over the image
+
+    /**
+     * The chipset's built-in verification key -- the public half of the
+     * simulated CPU vendor's signing key.
+     */
+    static const crypto::RsaPublicKey &chipsetKey();
+
+    /** Produce a validly signed ACMod of @p bytes deterministic content. */
+    static AcMod genuine(std::uint32_t bytes);
+
+    /** A same-size module whose signature will not verify (attack). */
+    static AcMod forged(std::uint32_t bytes);
+
+    /** Chipset-side signature check. */
+    bool verify() const;
+};
+
+} // namespace mintcb::latelaunch
+
+#endif // MINTCB_LATELAUNCH_ACMOD_HH

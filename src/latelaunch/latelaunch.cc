@@ -1,0 +1,267 @@
+/**
+ * @file
+ * SKINIT / SENTER implementation.
+ */
+
+#include "latelaunch/latelaunch.hh"
+
+#include <algorithm>
+
+#include "crypto/sha1.hh"
+
+namespace mintcb::latelaunch
+{
+
+using machine::Cpu;
+using machine::CpuVendor;
+
+LateLaunch::LateLaunch(machine::Machine &machine) : machine_(machine)
+{
+    if (machine_.spec().cpuVendor == CpuVendor::intel)
+        acmod_ = AcMod::genuine(machine_.spec().acmodBytes);
+}
+
+Result<Slb>
+LateLaunch::fetchSlb(CpuId cpu, PhysAddr slb_addr)
+{
+    auto header = machine_.readAs(cpu, slb_addr, slbHeaderBytes);
+    if (!header)
+        return header.error();
+    const std::size_t length = Slb::decodeLengthWord(
+        static_cast<std::uint16_t>((*header)[0]) |
+        static_cast<std::uint16_t>((*header)[1]) << 8);
+    if (length < slbHeaderBytes)
+        return Error(Errc::invalidArgument, "SLB length word too small");
+    auto image = machine_.readAs(cpu, slb_addr, length);
+    if (!image)
+        return image.error();
+    return Slb::parse(*image);
+}
+
+Status
+LateLaunch::haltOtherCpus(CpuId cpu)
+{
+    // "The late launch operation requires all but one of the processors
+    // to be in a special idle state" (Section 4.2). Synchronize first so
+    // every core resumes from the same instant later.
+    machine_.syncAllCpus();
+    for (CpuId i = 0; i < machine_.cpuCount(); ++i) {
+        if (i != cpu)
+            machine_.cpu(i).setIdleForLateLaunch(true);
+    }
+    return okStatus();
+}
+
+void
+LateLaunch::resumeOtherCpus()
+{
+    machine_.syncAllCpus();
+    for (CpuId i = 0; i < machine_.cpuCount(); ++i)
+        machine_.cpu(i).setIdleForLateLaunch(false);
+}
+
+void
+LateLaunch::releaseProtections(const LaunchReport &report)
+{
+    for (PageNum page : report.protectedPages)
+        machine_.memctrl().devUnprotect(page, 1);
+}
+
+Result<LaunchReport>
+LateLaunch::invoke(CpuId cpu, PhysAddr slb_addr)
+{
+    if (machine_.spec().cpuVendor == CpuVendor::amd) {
+        return invokeAmd(cpu, slb_addr, maxSlbBytes,
+                         /*cpu_hashed_bytes=*/0);
+    }
+    return invokeIntel(cpu, slb_addr);
+}
+
+Result<LaunchReport>
+LateLaunch::invokeAmdTwoPart(CpuId cpu, PhysAddr slb_addr,
+                             std::size_t loader_bytes,
+                             std::size_t payload_bytes)
+{
+    return invokeAmd(cpu, slb_addr, loader_bytes, payload_bytes);
+}
+
+Result<LaunchReport>
+LateLaunch::invokeAmd(CpuId cpu, PhysAddr slb_addr,
+                      std::size_t measured_limit,
+                      std::size_t cpu_hashed_bytes)
+{
+    Cpu &core = machine_.cpu(cpu);
+    if (core.ring() != 0) {
+        return Error(Errc::permissionDenied,
+                     "SKINIT requires CPU protection ring 0");
+    }
+
+    auto slb = fetchSlb(cpu, slb_addr);
+    if (!slb)
+        return slb.error();
+    const Bytes &image = slb->image();
+    const std::size_t measured = std::min(image.size(), measured_limit);
+    if (cpu_hashed_bytes > image.size() - measured) {
+        return Error(Errc::invalidArgument,
+                     "two-part split exceeds the SLB image");
+    }
+
+    haltOtherCpus(cpu);
+
+    LaunchReport report;
+    const TimePoint start = core.now();
+
+    // DMA protection for the SLB region via the DEV (Section 2.2.1).
+    const PageNum first_page = pageOf(slb_addr);
+    const PageNum last_page = pageOf(slb_addr + image.size() - 1);
+    for (PageNum p = first_page; p <= last_page; ++p) {
+        if (auto s = machine_.memctrl().devProtect(p, 1); !s.ok())
+            return s.error();
+        report.protectedPages.push_back(p);
+    }
+
+    // (1) Trusted CPU state: interrupts off, debug off, flat 32-bit mode.
+    core.resetToTrustedState(machine_.spec().cpuStateInit);
+    report.cpuInit = core.now() - start;
+
+    // (2)+(3) Stream the measured region to the TPM over the LPC bus.
+    const Bytes measured_region(image.begin(),
+                                image.begin() +
+                                    static_cast<std::ptrdiff_t>(measured));
+    if (measured > slbHeaderBytes) {
+        const TimePoint lpc_start = core.now();
+        machine_.lpc().transferTracked(measured, core.clock());
+        report.lpcTransfer = core.now() - lpc_start;
+
+        if (machine_.hasTpm()) {
+            const TimePoint tpm_start = core.now();
+            auto &tpm = machine_.tpmAs(cpu);
+            if (auto s = tpm.hashStart(tpm::Locality::hardware); !s.ok())
+                return s.error();
+            if (auto s = tpm.hashData(measured_region,
+                                      tpm::Locality::hardware);
+                !s.ok()) {
+                return s.error();
+            }
+            if (auto s = tpm.hashEnd(tpm::Locality::hardware); !s.ok())
+                return s.error();
+            report.tpmHash = core.now() - tpm_start;
+        }
+    }
+
+    // Footnote 4: the loader half hashes the payload half on the main
+    // CPU and extends it into PCR 19.
+    if (cpu_hashed_bytes > 0) {
+        const TimePoint hash_start = core.now();
+        core.advance(machine_.spec().cpuHashPerByte *
+                     static_cast<double>(cpu_hashed_bytes));
+        const Bytes payload(
+            image.begin() + static_cast<std::ptrdiff_t>(measured),
+            image.begin() +
+                static_cast<std::ptrdiff_t>(measured + cpu_hashed_bytes));
+        if (machine_.hasTpm()) {
+            auto &tpm = machine_.tpmAs(cpu);
+            if (auto s = tpm.pcrExtend(
+                    19, crypto::Sha1::digestBytes(payload));
+                !s.ok()) {
+                return s.error();
+            }
+        }
+        report.cpuHash = core.now() - hash_start;
+    }
+
+    report.slbMeasurement = crypto::Sha1::digestBytes(measured_region);
+    report.entryPoint = slb->entryPoint();
+    report.total = core.now() - start;
+    return report;
+}
+
+Result<LaunchReport>
+LateLaunch::invokeIntel(CpuId cpu, PhysAddr slb_addr)
+{
+    Cpu &core = machine_.cpu(cpu);
+    if (core.ring() != 0) {
+        return Error(Errc::permissionDenied,
+                     "GETSEC[SENTER] requires CPU protection ring 0");
+    }
+    if (!machine_.hasTpm()) {
+        return Error(Errc::unavailable,
+                     "SENTER requires a TPM for the ACMod measurement");
+    }
+
+    auto slb = fetchSlb(cpu, slb_addr);
+    if (!slb)
+        return slb.error();
+    const Bytes &image = slb->image();
+    if (acmod_.image.size() + image.size() > machine_.spec().mptBytes) {
+        return Error(Errc::invalidArgument,
+                     "ACMod + MLE exceed the MPT-protected region");
+    }
+
+    LaunchReport report;
+    const TimePoint start = core.now();
+
+    // Chipset verifies the vendor signature before anything executes.
+    core.advance(machine_.spec().acmodSigVerify);
+    report.acmodVerify = core.now() - start;
+    if (!acmod_.verify()) {
+        return Error(Errc::integrityFailure,
+                     "ACMod signature rejected by the chipset");
+    }
+
+    haltOtherCpus(cpu);
+
+    // MPT protection over the launched region (Section 2.2.2).
+    const PageNum first_page = pageOf(slb_addr);
+    const PageNum last_page = pageOf(slb_addr + image.size() - 1);
+    for (PageNum p = first_page; p <= last_page; ++p) {
+        if (auto s = machine_.memctrl().devProtect(p, 1); !s.ok())
+            return s.error();
+        report.protectedPages.push_back(p);
+    }
+
+    const TimePoint init_start = core.now();
+    core.resetToTrustedState(machine_.spec().cpuStateInit);
+    report.cpuInit = core.now() - init_start;
+
+    // Phase 1: the ACMod travels to the TPM and lands in PCR 17.
+    auto &tpm = machine_.tpmAs(cpu);
+    {
+        const TimePoint lpc_start = core.now();
+        machine_.lpc().transferTracked(acmod_.image.size(), core.clock());
+        report.lpcTransfer = core.now() - lpc_start;
+
+        const TimePoint tpm_start = core.now();
+        if (auto s = tpm.hashStart(tpm::Locality::hardware); !s.ok())
+            return s.error();
+        if (auto s = tpm.hashData(acmod_.image, tpm::Locality::hardware);
+            !s.ok()) {
+            return s.error();
+        }
+        if (auto s = tpm.hashEnd(tpm::Locality::hardware); !s.ok())
+            return s.error();
+        report.tpmHash = core.now() - tpm_start;
+    }
+
+    // Phase 2: the ACMod hashes the MLE on the main CPU and extends the
+    // 20-byte result into PCR 18 -- only a constant amount crosses the
+    // LPC bus, which is why SENTER's slope beats SKINIT's (Section 4.3.2).
+    {
+        const TimePoint hash_start = core.now();
+        core.advance(machine_.spec().cpuHashPerByte *
+                     static_cast<double>(image.size()));
+        if (auto s = tpm.pcrExtend(tpm::intelMlePcr,
+                                   crypto::Sha1::digestBytes(image));
+            !s.ok()) {
+            return s.error();
+        }
+        report.cpuHash = core.now() - hash_start;
+    }
+
+    report.slbMeasurement = crypto::Sha1::digestBytes(image);
+    report.entryPoint = slb->entryPoint();
+    report.total = core.now() - start;
+    return report;
+}
+
+} // namespace mintcb::latelaunch

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Late launch: AMD SKINIT and Intel SENTER.
+ *
+ * The instruction that makes SEA possible: reinitialize one CPU to a
+ * trusted state, protect a memory region from DMA, stream its contents to
+ * the TPM (AMD) or hash it on the CPU under an Intel-signed ACMod
+ * (Intel), extend the measurement into a dynamic PCR, and jump to the
+ * code -- "many of the security benefits of rebooting the computer while
+ * bypassing the overhead of a full reboot" (Section 2.2).
+ *
+ * Timing decomposes exactly as Section 4.3.1 does: (1) CPU state setup,
+ * (2) LPC transfer, (3) TPM hashing (the long-wait-cycle overhead), plus
+ * on Intel the ACMod signature check and the CPU-side MLE hash.
+ */
+
+#ifndef MINTCB_LATELAUNCH_LATELAUNCH_HH
+#define MINTCB_LATELAUNCH_LATELAUNCH_HH
+
+#include <vector>
+
+#include "common/result.hh"
+#include "common/simtime.hh"
+#include "latelaunch/acmod.hh"
+#include "latelaunch/slb.hh"
+#include "machine/machine.hh"
+
+namespace mintcb::latelaunch
+{
+
+/** Timing/identity evidence returned by a successful late launch. */
+struct LaunchReport
+{
+    Duration total;        //!< end-to-end latency on the invoking CPU
+    Duration cpuInit;      //!< trusted-state setup
+    Duration lpcTransfer;  //!< raw bus transfer time
+    Duration tpmHash;      //!< TPM-induced long-wait + hash bookkeeping
+    Duration acmodVerify;  //!< Intel only: chipset signature check
+    Duration cpuHash;      //!< Intel only: ACMod hashing the MLE on-CPU
+
+    Bytes slbMeasurement;  //!< SHA-1 of the launched block
+    std::uint16_t entryPoint = 0; //!< where execution begins
+    std::vector<PageNum> protectedPages; //!< DEV/MPT-covered pages
+};
+
+/** The late-launch capability of a machine. */
+class LateLaunch
+{
+  public:
+    /**
+     * Bind to @p machine. On Intel platforms a genuine ACMod of the
+     * spec's size is installed; tests can substitute a forged one.
+     */
+    explicit LateLaunch(machine::Machine &machine);
+
+    /** Replace the ACMod (attack experiments). */
+    void setAcmod(AcMod acmod) { acmod_ = std::move(acmod); }
+
+    /**
+     * Execute SKINIT (AMD) or SENTER (Intel) on @p cpu with the SLB at
+     * physical address @p slb_addr. The invoking code must be in ring 0.
+     * All other CPUs enter the special idle state; call
+     * resumeOtherCpus() when secure execution finishes.
+     */
+    Result<LaunchReport> invoke(CpuId cpu, PhysAddr slb_addr);
+
+    /**
+     * Footnote 4 variant: measure only the first @p loader_bytes of the
+     * SLB via the TPM; the loader then hashes the remaining
+     * @p payload_bytes on the main CPU and extends the result into
+     * PCR 19 (AMD's flexibility vs Intel's fixed split).
+     */
+    Result<LaunchReport> invokeAmdTwoPart(CpuId cpu, PhysAddr slb_addr,
+                                          std::size_t loader_bytes,
+                                          std::size_t payload_bytes);
+
+    /**
+     * Release the other CPUs from the late-launch idle state and
+     * synchronize their clocks with the platform (they were halted the
+     * whole time -- the paper's "most of the computer's processing power
+     * ... vanish[es]", Section 4.2).
+     */
+    void resumeOtherCpus();
+
+    /** Drop the DEV/MPT protection installed for @p report's pages. */
+    void releaseProtections(const LaunchReport &report);
+
+  private:
+    Result<Slb> fetchSlb(CpuId cpu, PhysAddr slb_addr);
+    Status haltOtherCpus(CpuId cpu);
+    Result<LaunchReport> invokeAmd(CpuId cpu, PhysAddr slb_addr,
+                                   std::size_t measured_limit,
+                                   std::size_t cpu_hashed_bytes);
+    Result<LaunchReport> invokeIntel(CpuId cpu, PhysAddr slb_addr);
+
+    machine::Machine &machine_;
+    AcMod acmod_;
+};
+
+} // namespace mintcb::latelaunch
+
+#endif // MINTCB_LATELAUNCH_LATELAUNCH_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * SLB construction and validation.
+ */
+
+#include "latelaunch/slb.hh"
+
+namespace mintcb::latelaunch
+{
+
+namespace
+{
+
+std::uint16_t
+readWordLE(const Bytes &image, std::size_t offset)
+{
+    return static_cast<std::uint16_t>(image[offset]) |
+           static_cast<std::uint16_t>(image[offset + 1]) << 8;
+}
+
+} // namespace
+
+Result<Slb>
+Slb::wrap(const Bytes &code, std::uint16_t entry_offset)
+{
+    const std::size_t total = code.size() + slbHeaderBytes;
+    if (total > maxSlbBytes) {
+        return Error(Errc::invalidArgument,
+                     "SLB exceeds the 64 KB hardware limit");
+    }
+    if (entry_offset < slbHeaderBytes || entry_offset > total) {
+        return Error(Errc::invalidArgument,
+                     "SLB entry point outside the block");
+    }
+    Bytes image(total);
+    // A full 64 KB block does not fit the 16-bit word; hardware treats a
+    // length word of 0 as 64 KB.
+    const auto length = static_cast<std::uint16_t>(total); // 65536 -> 0
+    image[0] = static_cast<std::uint8_t>(length & 0xff);
+    image[1] = static_cast<std::uint8_t>(length >> 8);
+    image[2] = static_cast<std::uint8_t>(entry_offset & 0xff);
+    image[3] = static_cast<std::uint8_t>(entry_offset >> 8);
+    std::copy(code.begin(), code.end(), image.begin() + slbHeaderBytes);
+    return Slb(std::move(image), total, entry_offset);
+}
+
+Result<Slb>
+Slb::parse(const Bytes &image)
+{
+    if (image.size() < slbHeaderBytes) {
+        return Error(Errc::invalidArgument,
+                     "SLB smaller than its own header");
+    }
+    if (image.size() > maxSlbBytes) {
+        return Error(Errc::invalidArgument,
+                     "SLB exceeds the 64 KB hardware limit");
+    }
+    const std::size_t length = Slb::decodeLengthWord(readWordLE(image, 0));
+    const std::uint16_t entry = readWordLE(image, 2);
+    if (length < slbHeaderBytes || length > image.size()) {
+        return Error(Errc::invalidArgument,
+                     "SLB length word inconsistent with the image");
+    }
+    if (entry < slbHeaderBytes || entry > length) {
+        return Error(Errc::invalidArgument,
+                     "SLB entry point outside the measured region");
+    }
+    Bytes measured(image.begin(),
+                   image.begin() + static_cast<std::ptrdiff_t>(length));
+    return Slb(std::move(measured), length, entry);
+}
+
+Bytes
+Slb::code() const
+{
+    return Bytes(image_.begin() + slbHeaderBytes, image_.end());
+}
+
+} // namespace mintcb::latelaunch

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The Secure Loader Block (AMD SVM).
+ *
+ * "The first two words (16-bit values) of the SLB are defined to be its
+ * length and entry point (both must be between 0 and 64 KB)"
+ * (Section 2.2.1). The same container carries the MLE on Intel systems.
+ */
+
+#ifndef MINTCB_LATELAUNCH_SLB_HH
+#define MINTCB_LATELAUNCH_SLB_HH
+
+#include <cstdint>
+
+#include "common/result.hh"
+#include "common/types.hh"
+
+namespace mintcb::latelaunch
+{
+
+/** Hardware limit on SLB size (AMD DEV coverage). */
+inline constexpr std::size_t maxSlbBytes = 64 * 1024;
+
+/** Size of the SLB header (length word + entry-point word). */
+inline constexpr std::size_t slbHeaderBytes = 4;
+
+/** A parsed/validated Secure Loader Block. */
+class Slb
+{
+  public:
+    /**
+     * Build an SLB image wrapping @p code. The entry point defaults to
+     * the first code byte (right after the header).
+     */
+    static Result<Slb> wrap(const Bytes &code,
+                            std::uint16_t entry_offset = slbHeaderBytes);
+
+    /** Parse and validate an SLB image (as SKINIT's microcode would). */
+    static Result<Slb> parse(const Bytes &image);
+
+    /** The complete image, header included -- what gets measured. */
+    const Bytes &image() const { return image_; }
+
+    /** Measured length in bytes. The 16-bit header word encodes 64 KB as
+     *  0; this accessor reports the decoded size. */
+    std::size_t length() const { return length_; }
+    std::uint16_t entryPoint() const { return entryPoint_; }
+
+    /** Decode the header length word (0 means 64 KB). */
+    static std::size_t
+    decodeLengthWord(std::uint16_t word)
+    {
+        return word == 0 ? maxSlbBytes : word;
+    }
+
+    /** Code bytes (image without the header). */
+    Bytes code() const;
+
+  private:
+    Slb(Bytes image, std::size_t length, std::uint16_t entry)
+        : image_(std::move(image)), length_(length), entryPoint_(entry)
+    {
+    }
+
+    Bytes image_;
+    std::size_t length_;
+    std::uint16_t entryPoint_;
+};
+
+} // namespace mintcb::latelaunch
+
+#endif // MINTCB_LATELAUNCH_SLB_HH

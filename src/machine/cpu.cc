@@ -1,0 +1,37 @@
+/**
+ * @file
+ * CPU core implementation.
+ */
+
+#include "machine/cpu.hh"
+
+namespace mintcb::machine
+{
+
+void
+Cpu::resetToTrustedState(Duration init_cost)
+{
+    clock_.advance(init_cost);
+    ring_ = 0;
+    interruptsEnabled_ = false;
+}
+
+void
+Cpu::secureStateClear(Duration flush_cost)
+{
+    clock_.advance(flush_cost);
+    ++secureClears_;
+}
+
+std::uint64_t
+Cpu::runLegacyWork(Duration d)
+{
+    clock_.advance(d);
+    // Work units are abstract "gigacycles * ns" progress counters.
+    const std::uint64_t units =
+        static_cast<std::uint64_t>(d.toNanos() * freqGhz_);
+    legacyWork_ += units;
+    return units;
+}
+
+} // namespace mintcb::machine

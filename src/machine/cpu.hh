@@ -1,0 +1,106 @@
+/**
+ * @file
+ * A CPU core model.
+ *
+ * mintcb CPUs are latency/state models, not instruction interpreters:
+ * each core owns a virtual timeline, a privilege ring, an interrupt flag,
+ * and the late-launch-relevant architectural state. "Executing code" means
+ * charging time to the core's timeline while C++ callbacks perform the
+ * code's effects against the simulated platform.
+ */
+
+#ifndef MINTCB_MACHINE_CPU_HH
+#define MINTCB_MACHINE_CPU_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "common/simtime.hh"
+#include "common/types.hh"
+
+namespace mintcb::machine
+{
+
+/** One CPU core. */
+class Cpu
+{
+  public:
+    Cpu(CpuId id, double freq_ghz) : id_(id), freqGhz_(freq_ghz) {}
+
+    CpuId id() const { return id_; }
+    double freqGhz() const { return freqGhz_; }
+
+    /** @name Virtual clock. @{ */
+    Timeline &clock() { return clock_; }
+    const Timeline &clock() const { return clock_; }
+    TimePoint now() const { return clock_.now(); }
+    void advance(Duration d) { clock_.advance(d); }
+    /** @} */
+
+    /** @name Privilege and interrupts. @{ */
+    int ring() const { return ring_; }
+    void setRing(int ring) { ring_ = ring; }
+    bool interruptsEnabled() const { return interruptsEnabled_; }
+    void setInterruptsEnabled(bool on) { interruptsEnabled_ = on; }
+    /** @} */
+
+    /**
+     * Reinitialize to the well-known trusted state a late launch
+     * establishes: flat 32-bit protected mode, ring 0, interrupts off
+     * (Section 2.2.1). Charges the (tiny) hardware cost.
+     */
+    void resetToTrustedState(Duration init_cost);
+
+    /**
+     * Clear architectural and microarchitectural state that could leak a
+     * PAL's secrets across a context switch (Section 5.3.1: "any
+     * microarchitectural state that may persist long enough to leak the
+     * secrets of a PAL must be cleared upon PAL yield").
+     */
+    void secureStateClear(Duration flush_cost);
+
+    /** Number of secure state clears performed (test observability). */
+    std::uint64_t secureClears() const { return secureClears_; }
+
+    /** @name Special idle state.
+     * During SKINIT/SENTER, "the late launch operation requires all but
+     * one of the processors to be in a special idle state" (Section 4.2).
+     * @{ */
+    bool idleForLateLaunch() const { return idleForLateLaunch_; }
+    void setIdleForLateLaunch(bool idle) { idleForLateLaunch_ = idle; }
+    /** @} */
+
+    /** @name PAL preemption timer (recommendation, Section 5.3.1). @{ */
+    void armPreemptionTimer(Duration budget) { preemptionBudget_ = budget; }
+    void disarmPreemptionTimer() { preemptionBudget_.reset(); }
+    std::optional<Duration> preemptionBudget() const
+    {
+        return preemptionBudget_;
+    }
+    /** @} */
+
+    /**
+     * Model the core running untrusted/legacy instructions for @p d of
+     * virtual time; returns the abstract work units retired (one unit per
+     * nanosecond-GHz) so throughput experiments can count progress.
+     */
+    std::uint64_t runLegacyWork(Duration d);
+
+    /** Total legacy work units retired on this core. */
+    std::uint64_t legacyWorkDone() const { return legacyWork_; }
+
+  private:
+    CpuId id_;
+    double freqGhz_;
+    Timeline clock_;
+    int ring_ = 0;
+    bool interruptsEnabled_ = true;
+    bool idleForLateLaunch_ = false;
+    std::uint64_t secureClears_ = 0;
+    std::uint64_t legacyWork_ = 0;
+    std::optional<Duration> preemptionBudget_;
+};
+
+} // namespace mintcb::machine
+
+#endif // MINTCB_MACHINE_CPU_HH

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * DMA device (header-only logic; this file anchors the translation unit).
+ */
+
+#include "machine/device.hh"
+
+namespace mintcb::machine
+{
+
+// All members are defined inline in the header.
+
+} // namespace mintcb::machine

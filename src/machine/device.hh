@@ -1,0 +1,70 @@
+/**
+ * @file
+ * A DMA-capable peripheral.
+ *
+ * The threat model (Section 3.2) grants the attacker "add-on hardware such
+ * as a DMA-capable Ethernet card with access to the PCI bus". This device
+ * issues DMA reads/writes through the memory controller; the DEV / ACL
+ * protections must stop it from touching PAL memory.
+ */
+
+#ifndef MINTCB_MACHINE_DEVICE_HH
+#define MINTCB_MACHINE_DEVICE_HH
+
+#include <string>
+
+#include "common/result.hh"
+#include "common/types.hh"
+#include "machine/memctrl.hh"
+
+namespace mintcb::machine
+{
+
+/** A (possibly attacker-controlled) bus-mastering device. */
+class DmaDevice
+{
+  public:
+    DmaDevice(std::string name, MemoryController &memctrl)
+        : name_(std::move(name)), memctrl_(memctrl)
+    {
+    }
+
+    const std::string &name() const { return name_; }
+
+    /** Attempt a DMA read of @p len bytes at @p addr. */
+    Result<Bytes>
+    dmaRead(PhysAddr addr, std::uint64_t len)
+    {
+        ++attempts_;
+        auto r = memctrl_.read(Agent::forDevice(), addr, len);
+        if (!r.ok())
+            ++blocked_;
+        return r;
+    }
+
+    /** Attempt a DMA write of @p data at @p addr. */
+    Status
+    dmaWrite(PhysAddr addr, const Bytes &data)
+    {
+        ++attempts_;
+        auto s = memctrl_.write(Agent::forDevice(), addr, data);
+        if (!s.ok())
+            ++blocked_;
+        return s;
+    }
+
+    /** @name Attack accounting (test observability). @{ */
+    std::uint64_t attempts() const { return attempts_; }
+    std::uint64_t blocked() const { return blocked_; }
+    /** @} */
+
+  private:
+    std::string name_;
+    MemoryController &memctrl_;
+    std::uint64_t attempts_ = 0;
+    std::uint64_t blocked_ = 0;
+};
+
+} // namespace mintcb::machine
+
+#endif // MINTCB_MACHINE_DEVICE_HH

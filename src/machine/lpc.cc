@@ -1,0 +1,13 @@
+/**
+ * @file
+ * LPC bus (header-only logic; this file anchors the translation unit).
+ */
+
+#include "machine/lpc.hh"
+
+namespace mintcb::machine
+{
+
+// All members are defined inline in the header.
+
+} // namespace mintcb::machine

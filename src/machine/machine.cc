@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Machine assembly.
+ */
+
+#include "machine/machine.hh"
+
+#include <algorithm>
+
+namespace mintcb::machine
+{
+
+Machine::Machine(const PlatformSpec &spec, std::uint64_t seed)
+    : spec_(spec), memory_(spec.memoryPages), memctrl_(memory_),
+      lpc_(LpcBus::calibrated()), nic_("attacker-nic", memctrl_),
+      rng_(0x6d616368 ^ seed)
+{
+    cpus_.reserve(spec.cpuCount);
+    for (CpuId i = 0; i < spec.cpuCount; ++i)
+        cpus_.emplace_back(i, spec.freqGhz);
+    if (spec.hasTpm)
+        tpm_ = std::make_unique<tpm::Tpm>(spec.tpmVendor, seed);
+}
+
+tpm::Tpm &
+Machine::tpmAs(CpuId cpu_id)
+{
+    assert(tpm_ && "platform has no TPM");
+    tpm_->attachClock(&cpu(cpu_id).clock());
+    return *tpm_;
+}
+
+TimePoint
+Machine::now() const
+{
+    TimePoint latest;
+    for (const Cpu &c : cpus_)
+        latest = std::max(latest, c.now());
+    return latest;
+}
+
+void
+Machine::syncAllCpus()
+{
+    const TimePoint latest = now();
+    for (Cpu &c : cpus_)
+        c.clock().syncTo(latest);
+}
+
+void
+Machine::reboot()
+{
+    memctrl_.reset();
+    if (tpm_)
+        tpm_->reboot();
+    for (Cpu &c : cpus_) {
+        c.clock().reset();
+        c.setRing(0);
+        c.setInterruptsEnabled(true);
+        c.setIdleForLateLaunch(false);
+        c.disarmPreemptionTimer();
+    }
+}
+
+} // namespace mintcb::machine

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The assembled platform: CPUs + memory + north bridge + LPC + TPM.
+ *
+ * This is the substrate everything else runs on. The simulation is
+ * single-threaded; concurrency is modeled with per-core virtual clocks
+ * that the latelaunch / sea / rec layers advance and synchronize.
+ */
+
+#ifndef MINTCB_MACHINE_MACHINE_HH
+#define MINTCB_MACHINE_MACHINE_HH
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "machine/cpu.hh"
+#include "machine/device.hh"
+#include "machine/lpc.hh"
+#include "machine/memctrl.hh"
+#include "machine/memory.hh"
+#include "machine/platform.hh"
+#include "tpm/tpm.hh"
+
+namespace mintcb::machine
+{
+
+/** A complete simulated computer. */
+class Machine
+{
+  public:
+    /** Build from a spec; @p seed diversifies the TPM identity and all
+     *  derived randomness. */
+    explicit Machine(const PlatformSpec &spec, std::uint64_t seed = 0);
+
+    /** Build one of the paper's preset platforms. */
+    static Machine
+    forPlatform(PlatformId id, std::uint64_t seed = 0)
+    {
+        return Machine(PlatformSpec::forPlatform(id), seed);
+    }
+
+    const PlatformSpec &spec() const { return spec_; }
+
+    /** @name Components. @{ */
+    std::size_t cpuCount() const { return cpus_.size(); }
+    Cpu &cpu(CpuId id) { return cpus_.at(id); }
+    const Cpu &cpu(CpuId id) const { return cpus_.at(id); }
+    PhysicalMemory &memory() { return memory_; }
+    MemoryController &memctrl() { return memctrl_; }
+    LpcBus &lpc() { return lpc_; }
+    DmaDevice &nic() { return nic_; }
+    Rng &rng() { return rng_; }
+    /** @} */
+
+    /** @name TPM access. @{ */
+    bool hasTpm() const { return tpm_ != nullptr; }
+    /** The TPM, with op latency charged to @p cpu's clock (the invoking
+     *  core stalls for the command duration). Asserts hasTpm(). */
+    tpm::Tpm &tpmAs(CpuId cpu);
+    /** The TPM without re-targeting its clock (state inspection). */
+    tpm::Tpm &
+    tpm()
+    {
+        assert(tpm_ && "platform has no TPM");
+        return *tpm_;
+    }
+    /** @} */
+
+    /** @name Time. @{ */
+    /** Platform time: the furthest-ahead CPU clock. */
+    TimePoint now() const;
+    /** Barrier: drag every CPU clock forward to the platform time (used
+     *  when an operation halts the whole machine, e.g. SKINIT). */
+    void syncAllCpus();
+    /** @} */
+
+    /** Convenience: memory-controller-mediated access as a given CPU. */
+    Result<Bytes>
+    readAs(CpuId cpu, PhysAddr addr, std::uint64_t len)
+    {
+        return memctrl_.read(Agent::forCpu(cpu), addr, len);
+    }
+    Status
+    writeAs(CpuId cpu, PhysAddr addr, const Bytes &data)
+    {
+        return memctrl_.write(Agent::forCpu(cpu), addr, data);
+    }
+
+    /** Power cycle: PCRs to boot values, protections cleared, clocks
+     *  reset. RAM contents survive (warm reboot). */
+    void reboot();
+
+  private:
+    PlatformSpec spec_;
+    PhysicalMemory memory_;
+    MemoryController memctrl_;
+    LpcBus lpc_;
+    std::vector<Cpu> cpus_;
+    std::unique_ptr<tpm::Tpm> tpm_;
+    DmaDevice nic_;
+    Rng rng_;
+};
+
+} // namespace mintcb::machine
+
+#endif // MINTCB_MACHINE_MACHINE_HH

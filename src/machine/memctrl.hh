@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The north-bridge memory controller.
+ *
+ * Two protection mechanisms live here:
+ *
+ *  1. Today's hardware: the Device Exclusion Vector (AMD) / Memory
+ *     Protection Table (Intel) -- a bit per page that blocks DMA-capable
+ *     devices (Section 2.2.1). CPUs are NOT restricted by the DEV.
+ *
+ *  2. The paper's recommendation (Section 5.2): an access-control table
+ *     with one entry per physical page recording which CPU, if any, may
+ *     touch the page. Pages move through the Figure 5(b) state machine:
+ *
+ *         ALL --(SLAUNCH)--> CPUi --(suspend)--> NONE
+ *          ^                   |                   |
+ *          +----(SFREE/SKILL)--+<----(resume)------+
+ *
+ * Every read, write, and DMA access in the simulation is mediated by this
+ * class, so isolation is enforced, not merely asserted.
+ */
+
+#ifndef MINTCB_MACHINE_MEMCTRL_HH
+#define MINTCB_MACHINE_MEMCTRL_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.hh"
+#include "common/types.hh"
+#include "common/counters.hh"
+#include "machine/memory.hh"
+
+namespace mintcb::machine
+{
+
+/** Originator of a memory request (CPUs carry their agent id; devices are
+ *  DMA requestors behind the DEV). */
+struct Agent
+{
+    enum class Kind
+    {
+        cpu,
+        dmaDevice,
+    };
+
+    Kind kind = Kind::cpu;
+    CpuId cpu = 0; //!< meaningful for Kind::cpu
+
+    static Agent
+    forCpu(CpuId id)
+    {
+        return {Kind::cpu, id};
+    }
+    static Agent
+    forDevice()
+    {
+        return {Kind::dmaDevice, 0};
+    }
+};
+
+/** Per-page access-control state (Figure 5(b)). */
+enum class PageState
+{
+    all,  //!< accessible to every CPU and DMA device (default)
+    owned,//!< accessible only to the owning CPU (a PAL is executing)
+    none, //!< accessible to nothing (the owning PAL is suspended)
+};
+
+/** The north bridge. */
+class MemoryController
+{
+  public:
+    /** Mediates access to @p memory (not owned). */
+    explicit MemoryController(PhysicalMemory &memory);
+
+    /** @name Mediated access. @{ */
+    Result<Bytes> read(Agent agent, PhysAddr addr, std::uint64_t len) const;
+    Status write(Agent agent, PhysAddr addr, const Bytes &data);
+    /** @} */
+
+    /** @name DEV / MPT (today's hardware). @{ */
+    /** Mark pages DMA-protected (set during SKINIT for the SLB region). */
+    Status devProtect(PageNum first, std::uint64_t count);
+    /** Clear DMA protection. */
+    Status devUnprotect(PageNum first, std::uint64_t count);
+    bool devProtected(PageNum page) const;
+    /** @} */
+
+    /** @name Recommended access-control table (Section 5.2). @{ */
+    /**
+     * ALL/NONE -> CPUi for every page in @p pages. Fails without change
+     * if any page is owned by another CPU or (for @p from_none = false)
+     * not in ALL. SLAUNCH-on-launch uses from_none = false; resume allows
+     * NONE -> CPUi.
+     */
+    Status aclAcquire(const std::vector<PageNum> &pages, CpuId cpu);
+    /** CPUi -> NONE (PAL suspend). Fails if @p cpu is not an owner. */
+    Status aclSuspend(const std::vector<PageNum> &pages, CpuId cpu);
+    /** CPUi/NONE -> ALL (SFREE / SKILL). */
+    Status aclRelease(const std::vector<PageNum> &pages);
+    /**
+     * Multicore-PAL join (Section 6): add @p joining_cpu as a co-owner of
+     * pages currently owned (in part) by @p existing_cpu.
+     */
+    Status aclJoin(const std::vector<PageNum> &pages, CpuId existing_cpu,
+                   CpuId joining_cpu);
+    PageState pageState(PageNum page) const;
+    /** Lowest-numbered owner when the page is owned/none; nullopt for
+     *  ALL pages. */
+    std::optional<CpuId> pageOwner(PageNum page) const;
+    /** Bitmask of co-owning CPUs (bit i = CPU i); 0 for ALL pages. */
+    std::uint64_t pageOwnerMask(PageNum page) const;
+    /** @} */
+
+    /** Number of pages under management. */
+    std::uint64_t pages() const { return acl_.size(); }
+
+    /** Access/denial counters (gem5-style observability). */
+    const MemCtrlStats &stats() const { return stats_; }
+
+    /** Reset every protection (platform reboot). */
+    void reset();
+
+  private:
+    struct AclEntry
+    {
+        PageState state = PageState::all;
+        std::uint64_t ownerMask = 0; //!< bit i set => CPU i co-owns
+    };
+
+    /** Can @p agent touch @p page right now? */
+    Status check(Agent agent, PageNum page) const;
+
+    PhysicalMemory &memory_;
+    std::vector<bool> dev_;
+    std::vector<AclEntry> acl_;
+    mutable MemCtrlStats stats_;
+};
+
+} // namespace mintcb::machine
+
+#endif // MINTCB_MACHINE_MEMCTRL_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Physical memory implementation.
+ */
+
+#include "machine/memory.hh"
+
+#include <algorithm>
+
+namespace mintcb::machine
+{
+
+PhysicalMemory::PhysicalMemory(std::uint64_t pages)
+    : pages_(pages), data_(pages * pageSize, 0)
+{
+}
+
+bool
+PhysicalMemory::contains(PhysAddr addr, std::uint64_t len) const
+{
+    return addr <= sizeBytes() && len <= sizeBytes() - addr;
+}
+
+Result<Bytes>
+PhysicalMemory::read(PhysAddr addr, std::uint64_t len) const
+{
+    if (!contains(addr, len))
+        return Error(Errc::invalidArgument, "physical read out of range");
+    return Bytes(data_.begin() + static_cast<std::ptrdiff_t>(addr),
+                 data_.begin() + static_cast<std::ptrdiff_t>(addr + len));
+}
+
+Status
+PhysicalMemory::write(PhysAddr addr, const Bytes &data)
+{
+    if (!contains(addr, data.size()))
+        return Error(Errc::invalidArgument, "physical write out of range");
+    std::copy(data.begin(), data.end(),
+              data_.begin() + static_cast<std::ptrdiff_t>(addr));
+    return okStatus();
+}
+
+Status
+PhysicalMemory::zeroPage(PageNum page)
+{
+    if (page >= pages_)
+        return Error(Errc::invalidArgument, "page out of range");
+    std::fill_n(data_.begin() +
+                    static_cast<std::ptrdiff_t>(page * pageSize),
+                pageSize, 0);
+    return okStatus();
+}
+
+} // namespace mintcb::machine

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Raw physical memory for the simulated platform.
+ *
+ * Storage only; all access-control decisions live in the MemoryController
+ * (the north bridge), exactly as in the paper's minimal-TCB picture
+ * (Figure 1: CPU + RAM + the interface between them).
+ */
+
+#ifndef MINTCB_MACHINE_MEMORY_HH
+#define MINTCB_MACHINE_MEMORY_HH
+
+#include <cstdint>
+
+#include "common/result.hh"
+#include "common/types.hh"
+
+namespace mintcb::machine
+{
+
+/** Byte-addressable physical memory with page-granular helpers. */
+class PhysicalMemory
+{
+  public:
+    /** @p pages 4 KB pages of zeroed RAM. */
+    explicit PhysicalMemory(std::uint64_t pages);
+
+    std::uint64_t pages() const { return pages_; }
+    std::uint64_t sizeBytes() const { return pages_ * pageSize; }
+
+    /** True when [addr, addr+len) lies inside RAM. */
+    bool contains(PhysAddr addr, std::uint64_t len) const;
+
+    /** Read @p len bytes at @p addr (bounds-checked). */
+    Result<Bytes> read(PhysAddr addr, std::uint64_t len) const;
+
+    /** Write @p data at @p addr (bounds-checked). */
+    Status write(PhysAddr addr, const Bytes &data);
+
+    /** Zero an entire page (SKILL's secure erase). */
+    Status zeroPage(PageNum page);
+
+  private:
+    std::uint64_t pages_;
+    Bytes data_;
+};
+
+} // namespace mintcb::machine
+
+#endif // MINTCB_MACHINE_MEMORY_HH

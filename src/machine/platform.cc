@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Platform preset definitions.
+ *
+ * Calibration notes:
+ *  - cpuStateInit: Table 1's 0 KB rows -- dc5750 shows 0.00 ms, Tyan shows
+ *    0.01 ms, so reaching the protected CPU state costs single-digit
+ *    microseconds ("placing the CPU in an appropriate state introduces
+ *    relatively little overhead (less than 10 us)").
+ *  - Intel TEP: SENTER(0 KB) = 26.39 ms = ACMod transfer+hash over LPC
+ *    (10.2 KB at the TEP Atmel's long-wait rate) + chipset signature
+ *    verification + hash-sequence bookkeeping; the 0.1244 ms/KB slope is
+ *    the ACMod hashing the MLE on the main CPU.
+ */
+
+#include "machine/platform.hh"
+
+namespace mintcb::machine
+{
+
+PlatformSpec
+PlatformSpec::forPlatform(PlatformId id)
+{
+    PlatformSpec s;
+    s.id = id;
+    s.memoryPages = 4096; // 16 MB of simulated RAM is ample for PALs
+    s.maxSlbBytes = 64 * 1024;
+    s.mptBytes = 512 * 1024;
+    s.acmodBytes = 0;
+    s.acmodSigVerify = Duration::zero();
+    // SHA-1 throughput of a 2 GHz-class 2007 CPU, from the Table 1 Intel
+    // slope; AMD machines use it for the footnote-4 two-part PAL trick.
+    s.cpuHashPerByte = Duration::nanos(7.96e6 / 65536.0);
+    s.microarchFlush = Duration::nanos(80);
+
+    switch (id) {
+      case PlatformId::hpDc5750:
+        s.name = "HP dc5750 (2.2 GHz AMD Athlon64 X2, Broadcom TPM)";
+        s.cpuVendor = CpuVendor::amd;
+        s.cpuCount = 2;
+        s.freqGhz = 2.2;
+        s.hasTpm = true;
+        s.tpmVendor = tpm::TpmVendor::broadcom;
+        s.cpuStateInit = Duration::micros(3);
+        break;
+      case PlatformId::tyanN3600R:
+        s.name = "Tyan n3600R (2x 1.8 GHz dual-core Opteron, no TPM)";
+        s.cpuVendor = CpuVendor::amd;
+        s.cpuCount = 4;
+        s.freqGhz = 1.8;
+        s.hasTpm = false;
+        s.tpmVendor = tpm::TpmVendor::ideal;
+        s.cpuStateInit = Duration::micros(10);
+        break;
+      case PlatformId::intelTep:
+        s.name = "MPC ClientPro 385 TEP (2.66 GHz Core 2 Duo, Atmel TPM)";
+        s.cpuVendor = CpuVendor::intel;
+        s.cpuCount = 2;
+        s.freqGhz = 2.66;
+        s.hasTpm = true;
+        s.tpmVendor = tpm::TpmVendor::atmelTep;
+        s.cpuStateInit = Duration::micros(8);
+        s.acmodBytes = 10444; // "just over 10 KB" (Section 4.3.2)
+        s.acmodSigVerify = Duration::millis(1.1);
+        // Table 1 slope: (34.35 - 26.39) ms / 64 KB.
+        s.cpuHashPerByte = Duration::nanos(7.96e6 / 65536.0);
+        break;
+      case PlatformId::lenovoT60:
+        s.name = "Lenovo T60 (Intel, Atmel TPM)";
+        s.cpuVendor = CpuVendor::intel;
+        s.cpuCount = 2;
+        s.freqGhz = 2.0;
+        s.hasTpm = true;
+        s.tpmVendor = tpm::TpmVendor::atmelT60;
+        s.cpuStateInit = Duration::micros(8);
+        s.acmodBytes = 10444;
+        s.acmodSigVerify = Duration::millis(1.1);
+        s.cpuHashPerByte = Duration::nanos(7.96e6 / 65536.0);
+        break;
+      case PlatformId::amdInfineonWs:
+        s.name = "AMD workstation (Infineon TPM)";
+        s.cpuVendor = CpuVendor::amd;
+        s.cpuCount = 2;
+        s.freqGhz = 2.2;
+        s.hasTpm = true;
+        s.tpmVendor = tpm::TpmVendor::infineon;
+        s.cpuStateInit = Duration::micros(3);
+        break;
+      case PlatformId::recTestbed:
+        s.name = "Recommendation testbed (4-core AMD, Broadcom TPM)";
+        s.cpuVendor = CpuVendor::amd;
+        s.cpuCount = 4;
+        s.freqGhz = 2.2;
+        s.hasTpm = true;
+        s.tpmVendor = tpm::TpmVendor::broadcom;
+        s.cpuStateInit = Duration::micros(3);
+        break;
+    }
+    s.vmTiming = VmSwitchTiming::forVendor(s.cpuVendor);
+    return s;
+}
+
+} // namespace mintcb::machine

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Platform presets: the five machines benchmarked in the paper.
+ *
+ * Sections 4.2-4.3 measure on an HP dc5750 (AMD + Broadcom TPM, the
+ * primary machine), a Tyan n3600R (AMD, TPM-less -- isolates SKINIT from
+ * TPM overhead), an MPC ClientPro 385 "Intel TEP" (Core 2 Duo + Atmel
+ * TPM), a Lenovo T60 (Atmel TPM), and an AMD workstation (Infineon TPM).
+ */
+
+#ifndef MINTCB_MACHINE_PLATFORM_HH
+#define MINTCB_MACHINE_PLATFORM_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/simtime.hh"
+#include "machine/vmswitch.hh"
+#include "tpm/timing.hh"
+
+namespace mintcb::machine
+{
+
+/** The benchmarked platforms plus a multicore recommendation testbed. */
+enum class PlatformId
+{
+    hpDc5750,       //!< 2.2 GHz AMD Athlon64 X2, Broadcom v1.2 TPM
+    tyanN3600R,     //!< 2x 1.8 GHz dual-core Opteron, no TPM
+    intelTep,       //!< 2.66 GHz Core 2 Duo, Atmel v1.2 TPM (TXT TEP)
+    lenovoT60,      //!< T60 laptop, Atmel v1.2 TPM (TPM benchmarks only)
+    amdInfineonWs,  //!< AMD workstation, Infineon v1.2 TPM
+    recTestbed,     //!< 4-core AMD machine for recommended-architecture
+                    //!< concurrency experiments (Figure 4 style)
+};
+
+/** Everything needed to instantiate a Machine. */
+struct PlatformSpec
+{
+    PlatformId id;
+    std::string name;
+
+    CpuVendor cpuVendor;
+    std::uint32_t cpuCount;
+    double freqGhz;
+    std::uint64_t memoryPages; //!< simulated RAM size (4 KB pages)
+
+    bool hasTpm;
+    tpm::TpmVendor tpmVendor; //!< meaningful when hasTpm
+
+    /** @name Late-launch parameters. @{ */
+    std::uint32_t maxSlbBytes;  //!< DEV-covered SLB limit (AMD: 64 KB)
+    std::uint32_t mptBytes;     //!< Intel MPT default coverage (512 KB)
+    Duration cpuStateInit;      //!< cost to reach the trusted CPU state
+    /** @} */
+
+    /** @name Intel SENTER specifics (ignored on AMD). @{ */
+    std::uint32_t acmodBytes;   //!< Authenticated Code Module size
+    Duration acmodSigVerify;    //!< chipset RSA verification of the ACMod
+    Duration cpuHashPerByte;    //!< ACMod hashing the MLE on the main CPU
+    /** @} */
+
+    VmSwitchTiming vmTiming;
+
+    /** Cost to flush leak-capable microarchitectural state on a secure
+     *  context switch (cache lines etc.; folded into the sub-us switch). */
+    Duration microarchFlush;
+
+    /** Preset for one of the paper's machines. */
+    static PlatformSpec forPlatform(PlatformId id);
+};
+
+} // namespace mintcb::machine
+
+#endif // MINTCB_MACHINE_PLATFORM_HH

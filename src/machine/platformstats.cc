@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Stats report renderer.
+ */
+
+#include "machine/platformstats.hh"
+
+#include <cstdio>
+
+#include "machine/machine.hh"
+
+namespace mintcb::machine
+{
+
+std::string
+statsReport(Machine &machine)
+{
+    std::string out;
+    char line[160];
+    auto emit = [&out, &line]() { out += line; };
+
+    std::snprintf(line, sizeof(line), "=== platform stats: %s ===\n",
+                  machine.spec().name.c_str());
+    emit();
+    std::snprintf(line, sizeof(line), "sim time: %s\n",
+                  machine.now().sinceEpoch().str().c_str());
+    emit();
+
+    for (CpuId c = 0; c < machine.cpuCount(); ++c) {
+        const Cpu &cpu = machine.cpu(c);
+        std::snprintf(line, sizeof(line),
+                      "cpu%u: t=%s legacy_work=%llu secure_clears=%llu\n",
+                      c, cpu.now().sinceEpoch().str().c_str(),
+                      static_cast<unsigned long long>(
+                          cpu.legacyWorkDone()),
+                      static_cast<unsigned long long>(
+                          cpu.secureClears()));
+        emit();
+    }
+
+    std::snprintf(line, sizeof(line), "lpc: bytes_moved=%llu\n",
+                  static_cast<unsigned long long>(
+                      machine.lpc().bytesMoved()));
+    emit();
+
+    const MemCtrlStats &mc = machine.memctrl().stats();
+    std::snprintf(line, sizeof(line),
+                  "memctrl: cpu_rd=%llu cpu_wr=%llu dma_rd=%llu "
+                  "dma_wr=%llu cpu_denied=%llu dma_denied=%llu "
+                  "acl_transitions=%llu\n",
+                  static_cast<unsigned long long>(mc.cpuReads),
+                  static_cast<unsigned long long>(mc.cpuWrites),
+                  static_cast<unsigned long long>(mc.dmaReads),
+                  static_cast<unsigned long long>(mc.dmaWrites),
+                  static_cast<unsigned long long>(mc.cpuDenials),
+                  static_cast<unsigned long long>(mc.dmaDenials),
+                  static_cast<unsigned long long>(mc.aclTransitions));
+    emit();
+
+    if (machine.hasTpm()) {
+        const TpmStats &t = machine.tpm().stats();
+        std::snprintf(line, sizeof(line),
+                      "tpm(%s): extend=%llu read=%llu seal=%llu "
+                      "unseal=%llu quote=%llu getrandom=%llu "
+                      "hash_seq=%llu denied=%llu\n",
+                      tpm::vendorName(machine.tpm().vendor()),
+                      static_cast<unsigned long long>(t.extends),
+                      static_cast<unsigned long long>(t.reads),
+                      static_cast<unsigned long long>(t.seals),
+                      static_cast<unsigned long long>(t.unseals),
+                      static_cast<unsigned long long>(t.quotes),
+                      static_cast<unsigned long long>(t.getRandoms),
+                      static_cast<unsigned long long>(t.hashSequences),
+                      static_cast<unsigned long long>(t.deniedCommands));
+        emit();
+    } else {
+        out += "tpm: (absent)\n";
+    }
+    return out;
+}
+
+} // namespace mintcb::machine

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Platform-wide statistics report.
+ *
+ * Renders the counters every component collects (common/counters.hh)
+ * into one gem5-style summary: per-CPU work, LPC traffic, TPM command
+ * mix, protection activity.
+ */
+
+#ifndef MINTCB_MACHINE_PLATFORMSTATS_HH
+#define MINTCB_MACHINE_PLATFORMSTATS_HH
+
+#include <string>
+
+#include "common/counters.hh"
+
+namespace mintcb::machine
+{
+
+class Machine;
+
+/**
+ * Render a human-readable stats report for @p machine.
+ */
+std::string statsReport(Machine &machine);
+
+} // namespace mintcb::machine
+
+#endif // MINTCB_MACHINE_PLATFORMSTATS_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Table 2 world-switch calibration.
+ */
+
+#include "machine/vmswitch.hh"
+
+#include <algorithm>
+
+namespace mintcb::machine
+{
+
+const char *
+cpuVendorName(CpuVendor v)
+{
+    switch (v) {
+      case CpuVendor::amd:
+        return "AMD SVM";
+      case CpuVendor::intel:
+        return "Intel TXT";
+    }
+    return "unknown";
+}
+
+VmSwitchTiming
+VmSwitchTiming::forVendor(CpuVendor vendor)
+{
+    VmSwitchTiming t;
+    switch (vendor) {
+      case CpuVendor::amd:
+        // Table 2: Tyan n3600R, 1.8 GHz Opteron.
+        t.enterMean = Duration::micros(0.5580);
+        t.enterStdev = Duration::micros(0.0028);
+        t.exitMean = Duration::micros(0.5193);
+        t.exitStdev = Duration::micros(0.0036);
+        break;
+      case CpuVendor::intel:
+        // Table 2: MPC ClientPro 385, 2.66 GHz Core 2 Duo.
+        t.enterMean = Duration::micros(0.4457);
+        t.enterStdev = Duration::micros(0.0029);
+        t.exitMean = Duration::micros(0.4491);
+        t.exitStdev = Duration::micros(0.0015);
+        break;
+    }
+    return t;
+}
+
+namespace
+{
+
+Duration
+sampleAround(Duration mean, Duration stdev, Rng &rng)
+{
+    const double sampled =
+        mean.toNanos() + stdev.toNanos() * rng.nextGaussian();
+    return Duration::nanos(std::max(sampled, 0.0));
+}
+
+} // namespace
+
+Duration
+VmSwitchTiming::sampleEnter(Rng &rng) const
+{
+    return sampleAround(enterMean, enterStdev, rng);
+}
+
+Duration
+VmSwitchTiming::sampleExit(Rng &rng) const
+{
+    return sampleAround(exitMean, exitStdev, rng);
+}
+
+} // namespace mintcb::machine

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Hardware-virtualization world-switch timing (paper Table 2).
+ *
+ * The recommended architecture's claim rests on this measurement: "VM
+ * entry and exit overheads are on the order of half a microsecond"
+ * (Section 5.3.2), versus the 200-1000 ms TPM-based context switch. The
+ * SLAUNCH context-switch path charges these costs.
+ */
+
+#ifndef MINTCB_MACHINE_VMSWITCH_HH
+#define MINTCB_MACHINE_VMSWITCH_HH
+
+#include "common/rng.hh"
+#include "common/simtime.hh"
+
+namespace mintcb::machine
+{
+
+/** CPU vendor, which selects the Table 2 row. */
+enum class CpuVendor
+{
+    amd,   //!< SVM: SKINIT, VMRUN/VMMCALL
+    intel, //!< TXT: SENTER (GETSEC leaf), VMRESUME/VMCALL
+};
+
+/** Printable vendor name. */
+const char *cpuVendorName(CpuVendor v);
+
+/** World-switch latency model with Table 2 means and standard deviations. */
+struct VmSwitchTiming
+{
+    Duration enterMean;  //!< VM Entry (resume a guest)
+    Duration enterStdev;
+    Duration exitMean;   //!< VM Exit (guest traps to host)
+    Duration exitStdev;
+
+    /** The calibrated Table 2 numbers for @p vendor. */
+    static VmSwitchTiming forVendor(CpuVendor vendor);
+
+    /** Sample one VM Entry latency. */
+    Duration sampleEnter(Rng &rng) const;
+    /** Sample one VM Exit latency. */
+    Duration sampleExit(Rng &rng) const;
+};
+
+} // namespace mintcb::machine
+
+#endif // MINTCB_MACHINE_VMSWITCH_HH

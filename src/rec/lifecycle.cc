@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Life-cycle transition table.
+ */
+
+#include "rec/lifecycle.hh"
+
+#include <string>
+
+namespace mintcb::rec
+{
+
+const char *
+palStateName(PalState s)
+{
+    switch (s) {
+      case PalState::start:
+        return "Start";
+      case PalState::execute:
+        return "Execute";
+      case PalState::suspend:
+        return "Suspend";
+      case PalState::done:
+        return "Done";
+    }
+    return "unknown";
+}
+
+Status
+checkTransition(PalState from, PalState to)
+{
+    bool ok = false;
+    switch (from) {
+      case PalState::start:
+        ok = to == PalState::execute; // SLAUNCH with MF=0
+        break;
+      case PalState::execute:
+        // SYIELD/preempt -> Suspend; SFREE -> Done.
+        ok = to == PalState::suspend || to == PalState::done;
+        break;
+      case PalState::suspend:
+        // SLAUNCH with MF=1 -> Execute; SKILL -> Done.
+        ok = to == PalState::execute || to == PalState::done;
+        break;
+      case PalState::done:
+        ok = false; // terminal
+        break;
+    }
+    if (ok)
+        return okStatus();
+    return Error(Errc::failedPrecondition,
+                 std::string("illegal PAL life-cycle transition ") +
+                     palStateName(from) + " -> " + palStateName(to));
+}
+
+} // namespace mintcb::rec

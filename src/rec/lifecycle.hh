@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The PAL life cycle (paper Figure 6).
+ *
+ *   Start --SLAUNCH(MF=0)--> Protect --> Measure --> Execute
+ *   Execute --preempt/SYIELD--> Suspend --SLAUNCH(MF=1)--> (Protect) Execute
+ *   Execute --SFREE--> Done        Suspend --SKILL--> Done
+ *
+ * The simulation collapses Protect/Measure into the SLAUNCH call but
+ * validates every externally visible transition against this machine, so
+ * illegal sequences (resuming a running PAL, SFREE from outside, SKILL
+ * on a running PAL) fail exactly where the hardware would refuse them.
+ */
+
+#ifndef MINTCB_REC_LIFECYCLE_HH
+#define MINTCB_REC_LIFECYCLE_HH
+
+#include "common/result.hh"
+
+namespace mintcb::rec
+{
+
+/** States of Figure 6. */
+enum class PalState
+{
+    start,   //!< SECB allocated, never launched
+    execute, //!< running on some CPU with protections up
+    suspend, //!< context-switched out; pages in NONE
+    done,    //!< exited via SFREE or SKILL; resources returned
+};
+
+/** Printable state name. */
+const char *palStateName(PalState s);
+
+/** Validate a life-cycle edge; failedPrecondition when Figure 6 has no
+ *  such arrow. */
+Status checkTransition(PalState from, PalState to);
+
+} // namespace mintcb::rec
+
+#endif // MINTCB_REC_LIFECYCLE_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * SECB allocation helper (the untrusted OS's side of Section 5.6's
+ * "Launch: Protect and Measure" preamble).
+ */
+
+#include "rec/secb.hh"
+
+#include "machine/machine.hh"
+#include "sea/pal.hh"
+
+namespace mintcb::rec
+{
+
+Result<Secb>
+allocateSecb(machine::Machine &machine, const sea::Pal &pal,
+             PhysAddr base, std::size_t data_pages,
+             Duration preemption_timer)
+{
+    if (base % pageSize != 0) {
+        return Error(Errc::invalidArgument,
+                     "SECB memory must be page-aligned");
+    }
+    const Bytes image = pal.slbImage();
+    if (auto s = machine.writeAs(0, base, image); !s.ok())
+        return s.error();
+
+    Secb secb;
+    secb.palName = pal.name();
+    secb.base = base;
+    secb.preemptionTimer = preemption_timer;
+    const std::uint64_t image_pages = pagesFor(image.size());
+    for (std::uint64_t i = 0; i < image_pages + data_pages; ++i)
+        secb.pages.push_back(pageOf(base) + i);
+    return secb;
+}
+
+} // namespace mintcb::rec

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Secure-execution PCRs (paper Section 5.4).
+ *
+ * Today's TPM has one PCR 17; concurrent PALs need one measurement chain
+ * each. sePCRs are extra resettable PCRs with a three-state life cycle:
+ *
+ *     Free --(SLAUNCH allocates)--> Exclusive --(SFREE)--> Quote
+ *      ^                                                     |
+ *      +------------------(TPM_SEPCR_Free / quote)-----------+
+ *
+ * While Exclusive, only the bound PAL (identified by the CPU-held handle)
+ * may Extend/Seal/Unseal against it; TPM_Quote over a sePCR is reserved
+ * for the Quote state so *untrusted* code can collect the attestation
+ * after exit (Section 5.4.3). Sealing binds to the sePCR *value*, not
+ * the handle index, so a PAL re-launched into a different sePCR can still
+ * unseal its state (Challenge 4, Section 5.4.4).
+ */
+
+#ifndef MINTCB_REC_SEPCR_HH
+#define MINTCB_REC_SEPCR_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.hh"
+#include "rec/secb.hh"
+#include "tpm/tpm.hh"
+
+namespace mintcb::rec
+{
+
+/** The Figure-like states of one sePCR. */
+enum class SePcrState
+{
+    free,      //!< available for allocation by SLAUNCH
+    exclusive, //!< bound to a live PAL
+    quote,     //!< PAL exited; untrusted code may quote, then free
+};
+
+/** Printable state name. */
+const char *sePcrStateName(SePcrState s);
+
+/**
+ * The sePCR bank grafted onto a v1.2 TPM. All mutating entry points take
+ * the invoking locality and/or the caller's bound handle; enforcement is
+ * real (wrong caller => permissionDenied, no state change).
+ */
+class SePcrTpm
+{
+  public:
+    /**
+     * Extend @p base with @p count sePCRs. "The number of sePCRs present
+     * in a TPM establishes the limit for the number of concurrently
+     * executing PALs" (Section 5.4).
+     */
+    SePcrTpm(tpm::Tpm &base, std::size_t count);
+
+    tpm::Tpm &base() { return base_; }
+    std::size_t count() const { return sePcrs_.size(); }
+    std::size_t freeCount() const;
+    SePcrState state(SePcrHandle h) const;
+    Result<Bytes> value(SePcrHandle h) const;
+
+    /**
+     * SLAUNCH's measurement leg: allocate a free sePCR, reset it to
+     * zero, and extend it with SHA-1(@p pal_image). Hardware locality
+     * only. Fails with resourceExhausted when no sePCR is Free
+     * (SLAUNCH must then return failure, Section 5.4.1).
+     */
+    Result<SePcrHandle> allocateAndMeasure(const Bytes &pal_image,
+                                           tpm::Locality locality);
+
+    /** @name PAL-exclusive operations (Section 5.4.2).
+     * @p caller is the handle held in the invoking CPU/SECB; it must
+     * equal @p h and the sePCR must be Exclusive.
+     * @{ */
+    Status extend(SePcrHandle h, const Bytes &digest, SePcrHandle caller);
+    Result<tpm::SealedBlob> seal(SePcrHandle h, const Bytes &payload,
+                                 SePcrHandle caller);
+    Result<Bytes> unseal(SePcrHandle h, const tpm::SealedBlob &blob,
+                         SePcrHandle caller);
+    /** @} */
+
+    /** SFREE's TPM leg: Exclusive -> Quote (hardware locality). */
+    Status transitionToQuote(SePcrHandle h, tpm::Locality locality);
+
+    /**
+     * TPM_Quote extended to accept a sePCR handle, invocable from
+     * untrusted code once the sePCR is in the Quote state.
+     */
+    Result<tpm::TpmQuote> quote(SePcrHandle h, const Bytes &nonce);
+
+    /** TPM_SEPCR_Free: Quote -> Free (untrusted code, after quoting). */
+    Status release(SePcrHandle h);
+
+    /**
+     * SKILL's TPM leg: extend the well-known kill marker, then free the
+     * sePCR (Section 5.5, hardware locality).
+     */
+    Status kill(SePcrHandle h, tpm::Locality locality);
+
+    /** The well-known constant SKILL extends (detectable by verifiers). */
+    static Bytes killMarker();
+
+  private:
+    struct SePcr
+    {
+        SePcrState state = SePcrState::free;
+        Bytes value;
+    };
+
+    Status requireExclusiveCaller(SePcrHandle h, SePcrHandle caller,
+                                  const char *op) const;
+
+    tpm::Tpm &base_;
+    std::vector<SePcr> sePcrs_;
+};
+
+} // namespace mintcb::rec
+
+#endif // MINTCB_REC_SEPCR_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * sePCR sets (paper Section 6).
+ *
+ * "It is a straightforward extension to group sePCRs into sets and bind
+ * a set of sePCRs to each PAL. ... Some [TPM operations] will be indexed
+ * by the sePCR set itself (e.g., SLAUNCH will need to cause all sePCRs
+ * in a set to reset), some by a subset of the sePCRs in a set (e.g.,
+ * TPM_Quote), and others by the individual sePCRs inside a set (e.g.,
+ * TPM_Extend)."
+ *
+ * A set gives one PAL several measurement chains: slot 0 conventionally
+ * holds the launch identity, further slots record inputs, outputs, or
+ * phase markers -- mirroring how PCR 17/18 split duties on Intel.
+ */
+
+#ifndef MINTCB_REC_SEPCR_SET_HH
+#define MINTCB_REC_SEPCR_SET_HH
+
+#include <vector>
+
+#include "rec/sepcr.hh"
+
+namespace mintcb::rec
+{
+
+/** Handle of an allocated sePCR set. */
+struct SePcrSetHandle
+{
+    std::vector<SePcrHandle> slots;
+
+    std::size_t size() const { return slots.size(); }
+    SePcrHandle slot(std::size_t i) const { return slots.at(i); }
+};
+
+/** Set-level operations layered on the sePCR bank. */
+class SePcrSets
+{
+  public:
+    explicit SePcrSets(SePcrTpm &bank) : bank_(bank) {}
+
+    /**
+     * SLAUNCH leg: allocate @p slots sePCRs atomically, reset them all,
+     * and extend slot 0 with the PAL measurement. Fails (allocating
+     * nothing) unless @p slots sePCRs are free.
+     */
+    Result<SePcrSetHandle> allocateAndMeasure(std::size_t slots,
+                                              const Bytes &pal_image,
+                                              tpm::Locality locality);
+
+    /** Extend one slot (indexed by the individual sePCR). */
+    Status extend(const SePcrSetHandle &set, std::size_t slot,
+                  const Bytes &digest);
+
+    /** SFREE leg: every slot moves Exclusive -> Quote. */
+    Status transitionToQuote(const SePcrSetHandle &set,
+                             tpm::Locality locality);
+
+    /**
+     * Quote a *subset* of the set's slots in one signature (Section 6:
+     * TPM_Quote indexed "by a subset of the sePCRs in a set").
+     */
+    Result<tpm::TpmQuote> quoteSubset(const SePcrSetHandle &set,
+                                      const std::vector<std::size_t> &slots,
+                                      const Bytes &nonce);
+
+    /** Free every slot after quoting. */
+    Status release(const SePcrSetHandle &set);
+
+    /** SKILL leg: kill every slot. */
+    Status kill(const SePcrSetHandle &set, tpm::Locality locality);
+
+  private:
+    SePcrTpm &bank_;
+};
+
+} // namespace mintcb::rec
+
+#endif // MINTCB_REC_SEPCR_SET_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * External verification for the recommended architecture.
+ *
+ * Under SLAUNCH a PAL's identity lives in a sePCR, quoted by untrusted
+ * code after exit (Section 5.4.3). The verifier's job is unchanged from
+ * SEA -- whitelist PAL measurements, check the AIK signature -- but the
+ * quote addresses sePCR handles (namespaced above the 24 ordinary PCRs)
+ * and a kill marker may appear in the chain if the PAL was SKILLed.
+ */
+
+#ifndef MINTCB_REC_VERIFIER_HH
+#define MINTCB_REC_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/result.hh"
+#include "crypto/rsa.hh"
+#include "rec/sepcr.hh"
+#include "tpm/tpm.hh"
+
+namespace mintcb::rec
+{
+
+/** Verdict of a successful sePCR-quote verification. */
+struct VerifiedSePcrLaunch
+{
+    std::string palName;   //!< whitelist label that matched
+    Bytes palMeasurement;  //!< the matched measurement
+};
+
+/** Verifier for sePCR quotes. */
+class SeVerifier
+{
+  public:
+    /** Whitelist a PAL by its measured SLB image. */
+    void trustPalImage(std::string name, const Bytes &pal_image);
+
+    /** Whitelist a raw SLB measurement. */
+    void trustMeasurement(std::string name, const Bytes &measurement);
+
+    /**
+     * Verify @p quote (produced by SePcrTpm::quote or
+     * SePcrSets::quoteSubset slot 0) against @p aik and
+     * @p expected_nonce. Rejects kill-marked and unknown identities.
+     */
+    Result<VerifiedSePcrLaunch> verify(const tpm::TpmQuote &quote,
+                                       const crypto::RsaPublicKey &aik,
+                                       const Bytes &expected_nonce) const;
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        Bytes measurement;
+        Bytes expectedValue; //!< extend(0, measurement)
+    };
+    std::vector<Entry> whitelist_;
+};
+
+} // namespace mintcb::rec
+
+#endif // MINTCB_REC_VERIFIER_HH

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Attestation implementation.
+ */
+
+#include "sea/attestation.hh"
+
+#include "common/bytebuf.hh"
+#include "crypto/keycache.hh"
+#include "crypto/sha1.hh"
+
+namespace mintcb::sea
+{
+
+namespace
+{
+
+const crypto::RsaPrivateKey &
+caKey()
+{
+    return crypto::cachedKey("privacy-ca", 2048);
+}
+
+} // namespace
+
+Bytes
+AikCertificate::tbs() const
+{
+    ByteWriter w;
+    w.str("AIK-CERT");
+    w.lengthPrefixed(aikPublic);
+    w.str(subject);
+    return w.take();
+}
+
+PrivacyCa &
+PrivacyCa::instance()
+{
+    static PrivacyCa ca;
+    return ca;
+}
+
+const crypto::RsaPublicKey &
+PrivacyCa::publicKey() const
+{
+    return caKey().pub;
+}
+
+AikCertificate
+PrivacyCa::issue(const crypto::RsaPublicKey &aik,
+                 const std::string &subject) const
+{
+    AikCertificate cert;
+    cert.aikPublic = aik.encode();
+    cert.subject = subject;
+    cert.signature = crypto::rsaSignSha1(caKey(), cert.tbs());
+    return cert;
+}
+
+bool
+PrivacyCa::validate(const AikCertificate &cert) const
+{
+    return crypto::rsaVerifySha1(publicKey(), cert.tbs(), cert.signature);
+}
+
+Bytes
+Attestation::encode() const
+{
+    ByteWriter w;
+    w.str("ATTEST");
+    w.u32(static_cast<std::uint32_t>(quote.selection.size()));
+    for (std::size_t i = 0; i < quote.selection.size(); ++i) {
+        w.u32(static_cast<std::uint32_t>(quote.selection[i]));
+        w.lengthPrefixed(quote.values[i]);
+    }
+    w.lengthPrefixed(quote.nonce);
+    w.lengthPrefixed(quote.signature);
+    w.lengthPrefixed(aikCert.aikPublic);
+    w.str(aikCert.subject);
+    w.lengthPrefixed(aikCert.signature);
+    return w.take();
+}
+
+Result<Attestation>
+Attestation::decode(const Bytes &wire)
+{
+    ByteReader r(wire);
+    auto magic = r.str();
+    if (!magic)
+        return magic.error();
+    if (*magic != "ATTEST")
+        return Error(Errc::integrityFailure, "not an attestation");
+    Attestation a;
+    auto count = r.u32();
+    if (!count)
+        return count.error();
+    for (std::uint32_t i = 0; i < *count; ++i) {
+        auto index = r.u32();
+        if (!index)
+            return index.error();
+        auto value = r.lengthPrefixed();
+        if (!value)
+            return value.error();
+        a.quote.selection.push_back(*index);
+        a.quote.values.push_back(value.take());
+    }
+    auto nonce = r.lengthPrefixed();
+    if (!nonce)
+        return nonce.error();
+    a.quote.nonce = nonce.take();
+    auto sig = r.lengthPrefixed();
+    if (!sig)
+        return sig.error();
+    a.quote.signature = sig.take();
+    auto aik = r.lengthPrefixed();
+    if (!aik)
+        return aik.error();
+    a.aikCert.aikPublic = aik.take();
+    auto subject = r.str();
+    if (!subject)
+        return subject.error();
+    a.aikCert.subject = subject.take();
+    auto cert_sig = r.lengthPrefixed();
+    if (!cert_sig)
+        return cert_sig.error();
+    a.aikCert.signature = cert_sig.take();
+    if (!r.atEnd())
+        return Error(Errc::integrityFailure, "trailing attestation bytes");
+    return a;
+}
+
+Result<Attestation>
+attestLaunch(machine::Machine &machine, CpuId cpu, const Bytes &nonce,
+             const std::string &subject)
+{
+    if (!machine.hasTpm())
+        return Error(Errc::unavailable, "platform has no TPM to quote");
+    auto &tpm = machine.tpmAs(cpu);
+    std::vector<std::size_t> selection = {tpm::dynamicLaunchPcr};
+    if (machine.spec().cpuVendor == machine::CpuVendor::intel)
+        selection.push_back(tpm::intelMlePcr);
+    auto quote = tpm.quote(nonce, selection);
+    if (!quote)
+        return quote.error();
+    Attestation a;
+    a.quote = quote.take();
+    a.aikCert = PrivacyCa::instance().issue(tpm.aikPublic(), subject);
+    return a;
+}
+
+void
+Verifier::trustPal(const Pal &pal)
+{
+    whitelist_.push_back(
+        {pal.name(), pal.measurement(), pal.expectedPcr17()});
+}
+
+void
+Verifier::trustMeasurement(std::string name, Bytes measurement)
+{
+    Bytes zero(crypto::sha1DigestSize, 0x00);
+    ByteWriter w;
+    w.raw(zero);
+    w.raw(measurement);
+    whitelist_.push_back({std::move(name), measurement,
+                          crypto::Sha1::digestBytes(w.bytes())});
+}
+
+Result<VerifiedLaunch>
+Verifier::verify(const Attestation &attestation,
+                 const Bytes &expected_nonce) const
+{
+    // 1. Certificate chain: the AIK must be endorsed by the Privacy CA.
+    if (!PrivacyCa::instance().validate(attestation.aikCert)) {
+        return Error(Errc::integrityFailure,
+                     "AIK certificate chain invalid");
+    }
+    auto aik = crypto::RsaPublicKey::decode(attestation.aikCert.aikPublic);
+    if (!aik)
+        return aik.error();
+
+    // 2. Quote signature and nonce freshness.
+    if (!tpm::verifyQuote(*aik, attestation.quote, expected_nonce)) {
+        return Error(Errc::integrityFailure,
+                     "quote signature or nonce invalid");
+    }
+
+    // 3. Locate PCR 17 in the quoted selection.
+    const Bytes *pcr17 = nullptr;
+    for (std::size_t i = 0; i < attestation.quote.selection.size(); ++i) {
+        if (attestation.quote.selection[i] == tpm::dynamicLaunchPcr)
+            pcr17 = &attestation.quote.values[i];
+    }
+    if (!pcr17) {
+        return Error(Errc::invalidArgument,
+                     "attestation does not cover PCR 17");
+    }
+
+    // 4. Launch sanity: -1 means "rebooted, never launched"; 0 means
+    //    "reset but nothing measured". Neither is a PAL identity.
+    if (*pcr17 == Bytes(crypto::sha1DigestSize, 0xff) ||
+        *pcr17 == Bytes(crypto::sha1DigestSize, 0x00)) {
+        return Error(Errc::failedPrecondition,
+                     "PCR 17 shows no late launch occurred");
+    }
+
+    // 5. Whitelist: the identity must match a trusted PAL.
+    for (const Entry &e : whitelist_) {
+        if (*pcr17 == e.expectedPcr17)
+            return VerifiedLaunch{e.measurement, e.name};
+    }
+    return Error(Errc::permissionDenied,
+                 "PCR 17 identity matches no trusted PAL");
+}
+
+} // namespace mintcb::sea

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * PAL implementation.
+ */
+
+#include "sea/pal.hh"
+
+#include "common/hex.hh"
+#include "crypto/sha1.hh"
+#include "latelaunch/slb.hh"
+#include "machine/vmswitch.hh"
+
+namespace mintcb::sea
+{
+
+Pal
+Pal::fromLogic(std::string name, std::size_t code_bytes, PalBody body)
+{
+    // Deterministic code image: a SHA-1-seeded byte stream over the name,
+    // so the measured identity tracks the logical identity.
+    Bytes code(code_bytes);
+    const Bytes seed = crypto::Sha1::digestBytes(asciiBytes(name));
+    Rng rng(static_cast<std::uint64_t>(seed[0]) << 32 |
+            static_cast<std::uint64_t>(seed[1]) << 24 |
+            static_cast<std::uint64_t>(seed[2]) << 16 |
+            static_cast<std::uint64_t>(seed[3]) << 8 | seed[4]);
+    Bytes filler = rng.bytes(code_bytes);
+    code = std::move(filler);
+    return Pal(std::move(name), std::move(code), std::move(body));
+}
+
+std::size_t
+Pal::slbBytes() const
+{
+    return code_.size() + latelaunch::slbHeaderBytes;
+}
+
+Bytes
+Pal::slbImage() const
+{
+    auto slb = latelaunch::Slb::wrap(code_);
+    // PALs are size-validated at construction sites; an oversized PAL is
+    // a programmer error here.
+    assert(slb.ok() && "PAL exceeds the 64 KB SLB limit");
+    return slb->image();
+}
+
+Bytes
+Pal::measurement() const
+{
+    return crypto::Sha1::digestBytes(slbImage());
+}
+
+Bytes
+Pal::expectedPcr17() const
+{
+    Bytes zero(crypto::sha1DigestSize, 0x00);
+    const Bytes m = measurement();
+    Bytes cat = zero;
+    cat.reserve(zero.size() + m.size());
+    for (std::uint8_t b : m)
+        cat.push_back(b);
+    return crypto::Sha1::digestBytes(cat);
+}
+
+PalContext::PalContext(machine::Machine &machine, CpuId cpu, Bytes input)
+    : machine_(machine), cpu_(cpu), input_(std::move(input))
+{
+}
+
+std::vector<std::size_t>
+PalContext::identityPcrs() const
+{
+    if (machine_.spec().cpuVendor == machine::CpuVendor::intel)
+        return {tpm::dynamicLaunchPcr, tpm::intelMlePcr};
+    return {tpm::dynamicLaunchPcr};
+}
+
+Result<tpm::SealedBlob>
+PalContext::sealState(const Bytes &state)
+{
+    if (!machine_.hasTpm()) {
+        return Error(Errc::unavailable,
+                     "sealed storage requires a TPM on this platform");
+    }
+    auto &the_tpm = tpm();
+    const TimePoint start = cpu().now();
+    auto blob = the_tpm.seal(state, identityPcrs());
+    sealTime_ += cpu().now() - start;
+    return blob;
+}
+
+Result<Bytes>
+PalContext::unsealState(const tpm::SealedBlob &blob)
+{
+    if (!machine_.hasTpm()) {
+        return Error(Errc::unavailable,
+                     "sealed storage requires a TPM on this platform");
+    }
+    auto &the_tpm = tpm();
+    const TimePoint start = cpu().now();
+    auto state = the_tpm.unseal(blob);
+    unsealTime_ += cpu().now() - start;
+    return state;
+}
+
+} // namespace mintcb::sea

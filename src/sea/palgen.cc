@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Generic PAL implementations.
+ */
+
+#include "sea/palgen.hh"
+
+namespace mintcb::sea
+{
+
+Pal
+makePalGen()
+{
+    return Pal::fromLogic(
+        "generic-pal-gen", 4 * 1024, [](PalContext &ctx) -> Status {
+            if (!ctx.machine().hasTpm()) {
+                return Error(Errc::unavailable,
+                             "PAL Gen requires a TPM");
+            }
+            // Generate application-specific data (e.g. a keypair) ...
+            auto data = ctx.tpm().getRandom(palGenPayloadBytes);
+            if (!data)
+                return data.error();
+            // ... and seal it so only this PAL can get it back.
+            auto blob = ctx.sealState(*data);
+            if (!blob)
+                return blob.error();
+            ctx.setOutput(blob->encode());
+            return okStatus();
+        });
+}
+
+Pal
+makePalUse(const tpm::SealedBlob &previous_state, bool reseal)
+{
+    return Pal::fromLogic(
+        "generic-pal-gen", 4 * 1024,
+        [previous_state, reseal](PalContext &ctx) -> Status {
+            auto state = ctx.unsealState(previous_state);
+            if (!state)
+                return state.error();
+            // Operate on the data: a modest amount of real work.
+            Bytes working = state.take();
+            working.resize(palUsePayloadBytes);
+            for (std::size_t i = 0; i < working.size(); ++i)
+                working[i] ^= static_cast<std::uint8_t>(i);
+            ctx.compute(Duration::micros(50));
+            if (reseal) {
+                auto blob = ctx.sealState(working);
+                if (!blob)
+                    return blob.error();
+                ctx.setOutput(blob->encode());
+            }
+            return okStatus();
+        });
+}
+
+Result<GenericPalReport>
+runPalGen(SeaDriver &driver, CpuId cpu)
+{
+    auto session = driver.execute(makePalGen(), {}, cpu);
+    if (!session)
+        return session.error();
+    GenericPalReport report;
+    report.session = session.take();
+    auto blob = tpm::SealedBlob::decode(report.session.palOutput);
+    if (!blob)
+        return blob.error();
+    report.blob = blob.take();
+    return report;
+}
+
+Result<GenericPalReport>
+runPalUse(SeaDriver &driver, const tpm::SealedBlob &state, bool reseal,
+          CpuId cpu)
+{
+    auto session = driver.execute(makePalUse(state, reseal), {}, cpu);
+    if (!session)
+        return session.error();
+    GenericPalReport report;
+    report.session = session.take();
+    if (reseal) {
+        auto blob = tpm::SealedBlob::decode(report.session.palOutput);
+        if (!blob)
+            return blob.error();
+        report.blob = blob.take();
+    }
+    return report;
+}
+
+Result<Duration>
+measureQuote(machine::Machine &machine, CpuId cpu)
+{
+    if (!machine.hasTpm())
+        return Error(Errc::unavailable, "no TPM to quote");
+    machine::Cpu &core = machine.cpu(cpu);
+    const TimePoint start = core.now();
+    auto quote = machine.tpmAs(cpu).quote(
+        machine.rng().bytes(20), {tpm::dynamicLaunchPcr});
+    if (!quote)
+        return quote.error();
+    return core.now() - start;
+}
+
+} // namespace mintcb::sea

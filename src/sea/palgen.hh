@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The paper's two generic PALs (Section 4.1) and the Figure 2 harness.
+ *
+ * "The first PAL (PAL Gen) launches, generates application-specific
+ * data, seals the data using the TPM's sealed storage capability, and
+ * exits. ... The second PAL (PAL Use) launches, unseals data sealed
+ * during a previous session, and operates on that data. It optionally
+ * reseals the data and exits."
+ */
+
+#ifndef MINTCB_SEA_PALGEN_HH
+#define MINTCB_SEA_PALGEN_HH
+
+#include "common/result.hh"
+#include "sea/session.hh"
+
+namespace mintcb::sea
+{
+
+/** Payload sizes behind the paper's two Broadcom seal numbers: PAL Gen
+ *  seals a fresh keypair-sized blob (20.01 ms), PAL Use re-seals compact
+ *  working state (11.39 ms). */
+inline constexpr std::size_t palGenPayloadBytes = 416;
+inline constexpr std::size_t palUsePayloadBytes = 128;
+
+/** One Figure 2 sample: the overhead components of a generic session. */
+struct GenericPalReport
+{
+    SessionReport session;   //!< full phase breakdown
+    tpm::SealedBlob blob;    //!< sealed state handed to the OS
+    Duration quote;          //!< TPM_Quote cost, measured separately
+};
+
+/** Build the PAL Gen piece of application logic (4 KB of code). */
+Pal makePalGen();
+
+/** Build the PAL Use piece of application logic. */
+Pal makePalUse(const tpm::SealedBlob &previous_state, bool reseal);
+
+/**
+ * Run a complete PAL Gen session on @p driver's machine: late launch,
+ * generate palGenPayloadBytes of data, seal to the PAL identity, exit.
+ */
+Result<GenericPalReport> runPalGen(SeaDriver &driver, CpuId cpu = 0);
+
+/**
+ * Run a complete PAL Use session: late launch, unseal @p state, mutate
+ * it, optionally reseal, exit.
+ */
+Result<GenericPalReport> runPalUse(SeaDriver &driver,
+                                   const tpm::SealedBlob &state,
+                                   bool reseal, CpuId cpu = 0);
+
+/** Measure a standalone TPM_Quote over the dynamic PCRs (the
+ *  attestation leg of Figure 2). */
+Result<Duration> measureQuote(machine::Machine &machine, CpuId cpu = 0);
+
+} // namespace mintcb::sea
+
+#endif // MINTCB_SEA_PALGEN_HH

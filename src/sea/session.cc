@@ -1,0 +1,129 @@
+/**
+ * @file
+ * SEA session implementation.
+ */
+
+#include "sea/session.hh"
+
+#include "crypto/sha1.hh"
+
+namespace mintcb::sea
+{
+
+SeaDriver::SeaDriver(machine::Machine &machine)
+    : machine_(machine), launcher_(machine)
+{
+}
+
+Bytes
+SeaDriver::expectedIoBoundPcr17(const Pal &pal, const Bytes &input,
+                                const Bytes &output)
+{
+    auto extend = [](const Bytes &value, const Bytes &measurement) {
+        Bytes cat = value;
+        cat.insert(cat.end(), measurement.begin(), measurement.end());
+        return crypto::Sha1::digestBytes(cat);
+    };
+    Bytes pcr = pal.expectedPcr17(); // extend(0, H(pal))
+    pcr = extend(pcr, crypto::Sha1::digestBytes(input));
+    pcr = extend(pcr, crypto::Sha1::digestBytes(output));
+    return pcr;
+}
+
+Result<SessionReport>
+SeaDriver::execute(const Pal &pal, const Bytes &input, CpuId cpu)
+{
+    machine::Cpu &core = machine_.cpu(cpu);
+    SessionReport report;
+    const TimePoint session_start = core.now();
+
+    // 1. Suspend the untrusted OS. "The suspend of the untrusted system
+    //    is efficient because all necessary system state can simply
+    //    remain in-place in memory" (Section 3.3).
+    core.advance(osSuspendCost);
+    report.suspendOs = core.now() - session_start;
+
+    // 2. Place the SLB and late launch.
+    const Bytes image = pal.slbImage();
+    if (auto s = machine_.writeAs(cpu, slbLoadAddress, image); !s.ok())
+        return s.error();
+    const TimePoint launch_start = core.now();
+    auto launch = launcher_.invoke(cpu, slbLoadAddress);
+    if (!launch)
+        return launch.error();
+    report.lateLaunch = core.now() - launch_start;
+    report.palMeasurement = launch->slbMeasurement;
+    if (machine_.hasTpm()) {
+        auto pcr17 = machine_.tpm().pcrs().read(tpm::dynamicLaunchPcr);
+        report.pcr17AfterLaunch = pcr17.ok() ? *pcr17 : Bytes{};
+    }
+
+    // 2b. I/O binding: the PAL's first act is to measure its inputs
+    //     into PCR 17, closing the load-time-attestation gap of
+    //     footnote 3 (inputs can no longer be swapped post-quote).
+    if (bindIo_ && machine_.hasTpm()) {
+        if (auto s = machine_.tpmAs(cpu).pcrExtend(
+                tpm::dynamicLaunchPcr,
+                crypto::Sha1::digestBytes(input));
+            !s.ok()) {
+            return s.error();
+        }
+    }
+
+    // 3. Execute the PAL body with hardware protections up.
+    PalContext ctx(machine_, cpu, input);
+    const TimePoint body_start = core.now();
+    const Status body_status = pal.body()(ctx);
+    const Duration body_total = core.now() - body_start;
+    report.seal = ctx.sealTime();
+    report.unseal = ctx.unsealTime();
+    report.palCompute = body_total - report.seal - report.unseal;
+    report.palOutput = ctx.output();
+
+    // 3b. I/O binding: the last in-PAL act is to measure the output, so
+    //     the quoted PCR 17 covers code + input + output.
+    if (bindIo_ && machine_.hasTpm() && body_status.ok()) {
+        if (auto s = machine_.tpmAs(cpu).pcrExtend(
+                tpm::dynamicLaunchPcr,
+                crypto::Sha1::digestBytes(ctx.output()));
+            !s.ok()) {
+            return s.error();
+        }
+        auto pcr17 = machine_.tpm().pcrs().read(tpm::dynamicLaunchPcr);
+        report.pcr17AfterLaunch = pcr17.ok() ? *pcr17 : Bytes{};
+    }
+
+    // 4. PAL exit. First cap PCR 17 with a well-known exit marker so the
+    //    untrusted world resuming afterwards can no longer pass the PAL's
+    //    seal policy (Flicker's exit protocol): the PAL identity value is
+    //    unreachable again until the next genuine late launch.
+    if (machine_.hasTpm()) {
+        machine_.tpmAs(cpu).pcrExtend(
+            tpm::dynamicLaunchPcr,
+            Bytes(crypto::sha1DigestSize, 0x45 /* 'E' for exit */));
+    }
+    //    Then erase the PAL region (its secrets die with it), drop the
+    //    DEV protections, restart the siblings, resume the OS.
+    for (PageNum p : launch->protectedPages)
+        machine_.memory().zeroPage(p);
+    launcher_.releaseProtections(*launch);
+    core.secureStateClear(machine_.spec().microarchFlush);
+    core.setInterruptsEnabled(true);
+
+    const TimePoint resume_start = core.now();
+    core.advance(osResumeCost);
+    report.resumeOs = core.now() - resume_start;
+
+    // Sibling cores were idle from the launch barrier until now.
+    launcher_.resumeOtherCpus();
+    report.total = core.now() - session_start;
+    const Duration stall = core.now() - launch_start;
+    report.siblingStall =
+        stall * static_cast<double>(machine_.cpuCount() - 1);
+
+    if (!body_status.ok())
+        return body_status.error();
+    return report;
+}
+
+} // namespace mintcb::sea

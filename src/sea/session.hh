@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The SEA driver: Flicker-style sessions on today's hardware.
+ *
+ * "We developed a Linux kernel module that suspends the current
+ * execution environment and uses late launch to run a PAL. The PAL is
+ * then responsible for resuming the previous execution environment once
+ * it finishes its application-specific task" (Section 4.1).
+ *
+ * The driver captures the full cost structure the paper measures: OS
+ * suspend, SKINIT/SENTER, PAL compute, TPM seal/unseal for state
+ * protection, and OS resume -- with the entire platform stalled
+ * throughout ("all other operations on the computer will be suspended
+ * for over a second", Section 4.2).
+ */
+
+#ifndef MINTCB_SEA_SESSION_HH
+#define MINTCB_SEA_SESSION_HH
+
+#include "common/result.hh"
+#include "common/simtime.hh"
+#include "latelaunch/latelaunch.hh"
+#include "machine/machine.hh"
+#include "sea/pal.hh"
+
+namespace mintcb::sea
+{
+
+/** Phase breakdown of one SEA session (the Figure 2 components). */
+struct SessionReport
+{
+    Duration total;       //!< wall time on the launching core
+    Duration suspendOs;   //!< save untrusted state in place
+    Duration lateLaunch;  //!< SKINIT / SENTER
+    Duration palCompute;  //!< application-specific work
+    Duration seal;        //!< TPM_Seal calls made by the PAL
+    Duration unseal;      //!< TPM_Unseal calls made by the PAL
+    Duration resumeOs;    //!< restore the untrusted environment
+
+    Bytes palOutput;          //!< PAL's output to the untrusted OS
+    Bytes palMeasurement;     //!< SHA-1 of the measured SLB
+    Bytes pcr17AfterLaunch;   //!< identity evidence left in the TPM
+
+    /** Wasted compute on the halted sibling cores (Section 4.2's
+     *  "processing power ... vanish[es]"): stall time x (#cpus - 1). */
+    Duration siblingStall;
+};
+
+/** The kernel-module-like driver that runs PALs on today's hardware. */
+class SeaDriver
+{
+  public:
+    explicit SeaDriver(machine::Machine &machine);
+
+    machine::Machine &machine() { return machine_; }
+    latelaunch::LateLaunch &launcher() { return launcher_; }
+
+    /**
+     * Bind PAL inputs and outputs into PCR 17 (the Flicker protocol the
+     * SEA papers build on, and the mitigation for footnote 3's
+     * time-of-check/time-of-use caveat): after the launch measurement
+     * the PAL extends H(input), and before exit it extends H(output),
+     * so a quote attests *which data* the measured code consumed and
+     * produced, not merely that it ran.
+     */
+    void setBindIo(bool on) { bindIo_ = on; }
+    bool bindIo() const { return bindIo_; }
+
+    /**
+     * Run @p pal with @p input on core @p cpu: suspend OS, late launch,
+     * execute the body, erase the PAL region, resume. The PAL's
+     * application Status propagates on failure.
+     */
+    Result<SessionReport> execute(const Pal &pal, const Bytes &input,
+                                  CpuId cpu = 0);
+
+    /**
+     * The PCR 17 value a verifier expects after an I/O-bound session of
+     * @p pal consuming @p input and emitting @p output:
+     * extend(extend(extend(0, H(pal)), H(input)), H(output)).
+     */
+    static Bytes expectedIoBoundPcr17(const Pal &pal, const Bytes &input,
+                                      const Bytes &output);
+
+    /** Physical address where the driver places SLBs. */
+    static constexpr PhysAddr slbLoadAddress = 0x10000;
+
+    /** Modeled cost of suspending / resuming the untrusted OS. The paper
+     *  calls both "efficient" because state stays in memory; tens of
+     *  microseconds of register/device bookkeeping. */
+    static constexpr Duration osSuspendCost = Duration::micros(20);
+    static constexpr Duration osResumeCost = Duration::micros(25);
+
+  private:
+    machine::Machine &machine_;
+    latelaunch::LateLaunch launcher_;
+    bool bindIo_ = false;
+};
+
+} // namespace mintcb::sea
+
+#endif // MINTCB_SEA_SESSION_HH

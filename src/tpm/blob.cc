@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Sealed-blob crypto implementation.
+ */
+
+#include "tpm/blob.hh"
+
+#include "common/bytebuf.hh"
+#include "crypto/hmac.hh"
+
+namespace mintcb::tpm
+{
+
+namespace
+{
+
+constexpr std::uint32_t blobMagic = 0x5345414c; // "SEAL"
+
+/** Keystream block i = HMAC-SHA256(inner_key, "stream" || i). */
+Bytes
+xorStream(const Bytes &inner_key, const Bytes &input)
+{
+    Bytes out(input.size());
+    Bytes block;
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        if (i % 32 == 0) {
+            ByteWriter w;
+            w.str("stream");
+            w.u64(i / 32);
+            block = crypto::hmacSha256(inner_key, w.bytes());
+        }
+        out[i] = input[i] ^ block[i % 32];
+    }
+    return out;
+}
+
+/** The MAC covers every field except the MAC itself. */
+Bytes
+macInput(const SealedBlob &blob)
+{
+    ByteWriter w;
+    w.u8(blob.sePcrBound ? 1 : 0);
+    w.lengthPrefixed(blob.encryptedInnerKey);
+    w.u32(static_cast<std::uint32_t>(blob.policy.size()));
+    for (const PcrBinding &b : blob.policy) {
+        w.u32(b.index);
+        w.lengthPrefixed(b.digestAtRelease);
+    }
+    w.lengthPrefixed(blob.ciphertext);
+    return w.take();
+}
+
+} // namespace
+
+Bytes
+SealedBlob::encode() const
+{
+    ByteWriter w;
+    w.u32(blobMagic);
+    w.raw(macInput(*this));
+    w.lengthPrefixed(mac);
+    return w.take();
+}
+
+Result<SealedBlob>
+SealedBlob::decode(const Bytes &wire)
+{
+    ByteReader r(wire);
+    auto magic = r.u32();
+    if (!magic)
+        return magic.error();
+    if (*magic != blobMagic)
+        return Error(Errc::integrityFailure, "not a sealed blob");
+
+    SealedBlob blob;
+    auto bound = r.u8();
+    if (!bound)
+        return bound.error();
+    blob.sePcrBound = *bound != 0;
+
+    auto key = r.lengthPrefixed();
+    if (!key)
+        return key.error();
+    blob.encryptedInnerKey = key.take();
+
+    auto count = r.u32();
+    if (!count)
+        return count.error();
+    for (std::uint32_t i = 0; i < *count; ++i) {
+        auto index = r.u32();
+        if (!index)
+            return index.error();
+        auto digest = r.lengthPrefixed();
+        if (!digest)
+            return digest.error();
+        blob.policy.push_back({*index, digest.take()});
+    }
+
+    auto ct = r.lengthPrefixed();
+    if (!ct)
+        return ct.error();
+    blob.ciphertext = ct.take();
+
+    auto mac = r.lengthPrefixed();
+    if (!mac)
+        return mac.error();
+    blob.mac = mac.take();
+
+    if (!r.atEnd())
+        return Error(Errc::integrityFailure, "trailing bytes in blob");
+    return blob;
+}
+
+SealedBlob
+sealBlob(const crypto::RsaPublicKey &srk, Rng &rng, const Bytes &payload,
+         const SealPolicy &policy, bool se_pcr_bound)
+{
+    SealedBlob blob;
+    blob.sePcrBound = se_pcr_bound;
+    blob.policy = policy;
+
+    const Bytes inner_key = rng.bytes(32);
+    auto encrypted = crypto::rsaEncrypt(srk, rng, inner_key);
+    // The inner key always fits a >= 512-bit SRK modulus.
+    blob.encryptedInnerKey = encrypted.take();
+    blob.ciphertext = xorStream(inner_key, payload);
+    blob.mac = crypto::hmacSha256(inner_key, macInput(blob));
+    return blob;
+}
+
+Result<Bytes>
+unsealBlob(const crypto::RsaPrivateKey &srk, const SealedBlob &blob)
+{
+    auto inner_key = crypto::rsaDecrypt(srk, blob.encryptedInnerKey);
+    if (!inner_key) {
+        return Error(Errc::integrityFailure,
+                     "sealed blob inner key does not decrypt");
+    }
+    const Bytes expected_mac = crypto::hmacSha256(*inner_key,
+                                                  macInput(blob));
+    if (!crypto::constantTimeEqual(expected_mac, blob.mac))
+        return Error(Errc::integrityFailure, "sealed blob MAC mismatch");
+    return xorStream(*inner_key, blob.ciphertext);
+}
+
+} // namespace mintcb::tpm

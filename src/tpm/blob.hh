@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Sealed-storage blob format.
+ *
+ * TPM_Seal binds data to PCR values: "The TPM will only unseal (decrypt)
+ * the data when the PCRs contain the same values specified by the seal
+ * command" (Section 2.1.2). mintcb implements sealing for real:
+ *
+ *   - a fresh 32-byte inner key is RSA-encrypted under the Storage Root
+ *     Key (public operation => seal is cheap, matching the paper);
+ *   - the payload is stream-encrypted with an HMAC-SHA256 keystream;
+ *   - the PCR policy travels in the clear but is bound by an HMAC trailer;
+ *   - unseal performs the SRK *private* operation (the paper's dominant
+ *     unseal cost) and releases the payload only if the policy PCRs match.
+ */
+
+#ifndef MINTCB_TPM_BLOB_HH
+#define MINTCB_TPM_BLOB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "crypto/rsa.hh"
+
+namespace mintcb::tpm
+{
+
+/** One entry of a seal-time PCR policy. */
+struct PcrBinding
+{
+    std::uint32_t index;  //!< PCR number (or sePCR handle, Section 5.4.4)
+    Bytes digestAtRelease; //!< required 20-byte PCR value at unseal time
+
+    bool
+    operator==(const PcrBinding &o) const
+    {
+        return index == o.index && digestAtRelease == o.digestAtRelease;
+    }
+};
+
+/** PCR policy: every listed PCR must hold the listed value to unseal. */
+using SealPolicy = std::vector<PcrBinding>;
+
+/** An encrypted, integrity-protected, PCR-bound data blob. */
+struct SealedBlob
+{
+    /** Set when the policy indices name sePCR handles instead of ordinary
+     *  PCRs (recommended-architecture sealing, Section 5.4.4). */
+    bool sePcrBound = false;
+
+    Bytes encryptedInnerKey; //!< RSA ciphertext under the SRK
+    SealPolicy policy;       //!< in the clear, MAC-protected
+    Bytes ciphertext;        //!< stream-encrypted payload
+    Bytes mac;               //!< HMAC-SHA256 over all of the above
+
+    /** Total wire size, which drives the size-dependent seal latency. */
+    std::size_t wireSize() const { return encode().size(); }
+
+    Bytes encode() const;
+    static Result<SealedBlob> decode(const Bytes &wire);
+};
+
+/**
+ * Construct a sealed blob. @p rng supplies the inner key. This is the
+ * crypto core of TPM_Seal; the Tpm front end adds timing and policy
+ * capture.
+ */
+SealedBlob sealBlob(const crypto::RsaPublicKey &srk, Rng &rng,
+                    const Bytes &payload, const SealPolicy &policy,
+                    bool se_pcr_bound = false);
+
+/**
+ * Recover the payload of @p blob using the SRK private key. Fails with
+ * integrityFailure if the blob was tampered with. PCR policy checking is
+ * the Tpm front end's job (it owns the PCR bank); this function returns
+ * the payload and lets the caller enforce policy.
+ */
+Result<Bytes> unsealBlob(const crypto::RsaPrivateKey &srk,
+                         const SealedBlob &blob);
+
+} // namespace mintcb::tpm
+
+#endif // MINTCB_TPM_BLOB_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Event log implementation.
+ */
+
+#include "tpm/eventlog.hh"
+
+#include "common/bytebuf.hh"
+#include "crypto/sha1.hh"
+
+namespace mintcb::tpm
+{
+
+Bytes
+MeasuredEvent::encode() const
+{
+    ByteWriter w;
+    w.u32(pcrIndex);
+    w.str(description);
+    w.lengthPrefixed(measurement);
+    return w.take();
+}
+
+std::map<std::size_t, Bytes>
+EventLog::replay() const
+{
+    std::map<std::size_t, Bytes> pcrs;
+    for (const MeasuredEvent &e : events_) {
+        Bytes &value = pcrs[e.pcrIndex];
+        if (value.empty())
+            value.assign(crypto::sha1DigestSize, 0x00); // boot value
+        ByteWriter w;
+        w.raw(value);
+        w.raw(e.measurement);
+        value = crypto::Sha1::digestBytes(w.bytes());
+    }
+    return pcrs;
+}
+
+Bytes
+EventLog::encode() const
+{
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(events_.size()));
+    for (const MeasuredEvent &e : events_)
+        w.lengthPrefixed(e.encode());
+    return w.take();
+}
+
+Result<EventLog>
+EventLog::decode(const Bytes &wire)
+{
+    ByteReader r(wire);
+    auto count = r.u32();
+    if (!count)
+        return count.error();
+    EventLog log;
+    for (std::uint32_t i = 0; i < *count; ++i) {
+        auto entry = r.lengthPrefixed();
+        if (!entry)
+            return entry.error();
+        ByteReader er(*entry);
+        MeasuredEvent e;
+        auto index = er.u32();
+        if (!index)
+            return index.error();
+        auto desc = er.str();
+        if (!desc)
+            return desc.error();
+        auto m = er.lengthPrefixed();
+        if (!m)
+            return m.error();
+        e.pcrIndex = *index;
+        e.description = desc.take();
+        e.measurement = m.take();
+        log.append(std::move(e));
+    }
+    if (!r.atEnd())
+        return Error(Errc::integrityFailure, "trailing event-log bytes");
+    return log;
+}
+
+} // namespace mintcb::tpm

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Calibrated TPM vendor profiles.
+ *
+ * See the header comment for the calibration constraints. The concrete
+ * numbers below satisfy every exact figure the paper states and every
+ * ordering claim it makes; values the paper only shows graphically
+ * (Figure 3 bar heights) are read off the figure.
+ */
+
+#include "tpm/timing.hh"
+
+#include <algorithm>
+
+namespace mintcb::tpm
+{
+
+const char *
+vendorName(TpmVendor v)
+{
+    switch (v) {
+      case TpmVendor::atmelT60:
+        return "T60 Atmel";
+      case TpmVendor::broadcom:
+        return "Broadcom";
+      case TpmVendor::infineon:
+        return "Infineon";
+      case TpmVendor::atmelTep:
+        return "TEP Atmel";
+      case TpmVendor::ideal:
+        return "Ideal";
+    }
+    return "unknown";
+}
+
+Duration
+TpmTimingProfile::sample(Duration mean, Rng &rng) const
+{
+    if (jitterRel <= 0.0 || mean == Duration::zero())
+        return mean;
+    const double factor = 1.0 + jitterRel * rng.nextGaussian();
+    // Latencies cannot be negative; clamp extreme draws.
+    return mean * std::max(factor, 0.05);
+}
+
+TpmTimingProfile
+TpmTimingProfile::forVendor(TpmVendor vendor)
+{
+    TpmTimingProfile p;
+    p.vendor = vendor;
+    p.jitterRel = 0.015;
+    // Seal's marginal per-byte cost is bus/hash bound and vendor
+    // independent; calibrated from Broadcom's 11.39 ms (128 B payload,
+    // PAL Use) vs 20.01 ms (416 B payload, PAL Gen) pair.
+    p.sealPerByte = Duration::millis(8.62 / 288.0);
+
+    switch (vendor) {
+      case TpmVendor::atmelT60:
+        p.extend = Duration::millis(12.0);
+        p.quote = Duration::millis(795.0);
+        p.unseal = Duration::millis(766.0);
+        p.sealBase = Duration::millis(135.16);   // 139 ms at 128 B
+        p.getRandom128 = Duration::millis(61.0);
+        p.pcrRead = Duration::millis(6.0);
+        p.hashWaitPerByte = Duration::micros(2.4);
+        p.hashStartStop = Duration::millis(0.85);
+        break;
+      case TpmVendor::broadcom:
+        p.extend = Duration::millis(1.8);
+        p.quote = Duration::millis(869.0);
+        p.unseal = Duration::millis(900.0);
+        p.sealBase = Duration::millis(7.559);    // 11.39 ms at 128 B
+        p.getRandom128 = Duration::millis(1.9);
+        p.pcrRead = Duration::millis(1.2);
+        // Table 1 affine fit: 2.7597 ms/KB total minus the raw LPC
+        // transfer cost of 0.1378 ms/KB leaves the TPM-induced wait.
+        p.hashWaitPerByte = Duration::millis((2.7597 - 0.1378) / 1024.0);
+        p.hashStartStop = Duration::millis(0.90);
+        break;
+      case TpmVendor::infineon:
+        p.extend = Duration::millis(11.0);
+        p.quote = Duration::millis(246.0);
+        p.unseal = Duration::millis(390.98);
+        p.sealBase = Duration::millis(220.56);   // 233.01 ms at 416 B
+        p.getRandom128 = Duration::millis(35.0);
+        p.pcrRead = Duration::millis(5.0);
+        p.hashWaitPerByte = Duration::micros(2.1);
+        p.hashStartStop = Duration::millis(0.80);
+        break;
+      case TpmVendor::atmelTep:
+        p.extend = Duration::millis(2.5);
+        p.quote = Duration::millis(732.0);
+        p.unseal = Duration::millis(837.0);
+        p.sealBase = Duration::millis(190.17);   // 194 ms at 128 B
+        p.getRandom128 = Duration::millis(24.0);
+        p.pcrRead = Duration::millis(8.0);
+        // Calibrated so SENTER(0 KB) = 26.39 ms on the Intel TEP after
+        // accounting for ACMod signature verification, the PCR 18 extend,
+        // and hash-sequence bookkeeping (Table 1).
+        p.hashWaitPerByte = Duration::micros(1.979);
+        p.hashStartStop = Duration::millis(0.70);
+        break;
+      case TpmVendor::ideal:
+        // Everything zero: pure functional TPM for unit tests.
+        p.jitterRel = 0.0;
+        p.sealPerByte = Duration::zero();
+        break;
+    }
+    return p;
+}
+
+TpmTimingProfile
+TpmTimingProfile::scaled(double factor) const
+{
+    TpmTimingProfile p = *this;
+    const double inv = 1.0 / factor;
+    p.extend = p.extend * inv;
+    p.quote = p.quote * inv;
+    p.unseal = p.unseal * inv;
+    p.sealBase = p.sealBase * inv;
+    p.sealPerByte = p.sealPerByte * inv;
+    p.getRandom128 = p.getRandom128 * inv;
+    p.pcrRead = p.pcrRead * inv;
+    p.hashWaitPerByte = p.hashWaitPerByte * inv;
+    p.hashStartStop = p.hashStartStop * inv;
+    return p;
+}
+
+} // namespace mintcb::tpm

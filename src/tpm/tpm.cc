@@ -1,0 +1,369 @@
+/**
+ * @file
+ * TPM front-end implementation.
+ */
+
+#include "tpm/tpm.hh"
+
+#include <string>
+
+#include "common/bytebuf.hh"
+#include "crypto/keycache.hh"
+#include "crypto/sha1.hh"
+
+namespace mintcb::tpm
+{
+
+Bytes
+TpmQuote::signedPayload() const
+{
+    ByteWriter w;
+    w.str("QUOT");
+    w.u32(static_cast<std::uint32_t>(selection.size()));
+    for (std::size_t i = 0; i < selection.size(); ++i) {
+        w.u32(static_cast<std::uint32_t>(selection[i]));
+        w.lengthPrefixed(values[i]);
+    }
+    w.lengthPrefixed(nonce);
+    return w.take();
+}
+
+bool
+verifyQuote(const crypto::RsaPublicKey &aik, const TpmQuote &quote,
+            const Bytes &expected_nonce)
+{
+    if (quote.nonce != expected_nonce)
+        return false;
+    if (quote.selection.size() != quote.values.size())
+        return false;
+    return crypto::rsaVerifySha1(aik, quote.signedPayload(),
+                                 quote.signature);
+}
+
+Tpm::Tpm(TpmVendor vendor, std::uint64_t seed)
+    : profile_(TpmTimingProfile::forVendor(vendor)),
+      srk_(crypto::cachedKey("tpm-srk-" + std::to_string(seed),
+                             crypto::tpmKeyBits)),
+      aik_(crypto::cachedKey("tpm-aik-" + std::to_string(seed),
+                             crypto::tpmKeyBits)),
+      rng_(0x74706d00 ^ seed)
+{
+}
+
+void
+Tpm::reboot()
+{
+    busyUntil_ = TimePoint();
+    pcrs_.reboot();
+    hashSequenceOpen_ = false;
+    hashBuffer_.clear();
+    lockHolder_.reset();
+}
+
+void
+Tpm::charge(Duration mean)
+{
+    // The TPM is a single slow chip behind one LPC port: a command from
+    // any CPU cannot start until the previous command (possibly issued
+    // by a different CPU) completes. Serializing in virtual time models
+    // the hardware-lock arbitration of Section 5.4.5.
+    Timeline *clock = clock_ ? clock_ : &ownClock_;
+    clock->syncTo(busyUntil_);
+    clock->advance(profile_.sample(mean, rng_));
+    busyUntil_ = clock->now();
+}
+
+Status
+Tpm::requireHardware(Locality locality, const char *op) const
+{
+    if (locality != Locality::hardware) {
+        ++stats_.deniedCommands;
+        return Error(Errc::permissionDenied,
+                     std::string(op) +
+                         " requires the hardware locality; software "
+                         "cannot invoke it");
+    }
+    return okStatus();
+}
+
+Result<PcrValue>
+Tpm::pcrRead(std::size_t index)
+{
+    ++stats_.reads;
+    charge(profile_.pcrRead);
+    return pcrs_.read(index);
+}
+
+Status
+Tpm::pcrExtend(std::size_t index, const Bytes &digest)
+{
+    ++stats_.extends;
+    charge(profile_.extend);
+    return pcrs_.extend(index, digest);
+}
+
+Result<Bytes>
+Tpm::getRandom(std::size_t bytes)
+{
+    ++stats_.getRandoms;
+    charge(profile_.getRandom(bytes));
+    return rng_.bytes(bytes);
+}
+
+Result<SealedBlob>
+Tpm::seal(const Bytes &payload, const std::vector<std::size_t> &selection)
+{
+    SealPolicy policy;
+    for (std::size_t index : selection) {
+        auto value = pcrs_.read(index);
+        if (!value)
+            return value.error();
+        policy.push_back({static_cast<std::uint32_t>(index), *value});
+    }
+    return sealToPolicy(payload, policy);
+}
+
+Result<SealedBlob>
+Tpm::sealToPolicy(const Bytes &payload, const SealPolicy &policy)
+{
+    for (const PcrBinding &b : policy) {
+        if (!PcrBank::valid(b.index))
+            return Error(Errc::invalidArgument, "policy PCR out of range");
+        if (b.digestAtRelease.size() != crypto::sha1DigestSize) {
+            return Error(Errc::invalidArgument,
+                         "policy digest must be 20 bytes");
+        }
+    }
+    ++stats_.seals;
+    charge(profile_.seal(payload.size()));
+    return sealBlob(srk_.pub, rng_, payload, policy);
+}
+
+Result<Bytes>
+Tpm::unseal(const SealedBlob &blob)
+{
+    ++stats_.unseals;
+    charge(profile_.unseal);
+    if (blob.sePcrBound) {
+        return Error(Errc::failedPrecondition,
+                     "blob is sePCR-bound; a v1.2 TPM cannot unseal it");
+    }
+    // Policy check: every bound PCR must currently hold the sealed value.
+    for (const PcrBinding &b : blob.policy) {
+        auto value = pcrs_.read(b.index);
+        if (!value)
+            return value.error();
+        if (*value != b.digestAtRelease) {
+            return Error(Errc::permissionDenied,
+                         "PCR " + std::to_string(b.index) +
+                             " does not match the sealed policy");
+        }
+    }
+    return unsealBlob(srk_, blob);
+}
+
+Result<Bytes>
+Tpm::unsealRaw(const SealedBlob &blob) const
+{
+    return unsealBlob(srk_, blob);
+}
+
+Bytes
+Tpm::aikSign(const Bytes &payload) const
+{
+    return crypto::rsaSignSha1(aik_, payload);
+}
+
+Result<TpmQuote>
+Tpm::quote(const Bytes &nonce, const std::vector<std::size_t> &selection)
+{
+    ++stats_.quotes;
+    charge(profile_.quote);
+    TpmQuote q;
+    q.selection = selection;
+    for (std::size_t index : selection) {
+        auto value = pcrs_.read(index);
+        if (!value)
+            return value.error();
+        q.values.push_back(*value);
+    }
+    q.nonce = nonce;
+    q.signature = crypto::rsaSignSha1(aik_, q.signedPayload());
+    return q;
+}
+
+Result<std::uint32_t>
+Tpm::counterCreate()
+{
+    // Real chips cap the counter count; four matches common parts.
+    if (counters_.size() >= 4) {
+        return Error(Errc::resourceExhausted,
+                     "TPM monotonic counter slots exhausted");
+    }
+    charge(profile_.extend); // NV-write-class cost
+    counters_.push_back(0);
+    return static_cast<std::uint32_t>(counters_.size() - 1);
+}
+
+Result<std::uint64_t>
+Tpm::counterIncrement(std::uint32_t handle)
+{
+    if (handle >= counters_.size())
+        return Error(Errc::notFound, "no such monotonic counter");
+    charge(profile_.extend);
+    return ++counters_[handle];
+}
+
+Result<std::uint64_t>
+Tpm::counterRead(std::uint32_t handle) const
+{
+    if (handle >= counters_.size())
+        return Error(Errc::notFound, "no such monotonic counter");
+    return counters_[handle];
+}
+
+namespace
+{
+
+/** Shared PCR-gate check for NV accesses. */
+Status
+checkNvGate(const PcrBank &pcrs, const SealPolicy &policy)
+{
+    for (const PcrBinding &b : policy) {
+        auto value = pcrs.read(b.index);
+        if (!value)
+            return value.error();
+        if (*value != b.digestAtRelease) {
+            return Error(Errc::permissionDenied,
+                         "NV space gated on PCR " +
+                             std::to_string(b.index) +
+                             ", which does not match");
+        }
+    }
+    return okStatus();
+}
+
+} // namespace
+
+Result<std::uint32_t>
+Tpm::nvDefine(std::size_t bytes,
+              const std::vector<std::size_t> &pcr_selection)
+{
+    if (bytes == 0 || bytes > 4096) {
+        return Error(Errc::invalidArgument,
+                     "NV spaces are 1-4096 bytes on this chip");
+    }
+    if (nvSpaces_.size() >= 8) {
+        return Error(Errc::resourceExhausted,
+                     "NV index slots exhausted");
+    }
+    NvSpace space;
+    space.size = bytes;
+    for (std::size_t index : pcr_selection) {
+        auto value = pcrs_.read(index);
+        if (!value)
+            return value.error();
+        space.policy.push_back(
+            {static_cast<std::uint32_t>(index), *value});
+    }
+    charge(profile_.extend); // NV-write-class cost
+    nvSpaces_.push_back(std::move(space));
+    return static_cast<std::uint32_t>(nvSpaces_.size() - 1);
+}
+
+Status
+Tpm::nvWrite(std::uint32_t index, const Bytes &data)
+{
+    if (index >= nvSpaces_.size())
+        return Error(Errc::notFound, "no such NV space");
+    NvSpace &space = nvSpaces_[index];
+    if (data.size() > space.size)
+        return Error(Errc::invalidArgument, "write exceeds NV space");
+    if (auto s = checkNvGate(pcrs_, space.policy); !s.ok())
+        return s;
+    charge(profile_.extend);
+    space.data = data;
+    return okStatus();
+}
+
+Result<Bytes>
+Tpm::nvRead(std::uint32_t index)
+{
+    if (index >= nvSpaces_.size())
+        return Error(Errc::notFound, "no such NV space");
+    NvSpace &space = nvSpaces_[index];
+    if (auto s = checkNvGate(pcrs_, space.policy); !s.ok())
+        return s.error();
+    charge(profile_.pcrRead);
+    return space.data;
+}
+
+Status
+Tpm::hashStart(Locality locality)
+{
+    if (auto s = requireHardware(locality, "TPM_HASH_START"); !s.ok())
+        return s;
+    ++stats_.hashSequences;
+    charge(profile_.hashStartStop / 2);
+    hashSequenceOpen_ = true;
+    hashBuffer_.clear();
+    // The late launch resets the dynamic PCRs to zero (Section 2.2.1).
+    for (std::size_t i = firstDynamicPcr; i < pcrCount; ++i)
+        pcrs_.resetDynamic(i);
+    return okStatus();
+}
+
+Status
+Tpm::hashData(const Bytes &chunk, Locality locality)
+{
+    if (auto s = requireHardware(locality, "TPM_HASH_DATA"); !s.ok())
+        return s;
+    if (!hashSequenceOpen_) {
+        return Error(Errc::failedPrecondition,
+                     "TPM_HASH_DATA outside a hash sequence");
+    }
+    // Long wait cycles on the LPC bus: the dominant SKINIT cost on the
+    // HP dc5750 (Section 4.3.1).
+    charge(profile_.hashWaitPerByte *
+           static_cast<double>(chunk.size()));
+    hashBuffer_.insert(hashBuffer_.end(), chunk.begin(), chunk.end());
+    return okStatus();
+}
+
+Status
+Tpm::hashEnd(Locality locality)
+{
+    if (auto s = requireHardware(locality, "TPM_HASH_END"); !s.ok())
+        return s;
+    if (!hashSequenceOpen_) {
+        return Error(Errc::failedPrecondition,
+                     "TPM_HASH_END outside a hash sequence");
+    }
+    charge(profile_.hashStartStop / 2);
+    const Bytes measurement = crypto::Sha1::digestBytes(hashBuffer_);
+    hashSequenceOpen_ = false;
+    hashBuffer_.clear();
+    return pcrs_.extend(dynamicLaunchPcr, measurement);
+}
+
+bool
+Tpm::tryLock(CpuId cpu)
+{
+    if (lockHolder_ && *lockHolder_ != cpu)
+        return false;
+    lockHolder_ = cpu;
+    return true;
+}
+
+Status
+Tpm::unlock(CpuId cpu)
+{
+    if (!lockHolder_ || *lockHolder_ != cpu) {
+        return Error(Errc::failedPrecondition,
+                     "TPM lock not held by this CPU");
+    }
+    lockHolder_.reset();
+    return okStatus();
+}
+
+} // namespace mintcb::tpm

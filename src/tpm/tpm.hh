@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The simulated TPM v1.2.
+ *
+ * Functionally real (real SHA-1 PCR chains, real RSA seal/quote crypto),
+ * with vendor-calibrated latency charged to an attached virtual clock.
+ * Implements exactly the command surface the paper exercises:
+ * PCRRead/Extend, Seal/Unseal, Quote, GetRandom, and the locality-4
+ * TPM_HASH_START / TPM_HASH_DATA / TPM_HASH_END sequence that SKINIT and
+ * SENTER use during a late launch (Section 4.3.1).
+ */
+
+#ifndef MINTCB_TPM_TPM_HH
+#define MINTCB_TPM_TPM_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hh"
+#include "common/rng.hh"
+#include "common/simtime.hh"
+#include "common/types.hh"
+#include "crypto/rsa.hh"
+#include "tpm/blob.hh"
+#include "tpm/pcr.hh"
+#include "common/counters.hh"
+#include "tpm/timing.hh"
+
+namespace mintcb::tpm
+{
+
+/**
+ * Who is issuing a TPM command. The hardware locality is only reachable
+ * from the CPU's late-launch microcode path; ring-0 software cannot forge
+ * it (Section 2.1.3: "Only a hardware command from the CPU can reset
+ * PCR 17").
+ */
+enum class Locality
+{
+    software, //!< anything the OS / a PAL issues through the driver
+    hardware, //!< the CPU's SKINIT/SENTER/SLAUNCH microcode path
+};
+
+/** A TPM_Quote result: signed evidence of the selected PCR contents. */
+struct TpmQuote
+{
+    std::vector<std::size_t> selection; //!< PCR indices quoted
+    std::vector<Bytes> values;          //!< their values at quote time
+    Bytes nonce;                        //!< verifier freshness nonce
+    Bytes signature;                    //!< AIK signature over the payload
+
+    /** The exact byte string the AIK signs. */
+    Bytes signedPayload() const;
+};
+
+/**
+ * Verify @p quote against @p aik and @p expected_nonce: recomputes the
+ * composite from the reported values and checks the signature. The caller
+ * still has to decide whether the *values* are trustworthy.
+ */
+bool verifyQuote(const crypto::RsaPublicKey &aik, const TpmQuote &quote,
+                 const Bytes &expected_nonce);
+
+/** The TPM chip model. */
+class Tpm
+{
+  public:
+    /**
+     * Build a TPM of the given @p vendor. @p seed diversifies the SRK/AIK
+     * (machines built from different seeds have different TPM identities).
+     */
+    explicit Tpm(TpmVendor vendor, std::uint64_t seed = 0);
+
+    /** Charge future op latencies to @p clock (the platform timeline). */
+    void attachClock(Timeline *clock) { clock_ = clock; }
+
+    /** Replace the timing profile (used by the TPM-speed ablation). */
+    void setProfile(const TpmTimingProfile &p) { profile_ = p; }
+    const TpmTimingProfile &profile() const { return profile_; }
+    TpmVendor vendor() const { return profile_.vendor; }
+
+    /** Platform power cycle: PCR bank reset, lock cleared, buffer wiped. */
+    void reboot();
+
+    /** @name Key material. @{ */
+    const crypto::RsaPublicKey &srkPublic() const { return srk_.pub; }
+    const crypto::RsaPublicKey &aikPublic() const { return aik_.pub; }
+    /** @} */
+
+    /** @name Ordinary (software-invocable) commands. @{ */
+    Result<PcrValue> pcrRead(std::size_t index);
+    Status pcrExtend(std::size_t index, const Bytes &digest);
+    Result<Bytes> getRandom(std::size_t bytes);
+    /** Seal @p payload to the *current* values of @p pcr_selection. */
+    Result<SealedBlob> seal(const Bytes &payload,
+                            const std::vector<std::size_t> &pcr_selection);
+    /** Seal to an explicit digest-at-release policy. */
+    Result<SealedBlob> sealToPolicy(const Bytes &payload,
+                                    const SealPolicy &policy);
+    /** Unseal; fails unless every policy PCR currently matches. */
+    Result<Bytes> unseal(const SealedBlob &blob);
+    Result<TpmQuote> quote(const Bytes &nonce,
+                           const std::vector<std::size_t> &pcr_selection);
+    /** @} */
+
+    /** @name Monotonic counters (TCG v1.2 optional resource).
+     * Sealed storage alone cannot stop the untrusted OS from replaying
+     * an *old* sealed blob to a PAL (state rollback). A PAL that stores
+     * the counter value inside its sealed state and increments on every
+     * update detects rollback: an unsealed value below the hardware
+     * counter means the OS fed it stale state.
+     * @{ */
+    /** Create a counter starting at 0; returns its handle. */
+    Result<std::uint32_t> counterCreate();
+    /** Increment and return the new value (monotonic, never resets
+     *  except by TPM ownership clear -- not modeled). */
+    Result<std::uint64_t> counterIncrement(std::uint32_t handle);
+    /** Current value. */
+    Result<std::uint64_t> counterRead(std::uint32_t handle) const;
+    /** @} */
+
+    /** @name PCR-gated non-volatile storage (TPM_NV_*, TCG v1.2).
+     * A small NV area whose reads/writes can be gated on PCR contents:
+     * define a space bound to the current value of some PCRs, and only
+     * software that can reproduce those values (i.e. the late-launched
+     * PAL) may access it. Persists across reboot().
+     * @{ */
+    /** Define a space of @p bytes gated on the current values of
+     *  @p pcr_selection (empty = ungated). Returns the space index. */
+    Result<std::uint32_t> nvDefine(std::size_t bytes,
+                                   const std::vector<std::size_t> &
+                                       pcr_selection);
+    /** Write @p data (must fit the defined size). */
+    Status nvWrite(std::uint32_t index, const Bytes &data);
+    /** Read the space contents. */
+    Result<Bytes> nvRead(std::uint32_t index);
+    /** @} */
+
+    /** @name Late-launch hash interface (locality 4 / hardware only).
+     * TPM_HASH_START resets the dynamic PCRs; TPM_HASH_DATA streams the
+     * SLB/ACMod bytes (the long-wait-cycle cost lives here); TPM_HASH_END
+     * hashes the buffered bytes and extends PCR 17.
+     * @{ */
+    Status hashStart(Locality locality);
+    Status hashData(const Bytes &chunk, Locality locality);
+    Status hashEnd(Locality locality);
+    /** @} */
+
+    /** @name Hardware TPM lock (Section 5.4.5).
+     * Multi-CPU arbitration for the recommended architecture: a CPU takes
+     * the lock before streaming measurements, and all other CPUs' TPM
+     * commands fail with resourceExhausted until release.
+     * @{ */
+    bool tryLock(CpuId cpu);
+    Status unlock(CpuId cpu);
+    std::optional<CpuId> lockHolder() const { return lockHolder_; }
+    /** @} */
+
+    /** Direct PCR bank access for tests and the sePCR extension. */
+    PcrBank &pcrs() { return pcrs_; }
+    const PcrBank &pcrs() const { return pcrs_; }
+
+    /** Unseal the blob crypto without policy (sePCR extension backend). */
+    Result<Bytes> unsealRaw(const SealedBlob &blob) const;
+    /** The SRK public key handle for blob construction by extensions. */
+    const crypto::RsaPrivateKey &srkPrivate() const { return srk_; }
+    /** Sign @p payload with the AIK (sePCR quote path). */
+    Bytes aikSign(const Bytes &payload) const;
+    /** Charge @p mean (with jitter) to the attached clock. */
+    void charge(Duration mean);
+    /** RNG shared with extensions so streams stay deterministic. */
+    Rng &rng() { return rng_; }
+
+    /** Command counters (gem5-style observability). */
+    const TpmStats &stats() const { return stats_; }
+
+  private:
+    Status requireHardware(Locality locality, const char *op) const;
+
+    TpmTimingProfile profile_;
+    TimePoint busyUntil_; //!< the chip serializes commands (one LPC port)
+    PcrBank pcrs_;
+    crypto::RsaPrivateKey srk_;
+    crypto::RsaPrivateKey aik_;
+    Rng rng_;
+    Timeline ownClock_;
+    Timeline *clock_ = nullptr;
+
+    bool hashSequenceOpen_ = false;
+    Bytes hashBuffer_;
+    std::optional<CpuId> lockHolder_;
+    std::vector<std::uint64_t> counters_; //!< persists across reboot()
+
+    struct NvSpace
+    {
+        SealPolicy policy; //!< PCR gate captured at define time
+        std::size_t size = 0;
+        Bytes data;
+    };
+    std::vector<NvSpace> nvSpaces_; //!< persists across reboot()
+    mutable TpmStats stats_;
+};
+
+} // namespace mintcb::tpm
+
+#endif // MINTCB_TPM_TPM_HH

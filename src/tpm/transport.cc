@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Transport session implementation.
+ *
+ * Framing: plaintext = u8 op | u32 pcr | length-prefixed payload.
+ * Encryption: XOR keystream HMAC-SHA256(key, "ts-enc" || direction ||
+ * counter || block). MAC: HMAC-SHA256(key, "ts-mac" || direction ||
+ * counter || ciphertext); the counter gives replay protection.
+ */
+
+#include "tpm/transport.hh"
+
+#include "common/bytebuf.hh"
+#include "crypto/hmac.hh"
+
+namespace mintcb::tpm
+{
+
+namespace
+{
+
+Bytes
+keystream(const Bytes &key, std::uint8_t direction, std::uint64_t counter,
+          std::size_t length)
+{
+    Bytes out(length);
+    Bytes block;
+    for (std::size_t i = 0; i < length; ++i) {
+        if (i % 32 == 0) {
+            ByteWriter w;
+            w.str("ts-enc");
+            w.u8(direction);
+            w.u64(counter);
+            w.u64(i / 32);
+            block = crypto::hmacSha256(key, w.bytes());
+        }
+        out[i] = block[i % 32];
+    }
+    return out;
+}
+
+Bytes
+computeMac(const Bytes &key, std::uint8_t direction,
+           std::uint64_t counter, const Bytes &ciphertext)
+{
+    ByteWriter w;
+    w.str("ts-mac");
+    w.u8(direction);
+    w.u64(counter);
+    w.lengthPrefixed(ciphertext);
+    return crypto::hmacSha256(key, w.bytes());
+}
+
+WrappedMessage
+wrap(const Bytes &key, std::uint8_t direction, std::uint64_t counter,
+     const Bytes &plaintext)
+{
+    WrappedMessage m;
+    const Bytes stream = keystream(key, direction, counter,
+                                   plaintext.size());
+    m.ciphertext.resize(plaintext.size());
+    for (std::size_t i = 0; i < plaintext.size(); ++i)
+        m.ciphertext[i] = plaintext[i] ^ stream[i];
+    m.mac = computeMac(key, direction, counter, m.ciphertext);
+    return m;
+}
+
+Result<Bytes>
+unwrap(const Bytes &key, std::uint8_t direction, std::uint64_t counter,
+       const WrappedMessage &m)
+{
+    const Bytes expected = computeMac(key, direction, counter,
+                                      m.ciphertext);
+    if (!crypto::constantTimeEqual(expected, m.mac)) {
+        return Error(Errc::integrityFailure,
+                     "transport MAC mismatch (tamper or replay)");
+    }
+    const Bytes stream = keystream(key, direction, counter,
+                                   m.ciphertext.size());
+    Bytes plaintext(m.ciphertext.size());
+    for (std::size_t i = 0; i < plaintext.size(); ++i)
+        plaintext[i] = m.ciphertext[i] ^ stream[i];
+    return plaintext;
+}
+
+constexpr std::uint8_t toTpm = 0x01;
+constexpr std::uint8_t fromTpm = 0x02;
+
+} // namespace
+
+Bytes
+WrappedMessage::encode() const
+{
+    ByteWriter w;
+    w.lengthPrefixed(ciphertext);
+    w.lengthPrefixed(mac);
+    return w.take();
+}
+
+Result<WrappedMessage>
+WrappedMessage::decode(const Bytes &wire)
+{
+    ByteReader r(wire);
+    auto ct = r.lengthPrefixed();
+    if (!ct)
+        return ct.error();
+    auto mac = r.lengthPrefixed();
+    if (!mac)
+        return mac.error();
+    if (!r.atEnd())
+        return Error(Errc::integrityFailure, "trailing transport bytes");
+    WrappedMessage m;
+    m.ciphertext = ct.take();
+    m.mac = mac.take();
+    return m;
+}
+
+Result<TransportClient>
+TransportClient::establish(const crypto::RsaPublicKey &srk, Rng &rng,
+                           Bytes &envelope_out)
+{
+    const Bytes session_key = rng.bytes(32);
+    auto envelope = crypto::rsaEncrypt(srk, rng, session_key);
+    if (!envelope)
+        return envelope.error();
+    envelope_out = envelope.take();
+    return TransportClient(session_key);
+}
+
+WrappedMessage
+TransportClient::wrapCommand(TransportOp op, std::uint32_t pcr,
+                             const Bytes &payload)
+{
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(op));
+    w.u32(pcr);
+    w.lengthPrefixed(payload);
+    return wrap(key_, toTpm, sendCounter_++, w.bytes());
+}
+
+Result<Bytes>
+TransportClient::unwrapResponse(const WrappedMessage &message)
+{
+    auto plain = unwrap(key_, fromTpm, recvCounter_, message);
+    if (!plain)
+        return plain.error();
+    ++recvCounter_;
+    return plain;
+}
+
+Status
+TpmTransportServer::accept(const Bytes &envelope)
+{
+    auto key = crypto::rsaDecrypt(tpm_.srkPrivate(), envelope);
+    if (!key)
+        return key.error();
+    if (key->size() != 32) {
+        return Error(Errc::invalidArgument,
+                     "transport session key must be 32 bytes");
+    }
+    key_ = key.take();
+    recvCounter_ = 0;
+    sendCounter_ = 0;
+    return okStatus();
+}
+
+Result<WrappedMessage>
+TpmTransportServer::execute(const WrappedMessage &message)
+{
+    if (key_.empty()) {
+        return Error(Errc::failedPrecondition,
+                     "no transport session established");
+    }
+    auto plain = unwrap(key_, toTpm, recvCounter_, message);
+    if (!plain)
+        return plain.error();
+    ++recvCounter_;
+
+    ByteReader r(*plain);
+    auto op = r.u8();
+    if (!op)
+        return op.error();
+    auto pcr = r.u32();
+    if (!pcr)
+        return pcr.error();
+    auto payload = r.lengthPrefixed();
+    if (!payload)
+        return payload.error();
+
+    ByteWriter response;
+    switch (static_cast<TransportOp>(*op)) {
+      case TransportOp::pcrRead: {
+          auto value = tpm_.pcrRead(*pcr);
+          if (!value)
+              return value.error();
+          response.u8(0);
+          response.lengthPrefixed(*value);
+          break;
+      }
+      case TransportOp::pcrExtend: {
+          if (auto s = tpm_.pcrExtend(*pcr, *payload); !s.ok())
+              return s.error();
+          response.u8(0);
+          break;
+      }
+      case TransportOp::getRandom: {
+          auto bytes = tpm_.getRandom(*pcr); // pcr field doubles as count
+          if (!bytes)
+              return bytes.error();
+          response.u8(0);
+          response.lengthPrefixed(*bytes);
+          break;
+      }
+      default:
+        return Error(Errc::invalidArgument, "unknown transport opcode");
+    }
+    return wrap(key_, fromTpm, sendCounter_++, response.bytes());
+}
+
+} // namespace mintcb::tpm

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * TPM secure transport sessions.
+ *
+ * Section 3.3: "the south bridge is not included in the TCB since the
+ * TPM is capable of creating a secure channel to the PAL (by engaging in
+ * secure transport sessions)." The LPC bus and everything routing it are
+ * untrusted; the PAL establishes a session key under the TPM's SRK and
+ * wraps commands with encryption + a rolling-nonce MAC, so an on-path
+ * adversary can neither read nor undetectably modify nor replay TPM
+ * traffic.
+ */
+
+#ifndef MINTCB_TPM_TRANSPORT_HH
+#define MINTCB_TPM_TRANSPORT_HH
+
+#include <cstdint>
+
+#include "common/result.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "tpm/tpm.hh"
+
+namespace mintcb::tpm
+{
+
+/** Commands tunneled through a transport session. */
+enum class TransportOp : std::uint8_t
+{
+    pcrRead = 1,
+    pcrExtend = 2,
+    getRandom = 3,
+};
+
+/** A wrapped (encrypted + MACed) message on the untrusted bus. */
+struct WrappedMessage
+{
+    Bytes ciphertext;
+    Bytes mac;
+
+    Bytes encode() const;
+    static Result<WrappedMessage> decode(const Bytes &wire);
+};
+
+/**
+ * The PAL-side endpoint. establish() invents a session key, encrypts it
+ * to the TPM's SRK, and hands the opaque envelope to TpmTransportServer
+ * (travelling over the untrusted bus).
+ */
+class TransportClient
+{
+  public:
+    /** Begin a session; returns the key-exchange envelope to deliver. */
+    static Result<TransportClient> establish(
+        const crypto::RsaPublicKey &srk, Rng &rng, Bytes &envelope_out);
+
+    /** Wrap a command for the wire. */
+    WrappedMessage wrapCommand(TransportOp op, std::uint32_t pcr,
+                               const Bytes &payload);
+
+    /** Unwrap and authenticate the TPM's response. */
+    Result<Bytes> unwrapResponse(const WrappedMessage &message);
+
+  private:
+    TransportClient(Bytes key) : key_(std::move(key)) {}
+
+    Bytes key_;
+    std::uint64_t sendCounter_ = 0;
+    std::uint64_t recvCounter_ = 0;
+};
+
+/** The TPM-side endpoint, dispatching into a Tpm instance. */
+class TpmTransportServer
+{
+  public:
+    explicit TpmTransportServer(Tpm &tpm) : tpm_(tpm) {}
+
+    /** Accept a key-exchange envelope (SRK-encrypted session key). */
+    Status accept(const Bytes &envelope);
+
+    /** Process one wrapped command; returns the wrapped response.
+     *  Tampered or replayed messages yield integrityFailure and no TPM
+     *  state change. */
+    Result<WrappedMessage> execute(const WrappedMessage &message);
+
+  private:
+    Tpm &tpm_;
+    Bytes key_;
+    std::uint64_t recvCounter_ = 0;
+    std::uint64_t sendCounter_ = 0;
+};
+
+} // namespace mintcb::tpm
+
+#endif // MINTCB_TPM_TRANSPORT_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Distributed factoring tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/factoring_pal.hh"
+
+namespace mintcb::apps
+{
+namespace
+{
+
+using machine::Machine;
+using machine::PlatformId;
+
+class FactoringTest : public ::testing::Test
+{
+  protected:
+    FactoringTest()
+        : machine_(Machine::forPlatform(PlatformId::hpDc5750)),
+          driver_(machine_)
+    {
+    }
+
+    Machine machine_;
+    sea::SeaDriver driver_;
+};
+
+TEST_F(FactoringTest, FindsSmallFactorInOneSession)
+{
+    DistributedFactoring worker(driver_, 15, /*chunk=*/100);
+    auto p = worker.runToCompletion();
+    ASSERT_TRUE(p.ok());
+    EXPECT_TRUE(p->found);
+    EXPECT_EQ(p->factor, 3u);
+    EXPECT_EQ(p->sessions, 1u);
+}
+
+TEST_F(FactoringTest, EvenCompositeShortCircuits)
+{
+    DistributedFactoring worker(driver_, 1'000'000, 10);
+    auto p = worker.runToCompletion();
+    ASSERT_TRUE(p.ok());
+    EXPECT_TRUE(p->found);
+    EXPECT_EQ(p->factor, 2u);
+}
+
+TEST_F(FactoringTest, SemiprimeNeedsMultipleSealedSessions)
+{
+    // 10403 = 101 * 103: with 10 candidates per chunk the worker must
+    // seal and resume state across several sessions.
+    DistributedFactoring worker(driver_, 10403, /*chunk=*/10);
+    auto p = worker.runToCompletion();
+    ASSERT_TRUE(p.ok());
+    EXPECT_TRUE(p->found);
+    EXPECT_EQ(p->factor, 101u);
+    EXPECT_GT(p->sessions, 3u);
+}
+
+TEST_F(FactoringTest, PrimeInputIsProvedPrime)
+{
+    DistributedFactoring worker(driver_, 10007, /*chunk=*/100);
+    auto p = worker.runToCompletion();
+    ASSERT_TRUE(p.ok());
+    EXPECT_FALSE(p->found);
+    EXPECT_TRUE(p->exhausted);
+}
+
+TEST_F(FactoringTest, StepIsIdempotentAfterCompletion)
+{
+    DistributedFactoring worker(driver_, 21, 100);
+    ASSERT_TRUE(worker.runToCompletion().ok());
+    auto again = worker.step();
+    ASSERT_TRUE(again.ok());
+    EXPECT_TRUE(again->found);
+    EXPECT_EQ(again->sessions, 1u); // no extra session consumed
+}
+
+TEST_F(FactoringTest, OverheadDominatesComputeForSmallChunks)
+{
+    // The paper's economic argument: per-session SEA overhead (launch,
+    // seal, unseal) dwarfs the useful work when chunks are small.
+    DistributedFactoring worker(driver_, 10403, /*chunk=*/10);
+    ASSERT_TRUE(worker.runToCompletion().ok());
+    EXPECT_GT(worker.overheadTime(),
+              worker.computeTime() * 100.0);
+}
+
+TEST_F(FactoringTest, SessionBudgetEnforced)
+{
+    // 99400891 = 9967 * 9973; one candidate per chunk cannot finish in
+    // three sessions.
+    DistributedFactoring worker(driver_, 99400891ull, /*chunk=*/1);
+    auto p = worker.runToCompletion(/*max_sessions=*/3);
+    ASSERT_FALSE(p.ok());
+    EXPECT_EQ(p.error().code, Errc::resourceExhausted);
+}
+
+} // namespace
+} // namespace mintcb::apps

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Secure KV store tests: functionality plus the rollback, tamper, and
+ * cross-PAL attacks it must survive.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/kvstore_pal.hh"
+#include "common/hex.hh"
+
+namespace mintcb::apps
+{
+namespace
+{
+
+using machine::Machine;
+using machine::PlatformId;
+
+class KvStoreTest : public ::testing::Test
+{
+  protected:
+    KvStoreTest()
+        : machine_(Machine::forPlatform(PlatformId::hpDc5750)),
+          driver_(machine_), store_(driver_)
+    {
+        EXPECT_TRUE(store_.initialize().ok());
+    }
+
+    Machine machine_;
+    sea::SeaDriver driver_;
+    SecureKvStore store_;
+};
+
+TEST_F(KvStoreTest, PutGetRoundTrip)
+{
+    ASSERT_TRUE(store_.put("api-key", asciiBytes("sk-12345")).ok());
+    auto value = store_.get("api-key");
+    ASSERT_TRUE(value.ok());
+    EXPECT_EQ(*value, asciiBytes("sk-12345"));
+}
+
+TEST_F(KvStoreTest, OverwriteAndRemove)
+{
+    ASSERT_TRUE(store_.put("k", asciiBytes("v1")).ok());
+    ASSERT_TRUE(store_.put("k", asciiBytes("v2")).ok());
+    EXPECT_EQ(*store_.get("k"), asciiBytes("v2"));
+    ASSERT_TRUE(store_.remove("k").ok());
+    EXPECT_EQ(store_.get("k").error().code, Errc::notFound);
+    EXPECT_EQ(store_.remove("k").error().code, Errc::notFound);
+}
+
+TEST_F(KvStoreTest, SizeTracksMutations)
+{
+    EXPECT_EQ(*store_.size(), 0u);
+    ASSERT_TRUE(store_.put("a", {1}).ok());
+    ASSERT_TRUE(store_.put("b", {2}).ok());
+    EXPECT_EQ(*store_.size(), 2u);
+    ASSERT_TRUE(store_.remove("a").ok());
+    EXPECT_EQ(*store_.size(), 1u);
+}
+
+TEST_F(KvStoreTest, BinaryValuesAndManyKeys)
+{
+    for (int i = 0; i < 12; ++i) {
+        Bytes value(64);
+        for (std::size_t j = 0; j < value.size(); ++j)
+            value[j] = static_cast<std::uint8_t>(i * 37 + j);
+        ASSERT_TRUE(
+            store_.put("key-" + std::to_string(i), value).ok());
+    }
+    EXPECT_EQ(*store_.size(), 12u);
+    auto v5 = store_.get("key-5");
+    ASSERT_TRUE(v5.ok());
+    EXPECT_EQ((*v5)[0], 5 * 37);
+}
+
+TEST_F(KvStoreTest, ReplayedImageIsRejected)
+{
+    // The attack the monotonic counter exists for: the OS snapshots the
+    // sealed image, lets a mutation happen, then swaps the old image
+    // back (e.g. to resurrect a revoked credential).
+    ASSERT_TRUE(store_.put("cred", asciiBytes("REVOKED-LATER")).ok());
+    const Bytes snapshot = store_.sealedImage();
+    ASSERT_TRUE(store_.remove("cred").ok()); // revocation
+
+    store_.setSealedImage(snapshot); // the rollback
+    auto resurrection = store_.get("cred");
+    ASSERT_FALSE(resurrection.ok());
+    EXPECT_EQ(resurrection.error().code, Errc::integrityFailure);
+    EXPECT_NE(resurrection.error().message.find("rollback"),
+              std::string::npos);
+}
+
+TEST_F(KvStoreTest, TamperedImageIsRejected)
+{
+    ASSERT_TRUE(store_.put("k", asciiBytes("v")).ok());
+    Bytes tampered = store_.sealedImage();
+    tampered[tampered.size() / 2] ^= 0x01;
+    store_.setSealedImage(tampered);
+    auto out = store_.get("k");
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.error().code, Errc::integrityFailure);
+}
+
+TEST_F(KvStoreTest, OperationsBeforeInitFail)
+{
+    SecureKvStore fresh(driver_);
+    EXPECT_EQ(fresh.put("k", {1}).error().code,
+              Errc::failedPrecondition);
+    EXPECT_EQ(fresh.get("k").error().code, Errc::failedPrecondition);
+    EXPECT_EQ(fresh.size().error().code, Errc::failedPrecondition);
+}
+
+TEST_F(KvStoreTest, DoubleInitializeFails)
+{
+    EXPECT_EQ(store_.initialize().error().code,
+              Errc::failedPrecondition);
+}
+
+TEST_F(KvStoreTest, EveryOperationPaysTheSeaTax)
+{
+    // Each op is a full SEA session with an unseal: > 0.9 s simulated.
+    const TimePoint before = machine_.cpu(0).now();
+    ASSERT_TRUE(store_.put("k", {1}).ok());
+    EXPECT_GT(machine_.cpu(0).now() - before, Duration::millis(900));
+}
+
+} // namespace
+} // namespace mintcb::apps

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * SSH password vault tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/ssh_pal.hh"
+
+namespace mintcb::apps
+{
+namespace
+{
+
+using machine::Machine;
+using machine::PlatformId;
+
+class VaultTest : public ::testing::Test
+{
+  protected:
+    VaultTest()
+        : machine_(Machine::forPlatform(PlatformId::hpDc5750)),
+          driver_(machine_), vault_(driver_)
+    {
+    }
+
+    Machine machine_;
+    sea::SeaDriver driver_;
+    PasswordVault vault_;
+};
+
+TEST_F(VaultTest, CorrectPasswordAuthenticates)
+{
+    ASSERT_TRUE(vault_.enroll("alice", "correct horse battery").ok());
+    auto ok = vault_.authenticate("alice", "correct horse battery");
+    ASSERT_TRUE(ok.ok());
+    EXPECT_TRUE(*ok);
+}
+
+TEST_F(VaultTest, WrongPasswordRejected)
+{
+    ASSERT_TRUE(vault_.enroll("alice", "right").ok());
+    auto ok = vault_.authenticate("alice", "wrong");
+    ASSERT_TRUE(ok.ok());
+    EXPECT_FALSE(*ok);
+}
+
+TEST_F(VaultTest, UnknownUserIsAnError)
+{
+    auto ok = vault_.authenticate("mallory", "whatever");
+    ASSERT_FALSE(ok.ok());
+    EXPECT_EQ(ok.error().code, Errc::notFound);
+}
+
+TEST_F(VaultTest, MultipleUsersAreIndependent)
+{
+    ASSERT_TRUE(vault_.enroll("alice", "alice-pw").ok());
+    ASSERT_TRUE(vault_.enroll("bob", "bob-pw").ok());
+    EXPECT_EQ(vault_.userCount(), 2u);
+    EXPECT_TRUE(*vault_.authenticate("alice", "alice-pw"));
+    EXPECT_TRUE(*vault_.authenticate("bob", "bob-pw"));
+    EXPECT_FALSE(*vault_.authenticate("alice", "bob-pw"));
+}
+
+TEST_F(VaultTest, SamePasswordDifferentUsersDifferentRecords)
+{
+    // Per-record TPM salt: equal passwords must not produce equal
+    // verifiers (no rainbow-table linkage for whoever steals the disk).
+    ASSERT_TRUE(vault_.enroll("u1", "shared").ok());
+    ASSERT_TRUE(vault_.enroll("u2", "shared").ok());
+    EXPECT_NE(vault_.record("u1")->ciphertext,
+              vault_.record("u2")->ciphertext);
+}
+
+TEST_F(VaultTest, TamperedRecordFailsAuthentication)
+{
+    ASSERT_TRUE(vault_.enroll("alice", "pw").ok());
+    auto blob = vault_.record("alice");
+    ASSERT_TRUE(blob.ok());
+    tpm::SealedBlob tampered = *blob;
+    tampered.ciphertext[3] ^= 0x01;
+    vault_.setRecord("alice", tampered);
+    auto ok = vault_.authenticate("alice", "pw");
+    ASSERT_FALSE(ok.ok());
+    EXPECT_EQ(ok.error().code, Errc::integrityFailure);
+}
+
+TEST_F(VaultTest, ReEnrollReplacesPassword)
+{
+    ASSERT_TRUE(vault_.enroll("alice", "old").ok());
+    ASSERT_TRUE(vault_.enroll("alice", "new").ok());
+    EXPECT_EQ(vault_.userCount(), 1u);
+    EXPECT_FALSE(*vault_.authenticate("alice", "old"));
+    EXPECT_TRUE(*vault_.authenticate("alice", "new"));
+}
+
+TEST_F(VaultTest, AuthenticationPaysThePalUseTax)
+{
+    // Every password check is a full SEA session: launch + unseal.
+    // This is the Section 4.1 pain that motivated the paper.
+    ASSERT_TRUE(vault_.enroll("alice", "pw").ok());
+    ASSERT_TRUE(vault_.authenticate("alice", "pw").ok());
+    EXPECT_GT(vault_.lastReport().unseal, Duration::millis(500));
+    EXPECT_GT(vault_.lastReport().total, Duration::millis(800));
+}
+
+} // namespace
+} // namespace mintcb::apps

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for big-endian serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bytebuf.hh"
+
+namespace mintcb
+{
+namespace
+{
+
+TEST(ByteWriter, BigEndianLayout)
+{
+    ByteWriter w;
+    w.u8(0xab);
+    w.u16(0x1234);
+    w.u32(0xdeadbeef);
+    const Bytes expected = {0xab, 0x12, 0x34, 0xde, 0xad, 0xbe, 0xef};
+    EXPECT_EQ(w.bytes(), expected);
+}
+
+TEST(ByteWriter, U64Layout)
+{
+    ByteWriter w;
+    w.u64(0x0102030405060708ull);
+    const Bytes expected = {1, 2, 3, 4, 5, 6, 7, 8};
+    EXPECT_EQ(w.bytes(), expected);
+}
+
+TEST(RoundTrip, AllFieldTypes)
+{
+    ByteWriter w;
+    w.u8(7);
+    w.u16(777);
+    w.u32(70707);
+    w.u64(7070707070ull);
+    w.lengthPrefixed({0xde, 0xad});
+    w.str("pal");
+
+    ByteReader r(w.bytes());
+    EXPECT_EQ(*r.u8(), 7);
+    EXPECT_EQ(*r.u16(), 777);
+    EXPECT_EQ(*r.u32(), 70707u);
+    EXPECT_EQ(*r.u64(), 7070707070ull);
+    EXPECT_EQ(*r.lengthPrefixed(), (Bytes{0xde, 0xad}));
+    EXPECT_EQ(*r.str(), "pal");
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(ByteReader, TruncationIsAnIntegrityFailure)
+{
+    const Bytes short_buf = {0x01};
+    ByteReader r(short_buf);
+    auto v = r.u32();
+    ASSERT_FALSE(v.ok());
+    EXPECT_EQ(v.error().code, Errc::integrityFailure);
+}
+
+TEST(ByteReader, LengthPrefixLongerThanBuffer)
+{
+    ByteWriter w;
+    w.u32(1000); // claims 1000 bytes follow
+    w.u8(0x55);
+    ByteReader r(w.bytes());
+    auto v = r.lengthPrefixed();
+    ASSERT_FALSE(v.ok());
+    EXPECT_EQ(v.error().code, Errc::integrityFailure);
+}
+
+TEST(ByteReader, RemainingTracksConsumption)
+{
+    ByteWriter w;
+    w.u32(5);
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.remaining(), 4u);
+    ASSERT_TRUE(r.u16().ok());
+    EXPECT_EQ(r.remaining(), 2u);
+    EXPECT_FALSE(r.atEnd());
+}
+
+TEST(ByteReader, EmptyRawReadSucceeds)
+{
+    const Bytes empty;
+    ByteReader r(empty);
+    auto v = r.raw(0);
+    ASSERT_TRUE(v.ok());
+    EXPECT_TRUE(v->empty());
+    EXPECT_TRUE(r.atEnd());
+}
+
+} // namespace
+} // namespace mintcb

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Unit tests for hex encoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hh"
+
+namespace mintcb
+{
+namespace
+{
+
+TEST(Hex, Encode)
+{
+    EXPECT_EQ(toHex({}), "");
+    EXPECT_EQ(toHex({0x00, 0xff, 0x0a}), "00ff0a");
+}
+
+TEST(Hex, DecodeLowerAndUpper)
+{
+    EXPECT_EQ(*fromHex("00ff0a"), (Bytes{0x00, 0xff, 0x0a}));
+    EXPECT_EQ(*fromHex("DEADBEEF"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Hex, RoundTrip)
+{
+    const Bytes data = {1, 2, 3, 250, 251, 252};
+    EXPECT_EQ(*fromHex(toHex(data)), data);
+}
+
+TEST(Hex, RejectsOddLength)
+{
+    auto r = fromHex("abc");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, Errc::invalidArgument);
+}
+
+TEST(Hex, RejectsNonHex)
+{
+    auto r = fromHex("zz");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, Errc::invalidArgument);
+}
+
+TEST(Hex, AsciiBytes)
+{
+    EXPECT_EQ(asciiBytes("abc"), (Bytes{'a', 'b', 'c'}));
+    EXPECT_TRUE(asciiBytes("").empty());
+}
+
+} // namespace
+} // namespace mintcb

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for Result/Status.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/result.hh"
+
+namespace mintcb
+{
+namespace
+{
+
+TEST(Result, HoldsValue)
+{
+    Result<int> r(42);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, 42);
+    EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError)
+{
+    Result<int> r(Error(Errc::notFound, "no such handle"));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, Errc::notFound);
+    EXPECT_EQ(r.error().message, "no such handle");
+}
+
+TEST(Result, BoolConversion)
+{
+    Result<std::string> good(std::string("x"));
+    Result<std::string> bad{Error(Errc::invalidArgument, "y")};
+    EXPECT_TRUE(static_cast<bool>(good));
+    EXPECT_FALSE(static_cast<bool>(bad));
+}
+
+TEST(Result, TakeMovesValue)
+{
+    Result<std::string> r(std::string("payload"));
+    std::string s = r.take();
+    EXPECT_EQ(s, "payload");
+}
+
+TEST(Result, ArrowOperator)
+{
+    Result<std::string> r(std::string("abc"));
+    EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(Status, DefaultIsOk)
+{
+    Status s = okStatus();
+    EXPECT_TRUE(s.ok());
+}
+
+TEST(Status, CarriesError)
+{
+    Status s{Error(Errc::permissionDenied, "DEV blocked the access")};
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.error().code, Errc::permissionDenied);
+    EXPECT_EQ(s.error().str(),
+              "permissionDenied: DEV blocked the access");
+}
+
+TEST(Error, EveryCodeHasAName)
+{
+    for (Errc c : {Errc::ok, Errc::invalidArgument, Errc::permissionDenied,
+                   Errc::notFound, Errc::resourceExhausted,
+                   Errc::failedPrecondition, Errc::integrityFailure,
+                   Errc::unavailable}) {
+        EXPECT_STRNE(errcName(c), "unknown");
+    }
+}
+
+} // namespace
+} // namespace mintcb

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace mintcb
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 16; ++i)
+        differing += a.next() != b.next();
+    EXPECT_GT(differing, 12);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(99);
+    const std::uint64_t first = a.next();
+    a.next();
+    a.reseed(99);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 17ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, GaussianHasRoughlyUnitMoments)
+{
+    Rng rng(13);
+    double sum = 0, sumsq = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.nextGaussian();
+        sum += g;
+        sumsq += g * g;
+    }
+    const double mean = sum / n;
+    const double var = sumsq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.05);
+    EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(Rng, BytesLengthAndDeterminism)
+{
+    Rng a(5), b(5);
+    const Bytes ba = a.bytes(37);
+    const Bytes bb = b.bytes(37);
+    EXPECT_EQ(ba.size(), 37u);
+    EXPECT_EQ(ba, bb);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(21);
+    Rng child = a.fork();
+    // The child must not replay the parent's stream.
+    Rng fresh(21);
+    fresh.next(); // parent consumed one draw to fork
+    EXPECT_NE(child.next(), fresh.next());
+}
+
+} // namespace
+} // namespace mintcb

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for simulated time.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/simtime.hh"
+
+namespace mintcb
+{
+namespace
+{
+
+TEST(Duration, DefaultIsZero)
+{
+    EXPECT_EQ(Duration().ticks(), 0);
+    EXPECT_EQ(Duration::zero().ticks(), 0);
+}
+
+TEST(Duration, NamedConstructorsAgree)
+{
+    EXPECT_EQ(Duration::millis(1).ticks(), Duration::micros(1000).ticks());
+    EXPECT_EQ(Duration::micros(1).ticks(), Duration::nanos(1000).ticks());
+    EXPECT_EQ(Duration::nanos(1).ticks(), Duration::picos(1000).ticks());
+    EXPECT_EQ(Duration::seconds(1).ticks(), Duration::millis(1000).ticks());
+}
+
+TEST(Duration, SubNanosecondValuesAreExact)
+{
+    // Intel VM Entry from Table 2: 0.4457 us must not round away.
+    const Duration d = Duration::micros(0.4457);
+    EXPECT_EQ(d.ticks(), 445700);
+    EXPECT_DOUBLE_EQ(d.toMicros(), 0.4457);
+}
+
+TEST(Duration, ArithmeticAndComparison)
+{
+    const Duration a = Duration::millis(2);
+    const Duration b = Duration::millis(3);
+    EXPECT_EQ((a + b).toMillis(), 5.0);
+    EXPECT_EQ((b - a).toMillis(), 1.0);
+    EXPECT_LT(a, b);
+    EXPECT_GT(b, a);
+    EXPECT_EQ(a * 3, Duration::millis(6));
+    EXPECT_EQ(a * 1.5, Duration::millis(3));
+    EXPECT_DOUBLE_EQ(b / a, 1.5);
+    EXPECT_EQ(b / 3, Duration::millis(1));
+}
+
+TEST(Duration, CompoundAssignment)
+{
+    Duration d = Duration::millis(1);
+    d += Duration::millis(2);
+    EXPECT_EQ(d, Duration::millis(3));
+    d -= Duration::millis(1);
+    EXPECT_EQ(d, Duration::millis(2));
+}
+
+TEST(Duration, FormatSelectsUnit)
+{
+    EXPECT_EQ(Duration::millis(177.52).str(), "177.520 ms");
+    EXPECT_EQ(Duration::micros(0.558).str(), "558.000 ns");
+    EXPECT_EQ(Duration::micros(2.5).str(), "2.500 us");
+    EXPECT_EQ(Duration::seconds(1.2).str(), "1.200 s");
+    EXPECT_EQ(Duration::nanos(5).str(), "5.000 ns");
+    EXPECT_EQ(Duration::picos(12).str(), "12 ps");
+}
+
+TEST(TimePoint, OffsetAndDifference)
+{
+    const TimePoint start;
+    const TimePoint later = start + Duration::micros(7);
+    EXPECT_EQ(later - start, Duration::micros(7));
+    EXPECT_LT(start, later);
+}
+
+TEST(Timeline, AdvanceAccumulates)
+{
+    Timeline t;
+    t.advance(Duration::millis(5));
+    t.advance(Duration::millis(7));
+    EXPECT_EQ(t.now().sinceEpoch(), Duration::millis(12));
+}
+
+TEST(Timeline, SyncToOnlyMovesForward)
+{
+    Timeline t;
+    t.advance(Duration::millis(10));
+    t.syncTo(TimePoint() + Duration::millis(4));
+    EXPECT_EQ(t.now().sinceEpoch(), Duration::millis(10));
+    t.syncTo(TimePoint() + Duration::millis(25));
+    EXPECT_EQ(t.now().sinceEpoch(), Duration::millis(25));
+}
+
+TEST(Timeline, ResetReturnsToEpoch)
+{
+    Timeline t;
+    t.advance(Duration::seconds(2));
+    t.reset();
+    EXPECT_EQ(t.now(), TimePoint());
+}
+
+} // namespace
+} // namespace mintcb

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for StatsAccumulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace mintcb
+{
+namespace
+{
+
+TEST(Stats, EmptyAccumulator)
+{
+    StatsAccumulator s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, SingleSample)
+{
+    StatsAccumulator s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 5.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+    EXPECT_EQ(s.min(), 5.0);
+    EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(Stats, KnownMeanAndVariance)
+{
+    StatsAccumulator s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of this classic set is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, DurationOverloadUsesMillis)
+{
+    StatsAccumulator s;
+    s.add(Duration::millis(10));
+    s.add(Duration::millis(20));
+    EXPECT_DOUBLE_EQ(s.mean(), 15.0);
+}
+
+TEST(Stats, MergeMatchesSequential)
+{
+    StatsAccumulator all, left, right;
+    for (int i = 0; i < 50; ++i) {
+        const double x = i * 0.7 - 3;
+        all.add(x);
+        (i % 2 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(left.min(), all.min());
+    EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(Stats, MergeWithEmptySides)
+{
+    StatsAccumulator a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    StatsAccumulator b = a;
+    b.merge(empty);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Stats, StrMentionsCount)
+{
+    StatsAccumulator s;
+    s.add(1.0);
+    EXPECT_NE(s.str().find("n=1"), std::string::npos);
+}
+
+} // namespace
+} // namespace mintcb

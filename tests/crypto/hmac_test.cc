@@ -1,0 +1,88 @@
+/**
+ * @file
+ * HMAC known-answer tests (RFC 2202 for HMAC-SHA1, RFC 4231 for
+ * HMAC-SHA256).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hh"
+#include "crypto/hmac.hh"
+
+namespace mintcb::crypto
+{
+namespace
+{
+
+TEST(HmacSha1, Rfc2202Case1)
+{
+    const Bytes key(20, 0x0b);
+    EXPECT_EQ(toHex(hmacSha1(key, asciiBytes("Hi There"))),
+              "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(HmacSha1, Rfc2202Case2)
+{
+    EXPECT_EQ(toHex(hmacSha1(asciiBytes("Jefe"),
+                             asciiBytes("what do ya want for nothing?"))),
+              "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(HmacSha1, Rfc2202Case3)
+{
+    const Bytes key(20, 0xaa);
+    const Bytes msg(50, 0xdd);
+    EXPECT_EQ(toHex(hmacSha1(key, msg)),
+              "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+}
+
+TEST(HmacSha1, LongKeyIsHashedFirst)
+{
+    // RFC 2202 case 6: 80-byte key exceeds the SHA-1 block size.
+    const Bytes key(80, 0xaa);
+    EXPECT_EQ(toHex(hmacSha1(
+                  key, asciiBytes("Test Using Larger Than Block-Size Key - "
+                                  "Hash Key First"))),
+              "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+TEST(HmacSha256, Rfc4231Case1)
+{
+    const Bytes key(20, 0x0b);
+    EXPECT_EQ(toHex(hmacSha256(key, asciiBytes("Hi There"))),
+              "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32"
+              "cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2)
+{
+    EXPECT_EQ(toHex(hmacSha256(asciiBytes("Jefe"),
+                               asciiBytes("what do ya want for nothing?"))),
+              "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec"
+              "3843");
+}
+
+TEST(Hmac, KeySensitivity)
+{
+    const Bytes msg = asciiBytes("sealed blob");
+    EXPECT_NE(hmacSha256(asciiBytes("k1"), msg),
+              hmacSha256(asciiBytes("k2"), msg));
+}
+
+TEST(Hmac, MessageSensitivity)
+{
+    const Bytes key = asciiBytes("k");
+    EXPECT_NE(hmacSha256(key, asciiBytes("a")),
+              hmacSha256(key, asciiBytes("b")));
+}
+
+TEST(ConstantTimeEqual, Basics)
+{
+    EXPECT_TRUE(constantTimeEqual({1, 2, 3}, {1, 2, 3}));
+    EXPECT_FALSE(constantTimeEqual({1, 2, 3}, {1, 2, 4}));
+    EXPECT_FALSE(constantTimeEqual({1, 2}, {1, 2, 3}));
+    EXPECT_TRUE(constantTimeEqual({}, {}));
+}
+
+} // namespace
+} // namespace mintcb::crypto

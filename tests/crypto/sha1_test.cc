@@ -1,0 +1,110 @@
+/**
+ * @file
+ * SHA-1 known-answer tests (RFC 3174 / FIPS examples).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/hex.hh"
+#include "crypto/sha1.hh"
+
+namespace mintcb::crypto
+{
+namespace
+{
+
+std::string
+sha1Hex(const std::string &msg)
+{
+    return toHex(Sha1::digestBytes(asciiBytes(msg)));
+}
+
+TEST(Sha1, EmptyString)
+{
+    EXPECT_EQ(sha1Hex(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc)
+{
+    EXPECT_EQ(sha1Hex("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage)
+{
+    EXPECT_EQ(
+        sha1Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+        "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs)
+{
+    Sha1 ctx;
+    const Bytes chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        ctx.update(chunk);
+    EXPECT_EQ(toHex(toBytes(ctx.finish())),
+              "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, QuickBrownFox)
+{
+    EXPECT_EQ(sha1Hex("The quick brown fox jumps over the lazy dog"),
+              "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot)
+{
+    const Bytes msg = asciiBytes("hardware-supported minimal TCB");
+    Sha1 ctx;
+    for (std::uint8_t b : msg)
+        ctx.update(&b, 1);
+    EXPECT_EQ(toBytes(ctx.finish()), Sha1::digestBytes(msg));
+}
+
+TEST(Sha1, BoundaryLengthsAroundBlockSize)
+{
+    // Exercise the padding logic at every length near the 64-byte block.
+    for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+        const Bytes msg(len, 0x5a);
+        Sha1 one_shot;
+        one_shot.update(msg);
+        Sha1 split;
+        split.update(msg.data(), len / 2);
+        split.update(msg.data() + len / 2, len - len / 2);
+        EXPECT_EQ(one_shot.finish(), split.finish()) << "len=" << len;
+    }
+}
+
+TEST(Sha1, ResetAllowsReuse)
+{
+    Sha1 ctx;
+    ctx.update(asciiBytes("junk"));
+    ctx.finish();
+    ctx.reset();
+    ctx.update(asciiBytes("abc"));
+    EXPECT_EQ(toHex(toBytes(ctx.finish())),
+              "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, PcrExtendConstruction)
+{
+    // v_{t+1} = H(v_t || m): the TPM PCR update rule from Section 2.1.1.
+    Bytes pcr(20, 0x00);
+    const Bytes m1 = Sha1::digestBytes(asciiBytes("event one"));
+    Bytes cat = pcr;
+    cat.insert(cat.end(), m1.begin(), m1.end());
+    pcr = Sha1::digestBytes(cat);
+    EXPECT_EQ(pcr.size(), 20u);
+    // Order sensitivity: extending in the other order differs.
+    Bytes pcr2(20, 0x00);
+    const Bytes m2 = Sha1::digestBytes(asciiBytes("event two"));
+    Bytes cat2 = pcr2;
+    cat2.insert(cat2.end(), m2.begin(), m2.end());
+    pcr2 = Sha1::digestBytes(cat2);
+    EXPECT_NE(pcr, pcr2);
+}
+
+} // namespace
+} // namespace mintcb::crypto

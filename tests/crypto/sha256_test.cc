@@ -1,0 +1,75 @@
+/**
+ * @file
+ * SHA-256 known-answer tests (FIPS 180-4 examples).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/hex.hh"
+#include "crypto/sha256.hh"
+
+namespace mintcb::crypto
+{
+namespace
+{
+
+std::string
+sha256Hex(const std::string &msg)
+{
+    return toHex(Sha256::digestBytes(asciiBytes(msg)));
+}
+
+TEST(Sha256, EmptyString)
+{
+    EXPECT_EQ(
+        sha256Hex(""),
+        "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc)
+{
+    EXPECT_EQ(
+        sha256Hex("abc"),
+        "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage)
+{
+    EXPECT_EQ(
+        sha256Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs)
+{
+    Sha256 ctx;
+    const Bytes chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        ctx.update(chunk);
+    EXPECT_EQ(
+        toHex(toBytes(ctx.finish())),
+        "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, BoundaryLengthsAroundBlockSize)
+{
+    for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 128u}) {
+        const Bytes msg(len, 0xa5);
+        Sha256 one_shot;
+        one_shot.update(msg);
+        Sha256 split;
+        split.update(msg.data(), 1);
+        split.update(msg.data() + 1, len - 1);
+        EXPECT_EQ(one_shot.finish(), split.finish()) << "len=" << len;
+    }
+}
+
+TEST(Sha256, DistinctFromSimilarInput)
+{
+    EXPECT_NE(sha256Hex("pal-a"), sha256Hex("pal-b"));
+}
+
+} // namespace
+} // namespace mintcb::crypto

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * ACMod tests (Intel's Authenticated Code Module, Section 2.2.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "latelaunch/acmod.hh"
+
+namespace mintcb::latelaunch
+{
+namespace
+{
+
+TEST(AcMod, GenuineModuleVerifies)
+{
+    const AcMod mod = AcMod::genuine(10444);
+    EXPECT_EQ(mod.image.size(), 10444u);
+    EXPECT_TRUE(mod.verify());
+}
+
+TEST(AcMod, GenuineIsDeterministic)
+{
+    const AcMod a = AcMod::genuine(4096);
+    const AcMod b = AcMod::genuine(4096);
+    EXPECT_EQ(a.image, b.image);
+    EXPECT_EQ(a.signature, b.signature);
+}
+
+TEST(AcMod, ForgedModuleFailsChipsetCheck)
+{
+    const AcMod forged = AcMod::forged(10444);
+    EXPECT_EQ(forged.image.size(), 10444u);
+    EXPECT_FALSE(forged.verify());
+}
+
+TEST(AcMod, TamperedGenuineModuleFails)
+{
+    AcMod mod = AcMod::genuine(2048);
+    mod.image[100] ^= 0x01;
+    EXPECT_FALSE(mod.verify());
+}
+
+TEST(AcMod, SignatureSwapFails)
+{
+    AcMod mod = AcMod::genuine(2048);
+    mod.signature = AcMod::genuine(4096).signature;
+    EXPECT_FALSE(mod.verify());
+}
+
+TEST(AcMod, ChipsetKeyIsStable)
+{
+    EXPECT_EQ(AcMod::chipsetKey().n, AcMod::chipsetKey().n);
+    EXPECT_FALSE(AcMod::chipsetKey().n.isZero());
+}
+
+} // namespace
+} // namespace mintcb::latelaunch

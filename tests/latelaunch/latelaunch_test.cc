@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Late-launch tests: functional semantics, security checks, and the
+ * Table 1 timing calibration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hh"
+#include "crypto/sha1.hh"
+#include "latelaunch/latelaunch.hh"
+#include "support/testutil.hh"
+
+namespace mintcb::latelaunch
+{
+namespace
+{
+
+using machine::Machine;
+using machine::PlatformId;
+
+/** Write an SLB of total size @p total_bytes at @p addr; returns image. */
+Bytes
+placeSlb(Machine &m, PhysAddr addr, std::size_t total_bytes)
+{
+    Bytes code;
+    if (total_bytes > slbHeaderBytes) {
+        code.resize(total_bytes - slbHeaderBytes);
+        for (std::size_t i = 0; i < code.size(); ++i)
+            code[i] = static_cast<std::uint8_t>(i * 131 + 7);
+    }
+    auto slb = Slb::wrap(code);
+    EXPECT_TRUE(slb.ok());
+    EXPECT_TRUE(m.writeAs(0, addr, slb->image()).ok());
+    return slb->image();
+}
+
+TEST(Skinit, MeasuresSlbIntoPcr17)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    const Bytes image = placeSlb(m, 0x10000, 8 * 1024);
+    LateLaunch launcher(m);
+    auto report = launcher.invoke(0, 0x10000);
+    ASSERT_TRUE(report.ok());
+
+    EXPECT_EQ(report->slbMeasurement, crypto::Sha1::digestBytes(image));
+    // PCR 17 = extend(0, SHA1(slb)).
+    EXPECT_EQ(*m.tpm().pcrRead(17), testutil::launchIdentity(image));
+}
+
+TEST(Skinit, RequiresRing0)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    placeSlb(m, 0x10000, 4096);
+    m.cpu(0).setRing(3);
+    LateLaunch launcher(m);
+    auto report = launcher.invoke(0, 0x10000);
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.error().code, Errc::permissionDenied);
+}
+
+TEST(Skinit, DisablesInterruptsAndHaltsOtherCpus)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    placeSlb(m, 0x10000, 4096);
+    LateLaunch launcher(m);
+    ASSERT_TRUE(launcher.invoke(0, 0x10000).ok());
+    EXPECT_FALSE(m.cpu(0).interruptsEnabled());
+    EXPECT_TRUE(m.cpu(1).idleForLateLaunch());
+    launcher.resumeOtherCpus();
+    EXPECT_FALSE(m.cpu(1).idleForLateLaunch());
+    // The idle CPU's clock was dragged forward: its compute time is gone.
+    EXPECT_EQ(m.cpu(1).now(), m.cpu(0).now());
+}
+
+TEST(Skinit, DevProtectsSlbPagesFromDma)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    placeSlb(m, 0x10000, 8 * 1024);
+    LateLaunch launcher(m);
+    auto report = launcher.invoke(0, 0x10000);
+    ASSERT_TRUE(report.ok());
+    EXPECT_FALSE(report->protectedPages.empty());
+    EXPECT_FALSE(m.nic().dmaRead(0x10000, 16).ok());
+    // CPU access still works (DEV gates DMA only).
+    EXPECT_TRUE(m.readAs(0, 0x10000, 16).ok());
+
+    launcher.releaseProtections(*report);
+    EXPECT_TRUE(m.nic().dmaRead(0x10000, 16).ok());
+}
+
+TEST(Skinit, WorksWithoutTpmButNothingIsMeasured)
+{
+    Machine m = Machine::forPlatform(PlatformId::tyanN3600R);
+    placeSlb(m, 0x10000, 64 * 1024);
+    LateLaunch launcher(m);
+    auto report = launcher.invoke(0, 0x10000);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->tpmHash, Duration::zero());
+    EXPECT_GT(report->lpcTransfer, Duration::zero());
+}
+
+TEST(Skinit, RejectsMalformedSlbInMemory)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    // Length word of 2 (< header size).
+    ASSERT_TRUE(m.writeAs(0, 0x10000, {0x02, 0x00, 0x04, 0x00}).ok());
+    LateLaunch launcher(m);
+    EXPECT_FALSE(launcher.invoke(0, 0x10000).ok());
+}
+
+// ---- Table 1 calibration ---------------------------------------------------
+
+double
+skinitMillis(PlatformId platform, std::size_t kb)
+{
+    Machine m = Machine::forPlatform(platform);
+    placeSlb(m, 0x10000, kb * 1024);
+    LateLaunch launcher(m);
+    auto report = launcher.invoke(0, 0x10000);
+    EXPECT_TRUE(report.ok());
+    return report->total.toMillis();
+}
+
+TEST(Table1, HpDc5750Row)
+{
+    // Paper: 0.00, 11.94, 22.98, 45.05, 89.21, 177.52 ms. The TPM's
+    // 1.5% jitter motivates the tolerances.
+    EXPECT_LT(skinitMillis(PlatformId::hpDc5750, 0), 0.05);
+    EXPECT_NEAR(skinitMillis(PlatformId::hpDc5750, 4), 11.94, 0.6);
+    EXPECT_NEAR(skinitMillis(PlatformId::hpDc5750, 8), 22.98, 1.0);
+    EXPECT_NEAR(skinitMillis(PlatformId::hpDc5750, 16), 45.05, 2.0);
+    EXPECT_NEAR(skinitMillis(PlatformId::hpDc5750, 32), 89.21, 4.0);
+    EXPECT_NEAR(skinitMillis(PlatformId::hpDc5750, 64), 177.52, 8.0);
+}
+
+TEST(Table1, TyanN3600RRow)
+{
+    // Paper: 0.01, 0.56, 1.11, 2.21, 4.41, 8.82 ms (no TPM).
+    EXPECT_NEAR(skinitMillis(PlatformId::tyanN3600R, 0), 0.01, 0.01);
+    EXPECT_NEAR(skinitMillis(PlatformId::tyanN3600R, 4), 0.56, 0.03);
+    EXPECT_NEAR(skinitMillis(PlatformId::tyanN3600R, 8), 1.11, 0.05);
+    EXPECT_NEAR(skinitMillis(PlatformId::tyanN3600R, 16), 2.21, 0.05);
+    EXPECT_NEAR(skinitMillis(PlatformId::tyanN3600R, 32), 4.41, 0.05);
+    EXPECT_NEAR(skinitMillis(PlatformId::tyanN3600R, 64), 8.82, 0.05);
+}
+
+TEST(Table1, IntelTepRow)
+{
+    // Paper: 26.39, 26.88, 27.38, 28.37, 30.46, 34.35 ms.
+    EXPECT_NEAR(skinitMillis(PlatformId::intelTep, 0), 26.39, 1.0);
+    EXPECT_NEAR(skinitMillis(PlatformId::intelTep, 4), 26.88, 1.0);
+    EXPECT_NEAR(skinitMillis(PlatformId::intelTep, 8), 27.38, 1.0);
+    EXPECT_NEAR(skinitMillis(PlatformId::intelTep, 16), 28.37, 1.0);
+    EXPECT_NEAR(skinitMillis(PlatformId::intelTep, 32), 30.46, 1.2);
+    EXPECT_NEAR(skinitMillis(PlatformId::intelTep, 64), 34.35, 1.5);
+}
+
+TEST(Table1, SkinitScalesSteeperThanSenter)
+{
+    // The architectural point of Table 1: AMD pays the TPM per PAL byte,
+    // Intel pays it once for the ACMod.
+    const double amd_slope = (skinitMillis(PlatformId::hpDc5750, 64) -
+                              skinitMillis(PlatformId::hpDc5750, 4)) / 60;
+    const double intel_slope = (skinitMillis(PlatformId::intelTep, 64) -
+                                skinitMillis(PlatformId::intelTep, 4)) / 60;
+    EXPECT_GT(amd_slope, 10 * intel_slope);
+}
+
+// ---- SENTER ---------------------------------------------------------------
+
+TEST(Senter, ExtendsAcmodIntoPcr17AndMleIntoPcr18)
+{
+    Machine m = Machine::forPlatform(PlatformId::intelTep);
+    const Bytes image = placeSlb(m, 0x10000, 16 * 1024);
+    LateLaunch launcher(m);
+    auto report = launcher.invoke(0, 0x10000);
+    ASSERT_TRUE(report.ok());
+
+    // PCR 17 holds the ACMod measurement, PCR 18 the MLE measurement.
+    EXPECT_EQ(*m.tpm().pcrRead(17),
+              testutil::launchIdentity(
+                  AcMod::genuine(m.spec().acmodBytes).image));
+    EXPECT_EQ(*m.tpm().pcrRead(18), testutil::launchIdentity(image));
+}
+
+TEST(Senter, RejectsForgedAcmod)
+{
+    Machine m = Machine::forPlatform(PlatformId::intelTep);
+    placeSlb(m, 0x10000, 4096);
+    LateLaunch launcher(m);
+    launcher.setAcmod(AcMod::forged(m.spec().acmodBytes));
+    auto report = launcher.invoke(0, 0x10000);
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.error().code, Errc::integrityFailure);
+    // Nothing was measured: PCR 17 still holds the boot value.
+    EXPECT_EQ(*m.tpm().pcrRead(17), Bytes(20, 0xff));
+}
+
+TEST(Senter, RequiresRing0)
+{
+    Machine m = Machine::forPlatform(PlatformId::intelTep);
+    placeSlb(m, 0x10000, 4096);
+    m.cpu(1).setRing(3);
+    LateLaunch launcher(m);
+    EXPECT_EQ(launcher.invoke(1, 0x10000).error().code,
+              Errc::permissionDenied);
+}
+
+// ---- Footnote 4: AMD two-part PAL ------------------------------------------
+
+TEST(TwoPart, FasterThanFullMeasurementAndExtendsPcr19)
+{
+    Machine m1 = Machine::forPlatform(PlatformId::hpDc5750);
+    Machine m2 = Machine::forPlatform(PlatformId::hpDc5750);
+    placeSlb(m1, 0x10000, 64 * 1024);
+    placeSlb(m2, 0x10000, 64 * 1024);
+
+    LateLaunch full(m1);
+    auto full_report = full.invoke(0, 0x10000);
+    ASSERT_TRUE(full_report.ok());
+
+    LateLaunch split(m2);
+    auto split_report = split.invokeAmdTwoPart(
+        0, 0x10000, /*loader=*/4 * 1024, /*payload=*/60 * 1024);
+    ASSERT_TRUE(split_report.ok());
+
+    // The two-part trick must be several times faster at 64 KB.
+    EXPECT_LT(split_report->total * 3.0, full_report->total);
+    // And the payload identity lands in PCR 19.
+    EXPECT_NE(*m2.tpm().pcrRead(19), Bytes(20, 0x00));
+    EXPECT_EQ(*m1.tpm().pcrRead(19), Bytes(20, 0x00));
+}
+
+TEST(TwoPart, SplitMustFitTheImage)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    placeSlb(m, 0x10000, 8 * 1024);
+    LateLaunch launcher(m);
+    EXPECT_FALSE(
+        launcher.invokeAmdTwoPart(0, 0x10000, 4 * 1024, 60 * 1024).ok());
+}
+
+} // namespace
+} // namespace mintcb::latelaunch

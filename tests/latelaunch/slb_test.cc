@@ -1,0 +1,103 @@
+/**
+ * @file
+ * SLB format tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hh"
+#include "latelaunch/slb.hh"
+
+namespace mintcb::latelaunch
+{
+namespace
+{
+
+TEST(Slb, WrapProducesHeaderAndCode)
+{
+    const Bytes code = asciiBytes("pal code");
+    auto slb = Slb::wrap(code);
+    ASSERT_TRUE(slb.ok());
+    EXPECT_EQ(slb->length(), code.size() + slbHeaderBytes);
+    EXPECT_EQ(slb->entryPoint(), slbHeaderBytes);
+    EXPECT_EQ(slb->code(), code);
+    EXPECT_EQ(slb->image().size(), code.size() + slbHeaderBytes);
+}
+
+TEST(Slb, HeaderIsLittleEndianWords)
+{
+    auto slb = Slb::wrap(Bytes(0x0102 - slbHeaderBytes, 0xcc));
+    ASSERT_TRUE(slb.ok());
+    const Bytes &img = slb->image();
+    EXPECT_EQ(img[0], 0x02); // length lo
+    EXPECT_EQ(img[1], 0x01); // length hi
+    EXPECT_EQ(img[2], slbHeaderBytes);
+    EXPECT_EQ(img[3], 0x00);
+}
+
+TEST(Slb, ParseRoundTrip)
+{
+    auto made = Slb::wrap(asciiBytes("sensitive logic"), 10);
+    ASSERT_TRUE(made.ok());
+    auto parsed = Slb::parse(made->image());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->length(), made->length());
+    EXPECT_EQ(parsed->entryPoint(), 10);
+    EXPECT_EQ(parsed->image(), made->image());
+}
+
+TEST(Slb, MaximumSizeAccepted)
+{
+    auto slb = Slb::wrap(Bytes(maxSlbBytes - slbHeaderBytes, 0xab));
+    ASSERT_TRUE(slb.ok());
+    EXPECT_EQ(slb->image().size(), maxSlbBytes);
+}
+
+TEST(Slb, OversizeRejected)
+{
+    auto slb = Slb::wrap(Bytes(maxSlbBytes, 0xab));
+    ASSERT_FALSE(slb.ok());
+    EXPECT_EQ(slb.error().code, Errc::invalidArgument);
+    EXPECT_FALSE(Slb::parse(Bytes(maxSlbBytes + 1, 0)).ok());
+}
+
+TEST(Slb, EntryPointBoundsChecked)
+{
+    EXPECT_FALSE(Slb::wrap(asciiBytes("abc"), 2).ok());   // inside header
+    EXPECT_FALSE(Slb::wrap(asciiBytes("abc"), 100).ok()); // past the end
+    EXPECT_TRUE(Slb::wrap(asciiBytes("abc"), 7).ok());    // last byte
+}
+
+TEST(Slb, ParseRejectsMalformedImages)
+{
+    EXPECT_FALSE(Slb::parse({}).ok());
+    EXPECT_FALSE(Slb::parse({0x01}).ok());
+    // Length word smaller than the header.
+    EXPECT_FALSE(Slb::parse({0x02, 0x00, 0x04, 0x00, 0xaa}).ok());
+    // Length word larger than the provided image.
+    EXPECT_FALSE(Slb::parse({0xff, 0x00, 0x04, 0x00, 0xaa}).ok());
+    // Entry point beyond the measured length.
+    EXPECT_FALSE(Slb::parse({0x05, 0x00, 0x06, 0x00, 0xaa}).ok());
+}
+
+TEST(Slb, ParseTruncatesToMeasuredLength)
+{
+    // Bytes past the length word are not part of the measured block.
+    auto made = Slb::wrap(asciiBytes("xy"));
+    Bytes padded = made->image();
+    padded.push_back(0xee);
+    auto parsed = Slb::parse(padded);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->image(), made->image());
+}
+
+TEST(Slb, EmptyCodeBlock)
+{
+    auto slb = Slb::wrap({});
+    ASSERT_TRUE(slb.ok());
+    EXPECT_EQ(slb->length(), slbHeaderBytes);
+    EXPECT_TRUE(slb->code().empty());
+}
+
+} // namespace
+} // namespace mintcb::latelaunch

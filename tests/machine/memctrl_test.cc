@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Memory controller tests: DEV semantics and the recommended per-page
+ * access-control table (Figure 5(b) state machine), exercised as real
+ * denials, not flags.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/device.hh"
+#include "machine/memctrl.hh"
+
+namespace mintcb::machine
+{
+namespace
+{
+
+class MemCtrlTest : public ::testing::Test
+{
+  protected:
+    MemCtrlTest() : mem_(8), ctrl_(mem_) {}
+
+    PhysicalMemory mem_;
+    MemoryController ctrl_;
+};
+
+TEST_F(MemCtrlTest, DefaultStateIsAllAccessible)
+{
+    EXPECT_EQ(ctrl_.pageState(0), PageState::all);
+    EXPECT_TRUE(ctrl_.read(Agent::forCpu(0), 0, 8).ok());
+    EXPECT_TRUE(ctrl_.read(Agent::forCpu(3), 0, 8).ok());
+    EXPECT_TRUE(ctrl_.read(Agent::forDevice(), 0, 8).ok());
+    EXPECT_TRUE(ctrl_.write(Agent::forDevice(), 0, {1, 2}).ok());
+}
+
+// ---- DEV (today's DMA protection) ----------------------------------------
+
+TEST_F(MemCtrlTest, DevBlocksDmaButNotCpus)
+{
+    ASSERT_TRUE(ctrl_.devProtect(1, 2).ok());
+    EXPECT_TRUE(ctrl_.devProtected(1));
+    EXPECT_TRUE(ctrl_.devProtected(2));
+    EXPECT_FALSE(ctrl_.devProtected(3));
+
+    // DMA denied on protected pages.
+    auto r = ctrl_.read(Agent::forDevice(), pageBase(1), 4);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, Errc::permissionDenied);
+    EXPECT_FALSE(
+        ctrl_.write(Agent::forDevice(), pageBase(2) + 10, {1}).ok());
+
+    // CPUs are unaffected by the DEV.
+    EXPECT_TRUE(ctrl_.read(Agent::forCpu(0), pageBase(1), 4).ok());
+    EXPECT_TRUE(ctrl_.write(Agent::forCpu(1), pageBase(2), {1}).ok());
+}
+
+TEST_F(MemCtrlTest, DevUnprotectRestoresDma)
+{
+    ASSERT_TRUE(ctrl_.devProtect(0, 1).ok());
+    ASSERT_TRUE(ctrl_.devUnprotect(0, 1).ok());
+    EXPECT_TRUE(ctrl_.read(Agent::forDevice(), 0, 4).ok());
+}
+
+TEST_F(MemCtrlTest, DevRangeChecks)
+{
+    EXPECT_FALSE(ctrl_.devProtect(7, 2).ok());
+    EXPECT_FALSE(ctrl_.devUnprotect(100, 1).ok());
+}
+
+TEST_F(MemCtrlTest, CrossPageAccessChecksEveryPage)
+{
+    ASSERT_TRUE(ctrl_.devProtect(1, 1).ok());
+    // A DMA read spanning pages 0-1 must fail because page 1 is covered.
+    EXPECT_FALSE(
+        ctrl_.read(Agent::forDevice(), pageSize - 8, 16).ok());
+}
+
+// ---- Recommended ACL table (Section 5.2) ----------------------------------
+
+TEST_F(MemCtrlTest, AclAcquireGrantsExclusiveOwnership)
+{
+    ASSERT_TRUE(ctrl_.aclAcquire({2, 3}, /*cpu=*/1).ok());
+    EXPECT_EQ(ctrl_.pageState(2), PageState::owned);
+    EXPECT_EQ(*ctrl_.pageOwner(2), 1u);
+
+    // Owner can access.
+    EXPECT_TRUE(ctrl_.read(Agent::forCpu(1), pageBase(2), 16).ok());
+    EXPECT_TRUE(ctrl_.write(Agent::forCpu(1), pageBase(3), {7}).ok());
+    // Other CPUs cannot (malicious code on another core, Section 3.1).
+    EXPECT_FALSE(ctrl_.read(Agent::forCpu(0), pageBase(2), 16).ok());
+    EXPECT_FALSE(ctrl_.write(Agent::forCpu(0), pageBase(3), {7}).ok());
+    // DMA cannot.
+    EXPECT_FALSE(ctrl_.read(Agent::forDevice(), pageBase(2), 16).ok());
+}
+
+TEST_F(MemCtrlTest, AclAcquireFailsIfAnyPageOwnedAndIsAtomic)
+{
+    ASSERT_TRUE(ctrl_.aclAcquire({4}, 0).ok());
+    // Overlapping acquisition by another CPU must fail without altering
+    // any page (SLAUNCH failure semantics).
+    auto s = ctrl_.aclAcquire({3, 4}, 1);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.error().code, Errc::permissionDenied);
+    EXPECT_EQ(ctrl_.pageState(3), PageState::all);
+    EXPECT_EQ(*ctrl_.pageOwner(4), 0u);
+}
+
+TEST_F(MemCtrlTest, SuspendMakesPagesInaccessibleToEveryone)
+{
+    ASSERT_TRUE(ctrl_.aclAcquire({5}, 2).ok());
+    ASSERT_TRUE(ctrl_.aclSuspend({5}, 2).ok());
+    EXPECT_EQ(ctrl_.pageState(5), PageState::none);
+
+    // NONE means nobody -- not even the former owner CPU.
+    EXPECT_FALSE(ctrl_.read(Agent::forCpu(2), pageBase(5), 4).ok());
+    EXPECT_FALSE(ctrl_.read(Agent::forCpu(0), pageBase(5), 4).ok());
+    EXPECT_FALSE(ctrl_.read(Agent::forDevice(), pageBase(5), 4).ok());
+}
+
+TEST_F(MemCtrlTest, SuspendRequiresOwnership)
+{
+    ASSERT_TRUE(ctrl_.aclAcquire({5}, 2).ok());
+    EXPECT_FALSE(ctrl_.aclSuspend({5}, 1).ok());
+    EXPECT_FALSE(ctrl_.aclSuspend({6}, 2).ok()); // page in ALL
+}
+
+TEST_F(MemCtrlTest, ResumeOnDifferentCpuIsAllowed)
+{
+    // Section 5.3.1: "the PAL may execute on a different CPU each time it
+    // is resumed".
+    ASSERT_TRUE(ctrl_.aclAcquire({5}, 2).ok());
+    ASSERT_TRUE(ctrl_.aclSuspend({5}, 2).ok());
+    ASSERT_TRUE(ctrl_.aclAcquire({5}, 3).ok());
+    EXPECT_EQ(*ctrl_.pageOwner(5), 3u);
+    EXPECT_TRUE(ctrl_.read(Agent::forCpu(3), pageBase(5), 4).ok());
+    EXPECT_FALSE(ctrl_.read(Agent::forCpu(2), pageBase(5), 4).ok());
+}
+
+TEST_F(MemCtrlTest, ReleaseReturnsPagesToAll)
+{
+    ASSERT_TRUE(ctrl_.aclAcquire({1, 2}, 0).ok());
+    ASSERT_TRUE(ctrl_.aclRelease({1, 2}).ok());
+    EXPECT_EQ(ctrl_.pageState(1), PageState::all);
+    EXPECT_FALSE(ctrl_.pageOwner(1).has_value());
+    EXPECT_TRUE(ctrl_.read(Agent::forDevice(), pageBase(1), 4).ok());
+}
+
+TEST_F(MemCtrlTest, AclRangeChecks)
+{
+    EXPECT_FALSE(ctrl_.aclAcquire({100}, 0).ok());
+    EXPECT_FALSE(ctrl_.aclSuspend({100}, 0).ok());
+    EXPECT_FALSE(ctrl_.aclRelease({100}).ok());
+}
+
+TEST_F(MemCtrlTest, ResetClearsAllProtections)
+{
+    ASSERT_TRUE(ctrl_.devProtect(0, 1).ok());
+    ASSERT_TRUE(ctrl_.aclAcquire({3}, 1).ok());
+    ctrl_.reset();
+    EXPECT_FALSE(ctrl_.devProtected(0));
+    EXPECT_EQ(ctrl_.pageState(3), PageState::all);
+}
+
+// ---- DmaDevice wrapper -----------------------------------------------------
+
+TEST_F(MemCtrlTest, DmaDeviceTracksBlockedAttempts)
+{
+    DmaDevice nic("evil-nic", ctrl_);
+    ASSERT_TRUE(ctrl_.aclAcquire({2}, 0).ok());
+    EXPECT_TRUE(nic.dmaRead(pageBase(1), 4).ok());
+    EXPECT_FALSE(nic.dmaRead(pageBase(2), 4).ok());
+    EXPECT_FALSE(nic.dmaWrite(pageBase(2), {0x66}).ok());
+    EXPECT_EQ(nic.attempts(), 3u);
+    EXPECT_EQ(nic.blocked(), 2u);
+}
+
+TEST_F(MemCtrlTest, DmaCannotExfiltratePalSecrets)
+{
+    // End-to-end: a secret written by the owning CPU is unreadable via
+    // DMA while protections are up, and page release without erase would
+    // expose it -- which is exactly why SKILL zeroes pages first.
+    ASSERT_TRUE(ctrl_.aclAcquire({6}, 1).ok());
+    ASSERT_TRUE(
+        ctrl_.write(Agent::forCpu(1), pageBase(6), {0xde, 0xad}).ok());
+    DmaDevice nic("evil-nic", ctrl_);
+    EXPECT_FALSE(nic.dmaRead(pageBase(6), 2).ok());
+
+    ASSERT_TRUE(mem_.zeroPage(6).ok());
+    ASSERT_TRUE(ctrl_.aclRelease({6}).ok());
+    auto r = nic.dmaRead(pageBase(6), 2);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, (Bytes{0x00, 0x00})); // erased, not leaked
+}
+
+} // namespace
+} // namespace mintcb::machine

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Platform stats tests: the counters move when the hardware does.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/platformstats.hh"
+#include "sea/palgen.hh"
+
+namespace mintcb::machine
+{
+namespace
+{
+
+TEST(PlatformStats, MemctrlCountersTrackAccessesAndDenials)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    ASSERT_TRUE(m.writeAs(0, 0x1000, {1}).ok());
+    ASSERT_TRUE(m.readAs(0, 0x1000, 1).ok());
+    ASSERT_TRUE(m.memctrl().aclAcquire({5}, 0).ok());
+    ASSERT_FALSE(m.readAs(1, pageBase(5), 1).ok());
+    ASSERT_FALSE(m.nic().dmaRead(pageBase(5), 1).ok());
+
+    const MemCtrlStats &s = m.memctrl().stats();
+    EXPECT_EQ(s.cpuWrites, 1u);
+    EXPECT_EQ(s.cpuReads, 2u); // one ok + one denied
+    EXPECT_EQ(s.cpuDenials, 1u);
+    EXPECT_EQ(s.dmaReads, 1u);
+    EXPECT_EQ(s.dmaDenials, 1u);
+    EXPECT_EQ(s.aclTransitions, 1u);
+}
+
+TEST(PlatformStats, TpmCountersTrackCommandMix)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    auto &tpm = m.tpmAs(0);
+    ASSERT_TRUE(tpm.pcrExtend(16, Bytes(20, 1)).ok());
+    ASSERT_TRUE(tpm.pcrRead(16).ok());
+    auto blob = tpm.seal(Bytes{1}, {});
+    ASSERT_TRUE(blob.ok());
+    ASSERT_TRUE(tpm.unseal(*blob).ok());
+    ASSERT_TRUE(tpm.quote(Bytes(20, 2), {17}).ok());
+    ASSERT_TRUE(tpm.getRandom(8).ok());
+    ASSERT_FALSE(tpm.hashStart(tpm::Locality::software).ok());
+
+    const TpmStats &s = m.tpm().stats();
+    EXPECT_EQ(s.extends, 1u);
+    EXPECT_GE(s.reads, 1u);
+    EXPECT_EQ(s.seals, 1u);
+    EXPECT_EQ(s.unseals, 1u);
+    EXPECT_EQ(s.quotes, 1u);
+    EXPECT_EQ(s.getRandoms, 1u);
+    EXPECT_EQ(s.deniedCommands, 1u);
+    EXPECT_EQ(s.hashSequences, 0u);
+}
+
+TEST(PlatformStats, SeaSessionLeavesAPlausibleFootprint)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    sea::SeaDriver driver(m);
+    auto gen = sea::runPalGen(driver);
+    ASSERT_TRUE(gen.ok());
+
+    const TpmStats &t = m.tpm().stats();
+    EXPECT_EQ(t.hashSequences, 1u); // one SKINIT measurement
+    EXPECT_EQ(t.seals, 1u);
+    EXPECT_EQ(t.getRandoms, 1u);
+    EXPECT_GT(m.lpc().bytesMoved(), 4000u); // the SLB crossed the bus
+}
+
+TEST(PlatformStats, ReportMentionsEveryComponent)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    sea::SeaDriver driver(m);
+    ASSERT_TRUE(sea::runPalGen(driver).ok());
+    const std::string report = statsReport(m);
+    for (const char *needle :
+         {"platform stats", "cpu0", "cpu1", "lpc:", "memctrl:",
+          "tpm(Broadcom)", "hash_seq=1"}) {
+        EXPECT_NE(report.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(PlatformStats, TpmlessReportSaysSo)
+{
+    Machine m = Machine::forPlatform(PlatformId::tyanN3600R);
+    EXPECT_NE(statsReport(m).find("tpm: (absent)"), std::string::npos);
+}
+
+TEST(PlatformStats, ResetClearsMemctrlCounters)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    ASSERT_TRUE(m.writeAs(0, 0, {1}).ok());
+    m.reboot();
+    EXPECT_EQ(m.memctrl().stats().cpuWrites, 0u);
+}
+
+} // namespace
+} // namespace mintcb::machine

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * PAL interrupt-handling extension tests (paper Section 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "rec/instructions.hh"
+#include "sea/pal.hh"
+
+namespace mintcb::rec
+{
+namespace
+{
+
+using machine::Machine;
+using machine::PlatformId;
+
+class InterruptTest : public ::testing::Test
+{
+  protected:
+    InterruptTest()
+        : machine_(Machine::forPlatform(PlatformId::recTestbed)),
+          exec_(machine_, 4)
+    {
+    }
+
+    /** SECBs are pinned (the executive holds their address while the
+     *  PAL executes), so the fixture stores them in a deque. */
+    Secb &
+    launched(const std::string &name, PhysAddr base = 0x40000)
+    {
+        const sea::Pal pal = sea::Pal::fromLogic(
+            name, 4096, [](sea::PalContext &) { return okStatus(); });
+        auto secb = allocateSecb(machine_, pal, base, 1,
+                                 Duration::millis(1));
+        EXPECT_TRUE(secb.ok());
+        secbs_.push_back(secb.take());
+        EXPECT_TRUE(exec_.slaunch(1, secbs_.back()).ok());
+        return secbs_.back();
+    }
+
+    Machine machine_;
+    SecureExecutive exec_;
+    std::deque<Secb> secbs_;
+};
+
+TEST_F(InterruptTest, DefaultPalReceivesNoInterrupts)
+{
+    Secb &secb = launched("deaf-pal");
+    auto delivered = exec_.deliverInterrupt(1, 0x21);
+    ASSERT_TRUE(delivered.ok());
+    EXPECT_FALSE(*delivered); // deferred to the OS
+    EXPECT_EQ(exec_.palInterruptsDelivered(), 0u);
+    ASSERT_TRUE(exec_.sfree(secb, true).ok());
+}
+
+TEST_F(InterruptTest, OptedInVectorIsDelivered)
+{
+    Secb &secb = launched("keyboard-pal");
+    ASSERT_TRUE(exec_.configureIdt(secb, {0x21, 0x30}).ok());
+    EXPECT_TRUE(*exec_.deliverInterrupt(1, 0x21));
+    EXPECT_TRUE(*exec_.deliverInterrupt(1, 0x30));
+    EXPECT_FALSE(*exec_.deliverInterrupt(1, 0x40)); // extraneous vector
+    EXPECT_EQ(exec_.palInterruptsDelivered(), 2u);
+    ASSERT_TRUE(exec_.sfree(secb, true).ok());
+}
+
+TEST_F(InterruptTest, InterruptsOnPalFreeCoreGoToTheOs)
+{
+    Secb &secb = launched("pal");
+    auto delivered = exec_.deliverInterrupt(0, 0x21); // legacy core
+    ASSERT_TRUE(delivered.ok());
+    EXPECT_FALSE(*delivered);
+    EXPECT_FALSE(exec_.deliverInterrupt(99, 0x21).ok()); // bad CPU
+    ASSERT_TRUE(exec_.sfree(secb, true).ok());
+}
+
+TEST_F(InterruptTest, IdtConfigurationRequiresRunningPal)
+{
+    const sea::Pal pal = sea::Pal::fromLogic(
+        "never-ran", 4096, [](sea::PalContext &) { return okStatus(); });
+    auto secb = allocateSecb(machine_, pal, 0x60000, 1,
+                             Duration::millis(1));
+    ASSERT_TRUE(secb.ok());
+    EXPECT_EQ(exec_.configureIdt(*secb, {0x21}).error().code,
+              Errc::failedPrecondition);
+}
+
+TEST_F(InterruptTest, IdtCarryingPalPaysReprogrammingOnResume)
+{
+    // The Section 6 caveat: per-schedule interrupt-routing reprogramming
+    // makes an IDT-carrying PAL's resume measurably slower.
+    Secb &plain = launched("plain-pal");
+    ASSERT_TRUE(exec_.syield(plain).ok());
+    auto plain_resume = exec_.slaunch(1, plain);
+    ASSERT_TRUE(plain_resume.ok());
+
+    Secb &noisy = launched("noisy-pal", 0x60000);
+    ASSERT_TRUE(exec_.configureIdt(noisy, {0x21}).ok());
+    ASSERT_TRUE(exec_.syield(noisy).ok());
+    auto noisy_resume = exec_.slaunch(1, noisy);
+    ASSERT_TRUE(noisy_resume.ok());
+
+    EXPECT_GT(noisy_resume->total,
+              plain_resume->total + Duration::micros(1));
+}
+
+TEST_F(InterruptTest, SuspendedPalReceivesNothing)
+{
+    Secb &secb = launched("pal");
+    ASSERT_TRUE(exec_.configureIdt(secb, {0x21}).ok());
+    ASSERT_TRUE(exec_.syield(secb).ok());
+    EXPECT_FALSE(*exec_.deliverInterrupt(1, 0x21));
+    EXPECT_EQ(exec_.palInterruptsDelivered(), 0u);
+}
+
+} // namespace
+} // namespace mintcb::rec

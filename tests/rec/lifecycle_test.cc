@@ -1,0 +1,61 @@
+/**
+ * @file
+ * PAL life-cycle state machine tests (paper Figure 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "rec/lifecycle.hh"
+
+namespace mintcb::rec
+{
+namespace
+{
+
+TEST(Lifecycle, AllowedEdges)
+{
+    EXPECT_TRUE(checkTransition(PalState::start, PalState::execute).ok());
+    EXPECT_TRUE(
+        checkTransition(PalState::execute, PalState::suspend).ok());
+    EXPECT_TRUE(checkTransition(PalState::execute, PalState::done).ok());
+    EXPECT_TRUE(
+        checkTransition(PalState::suspend, PalState::execute).ok());
+    EXPECT_TRUE(checkTransition(PalState::suspend, PalState::done).ok());
+}
+
+TEST(Lifecycle, ForbiddenEdges)
+{
+    // Start can only go to Execute.
+    EXPECT_FALSE(checkTransition(PalState::start, PalState::suspend).ok());
+    EXPECT_FALSE(checkTransition(PalState::start, PalState::done).ok());
+    // Done is terminal.
+    EXPECT_FALSE(checkTransition(PalState::done, PalState::execute).ok());
+    EXPECT_FALSE(checkTransition(PalState::done, PalState::suspend).ok());
+    EXPECT_FALSE(checkTransition(PalState::done, PalState::start).ok());
+    // No self loops or backwards edges.
+    EXPECT_FALSE(checkTransition(PalState::execute, PalState::start).ok());
+    EXPECT_FALSE(checkTransition(PalState::suspend, PalState::start).ok());
+    EXPECT_FALSE(
+        checkTransition(PalState::execute, PalState::execute).ok());
+}
+
+TEST(Lifecycle, ErrorsAreFailedPrecondition)
+{
+    auto s = checkTransition(PalState::done, PalState::execute);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.error().code, Errc::failedPrecondition);
+    // The message names both states for debuggability.
+    EXPECT_NE(s.error().message.find("Done"), std::string::npos);
+    EXPECT_NE(s.error().message.find("Execute"), std::string::npos);
+}
+
+TEST(Lifecycle, EveryStateHasAName)
+{
+    for (PalState s : {PalState::start, PalState::execute,
+                       PalState::suspend, PalState::done}) {
+        EXPECT_STRNE(palStateName(s), "unknown");
+    }
+}
+
+} // namespace
+} // namespace mintcb::rec

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Hardware preemption-timer tests (paper Section 5.3.1: the untrusted
+ * OS bounds PAL CPU time; expiry triggers an automatic secure suspend).
+ */
+
+#include <gtest/gtest.h>
+
+#include "rec/instructions.hh"
+#include "sea/pal.hh"
+
+namespace mintcb::rec
+{
+namespace
+{
+
+using machine::Machine;
+using machine::PlatformId;
+
+class PreemptionTest : public ::testing::Test
+{
+  protected:
+    PreemptionTest()
+        : machine_(Machine::forPlatform(PlatformId::recTestbed)),
+          exec_(machine_, 4)
+    {
+    }
+
+    Secb
+    makeSecb(Duration quantum)
+    {
+        const sea::Pal pal = sea::Pal::fromLogic(
+            "preempt-pal", 4096,
+            [](sea::PalContext &) { return okStatus(); });
+        auto secb = allocateSecb(machine_, pal, 0x40000, 1, quantum);
+        EXPECT_TRUE(secb.ok());
+        return secb.take();
+    }
+
+    Machine machine_;
+    SecureExecutive exec_;
+};
+
+TEST_F(PreemptionTest, WorkWithinBudgetLeavesPalRunning)
+{
+    Secb secb = makeSecb(Duration::millis(5));
+    ASSERT_TRUE(exec_.slaunch(1, secb).ok());
+    auto retired = exec_.executeFor(secb, Duration::millis(3));
+    ASSERT_TRUE(retired.ok());
+    EXPECT_EQ(*retired, Duration::millis(3));
+    EXPECT_EQ(secb.state, PalState::execute);
+    EXPECT_EQ(secb.executed, Duration::millis(3));
+    ASSERT_TRUE(exec_.sfree(secb, true).ok());
+}
+
+TEST_F(PreemptionTest, TimerExpiryAutoSuspends)
+{
+    Secb secb = makeSecb(Duration::millis(2));
+    ASSERT_TRUE(exec_.slaunch(1, secb).ok());
+    auto retired = exec_.executeFor(secb, Duration::millis(10));
+    ASSERT_TRUE(retired.ok());
+    EXPECT_EQ(*retired, Duration::millis(2)); // only the budget ran
+    EXPECT_EQ(secb.state, PalState::suspend); // hardware suspended it
+    EXPECT_EQ(secb.yields, 1u);
+    // Its pages are fully hidden -- the automatic suspend is *secure*.
+    for (PageNum p : secb.pages)
+        EXPECT_EQ(machine_.memctrl().pageState(p),
+                  machine::PageState::none);
+}
+
+TEST_F(PreemptionTest, InfiniteLoopPalIsContainedAndKillable)
+{
+    // The misbehaving PAL of Section 5.5: it never finishes. The timer
+    // bounds every slice; the OS eventually gives up and SKILLs it.
+    Secb secb = makeSecb(Duration::millis(1));
+    ASSERT_TRUE(exec_.slaunch(1, secb).ok());
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        auto retired = exec_.executeFor(secb, Duration::seconds(9999));
+        ASSERT_TRUE(retired.ok());
+        EXPECT_EQ(*retired, Duration::millis(1));
+        EXPECT_EQ(secb.state, PalState::suspend);
+        if (attempt < 2) {
+            ASSERT_TRUE(exec_.slaunch(1, secb).ok());
+        }
+    }
+    ASSERT_TRUE(exec_.skill(secb).ok());
+    EXPECT_EQ(secb.state, PalState::done);
+}
+
+TEST_F(PreemptionTest, ZeroQuantumDisablesTheTimer)
+{
+    // preemptionTimer == 0 means the OS imposed no budget.
+    Secb secb = makeSecb(Duration::zero());
+    ASSERT_TRUE(exec_.slaunch(1, secb).ok());
+    EXPECT_FALSE(machine_.cpu(1).preemptionBudget().has_value());
+    auto retired = exec_.executeFor(secb, Duration::millis(50));
+    ASSERT_TRUE(retired.ok());
+    EXPECT_EQ(*retired, Duration::millis(50));
+    EXPECT_EQ(secb.state, PalState::execute);
+    ASSERT_TRUE(exec_.sfree(secb, true).ok());
+}
+
+TEST_F(PreemptionTest, ExecuteForRequiresRunningPal)
+{
+    Secb secb = makeSecb(Duration::millis(1));
+    auto retired = exec_.executeFor(secb, Duration::millis(1));
+    ASSERT_FALSE(retired.ok());
+    EXPECT_EQ(retired.error().code, Errc::failedPrecondition);
+}
+
+TEST_F(PreemptionTest, BudgetRearmsOnEveryResume)
+{
+    Secb secb = makeSecb(Duration::millis(2));
+    ASSERT_TRUE(exec_.slaunch(1, secb).ok());
+    ASSERT_TRUE(exec_.executeFor(secb, Duration::millis(10)).ok());
+    ASSERT_TRUE(exec_.slaunch(2, secb).ok()); // resume elsewhere
+    auto retired = exec_.executeFor(secb, Duration::millis(10));
+    ASSERT_TRUE(retired.ok());
+    EXPECT_EQ(*retired, Duration::millis(2)); // fresh budget
+    EXPECT_EQ(secb.executed, Duration::millis(4));
+}
+
+} // namespace
+} // namespace mintcb::rec

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * sePCR set tests (paper Section 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hh"
+#include "rec/sepcr_set.hh"
+
+namespace mintcb::rec
+{
+namespace
+{
+
+class SePcrSetTest : public ::testing::Test
+{
+  protected:
+    SePcrSetTest() : tpm_(tpm::TpmVendor::ideal), bank_(tpm_, 6),
+                     sets_(bank_)
+    {
+    }
+
+    SePcrSetHandle
+    allocate(std::size_t slots, const std::string &image = "pal")
+    {
+        auto set = sets_.allocateAndMeasure(slots, asciiBytes(image),
+                                            tpm::Locality::hardware);
+        EXPECT_TRUE(set.ok());
+        return set.take();
+    }
+
+    tpm::Tpm tpm_;
+    SePcrTpm bank_;
+    SePcrSets sets_;
+};
+
+TEST_F(SePcrSetTest, AllocatesRequestedSlots)
+{
+    const SePcrSetHandle set = allocate(3);
+    EXPECT_EQ(set.size(), 3u);
+    EXPECT_EQ(bank_.freeCount(), 3u);
+    for (SePcrHandle h : set.slots)
+        EXPECT_EQ(bank_.state(h), SePcrState::exclusive);
+}
+
+TEST_F(SePcrSetTest, SlotZeroHoldsLaunchIdentityOthersAreDistinct)
+{
+    const SePcrSetHandle set = allocate(3, "identity-pal");
+    auto single = bank_.allocateAndMeasure(asciiBytes("identity-pal"),
+                                           tpm::Locality::hardware);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(*bank_.value(set.slot(0)), *bank_.value(*single));
+    EXPECT_NE(*bank_.value(set.slot(1)), *bank_.value(set.slot(0)));
+    EXPECT_NE(*bank_.value(set.slot(1)), *bank_.value(set.slot(2)));
+}
+
+TEST_F(SePcrSetTest, AtomicFailureWhenNotEnoughFree)
+{
+    allocate(4);
+    auto set = sets_.allocateAndMeasure(3, asciiBytes("x"),
+                                        tpm::Locality::hardware);
+    ASSERT_FALSE(set.ok());
+    EXPECT_EQ(set.error().code, Errc::resourceExhausted);
+    EXPECT_EQ(bank_.freeCount(), 2u); // nothing was consumed
+}
+
+TEST_F(SePcrSetTest, RejectsEmptySetAndSoftwareLocality)
+{
+    EXPECT_FALSE(sets_.allocateAndMeasure(0, asciiBytes("x"),
+                                          tpm::Locality::hardware).ok());
+    EXPECT_FALSE(sets_.allocateAndMeasure(2, asciiBytes("x"),
+                                          tpm::Locality::software).ok());
+}
+
+TEST_F(SePcrSetTest, ExtendTargetsIndividualSlot)
+{
+    const SePcrSetHandle set = allocate(2);
+    const Bytes before0 = *bank_.value(set.slot(0));
+    ASSERT_TRUE(sets_.extend(set, 1, Bytes(20, 0x22)).ok());
+    EXPECT_EQ(*bank_.value(set.slot(0)), before0); // untouched
+    EXPECT_FALSE(sets_.extend(set, 5, Bytes(20, 0x22)).ok());
+}
+
+TEST_F(SePcrSetTest, QuoteSubsetCoversOnlyRequestedSlots)
+{
+    SePcrSetHandle set = allocate(3, "subset-pal");
+    ASSERT_TRUE(sets_.extend(set, 1, Bytes(20, 0x33)).ok());
+    ASSERT_TRUE(
+        sets_.transitionToQuote(set, tpm::Locality::hardware).ok());
+
+    auto q = sets_.quoteSubset(set, {0, 2}, asciiBytes("n"));
+    ASSERT_TRUE(q.ok());
+    EXPECT_EQ(q->selection.size(), 2u);
+    EXPECT_EQ(q->selection[0], tpm::pcrCount + set.slot(0));
+    EXPECT_EQ(q->selection[1], tpm::pcrCount + set.slot(2));
+    EXPECT_TRUE(tpm::verifyQuote(tpm_.aikPublic(), *q, asciiBytes("n")));
+}
+
+TEST_F(SePcrSetTest, QuoteSubsetRequiresQuoteState)
+{
+    SePcrSetHandle set = allocate(2);
+    EXPECT_FALSE(sets_.quoteSubset(set, {0}, asciiBytes("n")).ok());
+}
+
+TEST_F(SePcrSetTest, ReleaseFreesEverySlot)
+{
+    SePcrSetHandle set = allocate(3);
+    ASSERT_TRUE(
+        sets_.transitionToQuote(set, tpm::Locality::hardware).ok());
+    ASSERT_TRUE(sets_.release(set).ok());
+    EXPECT_EQ(bank_.freeCount(), 6u);
+}
+
+TEST_F(SePcrSetTest, KillFreesEverySlot)
+{
+    SePcrSetHandle set = allocate(3);
+    ASSERT_TRUE(sets_.kill(set, tpm::Locality::hardware).ok());
+    EXPECT_EQ(bank_.freeCount(), 6u);
+    EXPECT_FALSE(sets_.kill(set, tpm::Locality::hardware).ok());
+}
+
+} // namespace
+} // namespace mintcb::rec

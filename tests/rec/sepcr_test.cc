@@ -1,0 +1,237 @@
+/**
+ * @file
+ * sePCR bank tests (paper Section 5.4): allocation limits, exclusive
+ * access, the Free/Exclusive/Quote cycle, value-bound sealing, and the
+ * SKILL marker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hh"
+#include "crypto/sha1.hh"
+#include "rec/sepcr.hh"
+#include "support/testutil.hh"
+
+namespace mintcb::rec
+{
+namespace
+{
+
+class SePcrTest : public ::testing::Test
+{
+  protected:
+    SePcrTest() : tpm_(tpm::TpmVendor::ideal), bank_(tpm_, 3) {}
+
+    SePcrHandle
+    allocate(const std::string &image)
+    {
+        auto h = bank_.allocateAndMeasure(asciiBytes(image),
+                                          tpm::Locality::hardware);
+        EXPECT_TRUE(h.ok());
+        return *h;
+    }
+
+    tpm::Tpm tpm_;
+    SePcrTpm bank_;
+};
+
+TEST_F(SePcrTest, AllocationAssignsDistinctHandles)
+{
+    const SePcrHandle a = allocate("pal-a");
+    const SePcrHandle b = allocate("pal-b");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(bank_.state(a), SePcrState::exclusive);
+    EXPECT_EQ(bank_.freeCount(), 1u);
+}
+
+TEST_F(SePcrTest, AllocationValueIsLaunchIdentity)
+{
+    const Bytes image = asciiBytes("pal-image");
+    auto h = bank_.allocateAndMeasure(image, tpm::Locality::hardware);
+    ASSERT_TRUE(h.ok());
+    // value = extend(0, SHA1(image)), same construction as PCR 17.
+    EXPECT_EQ(*bank_.value(*h), testutil::launchIdentity(image));
+}
+
+TEST_F(SePcrTest, ExhaustionFailsSlaunch)
+{
+    allocate("a");
+    allocate("b");
+    allocate("c");
+    auto h = bank_.allocateAndMeasure(asciiBytes("d"),
+                                      tpm::Locality::hardware);
+    ASSERT_FALSE(h.ok());
+    EXPECT_EQ(h.error().code, Errc::resourceExhausted);
+}
+
+TEST_F(SePcrTest, SoftwareCannotAllocate)
+{
+    auto h = bank_.allocateAndMeasure(asciiBytes("x"),
+                                      tpm::Locality::software);
+    ASSERT_FALSE(h.ok());
+    EXPECT_EQ(h.error().code, Errc::permissionDenied);
+}
+
+TEST_F(SePcrTest, OtherPalsCannotTouchAnExclusiveSePcr)
+{
+    const SePcrHandle a = allocate("pal-a");
+    const SePcrHandle b = allocate("pal-b");
+    const Bytes digest(20, 0x11);
+
+    // PAL B (caller handle b) attacks PAL A's sePCR.
+    EXPECT_EQ(bank_.extend(a, digest, b).error().code,
+              Errc::permissionDenied);
+    EXPECT_EQ(bank_.seal(a, asciiBytes("x"), b).error().code,
+              Errc::permissionDenied);
+    const Bytes before = *bank_.value(a);
+    EXPECT_EQ(before, *bank_.value(a)); // unchanged
+    // The rightful owner still works.
+    EXPECT_TRUE(bank_.extend(a, digest, a).ok());
+    EXPECT_NE(*bank_.value(a), before);
+}
+
+TEST_F(SePcrTest, SealUnsealRoundTripWithinOneRun)
+{
+    const SePcrHandle h = allocate("sealer");
+    auto blob = bank_.seal(h, asciiBytes("secret"), h);
+    ASSERT_TRUE(blob.ok());
+    EXPECT_TRUE(blob->sePcrBound);
+    auto out = bank_.unseal(h, *blob, h);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(*out, asciiBytes("secret"));
+}
+
+TEST_F(SePcrTest, UnsealWorksAcrossRunsWithDifferentHandles)
+{
+    // Challenge 4 (Section 5.4.4): seal under handle 0, exit, relaunch
+    // into a different handle, unseal still works because sealing binds
+    // to the VALUE, not the handle.
+    const SePcrHandle first = allocate("persistent-pal");
+    auto blob = bank_.seal(first, asciiBytes("state"), first);
+    ASSERT_TRUE(blob.ok());
+    ASSERT_TRUE(
+        bank_.transitionToQuote(first, tpm::Locality::hardware).ok());
+    ASSERT_TRUE(bank_.release(first).ok());
+
+    // Occupy the old handle with a different PAL, then relaunch.
+    allocate("squatter");
+    const SePcrHandle second = allocate("persistent-pal");
+    EXPECT_NE(second, first);
+    auto out = bank_.unseal(second, *blob, second);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(*out, asciiBytes("state"));
+}
+
+TEST_F(SePcrTest, DifferentPalCannotUnseal)
+{
+    const SePcrHandle a = allocate("owner");
+    auto blob = bank_.seal(a, asciiBytes("secret"), a);
+    ASSERT_TRUE(blob.ok());
+    const SePcrHandle b = allocate("other-pal");
+    auto out = bank_.unseal(b, *blob, b);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.error().code, Errc::permissionDenied);
+}
+
+TEST_F(SePcrTest, OrdinaryPcrBlobRefusedBySePcrUnseal)
+{
+    const SePcrHandle h = allocate("pal");
+    Rng rng(1);
+    const tpm::SealedBlob blob = tpm::sealBlob(
+        tpm_.srkPublic(), rng, asciiBytes("x"), {}, /*sePcr=*/false);
+    auto out = bank_.unseal(h, blob, h);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.error().code, Errc::failedPrecondition);
+}
+
+// ---- Quote cycle (Section 5.4.3) ------------------------------------------
+
+TEST_F(SePcrTest, QuoteOnlyInQuoteState)
+{
+    const SePcrHandle h = allocate("quoted-pal");
+    EXPECT_FALSE(bank_.quote(h, asciiBytes("n")).ok()); // still Exclusive
+
+    ASSERT_TRUE(bank_.transitionToQuote(h, tpm::Locality::hardware).ok());
+    auto q = bank_.quote(h, asciiBytes("n"));
+    ASSERT_TRUE(q.ok());
+    EXPECT_TRUE(tpm::verifyQuote(tpm_.aikPublic(), *q, asciiBytes("n")));
+    // The quoted value is the PAL's launch identity.
+    EXPECT_EQ(q->values[0], *bank_.value(h));
+    // sePCR handles are namespaced above the 24 ordinary PCRs.
+    EXPECT_EQ(q->selection[0], tpm::pcrCount + h);
+}
+
+TEST_F(SePcrTest, ExclusiveOpsRefusedAfterQuoteTransition)
+{
+    const SePcrHandle h = allocate("done-pal");
+    ASSERT_TRUE(bank_.transitionToQuote(h, tpm::Locality::hardware).ok());
+    EXPECT_FALSE(bank_.extend(h, Bytes(20, 1), h).ok());
+    EXPECT_FALSE(bank_.seal(h, asciiBytes("x"), h).ok());
+}
+
+TEST_F(SePcrTest, SoftwareCannotTransitionToQuote)
+{
+    const SePcrHandle h = allocate("pal");
+    EXPECT_EQ(
+        bank_.transitionToQuote(h, tpm::Locality::software).error().code,
+        Errc::permissionDenied);
+}
+
+TEST_F(SePcrTest, ReleaseRequiresQuoteState)
+{
+    const SePcrHandle h = allocate("pal");
+    EXPECT_FALSE(bank_.release(h).ok()); // Exclusive
+    ASSERT_TRUE(bank_.transitionToQuote(h, tpm::Locality::hardware).ok());
+    EXPECT_TRUE(bank_.release(h).ok());
+    EXPECT_EQ(bank_.state(h), SePcrState::free);
+    EXPECT_FALSE(bank_.release(h).ok()); // already Free
+}
+
+TEST_F(SePcrTest, FreedSePcrIsReusable)
+{
+    const SePcrHandle h = allocate("a");
+    ASSERT_TRUE(bank_.transitionToQuote(h, tpm::Locality::hardware).ok());
+    ASSERT_TRUE(bank_.release(h).ok());
+    EXPECT_EQ(bank_.freeCount(), 3u);
+    const SePcrHandle h2 = allocate("b");
+    EXPECT_EQ(h2, h); // lowest free handle reused
+}
+
+// ---- SKILL (Section 5.5) ---------------------------------------------------
+
+TEST_F(SePcrTest, KillFreesAndRequiresHardware)
+{
+    const SePcrHandle h = allocate("victim");
+    EXPECT_EQ(bank_.kill(h, tpm::Locality::software).error().code,
+              Errc::permissionDenied);
+    EXPECT_TRUE(bank_.kill(h, tpm::Locality::hardware).ok());
+    EXPECT_EQ(bank_.state(h), SePcrState::free);
+    EXPECT_FALSE(bank_.kill(h, tpm::Locality::hardware).ok()); // free
+}
+
+TEST_F(SePcrTest, HandleRangeChecks)
+{
+    EXPECT_FALSE(bank_.value(99).ok());
+    EXPECT_FALSE(bank_.quote(99, {}).ok());
+    EXPECT_FALSE(bank_.release(99).ok());
+    EXPECT_FALSE(bank_.extend(99, Bytes(20, 0), 99).ok());
+}
+
+TEST_F(SePcrTest, TimingChargesMatchBaseProfile)
+{
+    // With a Broadcom-profile TPM the sePCR ops inherit the vendor costs.
+    tpm::Tpm broadcom(tpm::TpmVendor::broadcom);
+    Timeline clock;
+    broadcom.attachClock(&clock);
+    SePcrTpm bank(broadcom, 2);
+    auto h = bank.allocateAndMeasure(asciiBytes("p"),
+                                     tpm::Locality::hardware);
+    ASSERT_TRUE(h.ok());
+    const Duration before = clock.now().sinceEpoch();
+    ASSERT_TRUE(bank.seal(*h, Bytes(128, 1), *h).ok());
+    const Duration seal_cost = clock.now().sinceEpoch() - before;
+    EXPECT_NEAR(seal_cost.toMillis(), 11.39, 1.0);
+}
+
+} // namespace
+} // namespace mintcb::rec

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Attestation and external-verification tests (the External Verification
+ * property from Section 3.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hh"
+#include "sea/attestation.hh"
+#include "sea/session.hh"
+
+namespace mintcb::sea
+{
+namespace
+{
+
+using machine::Machine;
+using machine::PlatformId;
+
+Pal
+attestedPal()
+{
+    return Pal::fromLogic("attested-pal", 2048, [](PalContext &ctx) {
+        ctx.setOutput(asciiBytes("result"));
+        return okStatus();
+    });
+}
+
+/** Launch the PAL, then attest while its identity is still in PCR 17. */
+Attestation
+launchAndAttest(Machine &m, const Pal &pal, const Bytes &nonce)
+{
+    latelaunch::LateLaunch launcher(m);
+    EXPECT_TRUE(m.writeAs(0, 0x10000, pal.slbImage()).ok());
+    EXPECT_TRUE(launcher.invoke(0, 0x10000).ok());
+    auto attestation = attestLaunch(m, 0, nonce, "hp-dc5750");
+    EXPECT_TRUE(attestation.ok());
+    launcher.resumeOtherCpus();
+    return attestation.take();
+}
+
+TEST(PrivacyCa, IssuesAndValidatesCertificates)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    auto cert =
+        PrivacyCa::instance().issue(m.tpm().aikPublic(), "machine-a");
+    EXPECT_TRUE(PrivacyCa::instance().validate(cert));
+}
+
+TEST(PrivacyCa, RejectsTamperedCertificate)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    auto cert = PrivacyCa::instance().issue(m.tpm().aikPublic(), "a");
+    cert.subject = "b"; // claim a different platform
+    EXPECT_FALSE(PrivacyCa::instance().validate(cert));
+}
+
+TEST(Verifier, AcceptsGenuineLaunchOfTrustedPal)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    const Pal pal = attestedPal();
+    const Bytes nonce = asciiBytes("verifier-nonce-1");
+    const Attestation a = launchAndAttest(m, pal, nonce);
+
+    Verifier verifier;
+    verifier.trustPal(pal);
+    auto verdict = verifier.verify(a, nonce);
+    ASSERT_TRUE(verdict.ok());
+    EXPECT_EQ(verdict->palName, "attested-pal");
+    EXPECT_EQ(verdict->palMeasurement, pal.measurement());
+}
+
+TEST(Verifier, RejectsUntrustedPal)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    const Bytes nonce = asciiBytes("n2");
+    const Attestation a = launchAndAttest(m, attestedPal(), nonce);
+
+    Verifier verifier; // empty whitelist
+    auto verdict = verifier.verify(a, nonce);
+    ASSERT_FALSE(verdict.ok());
+    EXPECT_EQ(verdict.error().code, Errc::permissionDenied);
+}
+
+TEST(Verifier, RejectsStaleNonce)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    const Pal pal = attestedPal();
+    const Attestation a = launchAndAttest(m, pal, asciiBytes("old"));
+    Verifier verifier;
+    verifier.trustPal(pal);
+    EXPECT_FALSE(verifier.verify(a, asciiBytes("new")).ok());
+}
+
+TEST(Verifier, RejectsNoLaunchStates)
+{
+    // A quote from a machine that never late launched (PCR 17 = -1)
+    // must not verify, and neither must a bare dynamic reset (= 0).
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    const Bytes nonce = asciiBytes("n3");
+    auto a = attestLaunch(m, 0, nonce, "subject");
+    ASSERT_TRUE(a.ok());
+
+    Verifier verifier;
+    verifier.trustPal(attestedPal());
+    auto verdict = verifier.verify(*a, nonce);
+    ASSERT_FALSE(verdict.ok());
+    EXPECT_EQ(verdict.error().code, Errc::failedPrecondition);
+}
+
+TEST(Verifier, RejectsSoftwareForgedIdentity)
+{
+    // Ring-0 malware extends PCR 17 with the trusted PAL's measurement
+    // WITHOUT launching it. The resulting PCR value differs from the
+    // launch identity because software cannot reset PCR 17 first.
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    const Pal pal = attestedPal();
+    const Bytes nonce = asciiBytes("n4");
+
+    // Attacker: extend the measurement onto the boot value (-1).
+    ASSERT_TRUE(m.tpmAs(0).pcrExtend(17, pal.measurement()).ok());
+    auto a = attestLaunch(m, 0, nonce, "subject");
+    ASSERT_TRUE(a.ok());
+
+    Verifier verifier;
+    verifier.trustPal(pal);
+    auto verdict = verifier.verify(*a, nonce);
+    ASSERT_FALSE(verdict.ok());
+    EXPECT_EQ(verdict.error().code, Errc::permissionDenied);
+}
+
+TEST(Verifier, RejectsQuoteSignedByUnendorsedAik)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    const Pal pal = attestedPal();
+    const Bytes nonce = asciiBytes("n5");
+    Attestation a = launchAndAttest(m, pal, nonce);
+
+    // Substitute a certificate that the Privacy CA never issued.
+    a.aikCert.signature[0] ^= 0x01;
+    Verifier verifier;
+    verifier.trustPal(pal);
+    auto verdict = verifier.verify(a, nonce);
+    ASSERT_FALSE(verdict.ok());
+    EXPECT_EQ(verdict.error().code, Errc::integrityFailure);
+}
+
+TEST(Verifier, RejectsAttestationWithoutPcr17)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    const Bytes nonce = asciiBytes("n6");
+    auto quote = m.tpmAs(0).quote(nonce, {16});
+    ASSERT_TRUE(quote.ok());
+    Attestation a;
+    a.quote = quote.take();
+    a.aikCert = PrivacyCa::instance().issue(m.tpm().aikPublic(), "s");
+
+    Verifier verifier;
+    auto verdict = verifier.verify(a, nonce);
+    ASSERT_FALSE(verdict.ok());
+    EXPECT_EQ(verdict.error().code, Errc::invalidArgument);
+}
+
+TEST(Attestation, WireRoundTrip)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    const Pal pal = attestedPal();
+    const Bytes nonce = asciiBytes("wire");
+    const Attestation a = launchAndAttest(m, pal, nonce);
+
+    auto decoded = Attestation::decode(a.encode());
+    ASSERT_TRUE(decoded.ok());
+    Verifier verifier;
+    verifier.trustPal(pal);
+    EXPECT_TRUE(verifier.verify(*decoded, nonce).ok());
+}
+
+TEST(Attestation, DecodeRejectsGarbageAndTruncation)
+{
+    EXPECT_FALSE(Attestation::decode(asciiBytes("nonsense")).ok());
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    const Attestation a =
+        launchAndAttest(m, attestedPal(), asciiBytes("t"));
+    Bytes wire = a.encode();
+    wire.resize(wire.size() / 2);
+    EXPECT_FALSE(Attestation::decode(wire).ok());
+}
+
+TEST(Attestation, TrustMeasurementMatchesTrustPal)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    const Pal pal = attestedPal();
+    const Bytes nonce = asciiBytes("n7");
+    const Attestation a = launchAndAttest(m, pal, nonce);
+
+    Verifier verifier;
+    verifier.trustMeasurement("by-digest", pal.measurement());
+    auto verdict = verifier.verify(a, nonce);
+    ASSERT_TRUE(verdict.ok());
+    EXPECT_EQ(verdict->palName, "by-digest");
+}
+
+} // namespace
+} // namespace mintcb::sea

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * SEA sessions on the Intel TXT platform: the SENTER path through the
+ * driver, the two-PCR identity (17 = ACMod, 18 = MLE), and the Table 1
+ * consequence that Intel sessions have a flat launch cost.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hh"
+#include "sea/palgen.hh"
+#include "sea/session.hh"
+
+namespace mintcb::sea
+{
+namespace
+{
+
+using machine::Machine;
+using machine::PlatformId;
+
+class IntelSessionTest : public ::testing::Test
+{
+  protected:
+    IntelSessionTest()
+        : machine_(Machine::forPlatform(PlatformId::intelTep)),
+          driver_(machine_)
+    {
+    }
+
+    Machine machine_;
+    SeaDriver driver_;
+};
+
+TEST_F(IntelSessionTest, SessionRunsUnderSenter)
+{
+    const Pal pal = Pal::fromLogic(
+        "intel-pal", 4096, [](PalContext &ctx) {
+            ctx.setOutput(asciiBytes("ran on TXT"));
+            return okStatus();
+        });
+    auto report = driver_.execute(pal, {});
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->palOutput, asciiBytes("ran on TXT"));
+    // SENTER's ACMod tax: launch costs ~27 ms even for a 4 KB PAL.
+    EXPECT_GT(report->lateLaunch, Duration::millis(25));
+    EXPECT_LT(report->lateLaunch, Duration::millis(30));
+}
+
+TEST_F(IntelSessionTest, IdentitySpansPcr17And18)
+{
+    Machine m = Machine::forPlatform(PlatformId::intelTep);
+    PalContext ctx(m, 0, {});
+    EXPECT_EQ(ctx.identityPcrs(),
+              (std::vector<std::size_t>{17, 18}));
+
+    Machine amd = Machine::forPlatform(PlatformId::hpDc5750);
+    PalContext amd_ctx(amd, 0, {});
+    EXPECT_EQ(amd_ctx.identityPcrs(), (std::vector<std::size_t>{17}));
+}
+
+TEST_F(IntelSessionTest, SealedStateRoundTripsOnIntel)
+{
+    auto gen = runPalGen(driver_);
+    ASSERT_TRUE(gen.ok());
+    // The blob's policy covers both PCR 17 and PCR 18.
+    EXPECT_EQ(gen->blob.policy.size(), 2u);
+    auto use = runPalUse(driver_, gen->blob, /*reseal=*/false);
+    EXPECT_TRUE(use.ok());
+}
+
+TEST_F(IntelSessionTest, DifferentMleCannotUnsealEvenWithSameAcmod)
+{
+    // PCR 17 (ACMod) is identical across launches; PCR 18 (MLE) is what
+    // separates PAL identities on Intel. A thief PAL shares PCR 17 but
+    // not PCR 18, so unseal fails.
+    auto gen = runPalGen(driver_);
+    ASSERT_TRUE(gen.ok());
+    const tpm::SealedBlob stolen = gen->blob;
+    const Pal thief = Pal::fromLogic(
+        "intel-thief", 4096, [&stolen](PalContext &ctx) {
+            auto state = ctx.unsealState(stolen);
+            return state.ok() ? okStatus() : Status{state.error()};
+        });
+    auto report = driver_.execute(thief, {});
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.error().code, Errc::permissionDenied);
+}
+
+TEST_F(IntelSessionTest, IntelLaunchBeatsAmdForLargePals)
+{
+    // Figure 2 consequence of Table 1: for a full-size 64 KB PAL the
+    // Intel session launches ~5x faster than the AMD session.
+    const std::size_t code = 64 * 1024 - latelaunch::slbHeaderBytes;
+    const Pal big = Pal::fromLogic("big-pal", code, [](PalContext &) {
+        return okStatus();
+    });
+    auto intel = driver_.execute(big, {});
+    ASSERT_TRUE(intel.ok());
+
+    Machine amd_machine = Machine::forPlatform(PlatformId::hpDc5750);
+    SeaDriver amd_driver(amd_machine);
+    auto amd = amd_driver.execute(big, {});
+    ASSERT_TRUE(amd.ok());
+
+    EXPECT_LT(intel->lateLaunch * 4.0, amd->lateLaunch);
+}
+
+TEST_F(IntelSessionTest, ForgedAcmodAbortsTheSession)
+{
+    driver_.launcher().setAcmod(
+        latelaunch::AcMod::forged(machine_.spec().acmodBytes));
+    const Pal pal = Pal::fromLogic(
+        "never-runs", 1024, [](PalContext &) { return okStatus(); });
+    auto report = driver_.execute(pal, {});
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.error().code, Errc::integrityFailure);
+}
+
+} // namespace
+} // namespace mintcb::sea

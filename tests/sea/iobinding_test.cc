@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Flicker-style input/output binding tests (footnote 3's TOCTOU caveat:
+ * load-time attestation says nothing about the data; binding I/O into
+ * PCR 17 makes the quote cover code + input + output).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hh"
+#include "sea/session.hh"
+
+namespace mintcb::sea
+{
+namespace
+{
+
+using machine::Machine;
+using machine::PlatformId;
+
+Pal
+echoPal()
+{
+    return Pal::fromLogic("io-bound-pal", 2048, [](PalContext &ctx) {
+        Bytes out = ctx.input();
+        for (std::uint8_t &b : out)
+            b ^= 0xff;
+        ctx.setOutput(out);
+        return okStatus();
+    });
+}
+
+class IoBindingTest : public ::testing::Test
+{
+  protected:
+    IoBindingTest()
+        : machine_(Machine::forPlatform(PlatformId::hpDc5750)),
+          driver_(machine_)
+    {
+        driver_.setBindIo(true);
+    }
+
+    Machine machine_;
+    SeaDriver driver_;
+};
+
+TEST_F(IoBindingTest, Pcr17CoversCodeInputAndOutput)
+{
+    const Pal pal = echoPal();
+    const Bytes input = asciiBytes("bind me");
+    auto report = driver_.execute(pal, input);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->pcr17AfterLaunch,
+              SeaDriver::expectedIoBoundPcr17(pal, input,
+                                              report->palOutput));
+}
+
+TEST_F(IoBindingTest, DifferentInputDifferentIdentity)
+{
+    const Pal pal = echoPal();
+    auto a = driver_.execute(pal, asciiBytes("input-a"));
+    auto b = driver_.execute(pal, asciiBytes("input-b"));
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_NE(a->pcr17AfterLaunch, b->pcr17AfterLaunch);
+}
+
+TEST_F(IoBindingTest, ForgedOutputDoesNotMatchExpectedChain)
+{
+    // A malicious OS swaps the PAL's output after the session; the
+    // verifier's recomputed chain no longer matches the recorded PCR.
+    const Pal pal = echoPal();
+    const Bytes input = asciiBytes("honest input");
+    auto report = driver_.execute(pal, input);
+    ASSERT_TRUE(report.ok());
+    Bytes forged_output = report->palOutput;
+    forged_output[0] ^= 0x01;
+    EXPECT_NE(report->pcr17AfterLaunch,
+              SeaDriver::expectedIoBoundPcr17(pal, input, forged_output));
+}
+
+TEST_F(IoBindingTest, ForgedInputDoesNotMatchEither)
+{
+    const Pal pal = echoPal();
+    auto report = driver_.execute(pal, asciiBytes("real"));
+    ASSERT_TRUE(report.ok());
+    EXPECT_NE(report->pcr17AfterLaunch,
+              SeaDriver::expectedIoBoundPcr17(pal, asciiBytes("fake"),
+                                              report->palOutput));
+}
+
+TEST_F(IoBindingTest, UnboundSessionsKeepPlainIdentity)
+{
+    SeaDriver plain(machine_);
+    const Pal pal = echoPal();
+    auto report = plain.execute(pal, asciiBytes("x"));
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->pcr17AfterLaunch, pal.expectedPcr17());
+}
+
+TEST_F(IoBindingTest, BindingAddsTwoExtendsOfCost)
+{
+    // Two Broadcom extends ~= 3.6 ms: visible but negligible next to
+    // the session total.
+    SeaDriver plain(machine_);
+    const Pal pal = echoPal();
+    auto bound = driver_.execute(pal, asciiBytes("x"));
+    auto unbound = plain.execute(pal, asciiBytes("x"));
+    ASSERT_TRUE(bound.ok());
+    ASSERT_TRUE(unbound.ok());
+    const Duration delta = bound->total - unbound->total;
+    EXPECT_GT(delta, Duration::millis(2));
+    EXPECT_LT(delta, Duration::millis(6));
+}
+
+} // namespace
+} // namespace mintcb::sea

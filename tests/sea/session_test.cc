@@ -1,0 +1,222 @@
+/**
+ * @file
+ * SEA driver/session tests, including the Figure 2 end-to-end overheads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hh"
+#include "sea/palgen.hh"
+#include "sea/session.hh"
+#include "support/testutil.hh"
+
+namespace mintcb::sea
+{
+namespace
+{
+
+using machine::Machine;
+using machine::PlatformId;
+
+Pal
+trivialPal(const std::string &name = "trivial")
+{
+    return Pal::fromLogic(name, 1024, [](PalContext &ctx) {
+        ctx.compute(Duration::micros(10));
+        ctx.setOutput(asciiBytes("done"));
+        return okStatus();
+    });
+}
+
+TEST(Pal, IdentityIsDeterministicAndNameSensitive)
+{
+    const Pal a = trivialPal("same"), b = trivialPal("same");
+    const Pal c = trivialPal("different");
+    EXPECT_EQ(a.measurement(), b.measurement());
+    EXPECT_NE(a.measurement(), c.measurement());
+    EXPECT_EQ(a.expectedPcr17(), b.expectedPcr17());
+    EXPECT_EQ(a.expectedPcr17(),
+              testutil::launchIdentity(a.slbImage()));
+}
+
+TEST(SeaSession, RunsPalAndReturnsOutput)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    SeaDriver driver(m);
+    auto report = driver.execute(trivialPal(), asciiBytes("in"));
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->palOutput, asciiBytes("done"));
+    EXPECT_GT(report->total, Duration::zero());
+}
+
+TEST(SeaSession, LeavesPalIdentityInPcr17DuringExecution)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    SeaDriver driver(m);
+    const Pal pal = trivialPal("identity-check");
+    auto report = driver.execute(pal, {});
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->pcr17AfterLaunch, pal.expectedPcr17());
+    // After exit the driver caps PCR 17 so the untrusted world can never
+    // impersonate the PAL to the TPM.
+    EXPECT_NE(*m.tpm().pcrRead(17), pal.expectedPcr17());
+}
+
+TEST(SeaSession, ErasesPalMemoryAndDropsProtections)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    SeaDriver driver(m);
+    ASSERT_TRUE(driver.execute(trivialPal(), {}).ok());
+    // The SLB region was zeroed on exit and DMA works again.
+    auto bytes = m.nic().dmaRead(SeaDriver::slbLoadAddress, 64);
+    ASSERT_TRUE(bytes.ok());
+    EXPECT_EQ(*bytes, Bytes(64, 0x00));
+    // Interrupts are back on for the resumed OS.
+    EXPECT_TRUE(m.cpu(0).interruptsEnabled());
+    EXPECT_FALSE(m.cpu(1).idleForLateLaunch());
+}
+
+TEST(SeaSession, PalFailurePropagates)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    SeaDriver driver(m);
+    const Pal failing = Pal::fromLogic("failing", 512, [](PalContext &) {
+        return Status{Error(Errc::integrityFailure, "bad input")};
+    });
+    auto report = driver.execute(failing, {});
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.error().code, Errc::integrityFailure);
+}
+
+TEST(SeaSession, WholePlatformStallsDuringSession)
+{
+    // Section 4.2: "most of the computer's processing power and
+    // responsiveness vanish for over a second during PAL execution."
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    SeaDriver driver(m);
+    auto gen = runPalGen(driver);
+    ASSERT_TRUE(gen.ok());
+    // Core 1 did nothing, yet its clock advanced with the session. The
+    // 4 KB PAL Gen stalls the sibling for tens of milliseconds (launch
+    // ~12 ms + seal ~20 ms + TPM randomness); a 64 KB PAL stalls >200 ms.
+    EXPECT_EQ(m.cpu(1).now(), m.cpu(0).now());
+    EXPECT_GT(gen->session.siblingStall, Duration::millis(30));
+}
+
+// ---- Figure 2 -------------------------------------------------------------
+
+TEST(Figure2, PalGenIsRoughly200ms)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    SeaDriver driver(m);
+    auto gen = runPalGen(driver);
+    ASSERT_TRUE(gen.ok());
+    const SessionReport &s = gen->session;
+    // SKINIT ~= 177.5 ms (4 KB PAL is ~11 ms; ours is 4 KB of code =>
+    // launch cost ~11 ms) -- the paper's generic PAL uses the full 64 KB.
+    // Validate the component structure instead of one absolute total:
+    EXPECT_GT(s.lateLaunch, Duration::millis(5));
+    EXPECT_NEAR(s.seal.toMillis(), 20.01, 1.5); // 416 B Broadcom seal
+    EXPECT_EQ(s.unseal, Duration::zero());
+}
+
+TEST(Figure2, FullSizePalGenMatchesPaperTotal)
+{
+    // With a full 64 KB PAL (as in the paper's measurements), PAL Gen
+    // overhead is approximately 200 ms.
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    SeaDriver driver(m);
+    Pal big_gen = Pal::fromLogic(
+        "generic-pal-gen-64k", 64 * 1024 - 4, [](PalContext &ctx) {
+            auto data = ctx.tpm().getRandom(palGenPayloadBytes);
+            if (!data)
+                return Status{data.error()};
+            auto blob = ctx.sealState(*data);
+            if (!blob)
+                return Status{blob.error()};
+            ctx.setOutput(blob->encode());
+            return okStatus();
+        });
+    auto report = driver.execute(big_gen, {});
+    ASSERT_TRUE(report.ok());
+    EXPECT_NEAR(report->lateLaunch.toMillis(), 177.52, 8.0);
+    EXPECT_NEAR(report->total.toMillis(), 200.0, 12.0);
+}
+
+TEST(Figure2, PalUseTakesOverASecond)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    SeaDriver driver(m);
+    auto gen = runPalGen(driver);
+    ASSERT_TRUE(gen.ok());
+    auto use = runPalUse(driver, gen->blob, /*reseal=*/true);
+    ASSERT_TRUE(use.ok());
+    const SessionReport &s = use->session;
+    EXPECT_NEAR(s.unseal.toMillis(), 900.0, 45.0);
+    EXPECT_NEAR(s.seal.toMillis(), 11.39, 1.0); // 128 B re-seal
+    // The paper's headline: context-switching into and out of a PAL via
+    // sealed storage costs more than a second of wall-clock time.
+    EXPECT_GT(s.total, Duration::millis(900));
+}
+
+TEST(Figure2, QuoteCostsHundredsOfMilliseconds)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    auto quote = measureQuote(m);
+    ASSERT_TRUE(quote.ok());
+    EXPECT_NEAR(quote->toMillis(), 869.0, 45.0);
+}
+
+TEST(Figure2, StatePersistsAcrossSessionsViaSealedStorage)
+{
+    // Functional leg of Figure 2: PAL Use really recovers what PAL Gen
+    // sealed, across two separate late launches.
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    SeaDriver driver(m);
+    auto gen = runPalGen(driver);
+    ASSERT_TRUE(gen.ok());
+    auto use = runPalUse(driver, gen->blob, /*reseal=*/false);
+    ASSERT_TRUE(use.ok());
+    EXPECT_EQ(use->session.seal, Duration::zero()); // reseal skipped
+}
+
+TEST(Figure2, DifferentPalCannotUnsealPalGenState)
+{
+    // The sealed blob is bound to PAL Gen's identity; a different PAL
+    // (different measurement => different PCR 17) must fail to unseal.
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    SeaDriver driver(m);
+    auto gen = runPalGen(driver);
+    ASSERT_TRUE(gen.ok());
+
+    const tpm::SealedBlob stolen = gen->blob;
+    const Pal thief = Pal::fromLogic(
+        "malicious-thief", 4 * 1024, [&stolen](PalContext &ctx) {
+            auto state = ctx.unsealState(stolen);
+            return state.ok() ? okStatus()
+                              : Status{state.error()};
+        });
+    auto report = driver.execute(thief, {});
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.error().code, Errc::permissionDenied);
+}
+
+TEST(Figure2, OsCannotUnsealPalState)
+{
+    // After the session the OS holds the blob, but PCR 17 has moved on
+    // (the PAL exited; next launch resets it). Unseal from the OS fails.
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    SeaDriver driver(m);
+    auto gen = runPalGen(driver);
+    ASSERT_TRUE(gen.ok());
+    // OS software extends PCR 17 (it can) -- but can never restore the
+    // PAL identity value, so unseal is forever closed to it.
+    ASSERT_TRUE(
+        m.tpmAs(0).pcrExtend(17, Bytes(20, 0x42)).ok());
+    auto out = m.tpmAs(0).unseal(gen->blob);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.error().code, Errc::permissionDenied);
+}
+
+} // namespace
+} // namespace mintcb::sea

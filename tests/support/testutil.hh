@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Shared helpers for mintcb test suites.
+ */
+
+#ifndef MINTCB_TESTS_SUPPORT_TESTUTIL_HH
+#define MINTCB_TESTS_SUPPORT_TESTUTIL_HH
+
+#include "common/bytebuf.hh"
+#include "common/types.hh"
+#include "crypto/sha1.hh"
+
+namespace mintcb::testutil
+{
+
+/** The TPM extend rule: H(old || measurement). */
+inline Bytes
+extendDigest(const Bytes &old_value, const Bytes &measurement)
+{
+    ByteWriter w;
+    w.raw(old_value);
+    w.raw(measurement);
+    return crypto::Sha1::digestBytes(w.bytes());
+}
+
+/** Expected PCR value after extending a freshly reset (zero) PCR with the
+ *  SHA-1 of @p blob -- the post-late-launch PCR 17/18 identity. */
+inline Bytes
+launchIdentity(const Bytes &blob)
+{
+    return extendDigest(Bytes(crypto::sha1DigestSize, 0x00),
+                        crypto::Sha1::digestBytes(blob));
+}
+
+} // namespace mintcb::testutil
+
+#endif // MINTCB_TESTS_SUPPORT_TESTUTIL_HH

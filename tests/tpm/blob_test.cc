@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Sealed-blob crypto tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hh"
+#include "crypto/keycache.hh"
+#include "tpm/blob.hh"
+
+namespace mintcb::tpm
+{
+namespace
+{
+
+const crypto::RsaPrivateKey &
+srk()
+{
+    return crypto::cachedKey("blob-test-srk", 512);
+}
+
+SealPolicy
+policy17(std::uint8_t fill = 0xaa)
+{
+    return {{17, Bytes(20, fill)}};
+}
+
+TEST(SealedBlob, RoundTrip)
+{
+    Rng rng(1);
+    const Bytes payload = asciiBytes("private CA signing key");
+    const SealedBlob blob = sealBlob(srk().pub, rng, payload, policy17());
+    auto out = unsealBlob(srk(), blob);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(*out, payload);
+}
+
+TEST(SealedBlob, EmptyPayload)
+{
+    Rng rng(2);
+    const SealedBlob blob = sealBlob(srk().pub, rng, {}, {});
+    auto out = unsealBlob(srk(), blob);
+    ASSERT_TRUE(out.ok());
+    EXPECT_TRUE(out->empty());
+}
+
+TEST(SealedBlob, LargePayloadUsesMultipleKeystreamBlocks)
+{
+    Rng rng(3);
+    Bytes payload(1000);
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<std::uint8_t>(i * 7);
+    const SealedBlob blob = sealBlob(srk().pub, rng, payload, policy17());
+    EXPECT_NE(blob.ciphertext, payload); // actually encrypted
+    auto out = unsealBlob(srk(), blob);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(*out, payload);
+}
+
+TEST(SealedBlob, TamperedCiphertextFailsMac)
+{
+    Rng rng(4);
+    SealedBlob blob = sealBlob(srk().pub, rng, asciiBytes("data"),
+                               policy17());
+    blob.ciphertext[0] ^= 0x01;
+    auto out = unsealBlob(srk(), blob);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.error().code, Errc::integrityFailure);
+}
+
+TEST(SealedBlob, TamperedPolicyFailsMac)
+{
+    // An attacker must not be able to relax the PCR policy.
+    Rng rng(5);
+    SealedBlob blob = sealBlob(srk().pub, rng, asciiBytes("data"),
+                               policy17());
+    blob.policy[0].digestAtRelease[3] ^= 0xff;
+    auto out = unsealBlob(srk(), blob);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.error().code, Errc::integrityFailure);
+}
+
+TEST(SealedBlob, TamperedSePcrFlagFailsMac)
+{
+    Rng rng(6);
+    SealedBlob blob = sealBlob(srk().pub, rng, asciiBytes("data"),
+                               policy17(), true);
+    blob.sePcrBound = false;
+    auto out = unsealBlob(srk(), blob);
+    ASSERT_FALSE(out.ok());
+}
+
+TEST(SealedBlob, TamperedInnerKeyFails)
+{
+    Rng rng(7);
+    SealedBlob blob = sealBlob(srk().pub, rng, asciiBytes("data"),
+                               policy17());
+    blob.encryptedInnerKey[10] ^= 0x40;
+    auto out = unsealBlob(srk(), blob);
+    EXPECT_FALSE(out.ok());
+}
+
+TEST(SealedBlob, WrongSrkCannotUnseal)
+{
+    Rng rng(8);
+    const SealedBlob blob = sealBlob(srk().pub, rng, asciiBytes("data"),
+                                     policy17());
+    const crypto::RsaPrivateKey &other =
+        crypto::cachedKey("blob-test-other-srk", 512);
+    auto out = unsealBlob(other, blob);
+    EXPECT_FALSE(out.ok());
+}
+
+TEST(SealedBlob, EncodeDecodeRoundTrips)
+{
+    Rng rng(9);
+    const SealedBlob blob = sealBlob(srk().pub, rng,
+                                     asciiBytes("wire format"),
+                                     policy17(), true);
+    auto decoded = SealedBlob::decode(blob.encode());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->sePcrBound, blob.sePcrBound);
+    EXPECT_EQ(decoded->encryptedInnerKey, blob.encryptedInnerKey);
+    EXPECT_EQ(decoded->policy.size(), blob.policy.size());
+    EXPECT_EQ(decoded->policy[0], blob.policy[0]);
+    EXPECT_EQ(decoded->ciphertext, blob.ciphertext);
+    EXPECT_EQ(decoded->mac, blob.mac);
+    // And the decoded blob still unseals.
+    auto out = unsealBlob(srk(), *decoded);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(*out, asciiBytes("wire format"));
+}
+
+TEST(SealedBlob, DecodeRejectsGarbage)
+{
+    EXPECT_FALSE(SealedBlob::decode(asciiBytes("not a blob")).ok());
+    EXPECT_FALSE(SealedBlob::decode({}).ok());
+}
+
+TEST(SealedBlob, DecodeRejectsTruncation)
+{
+    Rng rng(10);
+    const Bytes wire =
+        sealBlob(srk().pub, rng, asciiBytes("data"), policy17()).encode();
+    for (std::size_t cut : {wire.size() - 1, wire.size() / 2, 5ul}) {
+        const Bytes truncated(wire.begin(),
+                              wire.begin() + static_cast<long>(cut));
+        EXPECT_FALSE(SealedBlob::decode(truncated).ok()) << cut;
+    }
+}
+
+TEST(SealedBlob, SealingIsRandomized)
+{
+    Rng rng(11);
+    const Bytes payload = asciiBytes("same payload");
+    const SealedBlob a = sealBlob(srk().pub, rng, payload, policy17());
+    const SealedBlob b = sealBlob(srk().pub, rng, payload, policy17());
+    EXPECT_NE(a.ciphertext, b.ciphertext);
+    EXPECT_NE(a.encryptedInnerKey, b.encryptedInnerKey);
+}
+
+} // namespace
+} // namespace mintcb::tpm

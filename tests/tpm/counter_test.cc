@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Monotonic counter tests, including the sealed-state rollback defense
+ * they enable (the OS replaying an old blob to a PAL).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bytebuf.hh"
+#include "common/hex.hh"
+#include "sea/palgen.hh"
+#include "tpm/tpm.hh"
+
+namespace mintcb::tpm
+{
+namespace
+{
+
+TEST(MonotonicCounter, CreateIncrementRead)
+{
+    Tpm tpm(TpmVendor::ideal);
+    auto h = tpm.counterCreate();
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ(*tpm.counterRead(*h), 0u);
+    EXPECT_EQ(*tpm.counterIncrement(*h), 1u);
+    EXPECT_EQ(*tpm.counterIncrement(*h), 2u);
+    EXPECT_EQ(*tpm.counterRead(*h), 2u);
+}
+
+TEST(MonotonicCounter, SlotsAreLimited)
+{
+    Tpm tpm(TpmVendor::ideal);
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(tpm.counterCreate().ok());
+    auto fifth = tpm.counterCreate();
+    ASSERT_FALSE(fifth.ok());
+    EXPECT_EQ(fifth.error().code, Errc::resourceExhausted);
+}
+
+TEST(MonotonicCounter, UnknownHandleRejected)
+{
+    Tpm tpm(TpmVendor::ideal);
+    EXPECT_FALSE(tpm.counterRead(9).ok());
+    EXPECT_FALSE(tpm.counterIncrement(9).ok());
+}
+
+TEST(MonotonicCounter, SurvivesReboot)
+{
+    // Counters are NV state: a power cycle must not reset them, or the
+    // rollback defense collapses.
+    Tpm tpm(TpmVendor::ideal);
+    auto h = tpm.counterCreate();
+    ASSERT_TRUE(h.ok());
+    ASSERT_TRUE(tpm.counterIncrement(*h).ok());
+    tpm.reboot();
+    EXPECT_EQ(*tpm.counterRead(*h), 1u);
+}
+
+TEST(MonotonicCounter, DetectsSealedStateRollback)
+{
+    // The full defense, end to end on a simulated dc5750: a PAL stores
+    // (counter value, state) sealed; on every update it increments the
+    // hardware counter and reseals. The OS replays the OLD blob; the
+    // PAL unseals it fine -- but the embedded value trails the hardware
+    // counter, exposing the rollback.
+    using machine::Machine;
+    using machine::PlatformId;
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    sea::SeaDriver driver(m);
+    auto counter = m.tpm().counterCreate();
+    ASSERT_TRUE(counter.ok());
+    const std::uint32_t handle = *counter;
+
+    auto versioned_pal = [&](std::uint64_t expected_floor,
+                             bool update) {
+        return sea::Pal::fromLogic(
+            "rollback-guarded-pal", 4096,
+            [&, expected_floor, update](sea::PalContext &ctx) -> Status {
+                const Bytes &in = ctx.input();
+                std::uint64_t stored = 0;
+                if (!in.empty()) {
+                    auto blob = SealedBlob::decode(in);
+                    if (!blob)
+                        return blob.error();
+                    auto state = ctx.unsealState(*blob);
+                    if (!state)
+                        return state.error();
+                    ByteReader r(*state);
+                    auto v = r.u64();
+                    if (!v)
+                        return v.error();
+                    stored = *v;
+                }
+                auto hw = ctx.tpm().counterRead(handle);
+                if (!hw)
+                    return hw.error();
+                if (!in.empty() && stored < *hw) {
+                    return Error(Errc::integrityFailure,
+                                 "sealed state is stale: rollback "
+                                 "detected");
+                }
+                (void)expected_floor;
+                if (update) {
+                    auto next = ctx.tpm().counterIncrement(handle);
+                    if (!next)
+                        return next.error();
+                    ByteWriter w;
+                    w.u64(*next);
+                    auto blob = ctx.sealState(w.bytes());
+                    if (!blob)
+                        return blob.error();
+                    ctx.setOutput(blob->encode());
+                }
+                return okStatus();
+            });
+    };
+
+    // Epoch 1: create versioned state.
+    auto first = driver.execute(versioned_pal(0, true), {});
+    ASSERT_TRUE(first.ok());
+    const Bytes v1_blob = first->palOutput;
+
+    // Epoch 2: update (counter moves to 2, blob carries 2).
+    auto second = driver.execute(versioned_pal(1, true), v1_blob);
+    ASSERT_TRUE(second.ok());
+    const Bytes v2_blob = second->palOutput;
+
+    // Honest OS hands the newest blob: accepted.
+    auto honest = driver.execute(versioned_pal(2, false), v2_blob);
+    EXPECT_TRUE(honest.ok());
+
+    // Malicious OS replays the v1 blob: unseal works, rollback caught.
+    auto replay = driver.execute(versioned_pal(2, false), v1_blob);
+    ASSERT_FALSE(replay.ok());
+    EXPECT_EQ(replay.error().code, Errc::integrityFailure);
+    EXPECT_NE(replay.error().message.find("rollback"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace mintcb::tpm

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * PCR-gated NVRAM tests (TPM_NV_* semantics).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hh"
+#include "tpm/tpm.hh"
+
+namespace mintcb::tpm
+{
+namespace
+{
+
+TEST(Nvram, UngatedSpaceReadWrite)
+{
+    Tpm tpm(TpmVendor::ideal);
+    auto index = tpm.nvDefine(64, {});
+    ASSERT_TRUE(index.ok());
+    ASSERT_TRUE(tpm.nvWrite(*index, asciiBytes("persistent")).ok());
+    EXPECT_EQ(*tpm.nvRead(*index), asciiBytes("persistent"));
+}
+
+TEST(Nvram, SizeAndSlotLimits)
+{
+    Tpm tpm(TpmVendor::ideal);
+    EXPECT_FALSE(tpm.nvDefine(0, {}).ok());
+    EXPECT_FALSE(tpm.nvDefine(8192, {}).ok());
+    for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(tpm.nvDefine(16, {}).ok()) << i;
+    EXPECT_EQ(tpm.nvDefine(16, {}).error().code,
+              Errc::resourceExhausted);
+    auto space = tpm.nvDefine(16, {});
+    (void)space;
+}
+
+TEST(Nvram, WriteLargerThanSpaceRejected)
+{
+    Tpm tpm(TpmVendor::ideal);
+    auto index = tpm.nvDefine(8, {});
+    ASSERT_TRUE(index.ok());
+    EXPECT_FALSE(tpm.nvWrite(*index, Bytes(9, 0)).ok());
+}
+
+TEST(Nvram, UnknownIndexRejected)
+{
+    Tpm tpm(TpmVendor::ideal);
+    EXPECT_FALSE(tpm.nvRead(3).ok());
+    EXPECT_FALSE(tpm.nvWrite(3, {1}).ok());
+}
+
+TEST(Nvram, PcrGateEnforcedBothWays)
+{
+    // Define while PCR 17 holds a PAL identity; after the identity is
+    // gone, neither read nor write works -- the space belongs to that
+    // code alone (how Flicker stores long-lived secrets).
+    Tpm tpm(TpmVendor::ideal);
+    ASSERT_TRUE(tpm.pcrs().resetDynamic(17).ok());
+    ASSERT_TRUE(tpm.pcrExtend(17, Bytes(20, 0x77)).ok());
+    auto index = tpm.nvDefine(32, {17});
+    ASSERT_TRUE(index.ok());
+    ASSERT_TRUE(tpm.nvWrite(*index, asciiBytes("pal secret")).ok());
+
+    // The PAL exits; PCR 17 is capped.
+    ASSERT_TRUE(tpm.pcrExtend(17, Bytes(20, 0x45)).ok());
+    EXPECT_EQ(tpm.nvRead(*index).error().code, Errc::permissionDenied);
+    EXPECT_EQ(tpm.nvWrite(*index, asciiBytes("overwrite")).error().code,
+              Errc::permissionDenied);
+
+    // Re-reaching the identity (a fresh launch of the same PAL) regains
+    // access.
+    ASSERT_TRUE(tpm.pcrs().resetDynamic(17).ok());
+    ASSERT_TRUE(tpm.pcrExtend(17, Bytes(20, 0x77)).ok());
+    EXPECT_EQ(*tpm.nvRead(*index), asciiBytes("pal secret"));
+}
+
+TEST(Nvram, SurvivesReboot)
+{
+    Tpm tpm(TpmVendor::ideal);
+    auto index = tpm.nvDefine(16, {});
+    ASSERT_TRUE(index.ok());
+    ASSERT_TRUE(tpm.nvWrite(*index, asciiBytes("nv")).ok());
+    tpm.reboot();
+    EXPECT_EQ(*tpm.nvRead(*index), asciiBytes("nv"));
+}
+
+TEST(Nvram, GatedSpaceIsUnreachableAfterRebootUntilRelaunch)
+{
+    Tpm tpm(TpmVendor::ideal);
+    ASSERT_TRUE(tpm.pcrs().resetDynamic(17).ok());
+    ASSERT_TRUE(tpm.pcrExtend(17, Bytes(20, 0x11)).ok());
+    auto index = tpm.nvDefine(16, {17});
+    ASSERT_TRUE(index.ok());
+    ASSERT_TRUE(tpm.nvWrite(*index, asciiBytes("x")).ok());
+    tpm.reboot(); // PCR 17 = -1 now
+    EXPECT_FALSE(tpm.nvRead(*index).ok());
+}
+
+} // namespace
+} // namespace mintcb::tpm

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * PCR bank semantics tests (Section 2.1.3 of the paper).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "crypto/sha1.hh"
+#include "support/testutil.hh"
+#include "tpm/pcr.hh"
+
+namespace mintcb::tpm
+{
+namespace
+{
+
+Bytes
+digestOf(const char *s)
+{
+    return crypto::Sha1::digestBytes(Bytes(s, s + std::strlen(s)));
+}
+
+TEST(PcrBank, BootValues)
+{
+    PcrBank bank;
+    // Static PCRs boot to zero.
+    for (std::size_t i = 0; i < firstDynamicPcr; ++i)
+        EXPECT_EQ(*bank.read(i), Bytes(20, 0x00)) << i;
+    // Dynamic PCRs boot to -1 so verifiers can distinguish reboot from
+    // dynamic reset.
+    for (std::size_t i = firstDynamicPcr; i < pcrCount; ++i)
+        EXPECT_EQ(*bank.read(i), Bytes(20, 0xff)) << i;
+}
+
+TEST(PcrBank, ExtendFollowsHashChainRule)
+{
+    PcrBank bank;
+    const Bytes m = digestOf("measurement");
+    ASSERT_TRUE(bank.extend(0, m).ok());
+
+    EXPECT_EQ(*bank.read(0),
+              testutil::extendDigest(Bytes(20, 0x00), m));
+}
+
+TEST(PcrBank, ExtendOrderMatters)
+{
+    PcrBank a, b;
+    const Bytes m1 = digestOf("one"), m2 = digestOf("two");
+    ASSERT_TRUE(a.extend(3, m1).ok());
+    ASSERT_TRUE(a.extend(3, m2).ok());
+    ASSERT_TRUE(b.extend(3, m2).ok());
+    ASSERT_TRUE(b.extend(3, m1).ok());
+    EXPECT_NE(*a.read(3), *b.read(3));
+}
+
+TEST(PcrBank, ExtendRecordsEveryValue)
+{
+    // Extending with different histories never collides.
+    PcrBank a, b;
+    ASSERT_TRUE(a.extend(5, digestOf("x")).ok());
+    ASSERT_TRUE(b.extend(5, digestOf("x")).ok());
+    ASSERT_TRUE(b.extend(5, digestOf("x")).ok());
+    EXPECT_NE(*a.read(5), *b.read(5));
+}
+
+TEST(PcrBank, ExtendRejectsBadIndexAndBadDigest)
+{
+    PcrBank bank;
+    EXPECT_EQ(bank.extend(24, digestOf("m")).error().code,
+              Errc::invalidArgument);
+    EXPECT_EQ(bank.extend(0, Bytes(19, 0)).error().code,
+              Errc::invalidArgument);
+    EXPECT_EQ(bank.extend(0, Bytes(21, 0)).error().code,
+              Errc::invalidArgument);
+}
+
+TEST(PcrBank, ReadRejectsBadIndex)
+{
+    PcrBank bank;
+    EXPECT_FALSE(bank.read(100).ok());
+}
+
+TEST(PcrBank, DynamicResetOnlyForDynamicPcrs)
+{
+    PcrBank bank;
+    for (std::size_t i = 0; i < firstDynamicPcr; ++i) {
+        EXPECT_EQ(bank.resetDynamic(i).error().code,
+                  Errc::permissionDenied) << i;
+    }
+    for (std::size_t i = firstDynamicPcr; i < pcrCount; ++i) {
+        EXPECT_TRUE(bank.resetDynamic(i).ok()) << i;
+        EXPECT_EQ(*bank.read(i), Bytes(20, 0x00)) << i;
+    }
+}
+
+TEST(PcrBank, RebootDistinguishableFromDynamicReset)
+{
+    PcrBank bank;
+    ASSERT_TRUE(bank.resetDynamic(17).ok());
+    const Bytes after_dynamic = *bank.read(17);
+    bank.reboot();
+    EXPECT_NE(*bank.read(17), after_dynamic);
+    EXPECT_EQ(*bank.read(17), Bytes(20, 0xff));
+}
+
+TEST(PcrBank, RebootClearsStaticExtensions)
+{
+    PcrBank bank;
+    ASSERT_TRUE(bank.extend(2, digestOf("boot event")).ok());
+    bank.reboot();
+    EXPECT_EQ(*bank.read(2), Bytes(20, 0x00));
+}
+
+TEST(PcrBank, CompositeCoversSelectionInOrder)
+{
+    PcrBank bank;
+    ASSERT_TRUE(bank.extend(17, digestOf("pal")).ok());
+    auto c1 = bank.composite({17, 18});
+    auto c2 = bank.composite({18, 17});
+    ASSERT_TRUE(c1.ok());
+    ASSERT_TRUE(c2.ok());
+    EXPECT_NE(*c1, *c2);
+    EXPECT_EQ(c1->size(), 20u);
+}
+
+TEST(PcrBank, CompositeChangesWithPcrContents)
+{
+    PcrBank bank;
+    auto before = bank.composite({17});
+    ASSERT_TRUE(bank.extend(17, digestOf("pal")).ok());
+    auto after = bank.composite({17});
+    EXPECT_NE(*before, *after);
+}
+
+TEST(PcrBank, CompositeRejectsBadIndex)
+{
+    PcrBank bank;
+    EXPECT_FALSE(bank.composite({3, 99}).ok());
+}
+
+} // namespace
+} // namespace mintcb::tpm

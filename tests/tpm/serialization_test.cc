@@ -1,0 +1,71 @@
+/**
+ * @file
+ * TPM command serialization in virtual time: the chip is one device
+ * behind one LPC port, so commands issued by different CPUs queue
+ * (Section 5.4.5's hardware-lock arbitration made temporal).
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.hh"
+
+namespace mintcb::tpm
+{
+namespace
+{
+
+using machine::Machine;
+using machine::PlatformId;
+
+TEST(TpmSerialization, CrossCpuCommandsQueue)
+{
+    Machine m = Machine::forPlatform(PlatformId::recTestbed);
+    // CPU 1 issues a long op (quote ~869 ms on Broadcom).
+    ASSERT_TRUE(m.tpmAs(1).quote(Bytes(20, 1), {17}).ok());
+    const Duration first_done = m.cpu(1).now().sinceEpoch();
+    EXPECT_GT(first_done, Duration::millis(800));
+
+    // CPU 2, whose own clock is still at zero, issues an extend: it
+    // must wait for the chip, finishing after CPU 1's op.
+    ASSERT_TRUE(m.tpmAs(2).pcrExtend(16, Bytes(20, 2)).ok());
+    EXPECT_GT(m.cpu(2).now().sinceEpoch(), first_done);
+}
+
+TEST(TpmSerialization, SameCpuSequentialOpsDoNotDoubleCharge)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    ASSERT_TRUE(m.tpmAs(0).pcrExtend(16, Bytes(20, 1)).ok());
+    const Duration after_one = m.cpu(0).now().sinceEpoch();
+    ASSERT_TRUE(m.tpmAs(0).pcrExtend(16, Bytes(20, 2)).ok());
+    const Duration after_two = m.cpu(0).now().sinceEpoch();
+    // Two extends cost about twice one extend -- no spurious queueing
+    // delay on a single in-order caller.
+    EXPECT_NEAR(after_two.toMillis(), 2 * after_one.toMillis(),
+                after_one.toMillis() * 0.2);
+}
+
+TEST(TpmSerialization, LateCallerPaysNoQueueIfChipIsIdle)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    ASSERT_TRUE(m.tpmAs(0).pcrExtend(16, Bytes(20, 1)).ok());
+    // CPU 1 does unrelated work far past the TPM's busy horizon.
+    m.cpu(1).advance(Duration::seconds(2));
+    const Duration before = m.cpu(1).now().sinceEpoch();
+    ASSERT_TRUE(m.tpmAs(1).pcrExtend(16, Bytes(20, 2)).ok());
+    const Duration cost = m.cpu(1).now().sinceEpoch() - before;
+    // Only the op cost, no retroactive queueing.
+    EXPECT_LT(cost, Duration::millis(3));
+}
+
+TEST(TpmSerialization, RebootClearsTheBusyHorizon)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    ASSERT_TRUE(m.tpmAs(0).quote(Bytes(20, 1), {17}).ok());
+    m.reboot();
+    ASSERT_TRUE(m.tpmAs(1).pcrExtend(16, Bytes(20, 2)).ok());
+    // Fresh timeline: the extend costs ~1.8 ms, not 870+.
+    EXPECT_LT(m.cpu(1).now().sinceEpoch(), Duration::millis(5));
+}
+
+} // namespace
+} // namespace mintcb::tpm

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * TPM timing-profile calibration tests: each test pins one of the paper's
+ * stated numbers so a miscalibration fails loudly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "tpm/timing.hh"
+
+namespace mintcb::tpm
+{
+namespace
+{
+
+TpmTimingProfile
+prof(TpmVendor v)
+{
+    return TpmTimingProfile::forVendor(v);
+}
+
+TEST(TpmTiming, BroadcomSealMatchesBothPaperPayloads)
+{
+    // Section 4.3.3: 20.01 ms (PAL Gen payload) and 11.39 ms (PAL Use).
+    const auto p = prof(TpmVendor::broadcom);
+    EXPECT_NEAR(p.seal(416).toMillis(), 20.01, 0.05);
+    EXPECT_NEAR(p.seal(128).toMillis(), 11.39, 0.05);
+}
+
+TEST(TpmTiming, InfineonUnsealIsExact)
+{
+    EXPECT_NEAR(prof(TpmVendor::infineon).unseal.toMillis(), 390.98, 0.01);
+}
+
+TEST(TpmTiming, QuotePlusUnsealDeltaIs1132ms)
+{
+    // Section 4.3.3: switching Broadcom -> Infineon saves 1132 ms on a
+    // combined Quote + Unseal.
+    const auto bcm = prof(TpmVendor::broadcom);
+    const auto inf = prof(TpmVendor::infineon);
+    const double delta = (bcm.quote + bcm.unseal).toMillis() -
+                         (inf.quote + inf.unseal).toMillis();
+    EXPECT_NEAR(delta, 1132.0, 1.0);
+}
+
+TEST(TpmTiming, InfineonSealPenaltyIs213ms)
+{
+    // Section 4.3.3: Infineon adds 213 ms of Seal overhead at the PAL Gen
+    // payload.
+    const auto bcm = prof(TpmVendor::broadcom);
+    const auto inf = prof(TpmVendor::infineon);
+    EXPECT_NEAR(inf.seal(416).toMillis() - bcm.seal(416).toMillis(),
+                213.0, 0.5);
+}
+
+TEST(TpmTiming, BroadcomIsSlowestForQuoteAndUnseal)
+{
+    const auto bcm = prof(TpmVendor::broadcom);
+    for (TpmVendor v : {TpmVendor::atmelT60, TpmVendor::infineon,
+                        TpmVendor::atmelTep}) {
+        EXPECT_GT(bcm.quote, prof(v).quote) << vendorName(v);
+        EXPECT_GT(bcm.unseal, prof(v).unseal) << vendorName(v);
+    }
+}
+
+TEST(TpmTiming, InfineonHasBestAverageAcrossTheFiveOps)
+{
+    auto average = [](const TpmTimingProfile &p) {
+        return (p.extend + p.seal(128) + p.quote + p.unseal +
+                p.getRandom128).toMillis() / 5.0;
+    };
+    const double inf = average(prof(TpmVendor::infineon));
+    for (TpmVendor v : {TpmVendor::atmelT60, TpmVendor::broadcom,
+                        TpmVendor::atmelTep}) {
+        EXPECT_LT(inf, average(prof(v))) << vendorName(v);
+    }
+}
+
+TEST(TpmTiming, BroadcomHashWaitReproducesTable1Slope)
+{
+    // Table 1 dc5750 row fits t(KB) = 0.90 + 2.7597 * KB; the TPM wait
+    // share is that slope minus the raw LPC transfer (0.1378 ms/KB).
+    const auto p = prof(TpmVendor::broadcom);
+    const double wait_per_kb = p.hashWaitPerByte.toMillis() * 1024.0;
+    EXPECT_NEAR(wait_per_kb + 0.1378, 2.7597, 0.001);
+    EXPECT_NEAR(p.hashStartStop.toMillis(), 0.90, 0.01);
+}
+
+TEST(TpmTiming, IdealVendorIsFree)
+{
+    const auto p = prof(TpmVendor::ideal);
+    EXPECT_EQ(p.quote, Duration::zero());
+    EXPECT_EQ(p.unseal, Duration::zero());
+    EXPECT_EQ(p.seal(4096), Duration::zero());
+    EXPECT_EQ(p.hashWaitPerByte, Duration::zero());
+}
+
+TEST(TpmTiming, GetRandomScalesLinearly)
+{
+    const auto p = prof(TpmVendor::infineon);
+    EXPECT_EQ(p.getRandom(256).ticks(), (p.getRandom128 * 2.0).ticks());
+    EXPECT_EQ(p.getRandom(64).ticks(), (p.getRandom128 * 0.5).ticks());
+}
+
+TEST(TpmTiming, SampleJitterHasConfiguredSpread)
+{
+    const auto p = prof(TpmVendor::broadcom);
+    Rng rng(99);
+    StatsAccumulator acc;
+    for (int i = 0; i < 2000; ++i)
+        acc.add(p.sample(p.quote, rng).toMillis());
+    EXPECT_NEAR(acc.mean(), p.quote.toMillis(),
+                p.quote.toMillis() * 0.005);
+    EXPECT_NEAR(acc.stddev(), p.quote.toMillis() * p.jitterRel,
+                p.quote.toMillis() * 0.005);
+}
+
+TEST(TpmTiming, SampleIsDeterministicPerSeed)
+{
+    const auto p = prof(TpmVendor::atmelT60);
+    Rng a(5), b(5);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(p.sample(p.unseal, a), p.sample(p.unseal, b));
+}
+
+TEST(TpmTiming, ScaledDividesEveryLatency)
+{
+    const auto p = prof(TpmVendor::broadcom);
+    const auto fast = p.scaled(1000.0);
+    EXPECT_NEAR(fast.quote.toMillis(), p.quote.toMillis() / 1000.0, 1e-6);
+    EXPECT_NEAR(fast.unseal.toMillis(), p.unseal.toMillis() / 1000.0,
+                1e-6);
+    EXPECT_NEAR(fast.hashWaitPerByte.toNanos(),
+                p.hashWaitPerByte.toNanos() / 1000.0, 1e-3);
+}
+
+TEST(TpmTiming, EveryVendorHasAName)
+{
+    for (TpmVendor v : {TpmVendor::atmelT60, TpmVendor::broadcom,
+                        TpmVendor::infineon, TpmVendor::atmelTep,
+                        TpmVendor::ideal}) {
+        EXPECT_STRNE(vendorName(v), "unknown");
+    }
+}
+
+} // namespace
+} // namespace mintcb::tpm

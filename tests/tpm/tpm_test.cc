@@ -1,0 +1,271 @@
+/**
+ * @file
+ * TPM front-end tests: command semantics, access control, and timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hh"
+#include "crypto/sha1.hh"
+#include "tpm/tpm.hh"
+
+namespace mintcb::tpm
+{
+namespace
+{
+
+Bytes
+digestOf(const std::string &s)
+{
+    return crypto::Sha1::digestBytes(asciiBytes(s));
+}
+
+class TpmTest : public ::testing::Test
+{
+  protected:
+    TpmTest() : tpm_(TpmVendor::broadcom) { tpm_.attachClock(&clock_); }
+
+    Duration
+    elapsed() const
+    {
+        return clock_.now().sinceEpoch();
+    }
+
+    Timeline clock_;
+    Tpm tpm_;
+};
+
+TEST_F(TpmTest, PcrReadAndExtend)
+{
+    ASSERT_TRUE(tpm_.pcrExtend(4, digestOf("app")).ok());
+    auto v = tpm_.pcrRead(4);
+    ASSERT_TRUE(v.ok());
+    EXPECT_NE(*v, Bytes(20, 0x00));
+}
+
+TEST_F(TpmTest, GetRandomReturnsRequestedBytes)
+{
+    auto r = tpm_.getRandom(128);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->size(), 128u);
+    auto r2 = tpm_.getRandom(128);
+    EXPECT_NE(*r, *r2);
+}
+
+TEST_F(TpmTest, SealUnsealRoundTripAgainstCurrentPcrs)
+{
+    ASSERT_TRUE(tpm_.pcrExtend(17, digestOf("pal")).ok());
+    auto blob = tpm_.seal(asciiBytes("secret"), {17});
+    ASSERT_TRUE(blob.ok());
+    auto out = tpm_.unseal(*blob);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(*out, asciiBytes("secret"));
+}
+
+TEST_F(TpmTest, UnsealFailsAfterPcrMoves)
+{
+    ASSERT_TRUE(tpm_.pcrExtend(17, digestOf("pal")).ok());
+    auto blob = tpm_.seal(asciiBytes("secret"), {17});
+    ASSERT_TRUE(blob.ok());
+    // Another extend changes PCR 17; the blob must no longer unseal.
+    ASSERT_TRUE(tpm_.pcrExtend(17, digestOf("other code")).ok());
+    auto out = tpm_.unseal(*blob);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.error().code, Errc::permissionDenied);
+}
+
+TEST_F(TpmTest, UnsealFailsAfterReboot)
+{
+    // After reboot, PCR 17 is -1, not the sealed measurement.
+    ASSERT_TRUE(tpm_.pcrExtend(17, digestOf("pal")).ok());
+    auto blob = tpm_.seal(asciiBytes("secret"), {17});
+    ASSERT_TRUE(blob.ok());
+    tpm_.reboot();
+    EXPECT_FALSE(tpm_.unseal(*blob).ok());
+}
+
+TEST_F(TpmTest, SealToExplicitPolicyUnsealsOnlyWhenReached)
+{
+    // Seal to a future PCR state (the value PCR 17 will hold after the
+    // right PAL is measured), then reach it and unseal.
+    Bytes future(20, 0x00);
+    Bytes cat = future;
+    const Bytes m = digestOf("target pal");
+    cat.insert(cat.end(), m.begin(), m.end());
+    future = crypto::Sha1::digestBytes(cat);
+
+    auto blob = tpm_.sealToPolicy(asciiBytes("for target pal"),
+                                  {{17, future}});
+    ASSERT_TRUE(blob.ok());
+    EXPECT_FALSE(tpm_.unseal(*blob).ok()); // not yet in that state
+
+    ASSERT_TRUE(tpm_.pcrs().resetDynamic(17).ok());
+    ASSERT_TRUE(tpm_.pcrExtend(17, m).ok());
+    auto out = tpm_.unseal(*blob);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(*out, asciiBytes("for target pal"));
+}
+
+TEST_F(TpmTest, SealRejectsBadPolicy)
+{
+    EXPECT_FALSE(tpm_.seal(asciiBytes("x"), {99}).ok());
+    EXPECT_FALSE(
+        tpm_.sealToPolicy(asciiBytes("x"), {{3, Bytes(5, 0)}}).ok());
+}
+
+TEST_F(TpmTest, QuoteVerifies)
+{
+    ASSERT_TRUE(tpm_.pcrExtend(17, digestOf("pal")).ok());
+    const Bytes nonce = asciiBytes("fresh nonce");
+    auto q = tpm_.quote(nonce, {17, 18});
+    ASSERT_TRUE(q.ok());
+    EXPECT_TRUE(verifyQuote(tpm_.aikPublic(), *q, nonce));
+}
+
+TEST_F(TpmTest, QuoteRejectsWrongNonce)
+{
+    auto q = tpm_.quote(asciiBytes("nonce-a"), {17});
+    ASSERT_TRUE(q.ok());
+    EXPECT_FALSE(verifyQuote(tpm_.aikPublic(), *q, asciiBytes("nonce-b")));
+}
+
+TEST_F(TpmTest, QuoteRejectsTamperedValues)
+{
+    auto q = tpm_.quote(asciiBytes("n"), {17});
+    ASSERT_TRUE(q.ok());
+    q->values[0][0] ^= 0x01;
+    EXPECT_FALSE(verifyQuote(tpm_.aikPublic(), *q, asciiBytes("n")));
+}
+
+TEST_F(TpmTest, QuoteRejectsWrongAik)
+{
+    Tpm other(TpmVendor::infineon, /*seed=*/77);
+    auto q = tpm_.quote(asciiBytes("n"), {17});
+    ASSERT_TRUE(q.ok());
+    EXPECT_FALSE(verifyQuote(other.aikPublic(), *q, asciiBytes("n")));
+}
+
+// ---- Hash sequence (late-launch path) -----------------------------------
+
+TEST_F(TpmTest, HashSequenceRequiresHardwareLocality)
+{
+    EXPECT_EQ(tpm_.hashStart(Locality::software).error().code,
+              Errc::permissionDenied);
+    EXPECT_EQ(tpm_.hashData(asciiBytes("x"), Locality::software)
+                  .error().code,
+              Errc::permissionDenied);
+    EXPECT_EQ(tpm_.hashEnd(Locality::software).error().code,
+              Errc::permissionDenied);
+}
+
+TEST_F(TpmTest, HashSequenceResetsDynamicPcrsAndExtends17)
+{
+    ASSERT_TRUE(tpm_.hashStart(Locality::hardware).ok());
+    // Dynamic PCRs were reset to 0 by HASH_START.
+    EXPECT_EQ(*tpm_.pcrRead(17), Bytes(20, 0x00));
+    EXPECT_EQ(*tpm_.pcrRead(23), Bytes(20, 0x00));
+
+    const Bytes pal = asciiBytes("pal image bytes");
+    ASSERT_TRUE(tpm_.hashData(pal, Locality::hardware).ok());
+    ASSERT_TRUE(tpm_.hashEnd(Locality::hardware).ok());
+
+    // PCR 17 = extend(0, SHA1(pal)).
+    Bytes expected(20, 0x00);
+    const Bytes m = crypto::Sha1::digestBytes(pal);
+    Bytes cat = expected;
+    cat.insert(cat.end(), m.begin(), m.end());
+    expected = crypto::Sha1::digestBytes(cat);
+    EXPECT_EQ(*tpm_.pcrRead(17), expected);
+}
+
+TEST_F(TpmTest, HashDataOutsideSequenceFails)
+{
+    EXPECT_EQ(tpm_.hashData(asciiBytes("x"), Locality::hardware)
+                  .error().code,
+              Errc::failedPrecondition);
+    EXPECT_EQ(tpm_.hashEnd(Locality::hardware).error().code,
+              Errc::failedPrecondition);
+}
+
+TEST_F(TpmTest, SoftwareCannotForgePcr17Identity)
+{
+    // Run a real hash sequence for PAL A.
+    ASSERT_TRUE(tpm_.hashStart(Locality::hardware).ok());
+    ASSERT_TRUE(tpm_.hashData(asciiBytes("pal A"),
+                              Locality::hardware).ok());
+    ASSERT_TRUE(tpm_.hashEnd(Locality::hardware).ok());
+    const Bytes pal_a_identity = *tpm_.pcrRead(17);
+
+    // Software extends afterwards: PCR 17 can only move *away* from the
+    // identity, never back to a chosen value.
+    ASSERT_TRUE(tpm_.pcrExtend(17, digestOf("malicious")).ok());
+    EXPECT_NE(*tpm_.pcrRead(17), pal_a_identity);
+}
+
+// ---- Timing --------------------------------------------------------------
+
+TEST_F(TpmTest, OpsChargeVendorLatency)
+{
+    const Duration before = elapsed();
+    ASSERT_TRUE(tpm_.unseal(*tpm_.seal(asciiBytes("s"), {})).ok());
+    const Duration after = elapsed();
+    // Broadcom: seal(1 B) ~= 7.6 ms, unseal ~= 900 ms.
+    EXPECT_GT(after - before, Duration::millis(850));
+    EXPECT_LT(after - before, Duration::millis(1000));
+}
+
+TEST_F(TpmTest, QuoteCostIsVendorQuoteLatency)
+{
+    const Duration before = elapsed();
+    ASSERT_TRUE(tpm_.quote(asciiBytes("n"), {17}).ok());
+    const Duration cost = elapsed() - before;
+    EXPECT_NEAR(cost.toMillis(), 869.0, 869.0 * 0.1);
+}
+
+TEST_F(TpmTest, IdealTpmChargesNothing)
+{
+    Timeline clock;
+    Tpm ideal(TpmVendor::ideal);
+    ideal.attachClock(&clock);
+    ASSERT_TRUE(ideal.quote(asciiBytes("n"), {17}).ok());
+    ASSERT_TRUE(ideal.unseal(*ideal.seal(asciiBytes("s"), {})).ok());
+    EXPECT_EQ(clock.now().sinceEpoch(), Duration::zero());
+}
+
+// ---- Lock arbitration (Section 5.4.5) ------------------------------------
+
+TEST_F(TpmTest, LockIsExclusive)
+{
+    EXPECT_TRUE(tpm_.tryLock(0));
+    EXPECT_FALSE(tpm_.tryLock(1));
+    EXPECT_TRUE(tpm_.tryLock(0)); // re-entrant for the holder
+    ASSERT_TRUE(tpm_.unlock(0).ok());
+    EXPECT_TRUE(tpm_.tryLock(1));
+}
+
+TEST_F(TpmTest, UnlockByNonHolderFails)
+{
+    ASSERT_TRUE(tpm_.tryLock(2));
+    EXPECT_EQ(tpm_.unlock(3).error().code, Errc::failedPrecondition);
+    EXPECT_EQ(*tpm_.lockHolder(), 2u);
+}
+
+TEST_F(TpmTest, RebootClearsLock)
+{
+    ASSERT_TRUE(tpm_.tryLock(1));
+    tpm_.reboot();
+    EXPECT_FALSE(tpm_.lockHolder().has_value());
+}
+
+TEST_F(TpmTest, SePcrBoundBlobRefusedByV12Unseal)
+{
+    Rng rng(1);
+    const SealedBlob blob = sealBlob(tpm_.srkPublic(), rng,
+                                     asciiBytes("x"), {}, true);
+    auto out = tpm_.unseal(blob);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.error().code, Errc::failedPrecondition);
+}
+
+} // namespace
+} // namespace mintcb::tpm

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * TPM transport-session tests (Section 3.3: the untrusted south bridge /
+ * LPC path must be unable to read, modify, or replay TPM traffic).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hh"
+#include "tpm/transport.hh"
+
+namespace mintcb::tpm
+{
+namespace
+{
+
+class TransportTest : public ::testing::Test
+{
+  protected:
+    TransportTest() : tpm_(TpmVendor::ideal), server_(tpm_), rng_(77)
+    {
+        Bytes envelope;
+        auto client = TransportClient::establish(tpm_.srkPublic(), rng_,
+                                                 envelope);
+        EXPECT_TRUE(client.ok());
+        client_.emplace(client.take());
+        EXPECT_TRUE(server_.accept(envelope).ok());
+    }
+
+    Tpm tpm_;
+    TpmTransportServer server_;
+    Rng rng_;
+    std::optional<TransportClient> client_;
+};
+
+TEST_F(TransportTest, PcrReadRoundTrip)
+{
+    auto wrapped = client_->wrapCommand(TransportOp::pcrRead, 5, {});
+    auto response = server_.execute(wrapped);
+    ASSERT_TRUE(response.ok());
+    auto plain = client_->unwrapResponse(*response);
+    ASSERT_TRUE(plain.ok());
+    EXPECT_EQ((*plain)[0], 0); // status ok
+}
+
+TEST_F(TransportTest, ExtendThroughTunnelAffectsRealPcr)
+{
+    const Bytes digest(20, 0x5a);
+    auto wrapped = client_->wrapCommand(TransportOp::pcrExtend, 5, digest);
+    ASSERT_TRUE(server_.execute(wrapped).ok());
+    EXPECT_NE(*tpm_.pcrRead(5), Bytes(20, 0x00));
+}
+
+TEST_F(TransportTest, GetRandomThroughTunnel)
+{
+    auto wrapped = client_->wrapCommand(TransportOp::getRandom, 16, {});
+    auto response = server_.execute(wrapped);
+    ASSERT_TRUE(response.ok());
+    auto plain = client_->unwrapResponse(*response);
+    ASSERT_TRUE(plain.ok());
+    EXPECT_EQ(plain->size(), 1 + 4 + 16u); // status + len + bytes
+}
+
+TEST_F(TransportTest, EavesdropperSeesNoPlaintext)
+{
+    const Bytes digest(20, 0x77);
+    auto wrapped = client_->wrapCommand(TransportOp::pcrExtend, 17,
+                                        digest);
+    // The digest must not appear in the ciphertext.
+    const Bytes &ct = wrapped.ciphertext;
+    bool found = false;
+    if (ct.size() >= digest.size()) {
+        for (std::size_t i = 0; i + digest.size() <= ct.size(); ++i) {
+            found |= std::equal(digest.begin(), digest.end(),
+                                ct.begin() + static_cast<long>(i));
+        }
+    }
+    EXPECT_FALSE(found);
+}
+
+TEST_F(TransportTest, OnPathTamperingDetectedWithoutStateChange)
+{
+    const Bytes before = *tpm_.pcrRead(6);
+    auto wrapped = client_->wrapCommand(TransportOp::pcrExtend, 6,
+                                        Bytes(20, 0x11));
+    wrapped.ciphertext[2] ^= 0x01; // south-bridge attacker
+    auto response = server_.execute(wrapped);
+    ASSERT_FALSE(response.ok());
+    EXPECT_EQ(response.error().code, Errc::integrityFailure);
+    EXPECT_EQ(*tpm_.pcrRead(6), before); // nothing executed
+}
+
+TEST_F(TransportTest, MacTamperingDetected)
+{
+    auto wrapped = client_->wrapCommand(TransportOp::pcrRead, 0, {});
+    wrapped.mac[0] ^= 0xff;
+    EXPECT_FALSE(server_.execute(wrapped).ok());
+}
+
+TEST_F(TransportTest, ReplayRejected)
+{
+    auto wrapped = client_->wrapCommand(TransportOp::pcrExtend, 7,
+                                        Bytes(20, 0x22));
+    ASSERT_TRUE(server_.execute(wrapped).ok());
+    const Bytes after_first = *tpm_.pcrRead(7);
+    // The attacker resends the captured message.
+    auto replay = server_.execute(wrapped);
+    ASSERT_FALSE(replay.ok());
+    EXPECT_EQ(replay.error().code, Errc::integrityFailure);
+    EXPECT_EQ(*tpm_.pcrRead(7), after_first);
+}
+
+TEST_F(TransportTest, ResponseTamperingDetectedByClient)
+{
+    auto wrapped = client_->wrapCommand(TransportOp::pcrRead, 0, {});
+    auto response = server_.execute(wrapped);
+    ASSERT_TRUE(response.ok());
+    response->ciphertext[0] ^= 0x40;
+    EXPECT_FALSE(client_->unwrapResponse(*response).ok());
+}
+
+TEST_F(TransportTest, CommandsBeforeSessionRejected)
+{
+    Tpm fresh(TpmVendor::ideal);
+    TpmTransportServer cold(fresh);
+    auto wrapped = client_->wrapCommand(TransportOp::pcrRead, 0, {});
+    auto response = cold.execute(wrapped);
+    ASSERT_FALSE(response.ok());
+    EXPECT_EQ(response.error().code, Errc::failedPrecondition);
+}
+
+TEST_F(TransportTest, WrongSessionKeyCannotIssueCommands)
+{
+    // A second client with its own key talks to the same server: the
+    // server's session key differs, so its messages are rejected.
+    Bytes envelope;
+    Rng other_rng(999);
+    auto mallory = TransportClient::establish(tpm_.srkPublic(), other_rng,
+                                              envelope);
+    ASSERT_TRUE(mallory.ok());
+    // Server never accepted mallory's envelope.
+    auto wrapped = mallory->wrapCommand(TransportOp::pcrExtend, 17,
+                                        Bytes(20, 0x00));
+    EXPECT_FALSE(server_.execute(wrapped).ok());
+}
+
+TEST_F(TransportTest, WireEncodingRoundTrips)
+{
+    auto wrapped = client_->wrapCommand(TransportOp::pcrRead, 3, {});
+    auto decoded = WrappedMessage::decode(wrapped.encode());
+    ASSERT_TRUE(decoded.ok());
+    auto response = server_.execute(*decoded);
+    EXPECT_TRUE(response.ok());
+}
+
+} // namespace
+} // namespace mintcb::tpm
