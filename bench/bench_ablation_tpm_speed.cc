@@ -33,8 +33,9 @@ switchCostUs(double factor, std::uint64_t seed)
     sea::SeaDriver driver(m);
     auto gen = sea::runPalGen(driver);
     auto use = sea::runPalUse(driver, gen->blob, /*reseal=*/true);
-    const Duration cost = use->session.lateLaunch + use->session.unseal +
-                          use->session.seal;
+    const Duration cost = use->session.phases.lateLaunch +
+                          use->session.phases.unseal +
+                          use->session.phases.seal;
     return cost.toMicros();
 }
 

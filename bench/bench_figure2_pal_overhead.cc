@@ -66,15 +66,14 @@ runOnce(std::uint64_t seed)
     sea::SeaDriver driver(m);
 
     Figure2Sample s{};
-    auto gen = driver.execute(fullSizePal(true, {}), {});
-    const tpm::SealedBlob blob =
-        *tpm::SealedBlob::decode(gen->palOutput);
-    s.skinit = gen->lateLaunch.toMillis();
-    s.seal = gen->seal.toMillis();
+    auto gen = driver.run(sea::PalRequest(fullSizePal(true, {})));
+    const tpm::SealedBlob blob = *tpm::SealedBlob::decode(gen->output);
+    s.skinit = gen->phases.lateLaunch.toMillis();
+    s.seal = gen->phases.seal.toMillis();
 
-    auto use = driver.execute(fullSizePal(false, blob), {});
-    s.unseal = use->unseal.toMillis();
-    s.reseal = use->seal.toMillis();
+    auto use = driver.run(sea::PalRequest(fullSizePal(false, blob)));
+    s.unseal = use->phases.unseal.toMillis();
+    s.reseal = use->phases.seal.toMillis();
     s.total = use->total.toMillis();
 
     s.quote = sea::measureQuote(m)->toMillis();
@@ -88,7 +87,7 @@ BM_PalGen(benchmark::State &state)
     for (auto _ : state) {
         Machine m = Machine::forPlatform(PlatformId::hpDc5750, seed++);
         sea::SeaDriver driver(m);
-        auto r = driver.execute(fullSizePal(true, {}), {});
+        auto r = driver.run(sea::PalRequest(fullSizePal(true, {})));
         state.SetIterationTime(r->total.toSeconds());
     }
 }
@@ -100,10 +99,9 @@ BM_PalUse(benchmark::State &state)
     for (auto _ : state) {
         Machine m = Machine::forPlatform(PlatformId::hpDc5750, seed++);
         sea::SeaDriver driver(m);
-        auto gen = driver.execute(fullSizePal(true, {}), {});
-        const tpm::SealedBlob blob =
-            *tpm::SealedBlob::decode(gen->palOutput);
-        auto use = driver.execute(fullSizePal(false, blob), {});
+        auto gen = driver.run(sea::PalRequest(fullSizePal(true, {})));
+        const tpm::SealedBlob blob = *tpm::SealedBlob::decode(gen->output);
+        auto use = driver.run(sea::PalRequest(fullSizePal(false, blob)));
         state.SetIterationTime(use->total.toSeconds());
     }
 }

@@ -52,8 +52,8 @@ measureToday(std::uint64_t seed)
 
     TodayCosts c;
     c.switch_in_ms =
-        launch->total.toMillis() + use->session.unseal.toMillis();
-    c.switch_out_ms = use->session.seal.toMillis();
+        launch->total.toMillis() + use->session.phases.unseal.toMillis();
+    c.switch_out_ms = use->session.phases.seal.toMillis();
     return c;
 }
 

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Execution-service throughput on the recommended hardware: PALs per
+ * simulated second as the PAL-core count grows (the multiprogramming
+ * win SLAUNCH buys, Section 5.7), plus the TPM-traffic optimizations --
+ * command pipelining and transport-session resumption -- and a
+ * byte-level determinism check over the full request/response path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sea/service.hh"
+#include "support/benchutil.hh"
+
+using namespace mintcb;
+using machine::Machine;
+using machine::PlatformId;
+
+namespace
+{
+
+constexpr int workloadPals = 16;
+constexpr Duration perPalCompute = Duration::millis(40);
+
+sea::PalRequest
+workerRequest(int i)
+{
+    sea::PalRequest req(sea::Pal::fromLogic(
+        "svc-worker-" + std::to_string(i), 4 * 1024,
+        [](sea::PalContext &) { return okStatus(); }));
+    req.slicedCompute = perPalCompute;
+    return req;
+}
+
+/** Run the standard workload with @p pal_cores PAL-eligible cores on
+ *  the 8-core server preset; returns the service for metric reads. */
+sea::ServiceMetrics
+runWorkload(std::uint32_t pal_cores, bool audit, std::uint64_t seed = 0)
+{
+    Machine m = Machine::forPlatform(PlatformId::recServer, seed);
+    sea::ServiceConfig config;
+    config.quantum = Duration::millis(4);
+    config.legacyCpus =
+        static_cast<std::uint32_t>(m.cpuCount()) - pal_cores;
+    config.auditTrail = audit;
+    sea::ExecutionService svc(m, config);
+    for (int i = 0; i < workloadPals; ++i) {
+        auto id = svc.submit(workerRequest(i));
+        if (!id.ok())
+            std::abort();
+    }
+    if (!svc.drain().ok())
+        std::abort();
+    return svc.metrics();
+}
+
+void
+scalingTable()
+{
+    benchutil::heading(
+        "Execution-service scaling: 16 x 40 ms PALs, 8-core server, "
+        "1 -> 4 PAL cores (audit off: pure scheduling)");
+
+    double base = 0.0;
+    double best = 0.0;
+    for (std::uint32_t cores : {1u, 2u, 4u}) {
+        const sea::ServiceMetrics metrics =
+            runWorkload(cores, /*audit=*/false);
+        const double throughput = metrics.palsPerSimSecond();
+        benchutil::rowSimOnly(
+            std::to_string(cores) + " PAL core(s), PALs/sim-second",
+            throughput, "PAL/s");
+        if (cores == 1)
+            base = throughput;
+        best = throughput;
+    }
+    benchutil::check("1 -> 4 PAL cores scales throughput >= 2x",
+                     best >= 2.0 * base);
+}
+
+void
+pipeliningTable()
+{
+    benchutil::heading("TPM command pipelining: audit-trail extends per "
+                       "transport exchange");
+
+    const sea::ServiceMetrics batched = runWorkload(4, /*audit=*/true);
+    Machine m = Machine::forPlatform(PlatformId::recServer);
+    sea::ServiceConfig serial_config;
+    serial_config.quantum = Duration::millis(4);
+    serial_config.legacyCpus = 4;
+    serial_config.pipelineTpm = false;
+    sea::ExecutionService serial(m, serial_config);
+    for (int i = 0; i < workloadPals; ++i) {
+        if (!serial.submit(workerRequest(i)).ok())
+            std::abort();
+    }
+    if (!serial.drain().ok())
+        std::abort();
+
+    benchutil::rowSimOnly("pipelined: commands per exchange",
+                          batched.coalescingRatio(), "cmds");
+    benchutil::rowSimOnly("serial: commands per exchange",
+                          serial.metrics().coalescingRatio(), "cmds");
+    benchutil::rowSimOnly("pipelined busy time",
+                          batched.busy.toMillis(), "ms");
+    benchutil::rowSimOnly("serial busy time",
+                          serial.metrics().busy.toMillis(), "ms");
+    benchutil::check("pipelining coalesces the whole drain into one "
+                     "exchange",
+                     batched.coalescingRatio() ==
+                         static_cast<double>(workloadPals));
+    benchutil::check("pipelining shortens the drain",
+                     batched.busy < serial.metrics().busy);
+}
+
+void
+sessionReuseTable()
+{
+    benchutil::heading("Transport-session resumption across drains "
+                       "(fresh RSA key exchange vs ticket)");
+
+    auto two_drains = [](bool reuse) {
+        Machine m = Machine::forPlatform(PlatformId::recServer);
+        sea::ServiceConfig config;
+        config.quantum = Duration::millis(4);
+        config.legacyCpus = 4;
+        config.reuseTransportSession = reuse;
+        sea::ExecutionService svc(m, config);
+        for (int round = 0; round < 2; ++round) {
+            for (int i = 0; i < 4; ++i) {
+                if (!svc.submit(workerRequest(i)).ok())
+                    std::abort();
+            }
+            if (!svc.drain().ok())
+                std::abort();
+        }
+        return svc.metrics();
+    };
+
+    const sea::ServiceMetrics resumed = two_drains(true);
+    const sea::ServiceMetrics fresh = two_drains(false);
+    benchutil::rowSimOnly("with resumption: busy time",
+                          resumed.busy.toMillis(), "ms");
+    benchutil::rowSimOnly("fresh key exchange each drain: busy time",
+                          fresh.busy.toMillis(), "ms");
+    benchutil::check("resumption skips the second RSA key exchange",
+                     resumed.sessionsResumed == 1 &&
+                         fresh.sessionsAccepted == 2);
+    benchutil::check("resumption saves hundreds of milliseconds",
+                     fresh.busy - resumed.busy >
+                         Duration::millis(300));
+}
+
+void
+determinismCheck()
+{
+    benchutil::heading("Determinism: byte-identical reports across two "
+                       "same-seed runs (full service path, audit on)");
+
+    auto encode_all = [](std::uint64_t seed) {
+        Machine m = Machine::forPlatform(PlatformId::recServer, seed);
+        sea::ServiceConfig config;
+        config.quantum = Duration::millis(4);
+        config.legacyCpus = 4;
+        sea::ExecutionService svc(m, config);
+        for (int i = 0; i < workloadPals; ++i) {
+            sea::PalRequest req = workerRequest(i);
+            req.wantQuote = (i % 4 == 0);
+            if (!svc.submit(std::move(req)).ok())
+                std::abort();
+        }
+        auto reports = svc.drain();
+        if (!reports.ok())
+            std::abort();
+        Bytes all;
+        for (const sea::ExecutionReport &r : *reports) {
+            const Bytes wire = r.encode();
+            all.insert(all.end(), wire.begin(), wire.end());
+        }
+        return all;
+    };
+
+    const Bytes first = encode_all(7);
+    const Bytes second = encode_all(7);
+    benchutil::rowSimOnly("encoded report bytes per run",
+                          static_cast<double>(first.size()), "B");
+    benchutil::check("two same-seed runs encode byte-identically",
+                     first == second);
+}
+
+void
+BM_ServiceDrain(benchmark::State &state)
+{
+    const auto pal_cores = static_cast<std::uint32_t>(state.range(0));
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        const sea::ServiceMetrics metrics =
+            runWorkload(pal_cores, /*audit=*/true, seed++);
+        state.SetIterationTime(metrics.busy.toSeconds());
+    }
+    state.counters["pals_per_sim_s"] = benchmark::Counter(0);
+    const sea::ServiceMetrics metrics =
+        runWorkload(pal_cores, /*audit=*/true, 1234);
+    state.counters["pals_per_sim_s"] =
+        benchmark::Counter(metrics.palsPerSimSecond());
+}
+
+} // namespace
+
+BENCHMARK(BM_ServiceDrain)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Iterations(5);
+
+int
+main(int argc, char **argv)
+{
+    scalingTable();
+    pipeliningTable();
+    sessionReuseTable();
+    determinismCheck();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -39,22 +39,34 @@ main()
     std::printf("PAL measurement: %s\n",
                 toHex(pal.measurement()).c_str());
 
-    // 3. Run it under SEA (Flicker-style session).
+    // 3. Run it under SEA (Flicker-style session) via the unified
+    //    request/response API: describe the work as a PalRequest, get an
+    //    ExecutionReport back.
     sea::SeaDriver driver(machine);
-    auto session = driver.execute(pal, {});
+    sea::PalRequest request(pal);
+    auto session = driver.run(request);
     if (!session.ok()) {
         std::fprintf(stderr, "session failed: %s\n",
                      session.error().str().c_str());
         return 1;
     }
+    if (!session->status.ok()) {
+        std::fprintf(stderr, "PAL failed: %s\n",
+                     session->status.error().str().c_str());
+        return 1;
+    }
     std::printf("PAL output:      \"%.*s\"\n",
-                static_cast<int>(session->palOutput.size()),
-                reinterpret_cast<const char *>(session->palOutput.data()));
+                static_cast<int>(session->output.size()),
+                reinterpret_cast<const char *>(session->output.data()));
     std::printf("\nSession phase breakdown (cf. paper Figure 2):\n");
-    std::printf("  suspend OS   : %s\n", session->suspendOs.str().c_str());
-    std::printf("  late launch  : %s\n", session->lateLaunch.str().c_str());
-    std::printf("  PAL compute  : %s\n", session->palCompute.str().c_str());
-    std::printf("  resume OS    : %s\n", session->resumeOs.str().c_str());
+    std::printf("  suspend OS   : %s\n",
+                session->phases.suspendOs.str().c_str());
+    std::printf("  late launch  : %s\n",
+                session->phases.lateLaunch.str().c_str());
+    std::printf("  PAL compute  : %s\n",
+                session->phases.palCompute.str().c_str());
+    std::printf("  resume OS    : %s\n",
+                session->phases.resumeOs.str().c_str());
     std::printf("  TOTAL        : %s\n", session->total.str().c_str());
 
     // 4. Attest: quote PCR 17 for an external verifier.

@@ -28,10 +28,12 @@ main()
         std::fprintf(stderr, "init failed: %s\n", s.error().str().c_str());
         return 1;
     }
-    const sea::SessionReport &init = ca.lastReport();
-    std::printf("  late launch : %s\n", init.lateLaunch.str().c_str());
-    std::printf("  keygen+work : %s\n", init.palCompute.str().c_str());
-    std::printf("  TPM seal    : %s\n", init.seal.str().c_str());
+    const sea::ExecutionReport &init = ca.lastReport();
+    std::printf("  late launch : %s\n",
+                init.phases.lateLaunch.str().c_str());
+    std::printf("  keygen+work : %s\n",
+                init.phases.palCompute.str().c_str());
+    std::printf("  TPM seal    : %s\n", init.phases.seal.str().c_str());
     std::printf("  total       : %s\n", init.total.str().c_str());
     std::printf("  CA public modulus: %zu bits\n",
                 ca.publicKey().n.bitLength());
@@ -48,11 +50,13 @@ main()
                      cert.error().str().c_str());
         return 1;
     }
-    const sea::SessionReport &sign = ca.lastReport();
-    std::printf("  late launch : %s\n", sign.lateLaunch.str().c_str());
+    const sea::ExecutionReport &sign = ca.lastReport();
+    std::printf("  late launch : %s\n",
+                sign.phases.lateLaunch.str().c_str());
     std::printf("  TPM unseal  : %s   <-- the paper's bottleneck\n",
-                sign.unseal.str().c_str());
-    std::printf("  signing     : %s\n", sign.palCompute.str().c_str());
+                sign.phases.unseal.str().c_str());
+    std::printf("  signing     : %s\n",
+                sign.phases.palCompute.str().c_str());
     std::printf("  total       : %s\n", sign.total.str().c_str());
 
     std::printf("\n== Verification ==\n");

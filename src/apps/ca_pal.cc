@@ -104,12 +104,15 @@ CertificateAuthority::makeCaPal(bool initialize,
 Status
 CertificateAuthority::initialize(CpuId cpu)
 {
-    auto session = driver_.execute(makeCaPal(true, {}), {}, cpu);
+    auto session =
+        driver_.run(sea::PalRequest(makeCaPal(true, {})), cpu);
     if (!session)
         return session.error();
     lastReport_ = session.take();
+    if (!lastReport_.status.ok())
+        return lastReport_.status.error();
 
-    ByteReader r(lastReport_.palOutput);
+    ByteReader r(lastReport_.output);
     auto pub_wire = r.lengthPrefixed();
     if (!pub_wire)
         return pub_wire.error();
@@ -136,17 +139,19 @@ CertificateAuthority::sign(const CertificateRequest &request, CpuId cpu)
         return Error(Errc::failedPrecondition,
                      "CA not initialized: no sealed signing key");
     }
-    auto session =
-        driver_.execute(makeCaPal(false, request), sealedKey_.encode(),
-                        cpu);
+    auto session = driver_.run(
+        sea::PalRequest(makeCaPal(false, request), sealedKey_.encode()),
+        cpu);
     if (!session)
         return session.error();
     lastReport_ = session.take();
+    if (!lastReport_.status.ok())
+        return lastReport_.status.error();
 
     Certificate cert;
     cert.subject = request.subject;
     cert.subjectPublicKey = request.subjectPublicKey;
-    cert.signature = lastReport_.palOutput;
+    cert.signature = lastReport_.output;
     return cert;
 }
 

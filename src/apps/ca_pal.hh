@@ -66,8 +66,9 @@ class CertificateAuthority
     Result<Certificate> sign(const CertificateRequest &request,
                              CpuId cpu = 0);
 
-    /** Phase breakdown of the most recent session (Figure 2 shape). */
-    const sea::SessionReport &lastReport() const { return lastReport_; }
+    /** Report of the most recent session (unified request/response API;
+     *  phase breakdown under .phases). */
+    const sea::ExecutionReport &lastReport() const { return lastReport_; }
 
     /** The sealed private key as the OS stores it (opaque). */
     const tpm::SealedBlob &sealedKey() const { return sealedKey_; }
@@ -80,7 +81,7 @@ class CertificateAuthority
     bool initialized_ = false;
     crypto::RsaPublicKey publicKey_;
     tpm::SealedBlob sealedKey_;
-    sea::SessionReport lastReport_;
+    sea::ExecutionReport lastReport_;
 };
 
 } // namespace mintcb::apps

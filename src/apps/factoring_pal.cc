@@ -137,18 +137,21 @@ DistributedFactoring::step(CpuId cpu)
         return progress_;
 
     const bool first = !haveState_;
-    auto session = driver_.execute(
-        factoringPal(composite_, chunk_, first),
-        first ? Bytes{} : state_.encode(), cpu);
+    auto session = driver_.run(
+        sea::PalRequest(factoringPal(composite_, chunk_, first),
+                        first ? Bytes{} : state_.encode()),
+        cpu);
     if (!session)
         return session.error();
-    const sea::SessionReport &s = *session;
-    overhead_ += s.lateLaunch + s.seal + s.unseal + s.suspendOs +
-                 s.resumeOs;
-    compute_ += s.palCompute;
+    const sea::ExecutionReport &s = *session;
+    if (!s.status.ok())
+        return s.status.error();
+    overhead_ += s.phases.lateLaunch + s.phases.seal + s.phases.unseal +
+                 s.phases.suspendOs + s.phases.resumeOs;
+    compute_ += s.phases.palCompute;
     ++progress_.sessions;
 
-    ByteReader r(s.palOutput);
+    ByteReader r(s.output);
     auto found = r.u8();
     auto factor = r.u64();
     auto next = r.u64();

@@ -158,11 +158,13 @@ SecureKvStore::session(Op op, const std::string &key, const Bytes &value,
             return okStatus();
         });
 
-    auto report = driver_.execute(pal, {}, cpu);
+    auto report = driver_.run(sea::PalRequest(std::move(pal)), cpu);
     if (!report)
         return report.error();
+    if (!report->status.ok())
+        return report->status.error();
 
-    ByteReader r(report->palOutput);
+    ByteReader r(report->output);
     auto kind = r.u8();
     if (!kind)
         return kind.error();

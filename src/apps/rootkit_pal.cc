@@ -67,12 +67,15 @@ RootkitDetector::RootkitDetector(sea::SeaDriver &driver,
 Status
 RootkitDetector::baseline(CpuId cpu)
 {
-    auto session = driver_.execute(
-        detectorPal(kernelBase_, kernelBytes_, true), {}, cpu);
+    auto session = driver_.run(
+        sea::PalRequest(detectorPal(kernelBase_, kernelBytes_, true)),
+        cpu);
     if (!session)
         return session.error();
     lastReport_ = session.take();
-    auto blob = tpm::SealedBlob::decode(lastReport_.palOutput);
+    if (!lastReport_.status.ok())
+        return lastReport_.status.error();
+    auto blob = tpm::SealedBlob::decode(lastReport_.output);
     if (!blob)
         return blob.error();
     baseline_ = blob.take();
@@ -87,14 +90,17 @@ RootkitDetector::scan(CpuId cpu)
         return Error(Errc::failedPrecondition,
                      "no sealed baseline; run baseline() first");
     }
-    auto session = driver_.execute(
-        detectorPal(kernelBase_, kernelBytes_, false),
-        baseline_.encode(), cpu);
+    auto session = driver_.run(
+        sea::PalRequest(detectorPal(kernelBase_, kernelBytes_, false),
+                        baseline_.encode()),
+        cpu);
     if (!session)
         return session.error();
     lastReport_ = session.take();
+    if (!lastReport_.status.ok())
+        return lastReport_.status.error();
 
-    const Bytes &out = lastReport_.palOutput;
+    const Bytes &out = lastReport_.output;
     if (out.size() != 1 + crypto::sha1DigestSize) {
         return Error(Errc::integrityFailure,
                      "malformed verdict from detector PAL");

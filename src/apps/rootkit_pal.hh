@@ -45,8 +45,8 @@ class RootkitDetector
     /** In-PAL: re-hash the kernel text and compare to the baseline. */
     Result<ScanResult> scan(CpuId cpu = 0);
 
-    /** Phase breakdown of the most recent session. */
-    const sea::SessionReport &lastReport() const { return lastReport_; }
+    /** Report of the most recent session (unified API). */
+    const sea::ExecutionReport &lastReport() const { return lastReport_; }
 
   private:
     sea::SeaDriver &driver_;
@@ -54,7 +54,7 @@ class RootkitDetector
     std::uint64_t kernelBytes_;
     bool haveBaseline_ = false;
     tpm::SealedBlob baseline_;
-    sea::SessionReport lastReport_;
+    sea::ExecutionReport lastReport_;
 };
 
 } // namespace mintcb::apps

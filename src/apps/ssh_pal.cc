@@ -83,12 +83,14 @@ Status
 PasswordVault::enroll(const std::string &user, const std::string &password,
                       CpuId cpu)
 {
-    auto session =
-        driver_.execute(passwordPal(true, user, password), {}, cpu);
+    auto session = driver_.run(
+        sea::PalRequest(passwordPal(true, user, password)), cpu);
     if (!session)
         return session.error();
     lastReport_ = session.take();
-    auto blob = tpm::SealedBlob::decode(lastReport_.palOutput);
+    if (!lastReport_.status.ok())
+        return lastReport_.status.error();
+    auto blob = tpm::SealedBlob::decode(lastReport_.output);
     if (!blob)
         return blob.error();
     records_[user] = blob.take();
@@ -102,16 +104,20 @@ PasswordVault::authenticate(const std::string &user,
     auto it = records_.find(user);
     if (it == records_.end())
         return Error(Errc::notFound, "no record for user " + user);
-    auto session = driver_.execute(passwordPal(false, user, password),
-                                   it->second.encode(), cpu);
+    auto session =
+        driver_.run(sea::PalRequest(passwordPal(false, user, password),
+                                    it->second.encode()),
+                    cpu);
     if (!session)
         return session.error();
     lastReport_ = session.take();
-    if (lastReport_.palOutput.size() != 1) {
+    if (!lastReport_.status.ok())
+        return lastReport_.status.error();
+    if (lastReport_.output.size() != 1) {
         return Error(Errc::integrityFailure,
                      "malformed verdict from password PAL");
     }
-    return lastReport_.palOutput[0] == 1;
+    return lastReport_.output[0] == 1;
 }
 
 Result<tpm::SealedBlob>

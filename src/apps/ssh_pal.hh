@@ -44,13 +44,13 @@ class PasswordVault
     /** Replace a stored record (models on-disk tampering). */
     void setRecord(const std::string &user, tpm::SealedBlob blob);
 
-    /** Phase breakdown of the most recent session. */
-    const sea::SessionReport &lastReport() const { return lastReport_; }
+    /** Report of the most recent session (unified API). */
+    const sea::ExecutionReport &lastReport() const { return lastReport_; }
 
   private:
     sea::SeaDriver &driver_;
     std::map<std::string, tpm::SealedBlob> records_;
-    sea::SessionReport lastReport_;
+    sea::ExecutionReport lastReport_;
 };
 
 } // namespace mintcb::apps

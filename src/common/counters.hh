@@ -39,6 +39,17 @@ struct TpmStats
     std::uint64_t deniedCommands = 0; //!< locality/lock refusals
 };
 
+/** TPM secure-transport traffic counters (pipelining observability). */
+struct TransportStats
+{
+    std::uint64_t exchanges = 0;        //!< wrapped request/response pairs
+    std::uint64_t commands = 0;         //!< tunneled commands, total
+    std::uint64_t batchedCommands = 0;  //!< commands that rode in a batch
+    std::uint64_t rejected = 0;         //!< MAC/replay/format refusals
+    std::uint64_t sessionsAccepted = 0; //!< full RSA key exchanges
+    std::uint64_t sessionsResumed = 0;  //!< ticket-based resumptions
+};
+
 } // namespace mintcb
 
 #endif // MINTCB_COMMON_COUNTERS_HH

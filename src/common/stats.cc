@@ -71,4 +71,62 @@ StatsAccumulator::str() const
     return buf;
 }
 
+void
+LatencyHistogram::add(Duration d)
+{
+    const double us = d.toMicros();
+    std::size_t i = 0;
+    // Bucket i covers [2^i, 2^(i+1)) us; the last bucket absorbs the tail.
+    while (i + 1 < bucketCount && us >= static_cast<double>(2ull << i))
+        ++i;
+    ++buckets_[i];
+    summary_.add(d.toMillis());
+}
+
+Duration
+LatencyHistogram::bucketUpperEdge(std::size_t i)
+{
+    return Duration::micros(static_cast<double>(2ull << i));
+}
+
+Duration
+LatencyHistogram::percentile(double p) const
+{
+    const std::uint64_t n = summary_.count();
+    if (n == 0)
+        return Duration::zero();
+    const double target = p * static_cast<double>(n);
+    double seen = 0.0;
+    for (std::size_t i = 0; i < bucketCount; ++i) {
+        seen += static_cast<double>(buckets_[i]);
+        if (seen >= target)
+            return bucketUpperEdge(i);
+    }
+    return bucketUpperEdge(bucketCount - 1);
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (std::size_t i = 0; i < bucketCount; ++i)
+        buckets_[i] += other.buckets_[i];
+    summary_.merge(other.summary_);
+}
+
+std::string
+LatencyHistogram::str() const
+{
+    std::string out = "latency(ms) " + summary_.str();
+    for (std::size_t i = 0; i < bucketCount; ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "\n  <= %-12s %llu",
+                      bucketUpperEdge(i).str().c_str(),
+                      static_cast<unsigned long long>(buckets_[i]));
+        out += buf;
+    }
+    return out;
+}
+
 } // namespace mintcb

@@ -11,6 +11,7 @@
 #ifndef MINTCB_COMMON_STATS_HH
 #define MINTCB_COMMON_STATS_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -49,6 +50,47 @@ class StatsAccumulator
     double m2_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
+};
+
+/**
+ * Fixed-bucket latency histogram for service-level phase timings.
+ *
+ * Buckets are geometric (x2) starting at 1 us, so one histogram spans
+ * sub-microsecond VM switches through multi-second TPM sessions without
+ * retaining samples. Deterministic: same sample stream, same buckets.
+ */
+class LatencyHistogram
+{
+  public:
+    /** 1 us lower edge, doubling per bucket: bucket i covers
+     *  [2^i us, 2^(i+1) us); index 0 also absorbs anything below. */
+    static constexpr std::size_t bucketCount = 32;
+
+    /** Fold one latency sample into the histogram. */
+    void add(Duration d);
+
+    std::uint64_t count() const { return summary_.count(); }
+    const StatsAccumulator &summary() const { return summary_; }
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+
+    /** Inclusive upper edge of bucket @p i. */
+    static Duration bucketUpperEdge(std::size_t i);
+
+    /**
+     * Smallest bucket upper edge covering fraction @p p (0..1) of the
+     * samples -- a conservative percentile estimate.
+     */
+    Duration percentile(double p) const;
+
+    /** Merge another histogram into this one. */
+    void merge(const LatencyHistogram &other);
+
+    /** Multi-line rendering of the non-empty buckets plus the summary. */
+    std::string str() const;
+
+  private:
+    std::array<std::uint64_t, bucketCount> buckets_{};
+    StatsAccumulator summary_;
 };
 
 } // namespace mintcb

@@ -95,6 +95,16 @@ PlatformSpec::forPlatform(PlatformId id)
         s.tpmVendor = tpm::TpmVendor::broadcom;
         s.cpuStateInit = Duration::micros(3);
         break;
+      case PlatformId::recServer:
+        s.name = "Recommendation server (8-core AMD, Broadcom TPM)";
+        s.cpuVendor = CpuVendor::amd;
+        s.cpuCount = 8;
+        s.freqGhz = 2.2;
+        s.hasTpm = true;
+        s.tpmVendor = tpm::TpmVendor::broadcom;
+        s.cpuStateInit = Duration::micros(3);
+        s.memoryPages = 8192; // room for many concurrent SECBs
+        break;
     }
     s.vmTiming = VmSwitchTiming::forVendor(s.cpuVendor);
     return s;

@@ -32,6 +32,8 @@ enum class PlatformId
     amdInfineonWs,  //!< AMD workstation, Infineon v1.2 TPM
     recTestbed,     //!< 4-core AMD machine for recommended-architecture
                     //!< concurrency experiments (Figure 4 style)
+    recServer,      //!< 8-core server build of the recommendation testbed
+                    //!< (execution-service scaling experiments)
 };
 
 /** Everything needed to instantiate a Machine. */

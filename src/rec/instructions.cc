@@ -197,6 +197,7 @@ SecureExecutive::executeFor(Secb &secb, Duration work)
     secb.executed += slice;
     if (preempt) {
         // Timer expiry: hardware-forced SYIELD.
+        ++secb.preemptions;
         if (auto s = syield(secb); !s.ok())
             return s.error();
     }

@@ -78,6 +78,8 @@ OsScheduler::add(const PalProgram &program)
     task.program = program;
     task.secb = secb.take();
     task.remaining = program.totalCompute;
+    task.seq = tasks_.size();
+    task.measurement = identity.measurement();
     tasks_.push_back(std::move(task));
     return tasks_.size() - 1;
 }
@@ -100,18 +102,46 @@ OsScheduler::runAll()
     const std::uint64_t switches_before = exec_.contextSwitches();
     const Duration switch_time_before = exec_.contextSwitchTime();
 
-    std::size_t rr_cursor = 0;
     std::uint64_t round = 0;
+    // Aged-priority pick: effective priority grows by one per round a
+    // PAL waits, so a starved low-priority PAL eventually outranks a
+    // stream of high-priority arrivals. Ties go to the PAL with the
+    // earliest deadline, then to submission order (deterministic).
     auto next_ready = [&]() -> Task * {
-        for (std::size_t i = 0; i < tasks_.size(); ++i) {
-            Task &t = tasks_[(rr_cursor + i) % tasks_.size()];
-            if (!t.finished && t.secb.state != PalState::execute &&
-                t.lastRound != round) {
-                rr_cursor = (rr_cursor + i + 1) % tasks_.size();
-                return &t;
+        Task *best = nullptr;
+        for (Task &t : tasks_) {
+            if (t.finished || t.secb.state == PalState::execute ||
+                t.lastRound == round) {
+                continue;
             }
+            if (!best) {
+                best = &t;
+                continue;
+            }
+            const auto eff = [](const Task &x) {
+                return x.program.priority +
+                       static_cast<int>(x.waitRounds);
+            };
+            if (eff(t) != eff(*best)) {
+                if (eff(t) > eff(*best))
+                    best = &t;
+                continue;
+            }
+            const bool td = t.program.deadline != TimePoint();
+            const bool bd = best->program.deadline != TimePoint();
+            if (td != bd) {
+                if (td)
+                    best = &t;
+                continue;
+            }
+            if (td && t.program.deadline != best->program.deadline) {
+                if (t.program.deadline < best->program.deadline)
+                    best = &t;
+                continue;
+            }
+            // seq order: tasks_ is already in add() order, keep best.
         }
-        return nullptr;
+        return best;
     };
 
     auto all_done = [&]() {
@@ -119,22 +149,40 @@ OsScheduler::runAll()
                            [](const Task &t) { return t.finished; });
     };
 
+    // Bring every CPU to the same barrier *with the time accounted as
+    // legacy work*. (An unaccounted clock sync here would teleport
+    // lagging cores forward, silently deflating measured legacy
+    // throughput and context-switch density.)
+    auto fill_to_barrier = [&]() {
+        TimePoint barrier;
+        for (CpuId c = 0; c < total_cpus; ++c)
+            barrier = std::max(barrier, m.cpu(c).now());
+        for (CpuId c = 0; c < total_cpus; ++c) {
+            const Duration gap = barrier - m.cpu(c).now();
+            if (gap > Duration::zero())
+                m.cpu(c).runLegacyWork(gap);
+        }
+    };
+
     while (!all_done()) {
-        m.syncAllCpus();
+        fill_to_barrier();
         bool progressed = false;
 
         for (CpuId cpu = legacyCpus_; cpu < total_cpus; ++cpu) {
-            Task *task = next_ready();
-            if (!task)
-                break;
-            task->lastRound = round;
-
-            auto launch = exec_.slaunch(cpu, task->secb);
-            if (!launch) {
-                // TPM busy or no free sePCR this round: retry later.
+            // A failed SLAUNCH (TPM busy, no free sePCR) must not idle
+            // the CPU: fall through to the next-best candidate --
+            // typically a suspended PAL that already owns an sePCR.
+            Task *task = nullptr;
+            while ((task = next_ready()) != nullptr) {
+                task->lastRound = round;
+                if (exec_.slaunch(cpu, task->secb))
+                    break;
                 ++stats.slaunchRetries;
-                continue;
+                ++task->waitRounds; // keep aging across retries
             }
+            if (!task)
+                continue;
+            task->waitRounds = 0;
             progressed = true;
             PalHooks hooks(exec_, task->secb, cpu);
 
@@ -146,11 +194,22 @@ OsScheduler::runAll()
                         exec_.syield(task->secb);
                         exec_.skill(task->secb);
                         task->finished = true;
-                        stats.completions.push_back(
-                            {task->program.name, Status{s.error()},
-                             m.cpu(cpu).now().sinceEpoch(),
-                             task->secb.launches, task->secb.yields,
-                             {}, false});
+                        PalCompletion aborted;
+                        aborted.name = task->program.name;
+                        aborted.result = Status{s.error()};
+                        aborted.finishedAt =
+                            m.cpu(cpu).now().sinceEpoch();
+                        aborted.launches = task->secb.launches;
+                        aborted.yields = task->secb.yields;
+                        aborted.seq = task->seq;
+                        aborted.measurement = task->measurement;
+                        aborted.preemptions = task->secb.preemptions;
+                        aborted.cpu = cpu;
+                        aborted.deadlineMet = false;
+                        stats.preemptions += task->secb.preemptions;
+                        stats.completions.push_back(std::move(aborted));
+                        if (completionHook_)
+                            completionHook_(stats.completions.back());
                         continue;
                     }
                 }
@@ -187,11 +246,18 @@ OsScheduler::runAll()
             done.finishedAt = m.cpu(cpu).now().sinceEpoch();
             done.launches = task->secb.launches;
             done.yields = task->secb.yields;
+            done.seq = task->seq;
+            done.measurement = task->measurement;
+            done.preemptions = task->secb.preemptions;
+            done.cpu = cpu;
+            done.deadlineMet =
+                task->program.deadline == TimePoint() ||
+                m.cpu(cpu).now() <= task->program.deadline;
 
             // Untrusted code collects the attestation, then frees the
             // sePCR for reuse (Section 5.4.3).
             if (task->secb.sePcr) {
-                if (quoteOnExit_) {
+                if (quoteOnExit_ || task->program.wantQuote) {
                     m.tpmAs(cpu);
                     auto q = exec_.sePcrs().quote(
                         *task->secb.sePcr, m.rng().bytes(20));
@@ -203,7 +269,10 @@ OsScheduler::runAll()
                 exec_.sePcrs().release(*task->secb.sePcr);
             }
             task->finished = true;
+            stats.preemptions += task->secb.preemptions;
             stats.completions.push_back(std::move(done));
+            if (completionHook_)
+                completionHook_(stats.completions.back());
         }
 
         // Round barrier: every CPU fills the gap to the slowest CPU with
@@ -220,6 +289,11 @@ OsScheduler::runAll()
             const Duration gap = round_end - m.cpu(c).now();
             if (gap > Duration::zero())
                 m.cpu(c).runLegacyWork(gap);
+        }
+        // Everyone who waited this round ages by one (priority boost).
+        for (Task &t : tasks_) {
+            if (!t.finished && t.lastRound != round)
+                ++t.waitRounds;
         }
         ++round;
     }

@@ -33,6 +33,9 @@ struct PalProgram
     std::size_t codeBytes = 4096;     //!< SLB code size (identity)
     std::size_t dataPages = 1;        //!< extra pages for PAL data
     Duration totalCompute;            //!< work the PAL must retire
+    int priority = 0;                 //!< higher runs sooner (aged)
+    TimePoint deadline{};             //!< epoch = no deadline
+    bool wantQuote = false;           //!< quote this PAL's sePCR on exit
     /** Runs inside the PAL on its first slice (e.g. unseal old state). */
     std::function<Status(PalHooks &)> onStart;
     /** Runs inside the PAL on its final slice (e.g. seal new state). */
@@ -74,6 +77,11 @@ struct PalCompletion
     std::uint64_t yields = 0;
     tpm::TpmQuote quote;       //!< filled when quoting was requested
     bool quoted = false;
+    std::size_t seq = 0;       //!< add() index, for caller correlation
+    Bytes measurement;         //!< SLB identity hash of this PAL
+    std::uint64_t preemptions = 0; //!< timer-forced suspends
+    CpuId cpu = 0;             //!< CPU that ran the final slice
+    bool deadlineMet = true;   //!< false iff a deadline was set and missed
 };
 
 /** Aggregate outcome of a scheduler run. */
@@ -84,6 +92,7 @@ struct RunStats
     std::uint64_t contextSwitches = 0;
     Duration contextSwitchTime;
     std::uint64_t slaunchRetries = 0;  //!< sePCR/TPM contention retries
+    std::uint64_t preemptions = 0;     //!< timer expiries across all PALs
     std::vector<PalCompletion> completions;
 };
 
@@ -105,6 +114,12 @@ class OsScheduler
     /** Request an attestation quote as each PAL exits. */
     void setQuoteOnExit(bool on) { quoteOnExit_ = on; }
 
+    /** Invoked synchronously as each PAL completes (after its SFREE). */
+    void setCompletionHook(std::function<void(const PalCompletion &)> hook)
+    {
+        completionHook_ = std::move(hook);
+    }
+
     /** Run until every queued PAL is Done. */
     Result<RunStats> runAll();
 
@@ -117,12 +132,16 @@ class OsScheduler
         bool startHookRan = false;
         bool finished = false;
         std::uint64_t lastRound = ~0ull; //!< one slice per round (causality)
+        std::size_t seq = 0;             //!< add() order, stable tie-break
+        std::uint64_t waitRounds = 0;    //!< rounds skipped (priority aging)
+        Bytes measurement;               //!< SLB identity hash
     };
 
     SecureExecutive &exec_;
     Duration quantum_;
     std::uint32_t legacyCpus_;
     bool quoteOnExit_ = false;
+    std::function<void(const PalCompletion &)> completionHook_;
     PhysAddr nextBase_ = 0x40000;
     std::vector<Task> tasks_;
 };

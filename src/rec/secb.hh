@@ -71,6 +71,7 @@ struct Secb
     Duration executed;             //!< total compute retired
     std::uint64_t launches = 0;    //!< SLAUNCH count (measure + resumes)
     std::uint64_t yields = 0;      //!< SYIELD/preempt count
+    std::uint64_t preemptions = 0; //!< timer-forced SYIELDs only
     /** @} */
 };
 

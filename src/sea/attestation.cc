@@ -57,10 +57,16 @@ PrivacyCa::issue(const crypto::RsaPublicKey &aik,
     return cert;
 }
 
-bool
+Status
 PrivacyCa::validate(const AikCertificate &cert) const
 {
-    return crypto::rsaVerifySha1(publicKey(), cert.tbs(), cert.signature);
+    if (!crypto::rsaVerifySha1(publicKey(), cert.tbs(),
+                               cert.signature)) {
+        return Error(Errc::integrityFailure,
+                     "AIK certificate signature does not chain to the "
+                     "Privacy CA");
+    }
+    return okStatus();
 }
 
 Bytes
@@ -171,9 +177,9 @@ Verifier::verify(const Attestation &attestation,
                  const Bytes &expected_nonce) const
 {
     // 1. Certificate chain: the AIK must be endorsed by the Privacy CA.
-    if (!PrivacyCa::instance().validate(attestation.aikCert)) {
-        return Error(Errc::integrityFailure,
-                     "AIK certificate chain invalid");
+    if (auto s = PrivacyCa::instance().validate(attestation.aikCert);
+        !s.ok()) {
+        return s.error();
     }
     auto aik = crypto::RsaPublicKey::decode(attestation.aikCert.aikPublic);
     if (!aik)

@@ -100,8 +100,10 @@ BootVerifier::verify(const Attestation &attestation,
                      const tpm::EventLog &log,
                      const Bytes &expected_nonce) const
 {
-    if (!PrivacyCa::instance().validate(attestation.aikCert))
-        return Error(Errc::integrityFailure, "AIK certificate invalid");
+    if (auto s = PrivacyCa::instance().validate(attestation.aikCert);
+        !s.ok()) {
+        return s.error();
+    }
     auto aik = crypto::RsaPublicKey::decode(attestation.aikCert.aikPublic);
     if (!aik)
         return aik.error();

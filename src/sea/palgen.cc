@@ -58,12 +58,14 @@ makePalUse(const tpm::SealedBlob &previous_state, bool reseal)
 Result<GenericPalReport>
 runPalGen(SeaDriver &driver, CpuId cpu)
 {
-    auto session = driver.execute(makePalGen(), {}, cpu);
+    auto session = driver.run(PalRequest(makePalGen()), cpu);
     if (!session)
         return session.error();
+    if (!session->status.ok())
+        return session->status.error();
     GenericPalReport report;
     report.session = session.take();
-    auto blob = tpm::SealedBlob::decode(report.session.palOutput);
+    auto blob = tpm::SealedBlob::decode(report.session.output);
     if (!blob)
         return blob.error();
     report.blob = blob.take();
@@ -74,13 +76,16 @@ Result<GenericPalReport>
 runPalUse(SeaDriver &driver, const tpm::SealedBlob &state, bool reseal,
           CpuId cpu)
 {
-    auto session = driver.execute(makePalUse(state, reseal), {}, cpu);
+    auto session =
+        driver.run(PalRequest(makePalUse(state, reseal)), cpu);
     if (!session)
         return session.error();
+    if (!session->status.ok())
+        return session->status.error();
     GenericPalReport report;
     report.session = session.take();
     if (reseal) {
-        auto blob = tpm::SealedBlob::decode(report.session.palOutput);
+        auto blob = tpm::SealedBlob::decode(report.session.output);
         if (!blob)
             return blob.error();
         report.blob = blob.take();

@@ -27,7 +27,7 @@ inline constexpr std::size_t palUsePayloadBytes = 128;
 /** One Figure 2 sample: the overhead components of a generic session. */
 struct GenericPalReport
 {
-    SessionReport session;   //!< full phase breakdown
+    ExecutionReport session; //!< full report (phase breakdown in .phases)
     tpm::SealedBlob blob;    //!< sealed state handed to the OS
     Duration quote;          //!< TPM_Quote cost, measured separately
 };

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * ExecutionReport serialization.
+ */
+
+#include "sea/request.hh"
+
+#include "common/bytebuf.hh"
+
+namespace mintcb::sea
+{
+
+namespace
+{
+
+void
+writeDuration(ByteWriter &w, Duration d)
+{
+    w.u64(static_cast<std::uint64_t>(d.ticks()));
+}
+
+void
+writeTimePoint(ByteWriter &w, TimePoint t)
+{
+    writeDuration(w, t.sinceEpoch());
+}
+
+} // namespace
+
+Bytes
+ExecutionReport::encode() const
+{
+    ByteWriter w;
+    w.str("EXRP");
+    w.u64(requestId);
+    w.str(palName);
+    w.u8(status.ok() ? 1 : 0);
+    if (!status.ok()) {
+        w.u8(static_cast<std::uint8_t>(status.error().code));
+        w.str(status.error().message);
+    }
+    w.lengthPrefixed(output);
+    w.lengthPrefixed(palMeasurement);
+    w.lengthPrefixed(pcr17AfterLaunch);
+    w.u8(quoted ? 1 : 0);
+    if (quoted) {
+        w.lengthPrefixed(quote.signedPayload());
+        w.lengthPrefixed(quote.signature);
+    }
+    writeDuration(w, phases.suspendOs);
+    writeDuration(w, phases.lateLaunch);
+    writeDuration(w, phases.palCompute);
+    writeDuration(w, phases.seal);
+    writeDuration(w, phases.unseal);
+    writeDuration(w, phases.resumeOs);
+    writeDuration(w, phases.quote);
+    writeDuration(w, siblingStall);
+    writeTimePoint(w, submittedAt);
+    writeTimePoint(w, startedAt);
+    writeTimePoint(w, finishedAt);
+    writeDuration(w, queueWait);
+    writeDuration(w, total);
+    w.u64(launches);
+    w.u64(yields);
+    w.u32(cpu);
+    w.u8(deadlineMet ? 1 : 0);
+    return w.take();
+}
+
+} // namespace mintcb::sea

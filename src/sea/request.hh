@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The unified PAL request/response API.
+ *
+ * One request type and one report type serve both execution backends:
+ *
+ *  - the legacy one-shot SEA path (SeaDriver::run: suspend OS, SKINIT,
+ *    run to completion, resume -- Section 4's measured reality), and
+ *  - the multi-PAL execution service on the recommended hardware
+ *    (sea::ExecutionService: SLAUNCH slices under a preemption timer,
+ *    Section 5/6's proposal).
+ *
+ * Callers describe *what* to run (a Pal, its input) and *how it matters*
+ * (deadline, priority, attestation); the report answers with the output,
+ * identity evidence, and a phase-by-phase latency breakdown that is a
+ * superset of both backends' cost structures. Fields a backend does not
+ * model stay zero.
+ */
+
+#ifndef MINTCB_SEA_REQUEST_HH
+#define MINTCB_SEA_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/result.hh"
+#include "common/simtime.hh"
+#include "common/types.hh"
+#include "sea/pal.hh"
+#include "tpm/tpm.hh"
+
+namespace mintcb::rec
+{
+class PalHooks; // sea/ cannot depend on rec/ headers (layering)
+}
+
+namespace mintcb::sea
+{
+
+/** Work a service-backed PAL performs inside its protected slices,
+ *  with sealed-state access through the hooks; returns the PAL output.
+ *  (The one-shot backend uses Pal::body() instead.) */
+using SecureBody =
+    std::function<Result<Bytes>(rec::PalHooks &, const Bytes &)>;
+
+/** Everything the untrusted OS submits to run one PAL. Construct with
+ *  the identity and input, then set the scheduling fields that matter:
+ *
+ *      PalRequest req(pal, input);
+ *      req.priority = 2;
+ *      req.deadline = machine.now() + Duration::seconds(5);
+ */
+struct PalRequest
+{
+    explicit PalRequest(Pal pal_, Bytes input_ = {})
+        : pal(std::move(pal_)), input(std::move(input_))
+    {
+    }
+
+    Pal pal;     //!< measured identity + one-shot behavior
+    Bytes input; //!< parameters from the untrusted world
+
+    /** Absolute virtual-time deadline; epoch (default) means none. */
+    TimePoint deadline{};
+
+    /** Higher runs sooner; the service ages waiting requests so low
+     *  priorities cannot starve. */
+    int priority = 0;
+
+    /** Request a sePCR quote as the PAL exits (service backend). */
+    bool wantQuote = false;
+
+    /** @name Service-backend execution shape.
+     * The execution service runs PALs in preemptible slices; it needs
+     * the compute demand up front and an optional slice-safe body.
+     * @{ */
+    std::size_t dataPages = 1;  //!< SECB data pages
+    Duration slicedCompute{};   //!< preemptible compute demand
+    SecureBody secureBody;      //!< runs on the final slice (may be null)
+    /** @} */
+};
+
+/** Phase-by-phase latency breakdown (superset of both backends). */
+struct PhaseBreakdown
+{
+    Duration suspendOs;   //!< one-shot: save untrusted state in place
+    Duration lateLaunch;  //!< SKINIT/SENTER or first SLAUNCH
+    Duration palCompute;  //!< application-specific work
+    Duration seal;        //!< TPM_Seal / sePCR seal calls
+    Duration unseal;      //!< TPM_Unseal / sePCR unseal calls
+    Duration resumeOs;    //!< one-shot: restore the untrusted world
+    Duration quote;       //!< attestation generation (when requested)
+};
+
+/** The answer to one PalRequest. */
+struct ExecutionReport
+{
+    std::uint64_t requestId = 0; //!< service-assigned; 0 for one-shot
+    std::string palName;
+    Status status = okStatus();  //!< the PAL's application result
+
+    Bytes output;           //!< PAL output to the untrusted OS
+    Bytes palMeasurement;   //!< SHA-1 identity of the measured code
+    Bytes pcr17AfterLaunch; //!< PCR 17 evidence (one-shot backend)
+
+    tpm::TpmQuote quote; //!< filled when wantQuote was honored
+    bool quoted = false;
+
+    PhaseBreakdown phases;
+
+    /** Wasted compute on halted sibling cores (one-shot backend only;
+     *  the service keeps siblings productive). */
+    Duration siblingStall;
+
+    /** @name Service-side lifecycle timestamps (platform time). @{ */
+    TimePoint submittedAt;
+    TimePoint startedAt;  //!< first SLAUNCH (one-shot: session start)
+    TimePoint finishedAt; //!< SFREE / session end
+    /** @} */
+
+    Duration queueWait; //!< startedAt - submittedAt
+    Duration total;     //!< finishedAt - startedAt
+
+    std::uint64_t launches = 0; //!< SLAUNCHes (one-shot: 1)
+    std::uint64_t yields = 0;   //!< preemptions + voluntary SYIELDs
+    CpuId cpu = 0;              //!< core that ran (last ran) the PAL
+
+    /** True when no deadline was set or finishedAt met it. */
+    bool deadlineMet = true;
+
+    /** Deterministic byte serialization; byte-equal encodings mean
+     *  byte-equal reports (the determinism tests compare these). */
+    Bytes encode() const;
+};
+
+} // namespace mintcb::sea
+
+#endif // MINTCB_SEA_REQUEST_HH

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Multi-PAL execution service implementation.
+ *
+ * drain() is one scheduling campaign: every queued PalRequest becomes a
+ * rec::PalProgram, an OsScheduler multiplexes them over the PAL-eligible
+ * cores in preemption-timer quanta (legacy work filling every idle
+ * cycle), and the completion hook turns each PalCompletion back into the
+ * caller's ExecutionReport. Afterwards the audit trail -- one
+ * TPM_Extend per report digest -- flows through the secure transport
+ * session, batched into a single exchange when pipelining is on.
+ */
+
+#include "sea/service.hh"
+
+#include <cstdio>
+
+#include "crypto/keycache.hh"
+#include "crypto/sha1.hh"
+
+namespace mintcb::sea
+{
+
+namespace
+{
+
+/** Process-wide label for the service's deterministic session secret. */
+const char *const sessionLabel = "execution-service";
+
+} // namespace
+
+ExecutionService::ExecutionService(machine::Machine &machine,
+                                   ServiceConfig config)
+    : machine_(machine), config_(config),
+      exec_(machine, config.sePcrs), server_(machine.tpm())
+{
+}
+
+Result<std::uint64_t>
+ExecutionService::submit(PalRequest request)
+{
+    if (request.pal.name().empty())
+        return Error(Errc::invalidArgument, "PAL must be named");
+    if (request.dataPages == 0)
+        return Error(Errc::invalidArgument,
+                     "a PAL needs at least one data page");
+
+    Pending pending{std::move(request), nextId_++, machine_.now()};
+    queue_.push_back(std::move(pending));
+    ++metrics_.submitted;
+    metrics_.maxQueueDepth = std::max(metrics_.maxQueueDepth,
+                                      queue_.size());
+    return queue_.back().id;
+}
+
+Result<std::vector<ExecutionReport>>
+ExecutionService::drain()
+{
+    std::vector<ExecutionReport> reports;
+    if (queue_.empty())
+        return reports;
+    ++metrics_.drains;
+    const TimePoint drain_start = machine_.now();
+
+    /** Per-request state the scheduler callbacks fill in. Sized once up
+     *  front so the captured pointers stay stable. */
+    struct Slot
+    {
+        std::uint64_t id = 0;
+        TimePoint submittedAt;
+        TimePoint startedAt;
+        bool started = false;
+        Bytes output;
+        Duration compute;
+    };
+    std::vector<Slot> slots(queue_.size());
+
+    rec::OsScheduler sched(exec_, config_.quantum, config_.legacyCpus);
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+        const Pending &p = queue_[i];
+        Slot *slot = &slots[i];
+        slot->id = p.id;
+        slot->submittedAt = p.submittedAt;
+        slot->compute = p.request.slicedCompute > Duration::zero()
+                            ? p.request.slicedCompute
+                            : config_.quantum;
+
+        rec::PalProgram prog;
+        prog.name = p.request.pal.name();
+        prog.codeBytes = p.request.pal.code().size();
+        prog.dataPages = p.request.dataPages;
+        prog.totalCompute = slot->compute;
+        prog.priority = p.request.priority;
+        prog.deadline = p.request.deadline;
+        prog.wantQuote = p.request.wantQuote;
+
+        // First slice: bind the input to the PAL's attested identity.
+        machine::Machine &m = machine_;
+        const Bytes input = p.request.input;
+        prog.onStart = [&m, slot, input](rec::PalHooks &hooks) -> Status {
+            slot->started = true;
+            slot->startedAt = m.cpu(hooks.cpu()).now();
+            return hooks.extend(crypto::Sha1::digestBytes(input));
+        };
+
+        // Final slice: the application body runs inside the PAL's
+        // protections, then the output joins the sePCR transcript.
+        const SecureBody body = p.request.secureBody;
+        prog.onFinish = [slot, input,
+                         body](rec::PalHooks &hooks) -> Status {
+            if (body) {
+                auto out = body(hooks, input);
+                if (!out)
+                    return out.error();
+                slot->output = out.take();
+            }
+            return hooks.extend(crypto::Sha1::digestBytes(slot->output));
+        };
+
+        if (auto idx = sched.add(prog); !idx)
+            return idx.error();
+    }
+
+    reports.resize(queue_.size());
+    sched.setCompletionHook(
+        [&slots, &reports](const rec::PalCompletion &done) {
+            const Slot &slot = slots[done.seq];
+            ExecutionReport &r = reports[done.seq];
+            r.requestId = slot.id;
+            r.palName = done.name;
+            r.status = done.result;
+            r.output = slot.output;
+            r.palMeasurement = done.measurement;
+            r.quote = done.quote;
+            r.quoted = done.quoted;
+            r.phases.palCompute = slot.compute;
+            r.submittedAt = slot.submittedAt;
+            r.startedAt = slot.started ? slot.startedAt
+                                       : TimePoint(done.finishedAt);
+            r.finishedAt = TimePoint(done.finishedAt);
+            r.queueWait = r.startedAt - r.submittedAt;
+            r.total = r.finishedAt - r.startedAt;
+            r.launches = done.launches;
+            r.yields = done.yields;
+            r.cpu = done.cpu;
+            r.deadlineMet = done.deadlineMet;
+        });
+
+    auto stats = sched.runAll();
+    if (!stats)
+        return stats.error();
+
+    for (const ExecutionReport &r : reports) {
+        ++metrics_.completed;
+        if (!r.status.ok())
+            ++metrics_.failed;
+        if (!r.deadlineMet)
+            ++metrics_.deadlinesMissed;
+        metrics_.queueWait.add(r.queueWait);
+        metrics_.turnaround.add(r.total);
+        metrics_.compute.add(r.phases.palCompute);
+        metrics_.launches += r.launches;
+        metrics_.yields += r.yields;
+    }
+    metrics_.preemptions += stats->preemptions;
+    metrics_.slaunchRetries += stats->slaunchRetries;
+    metrics_.legacyWorkUnits += stats->legacyWorkUnits;
+
+    if (config_.auditTrail) {
+        std::vector<tpm::TransportCommand> audit;
+        audit.reserve(reports.size());
+        for (const ExecutionReport &r : reports) {
+            tpm::TransportCommand c;
+            c.op = tpm::TransportOp::pcrExtend;
+            c.pcr = config_.auditPcr;
+            c.payload = crypto::Sha1::digestBytes(r.encode());
+            audit.push_back(std::move(c));
+        }
+        if (auto s = flushAudit(audit); !s.ok())
+            return s.error();
+    }
+
+    queue_.clear();
+    metrics_.busy += machine_.now() - drain_start;
+    return reports;
+}
+
+Result<ExecutionReport>
+ExecutionService::runOne(PalRequest request)
+{
+    if (queue_.empty() == false)
+        return Error(Errc::failedPrecondition,
+                     "runOne requires an otherwise-empty queue");
+    if (auto id = submit(std::move(request)); !id)
+        return id.error();
+    auto reports = drain();
+    if (!reports)
+        return reports.error();
+    return std::move(reports->front());
+}
+
+Result<tpm::TransportClient>
+ExecutionService::attachSession()
+{
+    const Bytes &key = crypto::cachedSessionSecret(sessionLabel);
+    machine_.tpmAs(config_.serviceCpu); // TPM work charges our CPU
+    if (sessionLive_ && config_.reuseTransportSession) {
+        auto client = tpm::TransportClient::resume(key);
+        if (!client)
+            return client.error();
+        if (auto s = server_.acceptResumed(key); !s.ok())
+            return s.error();
+        return client.take();
+    }
+    auto opened = tpm::TransportClient::openWithKey(
+        machine_.tpm().srkPublic(), machine_.rng(), key);
+    if (!opened)
+        return opened.error();
+    machine_.cpu(config_.serviceCpu).advance(busExchangeCost);
+    if (auto s = server_.accept(opened->envelope); !s.ok())
+        return s.error();
+    sessionLive_ = true;
+    return std::move(opened->client);
+}
+
+Status
+ExecutionService::flushAudit(
+    const std::vector<tpm::TransportCommand> &commands)
+{
+    if (commands.empty())
+        return okStatus();
+    auto client = attachSession();
+    if (!client)
+        return client.error();
+
+    machine_.tpmAs(config_.serviceCpu);
+    if (config_.pipelineTpm) {
+        // One wrapped exchange carries the whole drain cycle's extends.
+        machine_.cpu(config_.serviceCpu).advance(busExchangeCost);
+        auto response = server_.execute(client->wrapBatch(commands));
+        if (!response)
+            return response.error();
+        auto replies = client->unwrapBatchResponse(*response);
+        if (!replies)
+            return replies.error();
+        for (const tpm::TransportReply &reply : *replies) {
+            if (!reply.ok())
+                return Error(reply.status, "audit extend rejected");
+        }
+        ++metrics_.auditExchanges;
+        metrics_.auditCommands += commands.size();
+    } else {
+        for (const tpm::TransportCommand &c : commands) {
+            machine_.cpu(config_.serviceCpu).advance(busExchangeCost);
+            auto response = server_.execute(
+                client->wrapCommand(c.op, c.pcr, c.payload));
+            if (!response)
+                return response.error();
+            if (auto payload = client->unwrapResponse(*response);
+                !payload) {
+                return payload.error();
+            }
+            ++metrics_.auditExchanges;
+            ++metrics_.auditCommands;
+        }
+    }
+    metrics_.sessionsAccepted = server_.stats().sessionsAccepted;
+    metrics_.sessionsResumed = server_.stats().sessionsResumed;
+    return okStatus();
+}
+
+std::string
+ServiceMetrics::str() const
+{
+    char line[160];
+    std::string out;
+    std::snprintf(line, sizeof line,
+                  "requests: %llu submitted, %llu completed "
+                  "(%llu failed, %llu missed deadlines)\n",
+                  static_cast<unsigned long long>(submitted),
+                  static_cast<unsigned long long>(completed),
+                  static_cast<unsigned long long>(failed),
+                  static_cast<unsigned long long>(deadlinesMissed));
+    out += line;
+    std::snprintf(line, sizeof line,
+                  "scheduling: %llu launches, %llu yields "
+                  "(%llu timer preemptions), %llu SLAUNCH retries, "
+                  "max queue depth %llu\n",
+                  static_cast<unsigned long long>(launches),
+                  static_cast<unsigned long long>(yields),
+                  static_cast<unsigned long long>(preemptions),
+                  static_cast<unsigned long long>(slaunchRetries),
+                  static_cast<unsigned long long>(maxQueueDepth));
+    out += line;
+    std::snprintf(line, sizeof line,
+                  "tpm transport: %llu audit extends in %llu exchanges "
+                  "(%.1f per exchange), %llu sessions opened, "
+                  "%llu resumed\n",
+                  static_cast<unsigned long long>(auditCommands),
+                  static_cast<unsigned long long>(auditExchanges),
+                  coalescingRatio(),
+                  static_cast<unsigned long long>(sessionsAccepted),
+                  static_cast<unsigned long long>(sessionsResumed));
+    out += line;
+    std::snprintf(line, sizeof line,
+                  "throughput: %.1f PALs/simulated-second over %s busy "
+                  "(%llu legacy work units alongside)\n",
+                  palsPerSimSecond(), busy.str().c_str(),
+                  static_cast<unsigned long long>(legacyWorkUnits));
+    out += line;
+    out += "queue wait:\n" + queueWait.str() + "\n";
+    out += "turnaround:\n" + turnaround.str() + "\n";
+    return out;
+}
+
+} // namespace mintcb::sea

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * The multi-PAL execution service (tentpole of the recommended-hardware
+ * story).
+ *
+ * Section 5's claim is that SLAUNCH-class hardware turns secure
+ * execution from a whole-machine stall (Section 4.2) into an ordinary
+ * OS-schedulable workload. ExecutionService is that OS component: the
+ * untrusted world submits PalRequests into a work queue; drain() runs
+ * every queued PAL concurrently across the machine's cores under the
+ * preemption timer, keeps legacy work flowing on the reserved cores, and
+ * answers each request with an ExecutionReport.
+ *
+ * Two TPM-traffic optimizations ride on the transport layer:
+ *
+ *  - **Command pipelining** (config.pipelineTpm): the audit-trail
+ *    TPM_Extends for a drain cycle are coalesced into one batched
+ *    transport exchange instead of paying the wrap/MAC and LPC bus
+ *    round-trip per command.
+ *  - **Session reuse** (config.reuseTransportSession): the transport
+ *    session key is derived once and *resumed* on later drains, skipping
+ *    the in-TPM RSA decrypt (hundreds of milliseconds, Section 4.3.3)
+ *    that a fresh key exchange costs.
+ *
+ * Everything runs in virtual time: the same seed and submission sequence
+ * produce byte-identical ExecutionReports (see ExecutionReport::encode).
+ */
+
+#ifndef MINTCB_SEA_SERVICE_HH
+#define MINTCB_SEA_SERVICE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hh"
+#include "common/stats.hh"
+#include "rec/scheduler.hh"
+#include "sea/request.hh"
+#include "tpm/transport.hh"
+
+namespace mintcb::sea
+{
+
+/** Tuning knobs for the execution service. */
+struct ServiceConfig
+{
+    /** Preemption-timer budget granted per scheduling slice. */
+    Duration quantum = Duration::millis(1);
+
+    /** CPUs (from CPU 0 up) reserved for pure legacy work; the rest run
+     *  PAL slices with legacy filler between them. */
+    std::uint32_t legacyCpus = 1;
+
+    /** sePCR bank size = concurrent-PAL limit (Section 5.4). */
+    std::size_t sePcrs = 8;
+
+    /** Coalesce a drain cycle's audit TPM_Extends into one batched
+     *  transport exchange (vs one exchange per command). */
+    bool pipelineTpm = true;
+
+    /** Resume the TPM transport session across drains instead of
+     *  re-running the RSA key exchange each time. */
+    bool reuseTransportSession = true;
+
+    /** Extend a digest of every ExecutionReport into auditPcr through a
+     *  secure transport session (the service's tamper-evident log). */
+    bool auditTrail = true;
+    std::uint32_t auditPcr = 15;
+
+    /** CPU charged for service-side work (wrapping, bus traffic). */
+    CpuId serviceCpu = 0;
+};
+
+/** Aggregate service observability (all counters cumulative). */
+struct ServiceMetrics
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;       //!< reports returned
+    std::uint64_t failed = 0;          //!< reports with !status.ok()
+    std::uint64_t deadlinesMissed = 0;
+    std::size_t maxQueueDepth = 0;
+    std::uint64_t drains = 0;
+
+    /** @name Scheduler-side totals. @{ */
+    std::uint64_t launches = 0;
+    std::uint64_t yields = 0;
+    std::uint64_t preemptions = 0;     //!< timer-forced suspends
+    std::uint64_t slaunchRetries = 0;
+    std::uint64_t legacyWorkUnits = 0; //!< retired during drains
+    /** @} */
+
+    /** @name TPM transport traffic. @{ */
+    std::uint64_t auditCommands = 0;
+    std::uint64_t auditExchanges = 0;
+    std::uint64_t sessionsAccepted = 0; //!< full RSA key exchanges
+    std::uint64_t sessionsResumed = 0;  //!< cheap ticket resumptions
+    /** @} */
+
+    /** Simulated time spent inside drain() calls. */
+    Duration busy;
+
+    /** @name Per-request latency distributions. @{ */
+    LatencyHistogram queueWait;  //!< submit -> first SLAUNCH
+    LatencyHistogram turnaround; //!< first SLAUNCH -> SFREE
+    LatencyHistogram compute;    //!< retired PAL compute per request
+    /** @} */
+
+    /** Audit commands per transport exchange (1.0 = no coalescing). */
+    double coalescingRatio() const
+    {
+        return auditExchanges != 0
+                   ? static_cast<double>(auditCommands) /
+                         static_cast<double>(auditExchanges)
+                   : 0.0;
+    }
+
+    /** Completed PALs per simulated second of drain time. */
+    double palsPerSimSecond() const
+    {
+        return busy > Duration::zero()
+                   ? static_cast<double>(completed) / busy.toSeconds()
+                   : 0.0;
+    }
+
+    /** Multi-line human-readable rendering. */
+    std::string str() const;
+};
+
+/**
+ * The work-queue engine. Typical use:
+ *
+ *     ExecutionService svc(machine);
+ *     PalRequest req(pal, input);
+ *     req.slicedCompute = Duration::millis(5);
+ *     req.secureBody = ...;
+ *     auto id = svc.submit(std::move(req));
+ *     auto reports = svc.drain();
+ */
+class ExecutionService
+{
+  public:
+    explicit ExecutionService(machine::Machine &machine,
+                              ServiceConfig config = {});
+
+    /** Enqueue @p request; returns its requestId. The request is not
+     *  executed until the next drain(). */
+    Result<std::uint64_t> submit(PalRequest request);
+
+    std::size_t queueDepth() const { return queue_.size(); }
+
+    /**
+     * Run every queued request to completion across the machine's
+     * cores and return their reports in requestId order. Infrastructure
+     * failures surface as the Result error; per-PAL application
+     * failures live in each report's status.
+     */
+    Result<std::vector<ExecutionReport>> drain();
+
+    /** Convenience: submit one request and drain immediately. */
+    Result<ExecutionReport> runOne(PalRequest request);
+
+    const ServiceMetrics &metrics() const { return metrics_; }
+    rec::SecureExecutive &executive() { return exec_; }
+
+    /** Modeled client-side cost per transport exchange (wrap + MAC +
+     *  LPC bus round trip) -- what pipelining amortizes. */
+    static constexpr Duration busExchangeCost = Duration::micros(50);
+
+  private:
+    struct Pending
+    {
+        PalRequest request;
+        std::uint64_t id = 0;
+        TimePoint submittedAt;
+    };
+
+    /** Open (first drain / reuse off) or resume the transport session;
+     *  returns the ready client endpoint. */
+    Result<tpm::TransportClient> attachSession();
+
+    /** Push @p commands through the session, batched or one-by-one. */
+    Status flushAudit(const std::vector<tpm::TransportCommand> &commands);
+
+    machine::Machine &machine_;
+    ServiceConfig config_;
+    rec::SecureExecutive exec_;
+    tpm::TpmTransportServer server_;
+    std::vector<Pending> queue_;
+    std::uint64_t nextId_ = 1;
+    bool sessionLive_ = false;
+    ServiceMetrics metrics_;
+};
+
+} // namespace mintcb::sea
+
+#endif // MINTCB_SEA_SERVICE_HH

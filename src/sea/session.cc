@@ -30,18 +30,24 @@ SeaDriver::expectedIoBoundPcr17(const Pal &pal, const Bytes &input,
     return pcr;
 }
 
-Result<SessionReport>
-SeaDriver::execute(const Pal &pal, const Bytes &input, CpuId cpu)
+Result<ExecutionReport>
+SeaDriver::run(const PalRequest &request, CpuId cpu)
 {
+    const Pal &pal = request.pal;
+    const Bytes &input = request.input;
     machine::Cpu &core = machine_.cpu(cpu);
-    SessionReport report;
+    ExecutionReport report;
+    report.palName = pal.name();
+    report.cpu = cpu;
     const TimePoint session_start = core.now();
+    report.submittedAt = session_start;
+    report.startedAt = session_start;
 
     // 1. Suspend the untrusted OS. "The suspend of the untrusted system
     //    is efficient because all necessary system state can simply
     //    remain in-place in memory" (Section 3.3).
     core.advance(osSuspendCost);
-    report.suspendOs = core.now() - session_start;
+    report.phases.suspendOs = core.now() - session_start;
 
     // 2. Place the SLB and late launch.
     const Bytes image = pal.slbImage();
@@ -51,7 +57,8 @@ SeaDriver::execute(const Pal &pal, const Bytes &input, CpuId cpu)
     auto launch = launcher_.invoke(cpu, slbLoadAddress);
     if (!launch)
         return launch.error();
-    report.lateLaunch = core.now() - launch_start;
+    report.phases.lateLaunch = core.now() - launch_start;
+    report.launches = 1;
     report.palMeasurement = launch->slbMeasurement;
     if (machine_.hasTpm()) {
         auto pcr17 = machine_.tpm().pcrs().read(tpm::dynamicLaunchPcr);
@@ -75,10 +82,11 @@ SeaDriver::execute(const Pal &pal, const Bytes &input, CpuId cpu)
     const TimePoint body_start = core.now();
     const Status body_status = pal.body()(ctx);
     const Duration body_total = core.now() - body_start;
-    report.seal = ctx.sealTime();
-    report.unseal = ctx.unsealTime();
-    report.palCompute = body_total - report.seal - report.unseal;
-    report.palOutput = ctx.output();
+    report.phases.seal = ctx.sealTime();
+    report.phases.unseal = ctx.unsealTime();
+    report.phases.palCompute =
+        body_total - report.phases.seal - report.phases.unseal;
+    report.output = ctx.output();
 
     // 3b. I/O binding: the last in-PAL act is to measure the output, so
     //     the quoted PCR 17 covers code + input + output.
@@ -112,17 +120,44 @@ SeaDriver::execute(const Pal &pal, const Bytes &input, CpuId cpu)
 
     const TimePoint resume_start = core.now();
     core.advance(osResumeCost);
-    report.resumeOs = core.now() - resume_start;
+    report.phases.resumeOs = core.now() - resume_start;
 
     // Sibling cores were idle from the launch barrier until now.
     launcher_.resumeOtherCpus();
-    report.total = core.now() - session_start;
+    report.finishedAt = core.now();
+    report.total = report.finishedAt - session_start;
     const Duration stall = core.now() - launch_start;
     report.siblingStall =
         stall * static_cast<double>(machine_.cpuCount() - 1);
 
-    if (!body_status.ok())
-        return body_status.error();
+    report.status = body_status;
+    report.deadlineMet = request.deadline == TimePoint() ||
+                         report.finishedAt <= request.deadline;
+    return report;
+}
+
+Result<SessionReport>
+SeaDriver::execute(const Pal &pal, const Bytes &input, CpuId cpu)
+{
+    PalRequest request(pal, input);
+    auto run_result = run(request, cpu);
+    if (!run_result)
+        return run_result.error();
+    const ExecutionReport &r = *run_result;
+    if (!r.status.ok())
+        return r.status.error();
+    SessionReport report;
+    report.total = r.total;
+    report.suspendOs = r.phases.suspendOs;
+    report.lateLaunch = r.phases.lateLaunch;
+    report.palCompute = r.phases.palCompute;
+    report.seal = r.phases.seal;
+    report.unseal = r.phases.unseal;
+    report.resumeOs = r.phases.resumeOs;
+    report.palOutput = r.output;
+    report.palMeasurement = r.palMeasurement;
+    report.pcr17AfterLaunch = r.pcr17AfterLaunch;
+    report.siblingStall = r.siblingStall;
     return report;
 }
 

@@ -22,11 +22,14 @@
 #include "latelaunch/latelaunch.hh"
 #include "machine/machine.hh"
 #include "sea/pal.hh"
+#include "sea/request.hh"
 
 namespace mintcb::sea
 {
 
-/** Phase breakdown of one SEA session (the Figure 2 components). */
+/** Phase breakdown of one SEA session (the Figure 2 components).
+ *  @deprecated Legacy shape kept for existing callers; new code should
+ *  use PalRequest / ExecutionReport via SeaDriver::run(). */
 struct SessionReport
 {
     Duration total;       //!< wall time on the launching core
@@ -67,9 +70,20 @@ class SeaDriver
     bool bindIo() const { return bindIo_; }
 
     /**
-     * Run @p pal with @p input on core @p cpu: suspend OS, late launch,
-     * execute the body, erase the PAL region, resume. The PAL's
-     * application Status propagates on failure.
+     * Run one request on core @p cpu: suspend OS, late launch, execute
+     * the PAL body, erase the PAL region, resume. Infrastructure
+     * failures (bad SLB, launch refusal) come back as errors; the PAL's
+     * *application* outcome travels in ExecutionReport::status so the
+     * caller still receives the phase breakdown and timestamps of a
+     * failed run. request.deadline is checked against the finish time.
+     */
+    Result<ExecutionReport> run(const PalRequest &request, CpuId cpu = 0);
+
+    /**
+     * @deprecated Positional wrapper around run() that maps the report
+     * back to the legacy SessionReport and re-raises the PAL's
+     * application status as an error. Kept so existing callers compile;
+     * new code should construct a PalRequest.
      */
     Result<SessionReport> execute(const Pal &pal, const Bytes &input,
                                   CpuId cpu = 0);

@@ -58,6 +58,24 @@ Tpm::reboot()
     hashSequenceOpen_ = false;
     hashBuffer_.clear();
     lockHolder_.reset();
+    transportTickets_.clear();
+}
+
+void
+Tpm::registerTransportTicket(const Bytes &key_digest)
+{
+    if (!hasTransportTicket(key_digest))
+        transportTickets_.push_back(key_digest);
+}
+
+bool
+Tpm::hasTransportTicket(const Bytes &key_digest) const
+{
+    for (const Bytes &t : transportTickets_) {
+        if (t == key_digest)
+            return true;
+    }
+    return false;
 }
 
 void

@@ -158,6 +158,16 @@ class Tpm
     std::optional<CpuId> lockHolder() const { return lockHolder_; }
     /** @} */
 
+    /** @name Transport-session resumption tickets (Section 3.3).
+     * Accepting a transport session costs an in-TPM RSA decrypt; the TPM
+     * keeps a digest of each accepted session key so the same principal
+     * can resume without repeating the key exchange. Volatile: cleared
+     * by reboot() like the rest of the session state.
+     * @{ */
+    void registerTransportTicket(const Bytes &key_digest);
+    bool hasTransportTicket(const Bytes &key_digest) const;
+    /** @} */
+
     /** Direct PCR bank access for tests and the sePCR extension. */
     PcrBank &pcrs() { return pcrs_; }
     const PcrBank &pcrs() const { return pcrs_; }
@@ -191,6 +201,7 @@ class Tpm
     bool hashSequenceOpen_ = false;
     Bytes hashBuffer_;
     std::optional<CpuId> lockHolder_;
+    std::vector<Bytes> transportTickets_; //!< volatile session-key digests
     std::vector<std::uint64_t> counters_; //!< persists across reboot()
 
     struct NvSpace

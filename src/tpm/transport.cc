@@ -2,16 +2,21 @@
  * @file
  * Transport session implementation.
  *
- * Framing: plaintext = u8 op | u32 pcr | length-prefixed payload.
- * Encryption: XOR keystream HMAC-SHA256(key, "ts-enc" || direction ||
- * counter || block). MAC: HMAC-SHA256(key, "ts-mac" || direction ||
- * counter || ciphertext); the counter gives replay protection.
+ * Framing: plaintext = u8 op | u32 pcr | length-prefixed payload. A batch
+ * nests that framing: op=batch, payload = u32 count | count inner
+ * commands, each u8 op | u32 pcr | length-prefixed payload. The batch
+ * response carries one u8 status + length-prefixed payload per inner
+ * command. Encryption: XOR keystream HMAC-SHA256(key, "ts-enc" ||
+ * direction || counter || block). MAC: HMAC-SHA256(key, "ts-mac" ||
+ * direction || counter || ciphertext); the counter gives replay
+ * protection.
  */
 
 #include "tpm/transport.hh"
 
 #include "common/bytebuf.hh"
 #include "crypto/hmac.hh"
+#include "crypto/sha256.hh"
 
 namespace mintcb::tpm
 {
@@ -83,6 +88,15 @@ unwrap(const Bytes &key, std::uint8_t direction, std::uint64_t counter,
     return plaintext;
 }
 
+void
+writeCommand(ByteWriter &w, TransportOp op, std::uint32_t pcr,
+             const Bytes &payload)
+{
+    w.u8(static_cast<std::uint8_t>(op));
+    w.u32(pcr);
+    w.lengthPrefixed(payload);
+}
+
 constexpr std::uint8_t toTpm = 0x01;
 constexpr std::uint8_t fromTpm = 0x02;
 
@@ -115,16 +129,45 @@ WrappedMessage::decode(const Bytes &wire)
     return m;
 }
 
+Result<TransportClient::Opened>
+TransportClient::open(const crypto::RsaPublicKey &srk, Rng &rng)
+{
+    return openWithKey(srk, rng, rng.bytes(32));
+}
+
+Result<TransportClient::Opened>
+TransportClient::openWithKey(const crypto::RsaPublicKey &srk, Rng &rng,
+                             const Bytes &key)
+{
+    if (key.size() != 32) {
+        return Error(Errc::invalidArgument,
+                     "transport session key must be 32 bytes");
+    }
+    auto envelope = crypto::rsaEncrypt(srk, rng, key);
+    if (!envelope)
+        return envelope.error();
+    return Opened{TransportClient(key), envelope.take()};
+}
+
+Result<TransportClient>
+TransportClient::resume(const Bytes &key)
+{
+    if (key.size() != 32) {
+        return Error(Errc::invalidArgument,
+                     "transport session key must be 32 bytes");
+    }
+    return TransportClient(key);
+}
+
 Result<TransportClient>
 TransportClient::establish(const crypto::RsaPublicKey &srk, Rng &rng,
                            Bytes &envelope_out)
 {
-    const Bytes session_key = rng.bytes(32);
-    auto envelope = crypto::rsaEncrypt(srk, rng, session_key);
-    if (!envelope)
-        return envelope.error();
-    envelope_out = envelope.take();
-    return TransportClient(session_key);
+    auto opened = open(srk, rng);
+    if (!opened)
+        return opened.error();
+    envelope_out = std::move(opened->envelope);
+    return std::move(opened->client);
 }
 
 WrappedMessage
@@ -132,9 +175,20 @@ TransportClient::wrapCommand(TransportOp op, std::uint32_t pcr,
                              const Bytes &payload)
 {
     ByteWriter w;
-    w.u8(static_cast<std::uint8_t>(op));
-    w.u32(pcr);
-    w.lengthPrefixed(payload);
+    writeCommand(w, op, pcr, payload);
+    return wrap(key_, toTpm, sendCounter_++, w.bytes());
+}
+
+WrappedMessage
+TransportClient::wrapBatch(const std::vector<TransportCommand> &commands)
+{
+    ByteWriter inner;
+    inner.u32(static_cast<std::uint32_t>(commands.size()));
+    for (const TransportCommand &c : commands)
+        writeCommand(inner, c.op, c.pcr, c.payload);
+
+    ByteWriter w;
+    writeCommand(w, TransportOp::batch, 0, inner.bytes());
     return wrap(key_, toTpm, sendCounter_++, w.bytes());
 }
 
@@ -148,20 +202,117 @@ TransportClient::unwrapResponse(const WrappedMessage &message)
     return plain;
 }
 
+Result<std::vector<TransportReply>>
+TransportClient::unwrapBatchResponse(const WrappedMessage &message)
+{
+    auto plain = unwrapResponse(message);
+    if (!plain)
+        return plain.error();
+    ByteReader r(*plain);
+    auto status = r.u8();
+    if (!status)
+        return status.error();
+    if (*status != 0) {
+        return Error(Errc::integrityFailure,
+                     "batch exchange rejected by the TPM");
+    }
+    auto count = r.u32();
+    if (!count)
+        return count.error();
+    std::vector<TransportReply> replies;
+    replies.reserve(*count);
+    for (std::uint32_t i = 0; i < *count; ++i) {
+        auto errc = r.u8();
+        if (!errc)
+            return errc.error();
+        auto payload = r.lengthPrefixed();
+        if (!payload)
+            return payload.error();
+        TransportReply reply;
+        reply.status = static_cast<Errc>(*errc);
+        reply.payload = payload.take();
+        replies.push_back(std::move(reply));
+    }
+    if (!r.atEnd())
+        return Error(Errc::integrityFailure, "trailing batch bytes");
+    return replies;
+}
+
 Status
 TpmTransportServer::accept(const Bytes &envelope)
 {
     auto key = crypto::rsaDecrypt(tpm_.srkPrivate(), envelope);
-    if (!key)
+    if (!key) {
+        ++stats_.rejected;
         return key.error();
+    }
     if (key->size() != 32) {
+        ++stats_.rejected;
         return Error(Errc::invalidArgument,
                      "transport session key must be 32 bytes");
     }
+    // The session-key decrypt is an in-TPM RSA private-key operation of
+    // the same class as an unseal (Section 4.3.3).
+    tpm_.charge(tpm_.profile().unseal);
     key_ = key.take();
     recvCounter_ = 0;
     sendCounter_ = 0;
+    tpm_.registerTransportTicket(crypto::Sha256::digestBytes(key_));
+    ++stats_.sessionsAccepted;
     return okStatus();
+}
+
+Status
+TpmTransportServer::acceptResumed(const Bytes &key)
+{
+    if (key.size() != 32) {
+        ++stats_.rejected;
+        return Error(Errc::invalidArgument,
+                     "transport session key must be 32 bytes");
+    }
+    if (!tpm_.hasTransportTicket(crypto::Sha256::digestBytes(key))) {
+        ++stats_.rejected;
+        return Error(Errc::notFound,
+                     "no resumption ticket for this session key");
+    }
+    // Symmetric-only resumption costs one cheap command's latency.
+    tpm_.charge(tpm_.profile().pcrRead);
+    key_ = key;
+    recvCounter_ = 0;
+    sendCounter_ = 0;
+    ++stats_.sessionsResumed;
+    return okStatus();
+}
+
+Result<Bytes>
+TpmTransportServer::executeOne(TransportOp op, std::uint32_t pcr,
+                               const Bytes &payload)
+{
+    ByteWriter response;
+    switch (op) {
+      case TransportOp::pcrRead: {
+          auto value = tpm_.pcrRead(pcr);
+          if (!value)
+              return value.error();
+          return *value;
+      }
+      case TransportOp::pcrExtend: {
+          if (auto s = tpm_.pcrExtend(pcr, payload); !s.ok())
+              return s.error();
+          return Bytes{};
+      }
+      case TransportOp::getRandom: {
+          auto bytes = tpm_.getRandom(pcr); // pcr field doubles as count
+          if (!bytes)
+              return bytes.error();
+          return bytes.take();
+      }
+      case TransportOp::batch:
+        return Error(Errc::invalidArgument,
+                     "batches do not nest");
+      default:
+        return Error(Errc::invalidArgument, "unknown transport opcode");
+    }
 }
 
 Result<WrappedMessage>
@@ -172,9 +323,12 @@ TpmTransportServer::execute(const WrappedMessage &message)
                      "no transport session established");
     }
     auto plain = unwrap(key_, toTpm, recvCounter_, message);
-    if (!plain)
+    if (!plain) {
+        ++stats_.rejected;
         return plain.error();
+    }
     ++recvCounter_;
+    ++stats_.exchanges;
 
     ByteReader r(*plain);
     auto op = r.u8();
@@ -188,31 +342,51 @@ TpmTransportServer::execute(const WrappedMessage &message)
         return payload.error();
 
     ByteWriter response;
-    switch (static_cast<TransportOp>(*op)) {
-      case TransportOp::pcrRead: {
-          auto value = tpm_.pcrRead(*pcr);
-          if (!value)
-              return value.error();
-          response.u8(0);
-          response.lengthPrefixed(*value);
-          break;
-      }
-      case TransportOp::pcrExtend: {
-          if (auto s = tpm_.pcrExtend(*pcr, *payload); !s.ok())
-              return s.error();
-          response.u8(0);
-          break;
-      }
-      case TransportOp::getRandom: {
-          auto bytes = tpm_.getRandom(*pcr); // pcr field doubles as count
-          if (!bytes)
-              return bytes.error();
-          response.u8(0);
-          response.lengthPrefixed(*bytes);
-          break;
-      }
-      default:
-        return Error(Errc::invalidArgument, "unknown transport opcode");
+    if (static_cast<TransportOp>(*op) == TransportOp::batch) {
+        ByteReader inner(*payload);
+        auto count = inner.u32();
+        if (!count)
+            return count.error();
+        response.u8(0);
+        response.u32(*count);
+        for (std::uint32_t i = 0; i < *count; ++i) {
+            auto cop = inner.u8();
+            if (!cop)
+                return cop.error();
+            auto cpcr = inner.u32();
+            if (!cpcr)
+                return cpcr.error();
+            auto cpayload = inner.lengthPrefixed();
+            if (!cpayload)
+                return cpayload.error();
+            // A refused sub-command (bad PCR index, locked TPM) reports
+            // its category in-band; the exchange itself still succeeds.
+            auto result = executeOne(static_cast<TransportOp>(*cop),
+                                     *cpcr, *cpayload);
+            if (result) {
+                response.u8(static_cast<std::uint8_t>(Errc::ok));
+                response.lengthPrefixed(*result);
+            } else {
+                response.u8(static_cast<std::uint8_t>(
+                    result.error().code));
+                response.lengthPrefixed(Bytes{});
+            }
+            ++stats_.commands;
+            ++stats_.batchedCommands;
+        }
+        if (!inner.atEnd())
+            return Error(Errc::integrityFailure, "trailing batch bytes");
+    } else {
+        ++stats_.commands;
+        const TransportOp top = static_cast<TransportOp>(*op);
+        auto result = executeOne(top, *pcr, *payload);
+        if (!result)
+            return result.error();
+        response.u8(0);
+        // Preserve the original single-command framing: extend responses
+        // carry no payload field at all.
+        if (top != TransportOp::pcrExtend)
+            response.lengthPrefixed(*result);
     }
     return wrap(key_, fromTpm, sendCounter_++, response.bytes());
 }

@@ -9,13 +9,27 @@
  * wraps commands with encryption + a rolling-nonce MAC, so an on-path
  * adversary can neither read nor undetectably modify nor replay TPM
  * traffic.
+ *
+ * Two throughput features serve the multi-PAL execution service:
+ *
+ *  - **Command pipelining**: TransportOp::batch carries many commands in
+ *    one wrapped exchange, so a slice's worth of TPM_Extend traffic pays
+ *    the wrap/MAC and bus round-trip once instead of per command.
+ *  - **Session resumption**: the full key exchange costs an in-TPM RSA
+ *    private-key operation (hundreds of ms of simulated time). Once a
+ *    session has been accepted, the TPM remembers a ticket (a digest of
+ *    the session key), and a later acceptResumed() with the same key
+ *    skips the RSA work -- the model for reusing sealed-state sessions
+ *    across PAL launches.
  */
 
 #ifndef MINTCB_TPM_TRANSPORT_HH
 #define MINTCB_TPM_TRANSPORT_HH
 
 #include <cstdint>
+#include <vector>
 
+#include "common/counters.hh"
 #include "common/result.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
@@ -30,6 +44,24 @@ enum class TransportOp : std::uint8_t
     pcrRead = 1,
     pcrExtend = 2,
     getRandom = 3,
+    batch = 4, //!< container: many commands in one wrapped exchange
+};
+
+/** One command to tunnel (the batchable unit). */
+struct TransportCommand
+{
+    TransportOp op = TransportOp::pcrRead;
+    std::uint32_t pcr = 0; //!< PCR index (for getRandom: byte count)
+    Bytes payload;
+};
+
+/** Outcome of one command inside a batch exchange. */
+struct TransportReply
+{
+    Errc status = Errc::ok;
+    Bytes payload;
+
+    bool ok() const { return status == Errc::ok; }
 };
 
 /** A wrapped (encrypted + MACed) message on the untrusted bus. */
@@ -43,30 +75,62 @@ struct WrappedMessage
 };
 
 /**
- * The PAL-side endpoint. establish() invents a session key, encrypts it
- * to the TPM's SRK, and hands the opaque envelope to TpmTransportServer
- * (travelling over the untrusted bus).
+ * The PAL-side endpoint. open() invents a session key, encrypts it to
+ * the TPM's SRK, and hands back the opaque envelope to deliver to
+ * TpmTransportServer over the untrusted bus.
  */
 class TransportClient
 {
   public:
-    /** Begin a session; returns the key-exchange envelope to deliver. */
+    /** Result of open()/openWithKey(): endpoint + key-exchange envelope
+     *  (defined after the class body). */
+    struct Opened;
+
+    /** Begin a session under a fresh random key. */
+    static Result<Opened> open(const crypto::RsaPublicKey &srk, Rng &rng);
+
+    /** Begin a session under a caller-chosen 32-byte key (the service
+     *  uses a deterministic cached secret so it can resume later). */
+    static Result<Opened> openWithKey(const crypto::RsaPublicKey &srk,
+                                      Rng &rng, const Bytes &key);
+
+    /** Resume with a key the TPM already holds a ticket for; pairs with
+     *  TpmTransportServer::acceptResumed(). No RSA work on either side. */
+    static Result<TransportClient> resume(const Bytes &key);
+
+    /** @deprecated Out-parameter variant kept for existing callers; new
+     *  code should use open(). */
     static Result<TransportClient> establish(
         const crypto::RsaPublicKey &srk, Rng &rng, Bytes &envelope_out);
 
-    /** Wrap a command for the wire. */
+    /** Wrap a single command for the wire. */
     WrappedMessage wrapCommand(TransportOp op, std::uint32_t pcr,
                                const Bytes &payload);
+
+    /** Wrap many commands into one exchange (command pipelining). */
+    WrappedMessage wrapBatch(const std::vector<TransportCommand> &commands);
 
     /** Unwrap and authenticate the TPM's response. */
     Result<Bytes> unwrapResponse(const WrappedMessage &message);
 
+    /** Unwrap a batch response into per-command replies (a failed
+     *  sub-command reports its Errc without failing the exchange). */
+    Result<std::vector<TransportReply>> unwrapBatchResponse(
+        const WrappedMessage &message);
+
   private:
-    TransportClient(Bytes key) : key_(std::move(key)) {}
+    explicit TransportClient(Bytes key) : key_(std::move(key)) {}
 
     Bytes key_;
     std::uint64_t sendCounter_ = 0;
     std::uint64_t recvCounter_ = 0;
+};
+
+/** A freshly opened session: the endpoint plus the envelope to deliver. */
+struct TransportClient::Opened
+{
+    TransportClient client;
+    Bytes envelope; //!< SRK-encrypted session key for the server
 };
 
 /** The TPM-side endpoint, dispatching into a Tpm instance. */
@@ -75,19 +139,32 @@ class TpmTransportServer
   public:
     explicit TpmTransportServer(Tpm &tpm) : tpm_(tpm) {}
 
-    /** Accept a key-exchange envelope (SRK-encrypted session key). */
+    /** Accept a key-exchange envelope (SRK-encrypted session key).
+     *  Charges the in-TPM RSA decrypt and registers a resumption ticket
+     *  so the same key can later be accepted without RSA work. */
     Status accept(const Bytes &envelope);
 
-    /** Process one wrapped command; returns the wrapped response.
-     *  Tampered or replayed messages yield integrityFailure and no TPM
-     *  state change. */
+    /** Resume a session from a 32-byte key the TPM holds a ticket for.
+     *  Charges only a cheap command's latency. */
+    Status acceptResumed(const Bytes &key);
+
+    /** Process one wrapped exchange (single command or batch); returns
+     *  the wrapped response. Tampered or replayed messages yield
+     *  integrityFailure and no TPM state change. */
     Result<WrappedMessage> execute(const WrappedMessage &message);
 
+    /** Traffic counters (pipelining / resumption observability). */
+    const TransportStats &stats() const { return stats_; }
+
   private:
+    Result<Bytes> executeOne(TransportOp op, std::uint32_t pcr,
+                             const Bytes &payload);
+
     Tpm &tpm_;
     Bytes key_;
     std::uint64_t recvCounter_ = 0;
     std::uint64_t sendCounter_ = 0;
+    TransportStats stats_;
 };
 
 } // namespace mintcb::tpm

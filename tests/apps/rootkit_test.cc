@@ -87,10 +87,10 @@ TEST_F(RootkitTest, ScanCostIncludesHashingAndUnseal)
 {
     ASSERT_TRUE(detector_.baseline().ok());
     ASSERT_TRUE(detector_.scan().ok());
-    const sea::SessionReport &report = detector_.lastReport();
+    const sea::ExecutionReport &report = detector_.lastReport();
     // Hashing 64 KB at the calibrated CPU SHA-1 rate is ~8 ms.
-    EXPECT_GT(report.palCompute, Duration::millis(5));
-    EXPECT_GT(report.unseal, Duration::millis(500));
+    EXPECT_GT(report.phases.palCompute, Duration::millis(5));
+    EXPECT_GT(report.phases.unseal, Duration::millis(500));
 }
 
 } // namespace

@@ -182,7 +182,7 @@ TEST(EndToEnd, SimulationIsDeterministic)
         auto gen = sea::runPalGen(driver);
         auto use = sea::runPalUse(driver, gen->blob, true);
         return std::make_pair(use->session.total.ticks(),
-                              toHex(use->session.palOutput));
+                              toHex(use->session.output));
     };
     const auto first = run();
     const auto second = run();

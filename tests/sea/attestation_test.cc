@@ -45,7 +45,7 @@ TEST(PrivacyCa, IssuesAndValidatesCertificates)
     Machine m = Machine::forPlatform(PlatformId::hpDc5750);
     auto cert =
         PrivacyCa::instance().issue(m.tpm().aikPublic(), "machine-a");
-    EXPECT_TRUE(PrivacyCa::instance().validate(cert));
+    EXPECT_TRUE(PrivacyCa::instance().validate(cert).ok());
 }
 
 TEST(PrivacyCa, RejectsTamperedCertificate)
@@ -53,7 +53,9 @@ TEST(PrivacyCa, RejectsTamperedCertificate)
     Machine m = Machine::forPlatform(PlatformId::hpDc5750);
     auto cert = PrivacyCa::instance().issue(m.tpm().aikPublic(), "a");
     cert.subject = "b"; // claim a different platform
-    EXPECT_FALSE(PrivacyCa::instance().validate(cert));
+    auto verdict = PrivacyCa::instance().validate(cert);
+    ASSERT_FALSE(verdict.ok());
+    EXPECT_EQ(verdict.error().code, Errc::integrityFailure);
 }
 
 TEST(Verifier, AcceptsGenuineLaunchOfTrustedPal)
