@@ -103,18 +103,4 @@ cachedKey(const std::string &label, std::size_t bits)
     return inserted->second;
 }
 
-const Bytes &
-cachedSessionSecret(const std::string &label)
-{
-    static std::map<std::string, Bytes> cache;
-    auto it = cache.find(label);
-    if (it != cache.end())
-        return it->second;
-    // Domain-separated derivation; 32 bytes is the transport key size.
-    const Bytes digest =
-        Sha256::digestBytes(asciiBytes("mintcb-session:" + label));
-    auto [inserted, _] = cache.emplace(label, digest);
-    return inserted->second;
-}
-
 } // namespace mintcb::crypto

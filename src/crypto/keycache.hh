@@ -29,14 +29,13 @@ const RsaPrivateKey &cachedKey(const std::string &label, std::size_t bits);
 /** Default modulus size for simulated TPM keys (TCG v1.2: 2048). */
 inline constexpr std::size_t tpmKeyBits = 2048;
 
-/**
- * Deterministic 32-byte transport-session secret for @p label, memoized
- * per process. The execution service uses this to *resume* TPM transport
- * sessions across launches instead of re-running the RSA key exchange
- * (an in-TPM private-key operation costing hundreds of milliseconds of
- * simulated time, Section 4.3.3) for every request.
+/*
+ * Note: the cache deliberately holds only *identity* keys (SRK, AIK),
+ * which are derived from public labels. Session secrets must never live
+ * here -- anything computable from a public label is computable by the
+ * modeled bus adversary too. The execution service draws its transport
+ * session key from the machine's seeded RNG instead.
  */
-const Bytes &cachedSessionSecret(const std::string &label);
 
 } // namespace mintcb::crypto
 

@@ -205,7 +205,11 @@ OsScheduler::runAll()
                         aborted.measurement = task->measurement;
                         aborted.preemptions = task->secb.preemptions;
                         aborted.cpu = cpu;
-                        aborted.deadlineMet = false;
+                        // Same rule as normal completion: only a set
+                        // deadline can be missed.
+                        aborted.deadlineMet =
+                            task->program.deadline == TimePoint() ||
+                            m.cpu(cpu).now() <= task->program.deadline;
                         stats.preemptions += task->secb.preemptions;
                         stats.completions.push_back(std::move(aborted));
                         if (completionHook_)

@@ -15,19 +15,10 @@
 
 #include <cstdio>
 
-#include "crypto/keycache.hh"
 #include "crypto/sha1.hh"
 
 namespace mintcb::sea
 {
-
-namespace
-{
-
-/** Process-wide label for the service's deterministic session secret. */
-const char *const sessionLabel = "execution-service";
-
-} // namespace
 
 ExecutionService::ExecutionService(machine::Machine &machine,
                                    ServiceConfig config)
@@ -62,6 +53,13 @@ ExecutionService::drain()
     ++metrics_.drains;
     const TimePoint drain_start = machine_.now();
 
+    // Claim the whole batch up front: once the PALs start executing, a
+    // late failure (audit flush, scheduler error) must surface as the
+    // drain's error without leaving the requests queued -- re-running
+    // them would duplicate secureBody side effects and sePCR extends.
+    const std::vector<Pending> batch = std::move(queue_);
+    queue_.clear();
+
     /** Per-request state the scheduler callbacks fill in. Sized once up
      *  front so the captured pointers stay stable. */
     struct Slot
@@ -73,11 +71,11 @@ ExecutionService::drain()
         Bytes output;
         Duration compute;
     };
-    std::vector<Slot> slots(queue_.size());
+    std::vector<Slot> slots(batch.size());
 
     rec::OsScheduler sched(exec_, config_.quantum, config_.legacyCpus);
-    for (std::size_t i = 0; i < queue_.size(); ++i) {
-        const Pending &p = queue_[i];
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Pending &p = batch[i];
         Slot *slot = &slots[i];
         slot->id = p.id;
         slot->submittedAt = p.submittedAt;
@@ -121,7 +119,7 @@ ExecutionService::drain()
             return idx.error();
     }
 
-    reports.resize(queue_.size());
+    reports.resize(batch.size());
     sched.setCompletionHook(
         [&slots, &reports](const rec::PalCompletion &done) {
             const Slot &slot = slots[done.seq];
@@ -180,7 +178,6 @@ ExecutionService::drain()
             return s.error();
     }
 
-    queue_.clear();
     metrics_.busy += machine_.now() - drain_start;
     return reports;
 }
@@ -202,18 +199,23 @@ ExecutionService::runOne(PalRequest request)
 Result<tpm::TransportClient>
 ExecutionService::attachSession()
 {
-    const Bytes &key = crypto::cachedSessionSecret(sessionLabel);
+    // The session key must not be computable by the on-path bus
+    // adversary, so it comes from the machine's seeded RNG (still
+    // byte-identical across same-seed runs), never from a public label.
+    if (sessionKey_.empty())
+        sessionKey_ = machine_.rng().bytes(32);
     machine_.tpmAs(config_.serviceCpu); // TPM work charges our CPU
     if (sessionLive_ && config_.reuseTransportSession) {
-        auto client = tpm::TransportClient::resume(key);
-        if (!client)
-            return client.error();
-        if (auto s = server_.acceptResumed(key); !s.ok())
-            return s.error();
-        return client.take();
+        // Resuming still crosses the LPC bus once; only the RSA decrypt
+        // is saved.
+        machine_.cpu(config_.serviceCpu).advance(busExchangeCost);
+        auto epoch = server_.acceptResumed(sessionKey_);
+        if (!epoch)
+            return epoch.error();
+        return tpm::TransportClient::resume(sessionKey_, *epoch);
     }
     auto opened = tpm::TransportClient::openWithKey(
-        machine_.tpm().srkPublic(), machine_.rng(), key);
+        machine_.tpm().srkPublic(), machine_.rng(), sessionKey_);
     if (!opened)
         return opened.error();
     machine_.cpu(config_.serviceCpu).advance(busExchangeCost);

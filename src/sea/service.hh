@@ -18,9 +18,12 @@
  *    transport exchange instead of paying the wrap/MAC and LPC bus
  *    round-trip per command.
  *  - **Session reuse** (config.reuseTransportSession): the transport
- *    session key is derived once and *resumed* on later drains, skipping
- *    the in-TPM RSA decrypt (hundreds of milliseconds, Section 4.3.3)
- *    that a fresh key exchange costs.
+ *    session key is drawn once from the machine's seeded RNG and the
+ *    session *resumed* on later drains (rekeyed per resumption epoch),
+ *    skipping the in-TPM RSA decrypt (hundreds of milliseconds, Section
+ *    4.3.3) that a fresh key exchange costs. Model limitation: the key
+ *    lives in service memory; the paper's design would keep it inside
+ *    the PAL's sealed state (Section 3.3).
  *
  * Everything runs in virtual time: the same seed and submission sequence
  * produce byte-identical ExecutionReports (see ExecutionReport::encode).
@@ -188,6 +191,7 @@ class ExecutionService
     tpm::TpmTransportServer server_;
     std::vector<Pending> queue_;
     std::uint64_t nextId_ = 1;
+    Bytes sessionKey_; //!< drawn from the machine RNG on first attach
     bool sessionLive_ = false;
     ServiceMetrics metrics_;
 };

@@ -65,17 +65,28 @@ void
 Tpm::registerTransportTicket(const Bytes &key_digest)
 {
     if (!hasTransportTicket(key_digest))
-        transportTickets_.push_back(key_digest);
+        transportTickets_.push_back(TransportTicket{key_digest, 0});
 }
 
 bool
 Tpm::hasTransportTicket(const Bytes &key_digest) const
 {
-    for (const Bytes &t : transportTickets_) {
-        if (t == key_digest)
+    for (const TransportTicket &t : transportTickets_) {
+        if (t.keyDigest == key_digest)
             return true;
     }
     return false;
+}
+
+Result<std::uint64_t>
+Tpm::advanceTransportTicketEpoch(const Bytes &key_digest)
+{
+    for (TransportTicket &t : transportTickets_) {
+        if (t.keyDigest == key_digest)
+            return ++t.epoch;
+    }
+    return Error(Errc::notFound,
+                 "no resumption ticket for this session key");
 }
 
 void

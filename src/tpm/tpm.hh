@@ -161,11 +161,17 @@ class Tpm
     /** @name Transport-session resumption tickets (Section 3.3).
      * Accepting a transport session costs an in-TPM RSA decrypt; the TPM
      * keeps a digest of each accepted session key so the same principal
-     * can resume without repeating the key exchange. Volatile: cleared
-     * by reboot() like the rest of the session state.
+     * can resume without repeating the key exchange. Each ticket carries
+     * an epoch counter that advances on every resumption, so traffic
+     * keys (and therefore MACs) from an earlier epoch cannot be replayed
+     * into a resumed session. Volatile: cleared by reboot() like the
+     * rest of the session state.
      * @{ */
     void registerTransportTicket(const Bytes &key_digest);
     bool hasTransportTicket(const Bytes &key_digest) const;
+    /** Advance the ticket's epoch and return the new value (>= 1). */
+    Result<std::uint64_t> advanceTransportTicketEpoch(
+        const Bytes &key_digest);
     /** @} */
 
     /** Direct PCR bank access for tests and the sePCR extension. */
@@ -201,7 +207,12 @@ class Tpm
     bool hashSequenceOpen_ = false;
     Bytes hashBuffer_;
     std::optional<CpuId> lockHolder_;
-    std::vector<Bytes> transportTickets_; //!< volatile session-key digests
+    struct TransportTicket
+    {
+        Bytes keyDigest;
+        std::uint64_t epoch = 0; //!< bumps on every resumption
+    };
+    std::vector<TransportTicket> transportTickets_; //!< volatile
     std::vector<std::uint64_t> counters_; //!< persists across reboot()
 
     struct NvSpace

@@ -6,10 +6,14 @@
  * nests that framing: op=batch, payload = u32 count | count inner
  * commands, each u8 op | u32 pcr | length-prefixed payload. The batch
  * response carries one u8 status + length-prefixed payload per inner
- * command. Encryption: XOR keystream HMAC-SHA256(key, "ts-enc" ||
- * direction || counter || block). MAC: HMAC-SHA256(key, "ts-mac" ||
- * direction || counter || ciphertext); the counter gives replay
- * protection.
+ * command. Both endpoints use a per-epoch traffic key k =
+ * HMAC-SHA256(master, "ts-epoch" || epoch); the initial accept is epoch
+ * 0 and every resumption advances the ticket's epoch. Encryption: XOR
+ * keystream HMAC-SHA256(k, "ts-enc" || direction || counter || block).
+ * MAC: HMAC-SHA256(k, "ts-mac" || direction || counter || ciphertext);
+ * the counter gives replay protection within an epoch and the epoch key
+ * keeps recordings from an earlier session life from verifying after a
+ * resumption resets the counters.
  */
 
 #include "tpm/transport.hh"
@@ -23,6 +27,15 @@ namespace mintcb::tpm
 
 namespace
 {
+
+Bytes
+trafficKey(const Bytes &master, std::uint64_t epoch)
+{
+    ByteWriter w;
+    w.str("ts-epoch");
+    w.u64(epoch);
+    return crypto::hmacSha256(master, w.bytes());
+}
 
 Bytes
 keystream(const Bytes &key, std::uint8_t direction, std::uint64_t counter,
@@ -146,17 +159,17 @@ TransportClient::openWithKey(const crypto::RsaPublicKey &srk, Rng &rng,
     auto envelope = crypto::rsaEncrypt(srk, rng, key);
     if (!envelope)
         return envelope.error();
-    return Opened{TransportClient(key), envelope.take()};
+    return Opened{TransportClient(trafficKey(key, 0)), envelope.take()};
 }
 
 Result<TransportClient>
-TransportClient::resume(const Bytes &key)
+TransportClient::resume(const Bytes &key, std::uint64_t epoch)
 {
     if (key.size() != 32) {
         return Error(Errc::invalidArgument,
                      "transport session key must be 32 bytes");
     }
-    return TransportClient(key);
+    return TransportClient(trafficKey(key, epoch));
 }
 
 Result<TransportClient>
@@ -254,15 +267,16 @@ TpmTransportServer::accept(const Bytes &envelope)
     // The session-key decrypt is an in-TPM RSA private-key operation of
     // the same class as an unseal (Section 4.3.3).
     tpm_.charge(tpm_.profile().unseal);
-    key_ = key.take();
+    const Bytes master = key.take();
+    key_ = trafficKey(master, 0);
     recvCounter_ = 0;
     sendCounter_ = 0;
-    tpm_.registerTransportTicket(crypto::Sha256::digestBytes(key_));
+    tpm_.registerTransportTicket(crypto::Sha256::digestBytes(master));
     ++stats_.sessionsAccepted;
     return okStatus();
 }
 
-Status
+Result<std::uint64_t>
 TpmTransportServer::acceptResumed(const Bytes &key)
 {
     if (key.size() != 32) {
@@ -270,18 +284,22 @@ TpmTransportServer::acceptResumed(const Bytes &key)
         return Error(Errc::invalidArgument,
                      "transport session key must be 32 bytes");
     }
-    if (!tpm_.hasTransportTicket(crypto::Sha256::digestBytes(key))) {
+    // Advancing the ticket epoch rekeys the session: counters restart at
+    // zero, but under a fresh traffic key, so recordings from any
+    // earlier epoch fail the MAC instead of replaying.
+    auto epoch = tpm_.advanceTransportTicketEpoch(
+        crypto::Sha256::digestBytes(key));
+    if (!epoch) {
         ++stats_.rejected;
-        return Error(Errc::notFound,
-                     "no resumption ticket for this session key");
+        return epoch.error();
     }
     // Symmetric-only resumption costs one cheap command's latency.
     tpm_.charge(tpm_.profile().pcrRead);
-    key_ = key;
+    key_ = trafficKey(key, *epoch);
     recvCounter_ = 0;
     sendCounter_ = 0;
     ++stats_.sessionsResumed;
-    return okStatus();
+    return epoch;
 }
 
 Result<Bytes>

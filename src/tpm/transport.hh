@@ -20,7 +20,10 @@
  *    session has been accepted, the TPM remembers a ticket (a digest of
  *    the session key), and a later acceptResumed() with the same key
  *    skips the RSA work -- the model for reusing sealed-state sessions
- *    across PAL launches.
+ *    across PAL launches. Every resumption advances the ticket's epoch
+ *    and both endpoints rekey to HMAC(key, epoch), so traffic recorded
+ *    in an earlier session life cannot be replayed after the message
+ *    counters restart.
  */
 
 #ifndef MINTCB_TPM_TRANSPORT_HH
@@ -90,13 +93,16 @@ class TransportClient
     static Result<Opened> open(const crypto::RsaPublicKey &srk, Rng &rng);
 
     /** Begin a session under a caller-chosen 32-byte key (the service
-     *  uses a deterministic cached secret so it can resume later). */
+     *  keeps the key it drew from the machine's seeded RNG so it can
+     *  resume later). */
     static Result<Opened> openWithKey(const crypto::RsaPublicKey &srk,
                                       Rng &rng, const Bytes &key);
 
-    /** Resume with a key the TPM already holds a ticket for; pairs with
+    /** Resume with a key the TPM already holds a ticket for, at the
+     *  epoch acceptResumed() returned; pairs with
      *  TpmTransportServer::acceptResumed(). No RSA work on either side. */
-    static Result<TransportClient> resume(const Bytes &key);
+    static Result<TransportClient> resume(const Bytes &key,
+                                          std::uint64_t epoch);
 
     /** @deprecated Out-parameter variant kept for existing callers; new
      *  code should use open(). */
@@ -145,8 +151,10 @@ class TpmTransportServer
     Status accept(const Bytes &envelope);
 
     /** Resume a session from a 32-byte key the TPM holds a ticket for.
-     *  Charges only a cheap command's latency. */
-    Status acceptResumed(const Bytes &key);
+     *  Charges only a cheap command's latency. Advances the ticket's
+     *  epoch, rekeys the session, and returns the new epoch (the public
+     *  value the client needs for TransportClient::resume). */
+    Result<std::uint64_t> acceptResumed(const Bytes &key);
 
     /** Process one wrapped exchange (single command or batch); returns
      *  the wrapped response. Tampered or replayed messages yield

@@ -194,6 +194,23 @@ TEST_F(SchedulerTest, QuoteOnExitProducesVerifiableQuotes)
     EXPECT_TRUE(tpm::verifyQuote(machine_.tpm().aikPublic(), q, q.nonce));
 }
 
+TEST_F(SchedulerTest, AbortWithoutDeadlineIsNotAMissedDeadline)
+{
+    OsScheduler sched(exec_, Duration::millis(1));
+    PalProgram doomed = simplePal("doomed", Duration::millis(2));
+    doomed.onStart = [](PalHooks &) -> Status {
+        return Error(Errc::permissionDenied, "refuses to start");
+    };
+    ASSERT_TRUE(sched.add(doomed).ok());
+    auto stats = sched.runAll();
+    ASSERT_TRUE(stats.ok());
+    ASSERT_EQ(stats->completions.size(), 1u);
+    EXPECT_FALSE(stats->completions[0].result.ok());
+    // PalCompletion doc: deadlineMet is false iff a deadline was set
+    // and missed -- this PAL never had one.
+    EXPECT_TRUE(stats->completions[0].deadlineMet);
+}
+
 TEST_F(SchedulerTest, AllCpusReservedForLegacyIsAnError)
 {
     OsScheduler sched(exec_, Duration::millis(1), /*legacy_cpus=*/4);

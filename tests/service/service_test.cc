@@ -233,6 +233,30 @@ TEST(ExecutionService, PipeliningCoalescesAuditTraffic)
     EXPECT_DOUBLE_EQ(serial.metrics().coalescingRatio(), 1.0);
 }
 
+TEST(ExecutionService, FailedAuditFlushDoesNotRequeueExecutedPals)
+{
+    Machine m = Machine::forPlatform(PlatformId::recTestbed);
+    ServiceConfig config;
+    config.auditPcr = 99; // out of range: every audit extend is rejected
+    ExecutionService svc(m, config);
+
+    ASSERT_TRUE(svc.submit(serviceRequest("once", Duration::millis(1),
+                                          asciiBytes("in")))
+                    .ok());
+    auto reports = svc.drain();
+    ASSERT_FALSE(reports.ok());
+
+    // The PAL already executed; the failed flush must not leave it
+    // queued for a duplicate run (secureBody side effects, sePCR
+    // extends, double-counted metrics) on the next drain.
+    EXPECT_EQ(svc.queueDepth(), 0u);
+    EXPECT_EQ(svc.metrics().completed, 1u);
+    auto again = svc.drain();
+    ASSERT_TRUE(again.ok());
+    EXPECT_TRUE(again->empty());
+    EXPECT_EQ(svc.metrics().completed, 1u);
+}
+
 TEST(ExecutionService, AuditTrailLandsInTheConfiguredPcr)
 {
     Machine m = Machine::forPlatform(PlatformId::recTestbed);

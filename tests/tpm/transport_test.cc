@@ -144,6 +144,53 @@ TEST_F(TransportTest, WrongSessionKeyCannotIssueCommands)
     EXPECT_FALSE(server_.execute(wrapped).ok());
 }
 
+TEST(TransportResumption, StaleEpochTrafficRejectedAfterResume)
+{
+    Tpm tpm(TpmVendor::ideal);
+    TpmTransportServer server(tpm);
+    Rng rng(31);
+    const Bytes key = rng.bytes(32);
+    auto opened = TransportClient::openWithKey(tpm.srkPublic(), rng, key);
+    ASSERT_TRUE(opened.ok());
+    ASSERT_TRUE(server.accept(opened->envelope).ok());
+
+    // Epoch 0: the attacker records a wrapped extend off the bus.
+    auto recorded = opened->client.wrapCommand(TransportOp::pcrExtend, 9,
+                                               Bytes(20, 0x33));
+    ASSERT_TRUE(server.execute(recorded).ok());
+    const Bytes after_first = *tpm.pcrRead(9);
+
+    // Resumption restarts the counters -- but under a fresh epoch key.
+    auto epoch = server.acceptResumed(key);
+    ASSERT_TRUE(epoch.ok());
+    EXPECT_EQ(*epoch, 1u);
+    auto resumed = TransportClient::resume(key, *epoch);
+    ASSERT_TRUE(resumed.ok());
+
+    // Replaying the epoch-0 recording into the resumed session must
+    // fail the MAC and leave the audit PCR untouched.
+    auto replay = server.execute(recorded);
+    ASSERT_FALSE(replay.ok());
+    EXPECT_EQ(replay.error().code, Errc::integrityFailure);
+    EXPECT_EQ(*tpm.pcrRead(9), after_first);
+
+    // Fresh traffic in the new epoch still round-trips.
+    auto wrapped = resumed->wrapCommand(TransportOp::pcrExtend, 9,
+                                        Bytes(20, 0x44));
+    ASSERT_TRUE(server.execute(wrapped).ok());
+    EXPECT_NE(*tpm.pcrRead(9), after_first);
+}
+
+TEST(TransportResumption, UnknownKeyCannotResume)
+{
+    Tpm tpm(TpmVendor::ideal);
+    TpmTransportServer server(tpm);
+    Rng rng(32);
+    auto epoch = server.acceptResumed(rng.bytes(32));
+    ASSERT_FALSE(epoch.ok());
+    EXPECT_EQ(epoch.error().code, Errc::notFound);
+}
+
 TEST_F(TransportTest, WireEncodingRoundTrips)
 {
     auto wrapped = client_->wrapCommand(TransportOp::pcrRead, 3, {});
