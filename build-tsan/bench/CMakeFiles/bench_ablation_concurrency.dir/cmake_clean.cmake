@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_concurrency.dir/bench_ablation_concurrency.cc.o"
+  "CMakeFiles/bench_ablation_concurrency.dir/bench_ablation_concurrency.cc.o.d"
+  "bench_ablation_concurrency"
+  "bench_ablation_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hash_location.dir/bench_ablation_hash_location.cc.o"
+  "CMakeFiles/bench_ablation_hash_location.dir/bench_ablation_hash_location.cc.o.d"
+  "bench_ablation_hash_location"
+  "bench_ablation_hash_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hash_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

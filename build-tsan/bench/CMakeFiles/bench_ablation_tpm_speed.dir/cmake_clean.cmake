@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tpm_speed.dir/bench_ablation_tpm_speed.cc.o"
+  "CMakeFiles/bench_ablation_tpm_speed.dir/bench_ablation_tpm_speed.cc.o.d"
+  "bench_ablation_tpm_speed"
+  "bench_ablation_tpm_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tpm_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure2_pal_overhead.dir/bench_figure2_pal_overhead.cc.o"
+  "CMakeFiles/bench_figure2_pal_overhead.dir/bench_figure2_pal_overhead.cc.o.d"
+  "bench_figure2_pal_overhead"
+  "bench_figure2_pal_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure2_pal_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure3_tpm_micro.dir/bench_figure3_tpm_micro.cc.o"
+  "CMakeFiles/bench_figure3_tpm_micro.dir/bench_figure3_tpm_micro.cc.o.d"
+  "bench_figure3_tpm_micro"
+  "bench_figure3_tpm_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure3_tpm_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

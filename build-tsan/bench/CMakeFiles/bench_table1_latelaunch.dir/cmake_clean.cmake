@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_latelaunch.dir/bench_table1_latelaunch.cc.o"
+  "CMakeFiles/bench_table1_latelaunch.dir/bench_table1_latelaunch.cc.o.d"
+  "bench_table1_latelaunch"
+  "bench_table1_latelaunch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_latelaunch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

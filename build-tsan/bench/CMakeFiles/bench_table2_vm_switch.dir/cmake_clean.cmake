@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_vm_switch.dir/bench_table2_vm_switch.cc.o"
+  "CMakeFiles/bench_table2_vm_switch.dir/bench_table2_vm_switch.cc.o.d"
+  "bench_table2_vm_switch"
+  "bench_table2_vm_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_vm_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_factoring.dir/distributed_factoring.cpp.o"
+  "CMakeFiles/distributed_factoring.dir/distributed_factoring.cpp.o.d"
+  "distributed_factoring"
+  "distributed_factoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_factoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

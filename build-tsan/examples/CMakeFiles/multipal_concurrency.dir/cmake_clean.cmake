@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipal_concurrency.dir/multipal_concurrency.cpp.o"
+  "CMakeFiles/multipal_concurrency.dir/multipal_concurrency.cpp.o.d"
+  "multipal_concurrency"
+  "multipal_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipal_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

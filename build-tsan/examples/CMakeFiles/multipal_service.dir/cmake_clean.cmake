@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipal_service.dir/multipal_service.cpp.o"
+  "CMakeFiles/multipal_service.dir/multipal_service.cpp.o.d"
+  "multipal_service"
+  "multipal_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipal_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

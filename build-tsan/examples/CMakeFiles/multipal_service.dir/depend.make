@@ -1,0 +1,2 @@
+# Empty dependencies file for multipal_service.
+# This may be replaced when dependencies are built.

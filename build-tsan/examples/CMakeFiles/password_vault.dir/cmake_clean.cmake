@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/password_vault.dir/password_vault.cpp.o"
+  "CMakeFiles/password_vault.dir/password_vault.cpp.o.d"
+  "password_vault"
+  "password_vault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/password_vault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for password_vault.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for password_vault.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootkit_scan.dir/rootkit_scan.cpp.o"
+  "CMakeFiles/rootkit_scan.dir/rootkit_scan.cpp.o.d"
+  "rootkit_scan"
+  "rootkit_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootkit_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_ca.dir/secure_ca.cpp.o"
+  "CMakeFiles/secure_ca.dir/secure_ca.cpp.o.d"
+  "secure_ca"
+  "secure_ca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_ca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

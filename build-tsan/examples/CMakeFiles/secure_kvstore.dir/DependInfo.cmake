@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/secure_kvstore.cpp" "examples/CMakeFiles/secure_kvstore.dir/secure_kvstore.cpp.o" "gcc" "examples/CMakeFiles/secure_kvstore.dir/secure_kvstore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_apps.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_service.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_rec.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_sea.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_latelaunch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_machine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_tpm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_kvstore.dir/secure_kvstore.cpp.o"
+  "CMakeFiles/secure_kvstore.dir/secure_kvstore.cpp.o.d"
+  "secure_kvstore"
+  "secure_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

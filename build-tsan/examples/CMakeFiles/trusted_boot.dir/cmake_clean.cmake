@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trusted_boot.dir/trusted_boot.cpp.o"
+  "CMakeFiles/trusted_boot.dir/trusted_boot.cpp.o.d"
+  "trusted_boot"
+  "trusted_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trusted_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

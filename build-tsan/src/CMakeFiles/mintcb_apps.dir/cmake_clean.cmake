@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mintcb_apps.dir/apps/ca_pal.cc.o"
+  "CMakeFiles/mintcb_apps.dir/apps/ca_pal.cc.o.d"
+  "CMakeFiles/mintcb_apps.dir/apps/factoring_pal.cc.o"
+  "CMakeFiles/mintcb_apps.dir/apps/factoring_pal.cc.o.d"
+  "CMakeFiles/mintcb_apps.dir/apps/kvstore_pal.cc.o"
+  "CMakeFiles/mintcb_apps.dir/apps/kvstore_pal.cc.o.d"
+  "CMakeFiles/mintcb_apps.dir/apps/rootkit_pal.cc.o"
+  "CMakeFiles/mintcb_apps.dir/apps/rootkit_pal.cc.o.d"
+  "CMakeFiles/mintcb_apps.dir/apps/ssh_pal.cc.o"
+  "CMakeFiles/mintcb_apps.dir/apps/ssh_pal.cc.o.d"
+  "libmintcb_apps.a"
+  "libmintcb_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mintcb_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bytebuf.cc" "src/CMakeFiles/mintcb_common.dir/common/bytebuf.cc.o" "gcc" "src/CMakeFiles/mintcb_common.dir/common/bytebuf.cc.o.d"
+  "/root/repo/src/common/hex.cc" "src/CMakeFiles/mintcb_common.dir/common/hex.cc.o" "gcc" "src/CMakeFiles/mintcb_common.dir/common/hex.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/mintcb_common.dir/common/log.cc.o" "gcc" "src/CMakeFiles/mintcb_common.dir/common/log.cc.o.d"
+  "/root/repo/src/common/result.cc" "src/CMakeFiles/mintcb_common.dir/common/result.cc.o" "gcc" "src/CMakeFiles/mintcb_common.dir/common/result.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/mintcb_common.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/mintcb_common.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/simtime.cc" "src/CMakeFiles/mintcb_common.dir/common/simtime.cc.o" "gcc" "src/CMakeFiles/mintcb_common.dir/common/simtime.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/mintcb_common.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/mintcb_common.dir/common/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

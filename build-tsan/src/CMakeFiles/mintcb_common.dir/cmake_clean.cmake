@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mintcb_common.dir/common/bytebuf.cc.o"
+  "CMakeFiles/mintcb_common.dir/common/bytebuf.cc.o.d"
+  "CMakeFiles/mintcb_common.dir/common/hex.cc.o"
+  "CMakeFiles/mintcb_common.dir/common/hex.cc.o.d"
+  "CMakeFiles/mintcb_common.dir/common/log.cc.o"
+  "CMakeFiles/mintcb_common.dir/common/log.cc.o.d"
+  "CMakeFiles/mintcb_common.dir/common/result.cc.o"
+  "CMakeFiles/mintcb_common.dir/common/result.cc.o.d"
+  "CMakeFiles/mintcb_common.dir/common/rng.cc.o"
+  "CMakeFiles/mintcb_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/mintcb_common.dir/common/simtime.cc.o"
+  "CMakeFiles/mintcb_common.dir/common/simtime.cc.o.d"
+  "CMakeFiles/mintcb_common.dir/common/stats.cc.o"
+  "CMakeFiles/mintcb_common.dir/common/stats.cc.o.d"
+  "libmintcb_common.a"
+  "libmintcb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mintcb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bignum.cc" "src/CMakeFiles/mintcb_crypto.dir/crypto/bignum.cc.o" "gcc" "src/CMakeFiles/mintcb_crypto.dir/crypto/bignum.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/CMakeFiles/mintcb_crypto.dir/crypto/hmac.cc.o" "gcc" "src/CMakeFiles/mintcb_crypto.dir/crypto/hmac.cc.o.d"
+  "/root/repo/src/crypto/keycache.cc" "src/CMakeFiles/mintcb_crypto.dir/crypto/keycache.cc.o" "gcc" "src/CMakeFiles/mintcb_crypto.dir/crypto/keycache.cc.o.d"
+  "/root/repo/src/crypto/prime.cc" "src/CMakeFiles/mintcb_crypto.dir/crypto/prime.cc.o" "gcc" "src/CMakeFiles/mintcb_crypto.dir/crypto/prime.cc.o.d"
+  "/root/repo/src/crypto/rsa.cc" "src/CMakeFiles/mintcb_crypto.dir/crypto/rsa.cc.o" "gcc" "src/CMakeFiles/mintcb_crypto.dir/crypto/rsa.cc.o.d"
+  "/root/repo/src/crypto/sha1.cc" "src/CMakeFiles/mintcb_crypto.dir/crypto/sha1.cc.o" "gcc" "src/CMakeFiles/mintcb_crypto.dir/crypto/sha1.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/CMakeFiles/mintcb_crypto.dir/crypto/sha256.cc.o" "gcc" "src/CMakeFiles/mintcb_crypto.dir/crypto/sha256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

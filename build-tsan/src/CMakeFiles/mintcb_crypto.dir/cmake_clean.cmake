@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mintcb_crypto.dir/crypto/bignum.cc.o"
+  "CMakeFiles/mintcb_crypto.dir/crypto/bignum.cc.o.d"
+  "CMakeFiles/mintcb_crypto.dir/crypto/hmac.cc.o"
+  "CMakeFiles/mintcb_crypto.dir/crypto/hmac.cc.o.d"
+  "CMakeFiles/mintcb_crypto.dir/crypto/keycache.cc.o"
+  "CMakeFiles/mintcb_crypto.dir/crypto/keycache.cc.o.d"
+  "CMakeFiles/mintcb_crypto.dir/crypto/prime.cc.o"
+  "CMakeFiles/mintcb_crypto.dir/crypto/prime.cc.o.d"
+  "CMakeFiles/mintcb_crypto.dir/crypto/rsa.cc.o"
+  "CMakeFiles/mintcb_crypto.dir/crypto/rsa.cc.o.d"
+  "CMakeFiles/mintcb_crypto.dir/crypto/sha1.cc.o"
+  "CMakeFiles/mintcb_crypto.dir/crypto/sha1.cc.o.d"
+  "CMakeFiles/mintcb_crypto.dir/crypto/sha256.cc.o"
+  "CMakeFiles/mintcb_crypto.dir/crypto/sha256.cc.o.d"
+  "libmintcb_crypto.a"
+  "libmintcb_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mintcb_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/latelaunch/acmod.cc" "src/CMakeFiles/mintcb_latelaunch.dir/latelaunch/acmod.cc.o" "gcc" "src/CMakeFiles/mintcb_latelaunch.dir/latelaunch/acmod.cc.o.d"
+  "/root/repo/src/latelaunch/latelaunch.cc" "src/CMakeFiles/mintcb_latelaunch.dir/latelaunch/latelaunch.cc.o" "gcc" "src/CMakeFiles/mintcb_latelaunch.dir/latelaunch/latelaunch.cc.o.d"
+  "/root/repo/src/latelaunch/slb.cc" "src/CMakeFiles/mintcb_latelaunch.dir/latelaunch/slb.cc.o" "gcc" "src/CMakeFiles/mintcb_latelaunch.dir/latelaunch/slb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_machine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_tpm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mintcb_latelaunch.dir/latelaunch/acmod.cc.o"
+  "CMakeFiles/mintcb_latelaunch.dir/latelaunch/acmod.cc.o.d"
+  "CMakeFiles/mintcb_latelaunch.dir/latelaunch/latelaunch.cc.o"
+  "CMakeFiles/mintcb_latelaunch.dir/latelaunch/latelaunch.cc.o.d"
+  "CMakeFiles/mintcb_latelaunch.dir/latelaunch/slb.cc.o"
+  "CMakeFiles/mintcb_latelaunch.dir/latelaunch/slb.cc.o.d"
+  "libmintcb_latelaunch.a"
+  "libmintcb_latelaunch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mintcb_latelaunch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/cpu.cc" "src/CMakeFiles/mintcb_machine.dir/machine/cpu.cc.o" "gcc" "src/CMakeFiles/mintcb_machine.dir/machine/cpu.cc.o.d"
+  "/root/repo/src/machine/device.cc" "src/CMakeFiles/mintcb_machine.dir/machine/device.cc.o" "gcc" "src/CMakeFiles/mintcb_machine.dir/machine/device.cc.o.d"
+  "/root/repo/src/machine/lpc.cc" "src/CMakeFiles/mintcb_machine.dir/machine/lpc.cc.o" "gcc" "src/CMakeFiles/mintcb_machine.dir/machine/lpc.cc.o.d"
+  "/root/repo/src/machine/machine.cc" "src/CMakeFiles/mintcb_machine.dir/machine/machine.cc.o" "gcc" "src/CMakeFiles/mintcb_machine.dir/machine/machine.cc.o.d"
+  "/root/repo/src/machine/memctrl.cc" "src/CMakeFiles/mintcb_machine.dir/machine/memctrl.cc.o" "gcc" "src/CMakeFiles/mintcb_machine.dir/machine/memctrl.cc.o.d"
+  "/root/repo/src/machine/memory.cc" "src/CMakeFiles/mintcb_machine.dir/machine/memory.cc.o" "gcc" "src/CMakeFiles/mintcb_machine.dir/machine/memory.cc.o.d"
+  "/root/repo/src/machine/platform.cc" "src/CMakeFiles/mintcb_machine.dir/machine/platform.cc.o" "gcc" "src/CMakeFiles/mintcb_machine.dir/machine/platform.cc.o.d"
+  "/root/repo/src/machine/platformstats.cc" "src/CMakeFiles/mintcb_machine.dir/machine/platformstats.cc.o" "gcc" "src/CMakeFiles/mintcb_machine.dir/machine/platformstats.cc.o.d"
+  "/root/repo/src/machine/vmswitch.cc" "src/CMakeFiles/mintcb_machine.dir/machine/vmswitch.cc.o" "gcc" "src/CMakeFiles/mintcb_machine.dir/machine/vmswitch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_tpm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

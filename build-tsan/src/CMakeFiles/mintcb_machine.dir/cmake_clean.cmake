@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mintcb_machine.dir/machine/cpu.cc.o"
+  "CMakeFiles/mintcb_machine.dir/machine/cpu.cc.o.d"
+  "CMakeFiles/mintcb_machine.dir/machine/device.cc.o"
+  "CMakeFiles/mintcb_machine.dir/machine/device.cc.o.d"
+  "CMakeFiles/mintcb_machine.dir/machine/lpc.cc.o"
+  "CMakeFiles/mintcb_machine.dir/machine/lpc.cc.o.d"
+  "CMakeFiles/mintcb_machine.dir/machine/machine.cc.o"
+  "CMakeFiles/mintcb_machine.dir/machine/machine.cc.o.d"
+  "CMakeFiles/mintcb_machine.dir/machine/memctrl.cc.o"
+  "CMakeFiles/mintcb_machine.dir/machine/memctrl.cc.o.d"
+  "CMakeFiles/mintcb_machine.dir/machine/memory.cc.o"
+  "CMakeFiles/mintcb_machine.dir/machine/memory.cc.o.d"
+  "CMakeFiles/mintcb_machine.dir/machine/platform.cc.o"
+  "CMakeFiles/mintcb_machine.dir/machine/platform.cc.o.d"
+  "CMakeFiles/mintcb_machine.dir/machine/platformstats.cc.o"
+  "CMakeFiles/mintcb_machine.dir/machine/platformstats.cc.o.d"
+  "CMakeFiles/mintcb_machine.dir/machine/vmswitch.cc.o"
+  "CMakeFiles/mintcb_machine.dir/machine/vmswitch.cc.o.d"
+  "libmintcb_machine.a"
+  "libmintcb_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mintcb_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

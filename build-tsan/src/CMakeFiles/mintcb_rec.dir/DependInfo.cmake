@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rec/instructions.cc" "src/CMakeFiles/mintcb_rec.dir/rec/instructions.cc.o" "gcc" "src/CMakeFiles/mintcb_rec.dir/rec/instructions.cc.o.d"
+  "/root/repo/src/rec/lifecycle.cc" "src/CMakeFiles/mintcb_rec.dir/rec/lifecycle.cc.o" "gcc" "src/CMakeFiles/mintcb_rec.dir/rec/lifecycle.cc.o.d"
+  "/root/repo/src/rec/oneshot.cc" "src/CMakeFiles/mintcb_rec.dir/rec/oneshot.cc.o" "gcc" "src/CMakeFiles/mintcb_rec.dir/rec/oneshot.cc.o.d"
+  "/root/repo/src/rec/scheduler.cc" "src/CMakeFiles/mintcb_rec.dir/rec/scheduler.cc.o" "gcc" "src/CMakeFiles/mintcb_rec.dir/rec/scheduler.cc.o.d"
+  "/root/repo/src/rec/secb.cc" "src/CMakeFiles/mintcb_rec.dir/rec/secb.cc.o" "gcc" "src/CMakeFiles/mintcb_rec.dir/rec/secb.cc.o.d"
+  "/root/repo/src/rec/sepcr.cc" "src/CMakeFiles/mintcb_rec.dir/rec/sepcr.cc.o" "gcc" "src/CMakeFiles/mintcb_rec.dir/rec/sepcr.cc.o.d"
+  "/root/repo/src/rec/sepcr_set.cc" "src/CMakeFiles/mintcb_rec.dir/rec/sepcr_set.cc.o" "gcc" "src/CMakeFiles/mintcb_rec.dir/rec/sepcr_set.cc.o.d"
+  "/root/repo/src/rec/verifier.cc" "src/CMakeFiles/mintcb_rec.dir/rec/verifier.cc.o" "gcc" "src/CMakeFiles/mintcb_rec.dir/rec/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_sea.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_latelaunch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_machine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_tpm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mintcb_rec.dir/rec/instructions.cc.o"
+  "CMakeFiles/mintcb_rec.dir/rec/instructions.cc.o.d"
+  "CMakeFiles/mintcb_rec.dir/rec/lifecycle.cc.o"
+  "CMakeFiles/mintcb_rec.dir/rec/lifecycle.cc.o.d"
+  "CMakeFiles/mintcb_rec.dir/rec/oneshot.cc.o"
+  "CMakeFiles/mintcb_rec.dir/rec/oneshot.cc.o.d"
+  "CMakeFiles/mintcb_rec.dir/rec/scheduler.cc.o"
+  "CMakeFiles/mintcb_rec.dir/rec/scheduler.cc.o.d"
+  "CMakeFiles/mintcb_rec.dir/rec/secb.cc.o"
+  "CMakeFiles/mintcb_rec.dir/rec/secb.cc.o.d"
+  "CMakeFiles/mintcb_rec.dir/rec/sepcr.cc.o"
+  "CMakeFiles/mintcb_rec.dir/rec/sepcr.cc.o.d"
+  "CMakeFiles/mintcb_rec.dir/rec/sepcr_set.cc.o"
+  "CMakeFiles/mintcb_rec.dir/rec/sepcr_set.cc.o.d"
+  "CMakeFiles/mintcb_rec.dir/rec/verifier.cc.o"
+  "CMakeFiles/mintcb_rec.dir/rec/verifier.cc.o.d"
+  "libmintcb_rec.a"
+  "libmintcb_rec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mintcb_rec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

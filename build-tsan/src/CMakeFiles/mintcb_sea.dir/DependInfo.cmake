@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sea/attestation.cc" "src/CMakeFiles/mintcb_sea.dir/sea/attestation.cc.o" "gcc" "src/CMakeFiles/mintcb_sea.dir/sea/attestation.cc.o.d"
+  "/root/repo/src/sea/measuredboot.cc" "src/CMakeFiles/mintcb_sea.dir/sea/measuredboot.cc.o" "gcc" "src/CMakeFiles/mintcb_sea.dir/sea/measuredboot.cc.o.d"
+  "/root/repo/src/sea/pal.cc" "src/CMakeFiles/mintcb_sea.dir/sea/pal.cc.o" "gcc" "src/CMakeFiles/mintcb_sea.dir/sea/pal.cc.o.d"
+  "/root/repo/src/sea/palgen.cc" "src/CMakeFiles/mintcb_sea.dir/sea/palgen.cc.o" "gcc" "src/CMakeFiles/mintcb_sea.dir/sea/palgen.cc.o.d"
+  "/root/repo/src/sea/request.cc" "src/CMakeFiles/mintcb_sea.dir/sea/request.cc.o" "gcc" "src/CMakeFiles/mintcb_sea.dir/sea/request.cc.o.d"
+  "/root/repo/src/sea/session.cc" "src/CMakeFiles/mintcb_sea.dir/sea/session.cc.o" "gcc" "src/CMakeFiles/mintcb_sea.dir/sea/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_latelaunch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_machine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_tpm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mintcb_sea.dir/sea/attestation.cc.o"
+  "CMakeFiles/mintcb_sea.dir/sea/attestation.cc.o.d"
+  "CMakeFiles/mintcb_sea.dir/sea/measuredboot.cc.o"
+  "CMakeFiles/mintcb_sea.dir/sea/measuredboot.cc.o.d"
+  "CMakeFiles/mintcb_sea.dir/sea/pal.cc.o"
+  "CMakeFiles/mintcb_sea.dir/sea/pal.cc.o.d"
+  "CMakeFiles/mintcb_sea.dir/sea/palgen.cc.o"
+  "CMakeFiles/mintcb_sea.dir/sea/palgen.cc.o.d"
+  "CMakeFiles/mintcb_sea.dir/sea/request.cc.o"
+  "CMakeFiles/mintcb_sea.dir/sea/request.cc.o.d"
+  "CMakeFiles/mintcb_sea.dir/sea/session.cc.o"
+  "CMakeFiles/mintcb_sea.dir/sea/session.cc.o.d"
+  "libmintcb_sea.a"
+  "libmintcb_sea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mintcb_sea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mintcb_service.dir/sea/service.cc.o"
+  "CMakeFiles/mintcb_service.dir/sea/service.cc.o.d"
+  "libmintcb_service.a"
+  "libmintcb_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mintcb_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

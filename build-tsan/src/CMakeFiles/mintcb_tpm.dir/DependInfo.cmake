@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpm/blob.cc" "src/CMakeFiles/mintcb_tpm.dir/tpm/blob.cc.o" "gcc" "src/CMakeFiles/mintcb_tpm.dir/tpm/blob.cc.o.d"
+  "/root/repo/src/tpm/eventlog.cc" "src/CMakeFiles/mintcb_tpm.dir/tpm/eventlog.cc.o" "gcc" "src/CMakeFiles/mintcb_tpm.dir/tpm/eventlog.cc.o.d"
+  "/root/repo/src/tpm/pcr.cc" "src/CMakeFiles/mintcb_tpm.dir/tpm/pcr.cc.o" "gcc" "src/CMakeFiles/mintcb_tpm.dir/tpm/pcr.cc.o.d"
+  "/root/repo/src/tpm/timing.cc" "src/CMakeFiles/mintcb_tpm.dir/tpm/timing.cc.o" "gcc" "src/CMakeFiles/mintcb_tpm.dir/tpm/timing.cc.o.d"
+  "/root/repo/src/tpm/tpm.cc" "src/CMakeFiles/mintcb_tpm.dir/tpm/tpm.cc.o" "gcc" "src/CMakeFiles/mintcb_tpm.dir/tpm/tpm.cc.o.d"
+  "/root/repo/src/tpm/transport.cc" "src/CMakeFiles/mintcb_tpm.dir/tpm/transport.cc.o" "gcc" "src/CMakeFiles/mintcb_tpm.dir/tpm/transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mintcb_tpm.dir/tpm/blob.cc.o"
+  "CMakeFiles/mintcb_tpm.dir/tpm/blob.cc.o.d"
+  "CMakeFiles/mintcb_tpm.dir/tpm/eventlog.cc.o"
+  "CMakeFiles/mintcb_tpm.dir/tpm/eventlog.cc.o.d"
+  "CMakeFiles/mintcb_tpm.dir/tpm/pcr.cc.o"
+  "CMakeFiles/mintcb_tpm.dir/tpm/pcr.cc.o.d"
+  "CMakeFiles/mintcb_tpm.dir/tpm/timing.cc.o"
+  "CMakeFiles/mintcb_tpm.dir/tpm/timing.cc.o.d"
+  "CMakeFiles/mintcb_tpm.dir/tpm/tpm.cc.o"
+  "CMakeFiles/mintcb_tpm.dir/tpm/tpm.cc.o.d"
+  "CMakeFiles/mintcb_tpm.dir/tpm/transport.cc.o"
+  "CMakeFiles/mintcb_tpm.dir/tpm/transport.cc.o.d"
+  "libmintcb_tpm.a"
+  "libmintcb_tpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mintcb_tpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps.dir/apps/ca_test.cc.o"
+  "CMakeFiles/test_apps.dir/apps/ca_test.cc.o.d"
+  "CMakeFiles/test_apps.dir/apps/factoring_test.cc.o"
+  "CMakeFiles/test_apps.dir/apps/factoring_test.cc.o.d"
+  "CMakeFiles/test_apps.dir/apps/kvstore_test.cc.o"
+  "CMakeFiles/test_apps.dir/apps/kvstore_test.cc.o.d"
+  "CMakeFiles/test_apps.dir/apps/rootkit_test.cc.o"
+  "CMakeFiles/test_apps.dir/apps/rootkit_test.cc.o.d"
+  "CMakeFiles/test_apps.dir/apps/ssh_test.cc.o"
+  "CMakeFiles/test_apps.dir/apps/ssh_test.cc.o.d"
+  "test_apps"
+  "test_apps.pdb"
+  "test_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

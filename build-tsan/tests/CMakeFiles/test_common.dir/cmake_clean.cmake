@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/bytebuf_test.cc.o"
+  "CMakeFiles/test_common.dir/common/bytebuf_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/hex_test.cc.o"
+  "CMakeFiles/test_common.dir/common/hex_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/result_test.cc.o"
+  "CMakeFiles/test_common.dir/common/result_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/rng_test.cc.o"
+  "CMakeFiles/test_common.dir/common/rng_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/simtime_test.cc.o"
+  "CMakeFiles/test_common.dir/common/simtime_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/stats_test.cc.o"
+  "CMakeFiles/test_common.dir/common/stats_test.cc.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

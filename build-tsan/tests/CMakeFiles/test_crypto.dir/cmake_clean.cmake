@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/crypto/bignum_kat_test.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/bignum_kat_test.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/bignum_test.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/bignum_test.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/hmac_test.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/hmac_test.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/keycache_test.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/keycache_test.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/prime_test.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/prime_test.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/rsa_test.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/rsa_test.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/sha1_test.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/sha1_test.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/sha256_test.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/sha256_test.cc.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

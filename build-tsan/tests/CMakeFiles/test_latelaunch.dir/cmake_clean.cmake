@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_latelaunch.dir/latelaunch/acmod_test.cc.o"
+  "CMakeFiles/test_latelaunch.dir/latelaunch/acmod_test.cc.o.d"
+  "CMakeFiles/test_latelaunch.dir/latelaunch/latelaunch_test.cc.o"
+  "CMakeFiles/test_latelaunch.dir/latelaunch/latelaunch_test.cc.o.d"
+  "CMakeFiles/test_latelaunch.dir/latelaunch/slb_test.cc.o"
+  "CMakeFiles/test_latelaunch.dir/latelaunch/slb_test.cc.o.d"
+  "test_latelaunch"
+  "test_latelaunch.pdb"
+  "test_latelaunch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_latelaunch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine.dir/machine/machine_test.cc.o"
+  "CMakeFiles/test_machine.dir/machine/machine_test.cc.o.d"
+  "CMakeFiles/test_machine.dir/machine/memctrl_test.cc.o"
+  "CMakeFiles/test_machine.dir/machine/memctrl_test.cc.o.d"
+  "CMakeFiles/test_machine.dir/machine/memory_test.cc.o"
+  "CMakeFiles/test_machine.dir/machine/memory_test.cc.o.d"
+  "CMakeFiles/test_machine.dir/machine/platform_test.cc.o"
+  "CMakeFiles/test_machine.dir/machine/platform_test.cc.o.d"
+  "CMakeFiles/test_machine.dir/machine/platformstats_test.cc.o"
+  "CMakeFiles/test_machine.dir/machine/platformstats_test.cc.o.d"
+  "test_machine"
+  "test_machine.pdb"
+  "test_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

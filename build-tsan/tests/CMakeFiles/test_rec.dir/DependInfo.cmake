@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rec/instructions_test.cc" "tests/CMakeFiles/test_rec.dir/rec/instructions_test.cc.o" "gcc" "tests/CMakeFiles/test_rec.dir/rec/instructions_test.cc.o.d"
+  "/root/repo/tests/rec/interrupts_test.cc" "tests/CMakeFiles/test_rec.dir/rec/interrupts_test.cc.o" "gcc" "tests/CMakeFiles/test_rec.dir/rec/interrupts_test.cc.o.d"
+  "/root/repo/tests/rec/lifecycle_test.cc" "tests/CMakeFiles/test_rec.dir/rec/lifecycle_test.cc.o" "gcc" "tests/CMakeFiles/test_rec.dir/rec/lifecycle_test.cc.o.d"
+  "/root/repo/tests/rec/oneshot_test.cc" "tests/CMakeFiles/test_rec.dir/rec/oneshot_test.cc.o" "gcc" "tests/CMakeFiles/test_rec.dir/rec/oneshot_test.cc.o.d"
+  "/root/repo/tests/rec/preemption_test.cc" "tests/CMakeFiles/test_rec.dir/rec/preemption_test.cc.o" "gcc" "tests/CMakeFiles/test_rec.dir/rec/preemption_test.cc.o.d"
+  "/root/repo/tests/rec/scheduler_test.cc" "tests/CMakeFiles/test_rec.dir/rec/scheduler_test.cc.o" "gcc" "tests/CMakeFiles/test_rec.dir/rec/scheduler_test.cc.o.d"
+  "/root/repo/tests/rec/sepcr_set_test.cc" "tests/CMakeFiles/test_rec.dir/rec/sepcr_set_test.cc.o" "gcc" "tests/CMakeFiles/test_rec.dir/rec/sepcr_set_test.cc.o.d"
+  "/root/repo/tests/rec/sepcr_test.cc" "tests/CMakeFiles/test_rec.dir/rec/sepcr_test.cc.o" "gcc" "tests/CMakeFiles/test_rec.dir/rec/sepcr_test.cc.o.d"
+  "/root/repo/tests/rec/verifier_test.cc" "tests/CMakeFiles/test_rec.dir/rec/verifier_test.cc.o" "gcc" "tests/CMakeFiles/test_rec.dir/rec/verifier_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_apps.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_service.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_rec.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_sea.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_latelaunch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_machine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_tpm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

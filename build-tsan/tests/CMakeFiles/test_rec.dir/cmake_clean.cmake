@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rec.dir/rec/instructions_test.cc.o"
+  "CMakeFiles/test_rec.dir/rec/instructions_test.cc.o.d"
+  "CMakeFiles/test_rec.dir/rec/interrupts_test.cc.o"
+  "CMakeFiles/test_rec.dir/rec/interrupts_test.cc.o.d"
+  "CMakeFiles/test_rec.dir/rec/lifecycle_test.cc.o"
+  "CMakeFiles/test_rec.dir/rec/lifecycle_test.cc.o.d"
+  "CMakeFiles/test_rec.dir/rec/oneshot_test.cc.o"
+  "CMakeFiles/test_rec.dir/rec/oneshot_test.cc.o.d"
+  "CMakeFiles/test_rec.dir/rec/preemption_test.cc.o"
+  "CMakeFiles/test_rec.dir/rec/preemption_test.cc.o.d"
+  "CMakeFiles/test_rec.dir/rec/scheduler_test.cc.o"
+  "CMakeFiles/test_rec.dir/rec/scheduler_test.cc.o.d"
+  "CMakeFiles/test_rec.dir/rec/sepcr_set_test.cc.o"
+  "CMakeFiles/test_rec.dir/rec/sepcr_set_test.cc.o.d"
+  "CMakeFiles/test_rec.dir/rec/sepcr_test.cc.o"
+  "CMakeFiles/test_rec.dir/rec/sepcr_test.cc.o.d"
+  "CMakeFiles/test_rec.dir/rec/verifier_test.cc.o"
+  "CMakeFiles/test_rec.dir/rec/verifier_test.cc.o.d"
+  "test_rec"
+  "test_rec.pdb"
+  "test_rec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

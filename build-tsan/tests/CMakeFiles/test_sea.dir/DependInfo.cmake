@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sea/attestation_test.cc" "tests/CMakeFiles/test_sea.dir/sea/attestation_test.cc.o" "gcc" "tests/CMakeFiles/test_sea.dir/sea/attestation_test.cc.o.d"
+  "/root/repo/tests/sea/intel_session_test.cc" "tests/CMakeFiles/test_sea.dir/sea/intel_session_test.cc.o" "gcc" "tests/CMakeFiles/test_sea.dir/sea/intel_session_test.cc.o.d"
+  "/root/repo/tests/sea/iobinding_test.cc" "tests/CMakeFiles/test_sea.dir/sea/iobinding_test.cc.o" "gcc" "tests/CMakeFiles/test_sea.dir/sea/iobinding_test.cc.o.d"
+  "/root/repo/tests/sea/measuredboot_test.cc" "tests/CMakeFiles/test_sea.dir/sea/measuredboot_test.cc.o" "gcc" "tests/CMakeFiles/test_sea.dir/sea/measuredboot_test.cc.o.d"
+  "/root/repo/tests/sea/notpm_test.cc" "tests/CMakeFiles/test_sea.dir/sea/notpm_test.cc.o" "gcc" "tests/CMakeFiles/test_sea.dir/sea/notpm_test.cc.o.d"
+  "/root/repo/tests/sea/pal_test.cc" "tests/CMakeFiles/test_sea.dir/sea/pal_test.cc.o" "gcc" "tests/CMakeFiles/test_sea.dir/sea/pal_test.cc.o.d"
+  "/root/repo/tests/sea/session_test.cc" "tests/CMakeFiles/test_sea.dir/sea/session_test.cc.o" "gcc" "tests/CMakeFiles/test_sea.dir/sea/session_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_apps.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_service.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_rec.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_sea.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_latelaunch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_machine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_tpm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

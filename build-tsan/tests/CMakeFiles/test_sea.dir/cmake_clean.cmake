@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sea.dir/sea/attestation_test.cc.o"
+  "CMakeFiles/test_sea.dir/sea/attestation_test.cc.o.d"
+  "CMakeFiles/test_sea.dir/sea/intel_session_test.cc.o"
+  "CMakeFiles/test_sea.dir/sea/intel_session_test.cc.o.d"
+  "CMakeFiles/test_sea.dir/sea/iobinding_test.cc.o"
+  "CMakeFiles/test_sea.dir/sea/iobinding_test.cc.o.d"
+  "CMakeFiles/test_sea.dir/sea/measuredboot_test.cc.o"
+  "CMakeFiles/test_sea.dir/sea/measuredboot_test.cc.o.d"
+  "CMakeFiles/test_sea.dir/sea/notpm_test.cc.o"
+  "CMakeFiles/test_sea.dir/sea/notpm_test.cc.o.d"
+  "CMakeFiles/test_sea.dir/sea/pal_test.cc.o"
+  "CMakeFiles/test_sea.dir/sea/pal_test.cc.o.d"
+  "CMakeFiles/test_sea.dir/sea/session_test.cc.o"
+  "CMakeFiles/test_sea.dir/sea/session_test.cc.o.d"
+  "test_sea"
+  "test_sea.pdb"
+  "test_sea[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tpm/blob_test.cc" "tests/CMakeFiles/test_tpm.dir/tpm/blob_test.cc.o" "gcc" "tests/CMakeFiles/test_tpm.dir/tpm/blob_test.cc.o.d"
+  "/root/repo/tests/tpm/counter_test.cc" "tests/CMakeFiles/test_tpm.dir/tpm/counter_test.cc.o" "gcc" "tests/CMakeFiles/test_tpm.dir/tpm/counter_test.cc.o.d"
+  "/root/repo/tests/tpm/eventlog_test.cc" "tests/CMakeFiles/test_tpm.dir/tpm/eventlog_test.cc.o" "gcc" "tests/CMakeFiles/test_tpm.dir/tpm/eventlog_test.cc.o.d"
+  "/root/repo/tests/tpm/nvram_test.cc" "tests/CMakeFiles/test_tpm.dir/tpm/nvram_test.cc.o" "gcc" "tests/CMakeFiles/test_tpm.dir/tpm/nvram_test.cc.o.d"
+  "/root/repo/tests/tpm/pcr_test.cc" "tests/CMakeFiles/test_tpm.dir/tpm/pcr_test.cc.o" "gcc" "tests/CMakeFiles/test_tpm.dir/tpm/pcr_test.cc.o.d"
+  "/root/repo/tests/tpm/serialization_test.cc" "tests/CMakeFiles/test_tpm.dir/tpm/serialization_test.cc.o" "gcc" "tests/CMakeFiles/test_tpm.dir/tpm/serialization_test.cc.o.d"
+  "/root/repo/tests/tpm/timing_test.cc" "tests/CMakeFiles/test_tpm.dir/tpm/timing_test.cc.o" "gcc" "tests/CMakeFiles/test_tpm.dir/tpm/timing_test.cc.o.d"
+  "/root/repo/tests/tpm/tpm_test.cc" "tests/CMakeFiles/test_tpm.dir/tpm/tpm_test.cc.o" "gcc" "tests/CMakeFiles/test_tpm.dir/tpm/tpm_test.cc.o.d"
+  "/root/repo/tests/tpm/transport_test.cc" "tests/CMakeFiles/test_tpm.dir/tpm/transport_test.cc.o" "gcc" "tests/CMakeFiles/test_tpm.dir/tpm/transport_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_apps.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_service.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_rec.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_sea.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_latelaunch.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_machine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_tpm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mintcb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tpm.dir/tpm/blob_test.cc.o"
+  "CMakeFiles/test_tpm.dir/tpm/blob_test.cc.o.d"
+  "CMakeFiles/test_tpm.dir/tpm/counter_test.cc.o"
+  "CMakeFiles/test_tpm.dir/tpm/counter_test.cc.o.d"
+  "CMakeFiles/test_tpm.dir/tpm/eventlog_test.cc.o"
+  "CMakeFiles/test_tpm.dir/tpm/eventlog_test.cc.o.d"
+  "CMakeFiles/test_tpm.dir/tpm/nvram_test.cc.o"
+  "CMakeFiles/test_tpm.dir/tpm/nvram_test.cc.o.d"
+  "CMakeFiles/test_tpm.dir/tpm/pcr_test.cc.o"
+  "CMakeFiles/test_tpm.dir/tpm/pcr_test.cc.o.d"
+  "CMakeFiles/test_tpm.dir/tpm/serialization_test.cc.o"
+  "CMakeFiles/test_tpm.dir/tpm/serialization_test.cc.o.d"
+  "CMakeFiles/test_tpm.dir/tpm/timing_test.cc.o"
+  "CMakeFiles/test_tpm.dir/tpm/timing_test.cc.o.d"
+  "CMakeFiles/test_tpm.dir/tpm/tpm_test.cc.o"
+  "CMakeFiles/test_tpm.dir/tpm/tpm_test.cc.o.d"
+  "CMakeFiles/test_tpm.dir/tpm/transport_test.cc.o"
+  "CMakeFiles/test_tpm.dir/tpm/transport_test.cc.o.d"
+  "test_tpm"
+  "test_tpm.pdb"
+  "test_tpm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_common[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_property[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_apps[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_rec[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_sea[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_latelaunch[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_machine[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_tpm[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_service[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_crypto[1]_include.cmake")
