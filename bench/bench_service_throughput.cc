@@ -9,8 +9,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <optional>
+
 #include "sea/service.hh"
 #include "support/benchutil.hh"
+#include "verify/race.hh"
+#include "verify/temporal.hh"
+#include "verify/trace.hh"
 
 using namespace mintcb;
 using machine::Machine;
@@ -21,6 +27,58 @@ namespace
 
 constexpr int workloadPals = 16;
 constexpr Duration perPalCompute = Duration::millis(40);
+
+/** --check: run every runWorkload() campaign under the happens-before
+ *  race detector and the temporal trace checker; any finding aborts the
+ *  bench with a nonzero exit. */
+bool checkMode = false;
+std::uint64_t checkedRuns = 0;
+
+/** The executive holds one observer slot; under --check both the race
+ *  detector and the trace recorder need the sync stream. */
+struct SyncFanout final : rec::ExecSyncObserver
+{
+    rec::ExecSyncObserver *a;
+    rec::ExecSyncObserver *b;
+    SyncFanout(rec::ExecSyncObserver *a_, rec::ExecSyncObserver *b_)
+        : a(a_), b(b_)
+    {
+    }
+    void
+    onPalEvent(rec::ExecEvent event, CpuId cpu,
+               const rec::Secb &secb) override
+    {
+        a->onPalEvent(event, cpu, secb);
+        b->onPalEvent(event, cpu, secb);
+    }
+    void
+    onBarrier() override
+    {
+        a->onBarrier();
+        b->onBarrier();
+    }
+};
+
+void
+failCheck(const std::string &what)
+{
+    std::fprintf(stderr, "--check FAILED: %s\n", what.c_str());
+    std::exit(1);
+}
+
+void
+verifyRun(const verify::HbRaceDetector &detector,
+          const verify::ExecutionTrace &trace,
+          const sea::ServiceMetrics &metrics)
+{
+    if (!detector.races().empty())
+        failCheck(detector.str());
+    if (const auto t = verify::checkTemporal(trace); !t.ok())
+        failCheck(t.str());
+    if (const auto m = verify::lintMetrics(metrics); !m.ok())
+        failCheck(m.str());
+    ++checkedRuns;
+}
 
 sea::PalRequest
 workerRequest(int i)
@@ -44,6 +102,20 @@ runWorkload(std::uint32_t pal_cores, bool audit, std::uint64_t seed = 0)
         static_cast<std::uint32_t>(m.cpuCount()) - pal_cores;
     config.auditTrail = audit;
     sea::ExecutionService svc(m, config);
+
+    verify::ExecutionTrace trace;
+    std::optional<verify::TraceRecorder> recorder;
+    std::optional<verify::HbRaceDetector> detector;
+    std::optional<SyncFanout> fanout;
+    if (checkMode) {
+        recorder.emplace(trace);
+        recorder->attach(svc);
+        detector.emplace(m.cpuCount());
+        detector->attach(m.memctrl());
+        fanout.emplace(&*detector, &*recorder);
+        svc.executive().setSyncObserver(&*fanout);
+    }
+
     for (int i = 0; i < workloadPals; ++i) {
         auto id = svc.submit(workerRequest(i));
         if (!id.ok())
@@ -51,6 +123,10 @@ runWorkload(std::uint32_t pal_cores, bool audit, std::uint64_t seed = 0)
     }
     if (!svc.drain().ok())
         std::abort();
+    if (checkMode) {
+        svc.executive().setSyncObserver(nullptr);
+        verifyRun(*detector, trace, svc.metrics());
+    }
     return svc.metrics();
 }
 
@@ -219,11 +295,28 @@ BENCHMARK(BM_ServiceDrain)
 int
 main(int argc, char **argv)
 {
+    // Strip --check before google-benchmark sees (and rejects) it.
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check") == 0) {
+            checkMode = true;
+            for (int j = i; j + 1 < argc; ++j)
+                argv[j] = argv[j + 1];
+            --argc;
+            --i;
+        }
+    }
+
     scalingTable();
     pipeliningTable();
     sessionReuseTable();
     determinismCheck();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    if (checkMode) {
+        benchutil::check("--check: " + std::to_string(checkedRuns) +
+                             " instrumented campaigns race-free and "
+                             "temporally clean",
+                         checkedRuns > 0);
+    }
     return 0;
 }

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Sanitizer job for mintcb: configure, build, and run the full test
+# suite under the tested MINTCB_SANITIZE configurations.
+#
+#   address,undefined  -- the default job; catches lifetime bugs in the
+#                         observer wiring and UB in the codecs.
+#   thread             -- opt-in second job (SANITIZERS="... thread");
+#                         the simulator is single-threaded, so this
+#                         mainly guards the gtest/benchmark harnesses.
+#
+# Each configuration builds into build-<name>/ (slashes from commas) so
+# sanitized trees never collide with the developer build/.
+#
+# Usage: scripts/run-sanitizers.sh [ctest-args...]
+#   SANITIZERS="address,undefined thread" scripts/run-sanitizers.sh
+#   scripts/run-sanitizers.sh -L verify     # only the verify label
+
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+sanitizers=${SANITIZERS:-"address,undefined"}
+jobs=$(nproc 2>/dev/null || echo 2)
+
+for config in $sanitizers; do
+    build_dir="$repo_root/build-$(echo "$config" | tr ',' '-')san"
+    echo "== MINTCB_SANITIZE=$config -> $build_dir =="
+    cmake -B "$build_dir" -S "$repo_root" \
+        -DMINTCB_SANITIZE="$config" >/dev/null
+    cmake --build "$build_dir" -j "$jobs"
+    (cd "$build_dir" && ctest --output-on-failure -j "$jobs" "$@")
+done
+echo "run-sanitizers: all configurations passed"

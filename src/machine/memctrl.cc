@@ -76,8 +76,12 @@ MemoryController::read(Agent agent, PhysAddr addr, std::uint64_t len) const
     for (PageNum p = first; p <= last; ++p) {
         if (auto s = check(agent, p); !s.ok()) {
             (dma ? stats_.dmaDenials : stats_.cpuDenials) += 1;
+            if (observer_)
+                observer_->onAccess(agent, p, /*isWrite=*/false, false);
             return s.error();
         }
+        if (observer_)
+            observer_->onAccess(agent, p, /*isWrite=*/false, true);
     }
     return memory_.read(addr, len);
 }
@@ -95,8 +99,12 @@ MemoryController::write(Agent agent, PhysAddr addr, const Bytes &data)
     for (PageNum p = first; p <= last; ++p) {
         if (auto s = check(agent, p); !s.ok()) {
             (dma ? stats_.dmaDenials : stats_.cpuDenials) += 1;
+            if (observer_)
+                observer_->onAccess(agent, p, /*isWrite=*/true, false);
             return s;
         }
+        if (observer_)
+            observer_->onAccess(agent, p, /*isWrite=*/true, true);
     }
     return memory_.write(addr, data);
 }

@@ -60,6 +60,21 @@ struct Agent
     }
 };
 
+/**
+ * Observer of every mediated access, page by page. The verify layer's
+ * happens-before race detector implements this; the controller itself
+ * never behaves differently with an observer attached.
+ */
+class MemAccessObserver
+{
+  public:
+    virtual ~MemAccessObserver() = default;
+    /** One page of one read/write: @p granted tells whether the
+     *  access-control check admitted it. */
+    virtual void onAccess(const Agent &agent, PageNum page, bool isWrite,
+                          bool granted) = 0;
+};
+
 /** Per-page access-control state (Figure 5(b)). */
 enum class PageState
 {
@@ -120,6 +135,10 @@ class MemoryController
     /** Access/denial counters (gem5-style observability). */
     const MemCtrlStats &stats() const { return stats_; }
 
+    /** Attach (or with nullptr detach) the access observer. */
+    void setAccessObserver(MemAccessObserver *obs) { observer_ = obs; }
+    MemAccessObserver *accessObserver() const { return observer_; }
+
     /** Reset every protection (platform reboot). */
     void reset();
 
@@ -137,6 +156,7 @@ class MemoryController
     std::vector<bool> dev_;
     std::vector<AclEntry> acl_;
     mutable MemCtrlStats stats_;
+    MemAccessObserver *observer_ = nullptr;
 };
 
 } // namespace mintcb::machine

@@ -14,6 +14,19 @@ namespace mintcb::rec
 using machine::Cpu;
 using machine::PageState;
 
+const char *
+execEventName(ExecEvent e)
+{
+    switch (e) {
+      case ExecEvent::slaunchMeasure: return "SLAUNCH(measure)";
+      case ExecEvent::slaunchResume: return "SLAUNCH(resume)";
+      case ExecEvent::syield: return "SYIELD";
+      case ExecEvent::sfree: return "SFREE";
+      case ExecEvent::skill: return "SKILL";
+    }
+    return "?";
+}
+
 SecureExecutive::SecureExecutive(machine::Machine &machine,
                                  std::size_t sepcr_count)
     : machine_(machine), sePcrs_(machine.tpm(), sepcr_count),
@@ -141,6 +154,8 @@ SecureExecutive::slaunch(CpuId cpu, Secb &secb)
         ++contextSwitches_;
         contextSwitchTime_ += report.total;
     }
+    notify(resume ? ExecEvent::slaunchResume : ExecEvent::slaunchMeasure,
+           cpu, secb);
     return report;
 }
 
@@ -179,6 +194,7 @@ SecureExecutive::syield(Secb &secb)
     ++secb.yields;
     ++contextSwitches_;
     contextSwitchTime_ += core.now() - start;
+    notify(ExecEvent::syield, cpu, secb);
     return okStatus();
 }
 
@@ -245,6 +261,7 @@ SecureExecutive::sfree(Secb &secb, bool from_pal)
     secb.state = PalState::done;
     runningOnCpu_.at(cpu) = nullptr;
     secb.runningOn.reset();
+    notify(ExecEvent::sfree, cpu, secb);
     return okStatus();
 }
 
@@ -274,6 +291,9 @@ SecureExecutive::skill(Secb &secb)
 
     secb.state = PalState::done;
     secb.saved.valid = false;
+    // The OS reclaims a suspended PAL; by convention the boot CPU
+    // executes SKILL in this simulation.
+    notify(ExecEvent::skill, 0, secb);
     return okStatus();
 }
 

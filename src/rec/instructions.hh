@@ -23,6 +23,37 @@
 namespace mintcb::rec
 {
 
+/** Externally visible life-cycle / synchronization events. */
+enum class ExecEvent
+{
+    slaunchMeasure, //!< first launch: pages acquired, PAL measured
+    slaunchResume,  //!< resume: pages re-acquired from NONE
+    syield,         //!< suspend: pages to NONE, state saved
+    sfree,          //!< clean exit: pages to ALL, sePCR to Quote
+    skill,          //!< OS kill: pages erased and released
+};
+
+/** Printable event name. */
+const char *execEventName(ExecEvent e);
+
+/**
+ * Observer of the hardware extension's synchronization points. The
+ * verify layer hangs its happens-before race detector and trace
+ * recorder here; the executive never behaves differently with an
+ * observer attached. SLAUNCH events are page *acquisitions* by @p cpu,
+ * SYIELD/SFREE/SKILL events are *releases* (for SKILL the OS reclaims
+ * an already-suspended PAL, so the reporting CPU is 0).
+ */
+class ExecSyncObserver
+{
+  public:
+    virtual ~ExecSyncObserver() = default;
+    virtual void onPalEvent(ExecEvent event, CpuId cpu,
+                            const Secb &secb) = 0;
+    /** All CPUs meet a scheduler round barrier. */
+    virtual void onBarrier() = 0;
+};
+
 /** Timing evidence from one SLAUNCH. */
 struct SlaunchReport
 {
@@ -128,13 +159,35 @@ class SecureExecutive
     Duration contextSwitchTime() const { return contextSwitchTime_; }
     /** @} */
 
+    /** @name Verification hooks. @{ */
+    /** Attach (or with nullptr detach) the sync-point observer. */
+    void setSyncObserver(ExecSyncObserver *obs) { observer_ = obs; }
+    ExecSyncObserver *syncObserver() const { return observer_; }
+    /** Schedulers report their round barriers through the executive so
+     *  an attached observer sees every synchronization edge. */
+    void
+    notifyBarrier()
+    {
+        if (observer_)
+            observer_->onBarrier();
+    }
+    /** @} */
+
   private:
+    void
+    notify(ExecEvent event, CpuId cpu, const Secb &secb)
+    {
+        if (observer_)
+            observer_->onPalEvent(event, cpu, secb);
+    }
+
     machine::Machine &machine_;
     SePcrTpm sePcrs_;
     std::uint64_t contextSwitches_ = 0;
     Duration contextSwitchTime_;
     std::uint64_t palInterrupts_ = 0;
     std::vector<Secb *> runningOnCpu_; //!< indexed by CpuId, may be null
+    ExecSyncObserver *observer_ = nullptr;
 };
 
 } // namespace mintcb::rec

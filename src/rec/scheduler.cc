@@ -162,6 +162,7 @@ OsScheduler::runAll()
             if (gap > Duration::zero())
                 m.cpu(c).runLegacyWork(gap);
         }
+        exec_.notifyBarrier();
     };
 
     while (!all_done()) {
@@ -294,6 +295,7 @@ OsScheduler::runAll()
             if (gap > Duration::zero())
                 m.cpu(c).runLegacyWork(gap);
         }
+        exec_.notifyBarrier();
         // Everyone who waited this round ages by one (priority boost).
         for (Task &t : tasks_) {
             if (!t.finished && t.lastRound != round)

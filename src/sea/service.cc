@@ -52,6 +52,8 @@ ExecutionService::drain()
         return reports;
     ++metrics_.drains;
     const TimePoint drain_start = machine_.now();
+    if (observer_)
+        observer_->onDrainBegin(queue_.size());
 
     // Claim the whole batch up front: once the PALs start executing, a
     // late failure (audit flush, scheduler error) must surface as the
@@ -179,6 +181,8 @@ ExecutionService::drain()
     }
 
     metrics_.busy += machine_.now() - drain_start;
+    if (observer_)
+        observer_->onDrainEnd(reports.size());
     return reports;
 }
 
@@ -212,6 +216,8 @@ ExecutionService::attachSession()
         auto epoch = server_.acceptResumed(sessionKey_);
         if (!epoch)
             return epoch.error();
+        if (observer_)
+            observer_->onSessionResumed(*epoch);
         return tpm::TransportClient::resume(sessionKey_, *epoch);
     }
     auto opened = tpm::TransportClient::openWithKey(
@@ -222,6 +228,8 @@ ExecutionService::attachSession()
     if (auto s = server_.accept(opened->envelope); !s.ok())
         return s.error();
     sessionLive_ = true;
+    if (observer_)
+        observer_->onSessionOpened();
     return std::move(opened->client);
 }
 
@@ -251,6 +259,8 @@ ExecutionService::flushAudit(
         }
         ++metrics_.auditExchanges;
         metrics_.auditCommands += commands.size();
+        if (observer_)
+            observer_->onAuditExchange(commands.size());
     } else {
         for (const tpm::TransportCommand &c : commands) {
             machine_.cpu(config_.serviceCpu).advance(busExchangeCost);
@@ -264,6 +274,8 @@ ExecutionService::flushAudit(
             }
             ++metrics_.auditExchanges;
             ++metrics_.auditCommands;
+            if (observer_)
+                observer_->onAuditExchange(1);
         }
     }
     metrics_.sessionsAccepted = server_.stats().sessionsAccepted;

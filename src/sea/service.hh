@@ -131,6 +131,27 @@ struct ServiceMetrics
 };
 
 /**
+ * Observer of the service's scheduling and transport milestones. The
+ * verify layer's trace recorder implements this; the service never
+ * behaves differently with an observer attached.
+ */
+class ServiceObserver
+{
+  public:
+    virtual ~ServiceObserver() = default;
+    /** drain() starts with @p queued requests claimed. */
+    virtual void onDrainBegin(std::size_t queued) = 0;
+    /** drain() returns @p completed reports. */
+    virtual void onDrainEnd(std::size_t completed) = 0;
+    /** Full RSA key exchange established a transport session. */
+    virtual void onSessionOpened() = 0;
+    /** Existing session resumed at rekey @p epoch. */
+    virtual void onSessionResumed(std::uint64_t epoch) = 0;
+    /** One transport exchange carried @p commands audit commands. */
+    virtual void onAuditExchange(std::size_t commands) = 0;
+};
+
+/**
  * The work-queue engine. Typical use:
  *
  *     ExecutionService svc(machine);
@@ -166,6 +187,10 @@ class ExecutionService
     const ServiceMetrics &metrics() const { return metrics_; }
     rec::SecureExecutive &executive() { return exec_; }
 
+    /** Attach (or with nullptr detach) the milestone observer. */
+    void setObserver(ServiceObserver *obs) { observer_ = obs; }
+    ServiceObserver *observer() const { return observer_; }
+
     /** Modeled client-side cost per transport exchange (wrap + MAC +
      *  LPC bus round trip) -- what pipelining amortizes. */
     static constexpr Duration busExchangeCost = Duration::micros(50);
@@ -194,6 +219,7 @@ class ExecutionService
     Bytes sessionKey_; //!< drawn from the machine RNG on first attach
     bool sessionLive_ = false;
     ServiceMetrics metrics_;
+    ServiceObserver *observer_ = nullptr;
 };
 
 } // namespace mintcb::sea

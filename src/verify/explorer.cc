@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Breadth-first state-space walk.
+ */
+
+#include "verify/explorer.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+namespace mintcb::verify
+{
+
+namespace
+{
+
+/** FNV-1a over the canonical snapshot encoding. */
+struct BytesHash
+{
+    std::size_t
+    operator()(const Bytes &b) const
+    {
+        std::size_t h = 1469598103934665603ull;
+        for (std::uint8_t v : b) {
+            h ^= v;
+            h *= 1099511628211ull;
+        }
+        return h;
+    }
+};
+
+/** A discovered state: the action path that first reached it. */
+struct Node
+{
+    std::vector<Action> path;
+};
+
+} // namespace
+
+std::string
+Counterexample::str() const
+{
+    std::string out = "counterexample (" +
+                      std::to_string(trace.size()) + " steps):\n";
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        out += "  " + std::to_string(i + 1) + ". " + trace[i] + "\n";
+    }
+    out += "violation: " + violation + "\n";
+    out += "state:\n" + stateDump + "\n";
+    return out;
+}
+
+std::string
+ExploreResult::str() const
+{
+    std::string out = std::to_string(statesExplored) + " states, " +
+                      std::to_string(transitionsTaken) +
+                      " transitions, depth " +
+                      std::to_string(maxDepthReached);
+    if (truncated)
+        out += " [TRUNCATED: limits hit, coverage incomplete]";
+    if (counterexample)
+        out += "\n" + counterexample->str();
+    else
+        out += "; all invariants hold";
+    return out;
+}
+
+StateExplorer::StateExplorer(const ModelConfig &config, Mutation mutation,
+                             ExploreLimits limits)
+    : config_(config), mutation_(mutation), limits_(limits)
+{
+}
+
+ExploreResult
+StateExplorer::run()
+{
+    ExploreResult result;
+    std::unordered_set<Bytes, BytesHash> seen;
+    std::deque<Node> frontier;
+
+    auto check_state = [&](const World &world,
+                           const std::vector<Action> &path)
+        -> std::optional<Counterexample> {
+        const WorldSnapshot snap = world.snapshot();
+        Status verdict = checkAllInvariants(snap);
+        if (verdict.ok())
+            verdict = world.crossCheckAccess();
+        if (verdict.ok())
+            return std::nullopt;
+        Counterexample cx;
+        for (const Action &a : path)
+            cx.trace.push_back(a.str());
+        cx.violation = verdict.error().str();
+        cx.stateDump = snap.str();
+        return cx;
+    };
+
+    {
+        World initial(config_, mutation_);
+        seen.insert(initial.snapshot().encode());
+        result.statesExplored = 1;
+        if (auto cx = check_state(initial, {})) {
+            result.counterexample = std::move(cx);
+            return result;
+        }
+        frontier.push_back(Node{});
+    }
+
+    while (!frontier.empty()) {
+        const Node node = std::move(frontier.front());
+        frontier.pop_front();
+        if (node.path.size() >= limits_.maxDepth) {
+            result.truncated = true;
+            continue;
+        }
+
+        // Rebuild the node's world once; after an accepted candidate
+        // mutates it, rebuild again for the next candidate. Rejected
+        // candidates leave the world untouched (World::apply contract).
+        auto rebuild = [&](const std::vector<Action> &path) {
+            auto w = std::make_unique<World>(config_, mutation_);
+            for (const Action &a : path) {
+                const Status replayed = w->apply(a);
+                assert(replayed.ok() && "recorded path must replay");
+                static_cast<void>(replayed);
+            }
+            return w;
+        };
+        std::unique_ptr<World> world = rebuild(node.path);
+        bool dirty = false;
+
+        for (const Action &candidate : world->candidateActions()) {
+            if (dirty) {
+                world = rebuild(node.path);
+                dirty = false;
+            }
+            if (!world->apply(candidate).ok())
+                continue; // refused: enforcement, not a violation
+            dirty = true;
+            ++result.transitionsTaken;
+
+            const Bytes fingerprint = world->snapshot().encode();
+            if (!seen.insert(fingerprint).second)
+                continue; // already explored via a shorter-or-equal path
+
+            std::vector<Action> path = node.path;
+            path.push_back(candidate);
+            result.maxDepthReached =
+                std::max(result.maxDepthReached, path.size());
+
+            if (auto cx = check_state(*world, path)) {
+                result.counterexample = std::move(cx);
+                ++result.statesExplored;
+                return result;
+            }
+
+            ++result.statesExplored;
+            if (result.statesExplored >= limits_.maxStates) {
+                result.truncated = true;
+                return result;
+            }
+            frontier.push_back(Node{std::move(path)});
+        }
+    }
+    return result;
+}
+
+} // namespace mintcb::verify

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Invariant catalog implementation.
+ */
+
+#include "verify/invariants.hh"
+
+#include <algorithm>
+
+#include "common/bytebuf.hh"
+
+namespace mintcb::verify
+{
+
+namespace
+{
+
+const char *
+pageStateName(machine::PageState s)
+{
+    switch (s) {
+      case machine::PageState::all:
+        return "ALL";
+      case machine::PageState::owned:
+        return "CPUi";
+      case machine::PageState::none:
+        return "NONE";
+    }
+    return "?";
+}
+
+bool
+palIsLive(const PalView &pal)
+{
+    return pal.state == rec::PalState::execute ||
+           pal.state == rec::PalState::suspend;
+}
+
+Status
+violation(const char *name, const std::string &detail)
+{
+    return Error(Errc::failedPrecondition,
+                 std::string("invariant ") + name + " violated: " +
+                     detail);
+}
+
+Status
+checkPageOwnershipExclusion(const WorldSnapshot &w)
+{
+    for (PageNum p = 0; p < w.pages.size(); ++p) {
+        const PageView &page = w.pages[p];
+        if (page.state == machine::PageState::all) {
+            if (page.ownerMask != 0) {
+                return violation("page-ownership-exclusion",
+                                 "ALL page " + std::to_string(p) +
+                                     " carries an owner mask");
+            }
+            continue;
+        }
+        if (page.ownerMask == 0 &&
+            page.state == machine::PageState::owned) {
+            return violation("page-ownership-exclusion",
+                             "owned page " + std::to_string(p) +
+                                 " has no owner");
+        }
+        // The page must belong to exactly one PAL's allocation, and its
+        // owner mask must cover only CPUs running that PAL.
+        std::size_t holders = 0;
+        std::optional<std::size_t> holder;
+        for (std::size_t i = 0; i < w.pals.size(); ++i) {
+            const PalView &pal = w.pals[i];
+            if (std::find(pal.pages.begin(), pal.pages.end(), p) !=
+                pal.pages.end()) {
+                ++holders;
+                holder = i;
+            }
+        }
+        if (holders != 1) {
+            return violation(
+                "page-ownership-exclusion",
+                "non-ALL page " + std::to_string(p) + " appears in " +
+                    std::to_string(holders) + " PAL allocations");
+        }
+        std::uint64_t running_mask = 0;
+        if (w.pals[*holder].runningOn)
+            running_mask = 1ull << *w.pals[*holder].runningOn;
+        if (page.state == machine::PageState::owned &&
+            (page.ownerMask & ~running_mask) != 0) {
+            return violation(
+                "page-ownership-exclusion",
+                "page " + std::to_string(p) +
+                    " is readable by a CPU not running its PAL (mask " +
+                    std::to_string(page.ownerMask) + ")");
+        }
+    }
+    return okStatus();
+}
+
+Status
+checkExecutingPalOwnsPages(const WorldSnapshot &w)
+{
+    for (std::size_t i = 0; i < w.pals.size(); ++i) {
+        const PalView &pal = w.pals[i];
+        if (pal.state != rec::PalState::execute)
+            continue;
+        if (!pal.runningOn) {
+            return violation("executing-pal-owns-pages",
+                             "PAL " + std::to_string(i) +
+                                 " executes on no CPU");
+        }
+        for (PageNum p : pal.pages) {
+            const PageView &page = w.pages.at(p);
+            if (page.state != machine::PageState::owned ||
+                page.ownerMask != (1ull << *pal.runningOn)) {
+                return violation(
+                    "executing-pal-owns-pages",
+                    "PAL " + std::to_string(i) + " executes on CPU " +
+                        std::to_string(*pal.runningOn) + " but page " +
+                        std::to_string(p) + " is " +
+                        pageStateName(page.state) + "/mask " +
+                        std::to_string(page.ownerMask));
+            }
+        }
+    }
+    return okStatus();
+}
+
+Status
+checkSuspendedPalPagesNone(const WorldSnapshot &w)
+{
+    for (std::size_t i = 0; i < w.pals.size(); ++i) {
+        const PalView &pal = w.pals[i];
+        if (pal.state != rec::PalState::suspend)
+            continue;
+        for (PageNum p : pal.pages) {
+            if (w.pages.at(p).state != machine::PageState::none) {
+                return violation(
+                    "suspended-pal-pages-none",
+                    "suspended PAL " + std::to_string(i) + "'s page " +
+                        std::to_string(p) + " is " +
+                        pageStateName(w.pages.at(p).state) +
+                        " (must be NONE)");
+            }
+        }
+    }
+    return okStatus();
+}
+
+Status
+checkInactivePalFullyRevoked(const WorldSnapshot &w)
+{
+    for (std::size_t i = 0; i < w.pals.size(); ++i) {
+        const PalView &pal = w.pals[i];
+        if (palIsLive(pal))
+            continue;
+        for (PageNum p : pal.pages) {
+            if (w.pages.at(p).state != machine::PageState::all) {
+                return violation(
+                    "inactive-pal-fully-revoked",
+                    "PAL " + std::to_string(i) + " is " +
+                        rec::palStateName(pal.state) + " but page " +
+                        std::to_string(p) + " is still " +
+                        pageStateName(w.pages.at(p).state));
+            }
+        }
+        if (pal.state == rec::PalState::done && pal.sePcr &&
+            w.sePcrs.at(*pal.sePcr).state == rec::SePcrState::exclusive) {
+            return violation("inactive-pal-fully-revoked",
+                             "done PAL " + std::to_string(i) +
+                                 " still binds sePCR " +
+                                 std::to_string(*pal.sePcr) +
+                                 " in Exclusive");
+        }
+    }
+    return okStatus();
+}
+
+Status
+checkSePcrExclusiveBinding(const WorldSnapshot &w)
+{
+    // No two PALs may reference the same handle.
+    for (std::size_t i = 0; i < w.pals.size(); ++i) {
+        for (std::size_t j = i + 1; j < w.pals.size(); ++j) {
+            if (w.pals[i].sePcr && w.pals[j].sePcr &&
+                *w.pals[i].sePcr == *w.pals[j].sePcr) {
+                return violation(
+                    "sepcr-exclusive-binding",
+                    "PALs " + std::to_string(i) + " and " +
+                        std::to_string(j) + " both bind sePCR " +
+                        std::to_string(*w.pals[i].sePcr));
+            }
+        }
+    }
+    for (std::size_t i = 0; i < w.pals.size(); ++i) {
+        const PalView &pal = w.pals[i];
+        if (!pal.sePcr)
+            continue;
+        const rec::SePcrState s = w.sePcrs.at(*pal.sePcr).state;
+        if (palIsLive(pal) && s != rec::SePcrState::exclusive) {
+            return violation(
+                "sepcr-exclusive-binding",
+                "live PAL " + std::to_string(i) + " binds sePCR " +
+                    std::to_string(*pal.sePcr) + " in state " +
+                    rec::sePcrStateName(s));
+        }
+        if (pal.state == rec::PalState::done &&
+            s == rec::SePcrState::free) {
+            return violation(
+                "sepcr-exclusive-binding",
+                "done PAL " + std::to_string(i) +
+                    " references already-freed sePCR " +
+                    std::to_string(*pal.sePcr) +
+                    " (stale handle not cleared)");
+        }
+    }
+    // Every Exclusive sePCR must be accounted for by a live PAL.
+    for (std::size_t h = 0; h < w.sePcrs.size(); ++h) {
+        if (w.sePcrs[h].state != rec::SePcrState::exclusive)
+            continue;
+        bool bound = false;
+        for (const PalView &pal : w.pals) {
+            bound |= palIsLive(pal) && pal.sePcr &&
+                     *pal.sePcr == static_cast<rec::SePcrHandle>(h);
+        }
+        if (!bound) {
+            return violation("sepcr-exclusive-binding",
+                             "Exclusive sePCR " + std::to_string(h) +
+                                 " is bound to no live PAL");
+        }
+    }
+    return okStatus();
+}
+
+Status
+checkCpuRunsOnePal(const WorldSnapshot &w)
+{
+    for (std::size_t i = 0; i < w.pals.size(); ++i) {
+        const PalView &a = w.pals[i];
+        if (a.state == rec::PalState::execute && !a.runningOn) {
+            return violation("cpu-runs-one-pal",
+                             "executing PAL " + std::to_string(i) +
+                                 " has no CPU");
+        }
+        if (a.state != rec::PalState::execute && a.runningOn) {
+            return violation("cpu-runs-one-pal",
+                             "non-executing PAL " + std::to_string(i) +
+                                 " claims CPU " +
+                                 std::to_string(*a.runningOn));
+        }
+        for (std::size_t j = i + 1; j < w.pals.size(); ++j) {
+            const PalView &b = w.pals[j];
+            if (a.runningOn && b.runningOn &&
+                *a.runningOn == *b.runningOn) {
+                return violation(
+                    "cpu-runs-one-pal",
+                    "PALs " + std::to_string(i) + " and " +
+                        std::to_string(j) + " both execute on CPU " +
+                        std::to_string(*a.runningOn));
+            }
+        }
+    }
+    return okStatus();
+}
+
+} // namespace
+
+Bytes
+WorldSnapshot::encode() const
+{
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(pages.size()));
+    for (const PageView &p : pages) {
+        w.u8(static_cast<std::uint8_t>(p.state));
+        w.u64(p.ownerMask);
+    }
+    w.u32(static_cast<std::uint32_t>(sePcrs.size()));
+    for (const SePcrView &s : sePcrs)
+        w.u8(static_cast<std::uint8_t>(s.state));
+    w.u32(static_cast<std::uint32_t>(pals.size()));
+    for (const PalView &p : pals) {
+        w.u8(static_cast<std::uint8_t>(p.state));
+        w.u8(p.runningOn ? 1 : 0);
+        w.u32(p.runningOn ? *p.runningOn : 0);
+        w.u8(p.sePcr ? 1 : 0);
+        w.u32(p.sePcr ? *p.sePcr : 0);
+        w.u8(p.measuredFlag ? 1 : 0);
+        w.u32(static_cast<std::uint32_t>(p.pages.size()));
+        for (PageNum pg : p.pages)
+            w.u64(pg);
+    }
+    return w.take();
+}
+
+std::string
+WorldSnapshot::str() const
+{
+    std::string out = "pages:";
+    for (PageNum p = 0; p < pages.size(); ++p) {
+        out += " " + std::to_string(p) + "=" +
+               pageStateName(pages[p].state);
+        if (pages[p].ownerMask)
+            out += "/m" + std::to_string(pages[p].ownerMask);
+    }
+    out += "\nsePCRs:";
+    for (std::size_t h = 0; h < sePcrs.size(); ++h) {
+        out += " " + std::to_string(h) + "=" +
+               rec::sePcrStateName(sePcrs[h].state);
+    }
+    out += "\nPALs:";
+    for (std::size_t i = 0; i < pals.size(); ++i) {
+        const PalView &pal = pals[i];
+        out += " " + std::to_string(i) + "=" +
+               rec::palStateName(pal.state);
+        if (pal.runningOn)
+            out += "@cpu" + std::to_string(*pal.runningOn);
+        if (pal.sePcr)
+            out += "/sePCR" + std::to_string(*pal.sePcr);
+    }
+    return out;
+}
+
+const std::vector<Invariant> &
+invariantCatalog()
+{
+    static const std::vector<Invariant> catalog = {
+        {"page-ownership-exclusion",
+         "a non-ALL page belongs to exactly one PAL and is readable "
+         "only by CPUs running that PAL",
+         &checkPageOwnershipExclusion},
+        {"executing-pal-owns-pages",
+         "a PAL in Execute holds every page in CPUi, owned by exactly "
+         "its CPU",
+         &checkExecutingPalOwnsPages},
+        {"suspended-pal-pages-none",
+         "a suspended PAL's pages are all NONE",
+         &checkSuspendedPalPagesNone},
+        {"inactive-pal-fully-revoked",
+         "a PAL in Start or Done holds no page and no Exclusive sePCR",
+         &checkInactivePalFullyRevoked},
+        {"sepcr-exclusive-binding",
+         "an Exclusive sePCR is bound to exactly one live PAL",
+         &checkSePcrExclusiveBinding},
+        {"cpu-runs-one-pal",
+         "no CPU executes two PALs at once",
+         &checkCpuRunsOnePal},
+    };
+    return catalog;
+}
+
+Status
+checkAllInvariants(const WorldSnapshot &snapshot)
+{
+    for (const Invariant &inv : invariantCatalog()) {
+        if (auto s = inv.check(snapshot); !s.ok())
+            return s;
+    }
+    return okStatus();
+}
+
+} // namespace mintcb::verify

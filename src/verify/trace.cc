@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Execution-trace recording and serialization.
+ */
+
+#include "verify/trace.hh"
+
+#include "common/bytebuf.hh"
+
+namespace mintcb::verify
+{
+
+namespace
+{
+
+constexpr std::uint32_t traceMagic = 0x4d544c31; // "MTL1"
+constexpr std::uint8_t kindMin = 1;
+constexpr std::uint8_t kindMax =
+    static_cast<std::uint8_t>(TraceEventKind::transportExchange);
+
+} // namespace
+
+const char *
+traceEventKindName(TraceEventKind k)
+{
+    switch (k) {
+      case TraceEventKind::slaunch: return "slaunch";
+      case TraceEventKind::syield: return "syield";
+      case TraceEventKind::sfree: return "sfree";
+      case TraceEventKind::skill: return "skill";
+      case TraceEventKind::barrier: return "barrier";
+      case TraceEventKind::drainBegin: return "drain-begin";
+      case TraceEventKind::drainEnd: return "drain-end";
+      case TraceEventKind::sessionOpen: return "session-open";
+      case TraceEventKind::sessionResume: return "session-resume";
+      case TraceEventKind::sessionClose: return "session-close";
+      case TraceEventKind::transportExchange: return "transport-exchange";
+    }
+    return "?";
+}
+
+std::string
+TraceEvent::str() const
+{
+    std::string out = std::to_string(seq) + ": " +
+                      traceEventKindName(kind);
+    if (!subject.empty())
+        out += " " + subject;
+    out += " cpu=" + std::to_string(cpu);
+    if (arg != 0)
+        out += " arg=" + std::to_string(arg);
+    return out;
+}
+
+void
+ExecutionTrace::append(TraceEventKind kind, CpuId cpu, std::string subject,
+                       std::uint64_t arg)
+{
+    TraceEvent e;
+    e.kind = kind;
+    e.seq = events_.size();
+    e.cpu = cpu;
+    e.subject = std::move(subject);
+    e.arg = arg;
+    events_.push_back(std::move(e));
+}
+
+Bytes
+ExecutionTrace::encode() const
+{
+    ByteWriter w;
+    w.u32(traceMagic);
+    w.u32(static_cast<std::uint32_t>(events_.size()));
+    for (const TraceEvent &e : events_) {
+        w.u8(static_cast<std::uint8_t>(e.kind));
+        w.u32(e.cpu);
+        w.str(e.subject);
+        w.u64(e.arg);
+    }
+    return w.take();
+}
+
+Result<ExecutionTrace>
+ExecutionTrace::decode(const Bytes &blob)
+{
+    ByteReader r(blob);
+    auto magic = r.u32();
+    if (!magic)
+        return magic.error();
+    if (*magic != traceMagic)
+        return Error(Errc::integrityFailure, "not a mintcb trace blob");
+    auto count = r.u32();
+    if (!count)
+        return count.error();
+
+    ExecutionTrace trace;
+    for (std::uint32_t i = 0; i < *count; ++i) {
+        auto kind = r.u8();
+        if (!kind)
+            return kind.error();
+        if (*kind < kindMin || *kind > kindMax) {
+            return Error(Errc::integrityFailure,
+                         "unknown trace event kind " +
+                             std::to_string(*kind));
+        }
+        auto cpu = r.u32();
+        if (!cpu)
+            return cpu.error();
+        auto subject = r.str();
+        if (!subject)
+            return subject.error();
+        auto arg = r.u64();
+        if (!arg)
+            return arg.error();
+        trace.append(static_cast<TraceEventKind>(*kind), *cpu,
+                     subject.take(), *arg);
+    }
+    if (!r.atEnd())
+        return Error(Errc::integrityFailure, "trailing trace bytes");
+    return trace;
+}
+
+std::string
+ExecutionTrace::str() const
+{
+    std::string out =
+        "trace: " + std::to_string(events_.size()) + " events\n";
+    for (const TraceEvent &e : events_)
+        out += "  " + e.str() + "\n";
+    return out;
+}
+
+TraceRecorder::~TraceRecorder()
+{
+    if (exec_ && exec_->syncObserver() == this)
+        exec_->setSyncObserver(nullptr);
+    if (service_ && service_->observer() == this)
+        service_->setObserver(nullptr);
+}
+
+void
+TraceRecorder::attach(rec::SecureExecutive &exec)
+{
+    exec_ = &exec;
+    exec.setSyncObserver(this);
+}
+
+void
+TraceRecorder::attach(sea::ExecutionService &service)
+{
+    service_ = &service;
+    service.setObserver(this);
+    attach(service.executive());
+}
+
+void
+TraceRecorder::onPalEvent(rec::ExecEvent event, CpuId cpu,
+                          const rec::Secb &secb)
+{
+    switch (event) {
+      case rec::ExecEvent::slaunchMeasure:
+        trace_.append(TraceEventKind::slaunch, cpu, secb.palName, 0);
+        break;
+      case rec::ExecEvent::slaunchResume:
+        trace_.append(TraceEventKind::slaunch, cpu, secb.palName, 1);
+        break;
+      case rec::ExecEvent::syield:
+        trace_.append(TraceEventKind::syield, cpu, secb.palName);
+        break;
+      case rec::ExecEvent::sfree:
+        trace_.append(TraceEventKind::sfree, cpu, secb.palName);
+        break;
+      case rec::ExecEvent::skill:
+        trace_.append(TraceEventKind::skill, cpu, secb.palName);
+        break;
+    }
+}
+
+void
+TraceRecorder::onBarrier()
+{
+    trace_.append(TraceEventKind::barrier, 0, {});
+}
+
+void
+TraceRecorder::onDrainBegin(std::size_t queued)
+{
+    trace_.append(TraceEventKind::drainBegin, 0, {}, queued);
+}
+
+void
+TraceRecorder::onDrainEnd(std::size_t completed)
+{
+    trace_.append(TraceEventKind::drainEnd, 0, {}, completed);
+}
+
+void
+TraceRecorder::onSessionOpened()
+{
+    trace_.append(TraceEventKind::sessionOpen, 0, {});
+}
+
+void
+TraceRecorder::onSessionResumed(std::uint64_t epoch)
+{
+    trace_.append(TraceEventKind::sessionResume, 0, {}, epoch);
+}
+
+void
+TraceRecorder::onAuditExchange(std::size_t commands)
+{
+    trace_.append(TraceEventKind::transportExchange, 0, {}, commands);
+}
+
+void
+TraceRecorder::noteSessionClose()
+{
+    trace_.append(TraceEventKind::sessionClose, 0, {});
+}
+
+} // namespace mintcb::verify

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Vector clocks for the simulation-level happens-before model.
+ *
+ * The simulator is single-threaded; "concurrency" is per-core virtual
+ * clocks advanced in program order. Real wall-clock interleaving
+ * therefore never exists, but *logical* races do: two CPUs touching the
+ * same simulated page with no synchronization edge between them would
+ * be an actual data race on the hardware being modeled. Vector clocks
+ * recover exactly that relation, independent of the arbitrary order in
+ * which the single-threaded simulation happens to visit the cores.
+ */
+
+#ifndef MINTCB_VERIFY_VCLOCK_HH
+#define MINTCB_VERIFY_VCLOCK_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mintcb::verify
+{
+
+/** One process's (CPU's) vector clock. */
+class VectorClock
+{
+  public:
+    VectorClock() = default;
+    explicit VectorClock(std::size_t width) : c_(width, 0) {}
+
+    std::size_t width() const { return c_.size(); }
+    std::uint64_t at(std::size_t i) const { return c_.at(i); }
+
+    /** Advance own component (a new local event). */
+    void
+    tick(std::size_t self)
+    {
+        ++c_.at(self);
+    }
+
+    /** Component-wise maximum (receive/acquire). */
+    void
+    join(const VectorClock &other)
+    {
+        if (c_.size() < other.c_.size())
+            c_.resize(other.c_.size(), 0);
+        for (std::size_t i = 0; i < other.c_.size(); ++i)
+            c_[i] = std::max(c_[i], other.c_[i]);
+    }
+
+    /**
+     * Did an event at epoch @p epoch on process @p who happen before
+     * everything this clock has seen? (The scalar-epoch test TSan
+     * uses: e <= C[who].)
+     */
+    bool
+    ordersAfter(std::size_t who, std::uint64_t epoch) const
+    {
+        return who < c_.size() && epoch <= c_[who];
+    }
+
+    std::string
+    str() const
+    {
+        std::string out = "[";
+        for (std::size_t i = 0; i < c_.size(); ++i) {
+            if (i)
+                out += ",";
+            out += std::to_string(c_[i]);
+        }
+        return out + "]";
+    }
+
+  private:
+    std::vector<std::uint64_t> c_;
+};
+
+} // namespace mintcb::verify
+
+#endif // MINTCB_VERIFY_VCLOCK_HH

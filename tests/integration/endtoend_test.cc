@@ -19,6 +19,7 @@
 #include "sea/attestation.hh"
 #include "sea/measuredboot.hh"
 #include "sea/palgen.hh"
+#include "verify/race.hh"
 
 namespace mintcb
 {
@@ -120,6 +121,9 @@ TEST(EndToEnd, RecArchitectureQuoteVerifiesAgainstPalIdentity)
     // can check against the same whitelist construction as PCR 17.
     Machine m = Machine::forPlatform(PlatformId::recTestbed);
     rec::SecureExecutive exec(m, 4);
+    verify::HbRaceDetector detector(m.cpuCount());
+    detector.attach(m.memctrl());
+    detector.attach(exec);
     rec::OsScheduler sched(exec, Duration::millis(1));
     sched.setQuoteOnExit(true);
 
@@ -146,6 +150,7 @@ TEST(EndToEnd, RecArchitectureQuoteVerifiesAgainstPalIdentity)
     w.raw(zero);
     w.raw(expected.measurement());
     EXPECT_EQ(quote.values[0], crypto::Sha1::digestBytes(w.bytes()));
+    EXPECT_TRUE(detector.races().empty()) << detector.str();
 }
 
 TEST(EndToEnd, RootkitDetectorSurvivesConcurrentSeaSessions)

@@ -8,6 +8,7 @@
 
 #include "common/hex.hh"
 #include "rec/scheduler.hh"
+#include "verify/race.hh"
 
 namespace mintcb::rec
 {
@@ -22,8 +23,20 @@ class SchedulerTest : public ::testing::Test
   protected:
     SchedulerTest()
         : machine_(Machine::forPlatform(PlatformId::recTestbed)),
-          exec_(machine_, /*sepcr_count=*/4)
+          exec_(machine_, /*sepcr_count=*/4),
+          detector_(machine_.cpuCount())
     {
+        // Every scheduler test doubles as a happens-before check: all
+        // mediated accesses must be ordered by SLAUNCH/SYIELD edges and
+        // round barriers.
+        detector_.attach(machine_.memctrl());
+        detector_.attach(exec_);
+    }
+
+    void
+    TearDown() override
+    {
+        EXPECT_TRUE(detector_.races().empty()) << detector_.str();
     }
 
     PalProgram
@@ -37,6 +50,7 @@ class SchedulerTest : public ::testing::Test
 
     Machine machine_;
     SecureExecutive exec_;
+    verify::HbRaceDetector detector_;
 };
 
 TEST_F(SchedulerTest, SinglePalCompletes)

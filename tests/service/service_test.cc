@@ -11,6 +11,7 @@
 #include "common/hex.hh"
 #include "rec/scheduler.hh"
 #include "sea/service.hh"
+#include "verify/race.hh"
 
 namespace mintcb::sea
 {
@@ -69,6 +70,12 @@ TEST(ExecutionService, RunsQueuedPalsAndReturnsOutputs)
     Machine m = Machine::forPlatform(PlatformId::recTestbed);
     ExecutionService svc(m);
 
+    // Ride the happens-before checker on the full workload: every
+    // cross-CPU page access must be ordered by SLAUNCH/SYIELD edges.
+    verify::HbRaceDetector detector(m.cpuCount());
+    detector.attach(m.memctrl());
+    detector.attach(svc.executive());
+
     std::vector<std::uint64_t> ids;
     for (int i = 0; i < 5; ++i) {
         auto id = svc.submit(serviceRequest(
@@ -102,6 +109,8 @@ TEST(ExecutionService, RunsQueuedPalsAndReturnsOutputs)
     EXPECT_EQ(svc.metrics().completed, 5u);
     EXPECT_EQ(svc.metrics().failed, 0u);
     EXPECT_GT(svc.metrics().preemptions, 0u);
+    EXPECT_TRUE(detector.races().empty()) << detector.str();
+    EXPECT_GT(detector.accessesChecked(), 0u);
 }
 
 TEST(ExecutionService, ReportsAreByteIdenticalAcrossSameSeedRuns)

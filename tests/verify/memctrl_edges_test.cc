@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Page-state transition edge cases, with the invariant catalog as the
+ * oracle: after every *accepted* transition the combined state must
+ * satisfy every invariant, and every rejected transition must leave the
+ * state byte-identical.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.hh"
+#include "verify/invariants.hh"
+#include "verify/model.hh"
+
+namespace mintcb::verify
+{
+namespace
+{
+
+using machine::Agent;
+using machine::MemoryController;
+using machine::PageState;
+using machine::PhysicalMemory;
+
+Action
+act(Action::Kind kind, std::uint32_t pal, CpuId cpu = 0)
+{
+    Action a;
+    a.kind = kind;
+    a.pal = pal;
+    a.cpu = cpu;
+    return a;
+}
+
+/** Invariants + model/controller cross-check must hold after every
+ *  accepted step of @p actions; rejected steps must not change state. */
+void
+applyChecked(World &world, const std::vector<Action> &actions)
+{
+    for (const Action &a : actions) {
+        const Bytes before = world.snapshot().encode();
+        const Status s = world.apply(a);
+        if (!s.ok()) {
+            EXPECT_EQ(world.snapshot().encode(), before)
+                << a.str() << " was rejected but changed state";
+            continue;
+        }
+        const WorldSnapshot snap = world.snapshot();
+        ASSERT_TRUE(checkAllInvariants(snap).ok())
+            << "after " << a.str() << ":\n"
+            << snap.str();
+        ASSERT_TRUE(world.crossCheckAccess().ok()) << "after " << a.str();
+    }
+}
+
+TEST(MemCtrlEdges, DoubleAssignIsRejectedWithoutChange)
+{
+    PhysicalMemory mem(8);
+    MemoryController ctrl(mem);
+    const std::vector<PageNum> pages{2, 3};
+    ASSERT_TRUE(ctrl.aclAcquire(pages, /*cpu=*/0).ok());
+
+    // Another CPU claiming any overlapping range must fail atomically:
+    // page 4 (free) must not be claimed when page 3 is refused.
+    EXPECT_FALSE(ctrl.aclAcquire({3, 4}, /*cpu=*/1).ok());
+    EXPECT_EQ(ctrl.pageState(4), PageState::all);
+    EXPECT_EQ(ctrl.pageState(3), PageState::owned);
+    EXPECT_EQ(ctrl.pageOwnerMask(3), 1ull << 0);
+
+    // Same CPU double-launching over its own pages is also refused:
+    // owned means owned, with no idempotent re-grant.
+    EXPECT_FALSE(ctrl.aclAcquire(pages, /*cpu=*/0).ok());
+}
+
+TEST(MemCtrlEdges, SuspendRequiresOwnership)
+{
+    PhysicalMemory mem(8);
+    MemoryController ctrl(mem);
+    ASSERT_TRUE(ctrl.aclAcquire({1}, /*cpu=*/0).ok());
+
+    EXPECT_FALSE(ctrl.aclSuspend({1}, /*cpu=*/1).ok()); // not the owner
+    EXPECT_EQ(ctrl.pageState(1), PageState::owned);
+    EXPECT_FALSE(ctrl.aclSuspend({5}, /*cpu=*/0).ok()); // never acquired
+    EXPECT_EQ(ctrl.pageState(5), PageState::all);
+
+    ASSERT_TRUE(ctrl.aclSuspend({1}, /*cpu=*/0).ok());
+    EXPECT_EQ(ctrl.pageState(1), PageState::none);
+    // A second suspend of a NONE page has no owner to act for.
+    EXPECT_FALSE(ctrl.aclSuspend({1}, /*cpu=*/0).ok());
+}
+
+TEST(MemCtrlEdges, FreeWhileOwnedRevokesTheOwner)
+{
+    // SKILL/SFREE may release pages in CPUi or NONE; afterwards the old
+    // owner has no residual claim and DMA flows again.
+    PhysicalMemory mem(8);
+    MemoryController ctrl(mem);
+    ASSERT_TRUE(ctrl.aclAcquire({2}, /*cpu=*/1).ok());
+    ASSERT_TRUE(ctrl.aclRelease({2}).ok());
+    EXPECT_EQ(ctrl.pageState(2), PageState::all);
+    EXPECT_EQ(ctrl.pageOwnerMask(2), 0u);
+    EXPECT_TRUE(ctrl.read(Agent::forDevice(), pageBase(2), 16).ok());
+    EXPECT_TRUE(ctrl.read(Agent::forCpu(0), pageBase(2), 16).ok());
+}
+
+TEST(MemCtrlEdges, DmaIsBlockedForTheWholePalLifetime)
+{
+    // "SKILL during DMA": a device retrying its transfer across the
+    // whole launch / suspend / kill window only succeeds once the kill
+    // released the pages -- and by then hardware has zeroed them.
+    World world(ModelConfig{});
+    const PhysAddr target = pageBase(0); // PAL 0's first page
+
+    ASSERT_TRUE(
+        world.apply(act(Action::Kind::slaunch, 0, /*cpu=*/1)).ok());
+    ASSERT_TRUE(world.crossCheckAccess().ok()); // DMA denied: executing
+
+    ASSERT_TRUE(world.apply(act(Action::Kind::syield, 0)).ok());
+    ASSERT_TRUE(world.crossCheckAccess().ok()); // DMA denied: suspended
+
+    ASSERT_TRUE(world.apply(act(Action::Kind::skill, 0)).ok());
+    const WorldSnapshot snap = world.snapshot();
+    EXPECT_EQ(snap.pages[0].state, PageState::all);
+    ASSERT_TRUE(checkAllInvariants(snap).ok());
+    ASSERT_TRUE(world.crossCheckAccess().ok()); // DMA flows again
+    static_cast<void>(target);
+}
+
+TEST(MemCtrlEdges, SkillErasesPagesBeforeRelease)
+{
+    PhysicalMemory mem(8);
+    MemoryController ctrl(mem);
+    const Bytes secret{0x5e, 0xc2, 0xe7};
+    ASSERT_TRUE(
+        ctrl.write(Agent::forCpu(0), pageBase(1), secret).ok());
+    ASSERT_TRUE(ctrl.aclAcquire({1}, /*cpu=*/0).ok());
+    ASSERT_TRUE(ctrl.aclSuspend({1}, /*cpu=*/0).ok());
+
+    // The SKILL sequence: erase, then release (instructions.cc order).
+    mem.zeroPage(1);
+    ASSERT_TRUE(ctrl.aclRelease({1}).ok());
+    auto leaked = ctrl.read(Agent::forDevice(), pageBase(1),
+                            secret.size());
+    ASSERT_TRUE(leaked.ok());
+    EXPECT_EQ(*leaked, Bytes(secret.size(), 0x00));
+}
+
+TEST(MemCtrlEdges, LifecycleSweepHoldsInvariantsAtEveryStep)
+{
+    // A full both-PAL interleaving exercising every edge: launch,
+    // suspend, resume on the *other* CPU, clean exit, kill, sePCR
+    // release, relaunch attempt on a done PAL (refused).
+    World world(ModelConfig{});
+    applyChecked(
+        world,
+        {
+            act(Action::Kind::slaunch, 0, 0),
+            act(Action::Kind::slaunch, 1, 1),
+            act(Action::Kind::syield, 0),
+            act(Action::Kind::slaunch, 0, 1), // cpu1 busy: rejected
+            act(Action::Kind::syield, 1),
+            act(Action::Kind::slaunch, 0, 1), // resume on the other CPU
+            act(Action::Kind::sfree, 0),
+            act(Action::Kind::slaunch, 0, 0), // done PAL: rejected
+            act(Action::Kind::skill, 1),      // kill the suspended PAL
+            act(Action::Kind::skill, 1),      // already done: rejected
+            act(Action::Kind::release, 0),    // collect pal0's quote
+            act(Action::Kind::release, 0),    // nothing left: rejected
+        });
+}
+
+TEST(MemCtrlEdges, OutOfRangePagesAreRejected)
+{
+    PhysicalMemory mem(4);
+    MemoryController ctrl(mem);
+    EXPECT_FALSE(ctrl.aclAcquire({99}, 0).ok());
+    EXPECT_FALSE(ctrl.aclSuspend({99}, 0).ok());
+    EXPECT_FALSE(ctrl.aclRelease({99}).ok());
+    EXPECT_FALSE(ctrl.read(Agent::forCpu(0), pageBase(99), 4).ok());
+}
+
+} // namespace
+} // namespace mintcb::verify
