@@ -143,8 +143,9 @@ BENCHMARK(BM_Recommended)->Arg(1)->Arg(4)->Arg(8)->UseManualTime()
 int
 main(int argc, char **argv)
 {
+    benchutil::stripJsonFlag(&argc, argv);
     reproductionTable();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return benchutil::writeJsonArtifact() ? 0 : 1;
 }

@@ -95,8 +95,9 @@ BENCHMARK(BM_SePcrSweep)->Arg(1)->Arg(3)->Arg(8)->UseManualTime()
 int
 main(int argc, char **argv)
 {
+    benchutil::stripJsonFlag(&argc, argv);
     reproductionTable();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return benchutil::writeJsonArtifact() ? 0 : 1;
 }

@@ -90,8 +90,9 @@ BENCHMARK(BM_ScaledTpmSwitch)->Arg(0)->Arg(2)->Arg(4)->Arg(6)
 int
 main(int argc, char **argv)
 {
+    benchutil::stripJsonFlag(&argc, argv);
     reproductionTable();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return benchutil::writeJsonArtifact() ? 0 : 1;
 }

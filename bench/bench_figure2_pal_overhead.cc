@@ -123,6 +123,9 @@ reproductionTable()
                        "overheads, HP dc5750 (100 runs)");
 
     StatsAccumulator skinit, seal, unseal, reseal, total, quote;
+    for (StatsAccumulator *acc :
+         {&skinit, &seal, &unseal, &reseal, &total, &quote})
+        acc->keepSamples();
     for (std::uint64_t run = 0; run < 100; ++run) {
         const Figure2Sample s = runOnce(run);
         skinit.add(s.skinit);
@@ -156,6 +159,16 @@ reproductionTable()
                      unseal.mean() > 0.7 * total.mean());
     benchutil::check("variance across runs is small (sd < 3% of mean)",
                      total.stddev() < 0.03 * total.mean());
+
+    // Retained samples: full distribution of the 100 runs, with tails.
+    std::printf("\nPAL Use total across runs: %s\n",
+                total.str().c_str());
+    benchutil::stat("skinit", skinit, "ms");
+    benchutil::stat("seal", seal, "ms");
+    benchutil::stat("unseal", unseal, "ms");
+    benchutil::stat("reseal", reseal, "ms");
+    benchutil::stat("pal_use_total", total, "ms");
+    benchutil::stat("quote", quote, "ms");
 }
 
 } // namespace
@@ -170,8 +183,9 @@ BENCHMARK(BM_Quote)->UseManualTime()->Unit(benchmark::kMillisecond)
 int
 main(int argc, char **argv)
 {
+    benchutil::stripJsonFlag(&argc, argv);
     reproductionTable();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return benchutil::writeJsonArtifact() ? 0 : 1;
 }

@@ -80,6 +80,7 @@ trials(TpmVendor vendor, Op op, int n = 20)
     t.attachClock(&clock);
     tpm::SealedBlob blob = *t.seal(Bytes(128, 0x01), {17});
     StatsAccumulator acc;
+    acc.keepSamples();
     for (int i = 0; i < n; ++i)
         acc.add(runOp(t, clock, op, blob));
     return acc;
@@ -114,9 +115,16 @@ reproductionTable()
         for (TpmVendor v : vendors) {
             const StatsAccumulator s = trials(v, op);
             std::printf("  %8.2f +/- %-8.2f", s.mean(), s.stddev());
+            benchutil::stat(std::string(tpm::vendorName(v)) + "/" +
+                                opName(op),
+                            s, "ms");
         }
         std::printf("\n");
     }
+    // Retained samples give full trial distributions, not just the
+    // Welford summary.
+    std::printf("\nInfineon Quote trials: %s\n",
+                trials(TpmVendor::infineon, Op::quote).str().c_str());
 
     std::printf("\nExact figures stated in the paper's text:\n");
     benchutil::row("Broadcom Seal, 128 B (PAL Use)", 11.39,
@@ -196,8 +204,9 @@ REGISTER_VENDOR(TpmVendor::atmelTep, tep_atmel)
 int
 main(int argc, char **argv)
 {
+    benchutil::stripJsonFlag(&argc, argv);
     reproductionTable();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return benchutil::writeJsonArtifact() ? 0 : 1;
 }

@@ -11,7 +11,11 @@
 
 #include <cstring>
 #include <optional>
+#include <utility>
 
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "obs/telemetry.hh"
 #include "sea/service.hh"
 #include "support/benchutil.hh"
 #include "verify/race.hh"
@@ -228,6 +232,94 @@ sessionReuseTable()
                          Duration::millis(300));
 }
 
+/**
+ * The telemetry layer promises zero simulated-time overhead: observers
+ * read clocks, they never advance them. Prove it by running the same
+ * seeded workload bare and with a full TelemetrySession attached and
+ * demanding identical busy time and byte-identical encoded reports.
+ */
+void
+telemetryOverheadTable()
+{
+    benchutil::heading("Telemetry overhead: spans + metrics attached "
+                       "must not move simulated time");
+
+    auto run = [](bool telemetry) {
+        Machine m = Machine::forPlatform(PlatformId::recServer, 42);
+        sea::ServiceConfig config;
+        config.quantum = Duration::millis(4);
+        config.legacyCpus = 4;
+        config.auditTrail = true;
+        sea::ExecutionService svc(m, config);
+        std::optional<obs::SpanTracer> tracer;
+        std::optional<obs::MetricsRegistry> registry;
+        std::optional<obs::TelemetrySession> session;
+        if (telemetry) {
+            tracer.emplace();
+            registry.emplace();
+            session.emplace(m, *tracer, *registry);
+            session->attach(svc);
+        }
+        for (int i = 0; i < workloadPals; ++i) {
+            if (!svc.submit(workerRequest(i)).ok())
+                std::abort();
+        }
+        auto reports = svc.drain();
+        if (!reports.ok())
+            std::abort();
+        Bytes all;
+        for (const sea::ExecutionReport &r : *reports) {
+            const Bytes wire = r.encode();
+            all.insert(all.end(), wire.begin(), wire.end());
+        }
+        std::size_t spans = 0;
+        if (session) {
+            session->detach();
+            spans = tracer->spans().size();
+        }
+        return std::make_pair(svc.metrics().busy,
+                              std::make_pair(std::move(all), spans));
+    };
+
+    const auto [plainBusy, plainRest] = run(false);
+    const auto [tracedBusy, tracedRest] = run(true);
+    benchutil::rowSimOnly("busy time, bare", plainBusy.toMillis(), "ms");
+    benchutil::rowSimOnly("busy time, telemetry attached",
+                          tracedBusy.toMillis(), "ms");
+    benchutil::rowSimOnly("spans recorded meanwhile",
+                          static_cast<double>(tracedRest.second), "");
+    benchutil::check("telemetry leaves simulated time untouched",
+                     plainBusy == tracedBusy);
+    benchutil::check("telemetry leaves report bytes untouched",
+                     plainRest.first == tracedRest.first);
+    benchutil::check("telemetry actually recorded spans",
+                     tracedRest.second > 0);
+}
+
+/** --json extras: per-request latency percentiles and counter deltas
+ *  from one instrumented 4-core drain. */
+void
+recordJsonDetail()
+{
+    const sea::ServiceMetrics metrics = runWorkload(4, /*audit=*/true);
+    benchutil::histogram("queue_wait", metrics.queueWait);
+    benchutil::histogram("turnaround", metrics.turnaround);
+    benchutil::histogram("compute", metrics.compute);
+    benchutil::counterDelta("submitted",
+                            static_cast<double>(metrics.submitted));
+    benchutil::counterDelta("completed",
+                            static_cast<double>(metrics.completed));
+    benchutil::counterDelta("launches",
+                            static_cast<double>(metrics.launches));
+    benchutil::counterDelta("preemptions",
+                            static_cast<double>(metrics.preemptions));
+    benchutil::counterDelta("audit_commands",
+                            static_cast<double>(metrics.auditCommands));
+    benchutil::counterDelta("audit_exchanges",
+                            static_cast<double>(metrics.auditExchanges));
+    benchutil::counterDelta("busy_ms", metrics.busy.toMillis());
+}
+
 void
 determinismCheck()
 {
@@ -295,6 +387,7 @@ BENCHMARK(BM_ServiceDrain)
 int
 main(int argc, char **argv)
 {
+    benchutil::stripJsonFlag(&argc, argv);
     // Strip --check before google-benchmark sees (and rejects) it.
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--check") == 0) {
@@ -309,7 +402,10 @@ main(int argc, char **argv)
     scalingTable();
     pipeliningTable();
     sessionReuseTable();
+    telemetryOverheadTable();
     determinismCheck();
+    if (benchutil::jsonMode())
+        recordJsonDetail();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     if (checkMode) {
@@ -318,5 +414,5 @@ main(int argc, char **argv)
                              "temporally clean",
                          checkedRuns > 0);
     }
-    return 0;
+    return benchutil::writeJsonArtifact() ? 0 : 1;
 }

@@ -59,6 +59,8 @@ reproductionTable()
         const VmSwitchTiming t = VmSwitchTiming::forVendor(r.vendor);
         Rng rng(42);
         StatsAccumulator enter, exit;
+        enter.keepSamples();
+        exit.keepSamples();
         for (int i = 0; i < 10000; ++i) {
             enter.add(t.sampleEnter(rng).toMicros());
             exit.add(t.sampleExit(rng).toMicros());
@@ -70,6 +72,13 @@ reproductionTable()
         benchutil::row("VM Exit mean", r.paper_exit, exit.mean(), "us");
         benchutil::row("VM Exit stdev", r.paper_exit_sd, exit.stddev(),
                        "us");
+        std::printf("  enter %s\n", enter.str().c_str());
+        benchutil::stat(std::string(machine::cpuVendorName(r.vendor)) +
+                            "/vm_enter",
+                        enter, "us");
+        benchutil::stat(std::string(machine::cpuVendorName(r.vendor)) +
+                            "/vm_exit",
+                        exit, "us");
     }
 
     std::printf("\nShape checks:\n");
@@ -100,8 +109,9 @@ BENCHMARK_CAPTURE(BM_VmExit, intel_txt, CpuVendor::intel)
 int
 main(int argc, char **argv)
 {
+    benchutil::stripJsonFlag(&argc, argv);
     reproductionTable();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return benchutil::writeJsonArtifact() ? 0 : 1;
 }

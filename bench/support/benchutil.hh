@@ -8,17 +8,174 @@
  *      modeled 2007-hardware numbers, not host wall time);
  *   2. prints a paper-vs-simulated reproduction table with shape checks,
  *      which is the artifact EXPERIMENTS.md records.
+ *
+ * The table helpers double as a machine-readable artifact recorder:
+ * when the binary is invoked with `--json <file>` (strip it with
+ * stripJsonFlag() before google-benchmark parses argv), every heading /
+ * row / check -- plus any stat() / counterDelta() / histogram() calls
+ * -- is also captured and written as one JSON document by
+ * writeJsonArtifact(). scripts/run-benches.sh collects these as
+ * BENCH_<name>.json files for regression tracking.
  */
 
 #ifndef MINTCB_BENCH_SUPPORT_BENCHUTIL_HH
 #define MINTCB_BENCH_SUPPORT_BENCHUTIL_HH
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
+
+#include "common/stats.hh"
 
 namespace mintcb::benchutil
 {
+
+namespace detail
+{
+
+struct JsonRow
+{
+    std::string label;
+    bool hasPaper = false;
+    double paper = 0.0;
+    double sim = 0.0;
+    std::string unit;
+};
+
+struct JsonCheck
+{
+    std::string what;
+    bool ok = false;
+};
+
+struct JsonSection
+{
+    std::string title;
+    std::vector<JsonRow> rows;
+    std::vector<JsonCheck> checks;
+};
+
+struct JsonStat
+{
+    std::string name;
+    std::string unit;
+    double mean = 0.0, sd = 0.0, min = 0.0, max = 0.0;
+    std::uint64_t n = 0;
+    bool hasPercentiles = false;
+    double p50 = 0.0, p99 = 0.0;
+};
+
+struct JsonHistogram
+{
+    std::string name;
+    std::uint64_t n = 0;
+    double p50us = 0.0, p90us = 0.0, p99us = 0.0;
+    double meanMs = 0.0, maxMs = 0.0;
+};
+
+struct JsonCounter
+{
+    std::string name;
+    double value = 0.0;
+};
+
+struct Artifact
+{
+    std::string bench;
+    std::string path; //!< empty = recording only, no --json given
+    std::vector<JsonSection> sections;
+    std::vector<JsonStat> stats;
+    std::vector<JsonHistogram> histograms;
+    std::vector<JsonCounter> counters;
+};
+
+inline Artifact &
+artifact()
+{
+    static Artifact a;
+    return a;
+}
+
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Finite JSON number (NaN/inf are not JSON; clamp to 0). */
+inline std::string
+num(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+inline JsonSection &
+currentSection()
+{
+    Artifact &a = artifact();
+    if (a.sections.empty())
+        a.sections.push_back(JsonSection{"", {}, {}});
+    return a.sections.back();
+}
+
+} // namespace detail
+
+/**
+ * Strip `--json <file>` from argv (google-benchmark rejects unknown
+ * flags) and remember the output path; also derives the bench name
+ * from argv[0]. Call first thing in main().
+ */
+inline void
+stripJsonFlag(int *argc, char **argv)
+{
+    detail::Artifact &a = detail::artifact();
+    if (*argc > 0) {
+        const char *slash = std::strrchr(argv[0], '/');
+        a.bench = slash ? slash + 1 : argv[0];
+    }
+    for (int i = 1; i < *argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+            a.path = argv[i + 1];
+            for (int j = i; j + 2 < *argc; ++j)
+                argv[j] = argv[j + 2];
+            *argc -= 2;
+            return;
+        }
+    }
+}
+
+/** True when `--json` was given (benches can record extra detail). */
+inline bool
+jsonMode()
+{
+    return !detail::artifact().path.empty();
+}
 
 /** Print a section heading. */
 inline void
@@ -29,6 +186,8 @@ heading(const std::string &title)
                 "================================================="
                 "=============\n",
                 title.c_str());
+    detail::artifact().sections.push_back(
+        detail::JsonSection{title, {}, {}});
 }
 
 /** One paper-vs-simulated row; deviation printed as a percentage. */
@@ -40,6 +199,8 @@ row(const std::string &label, double paper, double simulated,
         paper != 0.0 ? (simulated - paper) / paper * 100.0 : 0.0;
     std::printf("  %-34s paper %10.3f %-3s  sim %10.3f %-3s  (%+5.1f%%)\n",
                 label.c_str(), paper, unit, simulated, unit, dev);
+    detail::currentSection().rows.push_back(
+        detail::JsonRow{label, true, paper, simulated, unit});
 }
 
 /** A row with no paper reference value. */
@@ -48,6 +209,8 @@ rowSimOnly(const std::string &label, double simulated, const char *unit)
 {
     std::printf("  %-34s %51s %10.3f %-3s\n", label.c_str(), "sim",
                 simulated, unit);
+    detail::currentSection().rows.push_back(
+        detail::JsonRow{label, false, 0.0, simulated, unit});
 }
 
 /** Record a qualitative shape check ("who wins / by what factor"). */
@@ -55,6 +218,141 @@ inline void
 check(const std::string &what, bool ok)
 {
     std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+    detail::currentSection().checks.push_back(
+        detail::JsonCheck{what, ok});
+}
+
+/** Capture a trial summary (mean/sd/min/max, p50/p99 when retained). */
+inline void
+stat(const std::string &name, const StatsAccumulator &acc,
+     const char *unit)
+{
+    detail::JsonStat s;
+    s.name = name;
+    s.unit = unit;
+    s.mean = acc.mean();
+    s.sd = acc.stddev();
+    s.min = acc.min();
+    s.max = acc.max();
+    s.n = acc.count();
+    if (acc.keepingSamples() && acc.count() > 0) {
+        s.hasPercentiles = true;
+        s.p50 = acc.percentile(0.50);
+        s.p99 = acc.percentile(0.99);
+    }
+    detail::artifact().stats.push_back(std::move(s));
+}
+
+/** Capture a latency histogram's percentile summary. */
+inline void
+histogram(const std::string &name, const LatencyHistogram &h)
+{
+    detail::JsonHistogram j;
+    j.name = name;
+    j.n = h.count();
+    j.p50us = h.percentile(0.50).toMicros();
+    j.p90us = h.percentile(0.90).toMicros();
+    j.p99us = h.percentile(0.99).toMicros();
+    j.meanMs = h.summary().mean();
+    j.maxMs = h.summary().max();
+    detail::artifact().histograms.push_back(std::move(j));
+}
+
+/** Capture one named counter (e.g. a stats-struct delta). */
+inline void
+counterDelta(const std::string &name, double value)
+{
+    detail::artifact().counters.push_back(
+        detail::JsonCounter{name, value});
+}
+
+/**
+ * Write the recorded artifact to the `--json` path (no-op without the
+ * flag). Call last thing in main(); returns false on write failure.
+ */
+inline bool
+writeJsonArtifact()
+{
+    const detail::Artifact &a = detail::artifact();
+    if (a.path.empty())
+        return true;
+    using detail::jsonEscape;
+    using detail::num;
+
+    std::string out = "{\n  \"bench\": \"" + jsonEscape(a.bench) +
+                      "\",\n  \"sections\": [";
+    bool firstSection = true;
+    for (const detail::JsonSection &sec : a.sections) {
+        out += firstSection ? "\n" : ",\n";
+        firstSection = false;
+        out += "    {\"title\": \"" + jsonEscape(sec.title) +
+               "\", \"rows\": [";
+        bool first = true;
+        for (const detail::JsonRow &r : sec.rows) {
+            out += first ? "" : ", ";
+            first = false;
+            out += "{\"label\": \"" + jsonEscape(r.label) + "\", ";
+            if (r.hasPaper)
+                out += "\"paper\": " + num(r.paper) + ", ";
+            out += "\"sim\": " + num(r.sim) + ", \"unit\": \"" +
+                   jsonEscape(r.unit) + "\"}";
+        }
+        out += "], \"checks\": [";
+        first = true;
+        for (const detail::JsonCheck &c : sec.checks) {
+            out += first ? "" : ", ";
+            first = false;
+            out += "{\"what\": \"" + jsonEscape(c.what) +
+                   "\", \"ok\": " + (c.ok ? "true" : "false") + "}";
+        }
+        out += "]}";
+    }
+    out += "\n  ],\n  \"stats\": [";
+    bool first = true;
+    for (const detail::JsonStat &s : a.stats) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    {\"name\": \"" + jsonEscape(s.name) +
+               "\", \"unit\": \"" + jsonEscape(s.unit) +
+               "\", \"mean\": " + num(s.mean) + ", \"sd\": " +
+               num(s.sd) + ", \"min\": " + num(s.min) + ", \"max\": " +
+               num(s.max) + ", \"n\": " + std::to_string(s.n);
+        if (s.hasPercentiles) {
+            out += ", \"p50\": " + num(s.p50) + ", \"p99\": " +
+                   num(s.p99);
+        }
+        out += "}";
+    }
+    out += "\n  ],\n  \"histograms\": [";
+    first = true;
+    for (const detail::JsonHistogram &h : a.histograms) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    {\"name\": \"" + jsonEscape(h.name) +
+               "\", \"n\": " + std::to_string(h.n) + ", \"p50_us\": " +
+               num(h.p50us) + ", \"p90_us\": " + num(h.p90us) +
+               ", \"p99_us\": " + num(h.p99us) + ", \"mean_ms\": " +
+               num(h.meanMs) + ", \"max_ms\": " + num(h.maxMs) + "}";
+    }
+    out += "\n  ],\n  \"counters\": [";
+    first = true;
+    for (const detail::JsonCounter &c : a.counters) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    {\"name\": \"" + jsonEscape(c.name) +
+               "\", \"value\": " + num(c.value) + "}";
+    }
+    out += "\n  ]\n}\n";
+
+    std::ofstream f(a.path, std::ios::binary);
+    f.write(out.data(), static_cast<std::streamsize>(out.size()));
+    if (!f) {
+        std::fprintf(stderr, "benchutil: cannot write %s\n",
+                     a.path.c_str());
+        return false;
+    }
+    std::printf("\nwrote %s\n", a.path.c_str());
+    return true;
 }
 
 } // namespace mintcb::benchutil

@@ -1,0 +1,51 @@
+#!/bin/sh
+# Run every reproduction benchmark in --json mode and collect the
+# machine-readable artifacts (BENCH_<name>.json: reproduction rows,
+# shape checks, trial stats with percentiles, counter deltas) at the
+# repo root, where EXPERIMENTS.md and regression tooling expect them.
+#
+# google-benchmark cases are skipped by default
+# (--benchmark_filter=-.*): the reproduction tables re-run every
+# workload anyway, and the artifact is what this script is for. Pass
+# BENCH_ARGS to override, e.g.:
+#
+#   BENCH_ARGS="--benchmark_filter=." scripts/run-benches.sh
+#   scripts/run-benches.sh my-build-dir
+#
+# Any bench failing (a FAILED shape check exits 0, but a crash or an
+# unwritable artifact does not) fails the script.
+
+set -u
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+bench_args=${BENCH_ARGS:-"--benchmark_filter=-.*"}
+status=0
+ran=0
+
+if [ ! -d "$build_dir/bench" ]; then
+    echo "run-benches: $build_dir/bench not found; build first" \
+         "(cmake -B build -S . && cmake --build build -j)" >&2
+    exit 1
+fi
+
+for bench in "$build_dir"/bench/bench_*; do
+    [ -x "$bench" ] || continue
+    name=$(basename "$bench")
+    artifact="$repo_root/BENCH_${name#bench_}.json"
+    echo "== $name -> $artifact =="
+    # shellcheck disable=SC2086
+    if ! "$bench" --json "$artifact" $bench_args; then
+        echo "run-benches: $name failed" >&2
+        status=1
+    fi
+    ran=$((ran + 1))
+done
+
+if [ "$ran" -eq 0 ]; then
+    echo "run-benches: no bench binaries in $build_dir/bench" >&2
+    exit 1
+fi
+
+echo "run-benches: $ran benches, artifacts in $repo_root/BENCH_*.json"
+exit "$status"

@@ -25,6 +25,48 @@ StatsAccumulator::add(double x)
     const double delta = x - mean_;
     mean_ += delta / static_cast<double>(n_);
     m2_ += delta * (x - mean_);
+
+    if (sampleCap_ != 0 && ++sinceKept_ >= stride_) {
+        sinceKept_ = 0;
+        samples_.push_back(x);
+        if (samples_.size() >= sampleCap_)
+            decimate();
+    }
+}
+
+void
+StatsAccumulator::keepSamples(std::size_t cap)
+{
+    sampleCap_ = std::max<std::size_t>(cap, 2);
+    samples_.reserve(sampleCap_);
+}
+
+void
+StatsAccumulator::decimate()
+{
+    // Keep every other retained sample and double the keep-stride: the
+    // reservoir stays an even, RNG-free thinning of the whole stream.
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < samples_.size(); i += 2)
+        samples_[out++] = samples_[i];
+    samples_.resize(out);
+    stride_ *= 2;
+}
+
+double
+StatsAccumulator::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double clamped = std::min(std::max(p, 0.0), 1.0);
+    // Nearest-rank: the smallest sample with rank >= p * n.
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(clamped * static_cast<double>(sorted.size())));
+    if (rank > 0)
+        --rank;
+    return sorted[std::min(rank, sorted.size() - 1)];
 }
 
 double
@@ -47,8 +89,17 @@ StatsAccumulator::merge(const StatsAccumulator &other)
     if (other.n_ == 0)
         return;
     if (n_ == 0) {
+        const std::size_t cap = sampleCap_;
         *this = other;
+        if (cap > sampleCap_)
+            sampleCap_ = cap;
         return;
+    }
+    if (sampleCap_ != 0 && !other.samples_.empty()) {
+        samples_.insert(samples_.end(), other.samples_.begin(),
+                        other.samples_.end());
+        while (samples_.size() >= sampleCap_)
+            decimate();
     }
     const double na = static_cast<double>(n_);
     const double nb = static_cast<double>(other.n_);
@@ -68,7 +119,13 @@ StatsAccumulator::str() const
     std::snprintf(buf, sizeof(buf), "mean=%.4f sd=%.4f min=%.4f max=%.4f n=%llu",
                   mean(), stddev(), min(), max(),
                   static_cast<unsigned long long>(n_));
-    return buf;
+    std::string out = buf;
+    if (keepingSamples() && !samples_.empty()) {
+        std::snprintf(buf, sizeof(buf), " p50=%.4f p99=%.4f",
+                      percentile(0.50), percentile(0.99));
+        out += buf;
+    }
+    return out;
 }
 
 void

@@ -14,6 +14,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/simtime.hh"
 
@@ -41,15 +42,41 @@ class StatsAccumulator
     /** Merge another accumulator into this one (parallel-safe combine). */
     void merge(const StatsAccumulator &other);
 
-    /** "mean=12.34 sd=0.56 n=20" style rendering. */
+    /**
+     * Opt into sample retention (off by default, so the accumulator
+     * stays O(1) unless a bench asks for percentiles). At most @p cap
+     * samples are kept; past the cap, retention decimates
+     * deterministically -- drop every other kept sample and double the
+     * keep-stride -- so the reservoir stays an even thinning of the
+     * stream with no RNG involved.
+     */
+    void keepSamples(std::size_t cap = 4096);
+    bool keepingSamples() const { return sampleCap_ != 0; }
+
+    /**
+     * Percentile @p p (0..1) by nearest-rank over the retained
+     * samples; 0 when retention is off or no samples arrived. Exact
+     * until the stream exceeds the cap, an even thinning after.
+     */
+    double percentile(double p) const;
+
+    /** "mean=12.34 sd=0.56 min=... max=... n=20" rendering, plus
+     *  "p50=... p99=..." when sample retention is on. */
     std::string str() const;
 
   private:
+    void decimate();
+
     std::uint64_t n_ = 0;
     double mean_ = 0.0;
     double m2_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
+
+    std::size_t sampleCap_ = 0;    //!< 0 = retention off
+    std::uint64_t stride_ = 1;     //!< keep every stride-th sample
+    std::uint64_t sinceKept_ = 0;  //!< samples since the last kept one
+    std::vector<double> samples_;
 };
 
 /**

@@ -20,6 +20,21 @@
 namespace mintcb::machine
 {
 
+/**
+ * Observer of every bus transfer. The obs layer's telemetry session
+ * implements this to attribute simulated time to LPC traffic; the bus
+ * itself never behaves differently with an observer attached.
+ */
+class LpcObserver
+{
+  public:
+    virtual ~LpcObserver() = default;
+    /** @p bytes moved during [@p start, @p start + @p cost) on the
+     *  charged clock. */
+    virtual void onTransfer(std::uint64_t bytes, TimePoint start,
+                            Duration cost) = 0;
+};
+
 /** The LPC bus connecting the south bridge / TPM. */
 class LpcBus
 {
@@ -48,8 +63,16 @@ class LpcBus
     void
     transfer(std::uint64_t bytes, Timeline &clock) const
     {
-        clock.advance(transferTime(bytes));
+        const TimePoint start = clock.now();
+        const Duration cost = transferTime(bytes);
+        clock.advance(cost);
+        if (observer_)
+            observer_->onTransfer(bytes, start, cost);
     }
+
+    /** Attach (or with nullptr detach) the transfer observer. */
+    void setObserver(LpcObserver *obs) { observer_ = obs; }
+    LpcObserver *observer() const { return observer_; }
 
     /** Cumulative bytes moved (test observability). */
     std::uint64_t bytesMoved() const { return bytesMoved_; }
@@ -65,6 +88,7 @@ class LpcBus
   private:
     Duration perByte_;
     std::uint64_t bytesMoved_ = 0;
+    LpcObserver *observer_ = nullptr;
 };
 
 } // namespace mintcb::machine

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Recursive-descent parser for trace-event JSON.
+ */
+
+#include "obs/chromejson.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <string_view>
+
+namespace mintcb::obs
+{
+
+namespace
+{
+
+/** Cursor over the JSON text with one-token-lookahead helpers. */
+class Cursor
+{
+  public:
+    explicit Cursor(const std::string &text) : text_(text) {}
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    peek(char c)
+    {
+        skipWs();
+        return pos_ < text_.size() && text_[pos_] == c;
+    }
+
+    bool atEnd()
+    {
+        skipWs();
+        return pos_ >= text_.size();
+    }
+
+    std::size_t pos() const { return pos_; }
+
+    Error
+    error(const std::string &what) const
+    {
+        return Error(Errc::invalidArgument,
+                     "chrome-trace JSON: " + what + " at byte " +
+                         std::to_string(pos_));
+    }
+
+    Result<std::string>
+    string()
+    {
+        if (!consume('"'))
+            return error("expected string");
+        std::string out;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return error("truncated escape");
+                char e = text_[pos_++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return error("truncated \\u escape");
+                    const std::string hex = text_.substr(pos_, 4);
+                    pos_ += 4;
+                    const long cp = std::strtol(hex.c_str(), nullptr, 16);
+                    // The exporter only emits \u00xx control escapes.
+                    out += static_cast<char>(cp & 0xff);
+                    break;
+                  }
+                  default:
+                    return error("unknown escape");
+                }
+                continue;
+            }
+            out += c;
+        }
+        return error("unterminated string");
+    }
+
+    Result<double>
+    number()
+    {
+        skipWs();
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E')) {
+            ++pos_;
+        }
+        if (pos_ == start)
+            return error("expected number");
+        return std::strtod(text_.substr(start, pos_ - start).c_str(),
+                           nullptr);
+    }
+
+  private:
+    const std::string &text_;
+    std::size_t pos_ = 0;
+
+    friend Status consumeLiteral(Cursor &c);
+};
+
+/** Consume one of the JSON literals true/false/null. */
+Status
+consumeLiteral(Cursor &c)
+{
+    c.skipWs();
+    for (const char *lit : {"true", "false", "null"}) {
+        const std::string_view sv(lit);
+        if (c.text_.compare(c.pos_, sv.size(), sv) == 0) {
+            c.pos_ += sv.size();
+            return okStatus();
+        }
+    }
+    return c.error("unknown literal");
+}
+
+/** Skip any JSON value (used for fields the event record ignores). */
+Status
+skipValue(Cursor &c)
+{
+    if (c.peek('"')) {
+        auto s = c.string();
+        return s ? okStatus() : Status{s.error()};
+    }
+    if (c.consume('{')) {
+        if (c.consume('}'))
+            return okStatus();
+        do {
+            auto key = c.string();
+            if (!key)
+                return key.error();
+            if (!c.consume(':'))
+                return c.error("expected ':'");
+            if (auto s = skipValue(c); !s.ok())
+                return s;
+        } while (c.consume(','));
+        if (!c.consume('}'))
+            return c.error("expected '}'");
+        return okStatus();
+    }
+    if (c.consume('[')) {
+        if (c.consume(']'))
+            return okStatus();
+        do {
+            if (auto s = skipValue(c); !s.ok())
+                return s;
+        } while (c.consume(','));
+        if (!c.consume(']'))
+            return c.error("expected ']'");
+        return okStatus();
+    }
+    // number / true / false / null
+    if (c.peek('t') || c.peek('f') || c.peek('n'))
+        return consumeLiteral(c);
+    auto n = c.number();
+    return n ? okStatus() : Status{n.error()};
+}
+
+Status
+parseArgs(Cursor &c, ChromeEvent &e)
+{
+    if (!c.consume('{'))
+        return c.error("args must be an object");
+    if (c.consume('}'))
+        return okStatus();
+    do {
+        auto key = c.string();
+        if (!key)
+            return key.error();
+        if (!c.consume(':'))
+            return c.error("expected ':'");
+        if (c.peek('"')) {
+            auto v = c.string();
+            if (!v)
+                return v.error();
+            e.args.emplace_back(key.take(), v.take());
+        } else {
+            if (auto s = skipValue(c); !s.ok())
+                return s;
+            e.args.emplace_back(key.take(), std::string());
+        }
+    } while (c.consume(','));
+    if (!c.consume('}'))
+        return c.error("expected '}'");
+    return okStatus();
+}
+
+Status
+parseEvent(Cursor &c, ChromeEvent &e)
+{
+    if (!c.consume('{'))
+        return c.error("expected event object");
+    if (c.consume('}'))
+        return okStatus();
+    do {
+        auto key = c.string();
+        if (!key)
+            return key.error();
+        if (!c.consume(':'))
+            return c.error("expected ':'");
+        const std::string &k = *key;
+        if (k == "name" || k == "cat" || k == "ph" || k == "id" ||
+            k == "s") {
+            auto v = c.string();
+            if (!v)
+                return v.error();
+            if (k == "name")
+                e.name = v.take();
+            else if (k == "cat")
+                e.category = v.take();
+            else if (k == "ph")
+                e.phase = v.take();
+            else if (k == "id")
+                e.id = v.take();
+        } else if (k == "ts" || k == "dur" || k == "tid" || k == "pid") {
+            auto v = c.number();
+            if (!v)
+                return v.error();
+            if (k == "ts")
+                e.ts = *v;
+            else if (k == "dur")
+                e.dur = *v;
+            else if (k == "tid")
+                e.tid = static_cast<std::uint32_t>(*v);
+        } else if (k == "args") {
+            if (auto s = parseArgs(c, e); !s.ok())
+                return s;
+        } else {
+            if (auto s = skipValue(c); !s.ok())
+                return s;
+        }
+    } while (c.consume(','));
+    if (!c.consume('}'))
+        return c.error("expected '}'");
+    return okStatus();
+}
+
+} // namespace
+
+std::size_t
+ChromeTrace::spanCount() const
+{
+    std::size_t n = 0;
+    for (const ChromeEvent &e : events) {
+        if (e.phase == "X" || e.phase == "b" || e.phase == "i")
+            ++n;
+    }
+    return n;
+}
+
+Result<ChromeTrace>
+parseChromeTrace(const std::string &json)
+{
+    Cursor c(json);
+    ChromeTrace trace;
+    if (!c.consume('{'))
+        return c.error("expected top-level object");
+    bool sawEvents = false;
+    if (!c.consume('}')) {
+        do {
+            auto key = c.string();
+            if (!key)
+                return key.error();
+            if (!c.consume(':'))
+                return c.error("expected ':'");
+            if (*key == "traceEvents") {
+                sawEvents = true;
+                if (!c.consume('['))
+                    return c.error("traceEvents must be an array");
+                if (!c.consume(']')) {
+                    do {
+                        ChromeEvent e;
+                        if (auto s = parseEvent(c, e); !s.ok())
+                            return s.error();
+                        trace.events.push_back(std::move(e));
+                    } while (c.consume(','));
+                    if (!c.consume(']'))
+                        return c.error("expected ']'");
+                }
+            } else {
+                if (auto s = skipValue(c); !s.ok())
+                    return s.error();
+            }
+        } while (c.consume(','));
+        if (!c.consume('}'))
+            return c.error("expected '}'");
+    }
+    if (!c.atEnd())
+        return c.error("trailing bytes");
+    if (!sawEvents)
+        return c.error("no traceEvents array");
+    return trace;
+}
+
+} // namespace mintcb::obs

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Structural parser for the Chrome trace-event JSON the tracer emits.
+ *
+ * Not a general JSON library: just enough recursive-descent JSON to
+ * load a trace-event file back into event records, so tests and
+ * mintcb-trace --selftest can prove the export round-trips (export ->
+ * parse -> same span count, ids, names, timestamps). It does accept
+ * any well-formed JSON object in the trace-event shape, so it also
+ * validates files edited by hand.
+ */
+
+#ifndef MINTCB_OBS_CHROMEJSON_HH
+#define MINTCB_OBS_CHROMEJSON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hh"
+
+namespace mintcb::obs
+{
+
+/** One parsed trace event (the fields the exporter writes). */
+struct ChromeEvent
+{
+    std::string name;
+    std::string category;
+    std::string phase;      //!< "X", "b", "e", "i", "M"
+    std::uint32_t tid = 0;
+    double ts = 0.0;        //!< microseconds
+    double dur = 0.0;       //!< microseconds ("X" events)
+    std::string id;         //!< async correlation id ("b"/"e" events)
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/** A parsed trace-event file. */
+struct ChromeTrace
+{
+    std::vector<ChromeEvent> events;
+
+    /** Events with phase "X", "b", or "i" -- one per recorded span
+     *  (async spans export a b/e pair; "e" and metadata don't count). */
+    std::size_t spanCount() const;
+};
+
+/** Parse @p json; fails with a position-tagged error on malformed
+ *  input, unbalanced structure, or a non-trace-event shape. */
+Result<ChromeTrace> parseChromeTrace(const std::string &json);
+
+} // namespace mintcb::obs
+
+#endif // MINTCB_OBS_CHROMEJSON_HH

@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Span tracer implementation and Chrome trace-event export.
+ */
+
+#include "obs/span.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace mintcb::obs
+{
+
+namespace
+{
+
+/** JSON string escaping (control characters, quotes, backslash). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Microsecond timestamp with sub-us precision (ticks are ps). */
+std::string
+usField(TimePoint t)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.6f",
+                  t.sinceEpoch().toMicros());
+    return buf;
+}
+
+std::string
+usField(Duration d)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.6f", d.toMicros());
+    return buf;
+}
+
+void
+appendArgs(std::string &out, const Span &s)
+{
+    out += "\"args\":{";
+    bool first = true;
+    if (s.correlation != 0) {
+        out += "\"request\":\"" + std::to_string(s.correlation) + "\"";
+        first = false;
+    }
+    for (const auto &[k, v] : s.args) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(k) + "\":\"" + jsonEscape(v) + "\"";
+    }
+    out += "}";
+}
+
+} // namespace
+
+std::uint64_t
+SpanTracer::beginSpan(std::uint32_t track, std::string name,
+                      std::string category, TimePoint at,
+                      std::uint64_t correlation)
+{
+    OpenSpan open;
+    open.span.id = nextId_++;
+    open.span.parent = currentSpan(track);
+    open.span.name = std::move(name);
+    open.span.category = std::move(category);
+    open.span.track = track;
+    open.span.begin = at;
+    open.span.correlation = correlation;
+    open_.push_back(std::move(open));
+    return open_.back().span.id;
+}
+
+void
+SpanTracer::endSpan(std::uint64_t id, TimePoint at)
+{
+    auto it = std::find_if(open_.begin(), open_.end(),
+                           [id](const OpenSpan &o) {
+                               return o.span.id == id && !o.asyncSpan;
+                           });
+    if (it == open_.end())
+        return;
+    const std::uint32_t track = it->span.track;
+    // Unwind: anything opened on this track after (and still inside)
+    // the closing span ends with it, keeping the log well nested.
+    for (auto inner = open_.end(); inner != it;) {
+        --inner;
+        if (inner == it)
+            break;
+        if (inner->asyncSpan || inner->span.track != track)
+            continue;
+        Span s = std::move(inner->span);
+        s.end = at;
+        spans_.push_back(std::move(s));
+        inner = open_.erase(inner);
+    }
+    Span s = std::move(it->span);
+    s.end = at;
+    spans_.push_back(std::move(s));
+    open_.erase(it);
+}
+
+std::uint64_t
+SpanTracer::completeSpan(std::uint32_t track, std::string name,
+                         std::string category, TimePoint begin,
+                         TimePoint end, std::uint64_t correlation)
+{
+    Span s;
+    s.id = nextId_++;
+    s.parent = currentSpan(track);
+    s.name = std::move(name);
+    s.category = std::move(category);
+    s.track = track;
+    s.begin = begin;
+    s.end = end;
+    s.correlation = correlation;
+    spans_.push_back(std::move(s));
+    return spans_.back().id;
+}
+
+std::uint64_t
+SpanTracer::instant(std::uint32_t track, std::string name,
+                    std::string category, TimePoint at,
+                    std::uint64_t correlation)
+{
+    const std::uint64_t id = completeSpan(track, std::move(name),
+                                          std::move(category), at, at,
+                                          correlation);
+    spans_.back().instant = true;
+    return id;
+}
+
+std::uint64_t
+SpanTracer::beginAsync(std::uint32_t track, std::string name,
+                       std::string category, TimePoint at,
+                       std::uint64_t correlation)
+{
+    OpenSpan open;
+    open.span.id = nextId_++;
+    open.span.name = std::move(name);
+    open.span.category = std::move(category);
+    open.span.track = track;
+    open.span.begin = at;
+    open.span.async = true;
+    open.span.correlation = correlation;
+    open.asyncSpan = true;
+    open_.push_back(std::move(open));
+    return open_.back().span.id;
+}
+
+void
+SpanTracer::endAsync(std::uint64_t id, TimePoint at)
+{
+    auto it = std::find_if(open_.begin(), open_.end(),
+                           [id](const OpenSpan &o) {
+                               return o.span.id == id && o.asyncSpan;
+                           });
+    if (it == open_.end())
+        return;
+    Span s = std::move(it->span);
+    s.end = at;
+    spans_.push_back(std::move(s));
+    open_.erase(it);
+}
+
+void
+SpanTracer::annotate(std::uint64_t id, const std::string &key,
+                     const std::string &value)
+{
+    for (OpenSpan &o : open_) {
+        if (o.span.id == id) {
+            o.span.args.emplace_back(key, value);
+            return;
+        }
+    }
+    for (Span &s : spans_) {
+        if (s.id == id) {
+            s.args.emplace_back(key, value);
+            return;
+        }
+    }
+}
+
+void
+SpanTracer::closeAll(TimePoint at)
+{
+    while (!open_.empty()) {
+        OpenSpan &last = open_.back();
+        if (last.asyncSpan)
+            endAsync(last.span.id, at);
+        else
+            endSpan(last.span.id, at);
+    }
+}
+
+std::size_t
+SpanTracer::openCount() const
+{
+    return open_.size();
+}
+
+std::uint64_t
+SpanTracer::currentSpan(std::uint32_t track) const
+{
+    for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
+        if (!it->asyncSpan && it->span.track == track)
+            return it->span.id;
+    }
+    return 0;
+}
+
+std::string
+SpanTracer::exportChromeTrace(
+    const std::vector<std::pair<std::uint32_t, std::string>>
+        &track_names) const
+{
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    auto emit = [&](const std::string &event) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += event;
+    };
+
+    for (const auto &[tid, name] : track_names) {
+        emit("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,"
+             "\"tid\":" +
+             std::to_string(tid) + ",\"args\":{\"name\":\"" +
+             jsonEscape(name) + "\"}}");
+    }
+
+    for (const Span &s : spans_) {
+        std::string e = "{\"name\":\"" + jsonEscape(s.name) +
+                        "\",\"cat\":\"" + jsonEscape(s.category) +
+                        "\",\"pid\":1,\"tid\":" +
+                        std::to_string(s.track) + ",";
+        if (s.async) {
+            // Async begin/end pair, matched by id.
+            std::string begin = e;
+            begin += "\"ph\":\"b\",\"id\":\"" + std::to_string(s.id) +
+                     "\",\"ts\":" + usField(s.begin) + ",";
+            appendArgs(begin, s);
+            begin += "}";
+            emit(begin);
+            std::string end = e;
+            end += "\"ph\":\"e\",\"id\":\"" + std::to_string(s.id) +
+                   "\",\"ts\":" + usField(s.end) + ",\"args\":{}}";
+            emit(end);
+            continue;
+        }
+        if (s.instant) {
+            e += "\"ph\":\"i\",\"s\":\"t\",\"ts\":" + usField(s.begin) +
+                 ",";
+        } else {
+            e += "\"ph\":\"X\",\"ts\":" + usField(s.begin) +
+                 ",\"dur\":" + usField(s.duration()) + ",";
+        }
+        appendArgs(e, s);
+        e += "}";
+        emit(e);
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+SpanTracer::table() const
+{
+    std::vector<const Span *> ordered;
+    ordered.reserve(spans_.size());
+    for (const Span &s : spans_)
+        ordered.push_back(&s);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const Span *a, const Span *b) {
+                         return a->begin < b->begin;
+                     });
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof line, "%-10s %-6s %-28s %14s %14s %8s\n",
+                  "cat", "track", "name", "begin(us)", "dur(us)", "req");
+    out += line;
+    for (const Span *s : ordered) {
+        std::snprintf(line, sizeof line,
+                      "%-10s %-6u %-28s %14.3f %14.3f %8llu\n",
+                      s->category.c_str(), s->track, s->name.c_str(),
+                      s->begin.sinceEpoch().toMicros(),
+                      s->duration().toMicros(),
+                      static_cast<unsigned long long>(s->correlation));
+        out += line;
+    }
+    return out;
+}
+
+std::vector<Attribution>
+SpanTracer::top() const
+{
+    std::map<std::string, Attribution> by_name;
+    for (const Span &s : spans_) {
+        if (s.instant)
+            continue;
+        Attribution &a = by_name[s.name];
+        if (a.count == 0) {
+            a.name = s.name;
+            a.category = s.category;
+        }
+        ++a.count;
+        a.total += s.duration();
+        a.max = std::max(a.max, s.duration());
+    }
+    std::vector<Attribution> out;
+    out.reserve(by_name.size());
+    for (auto &[_, a] : by_name)
+        out.push_back(std::move(a));
+    std::sort(out.begin(), out.end(),
+              [](const Attribution &a, const Attribution &b) {
+                  if (a.total != b.total)
+                      return a.total > b.total;
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+std::string
+SpanTracer::topTable(std::size_t limit) const
+{
+    const std::vector<Attribution> rows = top();
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof line, "%-28s %-10s %8s %14s %14s\n",
+                  "span", "cat", "count", "total(us)", "max(us)");
+    out += line;
+    std::size_t shown = 0;
+    for (const Attribution &a : rows) {
+        if (shown++ == limit)
+            break;
+        std::snprintf(line, sizeof line,
+                      "%-28s %-10s %8llu %14.3f %14.3f\n",
+                      a.name.c_str(), a.category.c_str(),
+                      static_cast<unsigned long long>(a.count),
+                      a.total.toMicros(), a.max.toMicros());
+        out += line;
+    }
+    return out;
+}
+
+} // namespace mintcb::obs

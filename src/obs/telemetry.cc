@@ -1,0 +1,300 @@
+/**
+ * @file
+ * TelemetrySession implementation.
+ */
+
+#include "obs/telemetry.hh"
+
+#include <algorithm>
+
+namespace mintcb::obs
+{
+
+namespace
+{
+
+std::string
+u64str(std::uint64_t v)
+{
+    return std::to_string(static_cast<unsigned long long>(v));
+}
+
+} // namespace
+
+TelemetrySession::TelemetrySession(machine::Machine &machine,
+                                   SpanTracer &tracer,
+                                   MetricsRegistry &metrics)
+    : machine_(machine), tracer_(tracer), metrics_(metrics)
+{
+    memGranted_ = &metrics_.counter(
+        "mintcb_mem_accesses_total",
+        "Per-page memory accesses seen by the access-control check",
+        {{"outcome", "granted"}});
+    memDenied_ = &metrics_.counter(
+        "mintcb_mem_accesses_total",
+        "Per-page memory accesses seen by the access-control check",
+        {{"outcome", "denied"}});
+    lpcTransfers_ = &metrics_.counter(
+        "mintcb_lpc_transfers_total", "LPC bus transfers");
+    lpcBytes_ = &metrics_.counter(
+        "mintcb_lpc_bytes_total", "Bytes moved across the LPC bus");
+    tpmLatency_ = &metrics_.histogram(
+        "mintcb_tpm_command_latency",
+        "TPM command execution latency (queueing excluded)");
+    tpmQueueWait_ = &metrics_.histogram(
+        "mintcb_tpm_command_queue_wait",
+        "Wait behind another CPU's in-flight TPM command");
+    requestTurnaround_ = &metrics_.histogram(
+        "mintcb_request_turnaround",
+        "PalRequest first SLAUNCH -> final report");
+}
+
+TelemetrySession::~TelemetrySession()
+{
+    detach();
+}
+
+void
+TelemetrySession::attach(sea::ExecutionService &service)
+{
+    service_ = &service;
+    service.setObserver(this);
+    attachExecutive(service.executive());
+}
+
+void
+TelemetrySession::attachExecutive(rec::SecureExecutive &exec)
+{
+    exec_ = &exec;
+    exec.setSyncObserver(this);
+    machine_.memctrl().setAccessObserver(this);
+    machine_.lpc().setObserver(this);
+    if (machine_.hasTpm())
+        machine_.tpm().setCommandObserver(this);
+    if (!bridged_) {
+        bridged_ = true;
+        bridgeMemCtrlStats(metrics_, machine_.memctrl().stats());
+        if (machine_.hasTpm())
+            bridgeTpmStats(metrics_, machine_.tpm().stats());
+    }
+}
+
+void
+TelemetrySession::detach()
+{
+    if (service_ && service_->observer() == this)
+        service_->setObserver(nullptr);
+    if (exec_ && exec_->syncObserver() == this)
+        exec_->setSyncObserver(nullptr);
+    if (machine_.memctrl().accessObserver() == this)
+        machine_.memctrl().setAccessObserver(nullptr);
+    if (machine_.lpc().observer() == this)
+        machine_.lpc().setObserver(nullptr);
+    if (machine_.hasTpm() && machine_.tpm().commandObserver() == this)
+        machine_.tpm().setCommandObserver(nullptr);
+    if (exec_ || service_)
+        tracer_.closeAll(machine_.now());
+    service_ = nullptr;
+    exec_ = nullptr;
+    palSlices_.clear();
+    palRequests_.clear();
+    requestSpans_.clear();
+    drainSpan_ = 0;
+    roundSpan_ = 0;
+}
+
+std::vector<std::pair<std::uint32_t, std::string>>
+TelemetrySession::trackNames() const
+{
+    std::vector<std::pair<std::uint32_t, std::string>> names;
+    for (std::size_t c = 0; c < machine_.cpuCount(); ++c)
+        names.emplace_back(static_cast<std::uint32_t>(c),
+                           "cpu " + u64str(c));
+    names.emplace_back(track::tpm, "tpm");
+    names.emplace_back(track::lpc, "lpc bus");
+    names.emplace_back(track::service, "execution service");
+    names.emplace_back(track::scheduler, "scheduler");
+    names.emplace_back(track::requests, "requests");
+    return names;
+}
+
+std::uint64_t
+TelemetrySession::requestFor(const std::string &pal) const
+{
+    for (const auto &[name, id] : palRequests_) {
+        if (name == pal)
+            return id;
+    }
+    return 0;
+}
+
+void
+TelemetrySession::onPalEvent(rec::ExecEvent event, CpuId cpu,
+                             const rec::Secb &secb)
+{
+    const TimePoint at = machine_.cpu(cpu).now();
+    metrics_
+        .counter("mintcb_exec_events_total",
+                 "PAL life-cycle events by kind",
+                 {{"event", rec::execEventName(event)}})
+        .inc();
+    switch (event) {
+      case rec::ExecEvent::slaunchMeasure:
+      case rec::ExecEvent::slaunchResume: {
+        const std::uint64_t id = tracer_.beginSpan(
+            static_cast<std::uint32_t>(cpu), "pal:" + secb.palName,
+            "rec", at, requestFor(secb.palName));
+        tracer_.annotate(id, "launch",
+                         event == rec::ExecEvent::slaunchMeasure
+                             ? "measure"
+                             : "resume");
+        palSlices_.emplace_back(secb.palName, id);
+        break;
+      }
+      case rec::ExecEvent::syield:
+      case rec::ExecEvent::sfree:
+      case rec::ExecEvent::skill: {
+        // Close the innermost open slice for this PAL.
+        for (auto it = palSlices_.rbegin(); it != palSlices_.rend();
+             ++it) {
+            if (it->first == secb.palName) {
+                tracer_.annotate(it->second, "exit",
+                                 rec::execEventName(event));
+                tracer_.endSpan(it->second, at);
+                palSlices_.erase(std::next(it).base());
+                break;
+            }
+        }
+        break;
+      }
+    }
+}
+
+void
+TelemetrySession::onBarrier()
+{
+    const TimePoint at = machine_.now();
+    if (roundSpan_ != 0)
+        tracer_.endSpan(roundSpan_, at);
+    ++roundIndex_;
+    roundSpan_ = tracer_.beginSpan(track::scheduler,
+                                   "round " + u64str(roundIndex_),
+                                   "sched", at);
+}
+
+void
+TelemetrySession::onDrainBegin(std::size_t queued)
+{
+    const TimePoint at = machine_.now();
+    drainSpan_ = tracer_.beginSpan(track::service, "drain", "sea", at);
+    tracer_.annotate(drainSpan_, "queued", u64str(queued));
+    roundIndex_ = 0;
+    roundSpan_ = tracer_.beginSpan(track::scheduler, "round 0", "sched",
+                                   at);
+}
+
+void
+TelemetrySession::onDrainEnd(std::size_t completed)
+{
+    const TimePoint at = machine_.now();
+    if (roundSpan_ != 0) {
+        tracer_.endSpan(roundSpan_, at);
+        roundSpan_ = 0;
+    }
+    if (drainSpan_ != 0) {
+        tracer_.annotate(drainSpan_, "completed", u64str(completed));
+        tracer_.endSpan(drainSpan_, at);
+        drainSpan_ = 0;
+    }
+}
+
+void
+TelemetrySession::onSessionOpened()
+{
+    tracer_.instant(track::service, "session:open", "sea",
+                    machine_.now());
+}
+
+void
+TelemetrySession::onSessionResumed(std::uint64_t epoch)
+{
+    const std::uint64_t id = tracer_.instant(
+        track::service, "session:resume", "sea", machine_.now());
+    tracer_.annotate(id, "epoch", u64str(epoch));
+}
+
+void
+TelemetrySession::onAuditExchange(std::size_t commands)
+{
+    const std::uint64_t id = tracer_.instant(
+        track::service, "audit:exchange", "sea", machine_.now());
+    tracer_.annotate(id, "commands", u64str(commands));
+}
+
+void
+TelemetrySession::onSubmit(std::uint64_t id, const std::string &pal)
+{
+    palRequests_.emplace_back(pal, id);
+    const std::uint64_t span = tracer_.beginAsync(
+        track::requests, "request:" + pal, "sea", machine_.now(), id);
+    requestSpans_.emplace_back(id, span);
+}
+
+void
+TelemetrySession::onRequestDone(const sea::ExecutionReport &report)
+{
+    for (auto it = requestSpans_.begin(); it != requestSpans_.end();
+         ++it) {
+        if (it->first == report.requestId) {
+            tracer_.annotate(it->second, "ok",
+                             report.status.ok() ? "true" : "false");
+            tracer_.endAsync(it->second, report.finishedAt);
+            requestSpans_.erase(it);
+            break;
+        }
+    }
+    for (auto it = palRequests_.begin(); it != palRequests_.end();
+         ++it) {
+        if (it->second == report.requestId) {
+            palRequests_.erase(it);
+            break;
+        }
+    }
+    requestTurnaround_->add(report.finishedAt - report.startedAt);
+}
+
+void
+TelemetrySession::onAccess(const machine::Agent &agent, PageNum page,
+                           bool isWrite, bool granted)
+{
+    (void)agent;
+    (void)page;
+    (void)isWrite;
+    (granted ? memGranted_ : memDenied_)->inc();
+}
+
+void
+TelemetrySession::onTransfer(std::uint64_t bytes, TimePoint start,
+                             Duration cost)
+{
+    lpcTransfers_->inc();
+    lpcBytes_->inc(bytes);
+    const std::uint64_t id = tracer_.completeSpan(
+        track::lpc, "lpc:transfer", "lpc", start, start + cost);
+    tracer_.annotate(id, "bytes", u64str(bytes));
+}
+
+void
+TelemetrySession::onCommand(const char *op, TimePoint issued,
+                            TimePoint start, TimePoint end)
+{
+    tpmLatency_->add(end - start);
+    if (start > issued)
+        tpmQueueWait_->add(start - issued);
+    const std::uint64_t id =
+        tracer_.completeSpan(track::tpm, op, "tpm", start, end);
+    if (start > issued)
+        tracer_.annotate(id, "queued", (start - issued).str());
+}
+
+} // namespace mintcb::obs

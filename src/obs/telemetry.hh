@@ -1,0 +1,147 @@
+/**
+ * @file
+ * TelemetrySession: one object that listens on every profiling hook the
+ * platform exposes and turns the event stream into spans + metrics.
+ *
+ * Production layers (machine, tpm, rec, sea) each publish a tiny
+ * observer interface and know nothing about obs; this class implements
+ * all of them at once and wires itself into a Machine +
+ * ExecutionService with attach(). Nothing here ever advances a virtual
+ * clock, so an attached session changes no simulated timing and no
+ * simulated behavior -- the same seed still produces byte-identical
+ * ExecutionReports (bench_service_throughput --check proves it).
+ *
+ * Span layout (see obs/span.hh track ids):
+ *
+ *   CPU tracks (tid = CpuId)  nested "pal:<name>" slices between
+ *                             SLAUNCH and SYIELD/SFREE/SKILL, tagged
+ *                             with the originating PalRequest id
+ *   track::tpm                one complete span per charged TPM
+ *                             command (queueing wait annotated)
+ *   track::lpc                one complete span per bus transfer
+ *   track::service            drain() cycles, session/audit instants
+ *   track::scheduler          scheduler rounds between barriers
+ *   track::requests           async submit -> report span per request
+ */
+
+#ifndef MINTCB_OBS_TELEMETRY_HH
+#define MINTCB_OBS_TELEMETRY_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "machine/lpc.hh"
+#include "machine/machine.hh"
+#include "machine/memctrl.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "rec/instructions.hh"
+#include "sea/service.hh"
+#include "tpm/tpm.hh"
+
+namespace mintcb::obs
+{
+
+/** The all-hooks listener. Attach, run a workload, read the tracer. */
+class TelemetrySession final : public rec::ExecSyncObserver,
+                               public sea::ServiceObserver,
+                               public machine::MemAccessObserver,
+                               public machine::LpcObserver,
+                               public tpm::TpmCommandObserver
+{
+  public:
+    TelemetrySession(machine::Machine &machine, SpanTracer &tracer,
+                     MetricsRegistry &metrics);
+    /** Detaches from everything it attached to. */
+    ~TelemetrySession() override;
+
+    TelemetrySession(const TelemetrySession &) = delete;
+    TelemetrySession &operator=(const TelemetrySession &) = delete;
+
+    /** Wire this session into @p service (scheduling + transport
+     *  milestones), its executive (PAL lifecycle), and the machine's
+     *  memory controller, LPC bus, and TPM. Also bridges the
+     *  component counter structs into the metrics registry. */
+    void attach(sea::ExecutionService &service);
+
+    /** Executive-only attachment (workloads without a service). */
+    void attachExecutive(rec::SecureExecutive &exec);
+
+    /** Unhook every observer slot this session occupies and close any
+     *  spans still open. Idempotent. */
+    void detach();
+
+    /** Track id -> display name pairs for exportChromeTrace(). */
+    std::vector<std::pair<std::uint32_t, std::string>>
+    trackNames() const;
+
+    /** @name rec::ExecSyncObserver @{ */
+    void onPalEvent(rec::ExecEvent event, CpuId cpu,
+                    const rec::Secb &secb) override;
+    void onBarrier() override;
+    /** @} */
+
+    /** @name sea::ServiceObserver @{ */
+    void onDrainBegin(std::size_t queued) override;
+    void onDrainEnd(std::size_t completed) override;
+    void onSessionOpened() override;
+    void onSessionResumed(std::uint64_t epoch) override;
+    void onAuditExchange(std::size_t commands) override;
+    void onSubmit(std::uint64_t id, const std::string &pal) override;
+    void onRequestDone(const sea::ExecutionReport &report) override;
+    /** @} */
+
+    /** @name machine::MemAccessObserver @{ */
+    void onAccess(const machine::Agent &agent, PageNum page,
+                  bool isWrite, bool granted) override;
+    /** @} */
+
+    /** @name machine::LpcObserver @{ */
+    void onTransfer(std::uint64_t bytes, TimePoint start,
+                    Duration cost) override;
+    /** @} */
+
+    /** @name tpm::TpmCommandObserver @{ */
+    void onCommand(const char *op, TimePoint issued, TimePoint start,
+                   TimePoint end) override;
+    /** @} */
+
+  private:
+    /** RequestId a PAL name maps to (0 = unknown). */
+    std::uint64_t requestFor(const std::string &pal) const;
+
+    machine::Machine &machine_;
+    SpanTracer &tracer_;
+    MetricsRegistry &metrics_;
+
+    sea::ExecutionService *service_ = nullptr;
+    rec::SecureExecutive *exec_ = nullptr;
+
+    /** Open PAL slice: palName -> sync span id. */
+    std::vector<std::pair<std::string, std::uint64_t>> palSlices_;
+    /** Submitted-not-done: palName -> requestId. */
+    std::vector<std::pair<std::string, std::uint64_t>> palRequests_;
+    /** In-flight async request spans: requestId -> span id. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> requestSpans_;
+
+    std::uint64_t drainSpan_ = 0;
+    std::uint64_t roundSpan_ = 0;
+    std::uint64_t roundIndex_ = 0;
+    bool bridged_ = false; //!< counter bridges registered once
+
+    /** Pre-resolved metric handles (hot paths stay cheap). @{ */
+    Counter *memGranted_ = nullptr;
+    Counter *memDenied_ = nullptr;
+    Counter *lpcTransfers_ = nullptr;
+    Counter *lpcBytes_ = nullptr;
+    LatencyHistogram *tpmLatency_ = nullptr;
+    LatencyHistogram *tpmQueueWait_ = nullptr;
+    LatencyHistogram *requestTurnaround_ = nullptr;
+    /** @} */
+};
+
+} // namespace mintcb::obs
+
+#endif // MINTCB_OBS_TELEMETRY_HH

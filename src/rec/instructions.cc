@@ -115,9 +115,10 @@ SecureExecutive::slaunch(CpuId cpu, Secb &secb)
         }
         const TimePoint measure_start = core.now();
         machine_.lpc().transferTracked(full->size(), core.clock());
-        tpm.charge(tpm.profile().hashStartStop);
+        tpm.charge(tpm.profile().hashStartStop, "tpm:hash_seq");
         tpm.charge(tpm.profile().hashWaitPerByte *
-                   static_cast<double>(full->size()));
+                       static_cast<double>(full->size()),
+                   "tpm:hash_data");
         auto handle =
             sePcrs_.allocateAndMeasure(*full, tpm::Locality::hardware);
         tpm.unlock(cpu);

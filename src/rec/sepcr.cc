@@ -115,7 +115,7 @@ SePcrTpm::extend(SePcrHandle h, const Bytes &digest, SePcrHandle caller)
         return Error(Errc::invalidArgument,
                      "extend requires a 20-byte digest");
     }
-    base_.charge(base_.profile().extend);
+    base_.charge(base_.profile().extend, "sepcr:extend");
     SePcr &p = sePcrs_[h];
     Bytes cat = p.value;
     cat.insert(cat.end(), digest.begin(), digest.end());
@@ -128,7 +128,7 @@ SePcrTpm::seal(SePcrHandle h, const Bytes &payload, SePcrHandle caller)
 {
     if (auto s = requireExclusiveCaller(h, caller, "sePCR Seal"); !s.ok())
         return s.error();
-    base_.charge(base_.profile().seal(payload.size()));
+    base_.charge(base_.profile().seal(payload.size()), "sepcr:seal");
     // Bind to the *value*, not the handle: any sePCR holding this value
     // in a future run may unseal (Section 5.4.4).
     tpm::SealPolicy policy = {{h, sePcrs_[h].value}};
@@ -144,7 +144,7 @@ SePcrTpm::unseal(SePcrHandle h, const tpm::SealedBlob &blob,
         !s.ok()) {
         return s.error();
     }
-    base_.charge(base_.profile().unseal);
+    base_.charge(base_.profile().unseal, "sepcr:unseal");
     if (!blob.sePcrBound) {
         return Error(Errc::failedPrecondition,
                      "blob is bound to ordinary PCRs, not a sePCR");
@@ -186,7 +186,7 @@ SePcrTpm::quote(SePcrHandle h, const Bytes &nonce)
         return Error(Errc::failedPrecondition,
                      "sePCR not in the Quote state");
     }
-    base_.charge(base_.profile().quote);
+    base_.charge(base_.profile().quote, "sepcr:quote");
     tpm::TpmQuote q;
     // sePCR handles are namespaced above the 24 ordinary PCRs.
     q.selection = {tpm::pcrCount + h};

@@ -89,7 +89,7 @@ SePcrSets::quoteSubset(const SePcrSetHandle &set,
         q.values.push_back(*value);
     }
     q.nonce = nonce;
-    bank_.base().charge(bank_.base().profile().quote);
+    bank_.base().charge(bank_.base().profile().quote, "sepcr:quote");
     q.signature = bank_.base().aikSign(q.signedPayload());
     return q;
 }

@@ -41,6 +41,8 @@ ExecutionService::submit(PalRequest request)
     ++metrics_.submitted;
     metrics_.maxQueueDepth = std::max(metrics_.maxQueueDepth,
                                       queue_.size());
+    if (observer_)
+        observer_->onSubmit(queue_.back().id, queue_.back().request.pal.name());
     return queue_.back().id;
 }
 
@@ -161,6 +163,8 @@ ExecutionService::drain()
         metrics_.compute.add(r.phases.palCompute);
         metrics_.launches += r.launches;
         metrics_.yields += r.yields;
+        if (observer_)
+            observer_->onRequestDone(r);
     }
     metrics_.preemptions += stats->preemptions;
     metrics_.slaunchRetries += stats->slaunchRetries;

@@ -149,6 +149,18 @@ class ServiceObserver
     virtual void onSessionResumed(std::uint64_t epoch) = 0;
     /** One transport exchange carried @p commands audit commands. */
     virtual void onAuditExchange(std::size_t commands) = 0;
+    /** Request @p id for PAL @p pal entered the queue. Default-empty so
+     *  existing observers need not care. */
+    virtual void onSubmit(std::uint64_t id, const std::string &pal)
+    {
+        (void)id;
+        (void)pal;
+    }
+    /** Request finished: its report (timestamps included) is final. */
+    virtual void onRequestDone(const ExecutionReport &report)
+    {
+        (void)report;
+    }
 };
 
 /**

@@ -90,16 +90,20 @@ Tpm::advanceTransportTicketEpoch(const Bytes &key_digest)
 }
 
 void
-Tpm::charge(Duration mean)
+Tpm::charge(Duration mean, const char *op)
 {
     // The TPM is a single slow chip behind one LPC port: a command from
     // any CPU cannot start until the previous command (possibly issued
     // by a different CPU) completes. Serializing in virtual time models
     // the hardware-lock arbitration of Section 5.4.5.
     Timeline *clock = clock_ ? clock_ : &ownClock_;
+    const TimePoint issued = clock->now();
     clock->syncTo(busyUntil_);
+    const TimePoint start = clock->now();
     clock->advance(profile_.sample(mean, rng_));
     busyUntil_ = clock->now();
+    if (observer_)
+        observer_->onCommand(op ? op : "tpm", issued, start, busyUntil_);
 }
 
 Status
@@ -119,7 +123,7 @@ Result<PcrValue>
 Tpm::pcrRead(std::size_t index)
 {
     ++stats_.reads;
-    charge(profile_.pcrRead);
+    charge(profile_.pcrRead, "tpm:pcr_read");
     return pcrs_.read(index);
 }
 
@@ -127,7 +131,7 @@ Status
 Tpm::pcrExtend(std::size_t index, const Bytes &digest)
 {
     ++stats_.extends;
-    charge(profile_.extend);
+    charge(profile_.extend, "tpm:extend");
     return pcrs_.extend(index, digest);
 }
 
@@ -135,7 +139,7 @@ Result<Bytes>
 Tpm::getRandom(std::size_t bytes)
 {
     ++stats_.getRandoms;
-    charge(profile_.getRandom(bytes));
+    charge(profile_.getRandom(bytes), "tpm:get_random");
     return rng_.bytes(bytes);
 }
 
@@ -164,7 +168,7 @@ Tpm::sealToPolicy(const Bytes &payload, const SealPolicy &policy)
         }
     }
     ++stats_.seals;
-    charge(profile_.seal(payload.size()));
+    charge(profile_.seal(payload.size()), "tpm:seal");
     return sealBlob(srk_.pub, rng_, payload, policy);
 }
 
@@ -172,7 +176,7 @@ Result<Bytes>
 Tpm::unseal(const SealedBlob &blob)
 {
     ++stats_.unseals;
-    charge(profile_.unseal);
+    charge(profile_.unseal, "tpm:unseal");
     if (blob.sePcrBound) {
         return Error(Errc::failedPrecondition,
                      "blob is sePCR-bound; a v1.2 TPM cannot unseal it");
@@ -207,7 +211,7 @@ Result<TpmQuote>
 Tpm::quote(const Bytes &nonce, const std::vector<std::size_t> &selection)
 {
     ++stats_.quotes;
-    charge(profile_.quote);
+    charge(profile_.quote, "tpm:quote");
     TpmQuote q;
     q.selection = selection;
     for (std::size_t index : selection) {
@@ -229,7 +233,7 @@ Tpm::counterCreate()
         return Error(Errc::resourceExhausted,
                      "TPM monotonic counter slots exhausted");
     }
-    charge(profile_.extend); // NV-write-class cost
+    charge(profile_.extend, "tpm:nv_write"); // NV-write-class cost
     counters_.push_back(0);
     return static_cast<std::uint32_t>(counters_.size() - 1);
 }
@@ -239,7 +243,7 @@ Tpm::counterIncrement(std::uint32_t handle)
 {
     if (handle >= counters_.size())
         return Error(Errc::notFound, "no such monotonic counter");
-    charge(profile_.extend);
+    charge(profile_.extend, "tpm:extend");
     return ++counters_[handle];
 }
 
@@ -295,7 +299,7 @@ Tpm::nvDefine(std::size_t bytes,
         space.policy.push_back(
             {static_cast<std::uint32_t>(index), *value});
     }
-    charge(profile_.extend); // NV-write-class cost
+    charge(profile_.extend, "tpm:nv_write"); // NV-write-class cost
     nvSpaces_.push_back(std::move(space));
     return static_cast<std::uint32_t>(nvSpaces_.size() - 1);
 }
@@ -310,7 +314,7 @@ Tpm::nvWrite(std::uint32_t index, const Bytes &data)
         return Error(Errc::invalidArgument, "write exceeds NV space");
     if (auto s = checkNvGate(pcrs_, space.policy); !s.ok())
         return s;
-    charge(profile_.extend);
+    charge(profile_.extend, "tpm:extend");
     space.data = data;
     return okStatus();
 }
@@ -323,7 +327,7 @@ Tpm::nvRead(std::uint32_t index)
     NvSpace &space = nvSpaces_[index];
     if (auto s = checkNvGate(pcrs_, space.policy); !s.ok())
         return s.error();
-    charge(profile_.pcrRead);
+    charge(profile_.pcrRead, "tpm:pcr_read");
     return space.data;
 }
 
@@ -333,7 +337,7 @@ Tpm::hashStart(Locality locality)
     if (auto s = requireHardware(locality, "TPM_HASH_START"); !s.ok())
         return s;
     ++stats_.hashSequences;
-    charge(profile_.hashStartStop / 2);
+    charge(profile_.hashStartStop / 2, "tpm:hash_seq");
     hashSequenceOpen_ = true;
     hashBuffer_.clear();
     // The late launch resets the dynamic PCRs to zero (Section 2.2.1).
@@ -353,8 +357,8 @@ Tpm::hashData(const Bytes &chunk, Locality locality)
     }
     // Long wait cycles on the LPC bus: the dominant SKINIT cost on the
     // HP dc5750 (Section 4.3.1).
-    charge(profile_.hashWaitPerByte *
-           static_cast<double>(chunk.size()));
+    charge(profile_.hashWaitPerByte * static_cast<double>(chunk.size()),
+           "tpm:hash_data");
     hashBuffer_.insert(hashBuffer_.end(), chunk.begin(), chunk.end());
     return okStatus();
 }
@@ -368,7 +372,7 @@ Tpm::hashEnd(Locality locality)
         return Error(Errc::failedPrecondition,
                      "TPM_HASH_END outside a hash sequence");
     }
-    charge(profile_.hashStartStop / 2);
+    charge(profile_.hashStartStop / 2, "tpm:hash_seq");
     const Bytes measurement = crypto::Sha1::digestBytes(hashBuffer_);
     hashSequenceOpen_ = false;
     hashBuffer_.clear();

@@ -63,6 +63,25 @@ struct TpmQuote
 bool verifyQuote(const crypto::RsaPublicKey &aik, const TpmQuote &quote,
                  const Bytes &expected_nonce);
 
+/**
+ * Observer of every charged TPM command. The obs layer's telemetry
+ * session implements this to build TPM command spans; the chip never
+ * behaves differently with an observer attached.
+ */
+class TpmCommandObserver
+{
+  public:
+    virtual ~TpmCommandObserver() = default;
+    /**
+     * One command charged. @p issued is the invoking clock before the
+     * chip-busy serialization, @p start after it (the command's actual
+     * start; the gap is queueing behind another CPU's command), @p end
+     * when the chip finished.
+     */
+    virtual void onCommand(const char *op, TimePoint issued,
+                           TimePoint start, TimePoint end) = 0;
+};
+
 /** The TPM chip model. */
 class Tpm
 {
@@ -184,13 +203,18 @@ class Tpm
     const crypto::RsaPrivateKey &srkPrivate() const { return srk_; }
     /** Sign @p payload with the AIK (sePCR quote path). */
     Bytes aikSign(const Bytes &payload) const;
-    /** Charge @p mean (with jitter) to the attached clock. */
-    void charge(Duration mean);
+    /** Charge @p mean (with jitter) to the attached clock. @p op names
+     *  the command for an attached observer (nullptr = generic). */
+    void charge(Duration mean, const char *op = nullptr);
     /** RNG shared with extensions so streams stay deterministic. */
     Rng &rng() { return rng_; }
 
     /** Command counters (gem5-style observability). */
     const TpmStats &stats() const { return stats_; }
+
+    /** Attach (or with nullptr detach) the command observer. */
+    void setCommandObserver(TpmCommandObserver *obs) { observer_ = obs; }
+    TpmCommandObserver *commandObserver() const { return observer_; }
 
   private:
     Status requireHardware(Locality locality, const char *op) const;
@@ -223,6 +247,7 @@ class Tpm
     };
     std::vector<NvSpace> nvSpaces_; //!< persists across reboot()
     mutable TpmStats stats_;
+    TpmCommandObserver *observer_ = nullptr;
 };
 
 } // namespace mintcb::tpm

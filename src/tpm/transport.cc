@@ -266,7 +266,7 @@ TpmTransportServer::accept(const Bytes &envelope)
     }
     // The session-key decrypt is an in-TPM RSA private-key operation of
     // the same class as an unseal (Section 4.3.3).
-    tpm_.charge(tpm_.profile().unseal);
+    tpm_.charge(tpm_.profile().unseal, "tpm:session_accept");
     const Bytes master = key.take();
     key_ = trafficKey(master, 0);
     recvCounter_ = 0;
@@ -294,7 +294,7 @@ TpmTransportServer::acceptResumed(const Bytes &key)
         return epoch.error();
     }
     // Symmetric-only resumption costs one cheap command's latency.
-    tpm_.charge(tpm_.profile().pcrRead);
+    tpm_.charge(tpm_.profile().pcrRead, "tpm:transport_exec");
     key_ = trafficKey(key, *epoch);
     recvCounter_ = 0;
     sendCounter_ = 0;

@@ -13,7 +13,8 @@ namespace mintcb::verify
 namespace
 {
 
-constexpr std::uint32_t traceMagic = 0x4d544c31; // "MTL1"
+constexpr std::uint32_t traceMagicV1 = 0x4d544c31; // "MTL1": no times
+constexpr std::uint32_t traceMagicV2 = 0x4d544c32; // "MTL2": + sim-time
 constexpr std::uint8_t kindMin = 1;
 constexpr std::uint8_t kindMax =
     static_cast<std::uint8_t>(TraceEventKind::transportExchange);
@@ -49,12 +50,14 @@ TraceEvent::str() const
     out += " cpu=" + std::to_string(cpu);
     if (arg != 0)
         out += " arg=" + std::to_string(arg);
+    if (at != TimePoint())
+        out += " t=" + at.sinceEpoch().str();
     return out;
 }
 
 void
 ExecutionTrace::append(TraceEventKind kind, CpuId cpu, std::string subject,
-                       std::uint64_t arg)
+                       std::uint64_t arg, TimePoint at)
 {
     TraceEvent e;
     e.kind = kind;
@@ -62,6 +65,7 @@ ExecutionTrace::append(TraceEventKind kind, CpuId cpu, std::string subject,
     e.cpu = cpu;
     e.subject = std::move(subject);
     e.arg = arg;
+    e.at = at;
     events_.push_back(std::move(e));
 }
 
@@ -69,13 +73,14 @@ Bytes
 ExecutionTrace::encode() const
 {
     ByteWriter w;
-    w.u32(traceMagic);
+    w.u32(traceMagicV2);
     w.u32(static_cast<std::uint32_t>(events_.size()));
     for (const TraceEvent &e : events_) {
         w.u8(static_cast<std::uint8_t>(e.kind));
         w.u32(e.cpu);
         w.str(e.subject);
         w.u64(e.arg);
+        w.u64(static_cast<std::uint64_t>(e.at.sinceEpoch().ticks()));
     }
     return w.take();
 }
@@ -87,8 +92,9 @@ ExecutionTrace::decode(const Bytes &blob)
     auto magic = r.u32();
     if (!magic)
         return magic.error();
-    if (*magic != traceMagic)
+    if (*magic != traceMagicV1 && *magic != traceMagicV2)
         return Error(Errc::integrityFailure, "not a mintcb trace blob");
+    const bool timed = *magic == traceMagicV2;
     auto count = r.u32();
     if (!count)
         return count.error();
@@ -112,8 +118,16 @@ ExecutionTrace::decode(const Bytes &blob)
         auto arg = r.u64();
         if (!arg)
             return arg.error();
+        TimePoint at;
+        if (timed) {
+            auto ticks = r.u64();
+            if (!ticks)
+                return ticks.error();
+            at = TimePoint(
+                Duration::picos(static_cast<std::int64_t>(*ticks)));
+        }
         trace.append(static_cast<TraceEventKind>(*kind), *cpu,
-                     subject.take(), *arg);
+                     subject.take(), *arg, at);
     }
     if (!r.atEnd())
         return Error(Errc::integrityFailure, "trailing trace bytes");
@@ -153,25 +167,34 @@ TraceRecorder::attach(sea::ExecutionService &service)
     attach(service.executive());
 }
 
+TimePoint
+TraceRecorder::stamp(CpuId cpu) const
+{
+    if (!exec_)
+        return {};
+    return exec_->machine().cpu(cpu).now();
+}
+
 void
 TraceRecorder::onPalEvent(rec::ExecEvent event, CpuId cpu,
                           const rec::Secb &secb)
 {
+    const TimePoint at = stamp(cpu);
     switch (event) {
       case rec::ExecEvent::slaunchMeasure:
-        trace_.append(TraceEventKind::slaunch, cpu, secb.palName, 0);
+        trace_.append(TraceEventKind::slaunch, cpu, secb.palName, 0, at);
         break;
       case rec::ExecEvent::slaunchResume:
-        trace_.append(TraceEventKind::slaunch, cpu, secb.palName, 1);
+        trace_.append(TraceEventKind::slaunch, cpu, secb.palName, 1, at);
         break;
       case rec::ExecEvent::syield:
-        trace_.append(TraceEventKind::syield, cpu, secb.palName);
+        trace_.append(TraceEventKind::syield, cpu, secb.palName, 0, at);
         break;
       case rec::ExecEvent::sfree:
-        trace_.append(TraceEventKind::sfree, cpu, secb.palName);
+        trace_.append(TraceEventKind::sfree, cpu, secb.palName, 0, at);
         break;
       case rec::ExecEvent::skill:
-        trace_.append(TraceEventKind::skill, cpu, secb.palName);
+        trace_.append(TraceEventKind::skill, cpu, secb.palName, 0, at);
         break;
     }
 }
@@ -179,43 +202,43 @@ TraceRecorder::onPalEvent(rec::ExecEvent event, CpuId cpu,
 void
 TraceRecorder::onBarrier()
 {
-    trace_.append(TraceEventKind::barrier, 0, {});
+    trace_.append(TraceEventKind::barrier, 0, {}, 0, stamp(0));
 }
 
 void
 TraceRecorder::onDrainBegin(std::size_t queued)
 {
-    trace_.append(TraceEventKind::drainBegin, 0, {}, queued);
+    trace_.append(TraceEventKind::drainBegin, 0, {}, queued, stamp(0));
 }
 
 void
 TraceRecorder::onDrainEnd(std::size_t completed)
 {
-    trace_.append(TraceEventKind::drainEnd, 0, {}, completed);
+    trace_.append(TraceEventKind::drainEnd, 0, {}, completed, stamp(0));
 }
 
 void
 TraceRecorder::onSessionOpened()
 {
-    trace_.append(TraceEventKind::sessionOpen, 0, {});
+    trace_.append(TraceEventKind::sessionOpen, 0, {}, 0, stamp(0));
 }
 
 void
 TraceRecorder::onSessionResumed(std::uint64_t epoch)
 {
-    trace_.append(TraceEventKind::sessionResume, 0, {}, epoch);
+    trace_.append(TraceEventKind::sessionResume, 0, {}, epoch, stamp(0));
 }
 
 void
 TraceRecorder::onAuditExchange(std::size_t commands)
 {
-    trace_.append(TraceEventKind::transportExchange, 0, {}, commands);
+    trace_.append(TraceEventKind::transportExchange, 0, {}, commands, stamp(0));
 }
 
 void
 TraceRecorder::noteSessionClose()
 {
-    trace_.append(TraceEventKind::sessionClose, 0, {});
+    trace_.append(TraceEventKind::sessionClose, 0, {}, 0, stamp(0));
 }
 
 } // namespace mintcb::verify

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/result.hh"
+#include "common/simtime.hh"
 #include "common/types.hh"
 #include "rec/instructions.hh"
 #include "sea/service.hh"
@@ -50,16 +51,21 @@ struct TraceEvent
     CpuId cpu = 0;           //!< reporting CPU (0 for service events)
     std::string subject;     //!< PAL name; empty for platform events
     std::uint64_t arg = 0;   //!< kind-specific payload
+    /** Simulated time on the reporting clock. Epoch (zero) in traces
+     *  decoded from the v1 format, which carried no timestamps. */
+    TimePoint at;
 
     std::string str() const;
 };
 
-/** An append-only sequence of TraceEvents with a canonical encoding. */
+/** An append-only sequence of TraceEvents with a canonical encoding.
+ *  Encodes as format v2 ("MTL2", per-event sim-time); decode() also
+ *  accepts v1 ("MTL1") blobs, whose events get a zero timestamp. */
 class ExecutionTrace
 {
   public:
     void append(TraceEventKind kind, CpuId cpu, std::string subject,
-                std::uint64_t arg = 0);
+                std::uint64_t arg = 0, TimePoint at = {});
 
     const std::vector<TraceEvent> &events() const { return events_; }
     std::size_t size() const { return events_.size(); }
@@ -114,6 +120,9 @@ class TraceRecorder : public rec::ExecSyncObserver,
     void noteSessionClose();
 
   private:
+    /** Sim-time on @p cpu's clock (epoch before any attach()). */
+    TimePoint stamp(CpuId cpu) const;
+
     ExecutionTrace &trace_;
     rec::SecureExecutive *exec_ = nullptr;
     sea::ExecutionService *service_ = nullptr;

@@ -88,5 +88,138 @@ TEST(Stats, StrMentionsCount)
     EXPECT_NE(s.str().find("n=1"), std::string::npos);
 }
 
+TEST(Stats, PercentileIsZeroWithoutRetention)
+{
+    StatsAccumulator s;
+    for (int i = 0; i < 100; ++i)
+        s.add(i);
+    EXPECT_EQ(s.percentile(0.5), 0.0);
+    EXPECT_FALSE(s.keepingSamples());
+}
+
+TEST(Stats, PercentilesExactUnderCap)
+{
+    StatsAccumulator s;
+    s.keepSamples(256);
+    // Insert 1..100 shuffled-ish (stride 7 mod 100 visits all).
+    for (int i = 0; i < 100; ++i)
+        s.add(1 + (i * 7) % 100);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.5), 50.0);  // nearest rank
+    EXPECT_DOUBLE_EQ(s.percentile(0.99), 99.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+}
+
+TEST(Stats, RetentionDecimatesDeterministically)
+{
+    StatsAccumulator a, b;
+    a.keepSamples(64);
+    b.keepSamples(64);
+    for (int i = 0; i < 10000; ++i) {
+        a.add(i);
+        b.add(i);
+    }
+    // Same stream twice -> same thinning -> identical percentiles.
+    for (double p : {0.1, 0.5, 0.9, 0.99})
+        EXPECT_DOUBLE_EQ(a.percentile(p), b.percentile(p));
+    // The thinning stays an even spread: p50 of 0..9999 within a few
+    // strides of 5000.
+    EXPECT_NEAR(a.percentile(0.5), 5000.0, 600.0);
+    EXPECT_EQ(a.count(), 10000u);
+}
+
+TEST(Stats, StrIncludesP99WhenRetaining)
+{
+    StatsAccumulator s;
+    s.keepSamples();
+    for (int i = 0; i < 10; ++i)
+        s.add(i);
+    const std::string rendered = s.str();
+    EXPECT_NE(rendered.find("p50="), std::string::npos);
+    EXPECT_NE(rendered.find("p99="), std::string::npos);
+
+    StatsAccumulator plain;
+    plain.add(1.0);
+    EXPECT_EQ(plain.str().find("p99="), std::string::npos);
+}
+
+TEST(Stats, MergeCombinesRetainedSamples)
+{
+    StatsAccumulator low, high;
+    low.keepSamples(512);
+    high.keepSamples(512);
+    for (int i = 0; i < 100; ++i)
+        low.add(i);
+    for (int i = 900; i < 1000; ++i)
+        high.add(i);
+    low.merge(high);
+    EXPECT_EQ(low.count(), 200u);
+    EXPECT_LT(low.percentile(0.25), 100.0);
+    EXPECT_GT(low.percentile(0.75), 899.0);
+}
+
+TEST(Histogram, BucketBoundaries)
+{
+    LatencyHistogram h;
+    h.add(Duration::micros(0.5)); // below 1 us -> bucket 0
+    h.add(Duration::micros(1.0)); // bucket 0 covers [0, 2) us
+    h.add(Duration::micros(1.999));
+    h.add(Duration::micros(2.0)); // exactly the edge -> bucket 1
+    h.add(Duration::micros(3.999));
+    h.add(Duration::micros(4.0)); // bucket 2
+    EXPECT_EQ(h.bucket(0), 3u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 1u);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(LatencyHistogram::bucketUpperEdge(0),
+              Duration::micros(2));
+    EXPECT_EQ(LatencyHistogram::bucketUpperEdge(3),
+              Duration::micros(16));
+}
+
+TEST(Histogram, OverflowSamplesLandInLastBucket)
+{
+    LatencyHistogram h;
+    // ~1 hour is far beyond the top finite edge (2^31 us ~ 36 min).
+    h.add(Duration::millis(3600.0 * 1000.0));
+    EXPECT_EQ(h.bucket(LatencyHistogram::bucketCount - 1), 1u);
+    EXPECT_EQ(h.percentile(1.0),
+              LatencyHistogram::bucketUpperEdge(
+                  LatencyHistogram::bucketCount - 1));
+}
+
+TEST(Histogram, PercentileIsConservativeUpperEdge)
+{
+    LatencyHistogram h;
+    for (int i = 0; i < 99; ++i)
+        h.add(Duration::micros(10)); // bucket [8, 16) us
+    h.add(Duration::millis(5));      // one slow outlier
+    EXPECT_EQ(h.percentile(0.5), Duration::micros(16));
+    EXPECT_GE(h.percentile(1.0), Duration::millis(4));
+}
+
+TEST(Histogram, MergeAddsBucketsAndSummary)
+{
+    LatencyHistogram a, b;
+    a.add(Duration::micros(1));
+    a.add(Duration::micros(100));
+    b.add(Duration::micros(100));
+    b.add(Duration::millis(2));
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.bucket(0), 1u);
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < LatencyHistogram::bucketCount; ++i)
+        total += a.bucket(i);
+    EXPECT_EQ(total, 4u);
+    EXPECT_DOUBLE_EQ(a.summary().max(), 2.0); // ms
+}
+
+TEST(Histogram, EmptyPercentileIsZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.percentile(0.5), Duration::zero());
+}
+
 } // namespace
 } // namespace mintcb

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the metrics registry: series identity, pull
+ * callbacks, component-struct bridges, and Prometheus exposition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/counters.hh"
+#include "obs/metrics.hh"
+
+namespace mintcb::obs
+{
+namespace
+{
+
+TEST(Metrics, CounterFindOrCreateReturnsSameHandle)
+{
+    MetricsRegistry reg;
+    Counter &a = reg.counter("mintcb_events_total", "events");
+    Counter &b = reg.counter("mintcb_events_total", "events");
+    EXPECT_EQ(&a, &b);
+    a.inc(3);
+    EXPECT_EQ(b.value(), 3u);
+    EXPECT_EQ(reg.seriesCount(), 1u);
+}
+
+TEST(Metrics, LabelsDistinguishSeries)
+{
+    MetricsRegistry reg;
+    Counter &read = reg.counter("mintcb_ops_total", "ops",
+                                {{"op", "read"}});
+    Counter &write = reg.counter("mintcb_ops_total", "ops",
+                                 {{"op", "write"}});
+    EXPECT_NE(&read, &write);
+    read.inc();
+    write.inc(2);
+    EXPECT_EQ(reg.value("mintcb_ops_total", {{"op", "read"}}), 1.0);
+    EXPECT_EQ(reg.value("mintcb_ops_total", {{"op", "write"}}), 2.0);
+    EXPECT_EQ(reg.seriesCount(), 2u);
+}
+
+TEST(Metrics, ValueOfUnknownSeriesIsZero)
+{
+    MetricsRegistry reg;
+    EXPECT_EQ(reg.value("mintcb_nope_total"), 0.0);
+}
+
+TEST(Metrics, GaugeMoves)
+{
+    MetricsRegistry reg;
+    Gauge &g = reg.gauge("mintcb_queue_depth", "depth");
+    g.set(5.0);
+    g.add(-2.0);
+    EXPECT_EQ(reg.value("mintcb_queue_depth"), 3.0);
+}
+
+TEST(Metrics, CallbackSampledAtRenderTime)
+{
+    MetricsRegistry reg;
+    double live = 1.0;
+    reg.addCallback("mintcb_live_total", "live", {},
+                    [&live] { return live; });
+    EXPECT_EQ(reg.value("mintcb_live_total"), 1.0);
+    live = 42.0; // pull series read the source at render time
+    EXPECT_EQ(reg.value("mintcb_live_total"), 42.0);
+    EXPECT_NE(reg.renderPrometheus().find("mintcb_live_total 42"),
+              std::string::npos);
+}
+
+TEST(Metrics, PrometheusExpositionShape)
+{
+    MetricsRegistry reg;
+    reg.counter("mintcb_events_total", "How many events.",
+                {{"kind", "good"}})
+        .inc(7);
+    const std::string text = reg.renderPrometheus();
+    EXPECT_NE(text.find("# HELP mintcb_events_total How many events."),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE mintcb_events_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("mintcb_events_total{kind=\"good\"} 7"),
+              std::string::npos);
+}
+
+TEST(Metrics, HistogramExposedAsCumulativeBuckets)
+{
+    MetricsRegistry reg;
+    LatencyHistogram &h =
+        reg.histogram("mintcb_latency", "op latency");
+    h.add(Duration::micros(1));   // bucket [0, 2) us
+    h.add(Duration::micros(3));   // bucket [2, 4) us
+    h.add(Duration::micros(100)); // later bucket
+    const std::string text = reg.renderPrometheus();
+    EXPECT_NE(text.find("# TYPE mintcb_latency histogram"),
+              std::string::npos);
+    // Cumulative: the le="4e-06" (seconds) bucket holds 2 samples.
+    EXPECT_NE(text.find("_bucket{"), std::string::npos);
+    EXPECT_NE(text.find("mintcb_latency_count 3"), std::string::npos);
+    EXPECT_NE(text.find("+Inf"), std::string::npos);
+}
+
+TEST(Metrics, BridgeReadsLiveStruct)
+{
+    MetricsRegistry reg;
+    TpmStats stats;
+    bridgeTpmStats(reg, stats, {{"chip", "infineon"}});
+    EXPECT_EQ(reg.value("mintcb_tpm_extends_total",
+                        {{"chip", "infineon"}}),
+              0.0);
+    stats.extends = 9;
+    stats.unseals = 2;
+    EXPECT_EQ(reg.value("mintcb_tpm_extends_total",
+                        {{"chip", "infineon"}}),
+              9.0);
+    EXPECT_EQ(reg.value("mintcb_tpm_unseals_total",
+                        {{"chip", "infineon"}}),
+              2.0);
+}
+
+} // namespace
+} // namespace mintcb::obs
