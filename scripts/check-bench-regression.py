@@ -1,0 +1,312 @@
+#!/usr/bin/env python3
+"""Bench-regression gate over the BENCH_*.json artifacts.
+
+Compares the current artifacts (written by scripts/run-benches.sh at
+the repo root) against the committed baselines in bench/baselines/:
+
+  - section rows ("sim" values), counters, stats (mean, p50/p99) and
+    histogram percentiles must stay within a symmetric relative
+    tolerance (default 15%) of the baseline;
+  - a shape check that passed in the baseline must still pass;
+  - every baseline metric must still exist (coverage loss fails);
+  - metrics whose name mentions host/wall time are skipped -- they
+    measure the CI runner, not the simulation, and only the simulated
+    values are deterministic.
+
+New metrics that have no baseline yet are reported but never fail the
+gate, so adding instrumentation does not require a lockstep baseline
+refresh (the refresh then records them for the next run).
+
+Usage:
+  scripts/check-bench-regression.py [--baseline-dir bench/baselines]
+      [--current-dir .] [--tolerance 0.15] [--warn-only]
+  scripts/check-bench-regression.py --selftest
+
+Exit status: 0 = within tolerance, 1 = regression (or selftest
+failure), 2 = usage/environment error.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+import tempfile
+
+# Substrings marking host-timing metrics (wall-clock on the runner);
+# lower-cased comparison.
+HOST_MARKERS = ("host", "wall")
+
+
+def is_host_metric(name):
+    low = name.lower()
+    return any(marker in low for marker in HOST_MARKERS)
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def flatten(artifact):
+    """(kind, key) -> value for every comparable metric, plus the
+    passing checks as a separate {key} set."""
+    values = {}
+    checks = set()
+    for sec in artifact.get("sections", []):
+        title = sec.get("title", "")
+        for row in sec.get("rows", []):
+            values[("row", title + " :: " + row["label"])] = row["sim"]
+        for chk in sec.get("checks", []):
+            if chk.get("ok"):
+                checks.add(title + " :: " + chk["what"])
+    for counter in artifact.get("counters", []):
+        values[("counter", counter["name"])] = counter["value"]
+    for stat in artifact.get("stats", []):
+        values[("stat", stat["name"] + " mean")] = stat["mean"]
+        for pct in ("p50", "p99"):
+            if pct in stat:
+                values[("stat", stat["name"] + " " + pct)] = stat[pct]
+    for hist in artifact.get("histograms", []):
+        for pct in ("p50_us", "p90_us", "p99_us"):
+            values[("hist", hist["name"] + " " + pct)] = hist[pct]
+    return values, checks
+
+
+def compare(base, cur, tolerance, name, log):
+    """Returns the list of failure strings for one artifact pair."""
+    failures = []
+    base_values, base_checks = flatten(base)
+    cur_values, cur_checks = flatten(cur)
+
+    for (kind, key), base_value in sorted(base_values.items()):
+        if is_host_metric(key):
+            continue
+        if (kind, key) not in cur_values:
+            failures.append(
+                "%s: %s '%s' disappeared (baseline %.6g)"
+                % (name, kind, key, base_value)
+            )
+            continue
+        cur_value = cur_values[(kind, key)]
+        if base_value == 0.0:
+            # A baseline of exactly zero is a structural expectation
+            # (e.g. "0 races"); any nonzero current value is a change.
+            if cur_value != 0.0:
+                failures.append(
+                    "%s: %s '%s' was 0, now %.6g"
+                    % (name, kind, key, cur_value)
+                )
+            continue
+        deviation = (cur_value - base_value) / abs(base_value)
+        if abs(deviation) > tolerance:
+            failures.append(
+                "%s: %s '%s' moved %+.1f%% (baseline %.6g, now %.6g, "
+                "tolerance ±%.0f%%)"
+                % (
+                    name,
+                    kind,
+                    key,
+                    deviation * 100.0,
+                    base_value,
+                    cur_value,
+                    tolerance * 100.0,
+                )
+            )
+
+    for check in sorted(base_checks):
+        if is_host_metric(check):
+            continue
+        if check not in cur_checks:
+            failures.append(
+                "%s: shape check no longer passes: '%s'" % (name, check)
+            )
+
+    fresh = [
+        key
+        for (kind, key) in cur_values
+        if (kind, key) not in base_values and not is_host_metric(key)
+    ]
+    if fresh:
+        log(
+            "%s: %d new metric(s) without a baseline (informational)"
+            % (name, len(fresh))
+        )
+    return failures
+
+
+def run_gate(baseline_dir, current_dir, tolerance, warn_only, log):
+    baselines = sorted(glob.glob(os.path.join(baseline_dir, "BENCH_*.json")))
+    if not baselines:
+        log("no baselines in %s" % baseline_dir)
+        return 2
+    failures = []
+    for baseline_path in baselines:
+        name = os.path.basename(baseline_path)
+        current_path = os.path.join(current_dir, name)
+        if not os.path.exists(current_path):
+            failures.append(
+                "%s: current artifact missing (run scripts/run-benches.sh)"
+                % name
+            )
+            continue
+        failures.extend(
+            compare(load(baseline_path), load(current_path), tolerance,
+                    name, log)
+        )
+    if failures:
+        for failure in failures:
+            log("REGRESSION: " + failure)
+        log("%d regression(s) against %s" % (len(failures), baseline_dir))
+        return 0 if warn_only else 1
+    log("bench-regression gate: %d artifact(s) within ±%.0f%%"
+        % (len(baselines), tolerance * 100.0))
+    return 0
+
+
+# ---------------------------------------------------------------- selftest
+
+BASE_ARTIFACT = {
+    "bench": "selftest",
+    "sections": [
+        {
+            "title": "core",
+            "rows": [
+                {"label": "busy time", "sim": 100.0, "unit": "ms"},
+                {"label": "host wall ms, 8 workers", "sim": 5.0,
+                 "unit": "ms"},
+            ],
+            "checks": [{"what": "deterministic", "ok": True}],
+        }
+    ],
+    "stats": [{"name": "launch", "unit": "ms", "mean": 50.0, "sd": 1.0,
+               "min": 49.0, "max": 51.0, "n": 5, "p50": 50.0,
+               "p99": 51.0}],
+    "histograms": [{"name": "turnaround", "n": 16, "p50_us": 1000.0,
+                    "p90_us": 2000.0, "p99_us": 3000.0, "mean_ms": 1.2,
+                    "max_ms": 3.0}],
+    "counters": [{"name": "completed", "value": 16.0}],
+}
+
+
+def _mutate(mutator):
+    doctored = json.loads(json.dumps(BASE_ARTIFACT))
+    mutator(doctored)
+    return doctored
+
+
+def selftest(log):
+    cases = []  # (description, current artifact, expected exit)
+
+    cases.append(("identical artifacts pass",
+                  _mutate(lambda a: None), 0))
+    cases.append((
+        "10% drift stays within the 15% tolerance",
+        _mutate(lambda a: a["sections"][0]["rows"][0].update(
+            {"sim": 110.0})),
+        0,
+    ))
+    cases.append((
+        "20%-worse row fails",
+        _mutate(lambda a: a["sections"][0]["rows"][0].update(
+            {"sim": 120.0})),
+        1,
+    ))
+    cases.append((
+        "20%-better row also fails (symmetric tolerance)",
+        _mutate(lambda a: a["sections"][0]["rows"][0].update(
+            {"sim": 80.0})),
+        1,
+    ))
+    cases.append((
+        "host wall-clock rows are exempt",
+        _mutate(lambda a: a["sections"][0]["rows"][1].update(
+            {"sim": 500.0})),
+        0,
+    ))
+    cases.append((
+        "flipped shape check fails",
+        _mutate(lambda a: a["sections"][0]["checks"][0].update(
+            {"ok": False})),
+        1,
+    ))
+    cases.append((
+        "20%-worse counter fails",
+        _mutate(lambda a: a["counters"][0].update({"value": 19.2})),
+        1,
+    ))
+    cases.append((
+        "20%-worse histogram p99 fails",
+        _mutate(lambda a: a["histograms"][0].update(
+            {"p99_us": 3600.0})),
+        1,
+    ))
+    cases.append((
+        "disappeared stat fails",
+        _mutate(lambda a: a.update({"stats": []})),
+        1,
+    ))
+    cases.append((
+        "new metric without a baseline is informational",
+        _mutate(lambda a: a["counters"].append(
+            {"name": "steals_total", "value": 3.0})),
+        0,
+    ))
+
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline_dir = os.path.join(tmp, "baselines")
+        os.mkdir(baseline_dir)
+        with open(os.path.join(baseline_dir, "BENCH_selftest.json"),
+                  "w", encoding="utf-8") as f:
+            json.dump(BASE_ARTIFACT, f)
+        for description, artifact, expected in cases:
+            current_dir = tempfile.mkdtemp(dir=tmp)
+            with open(os.path.join(current_dir, "BENCH_selftest.json"),
+                      "w", encoding="utf-8") as f:
+                json.dump(artifact, f)
+            got = run_gate(baseline_dir, current_dir, 0.15,
+                           warn_only=False, log=lambda _msg: None)
+            status = "ok" if got == expected else "FAIL"
+            log("selftest [%s] %s (expected exit %d, got %d)"
+                % (status, description, expected, got))
+            if got != expected:
+                failures += 1
+        # warn-only downgrades a failing gate to exit 0.
+        warn_dir = tempfile.mkdtemp(dir=tmp)
+        with open(os.path.join(warn_dir, "BENCH_selftest.json"), "w",
+                  encoding="utf-8") as f:
+            json.dump(cases[2][1], f)
+        got = run_gate(baseline_dir, warn_dir, 0.15, warn_only=True,
+                       log=lambda _msg: None)
+        status = "ok" if got == 0 else "FAIL"
+        log("selftest [%s] --warn-only downgrades to exit 0 (got %d)"
+            % (status, got))
+        if got != 0:
+            failures += 1
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--current-dir", default=".")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="symmetric relative tolerance (0.15 = ±15%%)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit 0")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the doctored-artifact selftest")
+    args = parser.parse_args()
+
+    def log(message):
+        print(message)
+
+    if args.selftest:
+        return selftest(log)
+    return run_gate(args.baseline_dir, args.current_dir, args.tolerance,
+                    args.warn_only, log)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

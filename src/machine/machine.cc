@@ -11,15 +11,36 @@ namespace mintcb::machine
 {
 
 Machine::Machine(const PlatformSpec &spec, std::uint64_t seed)
-    : spec_(spec), memory_(spec.memoryPages), memctrl_(memory_),
-      lpc_(LpcBus::calibrated()), nic_("attacker-nic", memctrl_),
-      rng_(0x6d616368 ^ seed)
+    : seed_(seed), spec_(spec), memory_(spec.memoryPages),
+      memctrl_(memory_), lpc_(LpcBus::calibrated()),
+      nic_("attacker-nic", memctrl_), rng_(0x6d616368 ^ seed)
 {
     cpus_.reserve(spec.cpuCount);
     for (CpuId i = 0; i < spec.cpuCount; ++i)
         cpus_.emplace_back(i, spec.freqGhz);
     if (spec.hasTpm)
         tpm_ = std::make_unique<tpm::Tpm>(spec.tpmVendor, seed);
+}
+
+std::uint64_t
+Machine::shardSeed(std::uint64_t master_seed, std::uint32_t shard)
+{
+    // splitmix64 over (master, shard+1): shard 0 must not alias the
+    // front machine's own seed (distinct TPM identity per shard).
+    std::uint64_t z = master_seed ^
+                      (static_cast<std::uint64_t>(shard) + 1) *
+                          0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::unique_ptr<Machine>
+Machine::forShard(const PlatformSpec &spec, std::uint64_t master_seed,
+                  std::uint32_t shard)
+{
+    return std::make_unique<Machine>(spec,
+                                     shardSeed(master_seed, shard));
 }
 
 tpm::Tpm &
@@ -45,6 +66,13 @@ Machine::syncAllCpus()
     const TimePoint latest = now();
     for (Cpu &c : cpus_)
         c.clock().syncTo(latest);
+}
+
+void
+Machine::alignTo(TimePoint at)
+{
+    for (Cpu &c : cpus_)
+        c.clock().syncTo(at);
 }
 
 void

@@ -41,7 +41,25 @@ class Machine
         return Machine(PlatformSpec::forPlatform(id), seed);
     }
 
+    /** @name Shard factory (sharded execution service).
+     * A sharded service runs each affinity shard on its own independent
+     * machine. The shard seed is a splitmix64 mix of the front
+     * machine's master seed and the shard index, so every shard gets a
+     * distinct TPM identity and RNG stream while the whole fleet stays
+     * a pure function of (spec, masterSeed) -- the determinism argument
+     * for byte-identical reports across worker counts.
+     * @{ */
+    static std::uint64_t shardSeed(std::uint64_t master_seed,
+                                   std::uint32_t shard);
+    static std::unique_ptr<Machine>
+    forShard(const PlatformSpec &spec, std::uint64_t master_seed,
+             std::uint32_t shard);
+    /** @} */
+
     const PlatformSpec &spec() const { return spec_; }
+
+    /** The seed this machine was built with (shard derivation). */
+    std::uint64_t seed() const { return seed_; }
 
     /** @name Components. @{ */
     std::size_t cpuCount() const { return cpus_.size(); }
@@ -74,6 +92,10 @@ class Machine
     /** Barrier: drag every CPU clock forward to the platform time (used
      *  when an operation halts the whole machine, e.g. SKINIT). */
     void syncAllCpus();
+    /** Drag every CPU clock forward to @p at (clocks already past it
+     *  stay put). Reconciles a shard machine onto the service timeline
+     *  at the start of a sharded drain. */
+    void alignTo(TimePoint at);
     /** @} */
 
     /** Convenience: memory-controller-mediated access as a given CPU. */
@@ -93,6 +115,7 @@ class Machine
     void reboot();
 
   private:
+    std::uint64_t seed_ = 0;
     PlatformSpec spec_;
     PhysicalMemory memory_;
     MemoryController memctrl_;

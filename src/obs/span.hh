@@ -45,6 +45,10 @@ constexpr std::uint32_t lpc = 101;
 constexpr std::uint32_t service = 102;
 constexpr std::uint32_t scheduler = 103;
 constexpr std::uint32_t requests = 104;
+/** Sharded execution service: shard N's campaigns render on track
+ *  shardBase + N (one swim-lane per shard, mirroring the one-lane-per
+ *  host-worker view a wall-clock profiler would show). */
+constexpr std::uint32_t shardBase = 200;
 } // namespace track
 
 /** One recorded interval (or instant, when begin == end and instant

@@ -115,6 +115,8 @@ TelemetrySession::trackNames() const
     names.emplace_back(track::service, "execution service");
     names.emplace_back(track::scheduler, "scheduler");
     names.emplace_back(track::requests, "requests");
+    for (std::uint32_t s : shardIds_)
+        names.emplace_back(track::shardBase + s, "shard " + u64str(s));
     return names;
 }
 
@@ -261,6 +263,49 @@ TelemetrySession::onRequestDone(const sea::ExecutionReport &report)
         }
     }
     requestTurnaround_->add(report.finishedAt - report.startedAt);
+}
+
+void
+TelemetrySession::onShardCreated(std::uint32_t shard,
+                                 machine::Machine &machine,
+                                 rec::SecureExecutive &exec)
+{
+    (void)exec;
+    if (std::find(shardIds_.begin(), shardIds_.end(), shard) !=
+        shardIds_.end()) {
+        return;
+    }
+    shardIds_.push_back(shard);
+    // The shard owns a whole private TPM; surface its traffic as a
+    // labeled series next to the front machine's.
+    if (machine.hasTpm()) {
+        bridgeTpmStats(metrics_, machine.tpm().stats(),
+                       {{"shard", u64str(shard)}});
+    }
+    const std::uint64_t id = tracer_.instant(
+        track::service, "shard:create", "sea", machine_.now());
+    tracer_.annotate(id, "shard", u64str(shard));
+}
+
+void
+TelemetrySession::onShardCommit(std::uint32_t shard,
+                                std::size_t completed, TimePoint begin,
+                                TimePoint end)
+{
+    metrics_
+        .counter("mintcb_shard_commits_total",
+                 "Shard campaigns committed by the merge sequencer",
+                 {{"shard", u64str(shard)}})
+        .inc();
+    metrics_
+        .counter("mintcb_shard_reports_total",
+                 "ExecutionReports committed per shard",
+                 {{"shard", u64str(shard)}})
+        .inc(completed);
+    const std::uint64_t id = tracer_.completeSpan(
+        track::shardBase + shard, "shard:" + u64str(shard), "sea",
+        begin, end);
+    tracer_.annotate(id, "completed", u64str(completed));
 }
 
 void

@@ -91,6 +91,15 @@ class TelemetrySession final : public rec::ExecSyncObserver,
     void onAuditExchange(std::size_t commands) override;
     void onSubmit(std::uint64_t id, const std::string &pal) override;
     void onRequestDone(const sea::ExecutionReport &report) override;
+    /** Sharded drains: both hooks below run on the draining thread in
+     *  deterministic shard order. The worker-thread hooks
+     *  (onShardBegin/onShardEnd) keep their no-op defaults on purpose
+     *  -- this session is not thread-safe and must never be called from
+     *  a pool worker. */
+    void onShardCreated(std::uint32_t shard, machine::Machine &machine,
+                        rec::SecureExecutive &exec) override;
+    void onShardCommit(std::uint32_t shard, std::size_t completed,
+                       TimePoint begin, TimePoint end) override;
     /** @} */
 
     /** @name machine::MemAccessObserver @{ */
@@ -130,6 +139,8 @@ class TelemetrySession final : public rec::ExecSyncObserver,
     std::uint64_t roundSpan_ = 0;
     std::uint64_t roundIndex_ = 0;
     bool bridged_ = false; //!< counter bridges registered once
+    /** Shards whose machines have been bridged (track names + dedup). */
+    std::vector<std::uint32_t> shardIds_;
 
     /** Pre-resolved metric handles (hot paths stay cheap). @{ */
     Counter *memGranted_ = nullptr;

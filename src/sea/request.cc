@@ -63,6 +63,7 @@ ExecutionReport::encode() const
     w.u64(launches);
     w.u64(yields);
     w.u32(cpu);
+    w.u32(shard);
     w.u8(deadlineMet ? 1 : 0);
     return w.take();
 }

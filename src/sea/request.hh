@@ -71,6 +71,13 @@ struct PalRequest
     /** Request a sePCR quote as the PAL exits (service backend). */
     bool wantQuote = false;
 
+    /** Shard-affinity key for the sharded execution service: requests
+     *  with the same key always land on the same shard (one simulated
+     *  machine + TPM), so work targeting the same sealed state never
+     *  runs on two shards concurrently. 0 (default) derives the key
+     *  from the PAL's name. */
+    std::uint64_t affinity = 0;
+
     /** @name Service-backend execution shape.
      * The execution service runs PALs in preemptible slices; it needs
      * the compute demand up front and an optional slice-safe body.
@@ -125,6 +132,9 @@ struct ExecutionReport
     std::uint64_t launches = 0; //!< SLAUNCHes (one-shot: 1)
     std::uint64_t yields = 0;   //!< preemptions + voluntary SYIELDs
     CpuId cpu = 0;              //!< core that ran (last ran) the PAL
+    std::uint32_t shard = 0;    //!< sharded service: executing shard
+                                //!< (deterministic affinity, not the
+                                //!< host worker); 0 for inline drains
 
     /** True when no deadline was set or finishedAt met it. */
     bool deadlineMet = true;

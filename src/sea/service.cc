@@ -2,29 +2,105 @@
  * @file
  * Multi-PAL execution service implementation.
  *
- * drain() is one scheduling campaign: every queued PalRequest becomes a
- * rec::PalProgram, an OsScheduler multiplexes them over the PAL-eligible
- * cores in preemption-timer quanta (legacy work filling every idle
- * cycle), and the completion hook turns each PalCompletion back into the
- * caller's ExecutionReport. Afterwards the audit trail -- one
- * TPM_Extend per report digest -- flows through the secure transport
- * session, batched into a single exchange when pipelining is on.
+ * A drain is one scheduling campaign: every claimed PalRequest becomes
+ * a rec::PalProgram, an OsScheduler multiplexes them over the
+ * PAL-eligible cores in preemption-timer quanta (legacy work filling
+ * every idle cycle), and the completion hook turns each PalCompletion
+ * back into the caller's ExecutionReport. Afterwards the audit trail --
+ * one TPM_Extend per report digest -- flows through the secure
+ * transport session, batched into a single exchange when pipelining is
+ * on.
+ *
+ * With config.workers > 0 the same engine (runBatch + flushAudit) runs
+ * once per *shard*: requests partition by affinity onto config.shards
+ * independent machines, a work-stealing WorkerPool executes the shard
+ * campaigns on real OS threads, and the merge sequencer below
+ * (drainSharded) commits reports in submit order, replays transport
+ * milestones in shard order, and reconciles the shard clocks onto the
+ * front machine's timeline. Nothing a worker thread computes depends on
+ * which worker ran it or when, which is the whole determinism argument
+ * (DESIGN.md section 10).
  */
 
 #include "sea/service.hh"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "crypto/sha1.hh"
+#include "sea/workerpool.hh"
 
 namespace mintcb::sea
 {
+
+/** One shard of the sharded engine: an independent simulated machine
+ *  (seed derived from the front machine's master seed), its secure
+ *  executive, and a resumable transport session -- all persistent
+ *  across drains so per-shard session resumption keeps paying off. */
+struct ExecutionService::Shard
+{
+    std::uint32_t id;
+    std::unique_ptr<machine::Machine> machine;
+    rec::SecureExecutive exec;
+    tpm::TpmTransportServer server;
+    Bytes sessionKey;
+    bool sessionLive = false;
+
+    Shard(std::uint32_t id_, const machine::PlatformSpec &spec,
+          std::uint64_t master_seed, std::size_t sepcrs)
+        : id(id_),
+          machine(machine::Machine::forShard(spec, master_seed, id_)),
+          exec(*machine, sepcrs), server(machine->tpm())
+    {
+    }
+};
 
 ExecutionService::ExecutionService(machine::Machine &machine,
                                    ServiceConfig config)
     : machine_(machine), config_(config),
       exec_(machine, config.sePcrs), server_(machine.tpm())
 {
+}
+
+// Out of line so Shard and WorkerPool are complete; members destroy in
+// reverse declaration order, so the pool joins its threads before the
+// shards they reference go away.
+ExecutionService::~ExecutionService() = default;
+
+std::uint32_t
+ExecutionService::shardOf(std::uint64_t affinity_key,
+                          std::uint32_t shard_count)
+{
+    if (shard_count == 0)
+        return 0;
+    return static_cast<std::uint32_t>(affinity_key % shard_count);
+}
+
+std::uint64_t
+ExecutionService::affinityOf(const PalRequest &request)
+{
+    if (request.affinity != 0)
+        return request.affinity;
+    // FNV-1a over the PAL name: same sealed identity -> same shard.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : request.pal.name()) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+ExecutionService::PoolStats
+ExecutionService::poolStats() const
+{
+    PoolStats out;
+    if (pool_) {
+        const WorkerPool::Stats s = pool_->stats();
+        out.executed = s.executed;
+        out.steals = s.steals;
+        out.discarded = s.discarded;
+    }
+    return out;
 }
 
 Result<std::uint64_t>
@@ -36,33 +112,56 @@ ExecutionService::submit(PalRequest request)
         return Error(Errc::invalidArgument,
                      "a PAL needs at least one data page");
 
-    Pending pending{std::move(request), nextId_++, machine_.now()};
-    queue_.push_back(std::move(pending));
-    ++metrics_.submitted;
-    metrics_.maxQueueDepth = std::max(metrics_.maxQueueDepth,
-                                      queue_.size());
+    const std::string pal_name = request.pal.name();
+    std::uint64_t id = 0;
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        id = nextId_++;
+        queue_.push_back(Pending{std::move(request), id, machine_.now()});
+        ++metrics_.submitted;
+        metrics_.maxQueueDepth =
+            std::max(metrics_.maxQueueDepth, queue_.size());
+    }
+    // Notify outside the lock: the observer may reenter submit().
     if (observer_)
-        observer_->onSubmit(queue_.back().id, queue_.back().request.pal.name());
-    return queue_.back().id;
+        observer_->onSubmit(id, pal_name);
+    return id;
 }
 
 Result<std::vector<ExecutionReport>>
 ExecutionService::drain()
 {
-    std::vector<ExecutionReport> reports;
-    if (queue_.empty())
-        return reports;
+    std::vector<Pending> batch;
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        if (queue_.empty())
+            return std::vector<ExecutionReport>{};
+        // Claim the whole batch up front: once the PALs start
+        // executing, a late failure (audit flush, scheduler error) must
+        // surface as the drain's error without leaving the requests
+        // queued -- re-running them would duplicate secureBody side
+        // effects and sePCR extends.
+        batch = std::move(queue_);
+        queue_.clear();
+    }
+    // The claimed batch is snapshotted and the queue lock released
+    // before any callback runs: an observer that submits from its
+    // callback lands in the (now empty) queue for the next drain
+    // instead of deadlocking on the lock or re-entering this batch.
     ++metrics_.drains;
-    const TimePoint drain_start = machine_.now();
     if (observer_)
-        observer_->onDrainBegin(queue_.size());
+        observer_->onDrainBegin(batch.size());
+    if (config_.workers > 0)
+        return drainSharded(std::move(batch));
+    return drainInline(std::move(batch));
+}
 
-    // Claim the whole batch up front: once the PALs start executing, a
-    // late failure (audit flush, scheduler error) must surface as the
-    // drain's error without leaving the requests queued -- re-running
-    // them would duplicate secureBody side effects and sePCR extends.
-    const std::vector<Pending> batch = std::move(queue_);
-    queue_.clear();
+Result<ExecutionService::BatchOutcome>
+ExecutionService::runBatch(const EngineRefs &refs,
+                           const std::vector<Pending> &batch,
+                           std::uint32_t shard_id)
+{
+    BatchOutcome out;
 
     /** Per-request state the scheduler callbacks fill in. Sized once up
      *  front so the captured pointers stay stable. */
@@ -77,7 +176,8 @@ ExecutionService::drain()
     };
     std::vector<Slot> slots(batch.size());
 
-    rec::OsScheduler sched(exec_, config_.quantum, config_.legacyCpus);
+    rec::OsScheduler sched(refs.exec, config_.quantum,
+                           config_.legacyCpus);
     for (std::size_t i = 0; i < batch.size(); ++i) {
         const Pending &p = batch[i];
         Slot *slot = &slots[i];
@@ -97,7 +197,7 @@ ExecutionService::drain()
         prog.wantQuote = p.request.wantQuote;
 
         // First slice: bind the input to the PAL's attested identity.
-        machine::Machine &m = machine_;
+        machine::Machine &m = refs.machine;
         const Bytes input = p.request.input;
         prog.onStart = [&m, slot, input](rec::PalHooks &hooks) -> Status {
             slot->started = true;
@@ -111,10 +211,10 @@ ExecutionService::drain()
         prog.onFinish = [slot, input,
                          body](rec::PalHooks &hooks) -> Status {
             if (body) {
-                auto out = body(hooks, input);
-                if (!out)
-                    return out.error();
-                slot->output = out.take();
+                auto out_bytes = body(hooks, input);
+                if (!out_bytes)
+                    return out_bytes.error();
+                slot->output = out_bytes.take();
             }
             return hooks.extend(crypto::Sha1::digestBytes(slot->output));
         };
@@ -123,9 +223,10 @@ ExecutionService::drain()
             return idx.error();
     }
 
-    reports.resize(batch.size());
+    out.reports.resize(batch.size());
     sched.setCompletionHook(
-        [&slots, &reports](const rec::PalCompletion &done) {
+        [&slots, &reports = out.reports,
+         shard_id](const rec::PalCompletion &done) {
             const Slot &slot = slots[done.seq];
             ExecutionReport &r = reports[done.seq];
             r.requestId = slot.id;
@@ -145,12 +246,173 @@ ExecutionService::drain()
             r.launches = done.launches;
             r.yields = done.yields;
             r.cpu = done.cpu;
+            r.shard = shard_id;
             r.deadlineMet = done.deadlineMet;
         });
 
     auto stats = sched.runAll();
     if (!stats)
         return stats.error();
+    out.preemptions = stats->preemptions;
+    out.slaunchRetries = stats->slaunchRetries;
+    out.legacyWorkUnits = stats->legacyWorkUnits;
+    return out;
+}
+
+Result<std::vector<ExecutionReport>>
+ExecutionService::drainInline(std::vector<Pending> batch)
+{
+    const TimePoint drain_start = machine_.now();
+    const EngineRefs refs{machine_, exec_, server_, sessionKey_,
+                          sessionLive_};
+
+    auto outcome = runBatch(refs, batch, 0);
+    if (!outcome)
+        return outcome.error();
+
+    for (const ExecutionReport &r : outcome->reports) {
+        ++metrics_.completed;
+        if (!r.status.ok())
+            ++metrics_.failed;
+        if (!r.deadlineMet)
+            ++metrics_.deadlinesMissed;
+        metrics_.queueWait.add(r.queueWait);
+        metrics_.turnaround.add(r.total);
+        metrics_.compute.add(r.phases.palCompute);
+        metrics_.launches += r.launches;
+        metrics_.yields += r.yields;
+        if (observer_)
+            observer_->onRequestDone(r);
+    }
+    metrics_.preemptions += outcome->preemptions;
+    metrics_.slaunchRetries += outcome->slaunchRetries;
+    metrics_.legacyWorkUnits += outcome->legacyWorkUnits;
+
+    if (config_.auditTrail) {
+        AuditOutcome audit;
+        if (auto s = flushAudit(refs, outcome->reports, audit, observer_);
+            !s.ok()) {
+            return s.error();
+        }
+        metrics_.auditCommands += audit.commands;
+        metrics_.auditExchanges += audit.exchanges;
+        metrics_.sessionsAccepted += audit.opened;
+        metrics_.sessionsResumed += audit.resumed;
+    }
+
+    metrics_.busy += machine_.now() - drain_start;
+    if (observer_)
+        observer_->onDrainEnd(outcome->reports.size());
+    return std::move(outcome->reports);
+}
+
+ExecutionService::Shard &
+ExecutionService::ensureShard(std::uint32_t shard)
+{
+    if (shards_.size() <= shard)
+        shards_.resize(static_cast<std::size_t>(shard) + 1);
+    if (!shards_[shard]) {
+        shards_[shard] = std::make_unique<Shard>(
+            shard, machine_.spec(), machine_.seed(), config_.sePcrs);
+        if (observer_) {
+            observer_->onShardCreated(shard, *shards_[shard]->machine,
+                                      shards_[shard]->exec);
+        }
+    }
+    return *shards_[shard];
+}
+
+Result<std::vector<ExecutionReport>>
+ExecutionService::drainSharded(std::vector<Pending> batch)
+{
+    const TimePoint epoch = machine_.now();
+    const std::uint32_t shard_count =
+        std::max<std::uint32_t>(1, config_.shards);
+    if (!pool_)
+        pool_ = std::make_unique<WorkerPool>(config_.workers);
+
+    // Deterministic partition: a request's shard is a function of its
+    // affinity key and the shard count only -- never of the worker
+    // count or any host-side timing. Submit order is preserved within
+    // each shard.
+    std::vector<std::vector<Pending>> per_shard(shard_count);
+    for (Pending &p : batch) {
+        per_shard[shardOf(affinityOf(p.request), shard_count)]
+            .push_back(std::move(p));
+    }
+
+    /** One shard campaign's scratch state; lives on this stack frame
+     *  until pool_->wait() returns, so worker lambdas may hold
+     *  references. */
+    struct Run
+    {
+        Shard *shard = nullptr;
+        std::vector<Pending> batch;
+        Status status = okStatus();
+        BatchOutcome out;
+        AuditOutcome audit;
+        Duration elapsed;
+    };
+    std::vector<Run> runs;
+    runs.reserve(shard_count);
+    for (std::uint32_t s = 0; s < shard_count; ++s) {
+        if (per_shard[s].empty())
+            continue;
+        Run run;
+        run.shard = &ensureShard(s); // observer callback: before fork
+        run.batch = std::move(per_shard[s]);
+        runs.push_back(std::move(run));
+    }
+
+    for (Run &run : runs) {
+        pool_->submit(
+            [this, &run, epoch] {
+                Shard &shard = *run.shard;
+                if (observer_)
+                    observer_->onShardBegin(shard.id, run.batch.size());
+                // Reconcile the shard onto the service timeline: every
+                // campaign in this drain starts at the same epoch.
+                shard.machine->alignTo(epoch);
+                const EngineRefs refs{*shard.machine, shard.exec,
+                                      shard.server, shard.sessionKey,
+                                      shard.sessionLive};
+                auto outcome = runBatch(refs, run.batch, shard.id);
+                if (!outcome) {
+                    run.status = outcome.error();
+                } else {
+                    run.out = outcome.take();
+                    if (config_.auditTrail) {
+                        run.status = flushAudit(refs, run.out.reports,
+                                                run.audit, nullptr);
+                    }
+                }
+                run.elapsed = shard.machine->now() - epoch;
+                if (observer_) {
+                    observer_->onShardEnd(shard.id,
+                                          run.out.reports.size());
+                }
+            },
+            run.shard->id % pool_->workers());
+    }
+    pool_->wait();
+
+    // ---- merge sequencer: single-threaded and deterministic ----
+    for (const Run &run : runs) {
+        if (!run.status.ok())
+            return run.status.error();
+    }
+
+    std::vector<ExecutionReport> reports;
+    for (Run &run : runs) {
+        for (ExecutionReport &r : run.out.reports)
+            reports.push_back(std::move(r));
+    }
+    // Stable submit-order commit (requestIds are unique and issued in
+    // submission order).
+    std::sort(reports.begin(), reports.end(),
+              [](const ExecutionReport &a, const ExecutionReport &b) {
+                  return a.requestId < b.requestId;
+              });
 
     for (const ExecutionReport &r : reports) {
         ++metrics_.completed;
@@ -166,25 +428,47 @@ ExecutionService::drain()
         if (observer_)
             observer_->onRequestDone(r);
     }
-    metrics_.preemptions += stats->preemptions;
-    metrics_.slaunchRetries += stats->slaunchRetries;
-    metrics_.legacyWorkUnits += stats->legacyWorkUnits;
 
-    if (config_.auditTrail) {
-        std::vector<tpm::TransportCommand> audit;
-        audit.reserve(reports.size());
-        for (const ExecutionReport &r : reports) {
-            tpm::TransportCommand c;
-            c.op = tpm::TransportOp::pcrExtend;
-            c.pcr = config_.auditPcr;
-            c.payload = crypto::Sha1::digestBytes(r.encode());
-            audit.push_back(std::move(c));
+    Duration max_elapsed;
+    for (const Run &run : runs) {
+        metrics_.preemptions += run.out.preemptions;
+        metrics_.slaunchRetries += run.out.slaunchRetries;
+        metrics_.legacyWorkUnits += run.out.legacyWorkUnits;
+        metrics_.auditCommands += run.audit.commands;
+        metrics_.auditExchanges += run.audit.exchanges;
+        metrics_.sessionsAccepted += run.audit.opened;
+        metrics_.sessionsResumed += run.audit.resumed;
+        ++metrics_.shardDrains;
+        if (observer_) {
+            // Transport milestones were recorded on the worker thread;
+            // replay them here in deterministic shard order.
+            for (const Milestone &m : run.audit.milestones) {
+                switch (m.kind) {
+                  case Milestone::Kind::sessionOpened:
+                    observer_->onSessionOpened();
+                    break;
+                  case Milestone::Kind::sessionResumed:
+                    observer_->onSessionResumed(m.value);
+                    break;
+                  case Milestone::Kind::auditExchange:
+                    observer_->onAuditExchange(
+                        static_cast<std::size_t>(m.value));
+                    break;
+                }
+            }
+            observer_->onShardCommit(run.shard->id,
+                                     run.out.reports.size(), epoch,
+                                     epoch + run.elapsed);
         }
-        if (auto s = flushAudit(audit); !s.ok())
-            return s.error();
+        max_elapsed = std::max(max_elapsed, run.elapsed);
     }
 
-    metrics_.busy += machine_.now() - drain_start;
+    // The campaign's simulated cost is the slowest shard -- the shards
+    // ran in parallel in virtual time too. Charge it to the service
+    // CPU so the front machine's clock reflects the drain.
+    machine_.cpu(config_.serviceCpu).advance(max_elapsed);
+    metrics_.busy += max_elapsed;
+    metrics_.steals = pool_->stats().steals;
     if (observer_)
         observer_->onDrainEnd(reports.size());
     return reports;
@@ -193,7 +477,7 @@ ExecutionService::drain()
 Result<ExecutionReport>
 ExecutionService::runOne(PalRequest request)
 {
-    if (queue_.empty() == false)
+    if (queueDepth() != 0)
         return Error(Errc::failedPrecondition,
                      "runOne requires an otherwise-empty queue");
     if (auto id = submit(std::move(request)); !id)
@@ -205,53 +489,71 @@ ExecutionService::runOne(PalRequest request)
 }
 
 Result<tpm::TransportClient>
-ExecutionService::attachSession()
+ExecutionService::attachSession(const EngineRefs &refs, AuditOutcome &out,
+                                ServiceObserver *live)
 {
     // The session key must not be computable by the on-path bus
     // adversary, so it comes from the machine's seeded RNG (still
     // byte-identical across same-seed runs), never from a public label.
-    if (sessionKey_.empty())
-        sessionKey_ = machine_.rng().bytes(32);
-    machine_.tpmAs(config_.serviceCpu); // TPM work charges our CPU
-    if (sessionLive_ && config_.reuseTransportSession) {
+    if (refs.sessionKey.empty())
+        refs.sessionKey = refs.machine.rng().bytes(32);
+    refs.machine.tpmAs(config_.serviceCpu); // TPM work charges our CPU
+    if (refs.sessionLive && config_.reuseTransportSession) {
         // Resuming still crosses the LPC bus once; only the RSA decrypt
         // is saved.
-        machine_.cpu(config_.serviceCpu).advance(busExchangeCost);
-        auto epoch = server_.acceptResumed(sessionKey_);
+        refs.machine.cpu(config_.serviceCpu).advance(busExchangeCost);
+        auto epoch = refs.server.acceptResumed(refs.sessionKey);
         if (!epoch)
             return epoch.error();
-        if (observer_)
-            observer_->onSessionResumed(*epoch);
-        return tpm::TransportClient::resume(sessionKey_, *epoch);
+        ++out.resumed;
+        out.milestones.push_back(
+            {Milestone::Kind::sessionResumed, *epoch});
+        if (live)
+            live->onSessionResumed(*epoch);
+        return tpm::TransportClient::resume(refs.sessionKey, *epoch);
     }
     auto opened = tpm::TransportClient::openWithKey(
-        machine_.tpm().srkPublic(), machine_.rng(), sessionKey_);
+        refs.machine.tpm().srkPublic(), refs.machine.rng(),
+        refs.sessionKey);
     if (!opened)
         return opened.error();
-    machine_.cpu(config_.serviceCpu).advance(busExchangeCost);
-    if (auto s = server_.accept(opened->envelope); !s.ok())
+    refs.machine.cpu(config_.serviceCpu).advance(busExchangeCost);
+    if (auto s = refs.server.accept(opened->envelope); !s.ok())
         return s.error();
-    sessionLive_ = true;
-    if (observer_)
-        observer_->onSessionOpened();
+    refs.sessionLive = true;
+    ++out.opened;
+    out.milestones.push_back({Milestone::Kind::sessionOpened, 0});
+    if (live)
+        live->onSessionOpened();
     return std::move(opened->client);
 }
 
 Status
-ExecutionService::flushAudit(
-    const std::vector<tpm::TransportCommand> &commands)
+ExecutionService::flushAudit(const EngineRefs &refs,
+                             const std::vector<ExecutionReport> &reports,
+                             AuditOutcome &out, ServiceObserver *live)
 {
-    if (commands.empty())
+    if (reports.empty())
         return okStatus();
-    auto client = attachSession();
+    std::vector<tpm::TransportCommand> commands;
+    commands.reserve(reports.size());
+    for (const ExecutionReport &r : reports) {
+        tpm::TransportCommand c;
+        c.op = tpm::TransportOp::pcrExtend;
+        c.pcr = config_.auditPcr;
+        c.payload = crypto::Sha1::digestBytes(r.encode());
+        commands.push_back(std::move(c));
+    }
+
+    auto client = attachSession(refs, out, live);
     if (!client)
         return client.error();
 
-    machine_.tpmAs(config_.serviceCpu);
+    refs.machine.tpmAs(config_.serviceCpu);
     if (config_.pipelineTpm) {
         // One wrapped exchange carries the whole drain cycle's extends.
-        machine_.cpu(config_.serviceCpu).advance(busExchangeCost);
-        auto response = server_.execute(client->wrapBatch(commands));
+        refs.machine.cpu(config_.serviceCpu).advance(busExchangeCost);
+        auto response = refs.server.execute(client->wrapBatch(commands));
         if (!response)
             return response.error();
         auto replies = client->unwrapBatchResponse(*response);
@@ -261,14 +563,16 @@ ExecutionService::flushAudit(
             if (!reply.ok())
                 return Error(reply.status, "audit extend rejected");
         }
-        ++metrics_.auditExchanges;
-        metrics_.auditCommands += commands.size();
-        if (observer_)
-            observer_->onAuditExchange(commands.size());
+        ++out.exchanges;
+        out.commands += commands.size();
+        out.milestones.push_back(
+            {Milestone::Kind::auditExchange, commands.size()});
+        if (live)
+            live->onAuditExchange(commands.size());
     } else {
         for (const tpm::TransportCommand &c : commands) {
-            machine_.cpu(config_.serviceCpu).advance(busExchangeCost);
-            auto response = server_.execute(
+            refs.machine.cpu(config_.serviceCpu).advance(busExchangeCost);
+            auto response = refs.server.execute(
                 client->wrapCommand(c.op, c.pcr, c.payload));
             if (!response)
                 return response.error();
@@ -276,14 +580,14 @@ ExecutionService::flushAudit(
                 !payload) {
                 return payload.error();
             }
-            ++metrics_.auditExchanges;
-            ++metrics_.auditCommands;
-            if (observer_)
-                observer_->onAuditExchange(1);
+            ++out.exchanges;
+            ++out.commands;
+            out.milestones.push_back(
+                {Milestone::Kind::auditExchange, 1});
+            if (live)
+                live->onAuditExchange(1);
         }
     }
-    metrics_.sessionsAccepted = server_.stats().sessionsAccepted;
-    metrics_.sessionsResumed = server_.stats().sessionsResumed;
     return okStatus();
 }
 
@@ -320,6 +624,14 @@ ServiceMetrics::str() const
                   static_cast<unsigned long long>(sessionsAccepted),
                   static_cast<unsigned long long>(sessionsResumed));
     out += line;
+    if (shardDrains != 0) {
+        std::snprintf(line, sizeof line,
+                      "sharding: %llu shard campaigns committed, "
+                      "%llu worker-pool steals\n",
+                      static_cast<unsigned long long>(shardDrains),
+                      static_cast<unsigned long long>(steals));
+        out += line;
+    }
     std::snprintf(line, sizeof line,
                   "throughput: %.1f PALs/simulated-second over %s busy "
                   "(%llu legacy work units alongside)\n",

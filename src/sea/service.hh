@@ -27,12 +27,24 @@
  *
  * Everything runs in virtual time: the same seed and submission sequence
  * produce byte-identical ExecutionReports (see ExecutionReport::encode).
+ *
+ * **Host parallelism** (config.workers > 0): drain() partitions the
+ * batch by PAL affinity into config.shards fixed virtual shards, each
+ * owning an independent simulated machine + TPM + resumable transport
+ * session, and runs the shard campaigns on a work-stealing pool of OS
+ * threads. A deterministic merge sequencer commits reports in stable
+ * submit order and reconciles per-shard sim-clocks onto the service
+ * timeline, so the byte-identical-report guarantee holds for *any*
+ * worker count (DESIGN.md section 10). This is the first path where
+ * wall-clock time, not just simulated time, scales with the host.
  */
 
 #ifndef MINTCB_SEA_SERVICE_HH
 #define MINTCB_SEA_SERVICE_HH
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,6 +53,11 @@
 #include "rec/scheduler.hh"
 #include "sea/request.hh"
 #include "tpm/transport.hh"
+
+namespace mintcb::sea
+{
+class WorkerPool;
+}
 
 namespace mintcb::sea
 {
@@ -73,6 +90,20 @@ struct ServiceConfig
 
     /** CPU charged for service-side work (wrapping, bus traffic). */
     CpuId serviceCpu = 0;
+
+    /** @name Host parallelism (sharded drains; DESIGN.md section 10).
+     * workers > 0 switches drain() to the sharded engine: requests are
+     * partitioned by affinity into `shards` fixed virtual shards, each
+     * owning an independent simulated machine + TPM + transport
+     * session, and a work-stealing pool of `workers` OS threads runs
+     * the shard campaigns concurrently. The partition depends only on
+     * `shards` (never on `workers`), so reports are byte-identical for
+     * any worker count. workers == 0 (default) keeps the original
+     * inline drain over the caller's machine.
+     * @{ */
+    std::uint32_t workers = 0;
+    std::uint32_t shards = 8;
+    /** @} */
 };
 
 /** Aggregate service observability (all counters cumulative). */
@@ -98,6 +129,13 @@ struct ServiceMetrics
     std::uint64_t auditExchanges = 0;
     std::uint64_t sessionsAccepted = 0; //!< full RSA key exchanges
     std::uint64_t sessionsResumed = 0;  //!< cheap ticket resumptions
+    /** @} */
+
+    /** @name Sharded-drain totals (zero for inline drains). @{ */
+    std::uint64_t shardDrains = 0; //!< shard campaigns committed
+    std::uint64_t steals = 0;      //!< worker-pool task steals
+                                   //!< (host-timing dependent; never
+                                   //!< part of deterministic output)
     /** @} */
 
     /** Simulated time spent inside drain() calls. */
@@ -161,6 +199,50 @@ class ServiceObserver
     {
         (void)report;
     }
+
+    /** @name Sharded-drain milestones.
+     * onShardCreated and onShardCommit run on the draining thread (in
+     * deterministic shard order); onShardBegin/onShardEnd run on the
+     * executing *worker thread* -- the host-level fork and join of the
+     * shard campaign -- so overrides must be thread-safe (the defaults
+     * are no-ops, so existing observers are unaffected).
+     * @{ */
+    /** Shard @p shard's private machine + executive exist (lazily, on
+     *  the first sharded drain that routes work to it); attach
+     *  per-shard instrumentation here. */
+    virtual void onShardCreated(std::uint32_t shard,
+                                machine::Machine &machine,
+                                rec::SecureExecutive &exec)
+    {
+        (void)shard;
+        (void)machine;
+        (void)exec;
+    }
+    /** Worker thread picked up shard @p shard's campaign of
+     *  @p requests requests (fork edge). */
+    virtual void onShardBegin(std::uint32_t shard, std::size_t requests)
+    {
+        (void)shard;
+        (void)requests;
+    }
+    /** Worker thread finished shard @p shard (join edge); its reports
+     *  now await the merge sequencer. */
+    virtual void onShardEnd(std::uint32_t shard, std::size_t completed)
+    {
+        (void)shard;
+        (void)completed;
+    }
+    /** Merge sequencer committed shard @p shard's campaign, spanning
+     *  [@p begin, @p end) of reconciled platform time. */
+    virtual void onShardCommit(std::uint32_t shard, std::size_t completed,
+                               TimePoint begin, TimePoint end)
+    {
+        (void)shard;
+        (void)completed;
+        (void)begin;
+        (void)end;
+    }
+    /** @} */
 };
 
 /**
@@ -178,12 +260,21 @@ class ExecutionService
   public:
     explicit ExecutionService(machine::Machine &machine,
                               ServiceConfig config = {});
+    ~ExecutionService();
+
+    ExecutionService(const ExecutionService &) = delete;
+    ExecutionService &operator=(const ExecutionService &) = delete;
 
     /** Enqueue @p request; returns its requestId. The request is not
-     *  executed until the next drain(). */
+     *  executed until the next drain(). Thread-safe (any thread may
+     *  submit; drain() itself must stay on one thread at a time). */
     Result<std::uint64_t> submit(PalRequest request);
 
-    std::size_t queueDepth() const { return queue_.size(); }
+    std::size_t queueDepth() const
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        return queue_.size();
+    }
 
     /**
      * Run every queued request to completion across the machine's
@@ -207,6 +298,25 @@ class ExecutionService
      *  LPC bus round trip) -- what pipelining amortizes. */
     static constexpr Duration busExchangeCost = Duration::micros(50);
 
+    /** The shard a request with @p affinity_key routes to under
+     *  @p shard_count shards (exposed so tests and clients can predict
+     *  placement). */
+    static std::uint32_t shardOf(std::uint64_t affinity_key,
+                                 std::uint32_t shard_count);
+    /** The affinity key drain() uses for @p request (explicit key, or
+     *  an FNV-1a hash of the PAL name). */
+    static std::uint64_t affinityOf(const PalRequest &request);
+
+    /** Host-level pool behavior of the last/current sharded drains
+     *  (executed/steals/discarded); zeros before the first one. */
+    struct PoolStats
+    {
+        std::uint64_t executed = 0;
+        std::uint64_t steals = 0;
+        std::uint64_t discarded = 0;
+    };
+    PoolStats poolStats() const;
+
   private:
     struct Pending
     {
@@ -215,21 +325,87 @@ class ExecutionService
         TimePoint submittedAt;
     };
 
-    /** Open (first drain / reuse off) or resume the transport session;
-     *  returns the ready client endpoint. */
-    Result<tpm::TransportClient> attachSession();
+    /** One recorded transport milestone, replayed to the observer in
+     *  deterministic shard order by the merge sequencer. */
+    struct Milestone
+    {
+        enum class Kind
+        {
+            sessionOpened,
+            sessionResumed,
+            auditExchange,
+        };
+        Kind kind;
+        std::uint64_t value = 0; //!< epoch / command count
+    };
 
-    /** Push @p commands through the session, batched or one-by-one. */
-    Status flushAudit(const std::vector<tpm::TransportCommand> &commands);
+    /** Transport-side outcome of one engine run (deltas, never live
+     *  totals, so shard outcomes merge associatively). */
+    struct AuditOutcome
+    {
+        std::uint64_t commands = 0;
+        std::uint64_t exchanges = 0;
+        std::uint64_t opened = 0;
+        std::uint64_t resumed = 0;
+        std::vector<Milestone> milestones;
+    };
+
+    /** Scheduling-side outcome of one engine run. */
+    struct BatchOutcome
+    {
+        std::vector<ExecutionReport> reports; //!< in batch order
+        std::uint64_t preemptions = 0;
+        std::uint64_t slaunchRetries = 0;
+        std::uint64_t legacyWorkUnits = 0;
+    };
+
+    /** The machine-facing state one engine run executes against:
+     *  the service's own members (inline drain) or a shard's. */
+    struct EngineRefs
+    {
+        machine::Machine &machine;
+        rec::SecureExecutive &exec;
+        tpm::TpmTransportServer &server;
+        Bytes &sessionKey;
+        bool &sessionLive;
+    };
+
+    struct Shard; //!< owns one shard's machine/executive/session (.cc)
+
+    /** Schedule and run @p batch on @p refs; pure function of the
+     *  engine state (safe to run concurrently for distinct shards). */
+    Result<BatchOutcome> runBatch(const EngineRefs &refs,
+                                  const std::vector<Pending> &batch,
+                                  std::uint32_t shard_id);
+    /** Open or resume @p refs' transport session; milestones and
+     *  session counters land in @p out (and @p live, when set). */
+    Result<tpm::TransportClient> attachSession(const EngineRefs &refs,
+                                               AuditOutcome &out,
+                                               ServiceObserver *live);
+    /** Extend a digest of every report into the audit PCR, batched or
+     *  one-by-one. */
+    Status flushAudit(const EngineRefs &refs,
+                      const std::vector<ExecutionReport> &reports,
+                      AuditOutcome &out, ServiceObserver *live);
+
+    Result<std::vector<ExecutionReport>>
+    drainInline(std::vector<Pending> batch);
+    Result<std::vector<ExecutionReport>>
+    drainSharded(std::vector<Pending> batch);
+    Shard &ensureShard(std::uint32_t shard);
 
     machine::Machine &machine_;
     ServiceConfig config_;
     rec::SecureExecutive exec_;
     tpm::TpmTransportServer server_;
+    mutable std::mutex queueMutex_; //!< guards queue_, nextId_, and the
+                                    //!< submit-side metrics fields
     std::vector<Pending> queue_;
     std::uint64_t nextId_ = 1;
     Bytes sessionKey_; //!< drawn from the machine RNG on first attach
     bool sessionLive_ = false;
+    std::vector<std::unique_ptr<Shard>> shards_; //!< lazily built
+    std::unique_ptr<WorkerPool> pool_;           //!< lazily started
     ServiceMetrics metrics_;
     ServiceObserver *observer_ = nullptr;
 };

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Work-stealing pool implementation.
+ */
+
+#include "sea/workerpool.hh"
+
+namespace mintcb::sea
+{
+
+WorkerPool::WorkerPool(unsigned workers)
+    : queues_(workers == 0 ? 1 : workers)
+{
+    threads_.reserve(queues_.size());
+    for (unsigned w = 0; w < queues_.size(); ++w)
+        threads_.emplace_back([this, w] { workerLoop(w); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    shutdown();
+}
+
+void
+WorkerPool::submit(std::function<void()> task, unsigned hint)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_)
+            return;
+        queues_[hint % queues_.size()].push_back(std::move(task));
+        ++queued_;
+    }
+    workCv_.notify_one();
+}
+
+std::function<void()>
+WorkerPool::claimLocked(unsigned self)
+{
+    // Own queue first, oldest task (submission order within a shard's
+    // home worker).
+    if (!queues_[self].empty()) {
+        auto task = std::move(queues_[self].front());
+        queues_[self].pop_front();
+        return task;
+    }
+    // Steal the oldest task from the most loaded peer: oldest tasks
+    // are the longest-waiting shards, and the most loaded peer is the
+    // one whose backlog most needs spreading.
+    std::size_t victim = queues_.size();
+    std::size_t victim_depth = 0;
+    for (std::size_t q = 0; q < queues_.size(); ++q) {
+        if (q != self && queues_[q].size() > victim_depth) {
+            victim = q;
+            victim_depth = queues_[q].size();
+        }
+    }
+    if (victim == queues_.size())
+        return {};
+    auto task = std::move(queues_[victim].front());
+    queues_[victim].pop_front();
+    ++stats_.steals;
+    return task;
+}
+
+void
+WorkerPool::workerLoop(unsigned self)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        std::function<void()> task = claimLocked(self);
+        if (!task) {
+            if (stop_)
+                return;
+            workCv_.wait(lock);
+            continue;
+        }
+        --queued_;
+        ++inFlight_;
+        lock.unlock();
+        task();
+        lock.lock();
+        --inFlight_;
+        ++stats_.executed;
+        if (queued_ == 0 && inFlight_ == 0)
+            idleCv_.notify_all();
+    }
+}
+
+void
+WorkerPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idleCv_.wait(lock, [this] { return queued_ == 0 && inFlight_ == 0; });
+}
+
+void
+WorkerPool::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_ && threads_.empty())
+            return;
+        stop_ = true;
+        for (auto &q : queues_) {
+            stats_.discarded += q.size();
+            queued_ -= q.size();
+            q.clear();
+        }
+        if (queued_ == 0 && inFlight_ == 0)
+            idleCv_.notify_all();
+    }
+    workCv_.notify_all();
+    for (std::thread &t : threads_) {
+        if (t.joinable())
+            t.join();
+    }
+    threads_.clear();
+    // Discarding may have emptied everything while wait()ers slept.
+    idleCv_.notify_all();
+}
+
+WorkerPool::Stats
+WorkerPool::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+} // namespace mintcb::sea

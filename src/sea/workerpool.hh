@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Work-stealing host-thread pool for the sharded execution service.
+ *
+ * The simulator itself stays single-threaded per machine; what the pool
+ * parallelizes is whole *shard campaigns* -- coarse, self-contained
+ * tasks that each own an independent simulated machine. Tasks are
+ * submitted with a placement hint (the shard's home worker); an idle
+ * worker steals the oldest task from the most loaded peer, so a skewed
+ * shard distribution still keeps every host core busy.
+ *
+ * Determinism note: the pool decides only *where and when on the host*
+ * a task runs, never what it computes -- each task is a pure function
+ * of its own shard state. That is what lets the sharded service promise
+ * byte-identical reports for any worker count (DESIGN.md section 10).
+ *
+ * The threads are persistent (one pool outlives many drains). shutdown()
+ * -- also run by the destructor -- lets in-flight tasks finish, discards
+ * queued-but-unstarted ones (counted in stats().discarded), and joins
+ * every thread, so tearing the service down with requests still in
+ * flight is safe and bounded.
+ */
+
+#ifndef MINTCB_SEA_WORKERPOOL_HH
+#define MINTCB_SEA_WORKERPOOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mintcb::sea
+{
+
+/** The coarse-task pool. Thread-safe; one global lock is plenty since
+ *  tasks are whole shard campaigns, not fine-grained work items. */
+class WorkerPool
+{
+  public:
+    /** Cumulative pool behavior (host-level observability; these are
+     *  timing-dependent and intentionally never fold into simulated
+     *  state). */
+    struct Stats
+    {
+        std::uint64_t executed = 0;  //!< tasks run to completion
+        std::uint64_t steals = 0;    //!< tasks taken from another
+                                     //!< worker's queue
+        std::uint64_t discarded = 0; //!< queued tasks dropped by
+                                     //!< shutdown()
+    };
+
+    /** Start @p workers threads (at least 1). */
+    explicit WorkerPool(unsigned workers);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    unsigned workers() const
+    {
+        return static_cast<unsigned>(queues_.size());
+    }
+
+    /** Enqueue @p task on worker @p hint's queue (mod worker count).
+     *  No-op after shutdown(). */
+    void submit(std::function<void()> task, unsigned hint = 0);
+
+    /** Block until every submitted task has finished (or was discarded
+     *  by a concurrent shutdown()). */
+    void wait();
+
+    /** Stop the pool: in-flight tasks complete, queued ones are
+     *  discarded, threads join. Idempotent. */
+    void shutdown();
+
+    Stats stats() const;
+
+  private:
+    void workerLoop(unsigned self);
+    /** Pop a runnable task for worker @p self; records steals. Must be
+     *  called with mu_ held; returns an empty function when no task is
+     *  available. */
+    std::function<void()> claimLocked(unsigned self);
+
+    mutable std::mutex mu_;
+    std::condition_variable workCv_; //!< new task / shutdown
+    std::condition_variable idleCv_; //!< all work retired
+    std::vector<std::deque<std::function<void()>>> queues_;
+    std::vector<std::thread> threads_;
+    std::size_t queued_ = 0;   //!< tasks sitting in queues_
+    std::size_t inFlight_ = 0; //!< tasks currently executing
+    bool stop_ = false;
+    Stats stats_;
+};
+
+} // namespace mintcb::sea
+
+#endif // MINTCB_SEA_WORKERPOOL_HH

@@ -155,6 +155,22 @@ HbRaceDetector::onBarrier()
     }
 }
 
+void
+HbRaceDetector::onShardFork(std::uint32_t shard)
+{
+    (void)shard; // one detector per shard; the id is bookkeeping only
+    ++shardForks_;
+    onBarrier();
+}
+
+void
+HbRaceDetector::onShardJoin(std::uint32_t shard)
+{
+    (void)shard;
+    ++shardJoins_;
+    onBarrier();
+}
+
 std::string
 HbRaceDetector::str() const
 {

@@ -78,6 +78,24 @@ class HbRaceDetector : public machine::MemAccessObserver,
     void onBarrier() override;
     /** @} */
 
+    /** @name Sharded-service fork/join edges.
+     * The sharded ExecutionService hands each shard campaign to a
+     * worker thread (fork) and later commits its results on the drain
+     * thread (join); a per-shard detector observes that shard's memory
+     * system. Both ends are full synchronization points for the shard:
+     * everything before the fork happens-before the campaign, and the
+     * campaign happens-before everything after the join -- so accesses
+     * from different drains can never be reported as racing merely
+     * because a different host worker ran them. Modeled as barrier
+     * edges over the shard machine's CPUs; @p shard is recorded for
+     * bookkeeping only (each detector watches exactly one shard).
+     * @{ */
+    void onShardFork(std::uint32_t shard);
+    void onShardJoin(std::uint32_t shard);
+    std::uint64_t shardForks() const { return shardForks_; }
+    std::uint64_t shardJoins() const { return shardJoins_; }
+    /** @} */
+
     /** Distinct races observed (capped; see dropped()). */
     const std::vector<Race> &races() const { return races_; }
     /** Races beyond the storage cap (still counted, not stored). */
@@ -116,6 +134,8 @@ class HbRaceDetector : public machine::MemAccessObserver,
     std::uint64_t dropped_ = 0;
     std::uint64_t accessesChecked_ = 0;
     std::uint64_t syncEvents_ = 0;
+    std::uint64_t shardForks_ = 0;
+    std::uint64_t shardJoins_ = 0;
     machine::MemoryController *ctrl_ = nullptr;
     rec::SecureExecutive *exec_ = nullptr;
 };

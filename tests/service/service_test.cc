@@ -290,6 +290,63 @@ TEST(ExecutionService, QuoteOnRequestIsHonored)
     EXPECT_FALSE(report->quote.signature.empty());
 }
 
+/** Observer that submits a follow-up request from inside its
+ *  onRequestDone callback -- the pattern that used to deadlock while
+ *  drain() still held the claimed-queue state. */
+class ResubmittingObserver : public ServiceObserver
+{
+  public:
+    explicit ResubmittingObserver(ExecutionService &svc) : svc_(svc) {}
+
+    void onDrainBegin(std::size_t) override {}
+    void onDrainEnd(std::size_t) override {}
+    void onSessionOpened() override {}
+    void onSessionResumed(std::uint64_t) override {}
+    void onAuditExchange(std::size_t) override {}
+    void onRequestDone(const ExecutionReport &report) override
+    {
+        if (resubmitted_)
+            return;
+        resubmitted_ = true;
+        PalRequest followup(servicePal("followup"));
+        followup.slicedCompute = Duration::millis(1);
+        auto id = svc_.submit(std::move(followup));
+        EXPECT_TRUE(id.ok());
+        EXPECT_GT(*id, report.requestId);
+    }
+
+  private:
+    ExecutionService &svc_;
+    bool resubmitted_ = false;
+};
+
+TEST(ExecutionService, ObserverMaySubmitFromRequestDoneCallback)
+{
+    // Regression: drain() used to invoke observer callbacks while the
+    // claimed batch still aliased the live queue state, so an observer
+    // submitting from its callback re-entered the drain (or deadlocked
+    // once the queue grew a lock). The claimed batch is now snapshotted
+    // and released first: the callback's submit lands in the empty
+    // queue and runs on the *next* drain.
+    Machine m = Machine::forPlatform(PlatformId::recTestbed);
+    ExecutionService svc(m);
+    ResubmittingObserver obs(svc);
+    svc.setObserver(&obs);
+
+    ASSERT_TRUE(
+        svc.submit(lightRequest("seedreq", Duration::millis(1))).ok());
+    auto first = svc.drain();
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(first->size(), 1u); // follow-up not folded into this drain
+    EXPECT_EQ(svc.queueDepth(), 1u);
+
+    auto second = svc.drain();
+    ASSERT_TRUE(second.ok());
+    ASSERT_EQ(second->size(), 1u);
+    EXPECT_EQ(second->front().palName, "followup");
+    EXPECT_EQ(svc.queueDepth(), 0u);
+}
+
 TEST(OsScheduler, RoundEntryGapIsAccountedAsLegacyWork)
 {
     // Regression: entering a scheduling round used to syncAllCpus(),

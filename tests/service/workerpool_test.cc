@@ -1,0 +1,132 @@
+/**
+ * @file
+ * WorkerPool tests: the host-thread pool under the sharded execution
+ * service -- completion, work stealing under a skewed submit pattern,
+ * and clean shutdown with tasks still queued and in flight.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "sea/workerpool.hh"
+
+namespace mintcb::sea
+{
+namespace
+{
+
+TEST(WorkerPool, RunsEverySubmittedTask)
+{
+    WorkerPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&ran] { ran.fetch_add(1); },
+                    static_cast<unsigned>(i));
+    }
+    pool.wait();
+    EXPECT_EQ(ran.load(), 64);
+    EXPECT_EQ(pool.stats().executed, 64u);
+    EXPECT_EQ(pool.stats().discarded, 0u);
+}
+
+TEST(WorkerPool, AtLeastOneWorkerEvenWhenAskedForZero)
+{
+    WorkerPool pool(0);
+    EXPECT_EQ(pool.workers(), 1u);
+    std::atomic<bool> ran{false};
+    pool.submit([&ran] { ran = true; });
+    pool.wait();
+    EXPECT_TRUE(ran.load());
+}
+
+TEST(WorkerPool, IdleWorkersStealFromLoadedPeer)
+{
+    // Every task is hinted onto worker 0's queue and each takes real
+    // wall time, so workers 1..3 can only make progress by stealing.
+    WorkerPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 16; ++i) {
+        pool.submit(
+            [&ran] {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(2));
+                ran.fetch_add(1);
+            },
+            /*hint=*/0);
+    }
+    pool.wait();
+    EXPECT_EQ(ran.load(), 16);
+    EXPECT_GT(pool.stats().steals, 0u);
+}
+
+TEST(WorkerPool, ShutdownFinishesInFlightAndDiscardsQueued)
+{
+    WorkerPool pool(1);
+
+    std::mutex mu;
+    std::condition_variable cv;
+    bool started = false;
+    bool release = false;
+
+    // The gate task occupies the only worker until we let it go.
+    pool.submit([&] {
+        std::unique_lock<std::mutex> lock(mu);
+        started = true;
+        cv.notify_all();
+        cv.wait(lock, [&] { return release; });
+    });
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return started; });
+    }
+
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&ran] { ran.fetch_add(1); });
+
+    // shutdown() discards the queued tasks up front, then blocks
+    // joining the worker that is still inside the gate task.
+    std::thread stopper([&pool] { pool.shutdown(); });
+    while (pool.stats().discarded != 10u)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        release = true;
+    }
+    cv.notify_all();
+    stopper.join();
+
+    EXPECT_EQ(ran.load(), 0);
+    const WorkerPool::Stats stats = pool.stats();
+    EXPECT_EQ(stats.executed, 1u); // the gate task finished cleanly
+    EXPECT_EQ(stats.discarded, 10u);
+
+    // Submits after shutdown are no-ops, and wait() must not hang.
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 0);
+    EXPECT_EQ(pool.stats().executed, 1u);
+}
+
+TEST(WorkerPool, DestructorIsACleanShutdown)
+{
+    std::atomic<int> ran{0};
+    {
+        WorkerPool pool(2);
+        for (int i = 0; i < 8; ++i) {
+            pool.submit([&ran] { ran.fetch_add(1); },
+                        static_cast<unsigned>(i));
+        }
+        // No wait(): the destructor must either run or discard every
+        // task and join without hanging.
+    }
+    EXPECT_LE(ran.load(), 8);
+}
+
+} // namespace
+} // namespace mintcb::sea
