@@ -5,8 +5,9 @@
 #   address,undefined  -- the default job; catches lifetime bugs in the
 #                         observer wiring and UB in the codecs.
 #   thread             -- opt-in second job (SANITIZERS="... thread");
-#                         the simulator is single-threaded, so this
-#                         mainly guards the gtest/benchmark harnesses.
+#                         guards the sharded worker pool and the net
+#                         layer (gateway reactor thread vs client
+#                         threads), plus the gtest/benchmark harnesses.
 #
 # Each configuration builds into build-<name>/ (slashes from commas) so
 # sanitized trees never collide with the developer build/.

@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <mutex>
 
 #include "common/hex.hh"
 #include "crypto/sha256.hh"
@@ -79,6 +80,11 @@ cachedKey(const std::string &label, std::size_t bits)
 {
     static std::map<std::pair<std::string, std::size_t>, RsaPrivateKey>
         cache;
+    // The network gateway builds attested-identity machines on client
+    // threads, so the cache must tolerate concurrent first use.
+    // std::map nodes are stable, so returned references stay valid.
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
     const auto key = std::make_pair(label, bits);
     auto it = cache.find(key);
     if (it != cache.end())

@@ -21,8 +21,8 @@ namespace mintcb::crypto
 
 /**
  * Return the deterministic RSA key for @p label at @p bits, generating and
- * memoizing it on first use. Thread-compatible (mintcb simulations are
- * single-threaded by design; simulated concurrency uses virtual time).
+ * memoizing it on first use. Thread-safe: the network gateway and its
+ * clients build attested-identity machines from multiple host threads.
  */
 const RsaPrivateKey &cachedKey(const std::string &label, std::size_t bits);
 

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Gateway client implementation.
+ */
+
+#include "net/client.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <thread>
+
+namespace mintcb::net
+{
+
+namespace
+{
+
+/** Turn a gateway error frame back into a local Error. */
+Error
+errorFromFrame(const Frame &frame)
+{
+    auto payload = decodeError(frame.payload);
+    if (!payload)
+        return Error(Errc::integrityFailure,
+                     "gateway sent an undecodable error frame");
+    return Error(static_cast<Errc>(payload->code),
+                 "gateway: " + payload->message);
+}
+
+void
+defaultBackoff(std::uint32_t retry_after_ms)
+{
+    const std::uint32_t ms = std::min<std::uint32_t>(retry_after_ms, 100);
+    if (ms > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+} // namespace
+
+GatewayClient::GatewayClient(ClientConfig config)
+    : config_(std::move(config)),
+      identity_(config_.name, AttestedIdentity::clientPal(config_.name),
+                config_.identitySeed)
+{
+    if (!config_.backoff)
+        config_.backoff = defaultBackoff;
+    gatewayVerifier_.trustPal(AttestedIdentity::gatewayPal());
+}
+
+Status
+GatewayClient::connect(std::uint16_t port)
+{
+    if (!identity_.ok())
+        return identity_.launchStatus();
+    auto stream =
+        TcpStream::connectLoopback(port, config_.timeoutMillis);
+    if (!stream)
+        return stream.error();
+    channel_ = std::make_unique<FrameChannel>(stream.take());
+
+    HelloPayload hello;
+    hello.nonce = identity_.freshNonce();
+    hello.clientName = config_.name;
+    if (auto s = channel_->send({FrameType::hello, encodeHello(hello)});
+        !s.ok()) {
+        close();
+        return s;
+    }
+
+    auto frame = channel_->recv();
+    if (!frame) {
+        close();
+        return frame.error();
+    }
+    if (frame->type == FrameType::error) {
+        close();
+        return errorFromFrame(*frame);
+    }
+    if (frame->type != FrameType::challenge) {
+        close();
+        return Error(Errc::failedPrecondition,
+                     std::string("expected challenge, got ") +
+                         frameTypeName(frame->type));
+    }
+    auto challenge = decodeChallenge(frame->payload);
+    if (!challenge) {
+        close();
+        return challenge.error();
+    }
+
+    if (config_.verifyGateway) {
+        // The trust decision the paper gives the remote party: refuse
+        // to hand over inputs unless the platform proves, against our
+        // fresh nonce, that PCR 17 holds a whitelisted gateway PAL.
+        auto attestation =
+            sea::Attestation::decode(challenge->attestation);
+        if (!attestation) {
+            close();
+            return attestation.error();
+        }
+        auto verdict =
+            gatewayVerifier_.verify(*attestation, hello.nonce);
+        if (!verdict) {
+            close();
+            return verdict.error();
+        }
+        gatewaySubject_ = attestation->aikCert.subject;
+    }
+
+    auto attestation = identity_.attest(challenge->nonce);
+    if (!attestation) {
+        close();
+        return attestation.error();
+    }
+    AuthPayload auth;
+    auth.attestation = attestation->encode();
+    if (auto s = channel_->send({FrameType::auth, encodeAuth(auth)});
+        !s.ok()) {
+        close();
+        return s;
+    }
+
+    auto reply = channel_->recv();
+    if (!reply) {
+        close();
+        return reply.error();
+    }
+    if (reply->type == FrameType::error) {
+        close();
+        return errorFromFrame(*reply);
+    }
+    if (reply->type != FrameType::authOk) {
+        close();
+        return Error(Errc::failedPrecondition,
+                     std::string("expected authOk, got ") +
+                         frameTypeName(reply->type));
+    }
+    auto ok = decodeAuthOk(reply->payload);
+    if (!ok) {
+        close();
+        return ok.error();
+    }
+    sessionId_ = ok->sessionId;
+    return okStatus();
+}
+
+Status
+GatewayClient::submit(const WireRequest &request)
+{
+    if (!connected())
+        return Error(Errc::failedPrecondition, "not connected");
+    return channel_->send({FrameType::submit, encodeSubmit(request)});
+}
+
+Status
+GatewayClient::flush()
+{
+    if (!connected())
+        return Error(Errc::failedPrecondition, "not connected");
+    return channel_->send({FrameType::flush, Bytes{}});
+}
+
+Result<Frame>
+GatewayClient::recvFrame()
+{
+    if (!connected())
+        return Error(Errc::failedPrecondition, "not connected");
+    return channel_->recv();
+}
+
+Result<std::vector<ReportPayload>>
+GatewayClient::runBatch(const std::vector<WireRequest> &requests)
+{
+    if (!connected())
+        return Error(Errc::failedPrecondition, "not connected");
+    std::map<std::uint64_t, const WireRequest *> outstanding;
+    std::map<std::uint64_t, int> retries;
+    for (const WireRequest &r : requests) {
+        if (!outstanding.emplace(r.sequence, &r).second) {
+            return Error(Errc::invalidArgument,
+                         "duplicate sequence " +
+                             std::to_string(r.sequence) +
+                             " within one batch");
+        }
+    }
+    for (const WireRequest &r : requests) {
+        if (auto s = submit(r); !s.ok())
+            return s.error();
+    }
+    if (auto s = flush(); !s.ok())
+        return s.error();
+
+    std::vector<ReportPayload> reports;
+    while (!outstanding.empty()) {
+        auto frame = channel_->recv();
+        if (!frame)
+            return frame.error();
+        switch (frame->type) {
+        case FrameType::report: {
+            auto payload = decodeReport(frame->payload);
+            if (!payload)
+                return payload.error();
+            outstanding.erase(payload->sequence);
+            reports.push_back(payload.take());
+            break;
+        }
+        case FrameType::busy: {
+            auto busy = decodeBusy(frame->payload);
+            if (!busy)
+                return busy.error();
+            ++busyResponses_;
+            auto it = outstanding.find(busy->sequence);
+            if (it == outstanding.end())
+                break; // stale busy for a request we already dropped
+            if (++retries[busy->sequence] > config_.maxBusyRetries) {
+                return Error(Errc::resourceExhausted,
+                             "request " +
+                                 std::to_string(busy->sequence) +
+                                 " still refused after " +
+                                 std::to_string(config_.maxBusyRetries) +
+                                 " busy retries");
+            }
+            config_.backoff(busy->retryAfterMillis);
+            if (auto s = submit(*it->second); !s.ok())
+                return s.error();
+            if (auto s = flush(); !s.ok())
+                return s.error();
+            break;
+        }
+        case FrameType::error:
+            return errorFromFrame(*frame);
+        default:
+            return Error(Errc::failedPrecondition,
+                         std::string("unexpected frame: ") +
+                             frameTypeName(frame->type));
+        }
+    }
+    std::sort(reports.begin(), reports.end(),
+              [](const ReportPayload &a, const ReportPayload &b) {
+                  return a.sequence < b.sequence;
+              });
+    return reports;
+}
+
+Result<ReportPayload>
+GatewayClient::call(const WireRequest &request)
+{
+    auto reports = runBatch({request});
+    if (!reports)
+        return reports.error();
+    if (reports->size() != 1)
+        return Error(Errc::integrityFailure,
+                     "expected exactly one report");
+    return std::move(reports->front());
+}
+
+void
+GatewayClient::bye()
+{
+    if (connected())
+        (void)channel_->send({FrameType::bye, Bytes{}});
+    close();
+}
+
+void
+GatewayClient::close()
+{
+    if (channel_) {
+        channel_->close();
+        channel_.reset();
+    }
+    sessionId_ = 0;
+}
+
+} // namespace mintcb::net

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Blocking gateway client: attested connect, pipelined submits,
+ * busy-aware collection.
+ *
+ * The client is the remote party of the paper's model: before it
+ * entrusts inputs to the platform it *verifies* the gateway's
+ * attestation (PCR 17 quote over a nonce the client just drew,
+ * AIK certificate chained to the Privacy CA), and it must present its
+ * own attestation before the gateway will take work. After the
+ * handshake the client pipelines submit frames, flushes, and collects
+ * reports; `busy` backpressure frames are retried with the gateway's
+ * own retry hint rather than treated as failures.
+ */
+
+#ifndef MINTCB_NET_CLIENT_HH
+#define MINTCB_NET_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/handshake.hh"
+#include "net/socket.hh"
+#include "net/wire.hh"
+
+namespace mintcb::net
+{
+
+/** Client tuning. */
+struct ClientConfig
+{
+    /** Display name sent in hello and used for the identity PAL. */
+    std::string name = "mintcb-client";
+
+    /** Seed for the client's attested-identity machine. */
+    std::uint64_t identitySeed = 2;
+
+    /** Socket connect/read timeout (ms). */
+    int timeoutMillis = 30000;
+
+    /** Verify the gateway's challenge attestation before proceeding
+     *  (disable only in tests probing the handshake itself). */
+    bool verifyGateway = true;
+
+    /** Give up after this many busy retries for one request. */
+    int maxBusyRetries = 1000;
+
+    /** Called before each busy retry with the gateway's retry hint;
+     *  defaults to sleeping that many milliseconds (capped at 100).
+     *  Tests inject a no-op to keep wall time down. */
+    std::function<void(std::uint32_t)> backoff;
+};
+
+/**
+ * One attested session against a mintcb-gate instance.
+ *
+ *     GatewayClient client(config);
+ *     client.connect(port);              // TCP + mutual attestation
+ *     auto reports = client.runBatch(requests);
+ *     client.bye();
+ *
+ * Not thread-safe; one instance per connection, one connection per
+ * thread.
+ */
+class GatewayClient
+{
+  public:
+    explicit GatewayClient(ClientConfig config = {});
+
+    /** Did the local identity machine launch? (Checked by connect.) */
+    bool identityOk() const { return identity_.ok(); }
+    AttestedIdentity &identity() { return identity_; }
+
+    /** Connect to 127.0.0.1:@p port and run the full handshake. */
+    Status connect(std::uint16_t port);
+
+    bool connected() const { return channel_ != nullptr; }
+    std::uint64_t sessionId() const { return sessionId_; }
+
+    /** Subject string the gateway's verified attestation carried. */
+    const std::string &gatewaySubject() const { return gatewaySubject_; }
+
+    /**
+     * Pipeline every request, flush, and collect one report per
+     * request (retrying busy responses per the gateway's hint).
+     * Reports come back sorted by sequence. Sequences must be unique
+     * within the batch.
+     */
+    Result<std::vector<ReportPayload>>
+    runBatch(const std::vector<WireRequest> &requests);
+
+    /** Single-request convenience over runBatch. */
+    Result<ReportPayload> call(const WireRequest &request);
+
+    /** @name Low-level access (tests, load generators). @{ */
+    Status submit(const WireRequest &request);
+    Status flush();
+    /** Block for the next frame of any type. */
+    Result<Frame> recvFrame();
+    /** @} */
+
+    /** Graceful goodbye + close. */
+    void bye();
+    void close();
+
+    /** Busy frames absorbed over the connection's lifetime. */
+    std::uint64_t busyResponses() const { return busyResponses_; }
+
+  private:
+    ClientConfig config_;
+    AttestedIdentity identity_;
+    sea::Verifier gatewayVerifier_;
+    std::unique_ptr<FrameChannel> channel_;
+    std::uint64_t sessionId_ = 0;
+    std::string gatewaySubject_;
+    std::uint64_t busyResponses_ = 0;
+};
+
+} // namespace mintcb::net
+
+#endif // MINTCB_NET_CLIENT_HH

@@ -1,0 +1,635 @@
+/**
+ * @file
+ * Gateway reactor implementation.
+ */
+
+#include "net/gateway.hh"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace mintcb::net
+{
+
+std::uint64_t
+steadyMillis()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Per-connection reactor state. */
+struct Gateway::Conn
+{
+    enum class State
+    {
+        expectHello, //!< nothing received yet
+        expectAuth,  //!< challenge sent, waiting on the client quote
+        attested,    //!< session admitted; submits accepted
+        closed,
+    };
+
+    TcpStream stream;
+    Bytes rx; //!< receive buffer (whole frames taken off the front)
+    Bytes tx; //!< send buffer (flushed as the socket accepts bytes)
+    State state = State::expectHello;
+    std::string clientName;
+    Bytes gatewayNonce; //!< challenge nonce this client must quote
+    std::uint64_t session = 0;
+    TokenBucket bucket;
+    std::uint64_t lastActivityMs = 0;
+    bool closeAfterFlush = false;
+};
+
+/** One admitted request waiting for the next drain cycle. */
+struct Gateway::PendingRequest
+{
+    std::uint64_t sequence = 0;
+    std::uint64_t session = 0;
+    sea::PalRequest request;
+};
+
+std::string
+GatewayStats::str() const
+{
+    std::ostringstream out;
+    out << "gateway: conns accepted=" << connectionsAccepted
+        << " closed=" << connectionsClosed
+        << " handshakes ok=" << handshakesCompleted
+        << " refused=" << handshakesRefused
+        << " protocol-errors=" << protocolErrors
+        << " idle-disconnects=" << idleDisconnects << "\n"
+        << "gateway: frames rx=" << framesRx << " tx=" << framesTx
+        << " bytes rx=" << bytesRx << " tx=" << bytesTx << "\n"
+        << "gateway: admitted=" << requestsAdmitted
+        << " busy queue-full=" << busyQueueFull
+        << " rate-limited=" << busyRateLimited
+        << " dup-sequence=" << duplicateSequence
+        << " unknown-pal=" << unknownPal << "\n"
+        << "gateway: drains=" << drains
+        << " reports delivered=" << reportsDelivered
+        << " dropped=" << reportsDropped
+        << " max-pending=" << maxPendingDepth << "\n";
+    return out.str();
+}
+
+Gateway::Gateway(machine::Machine &machine, sea::ExecutionService &service,
+                 const PalRegistry &registry, GatewayConfig config)
+    : machine_(machine), service_(service), registry_(registry),
+      config_(std::move(config)),
+      identity_(config_.subject, AttestedIdentity::gatewayPal(),
+                config_.identitySeed)
+{
+}
+
+Gateway::~Gateway() { stop(); }
+
+std::size_t
+Gateway::pendingDepth() const
+{
+    return pending_.size();
+}
+
+void
+Gateway::trustClientPal(const sea::Pal &pal)
+{
+    clientVerifier_.trustPal(pal);
+}
+
+Status
+Gateway::bind()
+{
+    if (listener_.valid())
+        return okStatus();
+    if (!identity_.ok())
+        return identity_.launchStatus();
+    auto listener = TcpListener::bindLoopback(config_.port);
+    if (!listener)
+        return listener.error();
+    listener_ = listener.take();
+    port_ = listener_.port();
+    return okStatus();
+}
+
+Status
+Gateway::run()
+{
+    if (auto s = bind(); !s.ok())
+        return s;
+    reactorLoop();
+    return okStatus();
+}
+
+Status
+Gateway::start()
+{
+    if (auto s = bind(); !s.ok())
+        return s;
+    thread_ = std::make_unique<std::thread>([this] { reactorLoop(); });
+    return okStatus();
+}
+
+void
+Gateway::stop()
+{
+    requestStop();
+    if (thread_ && thread_->joinable())
+        thread_->join();
+    thread_.reset();
+}
+
+Gateway::Conn *
+Gateway::connBySession(std::uint64_t session)
+{
+    for (auto &conn : conns_) {
+        if (conn->session == session &&
+            conn->state == Conn::State::attested) {
+            return conn.get();
+        }
+    }
+    return nullptr;
+}
+
+void
+Gateway::reactorLoop()
+{
+    running_.store(true);
+    bool accepting = true;
+    while (true) {
+        const bool stopping = stopRequested_.load();
+        if (stopping)
+            accepting = false; // graceful: finish work, take no more
+
+        std::vector<pollfd> fds;
+        fds.reserve(conns_.size() + 1);
+        const bool pollListener = accepting && listener_.valid();
+        if (pollListener)
+            fds.push_back({listener_.fd(), POLLIN, 0});
+        const std::size_t connBase = fds.size();
+        for (const auto &conn : conns_) {
+            short events = POLLIN;
+            if (!conn->tx.empty())
+                events = static_cast<short>(events | POLLOUT);
+            fds.push_back({conn->stream.fd(), events, 0});
+        }
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+               config_.pollMillis);
+
+        const std::uint64_t now = config_.clock();
+        const std::uint64_t framesBefore = stats_.framesRx;
+
+        if (pollListener && (fds[0].revents & POLLIN) != 0)
+            acceptPending(now);
+
+        for (std::size_t i = 0; i < conns_.size(); ++i) {
+            Conn &conn = *conns_[i];
+            const short revents = fds[connBase + i].revents;
+            if (conn.state == Conn::State::closed)
+                continue;
+            if ((revents & POLLOUT) != 0)
+                flushTx(conn);
+            if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+                serviceConn(conn, now);
+            if (conn.state != Conn::State::closed &&
+                conn.closeAfterFlush && conn.tx.empty()) {
+                closeConn(conn);
+            }
+        }
+
+        reapIdle(now);
+        conns_.erase(
+            std::remove_if(conns_.begin(), conns_.end(),
+                           [](const std::unique_ptr<Conn> &c) {
+                               return c->state == Conn::State::closed;
+                           }),
+            conns_.end());
+
+        const bool readAny = stats_.framesRx != framesBefore;
+        if (!pending_.empty() &&
+            (pending_.size() >= config_.drainBatch || flushRequested_ ||
+             (config_.drainOnIdle && !readAny) || stopping)) {
+            flushRequested_ = false;
+            drainCycle();
+        }
+
+        if (stopping && pending_.empty() && !anyTxPending())
+            break;
+    }
+
+    // Last-chance flush so clients blocked on their final report see it
+    // before the FIN.
+    for (auto &conn : conns_) {
+        if (conn->state == Conn::State::closed)
+            continue;
+        flushTx(*conn);
+        closeConn(*conn);
+    }
+    conns_.clear();
+    listener_.close();
+    running_.store(false);
+}
+
+void
+Gateway::acceptPending(std::uint64_t now_ms)
+{
+    auto stream = listener_.accept();
+    if (!stream)
+        return; // transient; poll again
+    if (auto s = stream->setNonBlocking(true); !s.ok())
+        return;
+    auto conn = std::make_unique<Conn>();
+    conn->stream = stream.take();
+    conn->bucket =
+        TokenBucket(config_.rateBurst, config_.ratePerSecond, now_ms);
+    conn->lastActivityMs = now_ms;
+    conns_.push_back(std::move(conn));
+    ++stats_.connectionsAccepted;
+}
+
+void
+Gateway::serviceConn(Conn &conn, std::uint64_t now_ms)
+{
+    for (;;) {
+        auto n = conn.stream.recvSome(conn.rx);
+        if (!n) {
+            if (n.error().code == Errc::resourceExhausted)
+                break; // socket drained for now
+            closeConn(conn);
+            return;
+        }
+        if (*n == 0) { // orderly EOF
+            closeConn(conn);
+            return;
+        }
+        stats_.bytesRx += *n;
+        conn.lastActivityMs = now_ms;
+    }
+
+    while (conn.state != Conn::State::closed && !conn.closeAfterFlush) {
+        auto frame = takeFrame(conn.rx);
+        if (!frame) {
+            // Malformed framing: impossible to resynchronize a byte
+            // stream, so refuse and hang up.
+            ++stats_.protocolErrors;
+            refuse(conn, frame.error().code, frame.error().message);
+            break;
+        }
+        if (!frame->has_value())
+            break; // need more bytes
+        ++stats_.framesRx;
+        if (!handleFrame(conn, std::move(**frame)))
+            break;
+    }
+
+    if (conn.state != Conn::State::closed && conn.closeAfterFlush) {
+        flushTx(conn);
+        if (conn.tx.empty())
+            closeConn(conn);
+    }
+}
+
+bool
+Gateway::handleFrame(Conn &conn, Frame frame)
+{
+    switch (frame.type) {
+    case FrameType::hello:
+        return handleHello(conn, frame);
+    case FrameType::auth:
+        return handleAuth(conn, frame);
+    case FrameType::submit:
+        return handleSubmit(conn, frame);
+    case FrameType::flush:
+        flushRequested_ = true;
+        return true;
+    case FrameType::bye:
+        conn.closeAfterFlush = true;
+        return false;
+    default:
+        ++stats_.protocolErrors;
+        refuse(conn, Errc::failedPrecondition,
+               std::string("unexpected frame from client: ") +
+                   frameTypeName(frame.type));
+        return false;
+    }
+}
+
+bool
+Gateway::handleHello(Conn &conn, const Frame &frame)
+{
+    if (conn.state != Conn::State::expectHello) {
+        ++stats_.protocolErrors;
+        refuse(conn, Errc::failedPrecondition, "hello after handshake");
+        return false;
+    }
+    auto hello = decodeHello(frame.payload);
+    if (!hello) {
+        ++stats_.protocolErrors;
+        refuse(conn, hello.error().code, hello.error().message);
+        return false;
+    }
+    if (hello->version != wireVersion) {
+        ++stats_.protocolErrors;
+        refuse(conn, Errc::failedPrecondition,
+               "protocol version mismatch: gateway speaks " +
+                   std::to_string(wireVersion) + ", client sent " +
+                   std::to_string(hello->version));
+        return false;
+    }
+    conn.clientName = hello->clientName;
+    conn.gatewayNonce = identity_.freshNonce();
+    auto attestation = identity_.attest(hello->nonce);
+    if (!attestation) {
+        refuse(conn, attestation.error().code,
+               attestation.error().message);
+        return false;
+    }
+    ChallengePayload challenge;
+    challenge.attestation = attestation->encode();
+    challenge.nonce = conn.gatewayNonce;
+    sendFrame(conn, {FrameType::challenge, encodeChallenge(challenge)});
+    conn.state = Conn::State::expectAuth;
+    return true;
+}
+
+bool
+Gateway::handleAuth(Conn &conn, const Frame &frame)
+{
+    if (conn.state != Conn::State::expectAuth) {
+        ++stats_.protocolErrors;
+        refuse(conn, Errc::failedPrecondition, "auth out of sequence");
+        return false;
+    }
+    auto auth = decodeAuth(frame.payload);
+    if (!auth) {
+        ++stats_.protocolErrors;
+        refuse(conn, auth.error().code, auth.error().message);
+        return false;
+    }
+    auto attestation = sea::Attestation::decode(auth->attestation);
+    if (!attestation) {
+        ++stats_.protocolErrors;
+        refuse(conn, attestation.error().code,
+               attestation.error().message);
+        return false;
+    }
+    // The gate: certificate chain, quote signature, exact-nonce
+    // freshness, replay memory, and the PAL whitelist all pass before a
+    // session exists -- and without a session, no submit ever reaches
+    // the execution service.
+    auto verdict =
+        clientVerifier_.verifyFresh(*attestation, conn.gatewayNonce);
+    if (!verdict) {
+        ++stats_.handshakesRefused;
+        if (config_.tracer) {
+            config_.tracer->instant(obs::track::gateway,
+                                    "gw:handshake-refused", "net",
+                                    machine_.now());
+        }
+        refuse(conn, verdict.error().code, verdict.error().message);
+        return false;
+    }
+    conn.session = nextSession_++;
+    conn.state = Conn::State::attested;
+    ++stats_.handshakesCompleted;
+    if (config_.tracer) {
+        const std::uint64_t id = config_.tracer->instant(
+            obs::track::gateway, "gw:session", "net", machine_.now(),
+            conn.session);
+        config_.tracer->annotate(id, "client", verdict->palName);
+    }
+    AuthOkPayload ok;
+    ok.sessionId = conn.session;
+    ok.subject = config_.subject;
+    sendFrame(conn, {FrameType::authOk, encodeAuthOk(ok)});
+    return true;
+}
+
+bool
+Gateway::handleSubmit(Conn &conn, const Frame &frame)
+{
+    if (conn.state != Conn::State::attested) {
+        ++stats_.protocolErrors;
+        refuse(conn, Errc::permissionDenied,
+               "submit before an attested session was established");
+        return false;
+    }
+    auto wire = decodeSubmit(frame.payload);
+    if (!wire) {
+        ++stats_.protocolErrors;
+        refuse(conn, wire.error().code, wire.error().message);
+        return false;
+    }
+    auto request = registry_.build(*wire);
+    if (!request) {
+        ++stats_.unknownPal;
+        refuse(conn, request.error().code, request.error().message);
+        return false;
+    }
+    for (const PendingRequest &p : pending_) {
+        if (p.sequence == wire->sequence) {
+            // A duplicate key would make the in-cycle order ambiguous,
+            // which is exactly what the sequence exists to prevent.
+            ++stats_.duplicateSequence;
+            refuse(conn, Errc::invalidArgument,
+                   "sequence " + std::to_string(wire->sequence) +
+                       " already pending in this drain cycle");
+            return false;
+        }
+    }
+    // Backpressure answers keep the connection open: an overloaded
+    // gateway says "later", it does not hang up. Admission uses a
+    // fresh clock sample, not the reactor pass's: a client that
+    // honored the retry hint must find its token accrued even when
+    // its retry lands in the same pass as younger traffic.
+    const std::uint64_t admit_ms = config_.clock();
+    if (!conn.bucket.tryAcquire(admit_ms)) {
+        ++stats_.busyRateLimited;
+        BusyPayload busy;
+        busy.sequence = wire->sequence;
+        busy.reason = BusyReason::rateLimited;
+        busy.retryAfterMillis = conn.bucket.millisUntilToken(admit_ms);
+        sendFrame(conn, {FrameType::busy, encodeBusy(busy)});
+        return true;
+    }
+    if (config_.maxInflight > 0 &&
+        pending_.size() >= config_.maxInflight) {
+        ++stats_.busyQueueFull;
+        BusyPayload busy;
+        busy.sequence = wire->sequence;
+        busy.reason = BusyReason::queueFull;
+        busy.retryAfterMillis =
+            static_cast<std::uint32_t>(config_.pollMillis);
+        sendFrame(conn, {FrameType::busy, encodeBusy(busy)});
+        return true;
+    }
+    pending_.push_back(
+        PendingRequest{wire->sequence, conn.session, request.take()});
+    ++stats_.requestsAdmitted;
+    stats_.maxPendingDepth =
+        std::max(stats_.maxPendingDepth, pending_.size());
+    return true;
+}
+
+void
+Gateway::drainCycle()
+{
+    if (pending_.empty())
+        return;
+    obs::SpanTracer *tracer = config_.tracer;
+    std::uint64_t span = 0;
+    if (tracer) {
+        span = tracer->beginSpan(obs::track::gateway, "gw:drain", "net",
+                                 machine_.now());
+        tracer->annotate(span, "requests",
+                         std::to_string(pending_.size()));
+    }
+
+    // The determinism hinge (DESIGN.md section 11.4): admission order
+    // into the service is the ascending client-assigned sequence, so
+    // the batch the service sees is a function of the cycle's contents,
+    // never of TCP arrival interleaving.
+    std::vector<PendingRequest> cycle;
+    cycle.swap(pending_);
+    std::sort(cycle.begin(), cycle.end(),
+              [](const PendingRequest &a, const PendingRequest &b) {
+                  return a.sequence < b.sequence;
+              });
+
+    struct Owner
+    {
+        std::uint64_t session;
+        std::uint64_t sequence;
+    };
+    std::map<std::uint64_t, Owner> owners; // service requestId -> owner
+    for (PendingRequest &p : cycle) {
+        auto id = service_.submit(std::move(p.request));
+        if (!id) {
+            if (Conn *conn = connBySession(p.session)) {
+                ErrorPayload err;
+                err.code = static_cast<std::uint16_t>(id.error().code);
+                err.message = id.error().message;
+                sendFrame(*conn, {FrameType::error, encodeError(err)});
+            }
+            continue;
+        }
+        owners[*id] = Owner{p.session, p.sequence};
+    }
+
+    auto reports = service_.drain();
+    ++stats_.drains;
+    if (!reports) {
+        for (const auto &[id, owner] : owners) {
+            (void)id;
+            if (Conn *conn = connBySession(owner.session)) {
+                ErrorPayload err;
+                err.code =
+                    static_cast<std::uint16_t>(reports.error().code);
+                err.message = reports.error().message;
+                sendFrame(*conn, {FrameType::error, encodeError(err)});
+            }
+        }
+        if (tracer)
+            tracer->endSpan(span, machine_.now());
+        return;
+    }
+
+    for (const sea::ExecutionReport &report : *reports) {
+        auto it = owners.find(report.requestId);
+        if (it == owners.end())
+            continue; // not from this cycle
+        Conn *conn = connBySession(it->second.session);
+        if (conn == nullptr) {
+            ++stats_.reportsDropped; // owner hung up mid-cycle
+            continue;
+        }
+        ReportPayload payload;
+        payload.sequence = it->second.sequence;
+        payload.report = report.encode();
+        sendFrame(*conn, {FrameType::report, encodeReport(payload)});
+        ++stats_.reportsDelivered;
+    }
+    if (tracer)
+        tracer->endSpan(span, machine_.now());
+}
+
+void
+Gateway::sendFrame(Conn &conn, const Frame &frame)
+{
+    if (conn.state == Conn::State::closed)
+        return;
+    const Bytes wire = encodeFrame(frame);
+    conn.tx.insert(conn.tx.end(), wire.begin(), wire.end());
+    ++stats_.framesTx;
+    stats_.bytesTx += wire.size();
+    flushTx(conn); // opportunistic; the rest goes out on POLLOUT
+}
+
+void
+Gateway::refuse(Conn &conn, Errc code, const std::string &message)
+{
+    ErrorPayload err;
+    err.code = static_cast<std::uint16_t>(code);
+    err.message = message;
+    sendFrame(conn, {FrameType::error, encodeError(err)});
+    conn.closeAfterFlush = true;
+}
+
+void
+Gateway::flushTx(Conn &conn)
+{
+    while (!conn.tx.empty() && conn.state != Conn::State::closed) {
+        auto n = conn.stream.sendSome(conn.tx.data(), conn.tx.size());
+        if (!n) {
+            closeConn(conn);
+            return;
+        }
+        if (*n == 0)
+            return; // socket buffer full; POLLOUT will resume
+        conn.tx.erase(conn.tx.begin(),
+                      conn.tx.begin() + static_cast<std::ptrdiff_t>(*n));
+    }
+}
+
+void
+Gateway::closeConn(Conn &conn)
+{
+    if (conn.state == Conn::State::closed)
+        return;
+    conn.stream.close();
+    conn.state = Conn::State::closed;
+    ++stats_.connectionsClosed;
+}
+
+void
+Gateway::reapIdle(std::uint64_t now_ms)
+{
+    if (config_.idleTimeoutMillis == 0)
+        return;
+    for (auto &conn : conns_) {
+        if (conn->state == Conn::State::closed)
+            continue;
+        if (now_ms - conn->lastActivityMs >= config_.idleTimeoutMillis) {
+            ++stats_.idleDisconnects;
+            closeConn(*conn);
+        }
+    }
+}
+
+bool
+Gateway::anyTxPending() const
+{
+    for (const auto &conn : conns_) {
+        if (conn->state != Conn::State::closed && !conn->tx.empty())
+            return true;
+    }
+    return false;
+}
+
+} // namespace mintcb::net

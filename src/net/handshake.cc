@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Attested-identity implementation.
+ */
+
+#include "net/handshake.hh"
+
+#include "latelaunch/latelaunch.hh"
+
+namespace mintcb::net
+{
+
+namespace
+{
+
+/** Where the identity SLB is staged for the launch. */
+constexpr PhysAddr identitySlbAddr = 0x10000;
+
+} // namespace
+
+AttestedIdentity::AttestedIdentity(std::string subject,
+                                   const sea::Pal &identity_pal,
+                                   std::uint64_t seed,
+                                   machine::PlatformId platform)
+    : subject_(std::move(subject)), pal_(identity_pal),
+      machine_(machine::PlatformSpec::forPlatform(platform), seed)
+{
+    latelaunch::LateLaunch launcher(machine_);
+    if (auto s = machine_.writeAs(0, identitySlbAddr, pal_.slbImage());
+        !s.ok()) {
+        launchStatus_ = s.error();
+        return;
+    }
+    auto report = launcher.invoke(0, identitySlbAddr);
+    if (!report.ok()) {
+        launchStatus_ = report.error();
+        return;
+    }
+    launcher.resumeOtherCpus();
+}
+
+Result<sea::Attestation>
+AttestedIdentity::attest(const Bytes &nonce)
+{
+    if (!ok())
+        return launchStatus_.error();
+    return sea::attestLaunch(machine_, 0, nonce, subject_);
+}
+
+Bytes
+AttestedIdentity::freshNonce()
+{
+    return machine_.rng().bytes(handshakeNonceBytes);
+}
+
+sea::Pal
+AttestedIdentity::gatewayPal()
+{
+    return sea::Pal::fromLogic("mintcb-gate", 8 * 1024,
+                               [](sea::PalContext &) {
+                                   return okStatus();
+                               });
+}
+
+sea::Pal
+AttestedIdentity::clientPal(const std::string &name)
+{
+    return sea::Pal::fromLogic(name, 4 * 1024, [](sea::PalContext &) {
+        return okStatus();
+    });
+}
+
+} // namespace mintcb::net

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Bridge from gateway counters into the obs metrics registry.
+ *
+ * Follows the PR 3 bridge idiom (obs/metrics.hh): the gateway keeps
+ * its plain GatewayStats struct and pays nothing for observability;
+ * callers that want a scrape register pull callbacks that read the
+ * live struct at render time. Every series lands in the `net_*`
+ * namespace next to the existing tpm_* / transport_* families.
+ */
+
+#ifndef MINTCB_NET_NETOBS_HH
+#define MINTCB_NET_NETOBS_HH
+
+#include "net/gateway.hh"
+#include "obs/metrics.hh"
+
+namespace mintcb::net
+{
+
+/**
+ * Register pull-based net_* series reading @p stats live. The struct
+ * must outlive @p registry (or the registry be rendered before the
+ * gateway dies). @p labels tag every bridged series (e.g. the gateway
+ * subject).
+ */
+void bridgeGatewayStats(obs::MetricsRegistry &registry,
+                        const GatewayStats &stats,
+                        obs::Labels labels = {});
+
+} // namespace mintcb::net
+
+#endif // MINTCB_NET_NETOBS_HH

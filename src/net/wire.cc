@@ -1,0 +1,468 @@
+/**
+ * @file
+ * Wire protocol codecs.
+ */
+
+#include "net/wire.hh"
+
+#include "common/bytebuf.hh"
+
+namespace mintcb::net
+{
+
+const char *
+frameTypeName(FrameType t)
+{
+    switch (t) {
+      case FrameType::hello: return "hello";
+      case FrameType::challenge: return "challenge";
+      case FrameType::auth: return "auth";
+      case FrameType::authOk: return "authOk";
+      case FrameType::submit: return "submit";
+      case FrameType::report: return "report";
+      case FrameType::busy: return "busy";
+      case FrameType::flush: return "flush";
+      case FrameType::bye: return "bye";
+      case FrameType::error: return "error";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+bool
+knownType(std::uint16_t t)
+{
+    return t >= static_cast<std::uint16_t>(FrameType::hello) &&
+           t <= static_cast<std::uint16_t>(FrameType::error);
+}
+
+} // namespace
+
+Bytes
+encodeFrame(const Frame &frame)
+{
+    ByteWriter w;
+    w.u32(frameMagic);
+    w.u16(wireVersion);
+    w.u16(static_cast<std::uint16_t>(frame.type));
+    w.u32(static_cast<std::uint32_t>(frame.payload.size()));
+    w.raw(frame.payload);
+    return w.take();
+}
+
+Result<std::optional<Frame>>
+takeFrame(Bytes &buf)
+{
+    if (buf.size() < frameHeaderBytes)
+        return std::optional<Frame>{};
+
+    ByteReader r(buf);
+    const auto magic = r.u32();
+    const auto version = r.u16();
+    const auto type = r.u16();
+    const auto length = r.u32();
+    // The reads above cannot fail: frameHeaderBytes are present.
+    if (*magic != frameMagic)
+        return Error(Errc::invalidArgument, "bad frame magic");
+    if (*version != wireVersion) {
+        return Error(Errc::failedPrecondition,
+                     "protocol version mismatch: peer speaks v" +
+                         std::to_string(*version) + ", this side v" +
+                         std::to_string(wireVersion));
+    }
+    if (!knownType(*type)) {
+        return Error(Errc::invalidArgument,
+                     "unknown frame type " + std::to_string(*type));
+    }
+    if (*length > maxFramePayload) {
+        return Error(Errc::invalidArgument,
+                     "oversized frame: " + std::to_string(*length) +
+                         " payload bytes > " +
+                         std::to_string(maxFramePayload));
+    }
+    if (buf.size() < frameHeaderBytes + *length)
+        return std::optional<Frame>{}; // wait for the rest
+
+    Frame frame;
+    frame.type = static_cast<FrameType>(*type);
+    frame.payload.assign(buf.begin() + frameHeaderBytes,
+                         buf.begin() + frameHeaderBytes + *length);
+    buf.erase(buf.begin(),
+              buf.begin() + frameHeaderBytes + *length);
+    return std::optional<Frame>{std::move(frame)};
+}
+
+namespace
+{
+
+/** Every decoder ends with this: trailing bytes mean a codec mismatch
+ *  and must be refused, not silently ignored. */
+Status
+finish(const ByteReader &r, const char *what)
+{
+    if (!r.atEnd()) {
+        return Error(Errc::invalidArgument,
+                     std::string("trailing bytes after ") + what);
+    }
+    return okStatus();
+}
+
+} // namespace
+
+Bytes
+encodeHello(const HelloPayload &p)
+{
+    ByteWriter w;
+    w.u16(p.version);
+    w.lengthPrefixed(p.nonce);
+    w.str(p.clientName);
+    return w.take();
+}
+
+Result<HelloPayload>
+decodeHello(const Bytes &payload)
+{
+    ByteReader r(payload);
+    HelloPayload p;
+    auto version = r.u16();
+    if (!version)
+        return version.error();
+    p.version = *version;
+    auto nonce = r.lengthPrefixed();
+    if (!nonce)
+        return nonce.error();
+    p.nonce = nonce.take();
+    auto name = r.str();
+    if (!name)
+        return name.error();
+    p.clientName = name.take();
+    if (auto s = finish(r, "hello"); !s.ok())
+        return s.error();
+    return p;
+}
+
+Bytes
+encodeChallenge(const ChallengePayload &p)
+{
+    ByteWriter w;
+    w.lengthPrefixed(p.attestation);
+    w.lengthPrefixed(p.nonce);
+    return w.take();
+}
+
+Result<ChallengePayload>
+decodeChallenge(const Bytes &payload)
+{
+    ByteReader r(payload);
+    ChallengePayload p;
+    auto att = r.lengthPrefixed();
+    if (!att)
+        return att.error();
+    p.attestation = att.take();
+    auto nonce = r.lengthPrefixed();
+    if (!nonce)
+        return nonce.error();
+    p.nonce = nonce.take();
+    if (auto s = finish(r, "challenge"); !s.ok())
+        return s.error();
+    return p;
+}
+
+Bytes
+encodeAuth(const AuthPayload &p)
+{
+    ByteWriter w;
+    w.lengthPrefixed(p.attestation);
+    return w.take();
+}
+
+Result<AuthPayload>
+decodeAuth(const Bytes &payload)
+{
+    ByteReader r(payload);
+    AuthPayload p;
+    auto att = r.lengthPrefixed();
+    if (!att)
+        return att.error();
+    p.attestation = att.take();
+    if (auto s = finish(r, "auth"); !s.ok())
+        return s.error();
+    return p;
+}
+
+Bytes
+encodeAuthOk(const AuthOkPayload &p)
+{
+    ByteWriter w;
+    w.u64(p.sessionId);
+    w.str(p.subject);
+    return w.take();
+}
+
+Result<AuthOkPayload>
+decodeAuthOk(const Bytes &payload)
+{
+    ByteReader r(payload);
+    AuthOkPayload p;
+    auto id = r.u64();
+    if (!id)
+        return id.error();
+    p.sessionId = *id;
+    auto subject = r.str();
+    if (!subject)
+        return subject.error();
+    p.subject = subject.take();
+    if (auto s = finish(r, "authOk"); !s.ok())
+        return s.error();
+    return p;
+}
+
+Bytes
+encodeSubmit(const WireRequest &r)
+{
+    ByteWriter w;
+    w.u64(r.sequence);
+    w.u64(r.affinity);
+    w.u32(static_cast<std::uint32_t>(r.priority));
+    w.u8(r.wantQuote ? 1 : 0);
+    w.u32(r.dataPages);
+    w.u64(static_cast<std::uint64_t>(r.slicedComputeTicks));
+    w.u64(r.deadlineTicks);
+    w.str(r.palName);
+    w.lengthPrefixed(r.input);
+    return w.take();
+}
+
+Result<WireRequest>
+decodeSubmit(const Bytes &payload)
+{
+    ByteReader r(payload);
+    WireRequest req;
+    auto sequence = r.u64();
+    if (!sequence)
+        return sequence.error();
+    req.sequence = *sequence;
+    auto affinity = r.u64();
+    if (!affinity)
+        return affinity.error();
+    req.affinity = *affinity;
+    auto priority = r.u32();
+    if (!priority)
+        return priority.error();
+    req.priority = static_cast<std::int32_t>(*priority);
+    auto want_quote = r.u8();
+    if (!want_quote)
+        return want_quote.error();
+    req.wantQuote = *want_quote != 0;
+    auto data_pages = r.u32();
+    if (!data_pages)
+        return data_pages.error();
+    req.dataPages = *data_pages;
+    auto compute = r.u64();
+    if (!compute)
+        return compute.error();
+    req.slicedComputeTicks = static_cast<std::int64_t>(*compute);
+    auto deadline = r.u64();
+    if (!deadline)
+        return deadline.error();
+    req.deadlineTicks = *deadline;
+    auto name = r.str();
+    if (!name)
+        return name.error();
+    req.palName = name.take();
+    auto input = r.lengthPrefixed();
+    if (!input)
+        return input.error();
+    req.input = input.take();
+    if (auto s = finish(r, "submit"); !s.ok())
+        return s.error();
+    return req;
+}
+
+Bytes
+encodeReport(const ReportPayload &p)
+{
+    ByteWriter w;
+    w.u64(p.sequence);
+    w.lengthPrefixed(p.report);
+    return w.take();
+}
+
+Result<ReportPayload>
+decodeReport(const Bytes &payload)
+{
+    ByteReader r(payload);
+    ReportPayload p;
+    auto sequence = r.u64();
+    if (!sequence)
+        return sequence.error();
+    p.sequence = *sequence;
+    auto report = r.lengthPrefixed();
+    if (!report)
+        return report.error();
+    p.report = report.take();
+    if (auto s = finish(r, "report"); !s.ok())
+        return s.error();
+    return p;
+}
+
+Bytes
+encodeBusy(const BusyPayload &p)
+{
+    ByteWriter w;
+    w.u64(p.sequence);
+    w.u16(static_cast<std::uint16_t>(p.reason));
+    w.u32(p.retryAfterMillis);
+    return w.take();
+}
+
+Result<BusyPayload>
+decodeBusy(const Bytes &payload)
+{
+    ByteReader r(payload);
+    BusyPayload p;
+    auto sequence = r.u64();
+    if (!sequence)
+        return sequence.error();
+    p.sequence = *sequence;
+    auto reason = r.u16();
+    if (!reason)
+        return reason.error();
+    if (*reason != static_cast<std::uint16_t>(BusyReason::queueFull) &&
+        *reason !=
+            static_cast<std::uint16_t>(BusyReason::rateLimited)) {
+        return Error(Errc::invalidArgument, "unknown busy reason");
+    }
+    p.reason = static_cast<BusyReason>(*reason);
+    auto retry = r.u32();
+    if (!retry)
+        return retry.error();
+    p.retryAfterMillis = *retry;
+    if (auto s = finish(r, "busy"); !s.ok())
+        return s.error();
+    return p;
+}
+
+Bytes
+encodeError(const ErrorPayload &p)
+{
+    ByteWriter w;
+    w.u16(p.code);
+    w.str(p.message);
+    return w.take();
+}
+
+Result<ErrorPayload>
+decodeError(const Bytes &payload)
+{
+    ByteReader r(payload);
+    ErrorPayload p;
+    auto code = r.u16();
+    if (!code)
+        return code.error();
+    p.code = *code;
+    auto message = r.str();
+    if (!message)
+        return message.error();
+    p.message = message.take();
+    if (auto s = finish(r, "error"); !s.ok())
+        return s.error();
+    return p;
+}
+
+Result<ReportSummary>
+summarizeReport(const Bytes &encoded_report)
+{
+    // Mirrors sea::ExecutionReport::encode field for field.
+    ByteReader r(encoded_report);
+    ReportSummary s;
+    auto magic = r.str();
+    if (!magic)
+        return magic.error();
+    if (*magic != "EXRP")
+        return Error(Errc::invalidArgument, "not an execution report");
+    auto id = r.u64();
+    if (!id)
+        return id.error();
+    s.requestId = *id;
+    auto name = r.str();
+    if (!name)
+        return name.error();
+    s.palName = name.take();
+    auto okflag = r.u8();
+    if (!okflag)
+        return okflag.error();
+    s.ok = *okflag != 0;
+    if (!s.ok) {
+        auto code = r.u8();
+        if (!code)
+            return code.error();
+        s.errorCode = *code;
+        auto message = r.str();
+        if (!message)
+            return message.error();
+        s.errorMessage = message.take();
+    }
+    auto output = r.lengthPrefixed();
+    if (!output)
+        return output.error();
+    s.output = output.take();
+    auto measurement = r.lengthPrefixed();
+    if (!measurement)
+        return measurement.error();
+    s.palMeasurement = measurement.take();
+    auto pcr17 = r.lengthPrefixed();
+    if (!pcr17)
+        return pcr17.error();
+    auto quoted = r.u8();
+    if (!quoted)
+        return quoted.error();
+    s.quoted = *quoted != 0;
+    if (s.quoted) {
+        auto payload = r.lengthPrefixed();
+        if (!payload)
+            return payload.error();
+        auto signature = r.lengthPrefixed();
+        if (!signature)
+            return signature.error();
+    }
+    // suspendOs, lateLaunch, palCompute, seal, unseal, resumeOs,
+    // quote, siblingStall; then submittedAt/startedAt/finishedAt,
+    // queueWait, total.
+    std::int64_t durations[13] = {};
+    for (auto &d : durations) {
+        auto v = r.u64();
+        if (!v)
+            return v.error();
+        d = static_cast<std::int64_t>(*v);
+    }
+    s.palCompute = Duration::picos(durations[2]);
+    s.queueWait = Duration::picos(durations[11]);
+    s.total = Duration::picos(durations[12]);
+    auto launches = r.u64();
+    if (!launches)
+        return launches.error();
+    s.launches = *launches;
+    auto yields = r.u64();
+    if (!yields)
+        return yields.error();
+    s.yields = *yields;
+    auto cpu = r.u32();
+    if (!cpu)
+        return cpu.error();
+    auto shard = r.u32();
+    if (!shard)
+        return shard.error();
+    s.shard = *shard;
+    auto deadline_met = r.u8();
+    if (!deadline_met)
+        return deadline_met.error();
+    s.deadlineMet = *deadline_met != 0;
+    if (auto st = finish(r, "execution report"); !st.ok())
+        return st.error();
+    return s;
+}
+
+} // namespace mintcb::net

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * mintcb-gate wire protocol: length-prefixed binary framing.
+ *
+ * The paper's SEA model (Section 2, Fig. 1) places the party invoking a
+ * PAL and the party verifying its attestation *remote* from the
+ * platform; this module is the byte-level contract between them and the
+ * gateway. Every message is one frame:
+ *
+ *     u32 magic   "MGW1" (0x4d475731)
+ *     u16 version (wireVersion; mismatches are refused, never guessed)
+ *     u16 type    (FrameType)
+ *     u32 length  (payload bytes that follow; <= maxFramePayload)
+ *     ...payload...
+ *
+ * Payload codecs reuse the TPM big-endian vocabulary (ByteWriter /
+ * ByteReader), so every decode path returns a Result and a truncated,
+ * oversized, or garbage frame surfaces as a clean protocol error --
+ * never a crash, never a hang (tests/net/wire_test.cc fuzzes this).
+ */
+
+#ifndef MINTCB_NET_WIRE_HH
+#define MINTCB_NET_WIRE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/result.hh"
+#include "common/simtime.hh"
+#include "common/types.hh"
+
+namespace mintcb::net
+{
+
+/** Frame magic: "MGW1". */
+inline constexpr std::uint32_t frameMagic = 0x4d475731;
+
+/** Protocol revision carried in every frame header. */
+inline constexpr std::uint16_t wireVersion = 1;
+
+/** Fixed frame-header size on the wire. */
+inline constexpr std::size_t frameHeaderBytes = 12;
+
+/** Upper bound on one frame's payload (DoS guard: a malicious length
+ *  field must not make the peer allocate unbounded memory). */
+inline constexpr std::size_t maxFramePayload = 1u << 20;
+
+/** Message kinds. The handshake is hello -> challenge -> auth ->
+ *  authOk; everything after authOk is request traffic. */
+enum class FrameType : std::uint16_t
+{
+    hello = 1,     //!< client -> gw: version + client nonce + name
+    challenge = 2, //!< gw -> client: gateway attestation + gw nonce
+    auth = 3,      //!< client -> gw: client attestation over gw nonce
+    authOk = 4,    //!< gw -> client: session admitted
+    submit = 5,    //!< client -> gw: one PalRequest by registered name
+    report = 6,    //!< gw -> client: encoded ExecutionReport
+    busy = 7,      //!< gw -> client: backpressure, retry later
+    flush = 8,     //!< client -> gw: drain pending work now
+    bye = 9,       //!< client -> gw: graceful close
+    error = 10,    //!< gw -> client: protocol/handshake refusal
+};
+
+/** Printable frame-type name (logs, tests). */
+const char *frameTypeName(FrameType t);
+
+/** One parsed frame. */
+struct Frame
+{
+    FrameType type = FrameType::error;
+    Bytes payload;
+};
+
+/** Serialize a frame (header + payload). */
+Bytes encodeFrame(const Frame &frame);
+
+/**
+ * Try to take one complete frame off the front of @p buf (a socket
+ * receive buffer). Returns the frame (consuming its bytes), nullopt
+ * when more bytes are needed, or an Error for a malformed header (bad
+ * magic, wrong version, oversized length) -- the connection should be
+ * dropped, since resynchronization inside a byte stream is impossible.
+ */
+Result<std::optional<Frame>> takeFrame(Bytes &buf);
+
+/** @name Handshake payloads. @{ */
+
+struct HelloPayload
+{
+    std::uint16_t version = wireVersion; //!< client's protocol revision
+    Bytes nonce;                         //!< freshness for the gw quote
+    std::string clientName;              //!< display label
+};
+
+struct ChallengePayload
+{
+    Bytes attestation; //!< sea::Attestation::encode over client nonce
+    Bytes nonce;       //!< gateway challenge the client must quote
+};
+
+struct AuthPayload
+{
+    Bytes attestation; //!< client attestation over the gateway nonce
+};
+
+struct AuthOkPayload
+{
+    std::uint64_t sessionId = 0;
+    std::string subject; //!< gateway platform label
+};
+
+/** @} */
+
+/** @name Request traffic payloads. @{ */
+
+/** A PalRequest as it travels the wire. PAL *behavior* cannot travel
+ *  (it is native code); the client names a PAL the gateway has
+ *  registered (net::PalRegistry) and supplies the input bytes. */
+struct WireRequest
+{
+    /** Client-assigned total-order key. Within one gateway drain cycle
+     *  requests are admitted to the service in ascending sequence
+     *  order, which is what carries the PR 4 determinism guarantee
+     *  across the network (DESIGN.md section 11.4). Must be unique
+     *  among the requests of one drain cycle. */
+    std::uint64_t sequence = 0;
+    std::uint64_t affinity = 0;        //!< PalRequest::affinity
+    std::int32_t priority = 0;
+    bool wantQuote = false;
+    std::uint32_t dataPages = 1;
+    std::int64_t slicedComputeTicks = 0; //!< Duration::ticks()
+    std::uint64_t deadlineTicks = 0;     //!< since epoch; 0 = none
+    std::string palName;
+    Bytes input;
+};
+
+struct ReportPayload
+{
+    std::uint64_t sequence = 0;
+    Bytes report; //!< sea::ExecutionReport::encode()
+};
+
+/** Why the gateway refused to admit a request right now. */
+enum class BusyReason : std::uint16_t
+{
+    queueFull = 1,   //!< bounded in-flight queue at capacity
+    rateLimited = 2, //!< per-client token bucket empty
+};
+
+struct BusyPayload
+{
+    std::uint64_t sequence = 0;
+    BusyReason reason = BusyReason::queueFull;
+    std::uint32_t retryAfterMillis = 0;
+};
+
+struct ErrorPayload
+{
+    std::uint16_t code = 0; //!< Errc cast to the wire
+    std::string message;
+};
+
+/** @} */
+
+/** @name Payload codecs (all decoders are total: any byte string in,
+ *  clean Result out). @{ */
+Bytes encodeHello(const HelloPayload &p);
+Result<HelloPayload> decodeHello(const Bytes &payload);
+
+Bytes encodeChallenge(const ChallengePayload &p);
+Result<ChallengePayload> decodeChallenge(const Bytes &payload);
+
+Bytes encodeAuth(const AuthPayload &p);
+Result<AuthPayload> decodeAuth(const Bytes &payload);
+
+Bytes encodeAuthOk(const AuthOkPayload &p);
+Result<AuthOkPayload> decodeAuthOk(const Bytes &payload);
+
+Bytes encodeSubmit(const WireRequest &r);
+Result<WireRequest> decodeSubmit(const Bytes &payload);
+
+Bytes encodeReport(const ReportPayload &p);
+Result<ReportPayload> decodeReport(const Bytes &payload);
+
+Bytes encodeBusy(const BusyPayload &p);
+Result<BusyPayload> decodeBusy(const Bytes &payload);
+
+Bytes encodeError(const ErrorPayload &p);
+Result<ErrorPayload> decodeError(const Bytes &payload);
+/** @} */
+
+/**
+ * Scalar view of an encoded sea::ExecutionReport, parsed back out of
+ * the wire bytes so a remote client can inspect the result without
+ * linking the service layer's types. The raw bytes stay authoritative
+ * (byte-identity checks compare them directly).
+ */
+struct ReportSummary
+{
+    std::uint64_t requestId = 0;
+    std::string palName;
+    bool ok = true;
+    std::uint16_t errorCode = 0;
+    std::string errorMessage;
+    Bytes output;
+    Bytes palMeasurement;
+    bool quoted = false;
+    Duration palCompute;
+    Duration queueWait;
+    Duration total;
+    std::uint64_t launches = 0;
+    std::uint64_t yields = 0;
+    std::uint32_t shard = 0;
+    bool deadlineMet = true;
+};
+
+/** Parse the fields out of ExecutionReport::encode() bytes. */
+Result<ReportSummary> summarizeReport(const Bytes &encoded_report);
+
+} // namespace mintcb::net
+
+#endif // MINTCB_NET_WIRE_HH

@@ -45,6 +45,9 @@ constexpr std::uint32_t lpc = 101;
 constexpr std::uint32_t service = 102;
 constexpr std::uint32_t scheduler = 103;
 constexpr std::uint32_t requests = 104;
+/** Network gateway: drain cycles, handshake verdicts, session
+ *  admission (net/gateway.hh). */
+constexpr std::uint32_t gateway = 105;
 /** Sharded execution service: shard N's campaigns render on track
  *  shardBase + N (one swim-lane per shard, mirroring the one-lane-per
  *  host-worker view a wall-clock profiler would show). */

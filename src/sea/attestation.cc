@@ -219,4 +219,35 @@ Verifier::verify(const Attestation &attestation,
                  "PCR 17 identity matches no trusted PAL");
 }
 
+Result<VerifiedLaunch>
+Verifier::verifyFresh(const Attestation &attestation,
+                      const Bytes &expected_nonce)
+{
+    // Replay check first: a remembered nonce must be refused even if
+    // everything else about the quote still checks out (that is the
+    // attack -- old evidence, perfectly signed).
+    for (const Bytes &seen : seenNonces_) {
+        if (seen == expected_nonce) {
+            return Error(Errc::permissionDenied,
+                         "quote nonce was already accepted once "
+                         "(replayed attestation)");
+        }
+    }
+    auto verdict = verify(attestation, expected_nonce);
+    if (!verdict.ok())
+        return verdict;
+    seenNonces_.push_back(expected_nonce);
+    while (seenNonces_.size() > nonceCapacity_)
+        seenNonces_.pop_front();
+    return verdict;
+}
+
+void
+Verifier::setNonceMemory(std::size_t nonces)
+{
+    nonceCapacity_ = nonces;
+    while (seenNonces_.size() > nonceCapacity_)
+        seenNonces_.pop_front();
+}
+
 } // namespace mintcb::sea

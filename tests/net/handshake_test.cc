@@ -1,0 +1,113 @@
+/**
+ * @file
+ * AttestedIdentity tests: the platform half of the gateway handshake.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hh"
+#include "net/handshake.hh"
+
+namespace mintcb::net
+{
+namespace
+{
+
+TEST(AttestedIdentity, LaunchesAndAttests)
+{
+    AttestedIdentity identity("unit-test", AttestedIdentity::gatewayPal(),
+                              11);
+    ASSERT_TRUE(identity.ok())
+        << identity.launchStatus().error().str();
+
+    const Bytes nonce = asciiBytes("challenge-1");
+    auto attestation = identity.attest(nonce);
+    ASSERT_TRUE(attestation.ok());
+
+    sea::Verifier verifier;
+    verifier.trustPal(AttestedIdentity::gatewayPal());
+    auto verdict = verifier.verify(*attestation, nonce);
+    ASSERT_TRUE(verdict.ok());
+    EXPECT_EQ(verdict->palName, AttestedIdentity::gatewayPal().name());
+}
+
+TEST(AttestedIdentity, QuotesAreNonceBound)
+{
+    AttestedIdentity identity("unit-test", AttestedIdentity::gatewayPal(),
+                              12);
+    ASSERT_TRUE(identity.ok());
+    auto attestation = identity.attest(asciiBytes("asked-for"));
+    ASSERT_TRUE(attestation.ok());
+
+    sea::Verifier verifier;
+    verifier.trustPal(AttestedIdentity::gatewayPal());
+    EXPECT_FALSE(verifier.verify(*attestation, asciiBytes("other")).ok());
+}
+
+TEST(AttestedIdentity, GatewayAndClientIdentitiesDiffer)
+{
+    // A verifier that whitelists only the gateway PAL must refuse a
+    // platform running the client PAL, and vice versa: names feed the
+    // measured SLB content, so distinct roles get distinct identities.
+    const sea::Pal gw = AttestedIdentity::gatewayPal();
+    const sea::Pal client = AttestedIdentity::clientPal();
+    EXPECT_NE(gw.measurement(), client.measurement());
+
+    AttestedIdentity clientSide("client", client, 13);
+    ASSERT_TRUE(clientSide.ok());
+    const Bytes nonce = asciiBytes("cross-check");
+    auto attestation = clientSide.attest(nonce);
+    ASSERT_TRUE(attestation.ok());
+
+    sea::Verifier gatewayOnly;
+    gatewayOnly.trustPal(gw);
+    EXPECT_FALSE(gatewayOnly.verify(*attestation, nonce).ok());
+    sea::Verifier clientOnly;
+    clientOnly.trustPal(client);
+    EXPECT_TRUE(clientOnly.verify(*attestation, nonce).ok());
+}
+
+TEST(AttestedIdentity, ClientPalNameChangesIdentity)
+{
+    EXPECT_NE(AttestedIdentity::clientPal("alice").measurement(),
+              AttestedIdentity::clientPal("bob").measurement());
+}
+
+TEST(AttestedIdentity, FreshNoncesAreFreshAndSized)
+{
+    AttestedIdentity identity("unit-test", AttestedIdentity::gatewayPal(),
+                              14);
+    ASSERT_TRUE(identity.ok());
+    const Bytes a = identity.freshNonce();
+    const Bytes b = identity.freshNonce();
+    EXPECT_EQ(a.size(), handshakeNonceBytes);
+    EXPECT_EQ(b.size(), handshakeNonceBytes);
+    EXPECT_NE(a, b);
+}
+
+TEST(AttestedIdentity, RepeatedHandshakesVerifyFreshly)
+{
+    // Session churn: one identity machine answers many challenges, and
+    // a replay-hardened verifier accepts each (distinct nonces) while
+    // refusing a resubmission of any single one.
+    AttestedIdentity identity("unit-test", AttestedIdentity::gatewayPal(),
+                              15);
+    ASSERT_TRUE(identity.ok());
+    sea::Verifier verifier;
+    verifier.trustPal(AttestedIdentity::gatewayPal());
+
+    Bytes lastNonce;
+    sea::Attestation lastAttestation;
+    for (int i = 0; i < 5; ++i) {
+        lastNonce = identity.freshNonce();
+        auto attestation = identity.attest(lastNonce);
+        ASSERT_TRUE(attestation.ok());
+        lastAttestation = attestation.take();
+        ASSERT_TRUE(
+            verifier.verifyFresh(lastAttestation, lastNonce).ok());
+    }
+    EXPECT_FALSE(verifier.verifyFresh(lastAttestation, lastNonce).ok());
+}
+
+} // namespace
+} // namespace mintcb::net

@@ -189,6 +189,89 @@ TEST(Attestation, DecodeRejectsGarbageAndTruncation)
     EXPECT_FALSE(Attestation::decode(wire).ok());
 }
 
+TEST(Verifier, VerifyFreshRejectsReplayedQuote)
+{
+    // The attack verifyFresh exists for: an attacker records a
+    // perfectly valid (nonce, quote) pair and replays it into a new
+    // session. Everything about the evidence still checks out -- only
+    // the verifier's memory can refuse it.
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    const Pal pal = attestedPal();
+    const Bytes nonce = asciiBytes("fresh-once");
+    const Attestation a = launchAndAttest(m, pal, nonce);
+
+    Verifier verifier;
+    verifier.trustPal(pal);
+    ASSERT_TRUE(verifier.verifyFresh(a, nonce).ok());
+    EXPECT_EQ(verifier.seenNonceCount(), 1u);
+
+    auto replay = verifier.verifyFresh(a, nonce);
+    ASSERT_FALSE(replay.ok());
+    EXPECT_EQ(replay.error().code, Errc::permissionDenied);
+    // Plain verify still passes -- the replay refusal is the memory,
+    // not the evidence.
+    EXPECT_TRUE(verifier.verify(a, nonce).ok());
+}
+
+TEST(Verifier, VerifyFreshRejectsWrongNonce)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    const Pal pal = attestedPal();
+    const Attestation a = launchAndAttest(m, pal, asciiBytes("asked"));
+
+    Verifier verifier;
+    verifier.trustPal(pal);
+    auto verdict = verifier.verifyFresh(a, asciiBytes("answered"));
+    ASSERT_FALSE(verdict.ok());
+    // A failed verification must not pollute the replay memory.
+    EXPECT_EQ(verifier.seenNonceCount(), 0u);
+}
+
+TEST(Verifier, VerifyFreshAcceptsDistinctNonces)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    const Pal pal = attestedPal();
+    Verifier verifier;
+    verifier.trustPal(pal);
+    for (int i = 0; i < 3; ++i) {
+        const Bytes nonce = asciiBytes("session-" + std::to_string(i));
+        Machine fresh = Machine::forPlatform(PlatformId::hpDc5750);
+        const Attestation a = launchAndAttest(fresh, pal, nonce);
+        EXPECT_TRUE(verifier.verifyFresh(a, nonce).ok());
+    }
+    EXPECT_EQ(verifier.seenNonceCount(), 3u);
+}
+
+TEST(Verifier, NonceMemoryIsBoundedFifo)
+{
+    Machine m = Machine::forPlatform(PlatformId::hpDc5750);
+    const Pal pal = attestedPal();
+    Verifier verifier;
+    verifier.trustPal(pal);
+    verifier.setNonceMemory(2);
+
+    Bytes nonces[3] = {asciiBytes("m0"), asciiBytes("m1"),
+                       asciiBytes("m2")};
+    Attestation atts[3];
+    for (int i = 0; i < 3; ++i) {
+        Machine fresh = Machine::forPlatform(PlatformId::hpDc5750);
+        atts[i] = launchAndAttest(fresh, pal, nonces[i]);
+    }
+    ASSERT_TRUE(verifier.verifyFresh(atts[0], nonces[0]).ok());
+    ASSERT_TRUE(verifier.verifyFresh(atts[1], nonces[1]).ok());
+    ASSERT_TRUE(verifier.verifyFresh(atts[2], nonces[2]).ok());
+    EXPECT_EQ(verifier.seenNonceCount(), 2u); // m0 evicted
+
+    // Recent nonces still refuse; the evicted one is forgotten (the
+    // documented bound: size the memory above concurrent sessions).
+    EXPECT_FALSE(verifier.verifyFresh(atts[2], nonces[2]).ok());
+    EXPECT_TRUE(verifier.verifyFresh(atts[0], nonces[0]).ok());
+
+    // Shrinking the capacity trims existing memory immediately.
+    verifier.setNonceMemory(1);
+    EXPECT_EQ(verifier.seenNonceCount(), 1u);
+}
+
 TEST(Attestation, TrustMeasurementMatchesTrustPal)
 {
     Machine m = Machine::forPlatform(PlatformId::hpDc5750);
