@@ -39,7 +39,7 @@ runToday(int pals, std::uint64_t seed)
                 ctx.compute(workPerPal);
                 return okStatus();
             });
-        driver.execute(pal, {});
+        driver.run(sea::PalRequest(pal));
     }
     std::uint64_t legacy = 0;
     for (CpuId c = 0; c < m.cpuCount(); ++c)

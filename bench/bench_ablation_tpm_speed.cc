@@ -33,9 +33,10 @@ switchCostUs(double factor, std::uint64_t seed)
     sea::SeaDriver driver(m);
     auto gen = sea::runPalGen(driver);
     auto use = sea::runPalUse(driver, gen->blob, /*reseal=*/true);
-    const Duration cost = use->session.phases.lateLaunch +
-                          use->session.phases.unseal +
-                          use->session.phases.seal;
+    const Duration cost =
+        use->session.cost(sea::Capability::oneShot, "late_launch") +
+        use->session.cost(sea::Capability::sealedState, "unseal") +
+        use->session.cost(sea::Capability::sealedState, "seal");
     return cost.toMicros();
 }
 

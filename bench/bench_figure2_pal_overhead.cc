@@ -68,12 +68,16 @@ runOnce(std::uint64_t seed)
     Figure2Sample s{};
     auto gen = driver.run(sea::PalRequest(fullSizePal(true, {})));
     const tpm::SealedBlob blob = *tpm::SealedBlob::decode(gen->output);
-    s.skinit = gen->phases.lateLaunch.toMillis();
-    s.seal = gen->phases.seal.toMillis();
+    s.skinit =
+        gen->cost(sea::Capability::oneShot, "late_launch").toMillis();
+    s.seal =
+        gen->cost(sea::Capability::sealedState, "seal").toMillis();
 
     auto use = driver.run(sea::PalRequest(fullSizePal(false, blob)));
-    s.unseal = use->phases.unseal.toMillis();
-    s.reseal = use->phases.seal.toMillis();
+    s.unseal =
+        use->cost(sea::Capability::sealedState, "unseal").toMillis();
+    s.reseal =
+        use->cost(sea::Capability::sealedState, "seal").toMillis();
     s.total = use->total.toMillis();
 
     s.quote = sea::measureQuote(m)->toMillis();

@@ -52,8 +52,12 @@ measureToday(std::uint64_t seed)
 
     TodayCosts c;
     c.switch_in_ms =
-        launch->total.toMillis() + use->session.phases.unseal.toMillis();
-    c.switch_out_ms = use->session.phases.seal.toMillis();
+        launch->total.toMillis() +
+        use->session.cost(sea::Capability::sealedState, "unseal")
+            .toMillis();
+    c.switch_out_ms =
+        use->session.cost(sea::Capability::sealedState, "seal")
+            .toMillis();
     return c;
 }
 

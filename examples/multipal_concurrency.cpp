@@ -35,7 +35,7 @@ main()
                 ctx.compute(work_per_pal);
                 return okStatus();
             });
-        auto session = driver.execute(pal, {});
+        auto session = driver.run(sea::PalRequest(pal));
         if (!session.ok()) {
             std::fprintf(stderr, "session failed: %s\n",
                          session.error().str().c_str());

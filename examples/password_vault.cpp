@@ -43,7 +43,10 @@ main()
         }
         std::printf("  %-6s / %-14s -> %s (unseal %s, total %s)\n", user,
                     pw, *ok ? "ACCEPT" : "reject",
-                    vault.lastReport().phases.unseal.str().c_str(),
+                    vault.lastReport()
+                        .cost(sea::Capability::sealedState, "unseal")
+                        .str()
+                        .c_str(),
                     vault.lastReport().total.str().c_str());
     };
     attempt("alice", "correct-horse");

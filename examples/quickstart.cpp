@@ -60,13 +60,19 @@ main()
                 reinterpret_cast<const char *>(session->output.data()));
     std::printf("\nSession phase breakdown (cf. paper Figure 2):\n");
     std::printf("  suspend OS   : %s\n",
-                session->phases.suspendOs.str().c_str());
+                session->cost(sea::Capability::oneShot, "suspend_os")
+                    .str()
+                    .c_str());
     std::printf("  late launch  : %s\n",
-                session->phases.lateLaunch.str().c_str());
+                session->cost(sea::Capability::oneShot, "late_launch")
+                    .str()
+                    .c_str());
     std::printf("  PAL compute  : %s\n",
-                session->phases.palCompute.str().c_str());
+                session->phases.compute.str().c_str());
     std::printf("  resume OS    : %s\n",
-                session->phases.resumeOs.str().c_str());
+                session->cost(sea::Capability::oneShot, "resume_os")
+                    .str()
+                    .c_str());
     std::printf("  TOTAL        : %s\n", session->total.str().c_str());
 
     // 4. Attest: quote PCR 17 for an external verifier.

@@ -30,10 +30,15 @@ main()
     }
     const sea::ExecutionReport &init = ca.lastReport();
     std::printf("  late launch : %s\n",
-                init.phases.lateLaunch.str().c_str());
+                init.cost(sea::Capability::oneShot, "late_launch")
+                    .str()
+                    .c_str());
     std::printf("  keygen+work : %s\n",
-                init.phases.palCompute.str().c_str());
-    std::printf("  TPM seal    : %s\n", init.phases.seal.str().c_str());
+                init.phases.compute.str().c_str());
+    std::printf("  TPM seal    : %s\n",
+                init.cost(sea::Capability::sealedState, "seal")
+                    .str()
+                    .c_str());
     std::printf("  total       : %s\n", init.total.str().c_str());
     std::printf("  CA public modulus: %zu bits\n",
                 ca.publicKey().n.bitLength());
@@ -52,11 +57,15 @@ main()
     }
     const sea::ExecutionReport &sign = ca.lastReport();
     std::printf("  late launch : %s\n",
-                sign.phases.lateLaunch.str().c_str());
+                sign.cost(sea::Capability::oneShot, "late_launch")
+                    .str()
+                    .c_str());
     std::printf("  TPM unseal  : %s   <-- the paper's bottleneck\n",
-                sign.phases.unseal.str().c_str());
+                sign.cost(sea::Capability::sealedState, "unseal")
+                    .str()
+                    .c_str());
     std::printf("  signing     : %s\n",
-                sign.phases.palCompute.str().c_str());
+                sign.phases.compute.str().c_str());
     std::printf("  total       : %s\n", sign.total.str().c_str());
 
     std::printf("\n== Verification ==\n");

@@ -69,7 +69,7 @@ main()
             return okStatus();
         });
     sea::SeaDriver driver(machine);
-    auto session = driver.execute(pal, {});
+    auto session = driver.run(sea::PalRequest(pal));
     std::printf("PAL ran with the rootkitted OS still present: %s\n",
                 session.ok() ? "yes" : "no");
     std::printf("SEA verifier whitelist for the same guarantee: 1 entry\n"

@@ -146,9 +146,9 @@ DistributedFactoring::step(CpuId cpu)
     const sea::ExecutionReport &s = *session;
     if (!s.status.ok())
         return s.status.error();
-    overhead_ += s.phases.lateLaunch + s.phases.seal + s.phases.unseal +
-                 s.phases.suspendOs + s.phases.resumeOs;
-    compute_ += s.phases.palCompute;
+    overhead_ += s.phases.launch + s.phases.transition +
+                 s.phases.teardown;
+    compute_ += s.phases.compute;
     ++progress_.sessions;
 
     ByteReader r(s.output);

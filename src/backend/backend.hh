@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The pluggable TEE execution backend interface.
+ *
+ * The paper measures one hardware point (SKINIT-era late launch) and
+ * proposes a second (SLAUNCH); ROADMAP item 3 generalizes the cost
+ * analysis across the modern TEE families the SoK on hardware-supported
+ * TEEs taxonomizes. A Backend is one such point in the design space: it
+ * declares the capabilities it implements (BackendInfo) and runs a
+ * PalRequest against a simulated machine, answering with an
+ * ExecutionReport whose canonical phases make the families comparable
+ * and whose capability sections carry the family specifics.
+ *
+ * Backends are stateless with respect to machines: run() takes the
+ * machine to execute on, so the sharded execution service can dispatch
+ * the same registered backend concurrently against distinct shard
+ * machines without synchronization. All state that must persist (sealed
+ * blobs, sePCR banks, TPM contents) lives in the machine.
+ */
+
+#ifndef MINTCB_BACKEND_BACKEND_HH
+#define MINTCB_BACKEND_BACKEND_HH
+
+#include <string>
+
+#include "common/result.hh"
+#include "machine/machine.hh"
+#include "sea/capability.hh"
+#include "sea/request.hh"
+
+namespace mintcb::backend
+{
+
+/** What a backend is and what it can do. */
+struct BackendInfo
+{
+    std::string name;        //!< registry key ("sgx", "vm-tee", ...)
+    std::string family;      //!< SoK family label
+    std::string description; //!< one-line cost-model summary
+    sea::CapabilitySet capabilities;
+};
+
+/** One TEE execution model behind the unified request/report API. */
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    virtual const BackendInfo &info() const = 0;
+
+    /**
+     * Execute @p request on @p machine, entering the protected
+     * environment from core @p cpu. Infrastructure failures come back
+     * as errors; the PAL's application outcome travels in
+     * ExecutionReport::status. Implementations must be deterministic:
+     * any randomness comes from machine.rng(), never from host state.
+     */
+    virtual Result<sea::ExecutionReport>
+    run(machine::Machine &machine, const sea::PalRequest &request,
+        CpuId cpu) const = 0;
+};
+
+} // namespace mintcb::backend
+
+#endif // MINTCB_BACKEND_BACKEND_HH

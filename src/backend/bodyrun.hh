@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared PAL-body execution for the simulated modern-TEE backends.
+ *
+ * The sgx / vm-tee / trustzone cost models differ in *how* the
+ * protected environment is entered, crossed, and left -- but the
+ * application work inside it is the same PalBody the SEA backends run,
+ * so identical workloads produce identical outputs across the whole
+ * zoo (the property the backend-matrix bench asserts).
+ */
+
+#ifndef MINTCB_BACKEND_BODYRUN_HH
+#define MINTCB_BACKEND_BODYRUN_HH
+
+#include "common/result.hh"
+#include "common/simtime.hh"
+#include "common/types.hh"
+#include "machine/machine.hh"
+#include "sea/request.hh"
+
+namespace mintcb::backend
+{
+
+/** What one in-TEE body execution produced and cost. */
+struct BodyRun
+{
+    Status status = okStatus(); //!< the PAL's application outcome
+    Bytes output;
+    Duration compute; //!< body time minus state-protection calls
+    Duration seal;    //!< sealState time charged by the body
+    Duration unseal;  //!< unsealState time charged by the body
+};
+
+/** Run @p request's PAL body on @p machine's core @p cpu, charging its
+ *  compute to that core's clock, and split out the state-protection
+ *  time so each family can reprice it as its own transition cost. */
+BodyRun runPalBody(machine::Machine &machine,
+                   const sea::PalRequest &request, CpuId cpu);
+
+} // namespace mintcb::backend
+
+#endif // MINTCB_BACKEND_BODYRUN_HH

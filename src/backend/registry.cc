@@ -1,0 +1,92 @@
+/**
+ * @file
+ * BackendRegistry implementation.
+ */
+
+#include "backend/registry.hh"
+
+#include "backend/backends.hh"
+
+namespace mintcb::backend
+{
+
+Status
+BackendRegistry::add(std::unique_ptr<Backend> backend)
+{
+    const std::string &name = backend->info().name;
+    if (name.empty())
+        return Error(Errc::invalidArgument, "backend must be named");
+    if (has(name)) {
+        return Error(Errc::failedPrecondition,
+                     "backend '" + name + "' is already registered");
+    }
+    backends_.push_back(std::move(backend));
+    return okStatus();
+}
+
+const Backend *
+BackendRegistry::find(const std::string &name) const
+{
+    const std::string &key = name.empty() ? defaultBackendName : name;
+    for (const auto &b : backends_)
+        if (b->info().name == key)
+            return b.get();
+    return nullptr;
+}
+
+std::vector<std::string>
+BackendRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(backends_.size());
+    for (const auto &b : backends_)
+        out.push_back(b->info().name);
+    return out;
+}
+
+Status
+BackendRegistry::admissible(const sea::PalRequest &request) const
+{
+    const Backend *b = find(request.backend);
+    if (b == nullptr) {
+        std::string known;
+        for (const std::string &name : names())
+            known += (known.empty() ? "" : ", ") + name;
+        return Error(Errc::notFound,
+                     "unknown backend '" + request.backend +
+                         "' (registered: " + known + ")");
+    }
+    if (request.wantQuote &&
+        !b->info().capabilities.has(sea::Capability::attestation)) {
+        return Error(Errc::failedPrecondition,
+                     "backend '" + b->info().name +
+                         "' cannot honor wantQuote: no attestation "
+                         "capability (has: " +
+                         b->info().capabilities.str() + ")");
+    }
+    return okStatus();
+}
+
+BackendRegistry
+BackendRegistry::makeStandard()
+{
+    BackendRegistry r;
+    // Registration order is the canonical presentation order of the
+    // zoo (benches, --help listings): the paper's two points first,
+    // then the modern families.
+    (void)r.add(makeSeaOneshot());
+    (void)r.add(makeRecService());
+    (void)r.add(makeSgx());
+    (void)r.add(makeVmTee());
+    (void)r.add(makeTrustZone());
+    return r;
+}
+
+const BackendRegistry &
+BackendRegistry::standard()
+{
+    static const BackendRegistry instance = makeStandard();
+    return instance;
+}
+
+} // namespace mintcb::backend

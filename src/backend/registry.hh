@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The backend registry: named TEE execution models, one lookup point.
+ *
+ * The execution service, the network gateway, and the benches all
+ * resolve PalRequest::backend through a BackendRegistry. Registration
+ * is fail-closed (duplicates refused) and admission is fail-closed
+ * (unknown names and capability mismatches are rejected at submit time,
+ * before any protected work starts).
+ */
+
+#ifndef MINTCB_BACKEND_REGISTRY_HH
+#define MINTCB_BACKEND_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/backend.hh"
+#include "common/result.hh"
+#include "sea/request.hh"
+
+namespace mintcb::backend
+{
+
+/** The backend name an empty PalRequest::backend resolves to: the
+ *  native recommended-hardware scheduler inside the execution service. */
+inline constexpr const char *defaultBackendName = "rec-service";
+
+/** Name -> Backend. Ordered by registration (names() is stable). */
+class BackendRegistry
+{
+  public:
+    BackendRegistry() = default;
+
+    BackendRegistry(const BackendRegistry &) = delete;
+    BackendRegistry &operator=(const BackendRegistry &) = delete;
+    BackendRegistry(BackendRegistry &&) = default;
+    BackendRegistry &operator=(BackendRegistry &&) = default;
+
+    /** Register @p backend under its info().name. A second registration
+     *  of the same name is refused (Errc::failedPrecondition): silently
+     *  replacing an execution model would change what a quote means. */
+    Status add(std::unique_ptr<Backend> backend);
+
+    /** The backend registered as @p name (empty resolves to
+     *  defaultBackendName), or nullptr. */
+    const Backend *find(const std::string &name) const;
+
+    bool has(const std::string &name) const
+    {
+        return find(name) != nullptr;
+    }
+
+    /** Registration-ordered backend names. */
+    std::vector<std::string> names() const;
+
+    std::size_t size() const { return backends_.size(); }
+
+    /**
+     * Fail-closed admission check for @p request: the named backend
+     * must exist (Errc::notFound lists what is registered) and must
+     * implement every capability the request demands -- today that is
+     * Capability::attestation when wantQuote is set
+     * (Errc::failedPrecondition). Called by ExecutionService::submit
+     * and the gateway before any protected work starts.
+     */
+    Status admissible(const sea::PalRequest &request) const;
+
+    /**
+     * The process-wide registry holding the five standard backends
+     * (sea-oneshot, rec-service, sgx, vm-tee, trustzone). Built once,
+     * never mutated afterwards; services that want a custom zoo build
+     * their own registry and point ServiceConfig::backends at it.
+     */
+    static const BackendRegistry &standard();
+
+    /** A fresh registry populated with the five standard backends. */
+    static BackendRegistry makeStandard();
+
+  private:
+    std::vector<std::unique_ptr<Backend>> backends_;
+};
+
+} // namespace mintcb::backend
+
+#endif // MINTCB_BACKEND_REGISTRY_HH

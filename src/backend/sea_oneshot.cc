@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The sea-oneshot backend: Section 4's measured reality as a zoo member.
+ *
+ * A thin adapter over sea::SeaDriver -- the whole cost model (OS
+ * suspend, SKINIT at LPC speed, TPM seal/unseal, OS resume, halted
+ * siblings) lives in the driver and the machine's calibrated timing
+ * profiles; the backend contributes only the capability descriptor.
+ */
+
+#include "backend/backends.hh"
+
+#include "sea/session.hh"
+
+namespace mintcb::backend
+{
+
+namespace
+{
+
+class SeaOneshotBackend final : public Backend
+{
+  public:
+    const BackendInfo &
+    info() const override
+    {
+        static const BackendInfo inf{
+            "sea-oneshot",
+            "late launch",
+            "SKINIT/SENTER one-shot sessions; whole platform stalls, "
+            "PCR 17 evidence, TPM-speed seal/unseal (paper Section 4)",
+            {sea::Capability::oneShot, sea::Capability::sealedState,
+             sea::Capability::pcr17Evidence,
+             sea::Capability::siblingStall, sea::Capability::ioBinding},
+        };
+        return inf;
+    }
+
+    Result<sea::ExecutionReport>
+    run(machine::Machine &machine, const sea::PalRequest &request,
+        CpuId cpu) const override
+    {
+        sea::SeaDriver driver(machine);
+        return driver.run(request, cpu);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Backend>
+makeSeaOneshot()
+{
+    return std::make_unique<SeaOneshotBackend>();
+}
+
+} // namespace mintcb::backend

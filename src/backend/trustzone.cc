@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The trustzone backend: an ARM TrustZone world-switch cost model.
+ *
+ * World-switch TEEs (the SoK's third family) split the machine into a
+ * normal and a secure world: entering protected execution is opening a
+ * trusted-application session, every service call is an SMC round trip
+ * through the secure monitor, and shared-memory marshalling is charged
+ * per buffer chunk. Parameters are calibrated from "On The Performance
+ * of ARM TrustZone" (Amacher & Schiavoni, DAIS'19): a raw world switch
+ * is single-digit microseconds while TA session open/close runs to
+ * hundreds of microseconds in OP-TEE.
+ *
+ * Deliberately absent: Capability::attestation. Stock TrustZone ships
+ * no remote-attestation primitive, so a wantQuote request against this
+ * backend is refused at admission -- the registry's fails-closed
+ * capability-mismatch case.
+ */
+
+#include "backend/backends.hh"
+
+#include "backend/bodyrun.hh"
+
+namespace mintcb::backend
+{
+
+namespace
+{
+
+/** Calibrated cost parameters of the modeled secure world. */
+struct TrustZoneParams
+{
+    /** SMC world-switch round trip through the secure monitor. */
+    static constexpr Duration smcRoundTrip = Duration::micros(3.6);
+    /** TEEC_OpenSession: load + authenticate the TA. */
+    static constexpr Duration sessionOpen = Duration::micros(610);
+    /** TEEC_CloseSession. */
+    static constexpr Duration sessionClose = Duration::micros(255);
+    /** Shared-memory marshalling per 4 KB chunk crossed. */
+    static constexpr Duration marshalPerChunk = Duration::micros(12);
+    static constexpr std::size_t chunkBytes = 4096;
+    /** Secure-world compute per scheduler-driven return to the normal
+     *  world (the secure world must yield for normal-world ticks). */
+    static constexpr Duration yieldQuantum = Duration::micros(500);
+};
+
+class TrustZoneBackend final : public Backend
+{
+  public:
+    const BackendInfo &
+    info() const override
+    {
+        static const BackendInfo inf{
+            "trustzone",
+            "world switch",
+            "ARM TrustZone-style TA: SMC round trips + shared-memory "
+            "marshalling (Amacher & Schiavoni); no remote attestation",
+            {sea::Capability::oneShot, sea::Capability::sealedState,
+             sea::Capability::worldSwitch},
+        };
+        return inf;
+    }
+
+    Result<sea::ExecutionReport>
+    run(machine::Machine &machine, const sea::PalRequest &request,
+        CpuId cpu) const override
+    {
+        // The registry refuses this earlier; direct callers get the
+        // same fails-closed answer.
+        if (request.wantQuote) {
+            return Error(Errc::failedPrecondition,
+                         "trustzone backend has no attestation "
+                         "capability");
+        }
+        machine::Cpu &core = machine.cpu(cpu);
+        sea::ExecutionReport report;
+        report.palName = request.pal.name();
+        report.backend = "trustzone";
+        report.cpu = cpu;
+        const TimePoint t0 = core.now();
+        report.submittedAt = t0;
+        report.startedAt = t0;
+
+        // Launch: open the TA session (one SMC in, load, authenticate).
+        core.advance(TrustZoneParams::smcRoundTrip);
+        core.advance(TrustZoneParams::sessionOpen);
+        report.phases.launch = core.now() - t0;
+        report.launches = 1;
+        report.palMeasurement = request.pal.measurement();
+
+        // Body in the secure world.
+        BodyRun body = runPalBody(machine, request, cpu);
+        report.phases.compute = body.compute;
+        report.output = body.output;
+        report.status = body.status;
+
+        // Transitions: the command SMC, marshalling SMCs per shared-
+        // memory chunk of I/O, and scheduler-driven yields back to the
+        // normal world per compute quantum.
+        const std::uint64_t marshal_chunks =
+            (request.input.size() + body.output.size() +
+             TrustZoneParams::chunkBytes - 1) /
+            TrustZoneParams::chunkBytes;
+        const std::uint64_t yields = static_cast<std::uint64_t>(
+            body.compute.ticks() /
+            TrustZoneParams::yieldQuantum.ticks());
+        const std::uint64_t smcs = 1 + marshal_chunks + yields;
+        const Duration smc_time =
+            TrustZoneParams::smcRoundTrip * static_cast<double>(smcs) +
+            TrustZoneParams::marshalPerChunk *
+                static_cast<double>(marshal_chunks);
+        core.advance(smc_time);
+        report.phases.transition = smc_time + body.seal + body.unseal;
+        report.yields = yields;
+
+        // Teardown: close the session.
+        const TimePoint d0 = core.now();
+        core.advance(TrustZoneParams::sessionClose);
+        report.phases.teardown = core.now() - d0;
+
+        report.finishedAt = core.now();
+        report.total = report.finishedAt - report.startedAt;
+
+        sea::ReportSection &ws =
+            report.section(sea::Capability::worldSwitch);
+        ws.addCost("smc_time", smc_time);
+        ws.addCount("smc_calls", smcs);
+        ws.addCount("marshal_chunks", marshal_chunks);
+
+        report.deadlineMet = request.deadline == TimePoint() ||
+                             report.finishedAt <= request.deadline;
+        return report;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Backend>
+makeTrustZone()
+{
+    return std::make_unique<TrustZoneBackend>();
+}
+
+} // namespace mintcb::backend

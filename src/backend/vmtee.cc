@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The vm-tee backend: a SEV-SNP/TDX-style VM-level TEE cost model.
+ *
+ * VM TEEs (the SoK's second family) protect a whole guest: launch pays
+ * a per-page measured LAUNCH_UPDATE plus an expensive firmware
+ * LAUNCH_FINISH, runtime pays VM exits (sampled from the machine's
+ * calibrated world-switch timing, paper Table 2, plus a fixed
+ * confidential-computing tax per exit) and a small memory-encryption
+ * drag on all compute, and attestation is a guest request to the
+ * platform security processor -- milliseconds of firmware latency.
+ *
+ * The guest's data pages are accessed *through the memory controller*
+ * at input-dependent offsets, so a MemAccessObserver sees the page
+ * access pattern exactly as a SEV-Step-style single-stepping hypervisor
+ * would (the adversary scenario in tests/backend/sevstep_test.cc).
+ */
+
+#include "backend/backends.hh"
+
+#include <algorithm>
+
+#include "backend/bodyrun.hh"
+#include "crypto/sha1.hh"
+
+namespace mintcb::backend
+{
+
+namespace
+{
+
+/** Calibrated cost parameters of the modeled confidential VM. */
+struct VmTeeParams
+{
+    /** SNP LAUNCH_UPDATE / TDX PAGE.ADD measurement per 4 KB page. */
+    static constexpr Duration launchMeasurePerPage =
+        Duration::micros(12);
+    /** LAUNCH_FINISH / TD finalization in firmware. */
+    static constexpr Duration launchFinish = Duration::millis(1.2);
+    /** Extra confidential-computing work per exit on top of the bare
+     *  world switch (VMSA protect/restore, GHCB marshalling). */
+    static constexpr Duration exitTax = Duration::micros(0.8);
+    /** Inline memory-encryption drag applied to guest compute. */
+    static constexpr double encryptionOverhead = 0.03;
+    /** Guest compute per timer-driven exit. */
+    static constexpr Duration exitQuantum = Duration::micros(250);
+    /** Guest attestation report via the PSP / TDX module. */
+    static constexpr Duration attestationReport = Duration::millis(7.5);
+    /** VM destroy + per-page scrub. */
+    static constexpr Duration teardownBase = Duration::micros(300);
+    static constexpr Duration pageScrub = Duration::micros(0.5);
+    /** Where the modeled guest's data pages live in simulated RAM. */
+    static constexpr PhysAddr guestDataBase = 0x200000;
+    /** Data-page probes per run (SEV-Step observability window). */
+    static constexpr std::size_t maxProbes = 32;
+};
+
+class VmTeeBackend final : public Backend
+{
+  public:
+    const BackendInfo &
+    info() const override
+    {
+        static const BackendInfo inf{
+            "vm-tee",
+            "VM-level TEE",
+            "SEV-SNP/TDX-style confidential VM: measured launch, VM "
+            "exits + encryption drag, firmware attestation reports",
+            {sea::Capability::oneShot, sea::Capability::sealedState,
+             sea::Capability::vmIsolation,
+             sea::Capability::attestation},
+        };
+        return inf;
+    }
+
+    Result<sea::ExecutionReport>
+    run(machine::Machine &machine, const sea::PalRequest &request,
+        CpuId cpu) const override
+    {
+        machine::Cpu &core = machine.cpu(cpu);
+        sea::ExecutionReport report;
+        report.palName = request.pal.name();
+        report.backend = "vm-tee";
+        report.cpu = cpu;
+        const TimePoint t0 = core.now();
+        report.submittedAt = t0;
+        report.startedAt = t0;
+
+        // Launch: measure every guest page into the launch digest,
+        // then the firmware finalizes the measurement.
+        const std::size_t code_pages =
+            pagesFor(request.pal.slbBytes());
+        const std::size_t total_pages = code_pages + request.dataPages;
+        core.advance(VmTeeParams::launchMeasurePerPage *
+                     static_cast<double>(total_pages));
+        core.advance(VmTeeParams::launchFinish);
+        report.phases.launch = core.now() - t0;
+        report.launches = 1;
+        report.palMeasurement = request.pal.measurement();
+
+        // The guest touches its data pages at input-dependent offsets
+        // through the memory controller -- the access pattern a
+        // single-stepping hypervisor observes (SEV-Step).
+        const std::size_t probes =
+            std::min(request.input.size(), VmTeeParams::maxProbes);
+        const std::size_t data_pages =
+            request.dataPages > 0 ? request.dataPages : 1;
+        for (std::size_t i = 0; i < probes; ++i) {
+            const PhysAddr addr =
+                VmTeeParams::guestDataBase +
+                static_cast<PhysAddr>(request.input[i] % data_pages) *
+                    pageSize;
+            (void)machine.readAs(cpu, addr, 16);
+        }
+
+        // Body, with the inline-encryption drag on its compute.
+        BodyRun body = runPalBody(machine, request, cpu);
+        core.advance(body.compute * VmTeeParams::encryptionOverhead);
+        report.phases.compute =
+            body.compute +
+            body.compute * VmTeeParams::encryptionOverhead;
+
+        // VM exits: timer-driven (one per compute quantum) plus I/O
+        // marshalling exits; each pays the calibrated Table 2 world
+        // switch (sampled from the machine's RNG, so same-seed runs
+        // stay byte-identical) plus the confidential-computing tax.
+        const std::uint64_t exits =
+            2 +
+            static_cast<std::uint64_t>(body.compute.ticks() /
+                                       VmTeeParams::exitQuantum.ticks()) +
+            (request.input.size() + body.output.size()) / 512;
+        const machine::VmSwitchTiming &timing = machine.spec().vmTiming;
+        Duration exit_time;
+        for (std::uint64_t i = 0; i < exits; ++i) {
+            exit_time = exit_time + timing.sampleExit(machine.rng()) +
+                        timing.sampleEnter(machine.rng()) +
+                        VmTeeParams::exitTax;
+        }
+        core.advance(exit_time);
+        report.phases.transition =
+            exit_time + body.seal + body.unseal;
+        report.output = body.output;
+        report.status = body.status;
+
+        // Attestation: the guest asks the firmware for a report over
+        // the launch digest and its I/O binding.
+        Bytes evidence;
+        if (request.wantQuote) {
+            const TimePoint q0 = core.now();
+            core.advance(VmTeeParams::attestationReport);
+            report.phases.attestation = core.now() - q0;
+            Bytes tbs = report.palMeasurement;
+            const Bytes in_digest =
+                crypto::Sha1::digestBytes(request.input);
+            const Bytes out_digest =
+                crypto::Sha1::digestBytes(body.output);
+            tbs.insert(tbs.end(), in_digest.begin(), in_digest.end());
+            tbs.insert(tbs.end(), out_digest.begin(), out_digest.end());
+            tbs.push_back('V');
+            evidence = crypto::Sha1::digestBytes(tbs);
+        }
+
+        // Teardown: destroy the VM context and scrub guest pages.
+        const TimePoint d0 = core.now();
+        core.advance(VmTeeParams::teardownBase +
+                     VmTeeParams::pageScrub *
+                         static_cast<double>(total_pages));
+        report.phases.teardown = core.now() - d0;
+
+        report.finishedAt = core.now();
+        report.total = report.finishedAt - report.startedAt;
+
+        sea::ReportSection &vm =
+            report.section(sea::Capability::vmIsolation);
+        vm.addCost("vm_exit_time", exit_time);
+        vm.addCost("encryption_drag",
+                   body.compute * VmTeeParams::encryptionOverhead);
+        vm.addCount("vm_exits", exits);
+        vm.addCount("guest_pages", total_pages);
+        vm.addCount("data_page_probes", probes);
+        if (request.wantQuote) {
+            sea::ReportSection &att =
+                report.section(sea::Capability::attestation);
+            att.addCost("firmware_report", report.phases.attestation);
+            att.addEvidence("snp_report", std::move(evidence));
+        }
+
+        report.deadlineMet = request.deadline == TimePoint() ||
+                             report.finishedAt <= request.deadline;
+        return report;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Backend>
+makeVmTee()
+{
+    return std::make_unique<VmTeeBackend>();
+}
+
+} // namespace mintcb::backend

@@ -72,7 +72,8 @@ GatewayStats::str() const
         << " busy queue-full=" << busyQueueFull
         << " rate-limited=" << busyRateLimited
         << " dup-sequence=" << duplicateSequence
-        << " unknown-pal=" << unknownPal << "\n"
+        << " unknown-pal=" << unknownPal
+        << " backend-rejected=" << backendRejected << "\n"
         << "gateway: drains=" << drains
         << " reports delivered=" << reportsDelivered
         << " dropped=" << reportsDropped
@@ -430,6 +431,14 @@ Gateway::handleSubmit(Conn &conn, const Frame &frame)
     if (!request) {
         ++stats_.unknownPal;
         refuse(conn, request.error().code, request.error().message);
+        return false;
+    }
+    // Backend admission fails closed at the gateway edge: an unknown
+    // backend name or a capability the backend cannot honor is refused
+    // here, before the request consumes queue or service resources.
+    if (auto admit = service_.admissible(*request); !admit.ok()) {
+        ++stats_.backendRejected;
+        refuse(conn, admit.error().code, admit.error().message);
         return false;
     }
     for (const PendingRequest &p : pending_) {

@@ -125,6 +125,7 @@ struct GatewayStats
     std::uint64_t busyRateLimited = 0;
     std::uint64_t duplicateSequence = 0;
     std::uint64_t unknownPal = 0;
+    std::uint64_t backendRejected = 0; //!< failed backend admission
 
     std::uint64_t drains = 0;
     std::uint64_t reportsDelivered = 0;

@@ -62,6 +62,10 @@ bridgeGatewayStats(obs::MetricsRegistry &registry,
     counter("net_unknown_pal_total",
             "Submits naming a PAL the registry does not hold",
             &GatewayStats::unknownPal);
+    counter("net_backend_rejected_total",
+            "Submits refused at backend admission (unknown backend or "
+            "capability mismatch)",
+            &GatewayStats::backendRejected);
     counter("net_drains_total", "Service drain cycles run",
             &GatewayStats::drains);
     counter("net_reports_delivered_total",

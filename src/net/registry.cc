@@ -75,6 +75,8 @@ PalRegistry::build(const WireRequest &wire_request) const
     sea::PalRequest req(
         sea::Pal::fromLogic(entry->name, entry->codeBytes, entry->body),
         wire_request.input);
+    req.backend = wire_request.backend.empty() ? defaultBackend_
+                                               : wire_request.backend;
     req.affinity = wire_request.affinity;
     req.priority = wire_request.priority;
     req.wantQuote = wire_request.wantQuote;

@@ -40,6 +40,15 @@ class PalRegistry
     std::size_t size() const { return entries_.size(); }
     std::vector<std::string> names() const;
 
+    /** Execution backend applied to wire requests that leave their
+     *  backend field empty (the operator's `mintcb-gate --backend`).
+     *  Empty (default) keeps the service's native scheduler path. */
+    void setDefaultBackend(std::string backend)
+    {
+        defaultBackend_ = std::move(backend);
+    }
+    const std::string &defaultBackend() const { return defaultBackend_; }
+
     /** Build the service request described by @p wire_request;
      *  Errc::notFound for an unregistered PAL name. */
     Result<sea::PalRequest> build(const WireRequest &wire_request) const;
@@ -56,6 +65,7 @@ class PalRegistry
     const Entry *find(const std::string &name) const;
 
     std::vector<Entry> entries_;
+    std::string defaultBackend_;
 };
 
 } // namespace mintcb::net

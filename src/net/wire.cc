@@ -231,6 +231,7 @@ encodeSubmit(const WireRequest &r)
     w.u64(static_cast<std::uint64_t>(r.slicedComputeTicks));
     w.u64(r.deadlineTicks);
     w.str(r.palName);
+    w.str(r.backend);
     w.lengthPrefixed(r.input);
     return w.take();
 }
@@ -272,6 +273,10 @@ decodeSubmit(const Bytes &payload)
     if (!name)
         return name.error();
     req.palName = name.take();
+    auto backend = r.str();
+    if (!backend)
+        return backend.error();
+    req.backend = backend.take();
     auto input = r.lengthPrefixed();
     if (!input)
         return input.error();
@@ -381,7 +386,7 @@ summarizeReport(const Bytes &encoded_report)
     auto magic = r.str();
     if (!magic)
         return magic.error();
-    if (*magic != "EXRP")
+    if (*magic != "EXR2")
         return Error(Errc::invalidArgument, "not an execution report");
     auto id = r.u64();
     if (!id)
@@ -391,6 +396,10 @@ summarizeReport(const Bytes &encoded_report)
     if (!name)
         return name.error();
     s.palName = name.take();
+    auto backend = r.str();
+    if (!backend)
+        return backend.error();
+    s.backend = backend.take();
     auto okflag = r.u8();
     if (!okflag)
         return okflag.error();
@@ -413,9 +422,6 @@ summarizeReport(const Bytes &encoded_report)
     if (!measurement)
         return measurement.error();
     s.palMeasurement = measurement.take();
-    auto pcr17 = r.lengthPrefixed();
-    if (!pcr17)
-        return pcr17.error();
     auto quoted = r.u8();
     if (!quoted)
         return quoted.error();
@@ -428,19 +434,68 @@ summarizeReport(const Bytes &encoded_report)
         if (!signature)
             return signature.error();
     }
-    // suspendOs, lateLaunch, palCompute, seal, unseal, resumeOs,
-    // quote, siblingStall; then submittedAt/startedAt/finishedAt,
-    // queueWait, total.
-    std::int64_t durations[13] = {};
-    for (auto &d : durations) {
+    // Canonical phases: launch, compute, transition, attestation,
+    // teardown.
+    std::int64_t phases[5] = {};
+    for (auto &d : phases) {
         auto v = r.u64();
         if (!v)
             return v.error();
         d = static_cast<std::int64_t>(*v);
     }
-    s.palCompute = Duration::picos(durations[2]);
-    s.queueWait = Duration::picos(durations[11]);
-    s.total = Duration::picos(durations[12]);
+    s.launch = Duration::picos(phases[0]);
+    s.palCompute = Duration::picos(phases[1]);
+    s.transition = Duration::picos(phases[2]);
+    s.attestation = Duration::picos(phases[3]);
+    s.teardown = Duration::picos(phases[4]);
+    // Capability-tagged sections: walked (totality), not surfaced in
+    // the scalar summary beyond their count -- the raw bytes stay
+    // authoritative for family-specific detail.
+    auto section_count = r.u32();
+    if (!section_count)
+        return section_count.error();
+    s.sectionCount = *section_count;
+    for (std::uint32_t i = 0; i < s.sectionCount; ++i) {
+        if (auto cap = r.u32(); !cap)
+            return cap.error();
+        auto n_costs = r.u32();
+        if (!n_costs)
+            return n_costs.error();
+        for (std::uint32_t j = 0; j < *n_costs; ++j) {
+            if (auto k = r.str(); !k)
+                return k.error();
+            if (auto v = r.u64(); !v)
+                return v.error();
+        }
+        auto n_counts = r.u32();
+        if (!n_counts)
+            return n_counts.error();
+        for (std::uint32_t j = 0; j < *n_counts; ++j) {
+            if (auto k = r.str(); !k)
+                return k.error();
+            if (auto v = r.u64(); !v)
+                return v.error();
+        }
+        auto n_evidence = r.u32();
+        if (!n_evidence)
+            return n_evidence.error();
+        for (std::uint32_t j = 0; j < *n_evidence; ++j) {
+            if (auto k = r.str(); !k)
+                return k.error();
+            if (auto v = r.lengthPrefixed(); !v)
+                return v.error();
+        }
+    }
+    // submittedAt, startedAt, finishedAt, queueWait, total.
+    std::int64_t times[5] = {};
+    for (auto &d : times) {
+        auto v = r.u64();
+        if (!v)
+            return v.error();
+        d = static_cast<std::int64_t>(*v);
+    }
+    s.queueWait = Duration::picos(times[3]);
+    s.total = Duration::picos(times[4]);
     auto launches = r.u64();
     if (!launches)
         return launches.error();

@@ -132,6 +132,10 @@ struct WireRequest
     std::int64_t slicedComputeTicks = 0; //!< Duration::ticks()
     std::uint64_t deadlineTicks = 0;     //!< since epoch; 0 = none
     std::string palName;
+    /** Execution backend to run on (PalRequest::backend). Empty defers
+     *  to the gateway registry's default; unknown names are refused at
+     *  submit, before the request consumes service resources. */
+    std::string backend;
     Bytes input;
 };
 
@@ -200,13 +204,21 @@ struct ReportSummary
 {
     std::uint64_t requestId = 0;
     std::string palName;
+    std::string backend; //!< execution backend that produced it
     bool ok = true;
     std::uint16_t errorCode = 0;
     std::string errorMessage;
     Bytes output;
     Bytes palMeasurement;
     bool quoted = false;
-    Duration palCompute;
+    /** @name Canonical cross-architecture phases. @{ */
+    Duration launch;
+    Duration palCompute; //!< the compute phase
+    Duration transition;
+    Duration attestation;
+    Duration teardown;
+    /** @} */
+    std::uint32_t sectionCount = 0; //!< capability sections present
     Duration queueWait;
     Duration total;
     std::uint64_t launches = 0;

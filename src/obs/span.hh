@@ -52,6 +52,11 @@ constexpr std::uint32_t gateway = 105;
  *  shardBase + N (one swim-lane per shard, mirroring the one-lane-per
  *  host-worker view a wall-clock profiler would show). */
 constexpr std::uint32_t shardBase = 200;
+/** Execution backends (backend/registry.hh): the Nth distinct backend
+ *  name a TelemetrySession sees gets track backendBase + N, one
+ *  swim-lane per TEE family so a mixed-backend drain reads as a
+ *  side-by-side cost comparison. */
+constexpr std::uint32_t backendBase = 300;
 } // namespace track
 
 /** One recorded interval (or instant, when begin == end and instant

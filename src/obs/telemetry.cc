@@ -117,7 +117,24 @@ TelemetrySession::trackNames() const
     names.emplace_back(track::requests, "requests");
     for (std::uint32_t s : shardIds_)
         names.emplace_back(track::shardBase + s, "shard " + u64str(s));
+    for (std::size_t b = 0; b < backendNames_.size(); ++b) {
+        names.emplace_back(
+            track::backendBase + static_cast<std::uint32_t>(b),
+            "backend " + backendNames_[b]);
+    }
     return names;
+}
+
+std::uint32_t
+TelemetrySession::backendTrack(const std::string &backend)
+{
+    for (std::size_t b = 0; b < backendNames_.size(); ++b) {
+        if (backendNames_[b] == backend)
+            return track::backendBase + static_cast<std::uint32_t>(b);
+    }
+    backendNames_.push_back(backend);
+    return track::backendBase +
+           static_cast<std::uint32_t>(backendNames_.size() - 1);
 }
 
 std::uint64_t
@@ -263,6 +280,34 @@ TelemetrySession::onRequestDone(const sea::ExecutionReport &report)
         }
     }
     requestTurnaround_->add(report.finishedAt - report.startedAt);
+
+    // Per-backend series: every report says which TEE cost model ran
+    // it, so backends become label values, not separate metric names.
+    if (!report.backend.empty()) {
+        metrics_
+            .counter("mintcb_backend_requests_total",
+                     "Requests completed per execution backend",
+                     {{"backend", report.backend}})
+            .inc();
+        metrics_
+            .histogram("mintcb_backend_turnaround",
+                       "Request start -> finish per execution backend",
+                       {{"backend", report.backend}})
+            .add(report.finishedAt - report.startedAt);
+        // Async pair, not a complete span: preemptible requests on the
+        // same backend overlap freely on the shared swim-lane.
+        const std::uint64_t id = tracer_.beginAsync(
+            backendTrack(report.backend), "be:" + report.palName,
+            "backend", report.startedAt, report.requestId);
+        tracer_.annotate(id, "launch", report.phases.launch.str());
+        tracer_.annotate(id, "compute", report.phases.compute.str());
+        tracer_.annotate(id, "transition",
+                         report.phases.transition.str());
+        tracer_.annotate(id, "attestation",
+                         report.phases.attestation.str());
+        tracer_.annotate(id, "teardown", report.phases.teardown.str());
+        tracer_.endAsync(id, report.finishedAt);
+    }
 }
 
 void

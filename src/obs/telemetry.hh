@@ -121,6 +121,10 @@ class TelemetrySession final : public rec::ExecSyncObserver,
     /** RequestId a PAL name maps to (0 = unknown). */
     std::uint64_t requestFor(const std::string &pal) const;
 
+    /** Track id for @p backend (track::backendBase + first-seen
+     *  index), registering the swim-lane on first use. */
+    std::uint32_t backendTrack(const std::string &backend);
+
     machine::Machine &machine_;
     SpanTracer &tracer_;
     MetricsRegistry &metrics_;
@@ -141,6 +145,8 @@ class TelemetrySession final : public rec::ExecSyncObserver,
     bool bridged_ = false; //!< counter bridges registered once
     /** Shards whose machines have been bridged (track names + dedup). */
     std::vector<std::uint32_t> shardIds_;
+    /** Backend names in first-seen order (index = track offset). */
+    std::vector<std::string> backendNames_;
 
     /** Pre-resolved metric handles (hot paths stay cheap). @{ */
     Counter *memGranted_ = nullptr;

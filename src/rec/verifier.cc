@@ -44,9 +44,10 @@ SeVerifier::verify(const tpm::TpmQuote &quote,
                    const crypto::RsaPublicKey &aik,
                    const Bytes &expected_nonce) const
 {
-    if (!tpm::verifyQuote(aik, quote, expected_nonce)) {
-        return Error(Errc::integrityFailure,
-                     "sePCR quote signature or nonce invalid");
+    if (auto s = tpm::verifyQuote(aik, quote, expected_nonce);
+        !s.ok()) {
+        return Error(s.error().code,
+                     "sePCR quote refused: " + s.error().message);
     }
     // Locate the first sePCR-namespaced entry.
     const Bytes *value = nullptr;

@@ -186,9 +186,10 @@ Verifier::verify(const Attestation &attestation,
         return aik.error();
 
     // 2. Quote signature and nonce freshness.
-    if (!tpm::verifyQuote(*aik, attestation.quote, expected_nonce)) {
-        return Error(Errc::integrityFailure,
-                     "quote signature or nonce invalid");
+    if (auto s = tpm::verifyQuote(*aik, attestation.quote,
+                                  expected_nonce);
+        !s.ok()) {
+        return s.error();
     }
 
     // 3. Locate PCR 17 in the quoted selection.

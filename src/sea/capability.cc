@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Capability names and ReportSection lookup helpers.
+ */
+
+#include "sea/capability.hh"
+
+namespace mintcb::sea
+{
+
+const char *
+capabilityName(Capability c)
+{
+    switch (c) {
+    case Capability::oneShot:
+        return "one_shot";
+    case Capability::preemptible:
+        return "preemptible";
+    case Capability::sealedState:
+        return "sealed_state";
+    case Capability::attestation:
+        return "attestation";
+    case Capability::pcr17Evidence:
+        return "pcr17_evidence";
+    case Capability::sePcr:
+        return "sepcr";
+    case Capability::siblingStall:
+        return "sibling_stall";
+    case Capability::epcPaging:
+        return "epc_paging";
+    case Capability::vmIsolation:
+        return "vm_isolation";
+    case Capability::worldSwitch:
+        return "world_switch";
+    case Capability::ioBinding:
+        return "io_binding";
+    }
+    return "unknown";
+}
+
+std::string
+CapabilitySet::str() const
+{
+    std::string out;
+    for (std::uint32_t bit = 0; bit < 32; ++bit) {
+        const std::uint32_t mask = 1u << bit;
+        if ((bits_ & mask) == 0)
+            continue;
+        if (!out.empty())
+            out += ",";
+        out += capabilityName(static_cast<Capability>(mask));
+    }
+    return out;
+}
+
+Duration
+ReportSection::cost(const std::string &name) const
+{
+    for (const auto &[key, value] : costs)
+        if (key == name)
+            return value;
+    return Duration{};
+}
+
+std::uint64_t
+ReportSection::count(const std::string &name) const
+{
+    for (const auto &[key, value] : counts)
+        if (key == name)
+            return value;
+    return 0;
+}
+
+const Bytes *
+ReportSection::findEvidence(const std::string &name) const
+{
+    for (const auto &[key, value] : evidence)
+        if (key == name)
+            return &value;
+    return nullptr;
+}
+
+void
+ReportSection::addCost(std::string name, Duration d)
+{
+    costs.emplace_back(std::move(name), d);
+}
+
+void
+ReportSection::addCount(std::string name, std::uint64_t n)
+{
+    counts.emplace_back(std::move(name), n);
+}
+
+void
+ReportSection::addEvidence(std::string name, Bytes blob)
+{
+    evidence.emplace_back(std::move(name), std::move(blob));
+}
+
+} // namespace mintcb::sea

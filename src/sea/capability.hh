@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The capability vocabulary of the unified execution API.
+ *
+ * The paper's cost analysis (late launch, TPM quotes, halted siblings)
+ * is one point in a larger design space: the SoK on hardware-supported
+ * TEEs (Schneider et al.) taxonomizes process enclaves, VM-level TEEs,
+ * and world-switch TEEs, each with a different cost structure and a
+ * different set of evidence it can produce. One request/report pair
+ * fronting that zoo cannot be a superset struct -- every new backend
+ * would widen every report.
+ *
+ * Instead, a report carries *capability-tagged sections*: a backend
+ * declares the capabilities it implements (BackendInfo in
+ * backend/backend.hh) and populates exactly the sections those
+ * capabilities describe. Cross-architecture consumers read the
+ * canonical PhaseBreakdown (launch / compute / transition /
+ * attestation / teardown -- the axes every TEE family shares);
+ * family-aware consumers look up the section for the capability they
+ * understand and ignore the rest.
+ */
+
+#ifndef MINTCB_SEA_CAPABILITY_HH
+#define MINTCB_SEA_CAPABILITY_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/simtime.hh"
+#include "common/types.hh"
+
+namespace mintcb::sea
+{
+
+/** One facet of a TEE backend's execution model. Doubles as the key of
+ *  the report section the backend fills when it exercises the facet. */
+enum class Capability : std::uint32_t
+{
+    /** Runs a request start-to-finish in one protected session. */
+    oneShot = 1u << 0,
+    /** Preemptible slices under an untrusted scheduler (SLAUNCH). */
+    preemptible = 1u << 1,
+    /** State sealed to the code identity survives across runs. */
+    sealedState = 1u << 2,
+    /** Produces remote-attestation evidence on exit when asked. */
+    attestation = 1u << 3,
+    /** Leaves dynamic-launch PCR evidence (PCR 17) in the platform TPM. */
+    pcr17Evidence = 1u << 4,
+    /** Per-PAL sePCR banks (recommended hardware, Section 5.4). */
+    sePcr = 1u << 5,
+    /** Halts sibling cores for the whole session (a cost, not a
+     *  feature: Section 4.2's vanished processing power). */
+    siblingStall = 1u << 6,
+    /** SGX-style enclave page cache with paging pressure. */
+    epcPaging = 1u << 7,
+    /** VM-level isolation: encrypted guest memory, VM-entry/exit
+     *  transitions (SEV-SNP / TDX). */
+    vmIsolation = 1u << 8,
+    /** TrustZone-style secure/normal world switching over SMC. */
+    worldSwitch = 1u << 9,
+    /** Binds PAL input/output hashes into the attested identity. */
+    ioBinding = 1u << 10,
+};
+
+/** Printable capability name (metric labels, JSON artifacts). */
+const char *capabilityName(Capability c);
+
+/** A small value-type set of capabilities. */
+class CapabilitySet
+{
+  public:
+    constexpr CapabilitySet() = default;
+    constexpr CapabilitySet(std::initializer_list<Capability> caps)
+    {
+        for (Capability c : caps)
+            bits_ |= static_cast<std::uint32_t>(c);
+    }
+
+    constexpr bool has(Capability c) const
+    {
+        return (bits_ & static_cast<std::uint32_t>(c)) != 0;
+    }
+    constexpr void add(Capability c)
+    {
+        bits_ |= static_cast<std::uint32_t>(c);
+    }
+    constexpr std::uint32_t bits() const { return bits_; }
+
+    /** Comma-separated capability names in enum order. */
+    std::string str() const;
+
+  private:
+    std::uint32_t bits_ = 0;
+};
+
+/**
+ * One capability's worth of costs, counters, and evidence in an
+ * ExecutionReport. Entries are ordered vectors, not maps: insertion
+ * order is part of the deterministic byte encoding, and a backend
+ * always populates its sections in one fixed order.
+ */
+struct ReportSection
+{
+    Capability capability = Capability::oneShot;
+
+    /** Named simulated-time costs (e.g. "late_launch", "ecall"). */
+    std::vector<std::pair<std::string, Duration>> costs;
+    /** Named event counters (e.g. "vm_exits", "epc_faults"). */
+    std::vector<std::pair<std::string, std::uint64_t>> counts;
+    /** Named evidence blobs (e.g. "pcr17", "attestation_report"). */
+    std::vector<std::pair<std::string, Bytes>> evidence;
+
+    /** @name Lookup (nullptr / zero when the entry is absent). @{ */
+    Duration cost(const std::string &name) const;
+    std::uint64_t count(const std::string &name) const;
+    const Bytes *findEvidence(const std::string &name) const;
+    /** @} */
+
+    /** @name Append helpers (keep one fixed insertion order). @{ */
+    void addCost(std::string name, Duration d);
+    void addCount(std::string name, std::uint64_t n);
+    void addEvidence(std::string name, Bytes blob);
+    /** @} */
+};
+
+} // namespace mintcb::sea
+
+#endif // MINTCB_SEA_CAPABILITY_HH

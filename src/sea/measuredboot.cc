@@ -107,9 +107,10 @@ BootVerifier::verify(const Attestation &attestation,
     auto aik = crypto::RsaPublicKey::decode(attestation.aikCert.aikPublic);
     if (!aik)
         return aik.error();
-    if (!tpm::verifyQuote(*aik, attestation.quote, expected_nonce)) {
-        return Error(Errc::integrityFailure,
-                     "quote signature or nonce invalid");
+    if (auto s = tpm::verifyQuote(*aik, attestation.quote,
+                                  expected_nonce);
+        !s.ok()) {
+        return s.error();
     }
 
     // Replay the log and require the quoted PCRs to match exactly.

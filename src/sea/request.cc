@@ -1,6 +1,6 @@
 /**
  * @file
- * ExecutionReport serialization.
+ * ExecutionReport section accessors and serialization.
  */
 
 #include "sea/request.hh"
@@ -25,15 +25,78 @@ writeTimePoint(ByteWriter &w, TimePoint t)
     writeDuration(w, t.sinceEpoch());
 }
 
+void
+writeSection(ByteWriter &w, const ReportSection &s)
+{
+    w.u32(static_cast<std::uint32_t>(s.capability));
+    w.u32(static_cast<std::uint32_t>(s.costs.size()));
+    for (const auto &[name, value] : s.costs) {
+        w.str(name);
+        writeDuration(w, value);
+    }
+    w.u32(static_cast<std::uint32_t>(s.counts.size()));
+    for (const auto &[name, value] : s.counts) {
+        w.str(name);
+        w.u64(value);
+    }
+    w.u32(static_cast<std::uint32_t>(s.evidence.size()));
+    for (const auto &[name, blob] : s.evidence) {
+        w.str(name);
+        w.lengthPrefixed(blob);
+    }
+}
+
 } // namespace
+
+ReportSection &
+ExecutionReport::section(Capability c)
+{
+    for (ReportSection &s : sections)
+        if (s.capability == c)
+            return s;
+    sections.emplace_back();
+    sections.back().capability = c;
+    return sections.back();
+}
+
+const ReportSection *
+ExecutionReport::findSection(Capability c) const
+{
+    for (const ReportSection &s : sections)
+        if (s.capability == c)
+            return &s;
+    return nullptr;
+}
+
+Duration
+ExecutionReport::cost(Capability c, const std::string &name) const
+{
+    const ReportSection *s = findSection(c);
+    return s != nullptr ? s->cost(name) : Duration{};
+}
+
+std::uint64_t
+ExecutionReport::count(Capability c, const std::string &name) const
+{
+    const ReportSection *s = findSection(c);
+    return s != nullptr ? s->count(name) : 0;
+}
+
+const Bytes *
+ExecutionReport::evidence(Capability c, const std::string &name) const
+{
+    const ReportSection *s = findSection(c);
+    return s != nullptr ? s->findEvidence(name) : nullptr;
+}
 
 Bytes
 ExecutionReport::encode() const
 {
     ByteWriter w;
-    w.str("EXRP");
+    w.str("EXR2");
     w.u64(requestId);
     w.str(palName);
+    w.str(backend);
     w.u8(status.ok() ? 1 : 0);
     if (!status.ok()) {
         w.u8(static_cast<std::uint8_t>(status.error().code));
@@ -41,20 +104,19 @@ ExecutionReport::encode() const
     }
     w.lengthPrefixed(output);
     w.lengthPrefixed(palMeasurement);
-    w.lengthPrefixed(pcr17AfterLaunch);
     w.u8(quoted ? 1 : 0);
     if (quoted) {
         w.lengthPrefixed(quote.signedPayload());
         w.lengthPrefixed(quote.signature);
     }
-    writeDuration(w, phases.suspendOs);
-    writeDuration(w, phases.lateLaunch);
-    writeDuration(w, phases.palCompute);
-    writeDuration(w, phases.seal);
-    writeDuration(w, phases.unseal);
-    writeDuration(w, phases.resumeOs);
-    writeDuration(w, phases.quote);
-    writeDuration(w, siblingStall);
+    writeDuration(w, phases.launch);
+    writeDuration(w, phases.compute);
+    writeDuration(w, phases.transition);
+    writeDuration(w, phases.attestation);
+    writeDuration(w, phases.teardown);
+    w.u32(static_cast<std::uint32_t>(sections.size()));
+    for (const ReportSection &s : sections)
+        writeSection(w, s);
     writeTimePoint(w, submittedAt);
     writeTimePoint(w, startedAt);
     writeTimePoint(w, finishedAt);

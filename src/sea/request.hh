@@ -2,19 +2,21 @@
  * @file
  * The unified PAL request/response API.
  *
- * One request type and one report type serve both execution backends:
+ * One request type and one report type front every execution backend in
+ * the registry (backend/registry.hh): the one-shot SEA path (Section 4's
+ * measured reality), the multi-PAL service on the recommended hardware
+ * (Section 5/6's proposal), and the simulated modern-TEE cost models
+ * (SGX process enclaves, SEV-SNP/TDX VM TEEs, TrustZone world switches).
  *
- *  - the legacy one-shot SEA path (SeaDriver::run: suspend OS, SKINIT,
- *    run to completion, resume -- Section 4's measured reality), and
- *  - the multi-PAL execution service on the recommended hardware
- *    (sea::ExecutionService: SLAUNCH slices under a preemption timer,
- *    Section 5/6's proposal).
- *
- * Callers describe *what* to run (a Pal, its input) and *how it matters*
- * (deadline, priority, attestation); the report answers with the output,
- * identity evidence, and a phase-by-phase latency breakdown that is a
- * superset of both backends' cost structures. Fields a backend does not
- * model stay zero.
+ * Callers describe *what* to run (a Pal, its input), *where* (a backend
+ * name; empty means the native service scheduler), and *how it matters*
+ * (deadline, priority, attestation). The report answers with the output,
+ * a canonical PhaseBreakdown along the cost axes every TEE family shares
+ * (launch / compute / transition / attestation / teardown), and
+ * capability-tagged ReportSections carrying each backend's
+ * family-specific costs, counters, and evidence. A backend populates
+ * only the sections for capabilities it implements -- adding a backend
+ * never widens these structs.
  */
 
 #ifndef MINTCB_SEA_REQUEST_HH
@@ -23,10 +25,12 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/result.hh"
 #include "common/simtime.hh"
 #include "common/types.hh"
+#include "sea/capability.hh"
 #include "sea/pal.hh"
 #include "tpm/tpm.hh"
 
@@ -40,7 +44,7 @@ namespace mintcb::sea
 
 /** Work a service-backed PAL performs inside its protected slices,
  *  with sealed-state access through the hooks; returns the PAL output.
- *  (The one-shot backend uses Pal::body() instead.) */
+ *  (The one-shot backends use Pal::body() instead.) */
 using SecureBody =
     std::function<Result<Bytes>(rec::PalHooks &, const Bytes &)>;
 
@@ -61,6 +65,12 @@ struct PalRequest
     Pal pal;     //!< measured identity + one-shot behavior
     Bytes input; //!< parameters from the untrusted world
 
+    /** Registered backend to execute on. Empty means the native
+     *  recommended-hardware scheduler inside the execution service
+     *  (equivalent to "rec-service"); any other name is resolved
+     *  against the service's BackendRegistry at submit time. */
+    std::string backend;
+
     /** Absolute virtual-time deadline; epoch (default) means none. */
     TimePoint deadline{};
 
@@ -68,7 +78,8 @@ struct PalRequest
      *  priorities cannot starve. */
     int priority = 0;
 
-    /** Request a sePCR quote as the PAL exits (service backend). */
+    /** Request attestation evidence as the PAL exits. Fails closed at
+     *  submit when the chosen backend lacks Capability::attestation. */
     bool wantQuote = false;
 
     /** Shard-affinity key for the sharded execution service: requests
@@ -88,16 +99,27 @@ struct PalRequest
     /** @} */
 };
 
-/** Phase-by-phase latency breakdown (superset of both backends). */
+/**
+ * The canonical cross-architecture latency axes. Every TEE family pays
+ * these five costs; only their magnitudes differ (the SoK's comparison
+ * table). Family-specific detail lives in ExecutionReport::sections.
+ */
 struct PhaseBreakdown
 {
-    Duration suspendOs;   //!< one-shot: save untrusted state in place
-    Duration lateLaunch;  //!< SKINIT/SENTER or first SLAUNCH
-    Duration palCompute;  //!< application-specific work
-    Duration seal;        //!< TPM_Seal / sePCR seal calls
-    Duration unseal;      //!< TPM_Unseal / sePCR unseal calls
-    Duration resumeOs;    //!< one-shot: restore the untrusted world
-    Duration quote;       //!< attestation generation (when requested)
+    Duration launch;      //!< entering the protected environment
+                          //!< (suspend+SKINIT, ECREATE..EINIT, VM
+                          //!< launch-measure, TA session open)
+    Duration compute;     //!< application-specific work
+    Duration transition;  //!< boundary crossings while running (seal/
+                          //!< unseal, ECALL/OCALL, VM exits, SMCs)
+    Duration attestation; //!< evidence generation (when requested)
+    Duration teardown;    //!< leaving the environment (resume OS,
+                          //!< EREMOVE, TA session close)
+
+    Duration total() const
+    {
+        return launch + compute + transition + attestation + teardown;
+    }
 };
 
 /** The answer to one PalRequest. */
@@ -105,31 +127,43 @@ struct ExecutionReport
 {
     std::uint64_t requestId = 0; //!< service-assigned; 0 for one-shot
     std::string palName;
+    std::string backend;         //!< backend that executed the request
     Status status = okStatus();  //!< the PAL's application result
 
-    Bytes output;           //!< PAL output to the untrusted OS
-    Bytes palMeasurement;   //!< SHA-1 identity of the measured code
-    Bytes pcr17AfterLaunch; //!< PCR 17 evidence (one-shot backend)
+    Bytes output;         //!< PAL output to the untrusted OS
+    Bytes palMeasurement; //!< SHA-1 identity of the measured code
 
-    tpm::TpmQuote quote; //!< filled when wantQuote was honored
+    tpm::TpmQuote quote; //!< TPM-backed backends, when wantQuote
     bool quoted = false;
 
     PhaseBreakdown phases;
 
-    /** Wasted compute on halted sibling cores (one-shot backend only;
-     *  the service keeps siblings productive). */
-    Duration siblingStall;
+    /** Family-specific costs, counters, and evidence, keyed by the
+     *  capability that produced them. A backend appends its sections
+     *  in one fixed order so encodings stay deterministic. */
+    std::vector<ReportSection> sections;
+
+    /** The section for @p c, created (empty) on first use. */
+    ReportSection &section(Capability c);
+    /** The section for @p c, or nullptr when the backend has none. */
+    const ReportSection *findSection(Capability c) const;
+
+    /** @name Section lookups (zero / nullptr when absent). @{ */
+    Duration cost(Capability c, const std::string &name) const;
+    std::uint64_t count(Capability c, const std::string &name) const;
+    const Bytes *evidence(Capability c, const std::string &name) const;
+    /** @} */
 
     /** @name Service-side lifecycle timestamps (platform time). @{ */
     TimePoint submittedAt;
-    TimePoint startedAt;  //!< first SLAUNCH (one-shot: session start)
-    TimePoint finishedAt; //!< SFREE / session end
+    TimePoint startedAt;  //!< first protected entry
+    TimePoint finishedAt; //!< session end
     /** @} */
 
     Duration queueWait; //!< startedAt - submittedAt
     Duration total;     //!< finishedAt - startedAt
 
-    std::uint64_t launches = 0; //!< SLAUNCHes (one-shot: 1)
+    std::uint64_t launches = 0; //!< protected entries (one-shot: 1)
     std::uint64_t yields = 0;   //!< preemptions + voluntary SYIELDs
     CpuId cpu = 0;              //!< core that ran (last ran) the PAL
     std::uint32_t shard = 0;    //!< sharded service: executing shard

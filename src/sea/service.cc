@@ -27,11 +27,25 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "backend/registry.hh"
 #include "crypto/sha1.hh"
 #include "sea/workerpool.hh"
 
 namespace mintcb::sea
 {
+
+namespace
+{
+
+/** Requests on these backend names run in the service's own scheduler
+ *  campaign; every other registered name dispatches to the registry. */
+bool
+isNativeBackend(const std::string &name)
+{
+    return name.empty() || name == backend::defaultBackendName;
+}
+
+} // namespace
 
 /** One shard of the sharded engine: an independent simulated machine
  *  (seed derived from the front machine's master seed), its secure
@@ -103,6 +117,20 @@ ExecutionService::poolStats() const
     return out;
 }
 
+const backend::BackendRegistry &
+ExecutionService::registry() const
+{
+    return config_.backends != nullptr
+               ? *config_.backends
+               : backend::BackendRegistry::standard();
+}
+
+Status
+ExecutionService::admissible(const PalRequest &request) const
+{
+    return registry().admissible(request);
+}
+
 Result<std::uint64_t>
 ExecutionService::submit(PalRequest request)
 {
@@ -111,6 +139,11 @@ ExecutionService::submit(PalRequest request)
     if (request.dataPages == 0)
         return Error(Errc::invalidArgument,
                      "a PAL needs at least one data page");
+    if (auto s = admissible(request); !s.ok()) {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        ++metrics_.backendRejected;
+        return s.error();
+    }
 
     const std::string pal_name = request.pal.name();
     std::uint64_t id = 0;
@@ -162,6 +195,46 @@ ExecutionService::runBatch(const EngineRefs &refs,
                            std::uint32_t shard_id)
 {
     BatchOutcome out;
+    out.reports.resize(batch.size());
+
+    // Registry-routed requests (sgx, vm-tee, ...) run first, in submit
+    // order, on the engine's machine -- the partition depends only on
+    // each request's backend name, so the sharded merge stays
+    // deterministic. The remaining (native) requests then run as one
+    // scheduler campaign.
+    std::vector<std::size_t> native;
+    native.reserve(batch.size());
+    const backend::BackendRegistry &reg = registry();
+    // First PAL-eligible core (cores below legacyCpus stay legacy).
+    const CpuId backend_cpu =
+        config_.legacyCpus < refs.machine.cpuCount()
+            ? static_cast<CpuId>(config_.legacyCpus)
+            : 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Pending &p = batch[i];
+        if (isNativeBackend(p.request.backend)) {
+            native.push_back(i);
+            continue;
+        }
+        const backend::Backend *b = reg.find(p.request.backend);
+        if (b == nullptr) {
+            // submit() validated the name; a vanished backend means
+            // the registry was swapped out underneath us.
+            return Error(Errc::notFound, "backend '" +
+                                             p.request.backend +
+                                             "' no longer registered");
+        }
+        auto routed = b->run(refs.machine, p.request, backend_cpu);
+        if (!routed)
+            return routed.error();
+        ExecutionReport &r = out.reports[i];
+        r = routed.take();
+        r.requestId = p.id;
+        r.submittedAt = p.submittedAt;
+        r.queueWait = r.startedAt - r.submittedAt;
+        r.shard = shard_id;
+        ++out.backendRouted;
+    }
 
     /** Per-request state the scheduler callbacks fill in. Sized once up
      *  front so the captured pointers stay stable. */
@@ -174,13 +247,13 @@ ExecutionService::runBatch(const EngineRefs &refs,
         Bytes output;
         Duration compute;
     };
-    std::vector<Slot> slots(batch.size());
+    std::vector<Slot> slots(native.size());
 
     rec::OsScheduler sched(refs.exec, config_.quantum,
                            config_.legacyCpus);
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-        const Pending &p = batch[i];
-        Slot *slot = &slots[i];
+    for (std::size_t n = 0; n < native.size(); ++n) {
+        const Pending &p = batch[native[n]];
+        Slot *slot = &slots[n];
         slot->id = p.id;
         slot->submittedAt = p.submittedAt;
         slot->compute = p.request.slicedCompute > Duration::zero()
@@ -223,20 +296,24 @@ ExecutionService::runBatch(const EngineRefs &refs,
             return idx.error();
     }
 
-    out.reports.resize(batch.size());
     sched.setCompletionHook(
-        [&slots, &reports = out.reports,
+        [&slots, &native, &reports = out.reports,
          shard_id](const rec::PalCompletion &done) {
             const Slot &slot = slots[done.seq];
-            ExecutionReport &r = reports[done.seq];
+            ExecutionReport &r = reports[native[done.seq]];
             r.requestId = slot.id;
             r.palName = done.name;
+            r.backend = "rec-service";
             r.status = done.result;
             r.output = slot.output;
             r.palMeasurement = done.measurement;
             r.quote = done.quote;
             r.quoted = done.quoted;
-            r.phases.palCompute = slot.compute;
+            r.phases.compute = slot.compute;
+            r.section(Capability::preemptible)
+                .addCount("slaunches", done.launches);
+            r.section(Capability::preemptible)
+                .addCount("yields", done.yields);
             r.submittedAt = slot.submittedAt;
             r.startedAt = slot.started ? slot.startedAt
                                        : TimePoint(done.finishedAt);
@@ -278,7 +355,7 @@ ExecutionService::drainInline(std::vector<Pending> batch)
             ++metrics_.deadlinesMissed;
         metrics_.queueWait.add(r.queueWait);
         metrics_.turnaround.add(r.total);
-        metrics_.compute.add(r.phases.palCompute);
+        metrics_.compute.add(r.phases.compute);
         metrics_.launches += r.launches;
         metrics_.yields += r.yields;
         if (observer_)
@@ -287,6 +364,7 @@ ExecutionService::drainInline(std::vector<Pending> batch)
     metrics_.preemptions += outcome->preemptions;
     metrics_.slaunchRetries += outcome->slaunchRetries;
     metrics_.legacyWorkUnits += outcome->legacyWorkUnits;
+    metrics_.backendRouted += outcome->backendRouted;
 
     if (config_.auditTrail) {
         AuditOutcome audit;
@@ -422,7 +500,7 @@ ExecutionService::drainSharded(std::vector<Pending> batch)
             ++metrics_.deadlinesMissed;
         metrics_.queueWait.add(r.queueWait);
         metrics_.turnaround.add(r.total);
-        metrics_.compute.add(r.phases.palCompute);
+        metrics_.compute.add(r.phases.compute);
         metrics_.launches += r.launches;
         metrics_.yields += r.yields;
         if (observer_)
@@ -434,6 +512,7 @@ ExecutionService::drainSharded(std::vector<Pending> batch)
         metrics_.preemptions += run.out.preemptions;
         metrics_.slaunchRetries += run.out.slaunchRetries;
         metrics_.legacyWorkUnits += run.out.legacyWorkUnits;
+        metrics_.backendRouted += run.out.backendRouted;
         metrics_.auditCommands += run.audit.commands;
         metrics_.auditExchanges += run.audit.exchanges;
         metrics_.sessionsAccepted += run.audit.opened;
@@ -624,6 +703,14 @@ ServiceMetrics::str() const
                   static_cast<unsigned long long>(sessionsAccepted),
                   static_cast<unsigned long long>(sessionsResumed));
     out += line;
+    if (backendRouted != 0 || backendRejected != 0) {
+        std::snprintf(line, sizeof line,
+                      "backends: %llu registry-routed requests, "
+                      "%llu submissions rejected at admission\n",
+                      static_cast<unsigned long long>(backendRouted),
+                      static_cast<unsigned long long>(backendRejected));
+        out += line;
+    }
     if (shardDrains != 0) {
         std::snprintf(line, sizeof line,
                       "sharding: %llu shard campaigns committed, "

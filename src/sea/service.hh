@@ -54,6 +54,11 @@
 #include "sea/request.hh"
 #include "tpm/transport.hh"
 
+namespace mintcb::backend
+{
+class BackendRegistry;
+}
+
 namespace mintcb::sea
 {
 class WorkerPool;
@@ -104,6 +109,11 @@ struct ServiceConfig
     std::uint32_t workers = 0;
     std::uint32_t shards = 8;
     /** @} */
+
+    /** Backend registry PalRequest::backend names resolve against.
+     *  nullptr (default) uses backend::BackendRegistry::standard() --
+     *  the five-member zoo. The registry must outlive the service. */
+    const backend::BackendRegistry *backends = nullptr;
 };
 
 /** Aggregate service observability (all counters cumulative). */
@@ -130,6 +140,13 @@ struct ServiceMetrics
     std::uint64_t sessionsAccepted = 0; //!< full RSA key exchanges
     std::uint64_t sessionsResumed = 0;  //!< cheap ticket resumptions
     /** @} */
+
+    /** Requests executed by a registry backend (sgx, vm-tee, ...)
+     *  instead of the native scheduler campaign. */
+    std::uint64_t backendRouted = 0;
+    /** Submissions refused by the backend admission check (unknown
+     *  name or capability mismatch). */
+    std::uint64_t backendRejected = 0;
 
     /** @name Sharded-drain totals (zero for inline drains). @{ */
     std::uint64_t shardDrains = 0; //!< shard campaigns committed
@@ -267,8 +284,20 @@ class ExecutionService
 
     /** Enqueue @p request; returns its requestId. The request is not
      *  executed until the next drain(). Thread-safe (any thread may
-     *  submit; drain() itself must stay on one thread at a time). */
+     *  submit; drain() itself must stay on one thread at a time).
+     *  Fails closed on backend problems: an unknown backend name or a
+     *  capability the named backend lacks (see admissible()) is
+     *  rejected here, before the request can enter a drain. */
     Result<std::uint64_t> submit(PalRequest request);
+
+    /** The backend admission check submit() applies (exposed so the
+     *  gateway can refuse a doomed wire request without consuming a
+     *  requestId): the named backend must be registered and able to
+     *  honor every capability the request demands. */
+    Status admissible(const PalRequest &request) const;
+
+    /** The registry this service resolves backend names against. */
+    const backend::BackendRegistry &registry() const;
 
     std::size_t queueDepth() const
     {
@@ -357,6 +386,7 @@ class ExecutionService
         std::uint64_t preemptions = 0;
         std::uint64_t slaunchRetries = 0;
         std::uint64_t legacyWorkUnits = 0;
+        std::uint64_t backendRouted = 0; //!< ran on a registry backend
     };
 
     /** The machine-facing state one engine run executes against:

@@ -5,6 +5,8 @@
 
 #include "sea/session.hh"
 
+#include <utility>
+
 #include "crypto/sha1.hh"
 
 namespace mintcb::sea
@@ -38,6 +40,7 @@ SeaDriver::run(const PalRequest &request, CpuId cpu)
     machine::Cpu &core = machine_.cpu(cpu);
     ExecutionReport report;
     report.palName = pal.name();
+    report.backend = "sea-oneshot";
     report.cpu = cpu;
     const TimePoint session_start = core.now();
     report.submittedAt = session_start;
@@ -47,7 +50,7 @@ SeaDriver::run(const PalRequest &request, CpuId cpu)
     //    is efficient because all necessary system state can simply
     //    remain in-place in memory" (Section 3.3).
     core.advance(osSuspendCost);
-    report.phases.suspendOs = core.now() - session_start;
+    const Duration suspend_os = core.now() - session_start;
 
     // 2. Place the SLB and late launch.
     const Bytes image = pal.slbImage();
@@ -57,12 +60,14 @@ SeaDriver::run(const PalRequest &request, CpuId cpu)
     auto launch = launcher_.invoke(cpu, slbLoadAddress);
     if (!launch)
         return launch.error();
-    report.phases.lateLaunch = core.now() - launch_start;
+    const Duration late_launch = core.now() - launch_start;
+    report.phases.launch = suspend_os + late_launch;
     report.launches = 1;
     report.palMeasurement = launch->slbMeasurement;
+    Bytes pcr17_evidence;
     if (machine_.hasTpm()) {
         auto pcr17 = machine_.tpm().pcrs().read(tpm::dynamicLaunchPcr);
-        report.pcr17AfterLaunch = pcr17.ok() ? *pcr17 : Bytes{};
+        pcr17_evidence = pcr17.ok() ? *pcr17 : Bytes{};
     }
 
     // 2b. I/O binding: the PAL's first act is to measure its inputs
@@ -82,10 +87,10 @@ SeaDriver::run(const PalRequest &request, CpuId cpu)
     const TimePoint body_start = core.now();
     const Status body_status = pal.body()(ctx);
     const Duration body_total = core.now() - body_start;
-    report.phases.seal = ctx.sealTime();
-    report.phases.unseal = ctx.unsealTime();
-    report.phases.palCompute =
-        body_total - report.phases.seal - report.phases.unseal;
+    const Duration seal = ctx.sealTime();
+    const Duration unseal = ctx.unsealTime();
+    report.phases.transition = seal + unseal;
+    report.phases.compute = body_total - seal - unseal;
     report.output = ctx.output();
 
     // 3b. I/O binding: the last in-PAL act is to measure the output, so
@@ -98,7 +103,7 @@ SeaDriver::run(const PalRequest &request, CpuId cpu)
             return s.error();
         }
         auto pcr17 = machine_.tpm().pcrs().read(tpm::dynamicLaunchPcr);
-        report.pcr17AfterLaunch = pcr17.ok() ? *pcr17 : Bytes{};
+        pcr17_evidence = pcr17.ok() ? *pcr17 : Bytes{};
     }
 
     // 4. PAL exit. First cap PCR 17 with a well-known exit marker so the
@@ -120,44 +125,34 @@ SeaDriver::run(const PalRequest &request, CpuId cpu)
 
     const TimePoint resume_start = core.now();
     core.advance(osResumeCost);
-    report.phases.resumeOs = core.now() - resume_start;
+    report.phases.teardown = core.now() - resume_start;
 
     // Sibling cores were idle from the launch barrier until now.
     launcher_.resumeOtherCpus();
     report.finishedAt = core.now();
     report.total = report.finishedAt - session_start;
     const Duration stall = core.now() - launch_start;
-    report.siblingStall =
-        stall * static_cast<double>(machine_.cpuCount() - 1);
+
+    // Capability sections: the one-shot specifics a cross-architecture
+    // consumer does not need but a Figure-2-style breakdown does.
+    ReportSection &one_shot = report.section(Capability::oneShot);
+    one_shot.addCost("suspend_os", suspend_os);
+    one_shot.addCost("late_launch", late_launch);
+    one_shot.addCost("resume_os", report.phases.teardown);
+    ReportSection &sealed = report.section(Capability::sealedState);
+    sealed.addCost("seal", seal);
+    sealed.addCost("unseal", unseal);
+    report.section(Capability::pcr17Evidence)
+        .addEvidence("pcr17", std::move(pcr17_evidence));
+    report.section(Capability::siblingStall)
+        .addCost("stall",
+                 stall * static_cast<double>(machine_.cpuCount() - 1));
+    if (bindIo_)
+        report.section(Capability::ioBinding).addCount("extends", 2);
 
     report.status = body_status;
     report.deadlineMet = request.deadline == TimePoint() ||
                          report.finishedAt <= request.deadline;
-    return report;
-}
-
-Result<SessionReport>
-SeaDriver::execute(const Pal &pal, const Bytes &input, CpuId cpu)
-{
-    PalRequest request(pal, input);
-    auto run_result = run(request, cpu);
-    if (!run_result)
-        return run_result.error();
-    const ExecutionReport &r = *run_result;
-    if (!r.status.ok())
-        return r.status.error();
-    SessionReport report;
-    report.total = r.total;
-    report.suspendOs = r.phases.suspendOs;
-    report.lateLaunch = r.phases.lateLaunch;
-    report.palCompute = r.phases.palCompute;
-    report.seal = r.phases.seal;
-    report.unseal = r.phases.unseal;
-    report.resumeOs = r.phases.resumeOs;
-    report.palOutput = r.output;
-    report.palMeasurement = r.palMeasurement;
-    report.pcr17AfterLaunch = r.pcr17AfterLaunch;
-    report.siblingStall = r.siblingStall;
     return report;
 }
 

@@ -27,28 +27,6 @@
 namespace mintcb::sea
 {
 
-/** Phase breakdown of one SEA session (the Figure 2 components).
- *  @deprecated Legacy shape kept for existing callers; new code should
- *  use PalRequest / ExecutionReport via SeaDriver::run(). */
-struct SessionReport
-{
-    Duration total;       //!< wall time on the launching core
-    Duration suspendOs;   //!< save untrusted state in place
-    Duration lateLaunch;  //!< SKINIT / SENTER
-    Duration palCompute;  //!< application-specific work
-    Duration seal;        //!< TPM_Seal calls made by the PAL
-    Duration unseal;      //!< TPM_Unseal calls made by the PAL
-    Duration resumeOs;    //!< restore the untrusted environment
-
-    Bytes palOutput;          //!< PAL's output to the untrusted OS
-    Bytes palMeasurement;     //!< SHA-1 of the measured SLB
-    Bytes pcr17AfterLaunch;   //!< identity evidence left in the TPM
-
-    /** Wasted compute on the halted sibling cores (Section 4.2's
-     *  "processing power ... vanish[es]"): stall time x (#cpus - 1). */
-    Duration siblingStall;
-};
-
 /** The kernel-module-like driver that runs PALs on today's hardware. */
 class SeaDriver
 {
@@ -76,17 +54,14 @@ class SeaDriver
      * *application* outcome travels in ExecutionReport::status so the
      * caller still receives the phase breakdown and timestamps of a
      * failed run. request.deadline is checked against the finish time.
+     *
+     * The report's Capability sections carry the one-shot specifics:
+     * oneShot (suspend_os / late_launch / resume_os costs), sealedState
+     * (seal / unseal), pcr17Evidence ("pcr17" evidence bytes), and
+     * siblingStall ("stall": halted-core time x (#cpus - 1), Section
+     * 4.2's vanished processing power).
      */
     Result<ExecutionReport> run(const PalRequest &request, CpuId cpu = 0);
-
-    /**
-     * @deprecated Positional wrapper around run() that maps the report
-     * back to the legacy SessionReport and re-raises the PAL's
-     * application status as an error. Kept so existing callers compile;
-     * new code should construct a PalRequest.
-     */
-    Result<SessionReport> execute(const Pal &pal, const Bytes &input,
-                                  CpuId cpu = 0);
 
     /**
      * The PCR 17 value a verifier expects after an I/O-bound session of

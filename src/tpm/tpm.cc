@@ -28,16 +28,30 @@ TpmQuote::signedPayload() const
     return w.take();
 }
 
-bool
+Status
 verifyQuote(const crypto::RsaPublicKey &aik, const TpmQuote &quote,
             const Bytes &expected_nonce)
 {
-    if (quote.nonce != expected_nonce)
-        return false;
-    if (quote.selection.size() != quote.values.size())
-        return false;
-    return crypto::rsaVerifySha1(aik, quote.signedPayload(),
-                                 quote.signature);
+    if (quote.nonce != expected_nonce) {
+        return Error(Errc::integrityFailure,
+                     "quote nonce does not match the challenge "
+                     "(stale or replayed quote)");
+    }
+    if (quote.selection.size() != quote.values.size()) {
+        return Error(Errc::invalidArgument,
+                     "malformed quote: " +
+                         std::to_string(quote.selection.size()) +
+                         " PCR indices but " +
+                         std::to_string(quote.values.size()) +
+                         " values");
+    }
+    if (!crypto::rsaVerifySha1(aik, quote.signedPayload(),
+                               quote.signature)) {
+        return Error(Errc::integrityFailure,
+                     "quote signature does not verify under the "
+                     "presented AIK");
+    }
+    return okStatus();
 }
 
 Tpm::Tpm(TpmVendor vendor, std::uint64_t seed)

@@ -59,9 +59,13 @@ struct TpmQuote
  * Verify @p quote against @p aik and @p expected_nonce: recomputes the
  * composite from the reported values and checks the signature. The caller
  * still has to decide whether the *values* are trustworthy.
+ *
+ * Each way a quote can be bad fails with its own message (stale/wrong
+ * nonce, malformed selection, signature mismatch) so a verifier can
+ * report *why* an attestation was refused, not just that it was.
  */
-bool verifyQuote(const crypto::RsaPublicKey &aik, const TpmQuote &quote,
-                 const Bytes &expected_nonce);
+Status verifyQuote(const crypto::RsaPublicKey &aik, const TpmQuote &quote,
+                   const Bytes &expected_nonce);
 
 /**
  * Observer of every charged TPM command. The obs layer's telemetry

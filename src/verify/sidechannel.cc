@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Access-pattern leak detection implementation.
+ */
+
+#include "verify/sidechannel.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mintcb::verify
+{
+
+std::string
+LeakReport::str() const
+{
+    std::ostringstream out;
+    if (!leaks) {
+        out << "no access-pattern leak (" << lengthA
+            << " accesses, traces identical)";
+        return out.str();
+    }
+    out << "ACCESS-PATTERN LEAK: traces diverge at access "
+        << firstDivergence << " (lengths " << lengthA << " vs "
+        << lengthB << ")";
+    return out.str();
+}
+
+LeakReport
+accessPatternLeak(const std::vector<PageAccess> &a,
+                  const std::vector<PageAccess> &b)
+{
+    LeakReport report;
+    report.lengthA = a.size();
+    report.lengthB = b.size();
+    const std::size_t common = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < common; ++i) {
+        if (a[i] != b[i]) {
+            report.leaks = true;
+            report.firstDivergence = i;
+            return report;
+        }
+    }
+    if (a.size() != b.size()) {
+        report.leaks = true;
+        report.firstDivergence = common;
+    }
+    return report;
+}
+
+} // namespace mintcb::verify

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Page-granular access-pattern side channels (the SEV-Step adversary).
+ *
+ * A malicious hypervisor cannot read an encrypted guest's memory, but
+ * it controls the nested page tables and can single-step the guest,
+ * observing *which guest page* every access touches and in what order
+ * (SEV-Step, and the controlled-channel attacks before it). That
+ * page-granular trace is enough to leak secrets whenever the victim's
+ * access pattern depends on secret data.
+ *
+ * PageAccessTrace plays that adversary against the simulated platform:
+ * it rides the machine::MemAccessObserver hook -- the same mediation
+ * point the host's access-control check uses -- and records the
+ * ordered page-touch sequence inside a configurable window (e.g. the
+ * vm-tee backend's guest data pages). accessPatternLeak() then
+ * compares the traces of two runs that differed only in secret input:
+ * any divergence is exactly the signal the hypervisor would see, and
+ * the verify layer flags it as a leak.
+ */
+
+#ifndef MINTCB_VERIFY_SIDECHANNEL_HH
+#define MINTCB_VERIFY_SIDECHANNEL_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "machine/memctrl.hh"
+
+namespace mintcb::verify
+{
+
+/** One observed access at the adversary's granularity: the page and
+ *  the direction, never the data. */
+struct PageAccess
+{
+    PageNum page = 0;
+    bool isWrite = false;
+
+    bool
+    operator==(const PageAccess &other) const
+    {
+        return page == other.page && isWrite == other.isWrite;
+    }
+    bool operator!=(const PageAccess &other) const
+    {
+        return !(*this == other);
+    }
+};
+
+/**
+ * The recording adversary. Attach to a machine, run the victim, read
+ * the trace. Only accesses inside [firstPage, lastPage] are recorded
+ * (the window the hypervisor would watch, e.g. the TEE guest's data
+ * region); everything else is the victim's noise floor.
+ */
+class PageAccessTrace final : public machine::MemAccessObserver
+{
+  public:
+    /** Watch pages in the inclusive window [first_page, last_page]. */
+    PageAccessTrace(PageNum first_page, PageNum last_page)
+        : first_(first_page), last_(last_page)
+    {
+    }
+    ~PageAccessTrace() override { detach(); }
+
+    PageAccessTrace(const PageAccessTrace &) = delete;
+    PageAccessTrace &operator=(const PageAccessTrace &) = delete;
+
+    /** Occupy @p machine's access-observer slot. */
+    void
+    attach(machine::Machine &machine)
+    {
+        machine_ = &machine;
+        machine.memctrl().setAccessObserver(this);
+    }
+
+    /** Release the observer slot (idempotent). */
+    void
+    detach()
+    {
+        if (machine_ &&
+            machine_->memctrl().accessObserver() == this) {
+            machine_->memctrl().setAccessObserver(nullptr);
+        }
+        machine_ = nullptr;
+    }
+
+    /** The ordered page-touch sequence observed so far. */
+    const std::vector<PageAccess> &accesses() const { return trace_; }
+
+    /** Forget everything recorded (window stays). */
+    void clear() { trace_.clear(); }
+
+    void
+    onAccess(const machine::Agent &agent, PageNum page, bool isWrite,
+             bool granted) override
+    {
+        (void)agent;
+        (void)granted; // even a denied probe reveals the address
+        if (page >= first_ && page <= last_)
+            trace_.push_back({page, isWrite});
+    }
+
+  private:
+    PageNum first_;
+    PageNum last_;
+    machine::Machine *machine_ = nullptr;
+    std::vector<PageAccess> trace_;
+};
+
+/** Verdict of comparing two recorded traces. */
+struct LeakReport
+{
+    /** True when the page-touch sequences differ anywhere -- the
+     *  access pattern depends on the input, so a page-observing
+     *  adversary distinguishes the two runs. */
+    bool leaks = false;
+    /** Index of the first differing access (or the shorter length,
+     *  when one trace is a prefix of the other). */
+    std::size_t firstDivergence = 0;
+    std::size_t lengthA = 0;
+    std::size_t lengthB = 0;
+
+    /** One-line human-readable verdict. */
+    std::string str() const;
+};
+
+/** Compare two runs' traces: identical sequences mean this adversary
+ *  learned nothing; any divergence is a flagged leak. */
+LeakReport accessPatternLeak(const std::vector<PageAccess> &a,
+                             const std::vector<PageAccess> &b);
+
+} // namespace mintcb::verify
+
+#endif // MINTCB_VERIFY_SIDECHANNEL_HH

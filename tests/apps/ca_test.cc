@@ -49,8 +49,12 @@ TEST_F(CaTest, InitializePublishesKeyAndSealsPrivateHalf)
     // The sealed key blob is opaque ciphertext, not the key itself.
     EXPECT_FALSE(ca_.sealedKey().ciphertext.empty());
     // Initialization includes the seal leg (PAL Gen shape).
-    EXPECT_GT(ca_.lastReport().phases.seal, Duration::zero());
-    EXPECT_EQ(ca_.lastReport().phases.unseal, Duration::zero());
+    EXPECT_GT(
+        ca_.lastReport().cost(sea::Capability::sealedState, "seal"),
+        Duration::zero());
+    EXPECT_EQ(
+        ca_.lastReport().cost(sea::Capability::sealedState, "unseal"),
+        Duration::zero());
 }
 
 TEST_F(CaTest, IssuedCertificatesVerify)
@@ -60,7 +64,9 @@ TEST_F(CaTest, IssuedCertificatesVerify)
     ASSERT_TRUE(cert.ok());
     EXPECT_TRUE(verifyCertificate(ca_.publicKey(), *cert));
     // Signing includes the unseal leg (PAL Use shape).
-    EXPECT_GT(ca_.lastReport().phases.unseal, Duration::millis(500));
+    EXPECT_GT(
+        ca_.lastReport().cost(sea::Capability::sealedState, "unseal"),
+        Duration::millis(500));
 }
 
 TEST_F(CaTest, CertificateTamperingDetected)

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * BackendRegistry edge cases and the five-backend determinism sweep:
+ * unknown names rejected at submit with a clear Status, duplicate
+ * registration refused, capability mismatch fails closed, and every
+ * registered backend produces byte-identical reports at 1/2/4/8
+ * workers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "backend/backends.hh"
+#include "backend/registry.hh"
+#include "common/hex.hh"
+#include "sea/service.hh"
+
+namespace mintcb::backend
+{
+namespace
+{
+
+using machine::Machine;
+using machine::PlatformId;
+
+sea::Pal
+zooPal(const std::string &name)
+{
+    // A body every backend family can execute: charge some compute,
+    // echo the input with a marker byte. One-shot backends run this
+    // through Pal::body(); the service path uses secureBody below.
+    return sea::Pal::fromLogic(
+        name, 4 * 1024, [](sea::PalContext &ctx) {
+            ctx.compute(Duration::millis(2));
+            Bytes out = ctx.input();
+            out.push_back(0x5a);
+            ctx.setOutput(std::move(out));
+            return okStatus();
+        });
+}
+
+sea::PalRequest
+zooRequest(const std::string &pal_name, const std::string &backend,
+           const Bytes &input = {})
+{
+    sea::PalRequest req(zooPal(pal_name), input);
+    req.backend = backend;
+    req.dataPages = 2;
+    req.slicedCompute = Duration::millis(2);
+    req.secureBody = [](rec::PalHooks &,
+                        const Bytes &in) -> Result<Bytes> {
+        Bytes out = in;
+        out.push_back(0x5a);
+        return out;
+    };
+    return req;
+}
+
+TEST(BackendRegistry, StandardZooHoldsFiveBackendsInCanonicalOrder)
+{
+    const BackendRegistry &reg = BackendRegistry::standard();
+    const std::vector<std::string> expected = {
+        "sea-oneshot", "rec-service", "sgx", "vm-tee", "trustzone"};
+    EXPECT_EQ(reg.names(), expected);
+    EXPECT_EQ(reg.size(), 5u);
+    for (const std::string &name : expected) {
+        const Backend *b = reg.find(name);
+        ASSERT_NE(b, nullptr) << name;
+        EXPECT_EQ(b->info().name, name);
+        EXPECT_FALSE(b->info().family.empty()) << name;
+        EXPECT_FALSE(b->info().description.empty()) << name;
+    }
+}
+
+TEST(BackendRegistry, EmptyNameResolvesToTheNativeDefault)
+{
+    const BackendRegistry &reg = BackendRegistry::standard();
+    const Backend *b = reg.find("");
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->info().name, std::string(defaultBackendName));
+}
+
+TEST(BackendRegistry, DuplicateRegistrationIsRefused)
+{
+    BackendRegistry reg = BackendRegistry::makeStandard();
+    Status again = reg.add(makeSgx());
+    ASSERT_FALSE(again.ok());
+    EXPECT_EQ(again.error().code, Errc::failedPrecondition);
+    EXPECT_NE(again.error().message.find("sgx"), std::string::npos)
+        << again.error().message;
+    // The original registration is untouched.
+    EXPECT_EQ(reg.size(), 5u);
+    EXPECT_TRUE(reg.has("sgx"));
+}
+
+TEST(BackendRegistry, UnnamedBackendIsRefused)
+{
+    class Nameless final : public Backend
+    {
+      public:
+        const BackendInfo &
+        info() const override
+        {
+            static const BackendInfo inf{"", "", "", {}};
+            return inf;
+        }
+        Result<sea::ExecutionReport>
+        run(machine::Machine &, const sea::PalRequest &,
+            CpuId) const override
+        {
+            return Error(Errc::unavailable, "never runs");
+        }
+    };
+    BackendRegistry reg;
+    Status s = reg.add(std::make_unique<Nameless>());
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.error().code, Errc::invalidArgument);
+    EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(BackendRegistry, UnknownBackendRejectedAtSubmitWithClearStatus)
+{
+    Machine m = Machine::forPlatform(PlatformId::recTestbed);
+    sea::ExecutionService svc(m);
+
+    auto s = svc.submit(zooRequest("lost", "morello"));
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.error().code, Errc::notFound);
+    // The message names the offender and lists what IS registered, so
+    // a caller can fix the request without reading the source.
+    EXPECT_NE(s.error().message.find("morello"), std::string::npos)
+        << s.error().message;
+    for (const char *known :
+         {"sea-oneshot", "rec-service", "sgx", "vm-tee", "trustzone"}) {
+        EXPECT_NE(s.error().message.find(known), std::string::npos)
+            << "admission error should list '" << known
+            << "': " << s.error().message;
+    }
+    // Fail closed means fail *before* enqueueing any work.
+    EXPECT_EQ(svc.queueDepth(), 0u);
+    EXPECT_EQ(svc.metrics().backendRejected, 1u);
+    EXPECT_EQ(svc.metrics().submitted, 0u);
+}
+
+TEST(BackendRegistry, CapabilityMismatchFailsClosedAtSubmit)
+{
+    // TrustZone has no remote-attestation primitive: wantQuote against
+    // it must be refused at admission, not discovered mid-run.
+    Machine m = Machine::forPlatform(PlatformId::recTestbed);
+    sea::ExecutionService svc(m);
+
+    sea::PalRequest req = zooRequest("quoted", "trustzone");
+    req.wantQuote = true;
+    auto s = svc.submit(std::move(req));
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.error().code, Errc::failedPrecondition);
+    EXPECT_NE(s.error().message.find("trustzone"), std::string::npos)
+        << s.error().message;
+    EXPECT_NE(s.error().message.find("attestation"), std::string::npos)
+        << s.error().message;
+    EXPECT_EQ(svc.queueDepth(), 0u);
+    EXPECT_EQ(svc.metrics().backendRejected, 1u);
+
+    // The same request without the quote demand is admissible.
+    EXPECT_TRUE(svc.submit(zooRequest("quoted", "trustzone")).ok());
+    auto reports = svc.drain();
+    ASSERT_TRUE(reports.ok());
+    ASSERT_EQ(reports->size(), 1u);
+    EXPECT_EQ(reports->front().backend, "trustzone");
+    EXPECT_FALSE(reports->front().quoted);
+}
+
+TEST(BackendRegistry, AdmissibleMirrorsSubmitWithoutSideEffects)
+{
+    Machine m = Machine::forPlatform(PlatformId::recTestbed);
+    sea::ExecutionService svc(m);
+
+    EXPECT_TRUE(svc.admissible(zooRequest("ok", "sgx")).ok());
+    EXPECT_TRUE(svc.admissible(zooRequest("ok", "")).ok());
+    EXPECT_FALSE(svc.admissible(zooRequest("bad", "keystone")).ok());
+    sea::PalRequest quoteless = zooRequest("bad", "trustzone");
+    quoteless.wantQuote = true;
+    EXPECT_FALSE(svc.admissible(quoteless).ok());
+    // Pure checks: nothing counted, nothing queued.
+    EXPECT_EQ(svc.metrics().backendRejected, 0u);
+    EXPECT_EQ(svc.queueDepth(), 0u);
+}
+
+TEST(BackendRegistry, AllFiveBackendsAreWorkerCountDeterministic)
+{
+    // The registry contract inherits the sharded service's core
+    // guarantee: report bytes depend on the seed and the submission
+    // sequence, never on host thread count -- for every backend.
+    for (const std::string &name : BackendRegistry::standard().names()) {
+        const bool can_quote = BackendRegistry::standard()
+                                   .find(name)
+                                   ->info()
+                                   .capabilities.has(
+                                       sea::Capability::attestation);
+        auto run = [&](std::uint32_t workers) {
+            Machine m =
+                Machine::forPlatform(PlatformId::recTestbed, 7);
+            sea::ServiceConfig config;
+            config.workers = workers;
+            sea::ExecutionService svc(m, config);
+            for (int i = 0; i < 6; ++i) {
+                sea::PalRequest req = zooRequest(
+                    name + "-pal-" + std::to_string(i), name,
+                    asciiBytes("input-" + std::to_string(i)));
+                req.wantQuote = can_quote && (i % 3 == 0);
+                EXPECT_TRUE(svc.submit(std::move(req)).ok()) << name;
+            }
+            std::vector<Bytes> wires;
+            auto reports = svc.drain();
+            EXPECT_TRUE(reports.ok()) << name;
+            if (reports.ok())
+                for (const sea::ExecutionReport &r : *reports)
+                    wires.push_back(r.encode());
+            return wires;
+        };
+
+        const std::vector<Bytes> baseline = run(1);
+        ASSERT_EQ(baseline.size(), 6u) << name;
+        for (std::uint32_t workers : {2u, 4u, 8u}) {
+            const std::vector<Bytes> other = run(workers);
+            ASSERT_EQ(other.size(), baseline.size()) << name;
+            for (std::size_t i = 0; i < baseline.size(); ++i) {
+                EXPECT_EQ(baseline[i], other[i])
+                    << name << " report " << i
+                    << " diverged at workers=" << workers;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace mintcb::backend

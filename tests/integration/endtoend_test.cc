@@ -102,7 +102,8 @@ TEST(EndToEnd, TrustedBootAndSeaCompose)
     auto quote = m.tpmAs(0).quote(nonce, selection);
     launcher.resumeOtherCpus();
     ASSERT_TRUE(quote.ok());
-    EXPECT_TRUE(tpm::verifyQuote(m.tpm().aikPublic(), *quote, nonce));
+    EXPECT_TRUE(
+        tpm::verifyQuote(m.tpm().aikPublic(), *quote, nonce).ok());
     // The static PCRs replay from the log; PCR 17 is the PAL identity.
     const auto replayed = boot.log().replay();
     for (std::size_t i = 0; i < quote->selection.size(); ++i) {
@@ -138,7 +139,8 @@ TEST(EndToEnd, RecArchitectureQuoteVerifiesAgainstPalIdentity)
 
     const tpm::TpmQuote &quote = stats->completions[0].quote;
     ASSERT_TRUE(
-        tpm::verifyQuote(m.tpm().aikPublic(), quote, quote.nonce));
+        tpm::verifyQuote(m.tpm().aikPublic(), quote, quote.nonce)
+            .ok());
 
     // Whitelist check: the quoted sePCR value must equal the launch
     // identity of the expected PAL image.

@@ -251,7 +251,7 @@ TEST(ReportSummary, MirrorsExecutionReportEncoding)
     report.palName = "summary-pal";
     report.output = asciiBytes("the output");
     report.palMeasurement = asciiBytes("20-byte-measurement!");
-    report.phases.palCompute = Duration::millis(12);
+    report.phases.compute = Duration::millis(12);
     report.queueWait = Duration::micros(500);
     report.total = Duration::millis(13);
     report.launches = 3;
@@ -266,7 +266,7 @@ TEST(ReportSummary, MirrorsExecutionReportEncoding)
     EXPECT_TRUE(summary->ok);
     EXPECT_EQ(summary->output, report.output);
     EXPECT_EQ(summary->palMeasurement, report.palMeasurement);
-    EXPECT_EQ(summary->palCompute, report.phases.palCompute);
+    EXPECT_EQ(summary->palCompute, report.phases.compute);
     EXPECT_EQ(summary->queueWait, report.queueWait);
     EXPECT_EQ(summary->total, report.total);
     EXPECT_EQ(summary->launches, 3u);

@@ -205,7 +205,8 @@ TEST_F(SchedulerTest, QuoteOnExitProducesVerifiableQuotes)
     ASSERT_TRUE(stats.ok());
     ASSERT_TRUE(stats->completions[0].quoted);
     const tpm::TpmQuote &q = stats->completions[0].quote;
-    EXPECT_TRUE(tpm::verifyQuote(machine_.tpm().aikPublic(), q, q.nonce));
+    EXPECT_TRUE(
+        tpm::verifyQuote(machine_.tpm().aikPublic(), q, q.nonce).ok());
 }
 
 TEST_F(SchedulerTest, AbortWithoutDeadlineIsNotAMissedDeadline)

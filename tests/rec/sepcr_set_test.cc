@@ -94,7 +94,8 @@ TEST_F(SePcrSetTest, QuoteSubsetCoversOnlyRequestedSlots)
     EXPECT_EQ(q->selection.size(), 2u);
     EXPECT_EQ(q->selection[0], tpm::pcrCount + set.slot(0));
     EXPECT_EQ(q->selection[1], tpm::pcrCount + set.slot(2));
-    EXPECT_TRUE(tpm::verifyQuote(tpm_.aikPublic(), *q, asciiBytes("n")));
+    EXPECT_TRUE(
+        tpm::verifyQuote(tpm_.aikPublic(), *q, asciiBytes("n")).ok());
 }
 
 TEST_F(SePcrSetTest, QuoteSubsetRequiresQuoteState)

@@ -154,7 +154,8 @@ TEST_F(SePcrTest, QuoteOnlyInQuoteState)
     ASSERT_TRUE(bank_.transitionToQuote(h, tpm::Locality::hardware).ok());
     auto q = bank_.quote(h, asciiBytes("n"));
     ASSERT_TRUE(q.ok());
-    EXPECT_TRUE(tpm::verifyQuote(tpm_.aikPublic(), *q, asciiBytes("n")));
+    EXPECT_TRUE(
+        tpm::verifyQuote(tpm_.aikPublic(), *q, asciiBytes("n")).ok());
     // The quoted value is the PAL's launch identity.
     EXPECT_EQ(q->values[0], *bank_.value(h));
     // sePCR handles are namespaced above the 24 ordinary PCRs.

@@ -39,12 +39,15 @@ TEST_F(IntelSessionTest, SessionRunsUnderSenter)
             ctx.setOutput(asciiBytes("ran on TXT"));
             return okStatus();
         });
-    auto report = driver_.execute(pal, {});
+    auto report = driver_.run(PalRequest(pal));
     ASSERT_TRUE(report.ok());
-    EXPECT_EQ(report->palOutput, asciiBytes("ran on TXT"));
+    ASSERT_TRUE(report->status.ok());
+    EXPECT_EQ(report->output, asciiBytes("ran on TXT"));
     // SENTER's ACMod tax: launch costs ~27 ms even for a 4 KB PAL.
-    EXPECT_GT(report->lateLaunch, Duration::millis(25));
-    EXPECT_LT(report->lateLaunch, Duration::millis(30));
+    const Duration late_launch =
+        report->cost(Capability::oneShot, "late_launch");
+    EXPECT_GT(late_launch, Duration::millis(25));
+    EXPECT_LT(late_launch, Duration::millis(30));
 }
 
 TEST_F(IntelSessionTest, IdentitySpansPcr17And18)
@@ -82,9 +85,10 @@ TEST_F(IntelSessionTest, DifferentMleCannotUnsealEvenWithSameAcmod)
             auto state = ctx.unsealState(stolen);
             return state.ok() ? okStatus() : Status{state.error()};
         });
-    auto report = driver_.execute(thief, {});
-    ASSERT_FALSE(report.ok());
-    EXPECT_EQ(report.error().code, Errc::permissionDenied);
+    auto report = driver_.run(PalRequest(thief));
+    ASSERT_TRUE(report.ok());
+    ASSERT_FALSE(report->status.ok());
+    EXPECT_EQ(report->status.error().code, Errc::permissionDenied);
 }
 
 TEST_F(IntelSessionTest, IntelLaunchBeatsAmdForLargePals)
@@ -95,15 +99,16 @@ TEST_F(IntelSessionTest, IntelLaunchBeatsAmdForLargePals)
     const Pal big = Pal::fromLogic("big-pal", code, [](PalContext &) {
         return okStatus();
     });
-    auto intel = driver_.execute(big, {});
+    auto intel = driver_.run(PalRequest(big));
     ASSERT_TRUE(intel.ok());
 
     Machine amd_machine = Machine::forPlatform(PlatformId::hpDc5750);
     SeaDriver amd_driver(amd_machine);
-    auto amd = amd_driver.execute(big, {});
+    auto amd = amd_driver.run(PalRequest(big));
     ASSERT_TRUE(amd.ok());
 
-    EXPECT_LT(intel->lateLaunch * 4.0, amd->lateLaunch);
+    EXPECT_LT(intel->cost(Capability::oneShot, "late_launch") * 4.0,
+              amd->cost(Capability::oneShot, "late_launch"));
 }
 
 TEST_F(IntelSessionTest, ForgedAcmodAbortsTheSession)
@@ -112,8 +117,8 @@ TEST_F(IntelSessionTest, ForgedAcmodAbortsTheSession)
         latelaunch::AcMod::forged(machine_.spec().acmodBytes));
     const Pal pal = Pal::fromLogic(
         "never-runs", 1024, [](PalContext &) { return okStatus(); });
-    auto report = driver_.execute(pal, {});
-    ASSERT_FALSE(report.ok());
+    auto report = driver_.run(PalRequest(pal));
+    ASSERT_FALSE(report.ok()); // launch refusal is an infra error
     EXPECT_EQ(report.error().code, Errc::integrityFailure);
 }
 

@@ -18,6 +18,16 @@ namespace
 using machine::Machine;
 using machine::PlatformId;
 
+const Bytes &
+pcr17Of(const ExecutionReport &report)
+{
+    const Bytes *evidence =
+        report.evidence(Capability::pcr17Evidence, "pcr17");
+    EXPECT_NE(evidence, nullptr);
+    static const Bytes empty;
+    return evidence ? *evidence : empty;
+}
+
 Pal
 echoPal()
 {
@@ -48,21 +58,21 @@ TEST_F(IoBindingTest, Pcr17CoversCodeInputAndOutput)
 {
     const Pal pal = echoPal();
     const Bytes input = asciiBytes("bind me");
-    auto report = driver_.execute(pal, input);
+    auto report = driver_.run(PalRequest(pal, input));
     ASSERT_TRUE(report.ok());
-    EXPECT_EQ(report->pcr17AfterLaunch,
+    EXPECT_EQ(pcr17Of(*report),
               SeaDriver::expectedIoBoundPcr17(pal, input,
-                                              report->palOutput));
+                                              report->output));
 }
 
 TEST_F(IoBindingTest, DifferentInputDifferentIdentity)
 {
     const Pal pal = echoPal();
-    auto a = driver_.execute(pal, asciiBytes("input-a"));
-    auto b = driver_.execute(pal, asciiBytes("input-b"));
+    auto a = driver_.run(PalRequest(pal, asciiBytes("input-a")));
+    auto b = driver_.run(PalRequest(pal, asciiBytes("input-b")));
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE(b.ok());
-    EXPECT_NE(a->pcr17AfterLaunch, b->pcr17AfterLaunch);
+    EXPECT_NE(pcr17Of(*a), pcr17Of(*b));
 }
 
 TEST_F(IoBindingTest, ForgedOutputDoesNotMatchExpectedChain)
@@ -71,31 +81,31 @@ TEST_F(IoBindingTest, ForgedOutputDoesNotMatchExpectedChain)
     // verifier's recomputed chain no longer matches the recorded PCR.
     const Pal pal = echoPal();
     const Bytes input = asciiBytes("honest input");
-    auto report = driver_.execute(pal, input);
+    auto report = driver_.run(PalRequest(pal, input));
     ASSERT_TRUE(report.ok());
-    Bytes forged_output = report->palOutput;
+    Bytes forged_output = report->output;
     forged_output[0] ^= 0x01;
-    EXPECT_NE(report->pcr17AfterLaunch,
+    EXPECT_NE(pcr17Of(*report),
               SeaDriver::expectedIoBoundPcr17(pal, input, forged_output));
 }
 
 TEST_F(IoBindingTest, ForgedInputDoesNotMatchEither)
 {
     const Pal pal = echoPal();
-    auto report = driver_.execute(pal, asciiBytes("real"));
+    auto report = driver_.run(PalRequest(pal, asciiBytes("real")));
     ASSERT_TRUE(report.ok());
-    EXPECT_NE(report->pcr17AfterLaunch,
+    EXPECT_NE(pcr17Of(*report),
               SeaDriver::expectedIoBoundPcr17(pal, asciiBytes("fake"),
-                                              report->palOutput));
+                                              report->output));
 }
 
 TEST_F(IoBindingTest, UnboundSessionsKeepPlainIdentity)
 {
     SeaDriver plain(machine_);
     const Pal pal = echoPal();
-    auto report = plain.execute(pal, asciiBytes("x"));
+    auto report = plain.run(PalRequest(pal, asciiBytes("x")));
     ASSERT_TRUE(report.ok());
-    EXPECT_EQ(report->pcr17AfterLaunch, pal.expectedPcr17());
+    EXPECT_EQ(pcr17Of(*report), pal.expectedPcr17());
 }
 
 TEST_F(IoBindingTest, BindingAddsTwoExtendsOfCost)
@@ -104,8 +114,8 @@ TEST_F(IoBindingTest, BindingAddsTwoExtendsOfCost)
     // the session total.
     SeaDriver plain(machine_);
     const Pal pal = echoPal();
-    auto bound = driver_.execute(pal, asciiBytes("x"));
-    auto unbound = plain.execute(pal, asciiBytes("x"));
+    auto bound = driver_.run(PalRequest(pal, asciiBytes("x")));
+    auto unbound = plain.run(PalRequest(pal, asciiBytes("x")));
     ASSERT_TRUE(bound.ok());
     ASSERT_TRUE(unbound.ok());
     const Duration delta = bound->total - unbound->total;

@@ -40,13 +40,17 @@ TEST_F(NoTpmTest, PlainPalSessionStillRuns)
                                        ctx.setOutput(asciiBytes("ok"));
                                        return okStatus();
                                    });
-    auto report = driver_.execute(pal, {});
+    auto report = driver_.run(PalRequest(pal));
     ASSERT_TRUE(report.ok());
-    EXPECT_EQ(report->palOutput, asciiBytes("ok"));
+    ASSERT_TRUE(report->status.ok());
+    EXPECT_EQ(report->output, asciiBytes("ok"));
     // No TPM: no measurement evidence exists.
-    EXPECT_TRUE(report->pcr17AfterLaunch.empty());
+    const Bytes *pcr17 =
+        report->evidence(Capability::pcr17Evidence, "pcr17");
+    EXPECT_TRUE(pcr17 == nullptr || pcr17->empty());
     // And the launch is cheap (Table 1's Tyan row: bus transfer only).
-    EXPECT_LT(report->lateLaunch, Duration::millis(2));
+    EXPECT_LT(report->cost(Capability::oneShot, "late_launch"),
+              Duration::millis(2));
 }
 
 TEST_F(NoTpmTest, SealingPalFailsExplicitly)
@@ -82,7 +86,9 @@ TEST_F(NoTpmTest, IsolationStillHoldsWithoutTpm)
             }
             return okStatus();
         });
-    EXPECT_TRUE(driver_.execute(pal, {}).ok());
+    auto report = driver_.run(PalRequest(pal));
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->status.ok());
 }
 
 } // namespace

@@ -116,24 +116,31 @@ TEST(MonotonicCounter, DetectsSealedStateRollback)
     };
 
     // Epoch 1: create versioned state.
-    auto first = driver.execute(versioned_pal(0, true), {});
+    auto first = driver.run(sea::PalRequest(versioned_pal(0, true)));
     ASSERT_TRUE(first.ok());
-    const Bytes v1_blob = first->palOutput;
+    ASSERT_TRUE(first->status.ok());
+    const Bytes v1_blob = first->output;
 
     // Epoch 2: update (counter moves to 2, blob carries 2).
-    auto second = driver.execute(versioned_pal(1, true), v1_blob);
+    auto second =
+        driver.run(sea::PalRequest(versioned_pal(1, true), v1_blob));
     ASSERT_TRUE(second.ok());
-    const Bytes v2_blob = second->palOutput;
+    ASSERT_TRUE(second->status.ok());
+    const Bytes v2_blob = second->output;
 
     // Honest OS hands the newest blob: accepted.
-    auto honest = driver.execute(versioned_pal(2, false), v2_blob);
-    EXPECT_TRUE(honest.ok());
+    auto honest =
+        driver.run(sea::PalRequest(versioned_pal(2, false), v2_blob));
+    ASSERT_TRUE(honest.ok());
+    EXPECT_TRUE(honest->status.ok());
 
     // Malicious OS replays the v1 blob: unseal works, rollback caught.
-    auto replay = driver.execute(versioned_pal(2, false), v1_blob);
-    ASSERT_FALSE(replay.ok());
-    EXPECT_EQ(replay.error().code, Errc::integrityFailure);
-    EXPECT_NE(replay.error().message.find("rollback"),
+    auto replay =
+        driver.run(sea::PalRequest(versioned_pal(2, false), v1_blob));
+    ASSERT_TRUE(replay.ok());
+    ASSERT_FALSE(replay->status.ok());
+    EXPECT_EQ(replay->status.error().code, Errc::integrityFailure);
+    EXPECT_NE(replay->status.error().message.find("rollback"),
               std::string::npos);
 }
 

@@ -119,14 +119,15 @@ TEST_F(TpmTest, QuoteVerifies)
     const Bytes nonce = asciiBytes("fresh nonce");
     auto q = tpm_.quote(nonce, {17, 18});
     ASSERT_TRUE(q.ok());
-    EXPECT_TRUE(verifyQuote(tpm_.aikPublic(), *q, nonce));
+    EXPECT_TRUE(verifyQuote(tpm_.aikPublic(), *q, nonce).ok());
 }
 
 TEST_F(TpmTest, QuoteRejectsWrongNonce)
 {
     auto q = tpm_.quote(asciiBytes("nonce-a"), {17});
     ASSERT_TRUE(q.ok());
-    EXPECT_FALSE(verifyQuote(tpm_.aikPublic(), *q, asciiBytes("nonce-b")));
+    EXPECT_FALSE(
+        verifyQuote(tpm_.aikPublic(), *q, asciiBytes("nonce-b")).ok());
 }
 
 TEST_F(TpmTest, QuoteRejectsTamperedValues)
@@ -134,7 +135,8 @@ TEST_F(TpmTest, QuoteRejectsTamperedValues)
     auto q = tpm_.quote(asciiBytes("n"), {17});
     ASSERT_TRUE(q.ok());
     q->values[0][0] ^= 0x01;
-    EXPECT_FALSE(verifyQuote(tpm_.aikPublic(), *q, asciiBytes("n")));
+    EXPECT_FALSE(
+        verifyQuote(tpm_.aikPublic(), *q, asciiBytes("n")).ok());
 }
 
 TEST_F(TpmTest, QuoteRejectsWrongAik)
@@ -142,7 +144,8 @@ TEST_F(TpmTest, QuoteRejectsWrongAik)
     Tpm other(TpmVendor::infineon, /*seed=*/77);
     auto q = tpm_.quote(asciiBytes("n"), {17});
     ASSERT_TRUE(q.ok());
-    EXPECT_FALSE(verifyQuote(other.aikPublic(), *q, asciiBytes("n")));
+    EXPECT_FALSE(
+        verifyQuote(other.aikPublic(), *q, asciiBytes("n")).ok());
 }
 
 // ---- Hash sequence (late-launch path) -----------------------------------

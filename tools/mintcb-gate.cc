@@ -20,7 +20,9 @@
  *
  * Options: --port N, --workers N, --shards N, --batch N,
  *          --max-inflight N, --rate-burst N, --rate-per-sec X,
- *          --idle-ms N, --metrics (Prometheus dump on exit).
+ *          --idle-ms N, --backend NAME (default execution backend for
+ *          wire requests that do not name one; must be registered),
+ *          --metrics (Prometheus dump on exit).
  */
 
 #include <csignal>
@@ -29,6 +31,7 @@
 #include <cstring>
 #include <string>
 
+#include "backend/registry.hh"
 #include "common/hex.hh"
 #include "net/client.hh"
 #include "net/gateway.hh"
@@ -111,6 +114,27 @@ selftest()
         return 1;
     }
 
+    // Same PAL routed through a simulated TEE backend: the report must
+    // carry the backend name and still echo the payload.
+    net::WireRequest sgx_request;
+    sgx_request.sequence = 2;
+    sgx_request.palName = "echo";
+    sgx_request.backend = "sgx";
+    sgx_request.input = asciiBytes("gate selftest via sgx");
+    auto sgx_report = client.call(sgx_request);
+    if (!sgx_report) {
+        std::fprintf(stderr, "FAIL: sgx call: %s\n",
+                     sgx_report.error().message.c_str());
+        return 1;
+    }
+    auto sgx_summary = net::summarizeReport(sgx_report->report);
+    if (!sgx_summary || !sgx_summary->ok ||
+        sgx_summary->backend != "sgx" ||
+        sgx_summary->output != sgx_request.input) {
+        std::fprintf(stderr, "FAIL: sgx-routed echo mismatch\n");
+        return 1;
+    }
+
     // A platform whose identity PAL is not whitelisted must be turned
     // away at the handshake -- before any submit can exist.
     net::ClientConfig rogueConfig;
@@ -126,7 +150,7 @@ selftest()
     gateway.stop();
     const net::GatewayStats &stats = gateway.stats();
     if (stats.handshakesCompleted != 1 || stats.handshakesRefused != 1 ||
-        stats.reportsDelivered != 1) {
+        stats.reportsDelivered != 2) {
         std::fprintf(stderr, "FAIL: unexpected stats\n%s",
                      stats.str().c_str());
         return 1;
@@ -146,6 +170,7 @@ main(int argc, char **argv)
     config.drainBatch = 1;
     std::size_t workers = 0; // service default
     std::size_t shards = 0;
+    std::string defaultBackend;
     bool dumpMetrics = false;
 
     auto nextArg = [&](int &i) -> const char * {
@@ -180,6 +205,8 @@ main(int argc, char **argv)
         else if (arg == "--idle-ms")
             config.idleTimeoutMillis =
                 static_cast<std::uint64_t>(std::atoll(nextArg(i)));
+        else if (arg == "--backend")
+            defaultBackend = nextArg(i);
         else if (arg == "--metrics")
             dumpMetrics = true;
         else {
@@ -197,6 +224,19 @@ main(int argc, char **argv)
         serviceConfig.shards = shards;
     sea::ExecutionService service(machine, serviceConfig);
     net::PalRegistry registry = stockRegistry();
+    if (!defaultBackend.empty()) {
+        if (!service.registry().has(defaultBackend)) {
+            std::fprintf(stderr,
+                         "mintcb-gate: unknown backend '%s'"
+                         " (registered:",
+                         defaultBackend.c_str());
+            for (const std::string &n : service.registry().names())
+                std::fprintf(stderr, " %s", n.c_str());
+            std::fprintf(stderr, ")\n");
+            return 2;
+        }
+        registry.setDefaultBackend(defaultBackend);
+    }
 
     net::Gateway gateway(machine, service, registry, config);
     gateway.trustClientPal(net::AttestedIdentity::clientPal());
@@ -214,6 +254,14 @@ main(int argc, char **argv)
                 gateway.port());
     for (const std::string &name : registry.names())
         std::printf("mintcb-gate: serving PAL '%s'\n", name.c_str());
+    for (const std::string &name : service.registry().names()) {
+        std::printf("mintcb-gate: backend '%s'%s\n", name.c_str(),
+                    (name == defaultBackend ||
+                     (defaultBackend.empty() &&
+                      name == backend::defaultBackendName))
+                        ? " (default)"
+                        : "");
+    }
     std::fflush(stdout);
 
     if (auto s = gateway.run(); !s.ok()) {
