@@ -11,7 +11,12 @@ the repo root) against the committed baselines in bench/baselines/:
   - every baseline metric must still exist (coverage loss fails);
   - metrics whose name mentions host/wall time are skipped -- they
     measure the CI runner, not the simulation, and only the simulated
-    values are deterministic.
+    values are deterministic;
+  - metrics whose name mentions leak_bits are gated one-sided: an
+    increase beyond tolerance fails (a side channel widened), any
+    decrease passes (leaking less is an improvement, not a
+    regression). A zero baseline stays structural: any nonzero
+    leakage where there was none is a failure.
 
 New metrics that have no baseline yet are reported but never fail the
 gate, so adding instrumentation does not require a lockstep baseline
@@ -37,10 +42,19 @@ import tempfile
 # lower-cased comparison.
 HOST_MARKERS = ("host", "wall")
 
+# Substrings marking leakage metrics (bits an adversary learns); gated
+# one-sided -- only increases are regressions.
+LEAK_MARKERS = ("leak_bits",)
+
 
 def is_host_metric(name):
     low = name.lower()
     return any(marker in low for marker in HOST_MARKERS)
+
+
+def is_leak_metric(name):
+    low = name.lower()
+    return any(marker in low for marker in LEAK_MARKERS)
 
 
 def load(path):
@@ -99,6 +113,24 @@ def compare(base, cur, tolerance, name, log):
                 )
             continue
         deviation = (cur_value - base_value) / abs(base_value)
+        if is_leak_metric(key):
+            # One-sided: widening the channel fails, narrowing it is
+            # an improvement the next baseline refresh records.
+            if deviation > tolerance:
+                failures.append(
+                    "%s: %s '%s' leaks %+.1f%% more (baseline %.6g, "
+                    "now %.6g, one-sided tolerance +%.0f%%)"
+                    % (
+                        name,
+                        kind,
+                        key,
+                        deviation * 100.0,
+                        base_value,
+                        cur_value,
+                        tolerance * 100.0,
+                    )
+                )
+            continue
         if abs(deviation) > tolerance:
             failures.append(
                 "%s: %s '%s' moved %+.1f%% (baseline %.6g, now %.6g, "
@@ -185,7 +217,10 @@ BASE_ARTIFACT = {
     "histograms": [{"name": "turnaround", "n": 16, "p50_us": 1000.0,
                     "p90_us": 2000.0, "p99_us": 3000.0, "mean_ms": 1.2,
                     "max_ms": 3.0}],
-    "counters": [{"name": "completed", "value": 16.0}],
+    "counters": [{"name": "completed", "value": 16.0},
+                 {"name": "leak_bits_sgx_ctrl_channel", "value": 4.0},
+                 {"name": "leak_bits_trustzone_page_trace",
+                  "value": 0.0}],
 }
 
 
@@ -251,6 +286,21 @@ def selftest(log):
         _mutate(lambda a: a["counters"].append(
             {"name": "steals_total", "value": 3.0})),
         0,
+    ))
+    cases.append((
+        "20%-higher leak_bits fails (channel widened)",
+        _mutate(lambda a: a["counters"][1].update({"value": 4.8})),
+        1,
+    ))
+    cases.append((
+        "50%-lower leak_bits passes (one-sided gate)",
+        _mutate(lambda a: a["counters"][1].update({"value": 2.0})),
+        0,
+    ))
+    cases.append((
+        "zero-baseline leak_bits going nonzero fails (structural)",
+        _mutate(lambda a: a["counters"][2].update({"value": 0.1})),
+        1,
     ))
 
     failures = 0

@@ -47,5 +47,18 @@ if [ "$ran" -eq 0 ]; then
     exit 1
 fi
 
+# The leakage audit emits the same artifact schema from tools/: its
+# per-backend x per-adversary leak_bits counters are regression-gated
+# one-sided (see scripts/check-bench-regression.py).
+if [ -x "$build_dir/tools/mintcb-audit" ]; then
+    artifact="$repo_root/BENCH_leakage_matrix.json"
+    echo "== mintcb-audit -> $artifact =="
+    if ! "$build_dir/tools/mintcb-audit" --json "$artifact"; then
+        echo "run-benches: mintcb-audit failed" >&2
+        status=1
+    fi
+    ran=$((ran + 1))
+fi
+
 echo "run-benches: $ran benches, artifacts in $repo_root/BENCH_*.json"
 exit "$status"

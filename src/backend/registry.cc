@@ -50,8 +50,11 @@ BackendRegistry::admissible(const sea::PalRequest &request) const
     const Backend *b = find(request.backend);
     if (b == nullptr) {
         std::string known;
-        for (const std::string &name : names())
-            known += (known.empty() ? "" : ", ") + name;
+        for (const std::string &name : names()) {
+            if (!known.empty())
+                known += ", ";
+            known += name;
+        }
         return Error(Errc::notFound,
                      "unknown backend '" + request.backend +
                          "' (registered: " + known + ")");

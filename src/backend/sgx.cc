@@ -17,6 +17,8 @@
 
 #include "backend/backends.hh"
 
+#include <algorithm>
+
 #include "backend/bodyrun.hh"
 #include "crypto/sha1.hh"
 
@@ -47,6 +49,10 @@ struct SgxParams
     static constexpr Duration quoteReport = Duration::micros(650);
     /** EREMOVE per page. */
     static constexpr Duration pageRemove = Duration::micros(1.6);
+    /** Where the modeled enclave's data pages live in simulated RAM. */
+    static constexpr PhysAddr enclaveDataBase = 0x400000;
+    /** Data-page probes per run (controlled-channel window). */
+    static constexpr std::size_t maxProbes = 32;
 };
 
 class SgxBackend final : public Backend
@@ -92,6 +98,25 @@ class SgxBackend final : public Backend
         report.phases.launch = core.now() - t0;
         report.launches = 1;
         report.palMeasurement = request.pal.measurement();
+
+        // The enclave walks its data pages at input-dependent page and
+        // cache-line offsets through the memory controller -- the
+        // access pattern a page-fault-inducing (controlled-channel /
+        // pigeonhole) adversary observes, refinable to 64 B lines by a
+        // shared-cache adversary. The probes cost no time (they model
+        // ordinary enclave loads); only their *addresses* leak.
+        const std::size_t probes =
+            std::min(request.input.size(), SgxParams::maxProbes);
+        const std::size_t data_pages =
+            request.dataPages > 0 ? request.dataPages : 1;
+        for (std::size_t i = 0; i < probes; ++i) {
+            const std::uint8_t b = request.input[i];
+            const PhysAddr addr =
+                SgxParams::enclaveDataBase +
+                static_cast<PhysAddr>(b % data_pages) * pageSize +
+                static_cast<PhysAddr>(b % 64) * 64;
+            (void)machine.readAs(cpu, addr, 16);
+        }
 
         // Body, entered through one ECALL; output marshalling and
         // system services leave through OCALLs (one per KB of I/O).
@@ -151,6 +176,7 @@ class SgxBackend final : public Backend
                     SgxParams::epcFault * static_cast<double>(faults));
         epc.addCount("epc_faults", faults);
         epc.addCount("enclave_pages", total_pages);
+        epc.addCount("data_probes", probes);
         sea::ReportSection &os =
             report.section(sea::Capability::oneShot);
         os.addCount("ecalls", 1);

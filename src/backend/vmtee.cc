@@ -53,6 +53,11 @@ struct VmTeeParams
     static constexpr PhysAddr guestDataBase = 0x200000;
     /** Data-page probes per run (SEV-Step observability window). */
     static constexpr std::size_t maxProbes = 32;
+    /** Guest progress per data-page probe (TLB walk + decrypt-on-load).
+     *  Smaller than the single-step adversary's 5 us APIC cadence, so
+     *  a stepping hypervisor attributes probes to distinct interrupt
+     *  windows -- the timing dimension of the SEV-Step channel. */
+    static constexpr Duration probeStep = Duration::micros(4);
 };
 
 class VmTeeBackend final : public Backend
@@ -105,13 +110,17 @@ class VmTeeBackend final : public Backend
             std::min(request.input.size(), VmTeeParams::maxProbes);
         const std::size_t data_pages =
             request.dataPages > 0 ? request.dataPages : 1;
+        const TimePoint p0 = core.now();
         for (std::size_t i = 0; i < probes; ++i) {
+            const std::uint8_t b = request.input[i];
             const PhysAddr addr =
                 VmTeeParams::guestDataBase +
-                static_cast<PhysAddr>(request.input[i] % data_pages) *
-                    pageSize;
+                static_cast<PhysAddr>(b % data_pages) * pageSize +
+                static_cast<PhysAddr>(b % 64) * 64;
             (void)machine.readAs(cpu, addr, 16);
+            core.advance(VmTeeParams::probeStep);
         }
+        const Duration probe_time = core.now() - p0;
 
         // Body, with the inline-encryption drag on its compute.
         BodyRun body = runPalBody(machine, request, cpu);
@@ -138,7 +147,7 @@ class VmTeeBackend final : public Backend
         }
         core.advance(exit_time);
         report.phases.transition =
-            exit_time + body.seal + body.unseal;
+            exit_time + body.seal + body.unseal + probe_time;
         report.output = body.output;
         report.status = body.status;
 
@@ -178,6 +187,7 @@ class VmTeeBackend final : public Backend
         vm.addCount("vm_exits", exits);
         vm.addCount("guest_pages", total_pages);
         vm.addCount("data_page_probes", probes);
+        vm.addCost("data_probe_time", probe_time);
         if (request.wantQuote) {
             sea::ReportSection &att =
                 report.section(sea::Capability::attestation);

@@ -5,6 +5,7 @@
 
 #include "machine/memctrl.hh"
 
+#include <algorithm>
 #include <string>
 
 namespace mintcb::machine
@@ -64,6 +65,49 @@ MemoryController::check(Agent agent, PageNum page) const
     return Error(Errc::permissionDenied, "unreachable");
 }
 
+void
+MemoryController::addAccessObserver(MemAccessObserver *obs)
+{
+    if (obs == nullptr || hasAccessObserver(obs))
+        return;
+    observers_.push_back(obs);
+}
+
+void
+MemoryController::removeAccessObserver(MemAccessObserver *obs)
+{
+    observers_.erase(
+        std::remove(observers_.begin(), observers_.end(), obs),
+        observers_.end());
+}
+
+bool
+MemoryController::hasAccessObserver(const MemAccessObserver *obs) const
+{
+    return std::find(observers_.begin(), observers_.end(), obs) !=
+           observers_.end();
+}
+
+void
+MemoryController::notifyAccess(const Agent &agent, PageNum page,
+                               PhysAddr addr, std::uint64_t len,
+                               bool isWrite, bool granted) const
+{
+    if (observers_.empty())
+        return;
+    // Clip [addr, addr+len) to this page: the sub-page byte range the
+    // access touches here (a zero-length probe reports len == 0 at the
+    // probed offset).
+    const PhysAddr base = pageBase(page);
+    const PhysAddr start = std::max(addr, base);
+    const PhysAddr end = std::min(addr + len, base + pageSize);
+    const auto offset = static_cast<std::uint32_t>(start - base);
+    const auto chunk = static_cast<std::uint32_t>(
+        end > start ? end - start : 0);
+    for (MemAccessObserver *obs : observers_)
+        obs->onAccess(agent, page, offset, chunk, isWrite, granted);
+}
+
 Result<Bytes>
 MemoryController::read(Agent agent, PhysAddr addr, std::uint64_t len) const
 {
@@ -76,12 +120,10 @@ MemoryController::read(Agent agent, PhysAddr addr, std::uint64_t len) const
     for (PageNum p = first; p <= last; ++p) {
         if (auto s = check(agent, p); !s.ok()) {
             (dma ? stats_.dmaDenials : stats_.cpuDenials) += 1;
-            if (observer_)
-                observer_->onAccess(agent, p, /*isWrite=*/false, false);
+            notifyAccess(agent, p, addr, len, /*isWrite=*/false, false);
             return s.error();
         }
-        if (observer_)
-            observer_->onAccess(agent, p, /*isWrite=*/false, true);
+        notifyAccess(agent, p, addr, len, /*isWrite=*/false, true);
     }
     return memory_.read(addr, len);
 }
@@ -99,12 +141,12 @@ MemoryController::write(Agent agent, PhysAddr addr, const Bytes &data)
     for (PageNum p = first; p <= last; ++p) {
         if (auto s = check(agent, p); !s.ok()) {
             (dma ? stats_.dmaDenials : stats_.cpuDenials) += 1;
-            if (observer_)
-                observer_->onAccess(agent, p, /*isWrite=*/true, false);
+            notifyAccess(agent, p, addr, data.size(), /*isWrite=*/true,
+                         false);
             return s;
         }
-        if (observer_)
-            observer_->onAccess(agent, p, /*isWrite=*/true, true);
+        notifyAccess(agent, p, addr, data.size(), /*isWrite=*/true,
+                     true);
     }
     return memory_.write(addr, data);
 }

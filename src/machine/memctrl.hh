@@ -61,18 +61,27 @@ struct Agent
 };
 
 /**
- * Observer of every mediated access, page by page. The verify layer's
- * happens-before race detector implements this; the controller itself
- * never behaves differently with an observer attached.
+ * Observer of every mediated access, page chunk by page chunk. The
+ * verify layer's happens-before race detector, the telemetry session,
+ * and the side-channel audit adversaries all implement this; the
+ * controller itself never behaves differently with observers attached.
+ *
+ * An access spanning N pages produces N callbacks, each carrying the
+ * sub-page byte range [offset, offset + len) the access touches inside
+ * that page -- so an observer can reconstruct the victim's footprint at
+ * page granularity or refine it down to 64-byte cache lines (the
+ * granularities the leakage audit compares).
  */
 class MemAccessObserver
 {
   public:
     virtual ~MemAccessObserver() = default;
-    /** One page of one read/write: @p granted tells whether the
-     *  access-control check admitted it. */
-    virtual void onAccess(const Agent &agent, PageNum page, bool isWrite,
-                          bool granted) = 0;
+    /** One page chunk of one read/write: bytes [offset, offset + len)
+     *  within @p page; @p granted tells whether the access-control
+     *  check admitted it (a zero-length probe reports len == 0). */
+    virtual void onAccess(const Agent &agent, PageNum page,
+                          std::uint32_t offset, std::uint32_t len,
+                          bool isWrite, bool granted) = 0;
 };
 
 /** Per-page access-control state (Figure 5(b)). */
@@ -135,9 +144,21 @@ class MemoryController
     /** Access/denial counters (gem5-style observability). */
     const MemCtrlStats &stats() const { return stats_; }
 
-    /** Attach (or with nullptr detach) the access observer. */
-    void setAccessObserver(MemAccessObserver *obs) { observer_ = obs; }
-    MemAccessObserver *accessObserver() const { return observer_; }
+    /** @name Access-observer fan-out.
+     * Any number of observers may watch the mediated access stream
+     * concurrently (telemetry, the HB race detector, audit traces);
+     * each is notified in attach order for every page chunk. The old
+     * single-slot setAccessObserver() silently overwrote whichever
+     * observer attached first -- the footgun this multiplexer removes.
+     * @{ */
+    /** Attach @p obs (idempotent: re-adding an attached observer does
+     *  not duplicate its callbacks; nullptr is ignored). */
+    void addAccessObserver(MemAccessObserver *obs);
+    /** Detach @p obs (idempotent: unknown observers are ignored). */
+    void removeAccessObserver(MemAccessObserver *obs);
+    bool hasAccessObserver(const MemAccessObserver *obs) const;
+    std::size_t accessObserverCount() const { return observers_.size(); }
+    /** @} */
 
     /** Reset every protection (platform reboot). */
     void reset();
@@ -152,11 +173,17 @@ class MemoryController
     /** Can @p agent touch @p page right now? */
     Status check(Agent agent, PageNum page) const;
 
+    /** Fan the page chunk of [addr, addr+len) that lies inside @p page
+     *  out to every attached observer. */
+    void notifyAccess(const Agent &agent, PageNum page, PhysAddr addr,
+                      std::uint64_t len, bool isWrite,
+                      bool granted) const;
+
     PhysicalMemory &memory_;
     std::vector<bool> dev_;
     std::vector<AclEntry> acl_;
     mutable MemCtrlStats stats_;
-    MemAccessObserver *observer_ = nullptr;
+    std::vector<MemAccessObserver *> observers_;
 };
 
 } // namespace mintcb::machine

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Leakage-audit metrics bridge implementation.
+ */
+
+#include "obs/leakobs.hh"
+
+#include <cmath>
+
+namespace mintcb::obs
+{
+
+void
+publishLeakMatrix(MetricsRegistry &registry,
+                  const verify::LeakMatrix &matrix)
+{
+    registry
+        .gauge("mintcb_audit_secret_runs",
+               "Secrets per backend the leakage audit scored (K)")
+        .set(static_cast<double>(matrix.secrets));
+    registry
+        .gauge("mintcb_audit_max_bits",
+               "Score ceiling of the audit: log2(K) bits")
+        .set(matrix.secrets > 0
+                 ? std::log2(static_cast<double>(matrix.secrets))
+                 : 0.0);
+
+    for (const verify::LeakCell &cell : matrix.cells) {
+        const Labels labels = {
+            {"adversary", verify::adversaryName(cell.adversary)},
+            {"backend", cell.backend},
+            {"granularity",
+             verify::granularityName(matrix.granularity)},
+        };
+        registry
+            .gauge("mintcb_audit_leaked_bits",
+                   "Estimated bits of the secret this adversary's view "
+                   "distinguishes on this backend",
+                   labels)
+            .set(cell.score.bits);
+        registry
+            .gauge("mintcb_audit_view_bytes",
+                   "Serialized adversary view volume across the "
+                   "audit's runs",
+                   labels)
+            .set(static_cast<double>(cell.viewBytes));
+    }
+}
+
+} // namespace mintcb::obs

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Bridge from the leakage audit (verify/leakage.hh) into the metrics
+ * registry, so a scrape of a long-running campaign carries the current
+ * side-channel posture next to the latency and throughput series: one
+ * gauge per (backend, adversary) cell. A widening channel then shows
+ * up on the same dashboards that watch performance regressions.
+ */
+
+#ifndef MINTCB_OBS_LEAKOBS_HH
+#define MINTCB_OBS_LEAKOBS_HH
+
+#include "obs/metrics.hh"
+#include "verify/leakage.hh"
+
+namespace mintcb::obs
+{
+
+/**
+ * Publish @p matrix into @p registry:
+ *
+ *  - mintcb_audit_leaked_bits{backend,adversary}: the cell's estimated
+ *    mutual information (bits of the secret the adversary's view
+ *    distinguishes);
+ *  - mintcb_audit_view_bytes{backend,adversary}: total serialized view
+ *    volume the adversary recorded across the K runs;
+ *  - mintcb_audit_secret_runs / mintcb_audit_max_bits: the audit's K
+ *    and its log2(K) ceiling (score denominators).
+ *
+ * Re-publishing overwrites the same series (gauges), so the registry
+ * always reflects the latest audit.
+ */
+void publishLeakMatrix(MetricsRegistry &registry,
+                       const verify::LeakMatrix &matrix);
+
+} // namespace mintcb::obs
+
+#endif // MINTCB_OBS_LEAKOBS_HH

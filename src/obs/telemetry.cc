@@ -67,7 +67,7 @@ TelemetrySession::attachExecutive(rec::SecureExecutive &exec)
 {
     exec_ = &exec;
     exec.setSyncObserver(this);
-    machine_.memctrl().setAccessObserver(this);
+    machine_.memctrl().addAccessObserver(this);
     machine_.lpc().setObserver(this);
     if (machine_.hasTpm())
         machine_.tpm().setCommandObserver(this);
@@ -86,8 +86,7 @@ TelemetrySession::detach()
         service_->setObserver(nullptr);
     if (exec_ && exec_->syncObserver() == this)
         exec_->setSyncObserver(nullptr);
-    if (machine_.memctrl().accessObserver() == this)
-        machine_.memctrl().setAccessObserver(nullptr);
+    machine_.memctrl().removeAccessObserver(this);
     if (machine_.lpc().observer() == this)
         machine_.lpc().setObserver(nullptr);
     if (machine_.hasTpm() && machine_.tpm().commandObserver() == this)
@@ -355,10 +354,13 @@ TelemetrySession::onShardCommit(std::uint32_t shard,
 
 void
 TelemetrySession::onAccess(const machine::Agent &agent, PageNum page,
+                           std::uint32_t offset, std::uint32_t len,
                            bool isWrite, bool granted)
 {
     (void)agent;
     (void)page;
+    (void)offset;
+    (void)len;
     (void)isWrite;
     (granted ? memGranted_ : memDenied_)->inc();
 }

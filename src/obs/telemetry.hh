@@ -104,7 +104,8 @@ class TelemetrySession final : public rec::ExecSyncObserver,
 
     /** @name machine::MemAccessObserver @{ */
     void onAccess(const machine::Agent &agent, PageNum page,
-                  bool isWrite, bool granted) override;
+                  std::uint32_t offset, std::uint32_t len, bool isWrite,
+                  bool granted) override;
     /** @} */
 
     /** @name machine::LpcObserver @{ */

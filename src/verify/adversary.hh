@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The leakage audit's adversary models.
+ *
+ * The five backends in the zoo expose very different observation
+ * surfaces to the untrusted platform (the per-architecture differences
+ * the TEE SoK catalogs: EPC paging vs. nested-page exits vs. SMC world
+ * switches). The audit quantifies them by playing three concrete
+ * adversaries -- in increasing order of power -- against the same
+ * victim run and scoring what each one's *view* distinguishes:
+ *
+ *  1. page-trace: a passive sweep of the page tables (accessed/dirty
+ *     bits, EPC resident set). Periodic sweeping recovers *which*
+ *     pages (or, at cache-line granularity, which lines -- a
+ *     Prime+Probe residue) the victim touched, but neither order nor
+ *     multiplicity: its view is the unordered touch footprint.
+ *
+ *  2. ctrl-channel: the controlled-channel / pigeonhole adversary (Xu
+ *     et al.): it unmaps the window and induces a fault on every
+ *     first touch, re-protecting behind the victim, so it observes the
+ *     ordered *fault chain*. Two consecutive touches of the same unit
+ *     cannot both fault (the unit must be mapped for the victim to
+ *     make progress), so the view is the ordered sequence with
+ *     consecutive repeats collapsed.
+ *
+ *  3. single-step: the SEV-Step-style interrupt adversary: an APIC
+ *     timer cadence subdivides the victim's protected execution into
+ *     stepped windows, attributing every touch -- order, multiplicity
+ *     *and* coarse timing -- to the window it happened in. This is the
+ *     finest view: it refines the fault chain with repeat counts and
+ *     inter-access progress.
+ *
+ * Every adversary canonicalizes what it learned into a byte string
+ * (view()): two runs are indistinguishable to that adversary exactly
+ * when their views are byte-equal, which is what the equivalence-class
+ * entropy in verify/leakage.hh scores.
+ */
+
+#ifndef MINTCB_VERIFY_ADVERSARY_HH
+#define MINTCB_VERIFY_ADVERSARY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+#include "machine/machine.hh"
+#include "verify/sidechannel.hh"
+
+namespace mintcb::verify
+{
+
+/** The three observer models the leakage matrix compares. */
+enum class AdversaryKind
+{
+    pageTrace,         //!< passive footprint sweep
+    controlledChannel, //!< induced page-fault chains
+    singleStep,        //!< interrupt-cadence stepping
+};
+
+/** Stable matrix label ("page-trace", "ctrl-channel", "single-step"). */
+const char *adversaryName(AdversaryKind kind);
+
+/** Every kind, in fixed matrix column order. */
+inline constexpr AdversaryKind adversaryKinds[] = {
+    AdversaryKind::pageTrace,
+    AdversaryKind::controlledChannel,
+    AdversaryKind::singleStep,
+};
+
+/**
+ * A recording adversary: attach to the victim's machine, run the
+ * victim, take the canonical view. Adversaries are pure observers --
+ * they join the memory controller's fan-out and never perturb the
+ * simulation, so reports stay byte-identical with any number of them
+ * attached (the audit test suite proves this).
+ */
+class Adversary
+{
+  public:
+    virtual ~Adversary() = default;
+
+    virtual AdversaryKind kind() const = 0;
+
+    /** Join @p machine's access-observer fan-out. */
+    virtual void attach(machine::Machine &machine) = 0;
+    /** Leave the fan-out (idempotent). */
+    virtual void detach() = 0;
+    /** Forget everything recorded (window and config stay). */
+    virtual void clear() = 0;
+
+    /** Canonical serialization of everything this adversary learned
+     *  from the run so far: byte-equal views mean the two runs are
+     *  indistinguishable to this adversary. */
+    virtual Bytes view() const = 0;
+};
+
+/** Interrupt cadence of the single-step adversary: the stepped-window
+ *  width its APIC timer imposes on the victim's virtual clock. */
+inline constexpr Duration singleStepCadence = Duration::micros(5);
+
+/** Build the @p kind adversary watching pages [first_page, last_page]
+ *  at @p granularity. */
+std::unique_ptr<Adversary> makeAdversary(AdversaryKind kind,
+                                         PageNum first_page,
+                                         PageNum last_page,
+                                         Granularity granularity);
+
+} // namespace mintcb::verify
+
+#endif // MINTCB_VERIFY_ADVERSARY_HH

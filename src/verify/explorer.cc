@@ -47,7 +47,11 @@ Counterexample::str() const
     std::string out = "counterexample (" +
                       std::to_string(trace.size()) + " steps):\n";
     for (std::size_t i = 0; i < trace.size(); ++i) {
-        out += "  " + std::to_string(i + 1) + ". " + trace[i] + "\n";
+        out += "  ";
+        out += std::to_string(i + 1);
+        out += ". ";
+        out += trace[i];
+        out += '\n';
     }
     out += "violation: " + violation + "\n";
     out += "state:\n" + stateDump + "\n";

@@ -296,25 +296,37 @@ WorldSnapshot::str() const
 {
     std::string out = "pages:";
     for (PageNum p = 0; p < pages.size(); ++p) {
-        out += " " + std::to_string(p) + "=" +
-               pageStateName(pages[p].state);
-        if (pages[p].ownerMask)
-            out += "/m" + std::to_string(pages[p].ownerMask);
+        out += ' ';
+        out += std::to_string(p);
+        out += '=';
+        out += pageStateName(pages[p].state);
+        if (pages[p].ownerMask) {
+            out += "/m";
+            out += std::to_string(pages[p].ownerMask);
+        }
     }
     out += "\nsePCRs:";
     for (std::size_t h = 0; h < sePcrs.size(); ++h) {
-        out += " " + std::to_string(h) + "=" +
-               rec::sePcrStateName(sePcrs[h].state);
+        out += ' ';
+        out += std::to_string(h);
+        out += '=';
+        out += rec::sePcrStateName(sePcrs[h].state);
     }
     out += "\nPALs:";
     for (std::size_t i = 0; i < pals.size(); ++i) {
         const PalView &pal = pals[i];
-        out += " " + std::to_string(i) + "=" +
-               rec::palStateName(pal.state);
-        if (pal.runningOn)
-            out += "@cpu" + std::to_string(*pal.runningOn);
-        if (pal.sePcr)
-            out += "/sePCR" + std::to_string(*pal.sePcr);
+        out += ' ';
+        out += std::to_string(i);
+        out += '=';
+        out += rec::palStateName(pal.state);
+        if (pal.runningOn) {
+            out += "@cpu";
+            out += std::to_string(*pal.runningOn);
+        }
+        if (pal.sePcr) {
+            out += "/sePCR";
+            out += std::to_string(*pal.sePcr);
+        }
     }
     return out;
 }

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Leakage audit implementation.
+ */
+
+#include "verify/leakage.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "common/rng.hh"
+#include "sea/pal.hh"
+
+namespace mintcb::verify
+{
+
+namespace
+{
+
+/** The audit victim's execution shape (matching the cost-matrix bench
+ *  so audited backends run a representative workload). */
+constexpr Duration victimCompute = Duration::millis(1);
+constexpr std::size_t victimDataPages = 4;
+constexpr std::size_t victimSlbBytes = 4 * 1024;
+
+/** The victim: charge fixed compute and echo the secret. Its *output*
+ *  is the same function of the input everywhere; what differs between
+ *  backends is which memory the run touches along the way. */
+sea::PalRequest
+victimRequest(Bytes secret)
+{
+    sea::PalRequest req(
+        sea::Pal::fromLogic("audit-victim", victimSlbBytes,
+                            [](sea::PalContext &ctx) {
+                                ctx.compute(victimCompute);
+                                ctx.setOutput(ctx.input());
+                                return okStatus();
+                            }),
+        std::move(secret));
+    req.dataPages = victimDataPages;
+    req.slicedCompute = victimCompute;
+    req.secureBody = [](rec::PalHooks &,
+                        const Bytes &in) -> Result<Bytes> { return in; };
+    req.wantQuote = false;
+    return req;
+}
+
+double
+log2Of(double x)
+{
+    return std::log2(x);
+}
+
+} // namespace
+
+std::string
+LeakScore::str() const
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(2) << bits << " of "
+        << maxBits << " bits (" << classes << " classes / " << secrets
+        << " runs)";
+    return out.str();
+}
+
+LeakScore
+scoreViews(const std::vector<Bytes> &views)
+{
+    LeakScore score;
+    score.secrets = views.size();
+    if (views.size() < 2) {
+        score.classes = views.size();
+        return score;
+    }
+    std::map<Bytes, std::size_t> classes;
+    for (const Bytes &v : views)
+        ++classes[v];
+    score.classes = classes.size();
+    const auto k = static_cast<double>(views.size());
+    score.maxBits = log2Of(k);
+    double conditional = 0.0; // H(secret | view), uniform prior
+    for (const auto &[view, size] : classes) {
+        (void)view;
+        const auto c = static_cast<double>(size);
+        conditional += (c / k) * log2Of(c);
+    }
+    score.bits = score.maxBits - conditional;
+    if (score.bits < 0.0)
+        score.bits = 0.0;
+    return score;
+}
+
+const LeakCell *
+LeakMatrix::cell(const std::string &backend, AdversaryKind kind) const
+{
+    for (const LeakCell &c : cells) {
+        if (c.backend == backend && c.adversary == kind)
+            return &c;
+    }
+    return nullptr;
+}
+
+double
+LeakMatrix::bits(const std::string &backend, AdversaryKind kind) const
+{
+    const LeakCell *c = cell(backend, kind);
+    return c != nullptr ? c->score.bits : 0.0;
+}
+
+std::string
+LeakMatrix::str() const
+{
+    std::ostringstream out;
+    out << "leakage matrix (" << granularityName(granularity)
+        << " granularity, " << secrets << " secrets, max "
+        << std::fixed << std::setprecision(2)
+        << log2Of(static_cast<double>(secrets ? secrets : 1))
+        << " bits)\n";
+    out << std::left << std::setw(14) << "backend";
+    for (AdversaryKind kind : adversaryKinds)
+        out << std::right << std::setw(14) << adversaryName(kind);
+    out << '\n';
+    std::vector<std::string> backends;
+    for (const LeakCell &c : cells) {
+        if (backends.empty() || backends.back() != c.backend)
+            backends.push_back(c.backend);
+    }
+    for (const std::string &name : backends) {
+        out << std::left << std::setw(14) << name;
+        for (AdversaryKind kind : adversaryKinds) {
+            const LeakCell *c = cell(name, kind);
+            out << std::right << std::setw(14);
+            if (c != nullptr) {
+                std::ostringstream v;
+                v << std::fixed << std::setprecision(2)
+                  << c->score.bits;
+                out << v.str();
+            } else {
+                out << "-";
+            }
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+Bytes
+auditSecret(const AuditConfig &config, std::size_t k)
+{
+    // splitmix-style mix so adjacent k produce unrelated streams.
+    Rng rng(config.seed ^
+            (0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(k) + 1)));
+    return rng.bytes(config.secretBytes);
+}
+
+Result<LeakMatrix>
+auditLeakage(const backend::BackendRegistry &registry,
+             const AuditConfig &config)
+{
+    using machine::Machine;
+    using machine::PlatformId;
+
+    std::vector<std::string> names =
+        config.backends.empty() ? registry.names() : config.backends;
+    for (const std::string &name : names) {
+        if (!registry.has(name)) {
+            return Error(Errc::notFound,
+                         "unknown backend '" + name + "'");
+        }
+    }
+
+    LeakMatrix matrix;
+    matrix.granularity = config.granularity;
+    matrix.secrets = config.secrets;
+    matrix.seed = config.seed;
+
+    // The adversaries watch all of RAM: the audit compares observer
+    // *power*, not window placement, so nothing the victim touches is
+    // out of scope.
+    const std::uint64_t ramPages =
+        Machine::forPlatform(PlatformId::recTestbed, config.seed)
+            .memctrl()
+            .pages();
+    const PageNum lastPage =
+        ramPages > 0 ? static_cast<PageNum>(ramPages - 1) : 0;
+
+    constexpr std::size_t kinds =
+        sizeof(adversaryKinds) / sizeof(adversaryKinds[0]);
+
+    for (const std::string &name : names) {
+        const backend::Backend *backend = registry.find(name);
+
+        std::unique_ptr<Adversary> adversaries[kinds];
+        std::vector<Bytes> views[kinds];
+        for (std::size_t a = 0; a < kinds; ++a) {
+            adversaries[a] = makeAdversary(adversaryKinds[a], 0,
+                                           lastPage,
+                                           config.granularity);
+        }
+
+        for (std::size_t k = 0; k < config.secrets; ++k) {
+            // Every run starts from the identical platform state: the
+            // same-seed machine. Only the secret differs, so any view
+            // difference is caused by the secret.
+            Machine m = Machine::forPlatform(PlatformId::recTestbed,
+                                            config.seed);
+            for (auto &adv : adversaries) {
+                adv->clear();
+                adv->attach(m);
+            }
+            sea::PalRequest req = victimRequest(auditSecret(config, k));
+            req.backend = name;
+            auto report = backend->run(m, req, /*cpu=*/1);
+            for (auto &adv : adversaries)
+                adv->detach();
+            if (!report.ok())
+                return report.error();
+            if (!report->status.ok()) {
+                return Error(report->status.error().code,
+                             "victim PAL failed on '" + name +
+                                 "': " + report->status.error().message);
+            }
+            for (std::size_t a = 0; a < kinds; ++a)
+                views[a].push_back(adversaries[a]->view());
+        }
+
+        for (std::size_t a = 0; a < kinds; ++a) {
+            LeakCell cell;
+            cell.backend = name;
+            cell.adversary = adversaryKinds[a];
+            cell.score = scoreViews(views[a]);
+            for (const Bytes &v : views[a])
+                cell.viewBytes += v.size();
+            matrix.cells.push_back(std::move(cell));
+        }
+    }
+    return matrix;
+}
+
+} // namespace mintcb::verify

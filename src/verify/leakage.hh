@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Quantitative leakage scoring across the TEE backend zoo.
+ *
+ * The audit runs the same victim workload under K distinct secret
+ * inputs on every registered backend, with the three adversary models
+ * (verify/adversary.hh) recording concurrently, and estimates how many
+ * bits of the secret each adversary's view reveals.
+ *
+ * Scoring is trace-equivalence-class entropy: with a uniform prior
+ * over the K secrets, the mutual information between secret and view
+ * is
+ *
+ *     I(secret; view) = log2(K) - sum_c (|c| / K) * log2(|c|)
+ *
+ * where c ranges over the equivalence classes of byte-equal views. K
+ * singleton classes (every secret distinguishable) leak the full
+ * log2(K) bits; one class of K (all secrets indistinguishable) leaks
+ * zero. The per-backend x per-adversary matrix of these scores is what
+ * tools/mintcb-audit emits and CI regression-gates against a committed
+ * baseline, so a refactor that widens a channel fails loudly.
+ */
+
+#ifndef MINTCB_VERIFY_LEAKAGE_HH
+#define MINTCB_VERIFY_LEAKAGE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "backend/registry.hh"
+#include "common/result.hh"
+#include "common/types.hh"
+#include "verify/adversary.hh"
+
+namespace mintcb::verify
+{
+
+/** Uniform-prior mutual-information estimate over one cell's views. */
+struct LeakScore
+{
+    std::size_t secrets = 0; //!< K: victim runs scored
+    std::size_t classes = 0; //!< distinct adversary views among them
+    double bits = 0.0;       //!< log2(K) - sum (|c|/K) log2|c|
+    double maxBits = 0.0;    //!< log2(K): ceiling for this K
+
+    /** One-line "b of m bits (c classes / K runs)" rendering. */
+    std::string str() const;
+};
+
+/** Score one view per secret: equal byte strings are one equivalence
+ *  class. Pure function; K = 0 and K = 1 score zero bits. */
+LeakScore scoreViews(const std::vector<Bytes> &views);
+
+/** One backend x adversary cell of the matrix. */
+struct LeakCell
+{
+    std::string backend;
+    AdversaryKind adversary = AdversaryKind::pageTrace;
+    LeakScore score;
+    std::uint64_t viewBytes = 0; //!< total view volume (observability)
+};
+
+/** The per-backend x per-adversary leakage matrix. */
+struct LeakMatrix
+{
+    Granularity granularity = Granularity::page;
+    std::size_t secrets = 0;
+    std::uint64_t seed = 0;
+    /** Backend-major (registry order), adversary-minor (kind order). */
+    std::vector<LeakCell> cells;
+
+    /** The cell for (@p backend, @p kind), or nullptr. */
+    const LeakCell *cell(const std::string &backend,
+                         AdversaryKind kind) const;
+    /** Leaked bits for (@p backend, @p kind); 0 when absent. */
+    double bits(const std::string &backend, AdversaryKind kind) const;
+
+    /** Human-readable table (one row per backend). */
+    std::string str() const;
+};
+
+/** What to audit and how hard. Every field is deterministic input:
+ *  two audits with equal configs produce byte-equal matrices. */
+struct AuditConfig
+{
+    /** K: secrets per backend. Leak scores saturate at log2(K). */
+    std::size_t secrets = 16;
+    /** All secrets share this length so only *content* varies (a
+     *  length channel would leak through every model trivially). */
+    std::size_t secretBytes = 16;
+    Granularity granularity = Granularity::page;
+    /** Seeds the secret inputs and the victim machines. */
+    std::uint64_t seed = 0x617564697431ull; // "audit1"
+    /** Backends to audit; empty means every registered backend. */
+    std::vector<std::string> backends;
+};
+
+/** The deterministic secret input for run @p k (a pure function of
+ *  (config.seed, k), shared by every backend and adversary). */
+Bytes auditSecret(const AuditConfig &config, std::size_t k);
+
+/**
+ * Run the audit: for every selected backend, run the echo victim under
+ * K secrets on fresh same-seed machines with all three adversaries
+ * attached (through the memory controller's observer fan-out), and
+ * score each adversary's K views. Fails if a backend name is unknown
+ * or a victim run errors.
+ */
+Result<LeakMatrix> auditLeakage(const backend::BackendRegistry &registry,
+                                const AuditConfig &config);
+
+} // namespace mintcb::verify
+
+#endif // MINTCB_VERIFY_LEAKAGE_HH

@@ -29,8 +29,8 @@ HbRaceDetector::HbRaceDetector(std::size_t cpus)
 
 HbRaceDetector::~HbRaceDetector()
 {
-    if (ctrl_ && ctrl_->accessObserver() == this)
-        ctrl_->setAccessObserver(nullptr);
+    if (ctrl_)
+        ctrl_->removeAccessObserver(this);
     if (exec_ && exec_->syncObserver() == this)
         exec_->setSyncObserver(nullptr);
 }
@@ -39,7 +39,7 @@ void
 HbRaceDetector::attach(machine::MemoryController &ctrl)
 {
     ctrl_ = &ctrl;
-    ctrl.setAccessObserver(this);
+    ctrl.addAccessObserver(this);
 }
 
 void
@@ -68,8 +68,14 @@ HbRaceDetector::report(PageNum page, CpuId firstCpu, bool firstIsWrite,
 
 void
 HbRaceDetector::onAccess(const machine::Agent &agent, PageNum page,
+                         std::uint32_t offset, std::uint32_t len,
                          bool isWrite, bool granted)
 {
+    // The happens-before discipline is page-granular (ownership moves
+    // whole pages through the ACL table), so the sub-page range only
+    // matters to the leakage audit, not to race detection.
+    (void)offset;
+    (void)len;
     // Only granted CPU accesses participate: a denied access never
     // touches memory, and DMA ordering is the DEV's problem, not the
     // inter-CPU discipline this detector checks.

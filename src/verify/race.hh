@@ -65,13 +65,15 @@ class HbRaceDetector : public machine::MemAccessObserver,
     HbRaceDetector(const HbRaceDetector &) = delete;
     HbRaceDetector &operator=(const HbRaceDetector &) = delete;
 
-    /** Start observing @p ctrl (replaces any previous observer). */
+    /** Start observing @p ctrl (joins its observer fan-out; other
+     *  observers keep seeing the stream too). */
     void attach(machine::MemoryController &ctrl);
     /** Start observing @p exec's synchronization points. */
     void attach(rec::SecureExecutive &exec);
 
     /** @name Observer entry points. @{ */
-    void onAccess(const machine::Agent &agent, PageNum page, bool isWrite,
+    void onAccess(const machine::Agent &agent, PageNum page,
+                  std::uint32_t offset, std::uint32_t len, bool isWrite,
                   bool granted) override;
     void onPalEvent(rec::ExecEvent event, CpuId cpu,
                     const rec::Secb &secb) override;

@@ -11,6 +11,12 @@
 namespace mintcb::verify
 {
 
+const char *
+granularityName(Granularity g)
+{
+    return g == Granularity::page ? "page" : "cache-line";
+}
+
 std::string
 LeakReport::str() const
 {

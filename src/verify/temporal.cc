@@ -26,8 +26,11 @@ TemporalReport::str() const
         return "all temporal properties hold";
     std::string out =
         std::to_string(findings.size()) + " temporal finding(s):\n";
-    for (const TemporalFinding &f : findings)
-        out += "  " + f.str() + "\n";
+    for (const TemporalFinding &f : findings) {
+        out += "  ";
+        out += f.str();
+        out += '\n';
+    }
     return out;
 }
 

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Leakage-audit unit tests: the equivalence-class entropy math, the
+ * three adversaries' view semantics (footprint vs. fault chain vs.
+ * stepped windows), and the five-backend matrix's acceptance
+ * inequalities -- sgx leaks strictly more to the controlled-channel
+ * adversary than to page tracing, every row is monotone in adversary
+ * power, the non-probing backends leak nothing, and the whole matrix
+ * is deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "backend/registry.hh"
+#include "verify/leakage.hh"
+
+namespace mintcb::verify
+{
+namespace
+{
+
+using backend::BackendRegistry;
+using machine::Machine;
+using machine::PlatformId;
+
+// ------------------------------------------------------------- scoring
+
+TEST(ScoreViews, AllDistinctViewsLeakEverything)
+{
+    const std::vector<Bytes> views{{1}, {2}, {3}, {4}};
+    const LeakScore s = scoreViews(views);
+    EXPECT_EQ(s.secrets, 4u);
+    EXPECT_EQ(s.classes, 4u);
+    EXPECT_DOUBLE_EQ(s.bits, 2.0);
+    EXPECT_DOUBLE_EQ(s.maxBits, 2.0);
+    EXPECT_FALSE(s.str().empty());
+}
+
+TEST(ScoreViews, IdenticalViewsLeakNothing)
+{
+    const std::vector<Bytes> views(8, Bytes{7, 7, 7});
+    const LeakScore s = scoreViews(views);
+    EXPECT_EQ(s.classes, 1u);
+    EXPECT_DOUBLE_EQ(s.bits, 0.0);
+    EXPECT_DOUBLE_EQ(s.maxBits, 3.0);
+}
+
+TEST(ScoreViews, TwoEqualClassesLeakOneBit)
+{
+    const std::vector<Bytes> views{{1}, {1}, {2}, {2}};
+    const LeakScore s = scoreViews(views);
+    EXPECT_EQ(s.classes, 2u);
+    EXPECT_DOUBLE_EQ(s.bits, 1.0);
+}
+
+TEST(ScoreViews, DegenerateInputsScoreZeroBits)
+{
+    const LeakScore none = scoreViews({});
+    EXPECT_EQ(none.secrets, 0u);
+    EXPECT_DOUBLE_EQ(none.bits, 0.0);
+
+    const LeakScore one = scoreViews({Bytes{42}});
+    EXPECT_EQ(one.secrets, 1u);
+    EXPECT_DOUBLE_EQ(one.bits, 0.0);
+    EXPECT_DOUBLE_EQ(one.maxBits, 0.0);
+}
+
+TEST(AuditSecret, DeterministicDistinctAndFixedLength)
+{
+    AuditConfig cfg;
+    for (std::size_t k = 0; k < cfg.secrets; ++k) {
+        const Bytes s = auditSecret(cfg, k);
+        EXPECT_EQ(s.size(), cfg.secretBytes);
+        EXPECT_EQ(s, auditSecret(cfg, k)) << "k=" << k;
+        for (std::size_t j = 0; j < k; ++j)
+            EXPECT_NE(s, auditSecret(cfg, j))
+                << "secrets " << j << " and " << k << " collide";
+    }
+    AuditConfig other = cfg;
+    other.seed ^= 1;
+    EXPECT_NE(auditSecret(cfg, 0), auditSecret(other, 0));
+}
+
+// --------------------------------------------------- adversary views
+
+/** Run @p accesses (page numbers; negative step marker advances the
+ *  CPU clock) against a fresh machine with one @p kind adversary
+ *  attached, and return its canonical view. */
+Bytes
+viewOf(AdversaryKind kind, const std::vector<int> &accesses)
+{
+    Machine m = Machine::forPlatform(PlatformId::recTestbed);
+    auto adv = makeAdversary(kind, 0, 100, Granularity::page);
+    adv->attach(m);
+    for (int a : accesses) {
+        if (a < 0) {
+            m.cpu(0).advance(Duration::micros(12));
+            continue;
+        }
+        EXPECT_TRUE(
+            m.readAs(0, pageBase(static_cast<PageNum>(a)), 8).ok());
+    }
+    Bytes v = adv->view();
+    adv->detach();
+    return v;
+}
+
+TEST(AdversaryViews, PageTraceIsAnUnorderedFootprint)
+{
+    // Order and multiplicity are invisible to an A/D-bit sweep...
+    EXPECT_EQ(viewOf(AdversaryKind::pageTrace, {3, 5, 3}),
+              viewOf(AdversaryKind::pageTrace, {5, 3}));
+    // ...but the footprint itself distinguishes.
+    EXPECT_NE(viewOf(AdversaryKind::pageTrace, {3}),
+              viewOf(AdversaryKind::pageTrace, {3, 5}));
+}
+
+TEST(AdversaryViews, ControlledChannelSeesCollapsedFaultChains)
+{
+    // Consecutive touches of a mapped page cannot refault...
+    EXPECT_EQ(viewOf(AdversaryKind::controlledChannel, {3, 3, 5}),
+              viewOf(AdversaryKind::controlledChannel, {3, 5}));
+    // ...but a revisit after leaving the page faults again, so order
+    // (which the footprint erases) is visible here.
+    EXPECT_NE(viewOf(AdversaryKind::controlledChannel, {3, 5, 3}),
+              viewOf(AdversaryKind::controlledChannel, {3, 5}));
+    EXPECT_NE(viewOf(AdversaryKind::controlledChannel, {3, 5}),
+              viewOf(AdversaryKind::controlledChannel, {5, 3}));
+}
+
+TEST(AdversaryViews, SingleStepSeesMultiplicityAndTiming)
+{
+    // Repeat counts, invisible to the fault chain, are visible here...
+    EXPECT_NE(viewOf(AdversaryKind::singleStep, {3, 3}),
+              viewOf(AdversaryKind::singleStep, {3}));
+    // ...and so is execution progress between touches: the same touch
+    // sequence with the victim's clock advanced past the interrupt
+    // cadence lands in a later stepped window.
+    EXPECT_NE(viewOf(AdversaryKind::singleStep, {3, -1, 3}),
+              viewOf(AdversaryKind::singleStep, {3, 3}));
+}
+
+TEST(AdversaryViews, AccessesOutsideTheWindowAreInvisible)
+{
+    Machine m = Machine::forPlatform(PlatformId::recTestbed);
+    for (AdversaryKind kind : adversaryKinds) {
+        auto adv = makeAdversary(kind, /*first_page=*/4,
+                                 /*last_page=*/6, Granularity::page);
+        adv->attach(m);
+        const Bytes quiet = adv->view();
+        ASSERT_TRUE(m.readAs(0, pageBase(2), 8).ok());
+        ASSERT_TRUE(m.readAs(0, pageBase(9), 8).ok());
+        EXPECT_EQ(adv->view(), quiet) << adversaryName(kind);
+        ASSERT_TRUE(m.readAs(0, pageBase(5), 8).ok());
+        EXPECT_NE(adv->view(), quiet) << adversaryName(kind);
+        adv->clear();
+        EXPECT_EQ(adv->view(), quiet) << adversaryName(kind);
+        adv->detach();
+    }
+}
+
+TEST(AdversaryViews, NamesAndKindOrderAreStable)
+{
+    EXPECT_STREQ(adversaryName(AdversaryKind::pageTrace),
+                 "page-trace");
+    EXPECT_STREQ(adversaryName(AdversaryKind::controlledChannel),
+                 "ctrl-channel");
+    EXPECT_STREQ(adversaryName(AdversaryKind::singleStep),
+                 "single-step");
+    ASSERT_EQ(std::size(adversaryKinds), 3u);
+    for (AdversaryKind kind : adversaryKinds) {
+        auto adv = makeAdversary(kind, 0, 1, Granularity::page);
+        ASSERT_NE(adv, nullptr);
+        EXPECT_EQ(adv->kind(), kind);
+    }
+}
+
+// ------------------------------------------------------------- matrix
+
+/** One shared page-granularity audit of the standard zoo (the tests
+ *  below only read it). */
+const Result<LeakMatrix> &
+zooMatrix()
+{
+    static const Result<LeakMatrix> matrix =
+        auditLeakage(BackendRegistry::standard(), AuditConfig{});
+    return matrix;
+}
+
+TEST(AuditLeakage, MatrixIsBackendMajorInRegistryOrder)
+{
+    const auto &matrix = zooMatrix();
+    ASSERT_TRUE(matrix.ok()) << matrix.error().str();
+    const std::vector<std::string> names =
+        BackendRegistry::standard().names();
+    ASSERT_EQ(matrix->cells.size(), names.size() * 3);
+    for (std::size_t b = 0; b < names.size(); ++b) {
+        for (std::size_t a = 0; a < 3; ++a) {
+            const LeakCell &cell = matrix->cells[b * 3 + a];
+            EXPECT_EQ(cell.backend, names[b]);
+            EXPECT_EQ(cell.adversary, adversaryKinds[a]);
+            EXPECT_EQ(cell.score.secrets, matrix->secrets);
+        }
+    }
+    EXPECT_EQ(matrix->secrets, AuditConfig{}.secrets);
+    EXPECT_EQ(matrix->granularity, Granularity::page);
+    EXPECT_NE(matrix->str().find("sgx"), std::string::npos);
+}
+
+TEST(AuditLeakage, CellLookupHandlesUnknownKeys)
+{
+    const auto &matrix = zooMatrix();
+    ASSERT_TRUE(matrix.ok());
+    EXPECT_NE(matrix->cell("sgx", AdversaryKind::pageTrace), nullptr);
+    EXPECT_EQ(matrix->cell("morello", AdversaryKind::pageTrace),
+              nullptr);
+    EXPECT_DOUBLE_EQ(
+        matrix->bits("morello", AdversaryKind::singleStep), 0.0);
+}
+
+TEST(AuditLeakage, SgxLeaksStrictlyMoreToControlledChannel)
+{
+    // The acceptance inequality: the footprint of sgx's data-dependent
+    // probes nearly saturates its 4-page window (telling the sweep
+    // almost nothing), while the *ordered* fault chain separates every
+    // secret -- the pigeonhole result this model reproduces.
+    const auto &matrix = zooMatrix();
+    ASSERT_TRUE(matrix.ok());
+    const double page =
+        matrix->bits("sgx", AdversaryKind::pageTrace);
+    const double chain =
+        matrix->bits("sgx", AdversaryKind::controlledChannel);
+    EXPECT_GT(chain, page);
+    EXPECT_DOUBLE_EQ(
+        chain, std::log2(static_cast<double>(matrix->secrets)))
+        << "fault chains should separate all " << matrix->secrets
+        << " secrets";
+    EXPECT_GT(matrix->bits("vm-tee", AdversaryKind::controlledChannel),
+              matrix->bits("vm-tee", AdversaryKind::pageTrace));
+}
+
+TEST(AuditLeakage, RowsAreMonotoneInAdversaryPower)
+{
+    // single-step refines ctrl-channel refines page-trace: a strictly
+    // stronger observer can never learn *less*.
+    const auto &matrix = zooMatrix();
+    ASSERT_TRUE(matrix.ok());
+    for (const std::string &name :
+         BackendRegistry::standard().names()) {
+        const double page =
+            matrix->bits(name, AdversaryKind::pageTrace);
+        const double chain =
+            matrix->bits(name, AdversaryKind::controlledChannel);
+        const double step =
+            matrix->bits(name, AdversaryKind::singleStep);
+        EXPECT_LE(page, chain) << name;
+        EXPECT_LE(chain, step) << name;
+        EXPECT_LE(step, matrix->cells[0].score.maxBits + 1e-9) << name;
+    }
+}
+
+TEST(AuditLeakage, NonProbingBackendsLeakNothing)
+{
+    // sea-oneshot, rec-service and trustzone move the secret only
+    // through fixed-address, fixed-length transfers: every adversary's
+    // view is secret-independent, so all nine cells are exactly zero
+    // (the structural expectation the bench gate freezes).
+    const auto &matrix = zooMatrix();
+    ASSERT_TRUE(matrix.ok());
+    for (const char *name :
+         {"sea-oneshot", "rec-service", "trustzone"}) {
+        for (AdversaryKind kind : adversaryKinds) {
+            EXPECT_DOUBLE_EQ(matrix->bits(name, kind), 0.0)
+                << name << " / " << adversaryName(kind);
+        }
+    }
+}
+
+TEST(AuditLeakage, EqualConfigsProduceByteEqualMatrices)
+{
+    AuditConfig cfg;
+    cfg.secrets = 6;
+    const auto a = auditLeakage(BackendRegistry::standard(), cfg);
+    const auto b = auditLeakage(BackendRegistry::standard(), cfg);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->cells.size(), b->cells.size());
+    for (std::size_t i = 0; i < a->cells.size(); ++i) {
+        EXPECT_EQ(a->cells[i].backend, b->cells[i].backend);
+        EXPECT_EQ(a->cells[i].score.classes, b->cells[i].score.classes);
+        EXPECT_DOUBLE_EQ(a->cells[i].score.bits, b->cells[i].score.bits);
+        EXPECT_EQ(a->cells[i].viewBytes, b->cells[i].viewBytes);
+    }
+}
+
+TEST(AuditLeakage, CacheLineGranularityRefinesThePageView)
+{
+    // 64 B lines subdivide pages: the finer trace can only separate
+    // more secret pairs, never fewer.
+    AuditConfig fine;
+    fine.granularity = Granularity::cacheLine;
+    fine.backends = {"sgx", "vm-tee"};
+    const auto lines =
+        auditLeakage(BackendRegistry::standard(), fine);
+    ASSERT_TRUE(lines.ok()) << lines.error().str();
+    const auto &pages = zooMatrix();
+    ASSERT_TRUE(pages.ok());
+    EXPECT_EQ(lines->cells.size(), 6u);
+    for (const char *name : {"sgx", "vm-tee"}) {
+        for (AdversaryKind kind : adversaryKinds) {
+            EXPECT_GE(lines->bits(name, kind) + 1e-9,
+                      pages->bits(name, kind))
+                << name << " / " << adversaryName(kind);
+        }
+    }
+}
+
+TEST(AuditLeakage, UnknownBackendFailsWithNotFound)
+{
+    AuditConfig cfg;
+    cfg.secrets = 2;
+    cfg.backends = {"morello"};
+    const auto matrix =
+        auditLeakage(BackendRegistry::standard(), cfg);
+    ASSERT_FALSE(matrix.ok());
+    EXPECT_EQ(matrix.error().code, Errc::notFound);
+    EXPECT_NE(matrix.error().message.find("morello"),
+              std::string::npos)
+        << matrix.error().message;
+}
+
+} // namespace
+} // namespace mintcb::verify

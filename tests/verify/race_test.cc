@@ -42,8 +42,8 @@ TEST(VectorClock, TickJoinOrder)
 TEST(HbRaceDetector, UnorderedCrossCpuWriteWriteIsARace)
 {
     HbRaceDetector det(2);
-    det.onAccess(Agent::forCpu(0), /*page=*/7, /*isWrite=*/true, true);
-    det.onAccess(Agent::forCpu(1), /*page=*/7, /*isWrite=*/true, true);
+    det.onAccess(Agent::forCpu(0), /*page=*/7, 0, 16, /*isWrite=*/true, true);
+    det.onAccess(Agent::forCpu(1), /*page=*/7, 0, 16, /*isWrite=*/true, true);
     ASSERT_EQ(det.races().size(), 1u);
     const Race &r = det.races()[0];
     EXPECT_EQ(r.page, 7u);
@@ -57,8 +57,8 @@ TEST(HbRaceDetector, UnorderedCrossCpuWriteWriteIsARace)
 TEST(HbRaceDetector, ReadWriteConflictIsARace)
 {
     HbRaceDetector det(2);
-    det.onAccess(Agent::forCpu(0), 3, /*isWrite=*/false, true);
-    det.onAccess(Agent::forCpu(1), 3, /*isWrite=*/true, true);
+    det.onAccess(Agent::forCpu(0), 3, 0, 16, /*isWrite=*/false, true);
+    det.onAccess(Agent::forCpu(1), 3, 0, 16, /*isWrite=*/true, true);
     ASSERT_EQ(det.races().size(), 1u);
     EXPECT_FALSE(det.races()[0].firstIsWrite);
     EXPECT_TRUE(det.races()[0].secondIsWrite);
@@ -67,25 +67,25 @@ TEST(HbRaceDetector, ReadWriteConflictIsARace)
 TEST(HbRaceDetector, ConcurrentReadsAreNotARace)
 {
     HbRaceDetector det(2);
-    det.onAccess(Agent::forCpu(0), 3, false, true);
-    det.onAccess(Agent::forCpu(1), 3, false, true);
+    det.onAccess(Agent::forCpu(0), 3, 0, 16, false, true);
+    det.onAccess(Agent::forCpu(1), 3, 0, 16, false, true);
     EXPECT_TRUE(det.races().empty());
 }
 
 TEST(HbRaceDetector, SamePageSameCpuIsNotARace)
 {
     HbRaceDetector det(2);
-    det.onAccess(Agent::forCpu(0), 3, true, true);
-    det.onAccess(Agent::forCpu(0), 3, true, true);
+    det.onAccess(Agent::forCpu(0), 3, 0, 16, true, true);
+    det.onAccess(Agent::forCpu(0), 3, 0, 16, true, true);
     EXPECT_TRUE(det.races().empty());
 }
 
 TEST(HbRaceDetector, DeniedAndDmaAccessesAreIgnored)
 {
     HbRaceDetector det(2);
-    det.onAccess(Agent::forCpu(0), 3, true, true);
-    det.onAccess(Agent::forCpu(1), 3, true, /*granted=*/false);
-    det.onAccess(Agent::forDevice(), 3, true, true);
+    det.onAccess(Agent::forCpu(0), 3, 0, 16, true, true);
+    det.onAccess(Agent::forCpu(1), 3, 0, 16, true, /*granted=*/false);
+    det.onAccess(Agent::forDevice(), 3, 0, 16, true, true);
     EXPECT_TRUE(det.races().empty());
     EXPECT_EQ(det.accessesChecked(), 1u);
 }
@@ -96,11 +96,11 @@ TEST(HbRaceDetector, SecbReleaseAcquireOrdersHandoff)
     HbRaceDetector det(2);
     // CPU 0 launches, writes, yields (release)...
     det.onPalEvent(rec::ExecEvent::slaunchMeasure, 0, secb);
-    det.onAccess(Agent::forCpu(0), 5, true, true);
+    det.onAccess(Agent::forCpu(0), 5, 0, 16, true, true);
     det.onPalEvent(rec::ExecEvent::syield, 0, secb);
     // ...CPU 1 resumes the same SECB (acquire) and writes: ordered.
     det.onPalEvent(rec::ExecEvent::slaunchResume, 1, secb);
-    det.onAccess(Agent::forCpu(1), 5, true, true);
+    det.onAccess(Agent::forCpu(1), 5, 0, 16, true, true);
     EXPECT_TRUE(det.races().empty()) << det.str();
 }
 
@@ -110,22 +110,22 @@ TEST(HbRaceDetector, DifferentSecbDoesNotOrder)
     rec::Secb b;
     HbRaceDetector det(2);
     det.onPalEvent(rec::ExecEvent::slaunchMeasure, 0, a);
-    det.onAccess(Agent::forCpu(0), 5, true, true);
+    det.onAccess(Agent::forCpu(0), 5, 0, 16, true, true);
     det.onPalEvent(rec::ExecEvent::syield, 0, a);
     // CPU 1 synchronizes through an unrelated SECB: still a race.
     det.onPalEvent(rec::ExecEvent::slaunchMeasure, 1, b);
-    det.onAccess(Agent::forCpu(1), 5, true, true);
+    det.onAccess(Agent::forCpu(1), 5, 0, 16, true, true);
     EXPECT_EQ(det.races().size(), 1u);
 }
 
 TEST(HbRaceDetector, BarrierOrdersEveryone)
 {
     HbRaceDetector det(3);
-    det.onAccess(Agent::forCpu(0), 9, true, true);
+    det.onAccess(Agent::forCpu(0), 9, 0, 16, true, true);
     det.onBarrier();
-    det.onAccess(Agent::forCpu(1), 9, true, true);
+    det.onAccess(Agent::forCpu(1), 9, 0, 16, true, true);
     det.onBarrier();
-    det.onAccess(Agent::forCpu(2), 9, false, true);
+    det.onAccess(Agent::forCpu(2), 9, 0, 16, false, true);
     EXPECT_TRUE(det.races().empty()) << det.str();
 }
 
@@ -133,8 +133,8 @@ TEST(HbRaceDetector, DuplicateRacesAreDeduped)
 {
     HbRaceDetector det(2);
     for (int i = 0; i < 10; ++i) {
-        det.onAccess(Agent::forCpu(0), 4, true, true);
-        det.onAccess(Agent::forCpu(1), 4, true, true);
+        det.onAccess(Agent::forCpu(0), 4, 0, 16, true, true);
+        det.onAccess(Agent::forCpu(1), 4, 0, 16, true, true);
     }
     // One (page, cpu-pair, kind) signature, reported once.
     EXPECT_EQ(det.races().size(), 2u) << det.str();
@@ -209,9 +209,10 @@ TEST(HbRaceDetector, DetachesOnDestruction)
     {
         HbRaceDetector det(m.cpuCount());
         det.attach(m.memctrl());
-        EXPECT_EQ(m.memctrl().accessObserver(), &det);
+        EXPECT_TRUE(m.memctrl().hasAccessObserver(&det));
+        EXPECT_EQ(m.memctrl().accessObserverCount(), 1u);
     }
-    EXPECT_EQ(m.memctrl().accessObserver(), nullptr);
+    EXPECT_EQ(m.memctrl().accessObserverCount(), 0u);
 }
 
 } // namespace
