@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Crypto hot-path microbenchmark: RSA-CRT + windowed Montgomery vs the
+ * plain full-width modexp fallback, and incremental SHA/HMAC contexts
+ * vs one-shot digests.
+ *
+ * Unlike the figure benches, the interesting quantity here is *host*
+ * wall time -- the simulated-time model is deliberately untouched by
+ * these optimisations. Absolute host timings vary per machine, so the
+ * JSON artifact gates only host-independent *ratios* (counter names
+ * carry "ratio"); the raw timings carry "host" in their labels so the
+ * regression checker skips them.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "common/rng.hh"
+#include "crypto/hmac.hh"
+#include "crypto/keycache.hh"
+#include "crypto/rsa.hh"
+#include "crypto/sha1.hh"
+#include "crypto/sha256.hh"
+#include "support/benchutil.hh"
+
+using namespace mintcb;
+
+namespace
+{
+
+/** Host milliseconds per call, averaged over @p iters calls. */
+template <typename F>
+double
+hostMsPerCall(F &&fn, int iters)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i)
+        fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count() /
+           iters;
+}
+
+/** Best (minimum) of @p reps timing runs -- robust against CI noise. */
+template <typename F>
+double
+bestHostMs(F &&fn, int iters, int reps = 3)
+{
+    double best = hostMsPerCall(fn, iters);
+    for (int r = 1; r < reps; ++r)
+        best = std::min(best, hostMsPerCall(fn, iters));
+    return best;
+}
+
+/** The benchmark key, shared with the rest of the process via the
+ *  deterministic cache (so repeated runs measure the same key). */
+const crypto::RsaPrivateKey &
+benchKey()
+{
+    return crypto::cachedKey("bench-crypto-micro", crypto::tpmKeyBits);
+}
+
+/** Same key with every CRT hint stripped: rsaPrivateOp falls back to
+ *  the full-width d-exponent path, as for a legacy imported key. */
+crypto::RsaPrivateKey
+strippedKey()
+{
+    crypto::RsaPrivateKey key = benchKey();
+    key.p = crypto::BigNum();
+    key.q = crypto::BigNum();
+    key.dP = crypto::BigNum();
+    key.dQ = crypto::BigNum();
+    key.qInv = crypto::BigNum();
+    return key;
+}
+
+void
+rsaSection()
+{
+    benchutil::heading(
+        "RSA-2048 private op: CRT + windowed Montgomery vs plain modexp");
+
+    const crypto::RsaPrivateKey &crt = benchKey();
+    const crypto::RsaPrivateKey plain = strippedKey();
+    const Bytes message(64, 0x5a);
+
+    // Byte-identity first: the fast path must be invisible in output.
+    const Bytes sig_crt = crypto::rsaSignSha1(crt, message);
+    const Bytes sig_plain = crypto::rsaSignSha1(plain, message);
+    benchutil::check("CRT and plain-modexp signatures byte-identical",
+                     sig_crt == sig_plain);
+    benchutil::check("signature verifies under the public key",
+                     crypto::rsaVerifySha1(crt.pub, message, sig_crt));
+
+    const double crt_ms = bestHostMs(
+        [&] { benchmark::DoNotOptimize(crypto::rsaSignSha1(crt, message)); },
+        4);
+    const double plain_ms = bestHostMs(
+        [&] {
+            benchmark::DoNotOptimize(crypto::rsaSignSha1(plain, message));
+        },
+        2);
+    const double ratio = plain_ms / crt_ms;
+
+    benchutil::rowSimOnly("RSA-2048 sign, CRT (host ms)", crt_ms, "ms");
+    benchutil::rowSimOnly("RSA-2048 sign, plain (host ms)", plain_ms,
+                          "ms");
+    benchutil::rowSimOnly("CRT speedup (host-independent)", ratio, "x");
+    benchutil::check("CRT sign at least 2x the plain fallback",
+                     ratio >= 2.0);
+    // Gated (one-sided) in CI: the committed baseline floors this at
+    // the guaranteed 3x. Name must carry "ratio" and avoid host/wall.
+    benchutil::counterDelta("ratio_rsa_crt_speedup", ratio);
+    benchutil::counterDelta("host_ms_rsa_crt_sign", crt_ms);
+    benchutil::counterDelta("host_ms_rsa_plain_sign", plain_ms);
+}
+
+void
+shaSection()
+{
+    benchutil::heading("Incremental SHA / HMAC contexts");
+
+    // Equality across awkward chunkings: 1 B, unaligned, one short of a
+    // block, exactly a block, one past, multiple blocks.
+    const std::size_t chunks[] = {1, 7, 63, 64, 65, 128, 1000};
+    Rng rng(0x5eedc0de);
+    const Bytes data = rng.bytes(4096 + 17);
+
+    bool sha1_ok = true;
+    bool sha256_ok = true;
+    for (std::size_t chunk : chunks) {
+        crypto::Sha1 s1;
+        crypto::Sha256 s2;
+        for (std::size_t at = 0; at < data.size(); at += chunk) {
+            const std::size_t n = std::min(chunk, data.size() - at);
+            s1.update(data.data() + at, n);
+            s2.update(data.data() + at, n);
+        }
+        const auto d1 = s1.finish();
+        const auto d2 = s2.finish();
+        sha1_ok &= std::memcmp(d1.data(),
+                               crypto::Sha1::digestBytes(data).data(),
+                               d1.size()) == 0;
+        sha256_ok &= std::memcmp(d2.data(),
+                                 crypto::Sha256::digestBytes(data).data(),
+                                 d2.size()) == 0;
+    }
+    benchutil::check("incremental SHA-1 == one-shot across chunk sweep",
+                     sha1_ok);
+    benchutil::check("incremental SHA-256 == one-shot across chunk sweep",
+                     sha256_ok);
+
+    const Bytes key = rng.bytes(32);
+    crypto::HmacSha256 mac(key);
+    mac.update(data);
+    benchutil::check("incremental HMAC-SHA256 == one-shot",
+                     mac.finish() == crypto::hmacSha256(key, data));
+
+    const Bytes block = rng.bytes(64 * 1024);
+    const double sha256_ms = bestHostMs(
+        [&] {
+            benchmark::DoNotOptimize(crypto::Sha256::digestBytes(block));
+        },
+        8);
+    const double mb_s = (64.0 / 1024.0) / (sha256_ms / 1000.0);
+    benchutil::rowSimOnly("SHA-256 64 KiB (host ms)", sha256_ms, "ms");
+    benchutil::counterDelta("host_sha256_mb_s", mb_s);
+}
+
+void
+BM_RsaSignCrt(benchmark::State &state)
+{
+    const crypto::RsaPrivateKey &key = benchKey();
+    const Bytes message(64, 0x5a);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(crypto::rsaSignSha1(key, message));
+}
+
+void
+BM_RsaSignPlain(benchmark::State &state)
+{
+    const crypto::RsaPrivateKey key = strippedKey();
+    const Bytes message(64, 0x5a);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(crypto::rsaSignSha1(key, message));
+}
+
+void
+BM_Sha256Stream(benchmark::State &state)
+{
+    Rng rng(0x5eedc0de);
+    const Bytes block = rng.bytes(64 * 1024);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(crypto::Sha256::digestBytes(block));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(block.size()));
+}
+
+} // namespace
+
+BENCHMARK(BM_RsaSignCrt)->Unit(benchmark::kMillisecond)->Iterations(4);
+BENCHMARK(BM_RsaSignPlain)->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_Sha256Stream)->Unit(benchmark::kMicrosecond);
+
+int
+main(int argc, char **argv)
+{
+    benchutil::stripJsonFlag(&argc, argv);
+    rsaSection();
+    shaSection();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return benchutil::writeJsonArtifact() ? 0 : 1;
+}

@@ -17,6 +17,11 @@ the repo root) against the committed baselines in bench/baselines/:
     decrease passes (leaking less is an improvement, not a
     regression). A zero baseline stays structural: any nonzero
     leakage where there was none is a failure.
+  - metrics whose name mentions ratio are gated one-sided in the
+    other direction: they are host-independent speedup ratios (fast
+    path vs reference path, both timed on the same machine, so the
+    runner's speed divides out). Falling below the baseline beyond
+    tolerance fails (the optimization degraded); any increase passes.
 
 New metrics that have no baseline yet are reported but never fail the
 gate, so adding instrumentation does not require a lockstep baseline
@@ -46,6 +51,12 @@ HOST_MARKERS = ("host", "wall")
 # one-sided -- only increases are regressions.
 LEAK_MARKERS = ("leak_bits",)
 
+# Substrings marking speedup-ratio metrics (fast path over reference
+# path, host-independent because both run on the same machine); gated
+# one-sided -- only decreases are regressions. Note HOST_MARKERS is
+# checked first, so ratio metric names must not contain host/wall.
+RATIO_MARKERS = ("ratio",)
+
 
 def is_host_metric(name):
     low = name.lower()
@@ -55,6 +66,11 @@ def is_host_metric(name):
 def is_leak_metric(name):
     low = name.lower()
     return any(marker in low for marker in LEAK_MARKERS)
+
+
+def is_ratio_metric(name):
+    low = name.lower()
+    return any(marker in low for marker in RATIO_MARKERS)
 
 
 def load(path):
@@ -113,6 +129,26 @@ def compare(base, cur, tolerance, name, log):
                 )
             continue
         deviation = (cur_value - base_value) / abs(base_value)
+        if is_ratio_metric(key):
+            # One-sided, inverted relative to leak_bits: a speedup
+            # ratio that shrank beyond tolerance means the fast path
+            # lost its edge over the reference path; growing faster
+            # is an improvement the next baseline refresh records.
+            if deviation < -tolerance:
+                failures.append(
+                    "%s: %s '%s' speedup fell %.1f%% (baseline %.6g, "
+                    "now %.6g, one-sided tolerance -%.0f%%)"
+                    % (
+                        name,
+                        kind,
+                        key,
+                        -deviation * 100.0,
+                        base_value,
+                        cur_value,
+                        tolerance * 100.0,
+                    )
+                )
+            continue
         if is_leak_metric(key):
             # One-sided: widening the channel fails, narrowing it is
             # an improvement the next baseline refresh records.
@@ -220,7 +256,8 @@ BASE_ARTIFACT = {
     "counters": [{"name": "completed", "value": 16.0},
                  {"name": "leak_bits_sgx_ctrl_channel", "value": 4.0},
                  {"name": "leak_bits_trustzone_page_trace",
-                  "value": 0.0}],
+                  "value": 0.0},
+                 {"name": "ratio_rsa_crt_speedup", "value": 4.0}],
 }
 
 
@@ -301,6 +338,21 @@ def selftest(log):
         "zero-baseline leak_bits going nonzero fails (structural)",
         _mutate(lambda a: a["counters"][2].update({"value": 0.1})),
         1,
+    ))
+    cases.append((
+        "20%-lower speedup ratio fails (fast path lost its edge)",
+        _mutate(lambda a: a["counters"][3].update({"value": 3.2})),
+        1,
+    ))
+    cases.append((
+        "10%-lower speedup ratio stays within tolerance",
+        _mutate(lambda a: a["counters"][3].update({"value": 3.6})),
+        0,
+    ))
+    cases.append((
+        "50%-higher speedup ratio passes (one-sided gate)",
+        _mutate(lambda a: a["counters"][3].update({"value": 6.0})),
+        0,
     ))
 
     failures = 0

@@ -43,6 +43,41 @@ ByteWriter::str(const std::string &s)
     buf_.insert(buf_.end(), s.begin(), s.end());
 }
 
+void
+ByteAppender::u16(std::uint16_t v)
+{
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void
+ByteAppender::u32(std::uint32_t v)
+{
+    for (int shift = 24; shift >= 0; shift -= 8)
+        out_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void
+ByteAppender::u64(std::uint64_t v)
+{
+    for (int shift = 56; shift >= 0; shift -= 8)
+        out_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void
+ByteAppender::lengthPrefixed(const Bytes &b)
+{
+    u32(static_cast<std::uint32_t>(b.size()));
+    raw(b);
+}
+
+void
+ByteAppender::str(const std::string &s)
+{
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+}
+
 Error
 ByteReader::truncated(const char *what) const
 {

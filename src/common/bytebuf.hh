@@ -47,6 +47,41 @@ class ByteWriter
 };
 
 /**
+ * The same big-endian vocabulary as ByteWriter, but appending into a
+ * caller-owned buffer. Zero-copy encode paths (the gateway reactor,
+ * the client's batched submits) reuse one buffer across many frames,
+ * so steady-state encoding performs no per-frame heap allocation.
+ */
+class ByteAppender
+{
+  public:
+    explicit ByteAppender(Bytes &out) : out_(out) {}
+
+    void u8(std::uint8_t v) { out_.push_back(v); }
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+
+    /** Append raw bytes verbatim. */
+    void
+    raw(const Bytes &b)
+    {
+        out_.insert(out_.end(), b.begin(), b.end());
+    }
+
+    /** Append a u32 length prefix followed by the bytes. */
+    void lengthPrefixed(const Bytes &b);
+
+    /** Append a u32 length prefix followed by the UTF-8 string bytes. */
+    void str(const std::string &s);
+
+    std::size_t size() const { return out_.size(); }
+
+  private:
+    Bytes &out_;
+};
+
+/**
  * Decodes big-endian fields from a byte span. All extractors return a
  * Result so that truncated or corrupted blobs surface as integrityFailure
  * instead of undefined behaviour.

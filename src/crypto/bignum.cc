@@ -457,12 +457,42 @@ BigNum::modExp(const BigNum &exp, const BigNum &m) const
     const std::vector<u64> one_mont = widen(r_mod_n);
 
     montMul(base_raw, r2, n, n0inv, base_mont, scratch); // to Montgomery
-    acc = one_mont;
 
-    for (std::size_t i = exp.bitLength(); i-- > 0;) {
-        montMul(acc, acc, n, n0inv, acc, scratch);
-        if (exp.bit(i))
-            montMul(acc, base_mont, n, n0inv, acc, scratch);
+    // Fixed 4-bit windows pay for their 14-entry table only when the
+    // exponent is long (RSA private exponents, Miller-Rabin witnesses);
+    // short exponents (65537 verify path) keep the plain ladder.
+    constexpr std::size_t windowBits = 4;
+    const std::size_t expBits = exp.bitLength();
+    if (expBits >= 2 * 64) {
+        std::vector<std::vector<u64>> table(std::size_t{1} << windowBits);
+        table[0] = one_mont;
+        table[1] = base_mont;
+        for (std::size_t i = 2; i < table.size(); ++i) {
+            table[i].assign(k, 0);
+            montMul(table[i - 1], base_mont, n, n0inv, table[i], scratch);
+        }
+        const std::size_t nwin =
+            (expBits + windowBits - 1) / windowBits;
+        for (std::size_t w = nwin; w-- > 0;) {
+            std::size_t v = 0;
+            for (std::size_t b = windowBits; b-- > 0;)
+                v = (v << 1) | (exp.bit(w * windowBits + b) ? 1u : 0u);
+            if (w == nwin - 1) {
+                acc = table[v]; // top window: skip the 1^16 squarings
+                continue;
+            }
+            for (std::size_t s = 0; s < windowBits; ++s)
+                montMul(acc, acc, n, n0inv, acc, scratch);
+            if (v)
+                montMul(acc, table[v], n, n0inv, acc, scratch);
+        }
+    } else {
+        acc = one_mont;
+        for (std::size_t i = expBits; i-- > 0;) {
+            montMul(acc, acc, n, n0inv, acc, scratch);
+            if (exp.bit(i))
+                montMul(acc, base_mont, n, n0inv, acc, scratch);
+        }
     }
 
     // Convert out of the Montgomery domain: multiply by 1.

@@ -98,7 +98,8 @@ class BigNum
     /** @} */
 
     /** Modular exponentiation: this^exp mod m (m nonzero). Uses Montgomery
-     *  multiplication when m is odd, division-based reduction otherwise. */
+     *  multiplication when m is odd (fixed 4-bit windows for long
+     *  exponents), division-based reduction otherwise. */
     BigNum modExp(const BigNum &exp, const BigNum &m) const;
 
     /** Greatest common divisor. */

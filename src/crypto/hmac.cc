@@ -8,52 +8,20 @@
 namespace mintcb::crypto
 {
 
-namespace
-{
-
-template <typename Hash>
-Bytes
-hmac(const Bytes &key, const Bytes &message)
-{
-    Bytes block_key = key;
-    if (block_key.size() > Hash::blockSize)
-        block_key = Hash::digestBytes(block_key);
-    block_key.resize(Hash::blockSize, 0x00);
-
-    Bytes ipad(Hash::blockSize), opad(Hash::blockSize);
-    for (std::size_t i = 0; i < Hash::blockSize; ++i) {
-        ipad[i] = block_key[i] ^ 0x36;
-        opad[i] = block_key[i] ^ 0x5c;
-    }
-
-    Hash inner;
-    inner.update(ipad);
-    inner.update(message);
-    Bytes inner_digest;
-    {
-        auto d = inner.finish();
-        inner_digest.assign(d.begin(), d.end());
-    }
-
-    Hash outer;
-    outer.update(opad);
-    outer.update(inner_digest);
-    auto d = outer.finish();
-    return Bytes(d.begin(), d.end());
-}
-
-} // namespace
-
 Bytes
 hmacSha1(const Bytes &key, const Bytes &message)
 {
-    return hmac<Sha1>(key, message);
+    HmacSha1 ctx(key);
+    ctx.update(message);
+    return ctx.finish();
 }
 
 Bytes
 hmacSha256(const Bytes &key, const Bytes &message)
 {
-    return hmac<Sha256>(key, message);
+    HmacSha256 ctx(key);
+    ctx.update(message);
+    return ctx.finish();
 }
 
 bool

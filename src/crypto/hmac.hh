@@ -10,12 +10,76 @@
 #ifndef MINTCB_CRYPTO_HMAC_HH
 #define MINTCB_CRYPTO_HMAC_HH
 
+#include <cstring>
+
 #include "common/types.hh"
 #include "crypto/sha1.hh"
 #include "crypto/sha256.hh"
 
 namespace mintcb::crypto
 {
+
+/**
+ * Incremental HMAC context over either hash. The key schedule (both
+ * pads) is absorbed once at construction; update() streams message
+ * bytes with no intermediate concatenation buffers, so MACing a
+ * multi-part transcript costs exactly one pass over the bytes.
+ */
+template <typename Hash>
+class HmacCtx
+{
+  public:
+    explicit HmacCtx(const Bytes &key) { init(key); }
+
+    /** Rekey and restart (equivalent to constructing afresh). */
+    void
+    init(const Bytes &key)
+    {
+        std::uint8_t block_key[Hash::blockSize] = {0};
+        if (key.size() > Hash::blockSize) {
+            Hash h;
+            h.update(key);
+            const auto digest = h.finish();
+            std::memcpy(block_key, digest.data(), digest.size());
+        } else if (!key.empty()) {
+            std::memcpy(block_key, key.data(), key.size());
+        }
+        std::uint8_t pad[Hash::blockSize];
+        inner_.reset();
+        outer_.reset();
+        for (std::size_t i = 0; i < Hash::blockSize; ++i)
+            pad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
+        inner_.update(pad, Hash::blockSize);
+        for (std::size_t i = 0; i < Hash::blockSize; ++i)
+            pad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
+        outer_.update(pad, Hash::blockSize);
+    }
+
+    void
+    update(const std::uint8_t *data, std::size_t len)
+    {
+        inner_.update(data, len);
+    }
+
+    void update(const Bytes &data) { update(data.data(), data.size()); }
+
+    /** Finish and return the MAC; init() again to reuse the context. */
+    Bytes
+    finish()
+    {
+        const auto inner_digest = inner_.finish();
+        outer_.update(inner_digest.data(), inner_digest.size());
+        const auto mac = outer_.finish();
+        return Bytes(mac.begin(), mac.end());
+    }
+
+  private:
+    Hash inner_;
+    Hash outer_;
+};
+
+using HmacSha1 = HmacCtx<Sha1>;
+using HmacSha256 = HmacCtx<Sha256>;
 
 /** HMAC-SHA1 of @p message under @p key. */
 Bytes hmacSha1(const Bytes &key, const Bytes &message);

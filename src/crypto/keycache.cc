@@ -93,6 +93,16 @@ cachedKey(const std::string &label, std::size_t bits)
     const std::string path = cachePath(label, bits);
     RsaPrivateKey loaded;
     if (loadFromDisk(path, bits, loaded)) {
+        // A cache hit must never pay for a prime search again. Entries
+        // written before the CRT fields existed (or with p/q but no
+        // dP/dQ/qInv) are augmented in place -- three modular
+        // reductions -- and re-stored in the full layout so the next
+        // process gets the fast form directly.
+        if (!loaded.hasCrt()) {
+            loaded.augmentCrt();
+            if (loaded.hasCrt())
+                storeToDisk(path, loaded);
+        }
         auto [inserted, _] = cache.emplace(key, std::move(loaded));
         return inserted->second;
     }

@@ -6,6 +6,7 @@
 #include "crypto/prime.hh"
 
 #include <array>
+#include <atomic>
 
 namespace mintcb::crypto
 {
@@ -105,9 +106,23 @@ isProbablePrime(const BigNum &n, Rng &rng, int rounds)
     return true;
 }
 
+namespace
+{
+
+std::atomic<std::uint64_t> primeGenerations{0};
+
+} // namespace
+
+std::uint64_t
+primeGenerationCount()
+{
+    return primeGenerations.load(std::memory_order_relaxed);
+}
+
 BigNum
 generatePrime(Rng &rng, std::size_t bits)
 {
+    primeGenerations.fetch_add(1, std::memory_order_relaxed);
     while (true) {
         BigNum candidate = randomBits(rng, bits);
         if (!candidate.isOdd())

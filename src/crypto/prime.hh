@@ -31,6 +31,14 @@ bool isProbablePrime(const BigNum &n, Rng &rng, int rounds = 16);
  */
 BigNum generatePrime(Rng &rng, std::size_t bits);
 
+/**
+ * Process-wide count of generatePrime() invocations. Prime search is the
+ * expensive step of RSA generation; the key cache's contract is that a
+ * cache hit never re-runs it, and the regression test pins that with
+ * this counter.
+ */
+std::uint64_t primeGenerationCount();
+
 } // namespace mintcb::crypto
 
 #endif // MINTCB_CRYPTO_PRIME_HH

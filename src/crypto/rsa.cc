@@ -98,18 +98,45 @@ RsaPrivateKey::encode() const
     return w.take();
 }
 
+bool
+RsaPrivateKey::hasCrt() const
+{
+    return !p.isZero() && !q.isZero() && !dP.isZero() && !dQ.isZero() &&
+           !qInv.isZero();
+}
+
+void
+RsaPrivateKey::augmentCrt()
+{
+    if (hasCrt() || p.isZero() || q.isZero())
+        return;
+    dP = d % p.subU64(1);
+    dQ = d % q.subU64(1);
+    qInv = q.modInverse(p);
+}
+
 Result<RsaPrivateKey>
 RsaPrivateKey::decode(const Bytes &wire)
 {
     ByteReader r(wire);
     RsaPrivateKey key;
-    BigNum *fields[] = {&key.pub.n, &key.pub.e, &key.d, &key.p,
-                        &key.q, &key.dP, &key.dQ, &key.qInv};
-    for (BigNum *field : fields) {
+    BigNum *mandatory[] = {&key.pub.n, &key.pub.e, &key.d};
+    for (BigNum *field : mandatory) {
         auto bytes = r.lengthPrefixed();
         if (!bytes)
             return bytes.error();
         *field = BigNum::fromBytesBE(*bytes);
+    }
+    // Legacy CRT-less keys stop here; the full layout carries p, q and
+    // the three CRT values.
+    if (!r.atEnd()) {
+        BigNum *crt[] = {&key.p, &key.q, &key.dP, &key.dQ, &key.qInv};
+        for (BigNum *field : crt) {
+            auto bytes = r.lengthPrefixed();
+            if (!bytes)
+                return bytes.error();
+            *field = BigNum::fromBytesBE(*bytes);
+        }
     }
     if (!r.atEnd())
         return Error(Errc::invalidArgument, "trailing bytes in RSA key");
@@ -167,6 +194,10 @@ BigNum
 rsaPrivateOp(const RsaPrivateKey &key, const BigNum &c)
 {
     assert(c < key.pub.n);
+    // Keys without CRT parameters (legacy cache entries, imported d-only
+    // keys) take the full-width path; the result is identical.
+    if (!key.hasCrt())
+        return c.modExp(key.d, key.pub.n);
     // Garner's CRT recombination: ~4x faster than a full-width modexp.
     const BigNum m1 = (c % key.p).modExp(key.dP, key.p);
     const BigNum m2 = (c % key.q).modExp(key.dQ, key.q);

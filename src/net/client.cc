@@ -150,7 +150,9 @@ GatewayClient::submit(const WireRequest &request)
 {
     if (!connected())
         return Error(Errc::failedPrecondition, "not connected");
-    return channel_->send({FrameType::submit, encodeSubmit(request)});
+    txBuf_.clear();
+    encodeSubmitInto(request, txBuf_);
+    return channel_->send(FrameType::submit, txBuf_);
 }
 
 Status
@@ -184,11 +186,18 @@ GatewayClient::runBatch(const std::vector<WireRequest> &requests)
                              " within one batch");
         }
     }
+    // The whole batch -- every submit frame plus the trailing flush --
+    // is framed in place in the reusable buffer and handed to the
+    // kernel in one write, instead of a syscall (and a frame
+    // allocation) per request.
+    txBuf_.clear();
     for (const WireRequest &r : requests) {
-        if (auto s = submit(r); !s.ok())
-            return s.error();
+        const std::size_t at = beginFrame(FrameType::submit, txBuf_);
+        encodeSubmitInto(r, txBuf_);
+        endFrame(txBuf_, at);
     }
-    if (auto s = flush(); !s.ok())
+    endFrame(txBuf_, beginFrame(FrameType::flush, txBuf_));
+    if (auto s = channel_->sendRaw(txBuf_); !s.ok())
         return s.error();
 
     std::vector<ReportPayload> reports;

@@ -114,6 +114,10 @@ class GatewayClient
     AttestedIdentity identity_;
     sea::Verifier gatewayVerifier_;
     std::unique_ptr<FrameChannel> channel_;
+    /** Reusable encode buffer: submits and batches are framed in
+     *  place here (beginFrame/endFrame), so steady-state submission
+     *  allocates nothing. */
+    Bytes txBuf_;
     std::uint64_t sessionId_ = 0;
     std::string gatewaySubject_;
     std::uint64_t busyResponses_ = 0;

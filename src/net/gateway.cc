@@ -37,8 +37,19 @@ struct Gateway::Conn
     };
 
     TcpStream stream;
-    Bytes rx; //!< receive buffer (whole frames taken off the front)
-    Bytes tx; //!< send buffer (flushed as the socket accepts bytes)
+    /** Receive buffer. Frames are consumed by advancing rxOff (no
+     *  per-frame memmove); the prefix is compacted once per reactor
+     *  pass. */
+    Bytes rx;
+    std::size_t rxOff = 0;
+    /** Send buffer. Frames are encoded in place at the tail; sent
+     *  bytes are consumed by advancing txOff, and the buffer resets
+     *  (keeping its capacity) once fully flushed. */
+    Bytes tx;
+    std::size_t txOff = 0;
+    /** Reusable decode target: takeFrameInto re-fills the payload in
+     *  place, so steady-state frame handling does not allocate. */
+    Frame scratch;
     State state = State::expectHello;
     std::string clientName;
     Bytes gatewayNonce; //!< challenge nonce this client must quote
@@ -46,6 +57,8 @@ struct Gateway::Conn
     TokenBucket bucket;
     std::uint64_t lastActivityMs = 0;
     bool closeAfterFlush = false;
+
+    bool txPending() const { return txOff < tx.size(); }
 };
 
 /** One admitted request waiting for the next drain cycle. */
@@ -176,10 +189,15 @@ Gateway::reactorLoop()
         const std::size_t connBase = fds.size();
         for (const auto &conn : conns_) {
             short events = POLLIN;
-            if (!conn->tx.empty())
+            if (conn->txPending())
                 events = static_cast<short>(events | POLLOUT);
             fds.push_back({conn->stream.fd(), events, 0});
         }
+        // fds covers exactly the connections present right now;
+        // acceptPending below may grow conns_, so remember how many
+        // were actually polled and walk only that prefix (a fresh
+        // connection gets its first poll next pass).
+        const std::size_t polled = conns_.size();
         ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
                config_.pollMillis);
 
@@ -189,7 +207,7 @@ Gateway::reactorLoop()
         if (pollListener && (fds[0].revents & POLLIN) != 0)
             acceptPending(now);
 
-        for (std::size_t i = 0; i < conns_.size(); ++i) {
+        for (std::size_t i = 0; i < polled; ++i) {
             Conn &conn = *conns_[i];
             const short revents = fds[connBase + i].revents;
             if (conn.state == Conn::State::closed)
@@ -199,7 +217,7 @@ Gateway::reactorLoop()
             if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0)
                 serviceConn(conn, now);
             if (conn.state != Conn::State::closed &&
-                conn.closeAfterFlush && conn.tx.empty()) {
+                conn.closeAfterFlush && !conn.txPending()) {
                 closeConn(conn);
             }
         }
@@ -274,30 +292,42 @@ Gateway::serviceConn(Conn &conn, std::uint64_t now_ms)
     }
 
     while (conn.state != Conn::State::closed && !conn.closeAfterFlush) {
-        auto frame = takeFrame(conn.rx);
-        if (!frame) {
+        auto took = takeFrameInto(conn.rx, conn.rxOff, conn.scratch);
+        if (!took) {
             // Malformed framing: impossible to resynchronize a byte
             // stream, so refuse and hang up.
             ++stats_.protocolErrors;
-            refuse(conn, frame.error().code, frame.error().message);
+            refuse(conn, took.error().code, took.error().message);
             break;
         }
-        if (!frame->has_value())
+        if (!*took)
             break; // need more bytes
         ++stats_.framesRx;
-        if (!handleFrame(conn, std::move(**frame)))
+        if (!handleFrame(conn, conn.scratch))
             break;
+    }
+
+    // Compact the consumed prefix once per pass (one memmove for the
+    // whole batch of frames, zero when the buffer drained completely).
+    if (conn.rxOff == conn.rx.size()) {
+        conn.rx.clear();
+        conn.rxOff = 0;
+    } else if (conn.rxOff > 0) {
+        conn.rx.erase(conn.rx.begin(),
+                      conn.rx.begin() +
+                          static_cast<std::ptrdiff_t>(conn.rxOff));
+        conn.rxOff = 0;
     }
 
     if (conn.state != Conn::State::closed && conn.closeAfterFlush) {
         flushTx(conn);
-        if (conn.tx.empty())
+        if (!conn.txPending())
             closeConn(conn);
     }
 }
 
 bool
-Gateway::handleFrame(Conn &conn, Frame frame)
+Gateway::handleFrame(Conn &conn, const Frame &frame)
 {
     switch (frame.type) {
     case FrameType::hello:
@@ -354,7 +384,9 @@ Gateway::handleHello(Conn &conn, const Frame &frame)
     ChallengePayload challenge;
     challenge.attestation = attestation->encode();
     challenge.nonce = conn.gatewayNonce;
-    sendFrame(conn, {FrameType::challenge, encodeChallenge(challenge)});
+    sendEncoded(conn, FrameType::challenge, [&](Bytes &out) {
+        encodeChallengeInto(challenge, out);
+    });
     conn.state = Conn::State::expectAuth;
     return true;
 }
@@ -408,7 +440,8 @@ Gateway::handleAuth(Conn &conn, const Frame &frame)
     AuthOkPayload ok;
     ok.sessionId = conn.session;
     ok.subject = config_.subject;
-    sendFrame(conn, {FrameType::authOk, encodeAuthOk(ok)});
+    sendEncoded(conn, FrameType::authOk,
+                [&](Bytes &out) { encodeAuthOkInto(ok, out); });
     return true;
 }
 
@@ -464,7 +497,8 @@ Gateway::handleSubmit(Conn &conn, const Frame &frame)
         busy.sequence = wire->sequence;
         busy.reason = BusyReason::rateLimited;
         busy.retryAfterMillis = conn.bucket.millisUntilToken(admit_ms);
-        sendFrame(conn, {FrameType::busy, encodeBusy(busy)});
+        sendEncoded(conn, FrameType::busy,
+                    [&](Bytes &out) { encodeBusyInto(busy, out); });
         return true;
     }
     if (config_.maxInflight > 0 &&
@@ -475,7 +509,8 @@ Gateway::handleSubmit(Conn &conn, const Frame &frame)
         busy.reason = BusyReason::queueFull;
         busy.retryAfterMillis =
             static_cast<std::uint32_t>(config_.pollMillis);
-        sendFrame(conn, {FrameType::busy, encodeBusy(busy)});
+        sendEncoded(conn, FrameType::busy,
+                    [&](Bytes &out) { encodeBusyInto(busy, out); });
         return true;
     }
     pending_.push_back(
@@ -524,7 +559,9 @@ Gateway::drainCycle()
                 ErrorPayload err;
                 err.code = static_cast<std::uint16_t>(id.error().code);
                 err.message = id.error().message;
-                sendFrame(*conn, {FrameType::error, encodeError(err)});
+                sendEncoded(*conn, FrameType::error, [&](Bytes &out) {
+                    encodeErrorInto(err, out);
+                });
             }
             continue;
         }
@@ -541,7 +578,9 @@ Gateway::drainCycle()
                 err.code =
                     static_cast<std::uint16_t>(reports.error().code);
                 err.message = reports.error().message;
-                sendFrame(*conn, {FrameType::error, encodeError(err)});
+                sendEncoded(*conn, FrameType::error, [&](Bytes &out) {
+                    encodeErrorInto(err, out);
+                });
             }
         }
         if (tracer)
@@ -558,25 +597,30 @@ Gateway::drainCycle()
             ++stats_.reportsDropped; // owner hung up mid-cycle
             continue;
         }
-        ReportPayload payload;
-        payload.sequence = it->second.sequence;
-        payload.report = report.encode();
-        sendFrame(*conn, {FrameType::report, encodeReport(payload)});
+        // The report bytes go straight from the service's encode into
+        // the connection's tx buffer: one copy, no intermediate
+        // ReportPayload or frame vector.
+        const Bytes encoded = report.encode();
+        sendEncoded(*conn, FrameType::report, [&](Bytes &out) {
+            encodeReportInto(it->second.sequence, encoded, out);
+        });
         ++stats_.reportsDelivered;
     }
     if (tracer)
         tracer->endSpan(span, machine_.now());
 }
 
+template <typename EncodePayload>
 void
-Gateway::sendFrame(Conn &conn, const Frame &frame)
+Gateway::sendEncoded(Conn &conn, FrameType type, EncodePayload &&encode)
 {
     if (conn.state == Conn::State::closed)
         return;
-    const Bytes wire = encodeFrame(frame);
-    conn.tx.insert(conn.tx.end(), wire.begin(), wire.end());
+    const std::size_t frame_start = beginFrame(type, conn.tx);
+    encode(conn.tx);
+    endFrame(conn.tx, frame_start);
     ++stats_.framesTx;
-    stats_.bytesTx += wire.size();
+    stats_.bytesTx += conn.tx.size() - frame_start;
     flushTx(conn); // opportunistic; the rest goes out on POLLOUT
 }
 
@@ -586,23 +630,32 @@ Gateway::refuse(Conn &conn, Errc code, const std::string &message)
     ErrorPayload err;
     err.code = static_cast<std::uint16_t>(code);
     err.message = message;
-    sendFrame(conn, {FrameType::error, encodeError(err)});
+    sendEncoded(conn, FrameType::error,
+                [&](Bytes &out) { encodeErrorInto(err, out); });
     conn.closeAfterFlush = true;
 }
 
 void
 Gateway::flushTx(Conn &conn)
 {
-    while (!conn.tx.empty() && conn.state != Conn::State::closed) {
-        auto n = conn.stream.sendSome(conn.tx.data(), conn.tx.size());
+    while (conn.txPending() && conn.state != Conn::State::closed) {
+        auto n = conn.stream.sendSome(conn.tx.data() + conn.txOff,
+                                      conn.tx.size() - conn.txOff);
         if (!n) {
             closeConn(conn);
             return;
         }
         if (*n == 0)
-            return; // socket buffer full; POLLOUT will resume
-        conn.tx.erase(conn.tx.begin(),
-                      conn.tx.begin() + static_cast<std::ptrdiff_t>(*n));
+            break; // socket buffer full; POLLOUT will resume
+        conn.txOff += *n;
+    }
+    // Fully drained: reset the buffer, keeping its capacity, so the
+    // next frame encodes into already-owned storage. Partially
+    // drained: leave the bytes in place (consuming via txOff avoids
+    // the per-send front-erase memmove the old path paid).
+    if (conn.txOff == conn.tx.size()) {
+        conn.tx.clear();
+        conn.txOff = 0;
     }
 }
 
@@ -635,7 +688,7 @@ bool
 Gateway::anyTxPending() const
 {
     for (const auto &conn : conns_) {
-        if (conn->state != Conn::State::closed && !conn->tx.empty())
+        if (conn->state != Conn::State::closed && conn->txPending())
             return true;
     }
     return false;

@@ -195,12 +195,18 @@ class Gateway
     void reactorLoop();
     void acceptPending(std::uint64_t now_ms);
     void serviceConn(Conn &conn, std::uint64_t now_ms);
-    bool handleFrame(Conn &conn, Frame frame);
+    bool handleFrame(Conn &conn, const Frame &frame);
     bool handleHello(Conn &conn, const Frame &frame);
     bool handleAuth(Conn &conn, const Frame &frame);
     bool handleSubmit(Conn &conn, const Frame &frame);
     void drainCycle();
-    void sendFrame(Conn &conn, const Frame &frame);
+    /** Open a frame of @p type directly inside conn.tx, run @p encode
+     *  (a callable appending the payload bytes to the buffer), patch
+     *  the length, and flush opportunistically. The reactor's only
+     *  send primitive: no temporary frame or payload vector exists. */
+    template <typename EncodePayload>
+    void sendEncoded(Conn &conn, FrameType type,
+                     EncodePayload &&encode);
     void refuse(Conn &conn, Errc code, const std::string &message);
     void flushTx(Conn &conn);
     void closeConn(Conn &conn);

@@ -18,6 +18,8 @@
 #include "common/types.hh"
 #include "net/wire.hh"
 
+struct iovec; // <sys/uio.h>; only the implementation needs the layout
+
 namespace mintcb::net
 {
 
@@ -87,6 +89,12 @@ class TcpStream
      *  suppressed, a closed peer surfaces as an Error). */
     Status sendAll(const Bytes &data);
 
+    /** Scatter-gather sibling of sendAll: write every byte of @p count
+     *  buffers in as few syscalls as the kernel allows (sendmsg, so
+     *  SIGPIPE stays suppressed). The iovec array is consumed (entries
+     *  are adjusted across partial writes). */
+    Status sendAllVec(iovec *iov, std::size_t count);
+
     /** One non-blocking write attempt of @p len bytes from @p data.
      *  Returns the byte count (0 when the socket buffer is full); a
      *  closed peer surfaces as an Error. Reactor-side sibling of
@@ -139,11 +147,19 @@ class FrameChannel
   public:
     explicit FrameChannel(TcpStream stream) : stream_(std::move(stream)) {}
 
-    Status
-    send(const Frame &frame)
+    Status send(const Frame &frame)
     {
-        return stream_.sendAll(encodeFrame(frame));
+        return send(frame.type, frame.payload);
     }
+
+    /** Scatter-gather send: a stack-allocated header and the payload
+     *  go out in one writev -- the payload is never copied into a
+     *  frame buffer. */
+    Status send(FrameType type, const Bytes &payload);
+
+    /** Send pre-framed bytes (e.g. a batch of frames built in place
+     *  with beginFrame/endFrame) in one sendAll. */
+    Status sendRaw(const Bytes &wire) { return stream_.sendAll(wire); }
 
     /** Block until one complete frame arrives (bounded by the stream's
      *  receive timeout). EOF and malformed framing are Errors. */

@@ -40,57 +40,109 @@ knownType(std::uint16_t t)
 
 } // namespace
 
+void
+encodeFrameInto(const Frame &frame, Bytes &out)
+{
+    out.reserve(out.size() + frameHeaderBytes + frame.payload.size());
+    ByteAppender a(out);
+    a.u32(frameMagic);
+    a.u16(wireVersion);
+    a.u16(static_cast<std::uint16_t>(frame.type));
+    a.u32(static_cast<std::uint32_t>(frame.payload.size()));
+    a.raw(frame.payload);
+}
+
 Bytes
 encodeFrame(const Frame &frame)
 {
-    ByteWriter w;
-    w.u32(frameMagic);
-    w.u16(wireVersion);
-    w.u16(static_cast<std::uint16_t>(frame.type));
-    w.u32(static_cast<std::uint32_t>(frame.payload.size()));
-    w.raw(frame.payload);
-    return w.take();
+    Bytes out;
+    encodeFrameInto(frame, out);
+    return out;
+}
+
+std::size_t
+beginFrame(FrameType type, Bytes &out)
+{
+    const std::size_t frame_start = out.size();
+    ByteAppender a(out);
+    a.u32(frameMagic);
+    a.u16(wireVersion);
+    a.u16(static_cast<std::uint16_t>(type));
+    a.u32(0); // payload length, patched by endFrame
+    return frame_start;
+}
+
+void
+endFrame(Bytes &out, std::size_t frame_start)
+{
+    const std::size_t payload =
+        out.size() - frame_start - frameHeaderBytes;
+    const std::size_t at = frame_start + frameHeaderBytes - 4;
+    out[at] = static_cast<std::uint8_t>(payload >> 24);
+    out[at + 1] = static_cast<std::uint8_t>(payload >> 16);
+    out[at + 2] = static_cast<std::uint8_t>(payload >> 8);
+    out[at + 3] = static_cast<std::uint8_t>(payload);
+}
+
+Result<bool>
+takeFrameInto(const Bytes &buf, std::size_t &offset, Frame &out)
+{
+    const std::size_t avail = buf.size() - offset;
+    if (avail < frameHeaderBytes)
+        return false;
+
+    const std::uint8_t *h = buf.data() + offset;
+    std::uint32_t magic = 0, length = 0;
+    for (int i = 0; i < 4; ++i) {
+        magic = (magic << 8) | h[i];
+        length = (length << 8) | h[8 + i];
+    }
+    const std::uint16_t version =
+        static_cast<std::uint16_t>(h[4] << 8 | h[5]);
+    const std::uint16_t type =
+        static_cast<std::uint16_t>(h[6] << 8 | h[7]);
+    if (magic != frameMagic)
+        return Error(Errc::invalidArgument, "bad frame magic");
+    if (version != wireVersion) {
+        return Error(Errc::failedPrecondition,
+                     "protocol version mismatch: peer speaks v" +
+                         std::to_string(version) + ", this side v" +
+                         std::to_string(wireVersion));
+    }
+    if (!knownType(type)) {
+        return Error(Errc::invalidArgument,
+                     "unknown frame type " + std::to_string(type));
+    }
+    if (length > maxFramePayload) {
+        return Error(Errc::invalidArgument,
+                     "oversized frame: " + std::to_string(length) +
+                         " payload bytes > " +
+                         std::to_string(maxFramePayload));
+    }
+    if (avail < frameHeaderBytes + length)
+        return false; // wait for the rest
+
+    out.type = static_cast<FrameType>(type);
+    // assign() reuses out.payload's capacity: in steady state the
+    // reactor's per-connection scratch frame stops allocating.
+    out.payload.assign(h + frameHeaderBytes,
+                       h + frameHeaderBytes + length);
+    offset += frameHeaderBytes + length;
+    return true;
 }
 
 Result<std::optional<Frame>>
 takeFrame(Bytes &buf)
 {
-    if (buf.size() < frameHeaderBytes)
-        return std::optional<Frame>{};
-
-    ByteReader r(buf);
-    const auto magic = r.u32();
-    const auto version = r.u16();
-    const auto type = r.u16();
-    const auto length = r.u32();
-    // The reads above cannot fail: frameHeaderBytes are present.
-    if (*magic != frameMagic)
-        return Error(Errc::invalidArgument, "bad frame magic");
-    if (*version != wireVersion) {
-        return Error(Errc::failedPrecondition,
-                     "protocol version mismatch: peer speaks v" +
-                         std::to_string(*version) + ", this side v" +
-                         std::to_string(wireVersion));
-    }
-    if (!knownType(*type)) {
-        return Error(Errc::invalidArgument,
-                     "unknown frame type " + std::to_string(*type));
-    }
-    if (*length > maxFramePayload) {
-        return Error(Errc::invalidArgument,
-                     "oversized frame: " + std::to_string(*length) +
-                         " payload bytes > " +
-                         std::to_string(maxFramePayload));
-    }
-    if (buf.size() < frameHeaderBytes + *length)
-        return std::optional<Frame>{}; // wait for the rest
-
+    std::size_t offset = 0;
     Frame frame;
-    frame.type = static_cast<FrameType>(*type);
-    frame.payload.assign(buf.begin() + frameHeaderBytes,
-                         buf.begin() + frameHeaderBytes + *length);
+    auto took = takeFrameInto(buf, offset, frame);
+    if (!took)
+        return took.error();
+    if (!*took)
+        return std::optional<Frame>{};
     buf.erase(buf.begin(),
-              buf.begin() + frameHeaderBytes + *length);
+              buf.begin() + static_cast<std::ptrdiff_t>(offset));
     return std::optional<Frame>{std::move(frame)};
 }
 
@@ -111,14 +163,21 @@ finish(const ByteReader &r, const char *what)
 
 } // namespace
 
+void
+encodeHelloInto(const HelloPayload &p, Bytes &out)
+{
+    ByteAppender a(out);
+    a.u16(p.version);
+    a.lengthPrefixed(p.nonce);
+    a.str(p.clientName);
+}
+
 Bytes
 encodeHello(const HelloPayload &p)
 {
-    ByteWriter w;
-    w.u16(p.version);
-    w.lengthPrefixed(p.nonce);
-    w.str(p.clientName);
-    return w.take();
+    Bytes out;
+    encodeHelloInto(p, out);
+    return out;
 }
 
 Result<HelloPayload>
@@ -143,13 +202,20 @@ decodeHello(const Bytes &payload)
     return p;
 }
 
+void
+encodeChallengeInto(const ChallengePayload &p, Bytes &out)
+{
+    ByteAppender a(out);
+    a.lengthPrefixed(p.attestation);
+    a.lengthPrefixed(p.nonce);
+}
+
 Bytes
 encodeChallenge(const ChallengePayload &p)
 {
-    ByteWriter w;
-    w.lengthPrefixed(p.attestation);
-    w.lengthPrefixed(p.nonce);
-    return w.take();
+    Bytes out;
+    encodeChallengeInto(p, out);
+    return out;
 }
 
 Result<ChallengePayload>
@@ -170,12 +236,19 @@ decodeChallenge(const Bytes &payload)
     return p;
 }
 
+void
+encodeAuthInto(const AuthPayload &p, Bytes &out)
+{
+    ByteAppender a(out);
+    a.lengthPrefixed(p.attestation);
+}
+
 Bytes
 encodeAuth(const AuthPayload &p)
 {
-    ByteWriter w;
-    w.lengthPrefixed(p.attestation);
-    return w.take();
+    Bytes out;
+    encodeAuthInto(p, out);
+    return out;
 }
 
 Result<AuthPayload>
@@ -192,13 +265,20 @@ decodeAuth(const Bytes &payload)
     return p;
 }
 
+void
+encodeAuthOkInto(const AuthOkPayload &p, Bytes &out)
+{
+    ByteAppender a(out);
+    a.u64(p.sessionId);
+    a.str(p.subject);
+}
+
 Bytes
 encodeAuthOk(const AuthOkPayload &p)
 {
-    ByteWriter w;
-    w.u64(p.sessionId);
-    w.str(p.subject);
-    return w.take();
+    Bytes out;
+    encodeAuthOkInto(p, out);
+    return out;
 }
 
 Result<AuthOkPayload>
@@ -219,21 +299,28 @@ decodeAuthOk(const Bytes &payload)
     return p;
 }
 
+void
+encodeSubmitInto(const WireRequest &r, Bytes &out)
+{
+    ByteAppender a(out);
+    a.u64(r.sequence);
+    a.u64(r.affinity);
+    a.u32(static_cast<std::uint32_t>(r.priority));
+    a.u8(r.wantQuote ? 1 : 0);
+    a.u32(r.dataPages);
+    a.u64(static_cast<std::uint64_t>(r.slicedComputeTicks));
+    a.u64(r.deadlineTicks);
+    a.str(r.palName);
+    a.str(r.backend);
+    a.lengthPrefixed(r.input);
+}
+
 Bytes
 encodeSubmit(const WireRequest &r)
 {
-    ByteWriter w;
-    w.u64(r.sequence);
-    w.u64(r.affinity);
-    w.u32(static_cast<std::uint32_t>(r.priority));
-    w.u8(r.wantQuote ? 1 : 0);
-    w.u32(r.dataPages);
-    w.u64(static_cast<std::uint64_t>(r.slicedComputeTicks));
-    w.u64(r.deadlineTicks);
-    w.str(r.palName);
-    w.str(r.backend);
-    w.lengthPrefixed(r.input);
-    return w.take();
+    Bytes out;
+    encodeSubmitInto(r, out);
+    return out;
 }
 
 Result<WireRequest>
@@ -286,13 +373,27 @@ decodeSubmit(const Bytes &payload)
     return req;
 }
 
+void
+encodeReportInto(std::uint64_t sequence, const Bytes &report,
+                 Bytes &out)
+{
+    ByteAppender a(out);
+    a.u64(sequence);
+    a.lengthPrefixed(report);
+}
+
+void
+encodeReportInto(const ReportPayload &p, Bytes &out)
+{
+    encodeReportInto(p.sequence, p.report, out);
+}
+
 Bytes
 encodeReport(const ReportPayload &p)
 {
-    ByteWriter w;
-    w.u64(p.sequence);
-    w.lengthPrefixed(p.report);
-    return w.take();
+    Bytes out;
+    encodeReportInto(p, out);
+    return out;
 }
 
 Result<ReportPayload>
@@ -313,14 +414,21 @@ decodeReport(const Bytes &payload)
     return p;
 }
 
+void
+encodeBusyInto(const BusyPayload &p, Bytes &out)
+{
+    ByteAppender a(out);
+    a.u64(p.sequence);
+    a.u16(static_cast<std::uint16_t>(p.reason));
+    a.u32(p.retryAfterMillis);
+}
+
 Bytes
 encodeBusy(const BusyPayload &p)
 {
-    ByteWriter w;
-    w.u64(p.sequence);
-    w.u16(static_cast<std::uint16_t>(p.reason));
-    w.u32(p.retryAfterMillis);
-    return w.take();
+    Bytes out;
+    encodeBusyInto(p, out);
+    return out;
 }
 
 Result<BusyPayload>
@@ -350,13 +458,20 @@ decodeBusy(const Bytes &payload)
     return p;
 }
 
+void
+encodeErrorInto(const ErrorPayload &p, Bytes &out)
+{
+    ByteAppender a(out);
+    a.u16(p.code);
+    a.str(p.message);
+}
+
 Bytes
 encodeError(const ErrorPayload &p)
 {
-    ByteWriter w;
-    w.u16(p.code);
-    w.str(p.message);
-    return w.take();
+    Bytes out;
+    encodeErrorInto(p, out);
+    return out;
 }
 
 Result<ErrorPayload>

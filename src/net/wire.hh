@@ -75,6 +75,28 @@ struct Frame
 /** Serialize a frame (header + payload). */
 Bytes encodeFrame(const Frame &frame);
 
+/** @name Zero-copy framing.
+ * The reactor hot path never builds a frame in a temporary vector: it
+ * opens a frame directly inside the connection's reusable tx buffer,
+ * appends the payload in place, and patches the length afterwards.
+ * The bytes produced are identical to encodeFrame's. @{ */
+
+/** Append a whole frame (header + payload) to @p out. */
+void encodeFrameInto(const Frame &frame, Bytes &out);
+
+/**
+ * Open a frame of @p type at the end of @p out: appends the header
+ * with a zero length field and returns the frame's start offset.
+ * Append the payload bytes, then call endFrame with the offset.
+ */
+std::size_t beginFrame(FrameType type, Bytes &out);
+
+/** Patch the length field of the frame opened at @p frame_start to
+ *  cover everything appended since beginFrame. */
+void endFrame(Bytes &out, std::size_t frame_start);
+
+/** @} */
+
 /**
  * Try to take one complete frame off the front of @p buf (a socket
  * receive buffer). Returns the frame (consuming its bytes), nullopt
@@ -83,6 +105,17 @@ Bytes encodeFrame(const Frame &frame);
  * dropped, since resynchronization inside a byte stream is impossible.
  */
 Result<std::optional<Frame>> takeFrame(Bytes &buf);
+
+/**
+ * Offset-based sibling of takeFrame for the reactor: parses the frame
+ * at @p offset in @p buf into @p out (reusing out.payload's capacity)
+ * and advances @p offset past it, without erasing consumed bytes --
+ * the caller compacts the buffer once per reactor pass instead of
+ * paying a memmove per frame. Returns true when a frame was taken,
+ * false when more bytes are needed, or the same Errors as takeFrame.
+ */
+Result<bool> takeFrameInto(const Bytes &buf, std::size_t &offset,
+                           Frame &out);
 
 /** @name Handshake payloads. @{ */
 
@@ -168,29 +201,44 @@ struct ErrorPayload
 /** @} */
 
 /** @name Payload codecs (all decoders are total: any byte string in,
- *  clean Result out). @{ */
+ *  clean Result out). Each encoder has an -Into sibling that appends
+ *  to a caller-owned buffer (typically between beginFrame/endFrame);
+ *  the Bytes-returning form wraps it, so both emit identical bytes. @{ */
 Bytes encodeHello(const HelloPayload &p);
+void encodeHelloInto(const HelloPayload &p, Bytes &out);
 Result<HelloPayload> decodeHello(const Bytes &payload);
 
 Bytes encodeChallenge(const ChallengePayload &p);
+void encodeChallengeInto(const ChallengePayload &p, Bytes &out);
 Result<ChallengePayload> decodeChallenge(const Bytes &payload);
 
 Bytes encodeAuth(const AuthPayload &p);
+void encodeAuthInto(const AuthPayload &p, Bytes &out);
 Result<AuthPayload> decodeAuth(const Bytes &payload);
 
 Bytes encodeAuthOk(const AuthOkPayload &p);
+void encodeAuthOkInto(const AuthOkPayload &p, Bytes &out);
 Result<AuthOkPayload> decodeAuthOk(const Bytes &payload);
 
 Bytes encodeSubmit(const WireRequest &r);
+void encodeSubmitInto(const WireRequest &r, Bytes &out);
 Result<WireRequest> decodeSubmit(const Bytes &payload);
 
 Bytes encodeReport(const ReportPayload &p);
+void encodeReportInto(const ReportPayload &p, Bytes &out);
+/** Zero-copy variant: append the payload without materializing a
+ *  ReportPayload (the report bytes go straight from the service's
+ *  encode to the tx buffer). */
+void encodeReportInto(std::uint64_t sequence, const Bytes &report,
+                      Bytes &out);
 Result<ReportPayload> decodeReport(const Bytes &payload);
 
 Bytes encodeBusy(const BusyPayload &p);
+void encodeBusyInto(const BusyPayload &p, Bytes &out);
 Result<BusyPayload> decodeBusy(const Bytes &payload);
 
 Bytes encodeError(const ErrorPayload &p);
+void encodeErrorInto(const ErrorPayload &p, Bytes &out);
 Result<ErrorPayload> decodeError(const Bytes &payload);
 /** @} */
 

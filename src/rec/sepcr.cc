@@ -13,6 +13,22 @@
 namespace mintcb::rec
 {
 
+namespace
+{
+
+/** One extend step v' = H(v || d), streamed (no concatenation buffer). */
+Bytes
+extendValue(const Bytes &value, const Bytes &digest)
+{
+    crypto::Sha1 ctx;
+    ctx.update(value);
+    ctx.update(digest);
+    const auto out = ctx.finish();
+    return Bytes(out.begin(), out.end());
+}
+
+} // namespace
+
 const char *
 sePcrStateName(SePcrState s)
 {
@@ -74,10 +90,8 @@ SePcrTpm::allocateAndMeasure(const Bytes &pal_image,
         SePcr &p = sePcrs_[h];
         p.state = SePcrState::exclusive;
         p.value.assign(crypto::sha1DigestSize, 0x00);
-        Bytes cat = p.value;
-        const Bytes m = crypto::Sha1::digestBytes(pal_image);
-        cat.insert(cat.end(), m.begin(), m.end());
-        p.value = crypto::Sha1::digestBytes(cat);
+        p.value = extendValue(p.value,
+                              crypto::Sha1::digestBytes(pal_image));
         return h;
     }
     return Error(Errc::resourceExhausted,
@@ -117,9 +131,7 @@ SePcrTpm::extend(SePcrHandle h, const Bytes &digest, SePcrHandle caller)
     }
     base_.charge(base_.profile().extend, "sepcr:extend");
     SePcr &p = sePcrs_[h];
-    Bytes cat = p.value;
-    cat.insert(cat.end(), digest.begin(), digest.end());
-    p.value = crypto::Sha1::digestBytes(cat);
+    p.value = extendValue(p.value, digest);
     return okStatus();
 }
 
@@ -233,10 +245,7 @@ SePcrTpm::kill(SePcrHandle h, tpm::Locality locality)
     // Extend the kill marker (so any later quote shows the kill), then
     // transition straight to Free (Section 5.5).
     SePcr &p = sePcrs_[h];
-    const Bytes marker = killMarker();
-    Bytes cat = p.value;
-    cat.insert(cat.end(), marker.begin(), marker.end());
-    p.value = crypto::Sha1::digestBytes(cat);
+    p.value = extendValue(p.value, killMarker());
     p.state = SePcrState::free; // next allocateAndMeasure resets it
     return okStatus();
 }

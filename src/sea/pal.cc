@@ -54,13 +54,12 @@ Pal::measurement() const
 Bytes
 Pal::expectedPcr17() const
 {
-    Bytes zero(crypto::sha1DigestSize, 0x00);
-    const Bytes m = measurement();
-    Bytes cat = zero;
-    cat.reserve(zero.size() + m.size());
-    for (std::uint8_t b : m)
-        cat.push_back(b);
-    return crypto::Sha1::digestBytes(cat);
+    const Bytes zero(crypto::sha1DigestSize, 0x00);
+    crypto::Sha1 ctx;
+    ctx.update(zero);
+    ctx.update(measurement());
+    const auto digest = ctx.finish();
+    return Bytes(digest.begin(), digest.end());
 }
 
 PalContext::PalContext(machine::Machine &machine, CpuId cpu, Bytes input)

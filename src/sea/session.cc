@@ -22,9 +22,11 @@ SeaDriver::expectedIoBoundPcr17(const Pal &pal, const Bytes &input,
                                 const Bytes &output)
 {
     auto extend = [](const Bytes &value, const Bytes &measurement) {
-        Bytes cat = value;
-        cat.insert(cat.end(), measurement.begin(), measurement.end());
-        return crypto::Sha1::digestBytes(cat);
+        crypto::Sha1 ctx;
+        ctx.update(value);
+        ctx.update(measurement);
+        const auto digest = ctx.finish();
+        return Bytes(digest.begin(), digest.end());
     };
     Bytes pcr = pal.expectedPcr17(); // extend(0, H(pal))
     pcr = extend(pcr, crypto::Sha1::digestBytes(input));

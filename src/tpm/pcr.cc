@@ -37,10 +37,13 @@ PcrBank::extend(std::size_t index, const Bytes &measurement)
         return Error(Errc::invalidArgument,
                      "PCR extend requires a 20-byte SHA-1 digest");
     }
-    // v_{t+1} = H(v_t || m)  (Section 2.1.1)
-    Bytes cat = values_[index];
-    cat.insert(cat.end(), measurement.begin(), measurement.end());
-    values_[index] = crypto::Sha1::digestBytes(cat);
+    // v_{t+1} = H(v_t || m)  (Section 2.1.1), streamed through the
+    // incremental context so the extend never materializes v_t || m.
+    crypto::Sha1 ctx;
+    ctx.update(values_[index]);
+    ctx.update(measurement);
+    const auto digest = ctx.finish();
+    values_[index].assign(digest.begin(), digest.end());
     return okStatus();
 }
 

@@ -70,7 +70,7 @@ Tpm::reboot()
     busyUntil_ = TimePoint();
     pcrs_.reboot();
     hashSequenceOpen_ = false;
-    hashBuffer_.clear();
+    hashSeq_.reset();
     lockHolder_.reset();
     transportTickets_.clear();
 }
@@ -353,7 +353,7 @@ Tpm::hashStart(Locality locality)
     ++stats_.hashSequences;
     charge(profile_.hashStartStop / 2, "tpm:hash_seq");
     hashSequenceOpen_ = true;
-    hashBuffer_.clear();
+    hashSeq_.reset();
     // The late launch resets the dynamic PCRs to zero (Section 2.2.1).
     for (std::size_t i = firstDynamicPcr; i < pcrCount; ++i)
         pcrs_.resetDynamic(i);
@@ -373,7 +373,7 @@ Tpm::hashData(const Bytes &chunk, Locality locality)
     // HP dc5750 (Section 4.3.1).
     charge(profile_.hashWaitPerByte * static_cast<double>(chunk.size()),
            "tpm:hash_data");
-    hashBuffer_.insert(hashBuffer_.end(), chunk.begin(), chunk.end());
+    hashSeq_.update(chunk);
     return okStatus();
 }
 
@@ -387,9 +387,10 @@ Tpm::hashEnd(Locality locality)
                      "TPM_HASH_END outside a hash sequence");
     }
     charge(profile_.hashStartStop / 2, "tpm:hash_seq");
-    const Bytes measurement = crypto::Sha1::digestBytes(hashBuffer_);
+    const auto digest = hashSeq_.finish();
+    const Bytes measurement(digest.begin(), digest.end());
     hashSequenceOpen_ = false;
-    hashBuffer_.clear();
+    hashSeq_.reset();
     return pcrs_.extend(dynamicLaunchPcr, measurement);
 }
 

@@ -23,6 +23,7 @@
 #include "common/simtime.hh"
 #include "common/types.hh"
 #include "crypto/rsa.hh"
+#include "crypto/sha1.hh"
 #include "tpm/blob.hh"
 #include "tpm/pcr.hh"
 #include "common/counters.hh"
@@ -233,7 +234,9 @@ class Tpm
     Timeline *clock_ = nullptr;
 
     bool hashSequenceOpen_ = false;
-    Bytes hashBuffer_;
+    //! Streaming TPM_HASH_DATA digest: chunks are absorbed as they
+    //! arrive instead of buffering the whole SLB until TPM_HASH_END.
+    crypto::Sha1 hashSeq_;
     std::optional<CpuId> lockHolder_;
     struct TransportTicket
     {

@@ -61,12 +61,18 @@ Bytes
 computeMac(const Bytes &key, std::uint8_t direction,
            std::uint64_t counter, const Bytes &ciphertext)
 {
+    // Only the fixed-size header goes through a ByteWriter; the
+    // ciphertext streams straight into the MAC, so long messages are
+    // never copied into a transcript buffer first.
     ByteWriter w;
     w.str("ts-mac");
     w.u8(direction);
     w.u64(counter);
-    w.lengthPrefixed(ciphertext);
-    return crypto::hmacSha256(key, w.bytes());
+    w.u32(static_cast<std::uint32_t>(ciphertext.size()));
+    crypto::HmacSha256 mac(key);
+    mac.update(w.bytes());
+    mac.update(ciphertext);
+    return mac.finish();
 }
 
 WrappedMessage

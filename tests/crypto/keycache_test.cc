@@ -5,7 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/bytebuf.hh"
+#include "common/hex.hh"
 #include "crypto/keycache.hh"
+#include "crypto/prime.hh"
 #include "crypto/sha256.hh"
 
 namespace mintcb::crypto
@@ -58,6 +67,81 @@ TEST(KeyCache, KeysAreDeterministicAcrossTheDiskLayer)
     const RsaPrivateKey fresh = rsaGenerate(rng, 512);
     EXPECT_EQ(cached.pub.n, fresh.pub.n);
     EXPECT_EQ(cached.d, fresh.d);
+}
+
+TEST(KeyCache, ServedKeysCarryCrtParameters)
+{
+    // Every key the cache hands out must take rsaPrivateOp's fast
+    // path, whether it was generated this process or loaded from disk.
+    EXPECT_TRUE(cachedKey("kc-crt-served", 512).hasCrt());
+}
+
+TEST(KeyCache, MemoizedHitNeverRegeneratesPrimes)
+{
+    (void)cachedKey("kc-hit-count", 512); // generate or load once
+    const std::uint64_t before = primeGenerationCount();
+    (void)cachedKey("kc-hit-count", 512);
+    EXPECT_EQ(primeGenerationCount(), before);
+}
+
+/** Mirror of keycache.cc's on-disk path derivation. */
+std::string
+diskPathFor(const std::string &label, std::size_t bits)
+{
+    const char *tmp = std::getenv("TMPDIR");
+    const std::string dir = tmp ? tmp : "/tmp";
+    const Bytes digest =
+        Sha256::digestBytes(asciiBytes(label + ":" +
+                                       std::to_string(bits)));
+    return dir + "/mintcb-key-" +
+           toHex(Bytes(digest.begin(), digest.begin() + 16)) + ".bin";
+}
+
+TEST(KeyCache, LegacyDiskEntryAugmentedWithoutPrimeSearch)
+{
+    // Plant a pre-CRT cache file (eight-field layout with the CRT
+    // values zeroed, as augment-era code would find after a partial
+    // write of old software) under a label this process has not
+    // touched, then ask the cache for it: the key must come back
+    // CRT-complete, the disk copy must be upgraded, and no prime
+    // generation may run -- a cache hit never pays for a prime search.
+    Rng rng(0x1eac);
+    RsaPrivateKey planted = rsaGenerate(rng, 512);
+    RsaPrivateKey legacy = planted;
+    legacy.dP = BigNum();
+    legacy.dQ = BigNum();
+    legacy.qInv = BigNum();
+
+    const std::string label =
+        "kc-legacy-" + std::to_string(::getpid());
+    const std::string path = diskPathFor(label, 512);
+    {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good());
+        const Bytes wire = legacy.encode();
+        out.write(reinterpret_cast<const char *>(wire.data()),
+                  static_cast<std::streamsize>(wire.size()));
+    }
+
+    const std::uint64_t before = primeGenerationCount();
+    const RsaPrivateKey &served = cachedKey(label, 512);
+    EXPECT_EQ(primeGenerationCount(), before)
+        << "cache hit re-ran prime generation";
+    EXPECT_EQ(served.pub.n, planted.pub.n);
+    EXPECT_TRUE(served.hasCrt());
+    EXPECT_EQ(served.dP, planted.dP);
+    EXPECT_EQ(served.dQ, planted.dQ);
+    EXPECT_EQ(served.qInv, planted.qInv);
+
+    // The upgraded form was re-stored for the next process.
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    const Bytes wire((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    auto reloaded = RsaPrivateKey::decode(wire);
+    ASSERT_TRUE(reloaded.ok());
+    EXPECT_TRUE(reloaded->hasCrt());
+    std::remove(path.c_str());
 }
 
 } // namespace

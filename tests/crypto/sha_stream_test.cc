@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Incremental-hash tests: streaming any chunking of a buffer through
+ * Sha1/Sha256/HmacCtx must equal the one-shot digest -- including the
+ * block-boundary cases (1 B, unaligned, one short of / exactly / one
+ * past a 64 B block) that exercise the internal buffering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/hex.hh"
+#include "common/rng.hh"
+#include "crypto/hmac.hh"
+#include "crypto/sha1.hh"
+#include "crypto/sha256.hh"
+
+namespace mintcb::crypto
+{
+namespace
+{
+
+const Bytes &
+testData()
+{
+    static const Bytes data = [] {
+        Rng rng(0x5ea5);
+        return rng.bytes(4096 + 17);
+    }();
+    return data;
+}
+
+constexpr std::size_t chunkSweep[] = {1, 7, 63, 64, 65, 128, 1000};
+
+template <typename Hash>
+Bytes
+streamed(const Bytes &data, std::size_t chunk)
+{
+    Hash ctx;
+    for (std::size_t at = 0; at < data.size(); at += chunk) {
+        const std::size_t n = std::min(chunk, data.size() - at);
+        ctx.update(data.data() + at, n);
+    }
+    const auto digest = ctx.finish();
+    return Bytes(digest.begin(), digest.end());
+}
+
+TEST(ShaStream, Sha1ChunkSweepEqualsOneShot)
+{
+    const Bytes expected = Sha1::digestBytes(testData());
+    for (std::size_t chunk : chunkSweep)
+        EXPECT_EQ(streamed<Sha1>(testData(), chunk), expected)
+            << "chunk " << chunk;
+}
+
+TEST(ShaStream, Sha256ChunkSweepEqualsOneShot)
+{
+    const Bytes expected = Sha256::digestBytes(testData());
+    for (std::size_t chunk : chunkSweep)
+        EXPECT_EQ(streamed<Sha256>(testData(), chunk), expected)
+            << "chunk " << chunk;
+}
+
+TEST(ShaStream, EmptyUpdatesAreNoOps)
+{
+    Sha256 ctx;
+    ctx.update(nullptr, 0);
+    ctx.update(testData());
+    ctx.update(testData().data(), 0);
+    const auto digest = ctx.finish();
+    EXPECT_EQ(Bytes(digest.begin(), digest.end()),
+              Sha256::digestBytes(testData()));
+}
+
+TEST(ShaStream, ResetAllowsContextReuse)
+{
+    Sha1 ctx;
+    ctx.update(asciiBytes("first message"));
+    ctx.finish();
+    ctx.reset();
+    ctx.update(testData());
+    const auto digest = ctx.finish();
+    EXPECT_EQ(Bytes(digest.begin(), digest.end()),
+              Sha1::digestBytes(testData()));
+}
+
+TEST(ShaStream, HmacIncrementalEqualsOneShot)
+{
+    Rng rng(0x4a3c);
+    const Bytes key = rng.bytes(32);
+
+    for (std::size_t chunk : chunkSweep) {
+        HmacSha256 mac(key);
+        for (std::size_t at = 0; at < testData().size(); at += chunk) {
+            const std::size_t n =
+                std::min(chunk, testData().size() - at);
+            mac.update(testData().data() + at, n);
+        }
+        EXPECT_EQ(mac.finish(), hmacSha256(key, testData()))
+            << "chunk " << chunk;
+    }
+
+    HmacSha1 mac1(key);
+    mac1.update(testData());
+    EXPECT_EQ(mac1.finish(), hmacSha1(key, testData()));
+}
+
+TEST(ShaStream, HmacLongKeyIsHashedLikeRfc2104)
+{
+    // Keys longer than the 64 B block are replaced by their digest;
+    // the streaming context must match the one-shot wrapper here too.
+    Rng rng(0x10b6);
+    const Bytes long_key = rng.bytes(200);
+    HmacSha256 mac(long_key);
+    mac.update(testData());
+    EXPECT_EQ(mac.finish(), hmacSha256(long_key, testData()));
+}
+
+} // namespace
+} // namespace mintcb::crypto

@@ -288,5 +288,175 @@ TEST(ReportSummary, CarriesFailureStatus)
     EXPECT_EQ(summary->errorMessage, "no sePCR free");
 }
 
+// --- Zero-copy framing: every -Into sibling must emit exactly the
+// --- bytes of its allocating counterpart, and the offset-based frame
+// --- extractor must behave like takeFrame without consuming the buffer.
+
+TEST(ZeroCopy, EncodeFrameIntoMatchesEncodeFrame)
+{
+    const Frame frame = sampleFrame();
+    Bytes out = asciiBytes("prefix-"); // must append, not clobber
+    encodeFrameInto(frame, out);
+    Bytes expected = asciiBytes("prefix-");
+    const Bytes wire = encodeFrame(frame);
+    expected.insert(expected.end(), wire.begin(), wire.end());
+    EXPECT_EQ(out, expected);
+}
+
+TEST(ZeroCopy, BeginEndFrameMatchesEncodeFrame)
+{
+    WireRequest r;
+    r.sequence = 7;
+    r.palName = "echo";
+    r.input = asciiBytes("in-place");
+
+    Bytes out;
+    const std::size_t at = beginFrame(FrameType::submit, out);
+    encodeSubmitInto(r, out);
+    endFrame(out, at);
+    EXPECT_EQ(out, encodeFrame({FrameType::submit, encodeSubmit(r)}));
+
+    // A second frame appended to the same buffer patches its own
+    // length field, not the first frame's.
+    const std::size_t at2 = beginFrame(FrameType::flush, out);
+    endFrame(out, at2);
+    const Bytes flush = encodeFrame({FrameType::flush, Bytes{}});
+    EXPECT_EQ(Bytes(out.end() - static_cast<std::ptrdiff_t>(flush.size()),
+                    out.end()),
+              flush);
+}
+
+TEST(ZeroCopy, PayloadEncodersMatchAllocatingForms)
+{
+    HelloPayload hello;
+    hello.nonce = asciiBytes("fresh");
+    hello.clientName = "zc";
+    ChallengePayload challenge;
+    challenge.attestation = asciiBytes("attn");
+    challenge.nonce = asciiBytes("gw-nonce");
+    AuthPayload auth;
+    auth.attestation = asciiBytes("client-attn");
+    AuthOkPayload ok;
+    ok.sessionId = 99;
+    ok.subject = "platform";
+    WireRequest submit;
+    submit.sequence = 3;
+    submit.palName = "echo";
+    ReportPayload report;
+    report.sequence = 3;
+    report.report = asciiBytes("encoded-report");
+    BusyPayload busy;
+    busy.sequence = 3;
+    busy.reason = BusyReason::rateLimited;
+    busy.retryAfterMillis = 25;
+    ErrorPayload error;
+    error.code = 7;
+    error.message = "nope";
+
+    auto matches = [](const Bytes &legacy, auto &&into) {
+        Bytes out;
+        into(out);
+        return out == legacy;
+    };
+    EXPECT_TRUE(matches(encodeHello(hello), [&](Bytes &o) {
+        encodeHelloInto(hello, o);
+    }));
+    EXPECT_TRUE(matches(encodeChallenge(challenge), [&](Bytes &o) {
+        encodeChallengeInto(challenge, o);
+    }));
+    EXPECT_TRUE(matches(encodeAuth(auth), [&](Bytes &o) {
+        encodeAuthInto(auth, o);
+    }));
+    EXPECT_TRUE(matches(encodeAuthOk(ok), [&](Bytes &o) {
+        encodeAuthOkInto(ok, o);
+    }));
+    EXPECT_TRUE(matches(encodeSubmit(submit), [&](Bytes &o) {
+        encodeSubmitInto(submit, o);
+    }));
+    EXPECT_TRUE(matches(encodeReport(report), [&](Bytes &o) {
+        encodeReportInto(report, o);
+    }));
+    EXPECT_TRUE(matches(encodeReport(report), [&](Bytes &o) {
+        encodeReportInto(report.sequence, report.report, o);
+    }));
+    EXPECT_TRUE(matches(encodeBusy(busy), [&](Bytes &o) {
+        encodeBusyInto(busy, o);
+    }));
+    EXPECT_TRUE(matches(encodeError(error), [&](Bytes &o) {
+        encodeErrorInto(error, o);
+    }));
+}
+
+TEST(ZeroCopy, TakeFrameIntoWalksAStreamWithoutConsuming)
+{
+    Bytes wire = encodeFrame(sampleFrame());
+    const Bytes second = encodeFrame({FrameType::flush, Bytes{}});
+    wire.insert(wire.end(), second.begin(), second.end());
+
+    std::size_t offset = 0;
+    Frame scratch;
+    auto first = takeFrameInto(wire, offset, scratch);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(*first);
+    EXPECT_EQ(scratch.type, FrameType::hello);
+    EXPECT_EQ(scratch.payload, sampleFrame().payload);
+
+    auto next = takeFrameInto(wire, offset, scratch);
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(*next);
+    EXPECT_EQ(scratch.type, FrameType::flush);
+    EXPECT_TRUE(scratch.payload.empty());
+    EXPECT_EQ(offset, wire.size());
+
+    // Nothing left: need-more-bytes, and the buffer was never mutated.
+    auto done = takeFrameInto(wire, offset, scratch);
+    ASSERT_TRUE(done.ok());
+    EXPECT_FALSE(*done);
+    Bytes check = encodeFrame(sampleFrame());
+    check.insert(check.end(), second.begin(), second.end());
+    EXPECT_EQ(wire, check);
+}
+
+TEST(ZeroCopy, TakeFrameIntoPartialFrameNeedsMoreBytes)
+{
+    const Bytes wire = encodeFrame(sampleFrame());
+    Frame scratch;
+    for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+        const Bytes partial(wire.begin(),
+                            wire.begin() + static_cast<std::ptrdiff_t>(cut));
+        std::size_t offset = 0;
+        auto taken = takeFrameInto(partial, offset, scratch);
+        ASSERT_TRUE(taken.ok()) << "cut " << cut;
+        EXPECT_FALSE(*taken) << "cut " << cut;
+        EXPECT_EQ(offset, 0u) << "cut " << cut;
+    }
+}
+
+TEST(ZeroCopy, TakeFrameIntoRejectsWhatTakeFrameRejects)
+{
+    // Same corruption cases as the takeFrame tests above: bad magic,
+    // version mismatch, oversized length, unknown type.
+    const Bytes good = encodeFrame(sampleFrame());
+    const std::pair<std::size_t, std::uint8_t> corruptions[] = {
+        {0, 0xff}, // magic
+        {5, static_cast<std::uint8_t>(wireVersion + 1)},
+        {8, 0x7f}, // length ~2 GiB
+        {7, 0x7f}, // unknown type
+    };
+    for (const auto &[index, value] : corruptions) {
+        Bytes wire = good;
+        wire[index] = index == 0 ? wire[0] ^ value : value;
+        Bytes erased = wire;
+        std::size_t offset = 0;
+        Frame scratch;
+        auto a = takeFrame(erased);
+        auto b = takeFrameInto(wire, offset, scratch);
+        ASSERT_FALSE(a.ok()) << "index " << index;
+        ASSERT_FALSE(b.ok()) << "index " << index;
+        EXPECT_EQ(a.error().code, b.error().code) << "index " << index;
+        EXPECT_EQ(offset, 0u);
+    }
+}
+
 } // namespace
 } // namespace mintcb::net
