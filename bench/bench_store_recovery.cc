@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Sealed-store durability benchmark: WAL append/commit cost, recovery
+ * replay, and snapshot compaction.
+ *
+ * The JSON artifact gates the *deterministic* shape of the durability
+ * story -- record counts, WAL byte sizes, replayed batches, and the
+ * compaction ratio are pure functions of the scripted workload (the
+ * engine's identity machine and every value payload are seeded), so
+ * any drift is a format or replay regression, not noise. Raw host
+ * timings carry "host" in their labels and are exempt.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/hex.hh"
+#include "common/rng.hh"
+#include "store/engine.hh"
+#include "store/wal.hh"
+#include "support/benchutil.hh"
+
+using namespace mintcb;
+
+namespace
+{
+
+/** Host milliseconds for one call to @p fn. */
+template <typename F>
+double
+hostMs(F &&fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/** Scratch directory for one benchmark scenario. */
+class Scratch
+{
+  public:
+    Scratch()
+    {
+        std::string tmpl = "/tmp/mintcb-bench-store-XXXXXX";
+        root_ = mkdtemp(tmpl.data());
+    }
+    ~Scratch()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(root_, ec);
+    }
+    std::string dir() const { return root_ + "/state"; }
+
+  private:
+    std::string root_;
+};
+
+std::size_t
+fileSize(const std::string &path)
+{
+    std::error_code ec;
+    const auto n = std::filesystem::file_size(path, ec);
+    return ec ? 0 : static_cast<std::size_t>(n);
+}
+
+store::StoreConfig
+benchConfig(const Scratch &scratch)
+{
+    store::StoreConfig cfg;
+    cfg.dir = scratch.dir();
+    cfg.snapshotEvery = 0; // compaction is measured explicitly
+    return cfg;
+}
+
+/** The scripted workload: 64 batches of four puts over a 16-key
+ *  working set (so compaction has garbage to drop), values 64..448
+ *  bytes from fixed seeds. */
+void
+runWorkload(store::SealedStore &s)
+{
+    for (int batch = 0; batch < 64; ++batch) {
+        for (int i = 0; i < 4; ++i) {
+            const int slot = (batch * 4 + i) % 16;
+            s.put("key-" + std::to_string(slot),
+                  Rng(batch * 31 + i).bytes(64 + (slot % 7) * 64));
+        }
+        s.commit();
+    }
+}
+
+void
+appendSection()
+{
+    benchutil::heading(
+        "WAL append + commit: 64 batches x 4 puts, 16-key working set");
+
+    Scratch scratch;
+    auto opened = store::SealedStore::open(benchConfig(scratch));
+    if (!opened) {
+        benchutil::check("store opened", false);
+        return;
+    }
+    store::SealedStore &s = **opened;
+    const double commitHostMs = hostMs([&] { runWorkload(s); }) / 64.0;
+
+    const store::StoreStats &st = s.stats();
+    benchutil::rowSimOnly("WAL records appended",
+                          double(st.walRecordsAppended), "records");
+    benchutil::rowSimOnly("WAL bytes appended",
+                          double(st.walBytesAppended), "bytes");
+    benchutil::rowSimOnly("fsyncs", double(st.fsyncs), "calls");
+    benchutil::rowSimOnly("commit latency (host ms)", commitHostMs,
+                          "ms");
+    benchutil::check("one record per mutation plus one per commit",
+                     st.walRecordsAppended == 64 * 4 + 64);
+    benchutil::check("one fsync per commit", st.fsyncs == 64);
+    benchutil::check("epoch equals acknowledged commits",
+                     s.epoch() == 64);
+
+    benchutil::counterDelta("store_wal_records_appended",
+                            double(st.walRecordsAppended));
+    benchutil::counterDelta("store_wal_bytes_appended",
+                            double(st.walBytesAppended));
+    benchutil::counterDelta("store_commit_fsyncs", double(st.fsyncs));
+    benchutil::counterDelta("host_ms_per_commit", commitHostMs);
+}
+
+void
+recoverySection()
+{
+    benchutil::heading("recovery replay: reopen after 64 batches");
+
+    Scratch scratch;
+    const store::StoreConfig cfg = benchConfig(scratch);
+    Bytes digestBefore;
+    {
+        auto opened = store::SealedStore::open(cfg);
+        if (!opened) {
+            benchutil::check("store opened", false);
+            return;
+        }
+        runWorkload(**opened);
+        digestBefore = (*opened)->stateDigest();
+    }
+
+    std::unique_ptr<store::SealedStore> recovered;
+    const double replayHostMs = hostMs([&] {
+        auto reopened = store::SealedStore::open(cfg);
+        if (reopened)
+            recovered = reopened.take();
+    });
+    if (!recovered) {
+        benchutil::check("recovery succeeded", false);
+        return;
+    }
+
+    const store::StoreStats &st = recovered->stats();
+    benchutil::rowSimOnly("records replayed",
+                          double(st.recordsReplayed), "records");
+    benchutil::rowSimOnly("commits replayed",
+                          double(st.commitsReplayed), "batches");
+    benchutil::rowSimOnly("replay latency (host ms)", replayHostMs,
+                          "ms");
+    benchutil::check("recovered digest matches pre-crash state",
+                     recovered->stateDigest() == digestBefore);
+    benchutil::check("every batch replayed", st.commitsReplayed == 64);
+
+    benchutil::counterDelta("store_records_replayed",
+                            double(st.recordsReplayed));
+    benchutil::counterDelta("store_commits_replayed",
+                            double(st.commitsReplayed));
+    benchutil::counterDelta("store_recovered_keys",
+                            double(recovered->size()));
+    benchutil::counterDelta("host_ms_replay", replayHostMs);
+}
+
+void
+compactionSection()
+{
+    benchutil::heading(
+        "snapshot + compaction: checkpoint after 64 batches");
+
+    Scratch scratch;
+    const store::StoreConfig cfg = benchConfig(scratch);
+    auto opened = store::SealedStore::open(cfg);
+    if (!opened) {
+        benchutil::check("store opened", false);
+        return;
+    }
+    store::SealedStore &s = **opened;
+    runWorkload(s);
+
+    const std::size_t walBefore = fileSize(s.walPath());
+    const double checkpointHostMs = hostMs([&] { s.checkpoint(); });
+    const std::size_t walAfter = fileSize(s.walPath());
+    const std::size_t snapBytes = fileSize(s.snapshotPath());
+    const double ratio =
+        walAfter > 0 ? double(walBefore) / double(walAfter) : 0.0;
+
+    benchutil::rowSimOnly("WAL before compaction", double(walBefore),
+                          "bytes");
+    benchutil::rowSimOnly("WAL after compaction", double(walAfter),
+                          "bytes");
+    benchutil::rowSimOnly("snapshot size", double(snapBytes), "bytes");
+    benchutil::rowSimOnly("compaction ratio (host-independent)", ratio,
+                          "x");
+    benchutil::rowSimOnly("checkpoint latency (host ms)",
+                          checkpointHostMs, "ms");
+    benchutil::check("compaction shrank the log at least 10x",
+                     ratio >= 10.0);
+    benchutil::check("snapshot holds the working set",
+                     snapBytes > 0 && s.size() == 16);
+
+    // Deterministic shape, gated: the compacted log is one keyBlob
+    // record, and the one-sided ratio floor keeps compaction honest.
+    benchutil::counterDelta("store_wal_bytes_before_compaction",
+                            double(walBefore));
+    benchutil::counterDelta("store_wal_bytes_after_compaction",
+                            double(walAfter));
+    benchutil::counterDelta("store_snapshot_bytes", double(snapBytes));
+    benchutil::counterDelta("ratio_store_compaction", ratio);
+    benchutil::counterDelta("host_ms_checkpoint", checkpointHostMs);
+}
+
+void
+BM_CommitBatch(benchmark::State &state)
+{
+    Scratch scratch;
+    auto opened = store::SealedStore::open(benchConfig(scratch));
+    if (!opened) {
+        state.SkipWithError("open failed");
+        return;
+    }
+    store::SealedStore &s = **opened;
+    int batch = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 4; ++i) {
+            s.put("key-" + std::to_string(i),
+                  Rng(batch * 31 + i).bytes(256));
+        }
+        s.commit();
+        ++batch;
+    }
+}
+
+void
+BM_RecoveryReplay(benchmark::State &state)
+{
+    Scratch scratch;
+    const store::StoreConfig cfg = benchConfig(scratch);
+    {
+        auto opened = store::SealedStore::open(cfg);
+        if (!opened) {
+            state.SkipWithError("open failed");
+            return;
+        }
+        runWorkload(**opened);
+    }
+    for (auto _ : state) {
+        auto reopened = store::SealedStore::open(cfg);
+        benchmark::DoNotOptimize(reopened.ok());
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_CommitBatch)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RecoveryReplay)->Unit(benchmark::kMillisecond);
+
+int
+main(int argc, char **argv)
+{
+    benchutil::stripJsonFlag(&argc, argv);
+    appendSection();
+    recoverySection();
+    compactionSection();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return benchutil::writeJsonArtifact() ? 0 : 1;
+}

@@ -61,6 +61,11 @@ decodeStore(const Bytes &wire)
 /** Per-op modeled compute. */
 constexpr Duration opCost = Duration::micros(40);
 
+/** Names under which a persistent incarnation lives in its store. */
+constexpr const char *kvImageKey = "kvstore/image";
+constexpr const char *kvCounterKey = "kvstore/counter";
+constexpr const char *kvNvKey = "kvstore/tpmnv";
+
 } // namespace
 
 SecureKvStore::SecureKvStore(sea::SeaDriver &driver) : driver_(driver)
@@ -173,9 +178,73 @@ SecureKvStore::session(Op op, const std::string &key, const Bytes &value,
         return payload.error();
     if (*kind == 1) {
         sealedImage_ = payload.take();
+        if (auto s = persistNow(); !s.ok())
+            return s.error();
         return Bytes{};
     }
     return payload.take();
+}
+
+Status
+SecureKvStore::attachPersistence(sea::SealedStateStore &store)
+{
+    if (initialized_) {
+        return Error(Errc::failedPrecondition,
+                     "attach persistence before initialize()");
+    }
+    persist_ = &store;
+    return okStatus();
+}
+
+Status
+SecureKvStore::persistNow()
+{
+    if (persist_ == nullptr)
+        return okStatus();
+    // Image first, chip NV second: a crash between the two leaves the
+    // durable counter *behind* the image version, which the freshness
+    // check accepts (version >= counter); the other order would make
+    // every such crash indistinguishable from a rollback attack.
+    if (auto s = persist_->storeSealedState(kvImageKey, sealedImage_);
+        !s.ok()) {
+        return s;
+    }
+    ByteWriter handle;
+    handle.u32(counterHandle_);
+    if (auto s = persist_->storeSealedState(kvCounterKey,
+                                            handle.take());
+        !s.ok()) {
+        return s;
+    }
+    return persist_->storeSealedState(
+        kvNvKey, driver_.machine().tpm().exportNvState());
+}
+
+Status
+SecureKvStore::restoreFromPersistence()
+{
+    auto nv = persist_->loadSealedState(kvNvKey);
+    if (!nv)
+        return nv.error();
+    if (auto s = driver_.machine().tpm().importNvState(*nv); !s.ok())
+        return s;
+    auto handleWire = persist_->loadSealedState(kvCounterKey);
+    if (!handleWire)
+        return handleWire.error();
+    ByteReader r(*handleWire);
+    auto handle = r.u32();
+    if (!handle || !r.atEnd()) {
+        return Error(Errc::integrityFailure,
+                     "malformed persisted counter handle");
+    }
+    auto image = persist_->loadSealedState(kvImageKey);
+    if (!image)
+        return image.error();
+    counterHandle_ = *handle;
+    sealedImage_ = image.take();
+    initialized_ = true;
+    restored_ = true;
+    return okStatus();
 }
 
 Status
@@ -185,6 +254,8 @@ SecureKvStore::initialize(CpuId cpu)
         return Error(Errc::failedPrecondition,
                      "store already initialized");
     }
+    if (persist_ != nullptr && persist_->hasSealedState(kvImageKey))
+        return restoreFromPersistence();
     auto counter = driver_.machine().tpm().counterCreate();
     if (!counter)
         return counter.error();

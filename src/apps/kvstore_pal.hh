@@ -19,6 +19,7 @@
 
 #include "common/result.hh"
 #include "sea/session.hh"
+#include "sea/statestore.hh"
 
 namespace mintcb::apps
 {
@@ -29,8 +30,22 @@ class SecureKvStore
   public:
     explicit SecureKvStore(sea::SeaDriver &driver);
 
+    /**
+     * Attach a durable home for the sealed image *and* the chip NV
+     * (counter) state. Must be called before initialize(): with a
+     * store attached, initialize() restores a previous incarnation
+     * when one is present -- so the kvstore survives process restarts,
+     * not just context switches -- and every mutation re-persists.
+     */
+    Status attachPersistence(sea::SealedStateStore &store);
+
+    /** True when initialize() restored a previous incarnation instead
+     *  of creating a fresh store. */
+    bool restored() const { return restored_; }
+
     /** Create an empty store: binds a fresh monotonic counter and seals
-     *  version 1. */
+     *  version 1. With persistence attached, restores instead when a
+     *  previous incarnation is present. */
     Status initialize(CpuId cpu = 0);
 
     /** In-PAL: unseal, check freshness, insert/overwrite, bump the
@@ -65,11 +80,15 @@ class SecureKvStore
 
     Result<Bytes> session(Op op, const std::string &key,
                           const Bytes &value, CpuId cpu);
+    Status persistNow();
+    Status restoreFromPersistence();
 
     sea::SeaDriver &driver_;
     bool initialized_ = false;
+    bool restored_ = false;
     std::uint32_t counterHandle_ = 0;
     Bytes sealedImage_;
+    sea::SealedStateStore *persist_ = nullptr;
 };
 
 } // namespace mintcb::apps

@@ -79,6 +79,7 @@ class RecServiceBackend final : public Backend
         prog.priority = request.priority;
         prog.deadline = request.deadline;
         prog.wantQuote = request.wantQuote;
+        prog.stateStore = request.stateStore;
         const Bytes input = request.input;
         prog.onStart = [&machine, &slot,
                         &input](rec::PalHooks &hooks) -> Status {

@@ -10,6 +10,8 @@
 #include <map>
 #include <thread>
 
+#include "store/migrate.hh"
+
 namespace mintcb::net
 {
 
@@ -153,6 +155,82 @@ GatewayClient::submit(const WireRequest &request)
     txBuf_.clear();
     encodeSubmitInto(request, txBuf_);
     return channel_->send(FrameType::submit, txBuf_);
+}
+
+Status
+GatewayClient::migrateInto(store::SealedStore &target,
+                           const std::string &store_name)
+{
+    if (!connected())
+        return Error(Errc::failedPrecondition, "not connected");
+
+    // Round 1: ask for a challenge.
+    MigrateBeginPayload begin;
+    begin.storeName = store_name;
+    txBuf_.clear();
+    encodeMigrateBeginInto(begin, txBuf_);
+    if (auto s = channel_->send(FrameType::migrateBegin, txBuf_);
+        !s.ok()) {
+        return s;
+    }
+    auto challengeFrame = channel_->recv();
+    if (!challengeFrame)
+        return challengeFrame.error();
+    if (challengeFrame->type == FrameType::error) {
+        auto err = decodeError(challengeFrame->payload);
+        if (!err)
+            return err.error();
+        return Error(static_cast<Errc>(err->code), err->message);
+    }
+    if (challengeFrame->type != FrameType::migrateChallenge) {
+        return Error(Errc::failedPrecondition,
+                     std::string("expected migrateChallenge, got ") +
+                         frameTypeName(challengeFrame->type));
+    }
+    auto challenge = decodeMigrateChallenge(challengeFrame->payload);
+    if (!challenge)
+        return challenge.error();
+
+    // Round 2: the target quotes its launch identity over the bound
+    // nonce, stapled to the SRK that will receive the state.
+    auto attestation = target.attestForMigration(challenge->nonce);
+    if (!attestation)
+        return attestation.error();
+    MigratePayload migrate;
+    migrate.storeName = store_name;
+    migrate.nonce = challenge->nonce;
+    migrate.targetSrk = target.srkPublicEncoded();
+    migrate.attestation = attestation->encode();
+    txBuf_.clear();
+    encodeMigrateInto(migrate, txBuf_);
+    if (auto s = channel_->send(FrameType::migrate, txBuf_); !s.ok())
+        return s;
+    auto doneFrame = channel_->recv();
+    if (!doneFrame)
+        return doneFrame.error();
+    if (doneFrame->type == FrameType::error) {
+        auto err = decodeError(doneFrame->payload);
+        if (!err)
+            return err.error();
+        return Error(static_cast<Errc>(err->code), err->message);
+    }
+    if (doneFrame->type != FrameType::migrated) {
+        return Error(Errc::failedPrecondition,
+                     std::string("expected migrated, got ") +
+                         frameTypeName(doneFrame->type));
+    }
+    auto done = decodeMigrated(doneFrame->payload);
+    if (!done)
+        return done.error();
+    return store::MigrationAuthority::adopt(target, done->bundle);
+}
+
+Status
+GatewayClient::sendFrame(FrameType type, const Bytes &payload)
+{
+    if (!connected())
+        return Error(Errc::failedPrecondition, "not connected");
+    return channel_->send(type, payload);
 }
 
 Status

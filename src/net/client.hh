@@ -26,6 +26,11 @@
 #include "net/socket.hh"
 #include "net/wire.hh"
 
+namespace mintcb::store
+{
+class SealedStore; // defined in store/engine.hh
+}
+
 namespace mintcb::net
 {
 
@@ -95,9 +100,22 @@ class GatewayClient
     /** Single-request convenience over runBatch. */
     Result<ReportPayload> call(const WireRequest &request);
 
+    /**
+     * Drive the MIGRATE verbs on behalf of @p target, the receiving
+     * (empty) store on this side: request a challenge for
+     * @p store_name, quote the target's launch identity over
+     * sha256(nonce || target SRK), and adopt the returned bundle. On
+     * success the target holds the migrated state at a fresh epoch and
+     * the gateway-side source is permanently invalidated.
+     */
+    Status migrateInto(store::SealedStore &target,
+                       const std::string &store_name);
+
     /** @name Low-level access (tests, load generators). @{ */
     Status submit(const WireRequest &request);
     Status flush();
+    /** Send one arbitrary frame (protocol-violation tests). */
+    Status sendFrame(FrameType type, const Bytes &payload);
     /** Block for the next frame of any type. */
     Result<Frame> recvFrame();
     /** @} */

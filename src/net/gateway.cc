@@ -13,6 +13,8 @@
 #include <sstream>
 #include <utility>
 
+#include "store/migrate.hh"
+
 namespace mintcb::net
 {
 
@@ -53,6 +55,7 @@ struct Gateway::Conn
     State state = State::expectHello;
     std::string clientName;
     Bytes gatewayNonce; //!< challenge nonce this client must quote
+    Bytes migrationNonce; //!< outstanding MIGRATE challenge (if any)
     std::uint64_t session = 0;
     TokenBucket bucket;
     std::uint64_t lastActivityMs = 0;
@@ -90,7 +93,9 @@ GatewayStats::str() const
         << "gateway: drains=" << drains
         << " reports delivered=" << reportsDelivered
         << " dropped=" << reportsDropped
-        << " max-pending=" << maxPendingDepth << "\n";
+        << " max-pending=" << maxPendingDepth << "\n"
+        << "gateway: migrations served=" << migrationsServed
+        << " refused=" << migrationsRefused << "\n";
     return out.str();
 }
 
@@ -336,6 +341,10 @@ Gateway::handleFrame(Conn &conn, const Frame &frame)
         return handleAuth(conn, frame);
     case FrameType::submit:
         return handleSubmit(conn, frame);
+    case FrameType::migrateBegin:
+        return handleMigrateBegin(conn, frame);
+    case FrameType::migrate:
+        return handleMigrate(conn, frame);
     case FrameType::flush:
         flushRequested_ = true;
         return true;
@@ -518,6 +527,82 @@ Gateway::handleSubmit(Conn &conn, const Frame &frame)
     ++stats_.requestsAdmitted;
     stats_.maxPendingDepth =
         std::max(stats_.maxPendingDepth, pending_.size());
+    return true;
+}
+
+bool
+Gateway::handleMigrateBegin(Conn &conn, const Frame &frame)
+{
+    if (conn.state != Conn::State::attested) {
+        ++stats_.protocolErrors;
+        refuse(conn, Errc::permissionDenied,
+               "migrateBegin before an attested session was "
+               "established");
+        return false;
+    }
+    auto begin = decodeMigrateBegin(frame.payload);
+    if (!begin) {
+        ++stats_.protocolErrors;
+        refuse(conn, begin.error().code, begin.error().message);
+        return false;
+    }
+    if (config_.migration == nullptr ||
+        begin->storeName != config_.migrationStore) {
+        ++stats_.migrationsRefused;
+        refuse(conn, Errc::notFound,
+               "no migratable store named \"" + begin->storeName +
+                   "\"");
+        return false;
+    }
+    conn.migrationNonce = config_.migration->beginChallenge();
+    MigrateChallengePayload challenge;
+    challenge.nonce = conn.migrationNonce;
+    sendEncoded(conn, FrameType::migrateChallenge, [&](Bytes &out) {
+        encodeMigrateChallengeInto(challenge, out);
+    });
+    return true;
+}
+
+bool
+Gateway::handleMigrate(Conn &conn, const Frame &frame)
+{
+    if (conn.state != Conn::State::attested) {
+        ++stats_.protocolErrors;
+        refuse(conn, Errc::permissionDenied,
+               "migrate before an attested session was established");
+        return false;
+    }
+    auto migrate = decodeMigrate(frame.payload);
+    if (!migrate) {
+        ++stats_.protocolErrors;
+        refuse(conn, migrate.error().code, migrate.error().message);
+        return false;
+    }
+    // The nonce must be the one this connection was challenged with:
+    // the authority enforces single-use across the gateway, and this
+    // check additionally pins it to the conversation that asked.
+    if (config_.migration == nullptr ||
+        migrate->storeName != config_.migrationStore ||
+        conn.migrationNonce.empty() ||
+        migrate->nonce != conn.migrationNonce) {
+        ++stats_.migrationsRefused;
+        refuse(conn, Errc::permissionDenied,
+               "migrate does not answer this connection's challenge");
+        return false;
+    }
+    conn.migrationNonce.clear();
+    auto bundle = config_.migration->complete(
+        migrate->nonce, migrate->targetSrk, migrate->attestation);
+    if (!bundle) {
+        ++stats_.migrationsRefused;
+        refuse(conn, bundle.error().code, bundle.error().message);
+        return false;
+    }
+    ++stats_.migrationsServed;
+    MigratedPayload done;
+    done.bundle = bundle.take();
+    sendEncoded(conn, FrameType::migrated,
+                [&](Bytes &out) { encodeMigratedInto(done, out); });
     return true;
 }
 

@@ -49,6 +49,11 @@
 #include "obs/span.hh"
 #include "sea/service.hh"
 
+namespace mintcb::store
+{
+class MigrationAuthority; // defined in store/migrate.hh
+}
+
 namespace mintcb::net
 {
 
@@ -102,6 +107,15 @@ struct GatewayConfig
     /** Optional sim-time tracer: drain cycles and handshake verdicts
      *  land on obs::track::gateway. */
     obs::SpanTracer *tracer = nullptr;
+
+    /** @name Attested state migration (the MIGRATE verbs). @{ */
+    /** Authority serving outbound migrations of the gateway-side
+     *  sealed store. Null refuses every migrateBegin. Reactor-thread
+     *  use only (the reactor is the gateway's single thread). */
+    store::MigrationAuthority *migration = nullptr;
+    /** Store name clients must pass in migrateBegin. */
+    std::string migrationStore = "default";
+    /** @} */
 };
 
 /** Cumulative gateway observability (bridged to net_* metrics by
@@ -131,6 +145,9 @@ struct GatewayStats
     std::uint64_t reportsDelivered = 0;
     std::uint64_t reportsDropped = 0; //!< owner disconnected mid-drain
     std::size_t maxPendingDepth = 0;
+
+    std::uint64_t migrationsServed = 0;  //!< bundles handed out
+    std::uint64_t migrationsRefused = 0; //!< bad nonce/quote/name
 
     /** Multi-line human-readable rendering. */
     std::string str() const;
@@ -199,6 +216,8 @@ class Gateway
     bool handleHello(Conn &conn, const Frame &frame);
     bool handleAuth(Conn &conn, const Frame &frame);
     bool handleSubmit(Conn &conn, const Frame &frame);
+    bool handleMigrateBegin(Conn &conn, const Frame &frame);
+    bool handleMigrate(Conn &conn, const Frame &frame);
     void drainCycle();
     /** Open a frame of @p type directly inside conn.tx, run @p encode
      *  (a callable appending the payload bytes to the buffer), patch

@@ -74,6 +74,12 @@ bridgeGatewayStats(obs::MetricsRegistry &registry,
     counter("net_reports_dropped_total",
             "Reports dropped because the owner disconnected",
             &GatewayStats::reportsDropped);
+    counter("net_migrations_served_total",
+            "Attested migration bundles handed out",
+            &GatewayStats::migrationsServed);
+    counter("net_migrations_refused_total",
+            "Migrations refused (bad nonce, quote, or store name)",
+            &GatewayStats::migrationsRefused);
 
     registry.addCallback(
         "net_max_pending_depth",

@@ -24,6 +24,10 @@ frameTypeName(FrameType t)
       case FrameType::flush: return "flush";
       case FrameType::bye: return "bye";
       case FrameType::error: return "error";
+      case FrameType::migrateBegin: return "migrateBegin";
+      case FrameType::migrateChallenge: return "migrateChallenge";
+      case FrameType::migrate: return "migrate";
+      case FrameType::migrated: return "migrated";
     }
     return "unknown";
 }
@@ -35,7 +39,7 @@ bool
 knownType(std::uint16_t t)
 {
     return t >= static_cast<std::uint16_t>(FrameType::hello) &&
-           t <= static_cast<std::uint16_t>(FrameType::error);
+           t <= static_cast<std::uint16_t>(FrameType::migrated);
 }
 
 } // namespace
@@ -488,6 +492,137 @@ decodeError(const Bytes &payload)
         return message.error();
     p.message = message.take();
     if (auto s = finish(r, "error"); !s.ok())
+        return s.error();
+    return p;
+}
+
+void
+encodeMigrateBeginInto(const MigrateBeginPayload &p, Bytes &out)
+{
+    ByteAppender a(out);
+    a.str(p.storeName);
+}
+
+Bytes
+encodeMigrateBegin(const MigrateBeginPayload &p)
+{
+    Bytes out;
+    encodeMigrateBeginInto(p, out);
+    return out;
+}
+
+Result<MigrateBeginPayload>
+decodeMigrateBegin(const Bytes &payload)
+{
+    ByteReader r(payload);
+    MigrateBeginPayload p;
+    auto name = r.str();
+    if (!name)
+        return name.error();
+    p.storeName = name.take();
+    if (auto s = finish(r, "migrateBegin"); !s.ok())
+        return s.error();
+    return p;
+}
+
+void
+encodeMigrateChallengeInto(const MigrateChallengePayload &p, Bytes &out)
+{
+    ByteAppender a(out);
+    a.lengthPrefixed(p.nonce);
+}
+
+Bytes
+encodeMigrateChallenge(const MigrateChallengePayload &p)
+{
+    Bytes out;
+    encodeMigrateChallengeInto(p, out);
+    return out;
+}
+
+Result<MigrateChallengePayload>
+decodeMigrateChallenge(const Bytes &payload)
+{
+    ByteReader r(payload);
+    MigrateChallengePayload p;
+    auto nonce = r.lengthPrefixed();
+    if (!nonce)
+        return nonce.error();
+    p.nonce = nonce.take();
+    if (auto s = finish(r, "migrateChallenge"); !s.ok())
+        return s.error();
+    return p;
+}
+
+void
+encodeMigrateInto(const MigratePayload &p, Bytes &out)
+{
+    ByteAppender a(out);
+    a.str(p.storeName);
+    a.lengthPrefixed(p.nonce);
+    a.lengthPrefixed(p.targetSrk);
+    a.lengthPrefixed(p.attestation);
+}
+
+Bytes
+encodeMigrate(const MigratePayload &p)
+{
+    Bytes out;
+    encodeMigrateInto(p, out);
+    return out;
+}
+
+Result<MigratePayload>
+decodeMigrate(const Bytes &payload)
+{
+    ByteReader r(payload);
+    MigratePayload p;
+    auto name = r.str();
+    if (!name)
+        return name.error();
+    p.storeName = name.take();
+    auto nonce = r.lengthPrefixed();
+    if (!nonce)
+        return nonce.error();
+    p.nonce = nonce.take();
+    auto srk = r.lengthPrefixed();
+    if (!srk)
+        return srk.error();
+    p.targetSrk = srk.take();
+    auto att = r.lengthPrefixed();
+    if (!att)
+        return att.error();
+    p.attestation = att.take();
+    if (auto s = finish(r, "migrate"); !s.ok())
+        return s.error();
+    return p;
+}
+
+void
+encodeMigratedInto(const MigratedPayload &p, Bytes &out)
+{
+    ByteAppender a(out);
+    a.lengthPrefixed(p.bundle);
+}
+
+Bytes
+encodeMigrated(const MigratedPayload &p)
+{
+    Bytes out;
+    encodeMigratedInto(p, out);
+    return out;
+}
+
+Result<MigratedPayload>
+decodeMigrated(const Bytes &payload)
+{
+    ByteReader r(payload);
+    MigratedPayload p;
+    auto bundle = r.lengthPrefixed();
+    if (!bundle)
+        return bundle.error();
+    p.bundle = bundle.take();
+    if (auto s = finish(r, "migrated"); !s.ok())
         return s.error();
     return p;
 }

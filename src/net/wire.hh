@@ -60,6 +60,15 @@ enum class FrameType : std::uint16_t
     flush = 8,     //!< client -> gw: drain pending work now
     bye = 9,       //!< client -> gw: graceful close
     error = 10,    //!< gw -> client: protocol/handshake refusal
+    /** @name Attested state migration (DESIGN.md section 15.6).
+     * Two rounds after authOk: the target asks for a challenge, quotes
+     * its store identity over sha256(nonce || its SRK), and receives
+     * the re-sealed bundle. @{ */
+    migrateBegin = 11,     //!< client -> gw: name the store to migrate
+    migrateChallenge = 12, //!< gw -> client: fresh challenge nonce
+    migrate = 13,          //!< client -> gw: nonce + SRK + attestation
+    migrated = 14,         //!< gw -> client: MigrationBundle bytes
+    /** @} */
 };
 
 /** Printable frame-type name (logs, tests). */
@@ -198,6 +207,33 @@ struct ErrorPayload
     std::string message;
 };
 
+/** @name Migration payloads. @{ */
+
+struct MigrateBeginPayload
+{
+    std::string storeName; //!< which gateway-side store to migrate
+};
+
+struct MigrateChallengePayload
+{
+    Bytes nonce; //!< single-use challenge the target must quote over
+};
+
+struct MigratePayload
+{
+    std::string storeName;
+    Bytes nonce;       //!< echo of the challenge
+    Bytes targetSrk;   //!< RsaPublicKey::encode of the receiving SRK
+    Bytes attestation; //!< sea::Attestation over the bound nonce
+};
+
+struct MigratedPayload
+{
+    Bytes bundle; //!< store::MigrationBundle::encode
+};
+
+/** @} */
+
 /** @} */
 
 /** @name Payload codecs (all decoders are total: any byte string in,
@@ -240,6 +276,24 @@ Result<BusyPayload> decodeBusy(const Bytes &payload);
 Bytes encodeError(const ErrorPayload &p);
 void encodeErrorInto(const ErrorPayload &p, Bytes &out);
 Result<ErrorPayload> decodeError(const Bytes &payload);
+
+Bytes encodeMigrateBegin(const MigrateBeginPayload &p);
+void encodeMigrateBeginInto(const MigrateBeginPayload &p, Bytes &out);
+Result<MigrateBeginPayload> decodeMigrateBegin(const Bytes &payload);
+
+Bytes encodeMigrateChallenge(const MigrateChallengePayload &p);
+void encodeMigrateChallengeInto(const MigrateChallengePayload &p,
+                                Bytes &out);
+Result<MigrateChallengePayload>
+decodeMigrateChallenge(const Bytes &payload);
+
+Bytes encodeMigrate(const MigratePayload &p);
+void encodeMigrateInto(const MigratePayload &p, Bytes &out);
+Result<MigratePayload> decodeMigrate(const Bytes &payload);
+
+Bytes encodeMigrated(const MigratedPayload &p);
+void encodeMigratedInto(const MigratedPayload &p, Bytes &out);
+Result<MigratedPayload> decodeMigrated(const Bytes &payload);
 /** @} */
 
 /**

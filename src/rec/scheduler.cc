@@ -186,6 +186,7 @@ OsScheduler::runAll()
             task->waitRounds = 0;
             progressed = true;
             PalHooks hooks(exec_, task->secb, cpu);
+            hooks.setStateStore(task->program.stateStore);
 
             if (!task->startHookRan) {
                 task->startHookRan = true;

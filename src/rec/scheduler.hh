@@ -21,6 +21,11 @@
 #include "common/result.hh"
 #include "rec/instructions.hh"
 
+namespace mintcb::sea
+{
+class SealedStateStore; // defined in sea/statestore.hh (layering)
+}
+
 namespace mintcb::rec
 {
 
@@ -40,6 +45,9 @@ struct PalProgram
     std::function<Status(PalHooks &)> onStart;
     /** Runs inside the PAL on its final slice (e.g. seal new state). */
     std::function<Status(PalHooks &)> onFinish;
+    /** Durable home for sealed state, surfaced to the hooks; null keeps
+     *  the classic arrangement (the OS holds the blob). */
+    sea::SealedStateStore *stateStore = nullptr;
 };
 
 /** TPM/compute services available to a running PAL's hooks. */
@@ -61,10 +69,20 @@ class PalHooks
     /** Extend this PAL's sePCR (e.g. with input measurements). */
     Status extend(const Bytes &digest);
 
+    /** @name Durable sealed-state home, when the program attached one.
+     * @{ */
+    void setStateStore(sea::SealedStateStore *store)
+    {
+        stateStore_ = store;
+    }
+    sea::SealedStateStore *stateStore() const { return stateStore_; }
+    /** @} */
+
   private:
     SecureExecutive &exec_;
     Secb &secb_;
     CpuId cpu_;
+    sea::SealedStateStore *stateStore_ = nullptr;
 };
 
 /** Per-PAL completion record. */

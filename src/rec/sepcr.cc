@@ -166,7 +166,8 @@ SePcrTpm::unseal(SePcrHandle h, const tpm::SealedBlob &blob,
         // match the *invoking PAL's* sePCR.
         if (b.digestAtRelease != sePcrs_[h].value) {
             return Error(Errc::permissionDenied,
-                         "sePCR value does not match the sealed policy");
+                         "wrong PCR: sePCR value does not match the "
+                         "sealed policy");
         }
     }
     return base_.unsealRaw(blob);

@@ -28,6 +28,7 @@ namespace mintcb::sea
 {
 
 class PalContext;
+class SealedStateStore;
 
 /** The PAL's application-specific entry function. */
 using PalBody = std::function<Status(PalContext &)>;
@@ -117,6 +118,13 @@ class PalContext
     Duration unsealTime() const { return unsealTime_; }
     /** @} */
 
+    /** @name Durable sealed-state home (store engine), when attached.
+     * Null means the classic arrangement: the PAL hands its sealed
+     * blob back through output() and the untrusted OS keeps it. @{ */
+    void setStateStore(SealedStateStore *store) { stateStore_ = store; }
+    SealedStateStore *stateStore() const { return stateStore_; }
+    /** @} */
+
   private:
     machine::Machine &machine_;
     CpuId cpu_;
@@ -124,6 +132,7 @@ class PalContext
     Bytes output_;
     Duration sealTime_;
     Duration unsealTime_;
+    SealedStateStore *stateStore_ = nullptr;
 };
 
 } // namespace mintcb::sea

@@ -86,6 +86,7 @@ SeaDriver::run(const PalRequest &request, CpuId cpu)
 
     // 3. Execute the PAL body with hardware protections up.
     PalContext ctx(machine_, cpu, input);
+    ctx.setStateStore(request.stateStore);
     const TimePoint body_start = core.now();
     const Status body_status = pal.body()(ctx);
     const Duration body_total = core.now() - body_start;

@@ -1,0 +1,985 @@
+/**
+ * @file
+ * Durable sealed-state engine implementation.
+ */
+
+#include "store/engine.hh"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/bytebuf.hh"
+#include "crypto/sha256.hh"
+#include "latelaunch/latelaunch.hh"
+#include "store/migrate.hh"
+#include "tpm/blob.hh"
+
+namespace mintcb::store
+{
+
+namespace
+{
+
+/** Snapshot container magic: "MSS1". */
+constexpr std::uint32_t snapshotMagic = 0x4d535331;
+constexpr std::uint16_t snapshotVersion = 1;
+
+/** Where the identity SLB is staged for the launch. */
+constexpr PhysAddr storeSlbAddr = 0x10000;
+
+Error
+posixError(Errc code, const std::string &what)
+{
+    return Error(code, what + ": " + std::strerror(errno));
+}
+
+/** Read a whole file; notFound when it does not exist. */
+Result<Bytes>
+readFileBytes(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        if (errno == ENOENT)
+            return Error(Errc::notFound, "no such file: " + path);
+        return posixError(Errc::unavailable, "open " + path);
+    }
+    Bytes out;
+    std::uint8_t buf[64 * 1024];
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof buf);
+        if (n < 0) {
+            ::close(fd);
+            return posixError(Errc::unavailable, "read " + path);
+        }
+        if (n == 0)
+            break;
+        out.insert(out.end(), buf, buf + n);
+    }
+    ::close(fd);
+    return out;
+}
+
+/** fsync the directory containing @p path so a rename is durable. */
+void
+syncParentDir(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos
+                                ? std::string(".")
+                                : path.substr(0, slash);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+}
+
+/** Durable whole-file replace: tmp + fsync + rename + dir fsync. */
+Status
+writeFileDurable(const std::string &path, const Bytes &data)
+{
+    const std::string tmp = path + ".tmp";
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return posixError(Errc::unavailable, "create " + tmp);
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            ::close(fd);
+            return posixError(Errc::unavailable, "write " + tmp);
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        return posixError(Errc::unavailable, "fsync " + tmp);
+    }
+    ::close(fd);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        return posixError(Errc::unavailable, "rename to " + path);
+    syncParentDir(path);
+    return okStatus();
+}
+
+/** mkdir -p for the store directory. */
+Status
+makeDirs(const std::string &path)
+{
+    std::string sofar;
+    std::size_t pos = 0;
+    while (pos <= path.size()) {
+        const std::size_t slash = path.find('/', pos);
+        const std::size_t end =
+            slash == std::string::npos ? path.size() : slash;
+        sofar = path.substr(0, end);
+        pos = end + 1;
+        if (sofar.empty())
+            continue;
+        if (::mkdir(sofar.c_str(), 0755) != 0 && errno != EEXIST)
+            return posixError(Errc::unavailable, "mkdir " + sofar);
+        if (slash == std::string::npos)
+            break;
+    }
+    return okStatus();
+}
+
+} // namespace
+
+const char *
+syncPointName(SyncPoint p)
+{
+    switch (p) {
+      case SyncPoint::walAppended:
+        return "walAppended";
+      case SyncPoint::commitAppended:
+        return "commitAppended";
+      case SyncPoint::commitSynced:
+        return "commitSynced";
+      case SyncPoint::counterAdvanced:
+        return "counterAdvanced";
+      case SyncPoint::nvWritten:
+        return "nvWritten";
+      case SyncPoint::snapshotReplaced:
+        return "snapshotReplaced";
+      case SyncPoint::walRewritten:
+        return "walRewritten";
+    }
+    return "unknown";
+}
+
+std::string
+StoreStats::str() const
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "wal: %llu records / %llu bytes, %llu commits, %llu "
+        "checkpoints, %llu fsyncs\nreplay: %llu recoveries, %llu "
+        "records, %llu commits, %llu torn bytes, %llu uncommitted, "
+        "%llu repairs\nrefusals: %llu rollback\nmigration: %llu out, "
+        "%llu in",
+        static_cast<unsigned long long>(walRecordsAppended),
+        static_cast<unsigned long long>(walBytesAppended),
+        static_cast<unsigned long long>(commits),
+        static_cast<unsigned long long>(checkpoints),
+        static_cast<unsigned long long>(fsyncs),
+        static_cast<unsigned long long>(recoveries),
+        static_cast<unsigned long long>(recordsReplayed),
+        static_cast<unsigned long long>(commitsReplayed),
+        static_cast<unsigned long long>(tornBytesDiscarded),
+        static_cast<unsigned long long>(uncommittedDiscarded),
+        static_cast<unsigned long long>(counterRepairs),
+        static_cast<unsigned long long>(rollbackRejections),
+        static_cast<unsigned long long>(migrationsOut),
+        static_cast<unsigned long long>(migrationsIn));
+    return buf;
+}
+
+sea::Pal
+SealedStore::identityPal()
+{
+    return sea::Pal::fromLogic("mintcb-store", 12 * 1024,
+                               [](sea::PalContext &) {
+                                   return okStatus();
+                               });
+}
+
+SealedStore::SealedStore(StoreConfig cfg)
+    : config_(std::move(cfg)),
+      walPath_(config_.dir + "/wal.mwl"),
+      snapPath_(config_.dir + "/snapshot.mss"),
+      nvPath_(config_.nvPath.empty() ? config_.dir + ".tpmnv"
+                                     : config_.nvPath),
+      idMachine_(machine::PlatformSpec::forPlatform(config_.platform),
+                 config_.seed)
+{
+}
+
+SealedStore::~SealedStore()
+{
+    if (walFd_ >= 0)
+        ::close(walFd_);
+}
+
+Result<std::unique_ptr<SealedStore>>
+SealedStore::open(StoreConfig cfg)
+{
+    if (cfg.dir.empty())
+        return Error(Errc::invalidArgument, "store dir must be set");
+    std::unique_ptr<SealedStore> store(new SealedStore(std::move(cfg)));
+    if (auto s = store->openInternal(); !s.ok())
+        return s.error();
+    return store;
+}
+
+Status
+SealedStore::launchIdentity()
+{
+    const sea::Pal pal = identityPal();
+    latelaunch::LateLaunch launcher(idMachine_);
+    if (auto s = idMachine_.writeAs(0, storeSlbAddr, pal.slbImage());
+        !s.ok()) {
+        return s;
+    }
+    auto report = launcher.invoke(0, storeSlbAddr);
+    if (!report.ok())
+        return report.error();
+    launcher.resumeOtherCpus();
+    return okStatus();
+}
+
+Status
+SealedStore::loadChipNv()
+{
+    auto image = readFileBytes(nvPath_);
+    if (!image) {
+        if (image.error().code != Errc::notFound)
+            return image.error();
+        // Fresh chip: bind the store's freshness counter (handle 0).
+        auto handle = idMachine_.tpm().counterCreate();
+        if (!handle)
+            return handle.error();
+        counterHandle_ = *handle;
+        return okStatus();
+    }
+    if (auto s = idMachine_.tpm().importNvState(*image); !s.ok())
+        return s;
+    counterHandle_ = 0;
+    if (!idMachine_.tpm().counterRead(counterHandle_).ok()) {
+        return Error(Errc::integrityFailure,
+                     "chip NV image holds no freshness counter");
+    }
+    return okStatus();
+}
+
+Status
+SealedStore::persistChipNv()
+{
+    return writeFileDurable(nvPath_, idMachine_.tpm().exportNvState());
+}
+
+Bytes
+SealedStore::encodeMapPayload(std::uint64_t at_epoch) const
+{
+    ByteWriter w;
+    w.u64(at_epoch);
+    w.u32(static_cast<std::uint32_t>(map_.size()));
+    for (const auto &[key, value] : map_) {
+        w.str(key);
+        w.lengthPrefixed(value);
+    }
+    return w.take();
+}
+
+Status
+SealedStore::applyMapPayload(const Bytes &payload,
+                             std::uint64_t *out_epoch)
+{
+    ByteReader r(payload);
+    auto epoch = r.u64();
+    if (!epoch)
+        return epoch.error();
+    auto count = r.u32();
+    if (!count)
+        return count.error();
+    std::map<std::string, Bytes> map;
+    for (std::uint32_t i = 0; i < *count; ++i) {
+        auto key = r.str();
+        if (!key)
+            return key.error();
+        auto value = r.lengthPrefixed();
+        if (!value)
+            return value.error();
+        map.emplace(key.take(), value.take());
+    }
+    if (!r.atEnd()) {
+        return Error(Errc::integrityFailure,
+                     "trailing bytes in snapshot payload");
+    }
+    map_ = std::move(map);
+    *out_epoch = *epoch;
+    return okStatus();
+}
+
+Result<Bytes>
+SealedStore::unsealWithDiagnosis(const tpm::SealedBlob &blob)
+{
+    auto out = idMachine_.tpmAs(0).unseal(blob);
+    if (out)
+        return out;
+    const tpm::UnsealFault fault =
+        tpm::classifyUnsealError(out.error());
+    return Error(out.error().code,
+                 std::string("snapshot unseal failed [") +
+                     tpm::unsealFaultName(fault) +
+                     "]: " + out.error().message);
+}
+
+Result<Bytes>
+SealedStore::loadSnapshot(std::uint64_t *snap_epoch)
+{
+    auto image = readFileBytes(snapPath_);
+    if (!image)
+        return image.error();
+    const Bytes &wire = *image;
+    if (wire.size() < walCrcBytes) {
+        return Error(Errc::integrityFailure,
+                     "corrupt snapshot: short container");
+    }
+    const std::size_t body = wire.size() - walCrcBytes;
+    const std::uint32_t stored =
+        (static_cast<std::uint32_t>(wire[body]) << 24) |
+        (static_cast<std::uint32_t>(wire[body + 1]) << 16) |
+        (static_cast<std::uint32_t>(wire[body + 2]) << 8) |
+        static_cast<std::uint32_t>(wire[body + 3]);
+    if (stored != crc32(wire, 0, body)) {
+        return Error(Errc::integrityFailure,
+                     "corrupt snapshot: container CRC mismatch");
+    }
+    Bytes container(wire.begin(),
+                    wire.begin() + static_cast<std::ptrdiff_t>(body));
+    ByteReader r(container);
+    auto magic = r.u32();
+    if (!magic)
+        return magic.error();
+    if (*magic != snapshotMagic) {
+        return Error(Errc::integrityFailure,
+                     "corrupt snapshot: bad magic");
+    }
+    auto version = r.u16();
+    if (!version)
+        return version.error();
+    if (*version != snapshotVersion) {
+        return Error(Errc::invalidArgument,
+                     "unknown snapshot version");
+    }
+    auto clearEpoch = r.u64();
+    if (!clearEpoch)
+        return clearEpoch.error();
+    auto sealed = r.lengthPrefixed();
+    if (!sealed)
+        return sealed.error();
+    if (!r.atEnd()) {
+        return Error(Errc::integrityFailure,
+                     "corrupt snapshot: trailing bytes");
+    }
+    auto blob = tpm::SealedBlob::decode(*sealed);
+    if (!blob)
+        return blob.error();
+    auto payload = unsealWithDiagnosis(*blob);
+    if (!payload)
+        return payload.error();
+    std::uint64_t sealedEpoch = 0;
+    if (auto s = applyMapPayload(*payload, &sealedEpoch); !s.ok())
+        return s.error();
+    // The clear epoch is advisory (the inspect tool reads it without
+    // unsealing); the sealed one is authoritative. Disagreement means
+    // the container was stitched together from two snapshots.
+    if (sealedEpoch != *clearEpoch) {
+        return Error(Errc::integrityFailure,
+                     "corrupt snapshot: clear epoch does not match "
+                     "the sealed epoch");
+    }
+    *snap_epoch = sealedEpoch;
+    return payload.take();
+}
+
+Status
+SealedStore::sealSnapshotTo(const std::string &path,
+                            std::uint64_t at_epoch)
+{
+    auto blob = idMachine_.tpmAs(0).seal(encodeMapPayload(at_epoch),
+                                         {17});
+    if (!blob)
+        return blob.error();
+    ByteWriter w;
+    w.u32(snapshotMagic);
+    w.u16(snapshotVersion);
+    w.u64(at_epoch);
+    w.lengthPrefixed(blob->encode());
+    Bytes wire = w.take();
+    ByteAppender a(wire);
+    a.u32(crc32(wire, 0, wire.size()));
+    return writeFileDurable(path, wire);
+}
+
+Status
+SealedStore::writeFreshWal()
+{
+    logKey_ = idMachine_.rng().bytes(32);
+    auto blob = idMachine_.tpmAs(0).seal(logKey_, {17});
+    if (!blob)
+        return blob.error();
+    Bytes image;
+    appendRecord(image, RecordType::keyBlob, blob->encode());
+    if (auto s = writeFileDurable(walPath_, image); !s.ok())
+        return s;
+    if (walFd_ >= 0)
+        ::close(walFd_);
+    walFd_ = ::open(walPath_.c_str(), O_WRONLY | O_APPEND);
+    if (walFd_ < 0)
+        return posixError(Errc::unavailable, "open " + walPath_);
+    walBytes_ = image.size();
+    syncedBytes_ = image.size();
+    nextSeq_ = 1;
+    lastJournaledSeq_ = 0;
+    pending_ = 0;
+    return okStatus();
+}
+
+Status
+SealedStore::replayWal(std::uint64_t snap_epoch)
+{
+    auto image = readFileBytes(walPath_);
+    if (!image) {
+        if (image.error().code != Errc::notFound)
+            return image.error();
+        if (snap_epoch > 0 ||
+            idMachine_.tpm().counterRead(counterHandle_).value() > 0) {
+            return Error(Errc::integrityFailure,
+                         "store WAL missing for a non-empty store");
+        }
+        // Brand-new store: open the first generation.
+        if (auto s = writeFreshWal(); !s.ok())
+            return s;
+        return persistChipNv();
+    }
+
+    ++stats_.recoveries;
+    WalScan scan = scanWal(*image);
+    if (scan.torn) {
+        stats_.tornBytesDiscarded += image->size() - scan.validBytes;
+    }
+    if (scan.records.empty() ||
+        scan.records[0].type != RecordType::keyBlob) {
+        return Error(Errc::integrityFailure,
+                     "store WAL is missing its generation key record");
+    }
+    auto keyBlob = tpm::SealedBlob::decode(scan.records[0].payload);
+    if (!keyBlob)
+        return keyBlob.error();
+    auto logKey = unsealWithDiagnosis(*keyBlob);
+    if (!logKey)
+        return logKey.error();
+    logKey_ = logKey.take();
+
+    // Replay: apply each committed batch beyond the snapshot epoch;
+    // batches the snapshot already folded in are verified and skipped.
+    std::vector<Mutation> batch;
+    std::uint64_t expectedEpoch = 0; //!< 0 = take it from first commit
+    std::uint64_t maxSeq = 0;
+    std::size_t lastCommittedEnd = scan.recordEnds.empty()
+                                       ? 0
+                                       : scan.recordEnds[0];
+    std::size_t uncommitted = 0;
+    for (std::size_t i = 1; i < scan.records.size(); ++i) {
+        const WalRecord &record = scan.records[i];
+        ++stats_.recordsReplayed;
+        switch (record.type) {
+          case RecordType::keyBlob:
+            return Error(Errc::integrityFailure,
+                         "duplicate generation key record");
+          case RecordType::put:
+          case RecordType::remove: {
+              auto m = decodeMutation(
+                  logKey_, record.payload,
+                  record.type == RecordType::remove);
+              if (!m)
+                  return m.error();
+              if (m->seq <= maxSeq) {
+                  return Error(Errc::integrityFailure,
+                               "mutation sequence regressed (spliced "
+                               "log)");
+              }
+              maxSeq = m->seq;
+              batch.push_back(m.take());
+              ++uncommitted;
+              break;
+          }
+          case RecordType::commit: {
+              auto mark = decodeCommit(logKey_, record.payload);
+              if (!mark)
+                  return mark.error();
+              if (expectedEpoch == 0)
+                  expectedEpoch = mark->epoch;
+              if (mark->epoch != expectedEpoch) {
+                  return Error(Errc::integrityFailure,
+                               "commit epoch chain broken");
+              }
+              if (mark->upToSeq != maxSeq) {
+                  return Error(Errc::integrityFailure,
+                               "commit record does not cover its "
+                               "batch");
+              }
+              if (mark->epoch > snap_epoch) {
+                  for (Mutation &m : batch) {
+                      if (m.isRemove)
+                          map_.erase(m.key);
+                      else
+                          map_[m.key] = std::move(m.value);
+                  }
+                  epoch_ = mark->epoch;
+              }
+              batch.clear();
+              uncommitted = 0;
+              ++expectedEpoch;
+              ++stats_.commitsReplayed;
+              lastCommittedEnd = scan.recordEnds[i];
+              break;
+          }
+        }
+    }
+    epoch_ = std::max(epoch_, snap_epoch);
+    stats_.uncommittedDiscarded += uncommitted;
+    nextSeq_ = maxSeq + 1;
+    lastJournaledSeq_ = 0;
+    pending_ = 0;
+
+    // Truncate everything past the last committed record: the torn
+    // tail (power loss) and any uncommitted mutations both die here,
+    // so the on-disk log equals the replayed state exactly.
+    if (lastCommittedEnd < image->size()) {
+        if (::truncate(walPath_.c_str(),
+                       static_cast<off_t>(lastCommittedEnd)) != 0) {
+            return posixError(Errc::unavailable,
+                              "truncate " + walPath_);
+        }
+    }
+    walFd_ = ::open(walPath_.c_str(), O_WRONLY | O_APPEND);
+    if (walFd_ < 0)
+        return posixError(Errc::unavailable, "open " + walPath_);
+    walBytes_ = lastCommittedEnd;
+    syncedBytes_ = lastCommittedEnd;
+    return okStatus();
+}
+
+Status
+SealedStore::openInternal()
+{
+    launchStatus_ = launchIdentity();
+    if (!launchStatus_.ok())
+        return launchStatus_;
+    if (auto s = makeDirs(config_.dir); !s.ok())
+        return s;
+    if (auto s = loadChipNv(); !s.ok())
+        return s;
+
+    std::uint64_t snapEpoch = 0;
+    auto snapshot = loadSnapshot(&snapEpoch);
+    if (!snapshot && snapshot.error().code != Errc::notFound)
+        return snapshot.error();
+    epoch_ = snapEpoch;
+
+    if (auto s = replayWal(snapEpoch); !s.ok())
+        return s;
+
+    // Reconcile the durable epoch against the hardware counter -- the
+    // rollback argument (DESIGN.md section 15.3). One commit of slack
+    // is a *forward* repair: the commit record is MAC'd under the
+    // sealed log key, so completing the lost increment only ever moves
+    // the chip toward state the store genuinely reached.
+    const std::uint64_t counter =
+        idMachine_.tpm().counterRead(counterHandle_).value();
+    if (epoch_ == counter + 1) {
+        auto repaired = idMachine_.tpm().counterIncrement(counterHandle_);
+        if (!repaired)
+            return repaired.error();
+        if (auto s = persistChipNv(); !s.ok())
+            return s;
+        ++stats_.counterRepairs;
+    } else if (epoch_ < counter) {
+        ++stats_.rollbackRejections;
+        return Error(Errc::integrityFailure,
+                     "rollback detected: durable epoch " +
+                         std::to_string(epoch_) +
+                         " is behind hardware counter " +
+                         std::to_string(counter));
+    } else if (epoch_ > counter + 1) {
+        return Error(Errc::integrityFailure,
+                     "sealed state claims epoch " +
+                         std::to_string(epoch_) +
+                         " but the hardware counter only reached " +
+                         std::to_string(counter));
+    }
+    traceInstant("store:open");
+    return okStatus();
+}
+
+Status
+SealedStore::requireAlive() const
+{
+    if (dead_) {
+        return Error(Errc::failedPrecondition,
+                     "store is dead: " + deadReason_);
+    }
+    return okStatus();
+}
+
+Status
+SealedStore::die(const char *what)
+{
+    dead_ = true;
+    deadReason_ = what;
+    if (walFd_ >= 0) {
+        ::close(walFd_);
+        walFd_ = -1;
+    }
+    return Error(Errc::failedPrecondition,
+                 std::string("store killed at sync point: ") + what);
+}
+
+bool
+SealedStore::observe(SyncPoint point)
+{
+    if (config_.observer == nullptr)
+        return false;
+    return config_.observer->onSyncPoint(point, epoch_);
+}
+
+Status
+SealedStore::fsyncWal()
+{
+    if (walFd_ < 0)
+        return Error(Errc::failedPrecondition, "WAL is closed");
+    if (::fsync(walFd_) != 0)
+        return posixError(Errc::unavailable, "fsync " + walPath_);
+    syncedBytes_ = walBytes_;
+    ++stats_.fsyncs;
+    return okStatus();
+}
+
+void
+SealedStore::traceInstant(const char *name)
+{
+    if (config_.tracer != nullptr) {
+        config_.tracer->instant(obs::track::store, name, "store",
+                                idMachine_.now());
+    }
+}
+
+Status
+SealedStore::journalMutation(bool is_remove, const std::string &key,
+                             const Bytes &value)
+{
+    if (auto s = requireAlive(); !s.ok())
+        return s;
+    if (walFd_ < 0)
+        return Error(Errc::failedPrecondition, "WAL is closed");
+    Mutation m;
+    m.isRemove = is_remove;
+    m.key = key;
+    m.value = value;
+    m.seq = nextSeq_;
+    Bytes framed;
+    appendRecord(framed,
+                 is_remove ? RecordType::remove : RecordType::put,
+                 encodeMutation(logKey_, m));
+    std::size_t off = 0;
+    while (off < framed.size()) {
+        const ssize_t n = ::write(walFd_, framed.data() + off,
+                                  framed.size() - off);
+        if (n < 0)
+            return posixError(Errc::unavailable, "append " + walPath_);
+        off += static_cast<std::size_t>(n);
+    }
+    walBytes_ += framed.size();
+    ++stats_.walRecordsAppended;
+    stats_.walBytesAppended += framed.size();
+    lastJournaledSeq_ = nextSeq_;
+    ++nextSeq_;
+    ++pending_;
+    if (is_remove)
+        map_.erase(key);
+    else
+        map_[key] = value;
+    if (observe(SyncPoint::walAppended))
+        return die("walAppended");
+    return okStatus();
+}
+
+Status
+SealedStore::put(const std::string &key, const Bytes &value)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return journalMutation(false, key, value);
+}
+
+Status
+SealedStore::remove(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (map_.find(key) == map_.end())
+        return Error(Errc::notFound, "no such key: " + key);
+    return journalMutation(true, key, {});
+}
+
+Status
+SealedStore::commit()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto s = requireAlive(); !s.ok())
+        return s;
+    if (pending_ == 0)
+        return okStatus();
+
+    const CommitMark mark{epoch_ + 1, lastJournaledSeq_};
+    Bytes framed;
+    appendRecord(framed, RecordType::commit,
+                 encodeCommit(logKey_, mark));
+    std::size_t off = 0;
+    while (off < framed.size()) {
+        const ssize_t n = ::write(walFd_, framed.data() + off,
+                                  framed.size() - off);
+        if (n < 0)
+            return posixError(Errc::unavailable, "append " + walPath_);
+        off += static_cast<std::size_t>(n);
+    }
+    walBytes_ += framed.size();
+    ++stats_.walRecordsAppended;
+    stats_.walBytesAppended += framed.size();
+    if (observe(SyncPoint::commitAppended))
+        return die("commitAppended");
+    if (auto s = fsyncWal(); !s.ok())
+        return s;
+    if (observe(SyncPoint::commitSynced))
+        return die("commitSynced");
+
+    auto advanced = idMachine_.tpm().counterIncrement(counterHandle_);
+    if (!advanced)
+        return advanced.error();
+    if (observe(SyncPoint::counterAdvanced))
+        return die("counterAdvanced");
+    if (auto s = persistChipNv(); !s.ok())
+        return s;
+    if (observe(SyncPoint::nvWritten))
+        return die("nvWritten");
+
+    epoch_ = mark.epoch;
+    pending_ = 0;
+    ++stats_.commits;
+    ++commitsSinceCheckpoint_;
+    traceInstant("store:commit");
+
+    if (config_.snapshotEvery > 0 &&
+        commitsSinceCheckpoint_ >= config_.snapshotEvery) {
+        return checkpointLocked();
+    }
+    return okStatus();
+}
+
+Status
+SealedStore::checkpoint()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return checkpointLocked();
+}
+
+Status
+SealedStore::checkpointLocked()
+{
+    if (auto s = requireAlive(); !s.ok())
+        return s;
+    if (pending_ != 0) {
+        return Error(Errc::failedPrecondition,
+                     "checkpoint with uncommitted mutations; commit "
+                     "first");
+    }
+    if (auto s = sealSnapshotTo(snapPath_, epoch_); !s.ok())
+        return s;
+    if (observe(SyncPoint::snapshotReplaced))
+        return die("snapshotReplaced");
+    if (auto s = writeFreshWal(); !s.ok())
+        return s;
+    if (observe(SyncPoint::walRewritten))
+        return die("walRewritten");
+    commitsSinceCheckpoint_ = 0;
+    ++stats_.checkpoints;
+    traceInstant("store:checkpoint");
+    return okStatus();
+}
+
+Result<Bytes>
+SealedStore::get(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto s = requireAlive(); !s.ok())
+        return s.error();
+    auto it = map_.find(key);
+    if (it == map_.end())
+        return Error(Errc::notFound, "no such key: " + key);
+    return it->second;
+}
+
+bool
+SealedStore::has(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.find(key) != map_.end();
+}
+
+std::size_t
+SealedStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+}
+
+std::vector<std::string>
+SealedStore::keys() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(map_.size());
+    for (const auto &[key, value] : map_)
+        out.push_back(key);
+    return out;
+}
+
+Result<Bytes>
+SealedStore::loadSealedState(const std::string &name)
+{
+    return get(name);
+}
+
+Status
+SealedStore::storeSealedState(const std::string &name,
+                              const Bytes &sealed)
+{
+    if (auto s = put(name, sealed); !s.ok())
+        return s;
+    return commit();
+}
+
+bool
+SealedStore::hasSealedState(const std::string &name) const
+{
+    return has(name);
+}
+
+std::uint64_t
+SealedStore::epoch() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return epoch_;
+}
+
+std::size_t
+SealedStore::pendingMutations() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_;
+}
+
+Bytes
+SealedStore::stateDigest() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return crypto::Sha256::digestBytes(encodeMapPayload(epoch_));
+}
+
+bool
+SealedStore::alive() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return !dead_;
+}
+
+std::size_t
+SealedStore::syncedWalBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return syncedBytes_;
+}
+
+Bytes
+SealedStore::srkPublicEncoded() const
+{
+    return idMachine_.tpm().srkPublic().encode();
+}
+
+Result<sea::Attestation>
+SealedStore::attestForMigration(const Bytes &nonce)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto s = requireAlive(); !s.ok())
+        return s.error();
+    const Bytes bound =
+        migrationBoundNonce(nonce, srkPublicEncoded());
+    return sea::attestLaunch(idMachine_, 0, bound, "mintcb-store");
+}
+
+Result<Bytes>
+SealedStore::exportForMigration()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto s = requireAlive(); !s.ok())
+        return s.error();
+    if (pending_ != 0) {
+        return Error(Errc::failedPrecondition,
+                     "migration with uncommitted mutations; commit "
+                     "first");
+    }
+    const Bytes payload = encodeMapPayload(epoch_);
+
+    // Invalidate this replica: advance the chip with no matching
+    // commit. Every future open of this directory now sees durable
+    // epoch < hardware counter -- the typed rollback rejection -- so
+    // at most one live replica of the state exists after migration.
+    auto advanced = idMachine_.tpm().counterIncrement(counterHandle_);
+    if (!advanced)
+        return advanced.error();
+    if (auto s = persistChipNv(); !s.ok())
+        return s.error();
+    ++stats_.migrationsOut;
+    traceInstant("store:migrate-out");
+    dead_ = true;
+    deadReason_ = "state migrated away";
+    if (walFd_ >= 0) {
+        ::close(walFd_);
+        walFd_ = -1;
+    }
+    return payload;
+}
+
+Status
+SealedStore::adoptMigrated(const Bytes &snapshot_payload)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto s = requireAlive(); !s.ok())
+        return s;
+    if (epoch_ != 0 || !map_.empty() || pending_ != 0) {
+        return Error(Errc::failedPrecondition,
+                     "migration target store must be empty");
+    }
+    std::uint64_t sourceEpoch = 0;
+    std::map<std::string, Bytes> imported;
+    {
+        // Decode into a scratch map first so a malformed bundle
+        // leaves the store untouched.
+        std::map<std::string, Bytes> keep;
+        keep.swap(map_);
+        auto s = applyMapPayload(snapshot_payload, &sourceEpoch);
+        imported.swap(map_);
+        map_.swap(keep);
+        if (!s.ok())
+            return s;
+    }
+    for (const auto &[key, value] : imported) {
+        if (auto s = journalMutation(false, key, value); !s.ok())
+            return s;
+    }
+    ++stats_.migrationsIn;
+    traceInstant("store:migrate-in");
+    return okStatus();
+}
+
+} // namespace mintcb::store

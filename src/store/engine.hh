@@ -1,0 +1,289 @@
+/**
+ * @file
+ * The durable sealed-state engine.
+ *
+ * SealedStore promotes the secure-kvstore example's state handling
+ * into a first-class subsystem: a crash-safe, rollback-detecting,
+ * migratable home for sealed PAL state.
+ *
+ * Durability: every mutation is journaled as an encrypted+MAC'd MWL1
+ * record (store/wal.hh); commit() appends a commit record, fsyncs the
+ * log, and only then advances the hardware freshness root. Periodic
+ * checkpoints seal the whole map into a snapshot file and rewrite the
+ * log down to a fresh generation (log compaction, new log key).
+ *
+ * Freshness: the store owns a TPM monotonic counter on its *identity
+ * machine* -- a dedicated simulated platform that late-launched the
+ * store identity PAL at open, exactly the AttestedIdentity idiom, so
+ * seal/unseal traffic charges the store's own clocks and can never
+ * perturb a service timeline (the PR 4 byte-identity argument). The
+ * counter lives in chip NVRAM, persisted via Tpm::exportNvState to a
+ * sidecar file *outside* the store directory: an adversary who rolls
+ * the directory back to yesterday cannot roll the chip back with it,
+ * so open() sees sealed epoch < hardware counter and refuses with a
+ * typed rollback error instead of silently serving stale state.
+ *
+ * Crash safety: a StoreObserver receives a callback at every injected
+ * sync point; returning true kills the engine on the spot (files
+ * closed mid-state, all APIs dead), which is how the kill-point sweep
+ * murders the store at each boundary and asserts recovery converges.
+ */
+
+#ifndef MINTCB_STORE_ENGINE_HH
+#define MINTCB_STORE_ENGINE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.hh"
+#include "machine/machine.hh"
+#include "obs/span.hh"
+#include "sea/attestation.hh"
+#include "sea/pal.hh"
+#include "sea/statestore.hh"
+#include "store/wal.hh"
+
+namespace mintcb::store
+{
+
+/** Where the engine is between two durability actions. Observers are
+ *  invoked *after* the named action completed. */
+enum class SyncPoint
+{
+    walAppended,      //!< a mutation record reached the OS file
+    commitAppended,   //!< the commit record reached the OS file
+    commitSynced,     //!< fsync returned: the batch is on the platter
+    counterAdvanced,  //!< the hardware freshness counter incremented
+    nvWritten,        //!< the chip-NV sidecar was rewritten
+    snapshotReplaced, //!< the checkpoint atomically replaced the old one
+    walRewritten,     //!< the log was compacted to a fresh generation
+};
+
+/** Printable sync-point name (the kill-point sweep's test labels). */
+const char *syncPointName(SyncPoint p);
+
+/** Crash-injection hook: return true to kill the engine immediately
+ *  after the named sync point (modeling power loss at that boundary). */
+class StoreObserver
+{
+  public:
+    virtual ~StoreObserver() = default;
+    virtual bool
+    onSyncPoint(SyncPoint point, std::uint64_t epoch)
+    {
+        (void)point;
+        (void)epoch;
+        return false;
+    }
+};
+
+/** Engine observability (bridged to store_* metrics by storeobs.hh). */
+struct StoreStats
+{
+    std::uint64_t walRecordsAppended = 0;
+    std::uint64_t walBytesAppended = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t checkpoints = 0;
+    std::uint64_t fsyncs = 0;
+    std::uint64_t recoveries = 0;          //!< opens that replayed a log
+    std::uint64_t recordsReplayed = 0;
+    std::uint64_t commitsReplayed = 0;
+    std::uint64_t tornBytesDiscarded = 0;  //!< truncated torn tails
+    std::uint64_t uncommittedDiscarded = 0; //!< mutations past last commit
+    std::uint64_t rollbackRejections = 0;
+    std::uint64_t counterRepairs = 0; //!< commit durable, increment lost
+    std::uint64_t migrationsOut = 0;
+    std::uint64_t migrationsIn = 0;
+
+    std::string str() const;
+};
+
+/** Engine tuning. */
+struct StoreConfig
+{
+    /** Directory holding wal.mwl + snapshot.mss (the untrusted disk). */
+    std::string dir;
+
+    /** Chip-NV sidecar path; empty derives "<dir>.tpmnv". Deliberately
+     *  *outside* dir: rolling the store directory back must not roll
+     *  the chip back (that is the whole point of the counter). */
+    std::string nvPath;
+
+    /** Seed for the identity machine (same seed across restarts =>
+     *  same SRK => old blobs still unseal). */
+    std::uint64_t seed = 0x53544f52; // "STOR"
+
+    machine::PlatformId platform = machine::PlatformId::hpDc5750;
+
+    /** Auto-checkpoint after this many commits (0 = manual only). */
+    std::size_t snapshotEvery = 64;
+
+    /** Crash-injection hook (tests). */
+    StoreObserver *observer = nullptr;
+
+    /** Optional sim-time tracer: commits/checkpoints/recoveries land
+     *  on obs::track::store. */
+    obs::SpanTracer *tracer = nullptr;
+};
+
+class MigrationBundle;
+
+/**
+ * The engine. Thread-safe (one mutex over the public surface): PAL
+ * bodies on several service workers may share one store; WAL order
+ * then follows scheduling, but the *recovered contents* stay a pure
+ * function of the committed mutations, which is what the worker-sweep
+ * tests pin down.
+ *
+ *     auto store = SealedStore::open({.dir = "/var/lib/pal-state"});
+ *     (*store)->put("ssh-host-key", sealedBytes);
+ *     (*store)->commit();               // fsync + counter advance
+ */
+class SealedStore final : public sea::SealedStateStore
+{
+  public:
+    /** Open (or create) the store at cfg.dir. Typed failures: a
+     *  rolled-back directory is integrityFailure with a "rollback
+     *  detected" message, never a silently accepted stale map. */
+    static Result<std::unique_ptr<SealedStore>> open(StoreConfig cfg);
+
+    ~SealedStore() override;
+
+    SealedStore(const SealedStore &) = delete;
+    SealedStore &operator=(const SealedStore &) = delete;
+
+    /** @name Mutations (journaled immediately, durable at commit()). @{ */
+    Status put(const std::string &key, const Bytes &value);
+    Status remove(const std::string &key);
+    /** Durably commit every mutation since the last commit: append the
+     *  commit record, fsync, advance the hardware counter, persist the
+     *  chip NV. No-op when nothing is pending. */
+    Status commit();
+    /** @} */
+
+    /** @name Reads (in-memory map, including uncommitted writes). @{ */
+    Result<Bytes> get(const std::string &key) const;
+    bool has(const std::string &key) const;
+    std::size_t size() const;
+    std::vector<std::string> keys() const;
+    /** @} */
+
+    /** Seal the map into a snapshot and compact the log to a fresh
+     *  generation (new log key). Refuses with uncommitted mutations. */
+    Status checkpoint();
+
+    /** @name sea::SealedStateStore (the PAL state hook).
+     * store commits per call: a PAL front end that stored state must
+     * be able to crash immediately after and find it on replay. @{ */
+    Result<Bytes> loadSealedState(const std::string &name) override;
+    Status storeSealedState(const std::string &name,
+                            const Bytes &sealed) override;
+    bool hasSealedState(const std::string &name) const override;
+    /** @} */
+
+    /** Committed epoch (equals the hardware counter when healthy). */
+    std::uint64_t epoch() const;
+
+    /** Mutations journaled since the last commit. */
+    std::size_t pendingMutations() const;
+
+    /** Canonical digest of (epoch, sorted map): equal digests mean
+     *  equal recovered state, independent of WAL arrival order. */
+    Bytes stateDigest() const;
+
+    /** False after an injected crash or an outbound migration. */
+    bool alive() const;
+
+    const StoreStats &stats() const { return stats_; }
+    const StoreConfig &config() const { return config_; }
+
+    /** @name Migration support (driven by store/migrate.hh). @{ */
+    /** The well-known store identity PAL (what a migration source
+     *  whitelists before re-sealing state to a target). */
+    static sea::Pal identityPal();
+    /** This store's SRK public key, wire-encoded (what a target sends
+     *  to the source so state can be re-sealed to its TPM). */
+    Bytes srkPublicEncoded() const;
+    /** Quote this store's PCR-17 identity over
+     *  sha256(nonce || srkPublicEncoded()) -- binding the quoted
+     *  launch to the SRK that will receive the re-sealed state. */
+    Result<sea::Attestation> attestForMigration(const Bytes &nonce);
+    /** Unseal the full map for re-sealing to a verified target, then
+     *  invalidate this replica: the hardware counter advances with no
+     *  matching commit, so every future open of this directory is a
+     *  typed rollback rejection. Refuses with uncommitted mutations. */
+    Result<Bytes> exportForMigration();
+    /** Adopt a verified inbound bundle into an empty store. */
+    Status adoptMigrated(const Bytes &snapshot_payload);
+    /** @} */
+
+    /** @name Introspection for tools and the kill-point harness. @{ */
+    /** Bytes of the WAL known to be on the platter (post-fsync). */
+    std::size_t syncedWalBytes() const;
+    const std::string &walPath() const { return walPath_; }
+    const std::string &snapshotPath() const { return snapPath_; }
+    const std::string &nvPath() const { return nvPath_; }
+    /** @} */
+
+  private:
+    friend class MigrationAuthority; //!< unseals inbound bundles
+
+    explicit SealedStore(StoreConfig cfg);
+
+    Status openInternal();
+    Status launchIdentity();
+    Status loadChipNv();
+    Status persistChipNv();
+    Result<Bytes> loadSnapshot(std::uint64_t *snap_epoch);
+    Status replayWal(std::uint64_t snap_epoch);
+    Status writeFreshWal();
+    Status journalMutation(bool is_remove, const std::string &key,
+                           const Bytes &value);
+    Status checkpointLocked();
+    Status sealSnapshotTo(const std::string &path,
+                          std::uint64_t at_epoch);
+    Bytes encodeMapPayload(std::uint64_t at_epoch) const;
+    Status applyMapPayload(const Bytes &payload,
+                           std::uint64_t *out_epoch);
+    Result<Bytes> unsealWithDiagnosis(const tpm::SealedBlob &blob);
+    Status die(const char *what);
+    bool observe(SyncPoint point);
+    Status requireAlive() const;
+    Status fsyncWal();
+    void traceInstant(const char *name);
+
+    StoreConfig config_;
+    std::string walPath_;
+    std::string snapPath_;
+    std::string nvPath_;
+
+    /** Mutable: the TPM front end charges sim time on every access,
+     *  so even logically-const reads (the SRK public key) tick it. */
+    mutable machine::Machine idMachine_;
+    Status launchStatus_;
+    std::uint32_t counterHandle_ = 0;
+
+    mutable std::mutex mu_;
+    std::map<std::string, Bytes> map_;
+    std::uint64_t epoch_ = 0;
+    Bytes logKey_;
+    std::uint64_t nextSeq_ = 1;
+    std::uint64_t lastJournaledSeq_ = 0;
+    std::size_t pending_ = 0;
+    std::size_t commitsSinceCheckpoint_ = 0;
+    int walFd_ = -1;
+    std::size_t walBytes_ = 0;
+    std::size_t syncedBytes_ = 0;
+    bool dead_ = false;
+    std::string deadReason_;
+
+    StoreStats stats_;
+};
+
+} // namespace mintcb::store
+
+#endif // MINTCB_STORE_ENGINE_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Store metrics bridge implementation.
+ */
+
+#include "store/storeobs.hh"
+
+namespace mintcb::store
+{
+
+void
+bridgeStoreStats(obs::MetricsRegistry &registry,
+                 const StoreStats &stats, obs::Labels labels)
+{
+    const StoreStats *s = &stats;
+    auto counter = [&](const char *name, const char *help,
+                       const std::uint64_t StoreStats::*field) {
+        registry.addCallback(
+            name, help, labels,
+            [s, field] { return static_cast<double>(s->*field); },
+            "counter");
+    };
+
+    counter("store_wal_records_appended_total",
+            "WAL records appended (mutations and commit marks)",
+            &StoreStats::walRecordsAppended);
+    counter("store_wal_bytes_appended_total",
+            "Framed WAL bytes appended",
+            &StoreStats::walBytesAppended);
+    counter("store_commits_total",
+            "Durable batch commits (fsync + counter advance)",
+            &StoreStats::commits);
+    counter("store_checkpoints_total",
+            "Snapshot checkpoints with log compaction",
+            &StoreStats::checkpoints);
+    counter("store_fsyncs_total", "WAL fsync calls",
+            &StoreStats::fsyncs);
+    counter("store_recoveries_total",
+            "Opens that replayed an existing WAL",
+            &StoreStats::recoveries);
+    counter("store_records_replayed_total",
+            "WAL records examined during recovery",
+            &StoreStats::recordsReplayed);
+    counter("store_commits_replayed_total",
+            "Commit marks verified during recovery",
+            &StoreStats::commitsReplayed);
+    counter("store_torn_bytes_discarded_total",
+            "Torn-tail bytes truncated during recovery",
+            &StoreStats::tornBytesDiscarded);
+    counter("store_uncommitted_discarded_total",
+            "Uncommitted mutations discarded during recovery",
+            &StoreStats::uncommittedDiscarded);
+    counter("store_rollback_rejections_total",
+            "Opens refused because the durable epoch was behind the "
+            "hardware counter",
+            &StoreStats::rollbackRejections);
+    counter("store_counter_repairs_total",
+            "Forward repairs of a lost counter increment",
+            &StoreStats::counterRepairs);
+    counter("store_migrations_out_total",
+            "Outbound attested migrations (store invalidated)",
+            &StoreStats::migrationsOut);
+    counter("store_migrations_in_total",
+            "Inbound migration bundles adopted",
+            &StoreStats::migrationsIn);
+}
+
+} // namespace mintcb::store

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Bridge from store-engine counters into the obs metrics registry.
+ *
+ * Same pull-callback idiom as net/netobs.hh: the engine keeps its
+ * plain StoreStats struct and pays nothing for observability; callers
+ * that want a scrape register callbacks that read the live struct at
+ * render time. Every series lands in the `store_*` namespace next to
+ * the net_* / tpm_* families.
+ */
+
+#ifndef MINTCB_STORE_STOREOBS_HH
+#define MINTCB_STORE_STOREOBS_HH
+
+#include "obs/metrics.hh"
+#include "store/engine.hh"
+
+namespace mintcb::store
+{
+
+/**
+ * Register pull-based store_* series reading @p stats live. The struct
+ * must outlive @p registry (or the registry be rendered before the
+ * store dies). @p labels tag every bridged series (e.g. the store
+ * directory).
+ */
+void bridgeStoreStats(obs::MetricsRegistry &registry,
+                      const StoreStats &stats,
+                      obs::Labels labels = {});
+
+} // namespace mintcb::store
+
+#endif // MINTCB_STORE_STOREOBS_HH

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * MWL1 record codec implementation.
+ */
+
+#include "store/wal.hh"
+
+#include <array>
+
+#include "common/bytebuf.hh"
+#include "crypto/hmac.hh"
+
+namespace mintcb::store
+{
+
+namespace
+{
+
+/** IEEE CRC32 lookup table, built once. */
+const std::array<std::uint32_t, 256> &
+crcTable()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+/** Keystream block i = HMAC-SHA256(log_key, "mwl-ks" || seq || i),
+ *  mirroring the sealed-blob xorStream construction. */
+Bytes
+recordStream(const Bytes &log_key, std::uint64_t seq, const Bytes &input)
+{
+    Bytes out(input.size());
+    Bytes block;
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        if (i % 32 == 0) {
+            ByteWriter w;
+            w.str("mwl-ks");
+            w.u64(seq);
+            w.u64(i / 32);
+            block = crypto::hmacSha256(log_key, w.bytes());
+        }
+        out[i] = input[i] ^ block[i % 32];
+    }
+    return out;
+}
+
+Bytes
+mutationMac(const Bytes &log_key, std::uint64_t seq, const Bytes &ct)
+{
+    ByteWriter w;
+    w.str("mwl-rec");
+    w.u64(seq);
+    w.lengthPrefixed(ct);
+    return crypto::hmacSha256(log_key, w.bytes());
+}
+
+Bytes
+commitMac(const Bytes &log_key, const CommitMark &mark)
+{
+    ByteWriter w;
+    w.str("mwl-commit");
+    w.u64(mark.epoch);
+    w.u64(mark.upToSeq);
+    return crypto::hmacSha256(log_key, w.bytes());
+}
+
+} // namespace
+
+const char *
+recordTypeName(RecordType t)
+{
+    switch (t) {
+      case RecordType::keyBlob:
+        return "keyBlob";
+      case RecordType::put:
+        return "put";
+      case RecordType::remove:
+        return "remove";
+      case RecordType::commit:
+        return "commit";
+    }
+    return "unknown";
+}
+
+std::uint32_t
+crc32(const Bytes &data, std::size_t offset, std::size_t len)
+{
+    const auto &table = crcTable();
+    std::uint32_t c = 0xffffffffu;
+    for (std::size_t i = 0; i < len; ++i)
+        c = table[(c ^ data[offset + i]) & 0xff] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+void
+appendRecord(Bytes &out, RecordType type, const Bytes &payload)
+{
+    const std::size_t start = out.size();
+    ByteAppender a(out);
+    a.u32(walMagic);
+    a.u16(walVersion);
+    a.u16(static_cast<std::uint16_t>(type));
+    a.u32(static_cast<std::uint32_t>(payload.size()));
+    a.raw(payload);
+    a.u32(crc32(out, start, out.size() - start));
+}
+
+WalScan
+scanWal(const Bytes &image)
+{
+    WalScan scan;
+    std::size_t pos = 0;
+    auto stop = [&](std::string why) {
+        scan.torn = true;
+        scan.tornReason = std::move(why);
+    };
+    while (pos < image.size()) {
+        if (image.size() - pos < walHeaderBytes) {
+            stop("short record header");
+            break;
+        }
+        auto be32 = [&](std::size_t at) {
+            return (static_cast<std::uint32_t>(image[at]) << 24) |
+                   (static_cast<std::uint32_t>(image[at + 1]) << 16) |
+                   (static_cast<std::uint32_t>(image[at + 2]) << 8) |
+                   static_cast<std::uint32_t>(image[at + 3]);
+        };
+        const std::uint32_t magic = be32(pos);
+        if (magic != walMagic) {
+            stop("bad record magic");
+            break;
+        }
+        const std::uint16_t version = static_cast<std::uint16_t>(
+            (image[pos + 4] << 8) | image[pos + 5]);
+        if (version != walVersion) {
+            stop("unknown record version");
+            break;
+        }
+        const std::uint16_t rawType = static_cast<std::uint16_t>(
+            (image[pos + 6] << 8) | image[pos + 7]);
+        if (rawType < 1 ||
+            rawType > static_cast<std::uint16_t>(RecordType::commit)) {
+            stop("unknown record type");
+            break;
+        }
+        const std::uint32_t length = be32(pos + 8);
+        if (length > maxWalPayload) {
+            stop("oversized record payload");
+            break;
+        }
+        const std::size_t total = walHeaderBytes + length + walCrcBytes;
+        if (image.size() - pos < total) {
+            stop("short record body");
+            break;
+        }
+        const std::uint32_t stored = be32(pos + walHeaderBytes + length);
+        const std::uint32_t computed =
+            crc32(image, pos, walHeaderBytes + length);
+        if (stored != computed) {
+            stop("record CRC mismatch");
+            break;
+        }
+        WalRecord record;
+        record.type = static_cast<RecordType>(rawType);
+        record.payload.assign(
+            image.begin() +
+                static_cast<std::ptrdiff_t>(pos + walHeaderBytes),
+            image.begin() +
+                static_cast<std::ptrdiff_t>(pos + walHeaderBytes +
+                                            length));
+        scan.records.push_back(std::move(record));
+        pos += total;
+        scan.recordEnds.push_back(pos);
+        scan.validBytes = pos;
+    }
+    return scan;
+}
+
+Bytes
+encodeMutation(const Bytes &log_key, const Mutation &m)
+{
+    ByteWriter plain;
+    plain.u8(m.isRemove ? 2 : 1);
+    plain.str(m.key);
+    plain.lengthPrefixed(m.value);
+    const Bytes ct = recordStream(log_key, m.seq, plain.bytes());
+
+    ByteWriter w;
+    w.u64(m.seq);
+    w.lengthPrefixed(ct);
+    w.raw(mutationMac(log_key, m.seq, ct));
+    return w.take();
+}
+
+Result<Mutation>
+decodeMutation(const Bytes &log_key, const Bytes &payload,
+               bool is_remove)
+{
+    ByteReader r(payload);
+    auto seq = r.u64();
+    if (!seq)
+        return seq.error();
+    auto ct = r.lengthPrefixed();
+    if (!ct)
+        return ct.error();
+    auto mac = r.raw(32);
+    if (!mac)
+        return mac.error();
+    if (!r.atEnd()) {
+        return Error(Errc::integrityFailure,
+                     "trailing bytes in mutation record");
+    }
+    if (!crypto::constantTimeEqual(mutationMac(log_key, *seq, *ct),
+                                   *mac)) {
+        return Error(Errc::integrityFailure,
+                     "mutation record MAC mismatch");
+    }
+    const Bytes plain = recordStream(log_key, *seq, *ct);
+    ByteReader pr(plain);
+    auto op = pr.u8();
+    if (!op)
+        return op.error();
+    if (*op != (is_remove ? 2 : 1)) {
+        return Error(Errc::integrityFailure,
+                     "mutation op does not match its record type");
+    }
+    Mutation m;
+    m.isRemove = is_remove;
+    m.seq = *seq;
+    auto key = pr.str();
+    if (!key)
+        return key.error();
+    m.key = key.take();
+    auto value = pr.lengthPrefixed();
+    if (!value)
+        return value.error();
+    m.value = value.take();
+    if (!pr.atEnd()) {
+        return Error(Errc::integrityFailure,
+                     "trailing bytes in mutation plaintext");
+    }
+    return m;
+}
+
+Bytes
+encodeCommit(const Bytes &log_key, const CommitMark &mark)
+{
+    ByteWriter w;
+    w.u64(mark.epoch);
+    w.u64(mark.upToSeq);
+    w.raw(commitMac(log_key, mark));
+    return w.take();
+}
+
+Result<CommitMark>
+decodeCommit(const Bytes &log_key, const Bytes &payload)
+{
+    ByteReader r(payload);
+    auto epoch = r.u64();
+    if (!epoch)
+        return epoch.error();
+    auto upTo = r.u64();
+    if (!upTo)
+        return upTo.error();
+    auto mac = r.raw(32);
+    if (!mac)
+        return mac.error();
+    if (!r.atEnd()) {
+        return Error(Errc::integrityFailure,
+                     "trailing bytes in commit record");
+    }
+    CommitMark mark{*epoch, *upTo};
+    if (!crypto::constantTimeEqual(commitMac(log_key, mark), *mac)) {
+        return Error(Errc::integrityFailure,
+                     "commit record MAC mismatch");
+    }
+    return mark;
+}
+
+} // namespace mintcb::store

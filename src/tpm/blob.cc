@@ -70,7 +70,7 @@ SealedBlob::decode(const Bytes &wire)
     if (!magic)
         return magic.error();
     if (*magic != blobMagic)
-        return Error(Errc::integrityFailure, "not a sealed blob");
+        return Error(Errc::integrityFailure, "corrupt blob: not a sealed blob");
 
     SealedBlob blob;
     auto bound = r.u8();
@@ -106,8 +106,10 @@ SealedBlob::decode(const Bytes &wire)
         return mac.error();
     blob.mac = mac.take();
 
-    if (!r.atEnd())
-        return Error(Errc::integrityFailure, "trailing bytes in blob");
+    if (!r.atEnd()) {
+        return Error(Errc::integrityFailure,
+                     "corrupt blob: trailing bytes in blob");
+    }
     return blob;
 }
 
@@ -134,13 +136,60 @@ unsealBlob(const crypto::RsaPrivateKey &srk, const SealedBlob &blob)
     auto inner_key = crypto::rsaDecrypt(srk, blob.encryptedInnerKey);
     if (!inner_key) {
         return Error(Errc::integrityFailure,
-                     "sealed blob inner key does not decrypt");
+                     "corrupt blob: sealed inner key does not decrypt");
     }
     const Bytes expected_mac = crypto::hmacSha256(*inner_key,
                                                   macInput(blob));
-    if (!crypto::constantTimeEqual(expected_mac, blob.mac))
-        return Error(Errc::integrityFailure, "sealed blob MAC mismatch");
+    if (!crypto::constantTimeEqual(expected_mac, blob.mac)) {
+        return Error(Errc::integrityFailure,
+                     "bad MAC: sealed blob MAC mismatch");
+    }
     return xorStream(*inner_key, blob.ciphertext);
+}
+
+const char *
+unsealFaultName(UnsealFault fault)
+{
+    switch (fault) {
+      case UnsealFault::none:
+        return "none";
+      case UnsealFault::wrongPcr:
+        return "wrongPcr";
+      case UnsealFault::corruptBlob:
+        return "corruptBlob";
+      case UnsealFault::badMac:
+        return "badMac";
+      case UnsealFault::sePcrBound:
+        return "sePcrBound";
+    }
+    return "none";
+}
+
+UnsealFault
+classifyUnsealError(const Error &error)
+{
+    auto startsWith = [&](const char *prefix) {
+        return error.message.rfind(prefix, 0) == 0;
+    };
+    switch (error.code) {
+      case Errc::permissionDenied:
+        return startsWith("wrong PCR") ? UnsealFault::wrongPcr
+                                       : UnsealFault::none;
+      case Errc::failedPrecondition:
+        return startsWith("blob is sePCR-bound")
+                   ? UnsealFault::sePcrBound
+                   : UnsealFault::none;
+      case Errc::integrityFailure:
+        if (startsWith("bad MAC"))
+            return UnsealFault::badMac;
+        // Structural damage: our own "corrupt blob:" diagnoses plus
+        // the ByteReader truncation errors decode() propagates.
+        if (startsWith("corrupt blob") || startsWith("truncated blob"))
+            return UnsealFault::corruptBlob;
+        return UnsealFault::none;
+      default:
+        return UnsealFault::none;
+    }
 }
 
 } // namespace mintcb::tpm

@@ -81,6 +81,33 @@ SealedBlob sealBlob(const crypto::RsaPublicKey &srk, Rng &rng,
 Result<Bytes> unsealBlob(const crypto::RsaPrivateKey &srk,
                          const SealedBlob &blob);
 
+/**
+ * Why an unseal (Tpm::unseal / unsealBlob / SealedBlob::decode) failed.
+ * Mirrors the verifyQuote bool->Status split: every refusal carries a
+ * structured diagnosis a caller can branch on, so "the OS moved my
+ * PCRs" (recoverable by relaunching the PAL), "the disk fed me garbage"
+ * (restore from a replica), and "someone tampered with the ciphertext"
+ * (raise the alarm) stop collapsing into one opaque error.
+ */
+enum class UnsealFault
+{
+    none,          //!< the error is not an unseal diagnosis
+    wrongPcr,      //!< a policy PCR does not hold the sealed value
+    corruptBlob,   //!< structural damage: bad magic, truncation,
+                   //!< or an inner key that no longer decrypts
+    badMac,        //!< well-formed blob, but the HMAC trailer mismatches
+    sePcrBound,    //!< blob requires the sePCR extension to unseal
+};
+
+/** Printable diagnosis name (logs, tests). */
+const char *unsealFaultName(UnsealFault fault);
+
+/**
+ * Classify an unseal error into its fault category. Errors produced by
+ * anything other than the unseal path map to UnsealFault::none.
+ */
+UnsealFault classifyUnsealError(const Error &error);
+
 } // namespace mintcb::tpm
 
 #endif // MINTCB_TPM_BLOB_HH

@@ -202,7 +202,7 @@ Tpm::unseal(const SealedBlob &blob)
             return value.error();
         if (*value != b.digestAtRelease) {
             return Error(Errc::permissionDenied,
-                         "PCR " + std::to_string(b.index) +
+                         "wrong PCR: PCR " + std::to_string(b.index) +
                              " does not match the sealed policy");
         }
     }
@@ -330,6 +330,111 @@ Tpm::nvWrite(std::uint32_t index, const Bytes &data)
         return s;
     charge(profile_.extend, "tpm:extend");
     space.data = data;
+    return okStatus();
+}
+
+namespace
+{
+
+/** Chip-NV image magic: "TNV1". */
+constexpr std::uint32_t nvStateMagic = 0x544e5631;
+
+} // namespace
+
+Bytes
+Tpm::exportNvState() const
+{
+    ByteWriter w;
+    w.u32(nvStateMagic);
+    w.u16(1); // layout version
+    w.u32(static_cast<std::uint32_t>(counters_.size()));
+    for (std::uint64_t value : counters_)
+        w.u64(value);
+    w.u32(static_cast<std::uint32_t>(nvSpaces_.size()));
+    for (const NvSpace &space : nvSpaces_) {
+        w.u64(space.size);
+        w.u32(static_cast<std::uint32_t>(space.policy.size()));
+        for (const PcrBinding &b : space.policy) {
+            w.u32(b.index);
+            w.lengthPrefixed(b.digestAtRelease);
+        }
+        w.lengthPrefixed(space.data);
+    }
+    return w.take();
+}
+
+Status
+Tpm::importNvState(const Bytes &wire)
+{
+    if (!counters_.empty() || !nvSpaces_.empty()) {
+        return Error(Errc::failedPrecondition,
+                     "chip already holds NV state; import is a "
+                     "cold-boot operation");
+    }
+    ByteReader r(wire);
+    auto magic = r.u32();
+    if (!magic)
+        return magic.error();
+    if (*magic != nvStateMagic)
+        return Error(Errc::integrityFailure, "not a TNV1 NV image");
+    auto version = r.u16();
+    if (!version)
+        return version.error();
+    if (*version != 1)
+        return Error(Errc::invalidArgument, "unknown NV image version");
+
+    std::vector<std::uint64_t> counters;
+    auto counterCount = r.u32();
+    if (!counterCount)
+        return counterCount.error();
+    if (*counterCount > 4)
+        return Error(Errc::integrityFailure, "NV image counter overflow");
+    for (std::uint32_t i = 0; i < *counterCount; ++i) {
+        auto value = r.u64();
+        if (!value)
+            return value.error();
+        counters.push_back(*value);
+    }
+
+    std::vector<NvSpace> spaces;
+    auto spaceCount = r.u32();
+    if (!spaceCount)
+        return spaceCount.error();
+    if (*spaceCount > 8)
+        return Error(Errc::integrityFailure, "NV image space overflow");
+    for (std::uint32_t i = 0; i < *spaceCount; ++i) {
+        NvSpace space;
+        auto size = r.u64();
+        if (!size)
+            return size.error();
+        space.size = static_cast<std::size_t>(*size);
+        auto policyCount = r.u32();
+        if (!policyCount)
+            return policyCount.error();
+        for (std::uint32_t j = 0; j < *policyCount; ++j) {
+            auto index = r.u32();
+            if (!index)
+                return index.error();
+            auto digest = r.lengthPrefixed();
+            if (!digest)
+                return digest.error();
+            space.policy.push_back({*index, digest.take()});
+        }
+        auto data = r.lengthPrefixed();
+        if (!data)
+            return data.error();
+        space.data = data.take();
+        if (space.data.size() > space.size) {
+            return Error(Errc::integrityFailure,
+                         "NV image space data exceeds its size");
+        }
+        spaces.push_back(std::move(space));
+    }
+    if (!r.atEnd())
+        return Error(Errc::integrityFailure, "trailing NV image bytes");
+
+    counters_ = std::move(counters);
+    nvSpaces_ = std::move(spaces);
     return okStatus();
 }
 

@@ -162,6 +162,24 @@ class Tpm
     Result<Bytes> nvRead(std::uint32_t index);
     /** @} */
 
+    /** @name Chip NVRAM persistence.
+     * Monotonic counters and NV spaces live in the chip's non-volatile
+     * memory: they survive power cycles of the *chip*, not just
+     * reboot() of the simulation. A host process that models a machine
+     * restart (the durable store engine, tools) serializes the NV
+     * state on the way down and restores it into a freshly constructed
+     * Tpm of the same seed on the way up -- the simulation analogue of
+     * the NVRAM soldered to the board. Everything else (PCRs, sessions,
+     * the lock) is volatile and deliberately not captured.
+     * @{ */
+    /** Serialize counters + NV spaces ("TNV1" layout). */
+    Bytes exportNvState() const;
+    /** Restore a previously exported NV image. Refuses (leaving the
+     *  chip untouched) when the image is malformed or the chip already
+     *  holds NV state -- restore is a cold-boot operation. */
+    Status importNvState(const Bytes &wire);
+    /** @} */
+
     /** @name Late-launch hash interface (locality 4 / hardware only).
      * TPM_HASH_START resets the dynamic PCRs; TPM_HASH_DATA streams the
      * SLB/ACMod bytes (the long-wait-cycle cost lives here); TPM_HASH_END

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Store-lifecycle model checker implementation.
+ *
+ * Unlike the protection-state explorer (replay-based), lifecycle
+ * states are tiny plain structs, so the walk copies worlds directly
+ * and keeps a parent pointer per discovered state for counterexample
+ * reconstruction.
+ */
+
+#include "verify/storemodel.hh"
+
+#include <deque>
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+
+namespace mintcb::verify
+{
+
+namespace
+{
+
+/** One machine's view of the store: the untrusted disk (epoch), the
+ *  trusted chip (counter), and the engine lifecycle bits. */
+struct Replica
+{
+    bool admitted = false;    //!< identity PAL late-launched
+    bool live = false;        //!< engine open and serving
+    bool invalidated = false; //!< counter advanced with no commit
+    bool hasData = false;     //!< disk holds the dataset lineage
+    std::uint64_t diskEpoch = 0;
+    std::uint64_t counter = 0;
+    /** Highest epoch this machine ever served live (history variable
+     *  for the monotonicity invariant; not part of the real engine). */
+    std::uint64_t servedFloor = 0;
+};
+
+struct World
+{
+    std::vector<Replica> replicas;
+
+    std::string key() const
+    {
+        std::ostringstream os;
+        for (const Replica &r : replicas) {
+            os << r.admitted << r.live << r.invalidated << r.hasData
+               << ':' << r.diskEpoch << ':' << r.counter << ':'
+               << r.servedFloor << '|';
+        }
+        return os.str();
+    }
+
+    std::string dump() const
+    {
+        std::ostringstream os;
+        for (std::size_t i = 0; i < replicas.size(); ++i) {
+            const Replica &r = replicas[i];
+            os << "machine " << i << ": "
+               << (r.admitted ? "admitted" : "unadmitted") << ' '
+               << (r.live ? "live" : "closed")
+               << (r.invalidated ? " invalidated" : "")
+               << (r.hasData ? " data" : " empty") << " epoch="
+               << r.diskEpoch << " counter=" << r.counter
+               << " servedFloor=" << r.servedFloor << '\n';
+        }
+        return os.str();
+    }
+};
+
+/** A candidate successor: the action label plus the resulting world.
+ *  `violation` is set when the action itself crossed an invariant
+ *  (monotonicity is a property of the *act* of going live). */
+struct Successor
+{
+    std::string action;
+    World world;
+    std::string violation;
+};
+
+/** Invariants 1 and 3 are state predicates, checked on every state. */
+std::string
+checkStatePredicates(const World &w)
+{
+    std::size_t liveReplicas = 0;
+    for (std::size_t i = 0; i < w.replicas.size(); ++i) {
+        const Replica &r = w.replicas[i];
+        if (r.live && !r.admitted) {
+            return "machine " + std::to_string(i) +
+                   " unsealed without an admitted identity PAL";
+        }
+        if (r.live && r.hasData)
+            ++liveReplicas;
+    }
+    if (liveReplicas > 1) {
+        return std::to_string(liveReplicas) +
+               " live replicas of one dataset (migration must leave "
+               "exactly one)";
+    }
+    return {};
+}
+
+/** Enumerate every action enabled in @p w. */
+std::vector<Successor>
+successors(const World &w, const StoreModelConfig &cfg)
+{
+    std::vector<Successor> out;
+    const auto n = w.replicas.size();
+
+    auto add = [&](std::string action,
+                   const std::function<void(World &, Successor &)> &fn) {
+        Successor s;
+        s.action = std::move(action);
+        s.world = w;
+        fn(s.world, s);
+        out.push_back(std::move(s));
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const Replica &r = w.replicas[i];
+        const std::string mi = std::to_string(i);
+
+        // Late-launch the identity PAL; a one-way gate.
+        if (!r.admitted) {
+            add("admit(" + mi + ")",
+                [i](World &nw, Successor &) { nw.replicas[i].admitted = true; });
+        }
+
+        // Open: unseal the disk state and serve it. The real engine
+        // refuses when the sealed epoch trails the hardware counter
+        // (rollback) and forward-repairs a counter exactly one behind
+        // (commit durable, increment lost).
+        const bool admissionOk =
+            r.admitted ||
+            cfg.mutation == StoreMutation::openWithoutAdmission;
+        if (!r.live && r.hasData && admissionOk) {
+            const bool counterOk =
+                cfg.mutation == StoreMutation::ignoreCounter ||
+                (r.diskEpoch >= r.counter &&
+                 r.diskEpoch <= r.counter + 1);
+            if (counterOk) {
+                add("open(" + mi + ")", [i](World &nw, Successor &s) {
+                    Replica &nr = nw.replicas[i];
+                    if (nr.counter + 1 == nr.diskEpoch)
+                        nr.counter = nr.diskEpoch; // forward repair
+                    nr.live = true;
+                    if (nr.diskEpoch < nr.servedFloor) {
+                        s.violation =
+                            "machine " + std::to_string(i) +
+                            " served epoch " +
+                            std::to_string(nr.diskEpoch) +
+                            " after already serving epoch " +
+                            std::to_string(nr.servedFloor) +
+                            " (stale replay accepted)";
+                    }
+                    if (nr.diskEpoch > nr.servedFloor)
+                        nr.servedFloor = nr.diskEpoch;
+                });
+            }
+        }
+
+        if (r.live && r.diskEpoch < cfg.maxEpoch) {
+            // A durable commit: epoch and counter advance together,
+            // and the live store is now serving the new epoch.
+            add("commit(" + mi + ")", [i](World &nw, Successor &) {
+                Replica &nr = nw.replicas[i];
+                ++nr.diskEpoch;
+                ++nr.counter;
+                nr.servedFloor = nr.diskEpoch;
+            });
+            // Power loss between fsync and counter increment: the
+            // commit is on disk, the counter is one behind. commit()
+            // never returned, so the floor does NOT advance -- the
+            // freshness guarantee covers exactly the commits that were
+            // acknowledged.
+            add("crashMidCommit(" + mi + ")",
+                [i](World &nw, Successor &) {
+                    Replica &nr = nw.replicas[i];
+                    ++nr.diskEpoch;
+                    nr.live = false;
+                });
+        }
+
+        if (r.live) {
+            add("crash(" + mi + ")", [i](World &nw, Successor &) {
+                nw.replicas[i].live = false;
+            });
+        }
+
+        // The adversary swaps in any older disk image it captured.
+        // Only the directory rolls back -- never the chip.
+        if (cfg.adversaryReplay && !r.live && r.hasData) {
+            for (std::uint64_t e = 0; e < r.diskEpoch; ++e) {
+                add("replayStale(" + mi + ",epoch=" + std::to_string(e) +
+                        ")",
+                    [i, e](World &nw, Successor &) {
+                        nw.replicas[i].diskEpoch = e;
+                    });
+            }
+        }
+
+        // Attested migration to an empty admitted target: the target
+        // adopts at a fresh epoch and commits; the source's counter
+        // advances with no matching commit, bricking its directory.
+        if (r.live && r.hasData) {
+            for (std::size_t j = 0; j < n; ++j) {
+                const Replica &t = w.replicas[j];
+                if (j == i || t.live || t.hasData || !t.admitted)
+                    continue;
+                add("migrate(" + mi + "->" + std::to_string(j) + ")",
+                    [i, j, &cfg](World &nw, Successor &s) {
+                        Replica &src = nw.replicas[i];
+                        Replica &dst = nw.replicas[j];
+                        src.live = false;
+                        if (cfg.mutation !=
+                            StoreMutation::skipInvalidate) {
+                            ++src.counter;
+                            src.invalidated = true;
+                        }
+                        dst.hasData = true;
+                        dst.diskEpoch = dst.counter + 1;
+                        dst.counter = dst.diskEpoch;
+                        dst.live = true;
+                        if (dst.diskEpoch < dst.servedFloor) {
+                            s.violation =
+                                "migration target served epoch " +
+                                std::to_string(dst.diskEpoch) +
+                                " below its floor " +
+                                std::to_string(dst.servedFloor);
+                        }
+                        if (dst.diskEpoch > dst.servedFloor)
+                            dst.servedFloor = dst.diskEpoch;
+                    });
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+const char *
+storeMutationName(StoreMutation m)
+{
+    switch (m) {
+    case StoreMutation::none:
+        return "none";
+    case StoreMutation::ignoreCounter:
+        return "ignore-counter";
+    case StoreMutation::skipInvalidate:
+        return "skip-invalidate";
+    case StoreMutation::openWithoutAdmission:
+        return "open-without-admission";
+    }
+    return "?";
+}
+
+std::string
+StoreCounterexample::str() const
+{
+    std::ostringstream os;
+    os << "violation: " << violation << "\ntrace (" << trace.size()
+       << " actions):\n";
+    for (const std::string &a : trace)
+        os << "  " << a << '\n';
+    return os.str();
+}
+
+std::string
+StoreExploreResult::str() const
+{
+    std::ostringstream os;
+    os << "states=" << statesExplored
+       << " transitions=" << transitionsTaken
+       << (truncated ? " TRUNCATED" : "");
+    if (counterexample)
+        os << '\n' << counterexample->str();
+    return os.str();
+}
+
+StoreLifecycleExplorer::StoreLifecycleExplorer(StoreModelConfig config)
+    : config_(config)
+{
+}
+
+StoreExploreResult
+StoreLifecycleExplorer::run()
+{
+    StoreExploreResult result;
+
+    struct Node
+    {
+        World world;
+        std::size_t parent;
+        std::string action;
+    };
+
+    World initial;
+    initial.replicas.resize(
+        static_cast<std::size_t>(config_.machines > 0 ? config_.machines
+                                                      : 1));
+    initial.replicas[0].hasData = true; // machine 0 owns the dataset
+
+    std::vector<Node> nodes;
+    nodes.push_back({initial, 0, {}});
+    std::unordered_map<std::string, std::size_t> seen;
+    seen.emplace(initial.key(), 0);
+    std::deque<std::size_t> frontier{0};
+
+    auto traceTo = [&](std::size_t idx, const std::string &last) {
+        std::vector<std::string> trace;
+        if (!last.empty())
+            trace.push_back(last);
+        while (idx != 0) {
+            trace.push_back(nodes[idx].action);
+            idx = nodes[idx].parent;
+        }
+        std::vector<std::string> fwd(trace.rbegin(), trace.rend());
+        return fwd;
+    };
+
+    while (!frontier.empty()) {
+        const std::size_t at = frontier.front();
+        frontier.pop_front();
+        ++result.statesExplored;
+
+        // Copy: successors() may grow `nodes` and invalidate refs.
+        const World here = nodes[at].world;
+        for (Successor &next : successors(here, config_)) {
+            ++result.transitionsTaken;
+
+            std::string violation = next.violation;
+            if (violation.empty())
+                violation = checkStatePredicates(next.world);
+            if (!violation.empty()) {
+                StoreCounterexample cx;
+                cx.trace = traceTo(at, next.action);
+                cx.violation =
+                    violation + "\n" + next.world.dump();
+                result.counterexample = std::move(cx);
+                return result;
+            }
+
+            const std::string key = next.world.key();
+            if (seen.count(key) != 0)
+                continue;
+            if (nodes.size() >= config_.maxStates) {
+                result.truncated = true;
+                return result;
+            }
+            seen.emplace(key, nodes.size());
+            frontier.push_back(nodes.size());
+            nodes.push_back(
+                {std::move(next.world), at, std::move(next.action)});
+        }
+    }
+    return result;
+}
+
+} // namespace mintcb::verify

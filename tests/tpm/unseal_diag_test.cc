@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Typed unseal diagnoses: wrong-PCR vs corrupt-blob vs bad-MAC must be
+ * distinguishable by callers (classifyUnsealError), mirroring the
+ * verifyQuote bool->Status split. The durable store engine branches on
+ * these to tell "relaunch the PAL" from "restore from a replica" from
+ * "raise the tamper alarm".
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hh"
+#include "tpm/blob.hh"
+#include "tpm/tpm.hh"
+
+using namespace mintcb;
+using namespace mintcb::tpm;
+
+namespace
+{
+
+class UnsealDiagTest : public ::testing::Test
+{
+  protected:
+    UnsealDiagTest() : tpm_(TpmVendor::broadcom, 42)
+    {
+        Bytes digest(20, 0xab);
+        EXPECT_TRUE(tpm_.pcrExtend(17, digest).ok());
+        auto blob = tpm_.seal(asciiBytes("secret"), {17});
+        EXPECT_TRUE(blob.ok());
+        blob_ = blob.take();
+    }
+
+    Tpm tpm_;
+    SealedBlob blob_;
+};
+
+TEST_F(UnsealDiagTest, CleanUnsealHasNoFault)
+{
+    auto out = tpm_.unseal(blob_);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(*out, asciiBytes("secret"));
+}
+
+TEST_F(UnsealDiagTest, MovedPcrDiagnosesWrongPcr)
+{
+    Bytes other(20, 0xcd);
+    ASSERT_TRUE(tpm_.pcrExtend(17, other).ok());
+    auto out = tpm_.unseal(blob_);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.error().code, Errc::permissionDenied);
+    EXPECT_EQ(classifyUnsealError(out.error()), UnsealFault::wrongPcr);
+}
+
+TEST_F(UnsealDiagTest, TamperedCiphertextDiagnosesBadMac)
+{
+    SealedBlob tampered = blob_;
+    tampered.ciphertext[0] ^= 0x01;
+    auto out = tpm_.unseal(tampered);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.error().code, Errc::integrityFailure);
+    EXPECT_EQ(classifyUnsealError(out.error()), UnsealFault::badMac);
+}
+
+TEST_F(UnsealDiagTest, TamperedMacTrailerDiagnosesBadMac)
+{
+    SealedBlob tampered = blob_;
+    tampered.mac[5] ^= 0xff;
+    auto out = tpm_.unseal(tampered);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(classifyUnsealError(out.error()), UnsealFault::badMac);
+}
+
+TEST_F(UnsealDiagTest, GarbledInnerKeyDiagnosesCorruptBlob)
+{
+    SealedBlob tampered = blob_;
+    // Destroy the RSA ciphertext wholesale: the inner key no longer
+    // decrypts, which is structural damage, not a MAC verdict.
+    for (auto &b : tampered.encryptedInnerKey)
+        b = 0x00;
+    auto out = tpm_.unseal(tampered);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.error().code, Errc::integrityFailure);
+    EXPECT_EQ(classifyUnsealError(out.error()),
+              UnsealFault::corruptBlob);
+}
+
+TEST_F(UnsealDiagTest, BadMagicDiagnosesCorruptBlob)
+{
+    Bytes wire = blob_.encode();
+    wire[0] ^= 0xff;
+    auto decoded = SealedBlob::decode(wire);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(classifyUnsealError(decoded.error()),
+              UnsealFault::corruptBlob);
+}
+
+TEST_F(UnsealDiagTest, TruncationDiagnosesCorruptBlob)
+{
+    Bytes wire = blob_.encode();
+    for (std::size_t cut = 0; cut < wire.size();
+         cut += 1 + wire.size() / 13) {
+        Bytes prefix(wire.begin(),
+                     wire.begin() + static_cast<std::ptrdiff_t>(cut));
+        auto decoded = SealedBlob::decode(prefix);
+        ASSERT_FALSE(decoded.ok());
+        EXPECT_EQ(classifyUnsealError(decoded.error()),
+                  UnsealFault::corruptBlob)
+            << "cut at " << cut << ": " << decoded.error().str();
+    }
+}
+
+TEST_F(UnsealDiagTest, SePcrBoundBlobDiagnosed)
+{
+    Rng rng(7);
+    SealPolicy policy{{17, Bytes(20, 0x11)}};
+    const SealedBlob bound =
+        sealBlob(tpm_.srkPublic(), rng, asciiBytes("x"), policy, true);
+    auto out = tpm_.unseal(bound);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(classifyUnsealError(out.error()),
+              UnsealFault::sePcrBound);
+}
+
+TEST_F(UnsealDiagTest, FaultsAreMutuallyDistinct)
+{
+    // The three tentpole diagnoses never alias.
+    EXPECT_STRNE(unsealFaultName(UnsealFault::wrongPcr),
+                 unsealFaultName(UnsealFault::corruptBlob));
+    EXPECT_STRNE(unsealFaultName(UnsealFault::corruptBlob),
+                 unsealFaultName(UnsealFault::badMac));
+    // And a foreign error is not claimed by the classifier.
+    EXPECT_EQ(classifyUnsealError(
+                  Error(Errc::notFound, "no such monotonic counter")),
+              UnsealFault::none);
+}
+
+TEST(NvStatePersistence, ExportImportRoundTripsCountersAndSpaces)
+{
+    Tpm chip(TpmVendor::broadcom, 7);
+    auto counter = chip.counterCreate();
+    ASSERT_TRUE(counter.ok());
+    ASSERT_TRUE(chip.counterIncrement(*counter).ok());
+    ASSERT_TRUE(chip.counterIncrement(*counter).ok());
+    auto space = chip.nvDefine(64, {});
+    ASSERT_TRUE(space.ok());
+    ASSERT_TRUE(chip.nvWrite(*space, asciiBytes("persisted")).ok());
+
+    const Bytes image = chip.exportNvState();
+
+    // A fresh chip of the same seed models the same board after a
+    // process restart: restore and observe identical NV state.
+    Tpm fresh(TpmVendor::broadcom, 7);
+    ASSERT_TRUE(fresh.importNvState(image).ok());
+    auto value = fresh.counterRead(*counter);
+    ASSERT_TRUE(value.ok());
+    EXPECT_EQ(*value, 2u);
+    auto data = fresh.nvRead(*space);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(*data, asciiBytes("persisted"));
+}
+
+TEST(NvStatePersistence, ImportRefusesWarmChipAndGarbage)
+{
+    Tpm chip(TpmVendor::broadcom, 8);
+    const Bytes image = chip.exportNvState();
+
+    Tpm warm(TpmVendor::broadcom, 9);
+    ASSERT_TRUE(warm.counterCreate().ok());
+    auto refused = warm.importNvState(image);
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.error().code, Errc::failedPrecondition);
+
+    Tpm fresh(TpmVendor::broadcom, 10);
+    EXPECT_FALSE(fresh.importNvState(asciiBytes("junk")).ok());
+    Bytes truncated = image;
+    if (!truncated.empty())
+        truncated.pop_back();
+    truncated.push_back(0xff); // trailing garbage after a valid image
+    EXPECT_FALSE(fresh.importNvState(truncated).ok());
+}
+
+} // namespace
