@@ -165,8 +165,8 @@ StoreStats::str() const
         "wal: %llu records / %llu bytes, %llu commits, %llu "
         "checkpoints, %llu fsyncs\nreplay: %llu recoveries, %llu "
         "records, %llu commits, %llu torn bytes, %llu uncommitted, "
-        "%llu repairs\nrefusals: %llu rollback\nmigration: %llu out, "
-        "%llu in",
+        "%llu repairs, %llu rekeys\nrefusals: %llu rollback\n"
+        "migration: %llu out, %llu in",
         static_cast<unsigned long long>(walRecordsAppended),
         static_cast<unsigned long long>(walBytesAppended),
         static_cast<unsigned long long>(commits),
@@ -178,6 +178,7 @@ StoreStats::str() const
         static_cast<unsigned long long>(tornBytesDiscarded),
         static_cast<unsigned long long>(uncommittedDiscarded),
         static_cast<unsigned long long>(counterRepairs),
+        static_cast<unsigned long long>(recoveryRekeys),
         static_cast<unsigned long long>(rollbackRejections),
         static_cast<unsigned long long>(migrationsOut),
         static_cast<unsigned long long>(migrationsIn));
@@ -415,7 +416,19 @@ SealedStore::sealSnapshotTo(const std::string &path,
 Status
 SealedStore::writeFreshWal()
 {
-    logKey_ = idMachine_.rng().bytes(32);
+    // The machine RNG restarts from the same seed on every open, so a
+    // raw draw here could reproduce a key an earlier instance already
+    // used on this disk. Chain every rotation through the previous key
+    // (held unsealed only inside the engine) so generations never share
+    // a keystream; only the very first generation is a raw draw.
+    const Bytes fresh = idMachine_.rng().bytes(32);
+    if (logKey_.empty()) {
+        logKey_ = fresh;
+    } else {
+        const std::uint64_t counter =
+            idMachine_.tpm().counterRead(counterHandle_).value();
+        logKey_ = chainedGenerationKey(logKey_, fresh, counter);
+    }
     auto blob = idMachine_.tpmAs(0).seal(logKey_, {17});
     if (!blob)
         return blob.error();
@@ -509,8 +522,25 @@ SealedStore::replayWal(std::uint64_t snap_epoch)
               auto mark = decodeCommit(logKey_, record.payload);
               if (!mark)
                   return mark.error();
-              if (expectedEpoch == 0)
+              if (expectedEpoch == 0) {
+                  // The chain must connect to the snapshot: the first
+                  // commit of a generation is snap_epoch + 1, and only
+                  // the snapshotReplaced crash window (old WAL, newer
+                  // snapshot) legitimately starts lower. Seeding from
+                  // whatever commit happens to survive would let an
+                  // adversarial disk delete a committed prefix of the
+                  // generation without breaking the chain.
+                  if (mark->epoch > snap_epoch + 1) {
+                      return Error(
+                          Errc::integrityFailure,
+                          "commit epoch chain starts at " +
+                              std::to_string(mark->epoch) +
+                              " but the snapshot covers only epoch " +
+                              std::to_string(snap_epoch) +
+                              " (committed log prefix deleted)");
+                  }
                   expectedEpoch = mark->epoch;
+              }
               if (mark->epoch != expectedEpoch) {
                   return Error(Errc::integrityFailure,
                                "commit epoch chain broken");
@@ -553,6 +583,11 @@ SealedStore::replayWal(std::uint64_t snap_epoch)
             return posixError(Errc::unavailable,
                               "truncate " + walPath_);
         }
+        // The discarded bytes may include a partially written record
+        // whose ciphertext prefix used a sequence number nextSeq_
+        // would reissue; openInternal rotates the generation before
+        // the store accepts writes, so no keystream repeats.
+        truncatedOnRecovery_ = true;
     }
     walFd_ = ::open(walPath_.c_str(), O_WRONLY | O_APPEND);
     if (walFd_ < 0)
@@ -610,6 +645,22 @@ SealedStore::openInternal()
                          " but the hardware counter only reached " +
                          std::to_string(counter));
     }
+
+    // A truncating recovery rotates the generation: seal the replayed
+    // map as a snapshot and open a fresh log under a chained key, so a
+    // record the new instance journals can never share a keystream
+    // with a discarded (possibly half-written) one. This runs only
+    // after reconciliation -- a rolled-back directory must be refused
+    // before anything overwrites its snapshot.
+    if (truncatedOnRecovery_) {
+        truncatedOnRecovery_ = false;
+        if (auto s = sealSnapshotTo(snapPath_, epoch_); !s.ok())
+            return s;
+        if (auto s = writeFreshWal(); !s.ok())
+            return s;
+        commitsSinceCheckpoint_ = 0;
+        ++stats_.recoveryRekeys;
+    }
     traceInstant("store:open");
     return okStatus();
 }
@@ -635,6 +686,22 @@ SealedStore::die(const char *what)
     }
     return Error(Errc::failedPrecondition,
                  std::string("store killed at sync point: ") + what);
+}
+
+/** A durability step failed partway through a protocol a retry would
+ *  corrupt (duplicate commit epoch, double counter advance): kill this
+ *  instance and surface the underlying cause. Reopening repairs via
+ *  recovery instead. */
+Status
+SealedStore::fatal(Status cause, const char *what)
+{
+    dead_ = true;
+    deadReason_ = what;
+    if (walFd_ >= 0) {
+        ::close(walFd_);
+        walFd_ = -1;
+    }
+    return cause;
 }
 
 bool
@@ -674,6 +741,20 @@ SealedStore::journalMutation(bool is_remove, const std::string &key,
         return s;
     if (walFd_ < 0)
         return Error(Errc::failedPrecondition, "WAL is closed");
+    // Refuse before anything is written: a record whose payload the
+    // replay scanner would call oversized must never reach the log (it
+    // would commit fine, then read back as a torn tail and turn the
+    // epoch/counter reconciliation into a permanent rollback refusal).
+    const std::size_t encoded =
+        encodedMutationBytes(key.size(), value.size());
+    if (encoded > maxWalPayload) {
+        return Error(Errc::invalidArgument,
+                     "mutation too large: key + value encode to " +
+                         std::to_string(encoded) +
+                         " payload bytes, over the " +
+                         std::to_string(maxWalPayload) +
+                         "-byte WAL record bound");
+    }
     Mutation m;
     m.isRemove = is_remove;
     m.key = key;
@@ -731,6 +812,13 @@ SealedStore::commit()
     if (pending_ == 0)
         return okStatus();
 
+    // From the first byte of the commit record onward, every failure
+    // is fatal for this instance: the record may already be (or later
+    // become) durable, so a retried commit() would append a second
+    // record with the same epoch -- breaking the epoch chain on the
+    // next open -- and a second counter advance would read as a
+    // permanent spurious rollback. Recovery over a reopen repairs all
+    // of these windows; a live retry cannot.
     const CommitMark mark{epoch_ + 1, lastJournaledSeq_};
     Bytes framed;
     appendRecord(framed, RecordType::commit,
@@ -739,8 +827,11 @@ SealedStore::commit()
     while (off < framed.size()) {
         const ssize_t n = ::write(walFd_, framed.data() + off,
                                   framed.size() - off);
-        if (n < 0)
-            return posixError(Errc::unavailable, "append " + walPath_);
+        if (n < 0) {
+            return fatal(
+                posixError(Errc::unavailable, "append " + walPath_),
+                "commit record write failed");
+        }
         off += static_cast<std::size_t>(n);
     }
     walBytes_ += framed.size();
@@ -749,17 +840,19 @@ SealedStore::commit()
     if (observe(SyncPoint::commitAppended))
         return die("commitAppended");
     if (auto s = fsyncWal(); !s.ok())
-        return s;
+        return fatal(std::move(s), "commit fsync failed");
     if (observe(SyncPoint::commitSynced))
         return die("commitSynced");
 
     auto advanced = idMachine_.tpm().counterIncrement(counterHandle_);
-    if (!advanced)
-        return advanced.error();
+    if (!advanced) {
+        return fatal(advanced.error(),
+                     "freshness counter increment failed mid-commit");
+    }
     if (observe(SyncPoint::counterAdvanced))
         return die("counterAdvanced");
     if (auto s = persistChipNv(); !s.ok())
-        return s;
+        return fatal(std::move(s), "chip NV write failed mid-commit");
     if (observe(SyncPoint::nvWritten))
         return die("nvWritten");
 
@@ -903,6 +996,15 @@ SealedStore::syncedWalBytes() const
 Bytes
 SealedStore::srkPublicEncoded() const
 {
+    // Even this logically-const read ticks the identity machine's sim
+    // clocks, so it must serialize against put/commit/checkpoint.
+    std::lock_guard<std::mutex> lock(mu_);
+    return srkPublicEncodedLocked();
+}
+
+Bytes
+SealedStore::srkPublicEncodedLocked() const
+{
     return idMachine_.tpm().srkPublic().encode();
 }
 
@@ -913,7 +1015,7 @@ SealedStore::attestForMigration(const Bytes &nonce)
     if (auto s = requireAlive(); !s.ok())
         return s.error();
     const Bytes bound =
-        migrationBoundNonce(nonce, srkPublicEncoded());
+        migrationBoundNonce(nonce, srkPublicEncodedLocked());
     return sea::attestLaunch(idMachine_, 0, bound, "mintcb-store");
 }
 
@@ -937,8 +1039,14 @@ SealedStore::exportForMigration()
     auto advanced = idMachine_.tpm().counterIncrement(counterHandle_);
     if (!advanced)
         return advanced.error();
-    if (auto s = persistChipNv(); !s.ok())
-        return s.error();
+    if (auto s = persistChipNv(); !s.ok()) {
+        // The counter already advanced: a retry would advance it again
+        // and leave the directory permanently behind the chip. Same
+        // rule as mid-commit failures -- this instance is done.
+        return fatal(std::move(s),
+                     "chip NV write failed mid-invalidation")
+            .error();
+    }
     ++stats_.migrationsOut;
     traceInstant("store:migrate-out");
     dead_ = true;

@@ -94,6 +94,8 @@ struct StoreStats
     std::uint64_t commitsReplayed = 0;
     std::uint64_t tornBytesDiscarded = 0;  //!< truncated torn tails
     std::uint64_t uncommittedDiscarded = 0; //!< mutations past last commit
+    std::uint64_t recoveryRekeys = 0; //!< generations rotated after a
+                                      //!< truncating recovery
     std::uint64_t rollbackRejections = 0;
     std::uint64_t counterRepairs = 0; //!< commit durable, increment lost
     std::uint64_t migrationsOut = 0;
@@ -161,7 +163,10 @@ class SealedStore final : public sea::SealedStateStore
     Status remove(const std::string &key);
     /** Durably commit every mutation since the last commit: append the
      *  commit record, fsync, advance the hardware counter, persist the
-     *  chip NV. No-op when nothing is pending. */
+     *  chip NV. No-op when nothing is pending. Any I/O failure after
+     *  the commit record is appended kills the instance (a retry would
+     *  write a duplicate epoch and double-advance the counter); reopen
+     *  to repair. */
     Status commit();
     /** @} */
 
@@ -251,6 +256,8 @@ class SealedStore final : public sea::SealedStateStore
                            std::uint64_t *out_epoch);
     Result<Bytes> unsealWithDiagnosis(const tpm::SealedBlob &blob);
     Status die(const char *what);
+    Status fatal(Status cause, const char *what);
+    Bytes srkPublicEncodedLocked() const;
     bool observe(SyncPoint point);
     Status requireAlive() const;
     Status fsyncWal();
@@ -278,6 +285,11 @@ class SealedStore final : public sea::SealedStateStore
     int walFd_ = -1;
     std::size_t walBytes_ = 0;
     std::size_t syncedBytes_ = 0;
+    /** Recovery discarded bytes (torn tail or uncommitted records): a
+     *  partially written record's ciphertext may survive on the
+     *  attacker-visible disk under a sequence number a new write would
+     *  reuse, so open() must rotate the generation before serving. */
+    bool truncatedOnRecovery_ = false;
     bool dead_ = false;
     std::string deadReason_;
 

@@ -50,6 +50,9 @@ bridgeStoreStats(obs::MetricsRegistry &registry,
     counter("store_uncommitted_discarded_total",
             "Uncommitted mutations discarded during recovery",
             &StoreStats::uncommittedDiscarded);
+    counter("store_recovery_rekeys_total",
+            "Generations rotated after a truncating recovery",
+            &StoreStats::recoveryRekeys);
     counter("store_rollback_rejections_total",
             "Opens refused because the durable epoch was behind the "
             "hardware counter",

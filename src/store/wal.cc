@@ -261,6 +261,26 @@ encodeCommit(const Bytes &log_key, const CommitMark &mark)
     return w.take();
 }
 
+std::size_t
+encodedMutationBytes(std::size_t key_bytes, std::size_t value_bytes)
+{
+    // Plaintext: u8 op | lp(key) | lp(value); payload wraps it as
+    // u64 seq | lp(ct) | 32-byte MAC (ct is plaintext-sized).
+    const std::size_t ct = 1 + 4 + key_bytes + 4 + value_bytes;
+    return 8 + 4 + ct + 32;
+}
+
+Bytes
+chainedGenerationKey(const Bytes &prev_key, const Bytes &fresh,
+                     std::uint64_t counter)
+{
+    ByteWriter w;
+    w.str("mwl-rekey");
+    w.lengthPrefixed(fresh);
+    w.u64(counter);
+    return crypto::hmacSha256(prev_key, w.bytes());
+}
+
 Result<CommitMark>
 decodeCommit(const Bytes &log_key, const Bytes &payload)
 {

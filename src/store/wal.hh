@@ -142,6 +142,28 @@ Result<CommitMark> decodeCommit(const Bytes &log_key,
 
 /** @} */
 
+/** Exact on-disk payload size encodeMutation would produce for a
+ *  mutation with these key/value sizes. The engine bounds mutations
+ *  against maxWalPayload with this *before* journaling anything, so a
+ *  record the replay scanner would refuse as oversized can never be
+ *  committed in the first place. */
+std::size_t encodedMutationBytes(std::size_t key_bytes,
+                                 std::size_t value_bytes);
+
+/**
+ * Derive a replacement generation key from the previous one.
+ *
+ * The machine RNG is seeded and restarts from the same position on
+ * every open, so a raw rng draw after a crash can reproduce bytes an
+ * earlier instance already turned into a key (or published). Chaining
+ * through the previous key -- which only ever exists unsealed inside
+ * an engine -- keeps every generation's keystream distinct even at
+ * colliding RNG positions: HMAC(prev_key, "mwl-rekey" || lp(fresh) ||
+ * counter).
+ */
+Bytes chainedGenerationKey(const Bytes &prev_key, const Bytes &fresh,
+                           std::uint64_t counter);
+
 } // namespace mintcb::store
 
 #endif // MINTCB_STORE_WAL_HH

@@ -270,6 +270,155 @@ TEST(SealedStoreEngine, StatsBridgeExportsStoreCounters)
     EXPECT_NE(store->stats().str().find("commits"), std::string::npos);
 }
 
+TEST(SealedStoreEngine, DeletedCommittedPrefixIsRejected)
+{
+    // An adversarial disk deletes the first committed batch of a
+    // generation (records after the keyBlob): sequence numbers stay
+    // monotone, the surviving commits still cover their batches, and
+    // the final epoch still equals the hardware counter -- only the
+    // chain-connects-to-the-snapshot check catches the splice.
+    TempDir tmp;
+    StoreConfig cfg = configFor(tmp);
+    cfg.snapshotEvery = 0;
+    std::string walPath;
+    {
+        auto store = mustOpen(cfg);
+        ASSERT_NE(store, nullptr);
+        walPath = store->walPath();
+        for (int batch = 0; batch < 3; ++batch) {
+            const std::string key = "k" + std::to_string(batch);
+            ASSERT_TRUE(store->put(key, asciiBytes("v")).ok());
+            ASSERT_TRUE(store->commit().ok());
+        }
+    }
+    const Bytes image = slurp(walPath);
+    const WalScan scan = scanWal(image);
+    // keyBlob, then {put, commit} x 3.
+    ASSERT_EQ(scan.records.size(), 7u);
+    ASSERT_FALSE(scan.torn);
+    Bytes spliced(image.begin(),
+                  image.begin() + static_cast<std::ptrdiff_t>(
+                                      scan.recordEnds[0]));
+    spliced.insert(spliced.end(),
+                   image.begin() + static_cast<std::ptrdiff_t>(
+                                       scan.recordEnds[2]),
+                   image.end());
+    spew(walPath, spliced);
+    auto reopened = SealedStore::open(cfg);
+    ASSERT_FALSE(reopened.ok());
+    EXPECT_EQ(reopened.error().code, Errc::integrityFailure);
+    EXPECT_NE(reopened.error().message.find("prefix deleted"),
+              std::string::npos)
+        << reopened.error().message;
+}
+
+TEST(SealedStoreEngine, OversizedMutationIsRefusedBeforeJournaling)
+{
+    TempDir tmp;
+    const StoreConfig cfg = configFor(tmp);
+    {
+        auto store = mustOpen(cfg);
+        ASSERT_NE(store, nullptr);
+        // Over the bound: refused up front, nothing journaled, no
+        // counter movement -- the store stays fully usable.
+        const Status s = store->put("big", Bytes(maxWalPayload, 0xaa));
+        ASSERT_FALSE(s.ok());
+        EXPECT_EQ(s.error().code, Errc::invalidArgument);
+        EXPECT_EQ(store->pendingMutations(), 0u);
+        EXPECT_EQ(store->stats().walRecordsAppended, 0u);
+
+        // The largest value that encodes within the bound commits and
+        // survives replay (it must never read back as a torn tail).
+        const std::string key = "just-fits";
+        const Bytes fits(
+            maxWalPayload - encodedMutationBytes(key.size(), 0), 0xbb);
+        ASSERT_TRUE(store->put(key, fits).ok());
+        ASSERT_TRUE(store->commit().ok());
+    }
+    auto reopened = mustOpen(cfg);
+    ASSERT_NE(reopened, nullptr);
+    EXPECT_EQ(reopened->epoch(), 1u);
+    auto value = reopened->get("just-fits");
+    ASSERT_TRUE(value.ok());
+    EXPECT_EQ(value->size(),
+              maxWalPayload - encodedMutationBytes(9, 0));
+}
+
+TEST(SealedStoreEngine, TornTailRecoveryRotatesTheGeneration)
+{
+    TempDir tmp;
+    const StoreConfig cfg = configFor(tmp);
+    std::string walPath;
+    {
+        auto store = mustOpen(cfg);
+        ASSERT_NE(store, nullptr);
+        walPath = store->walPath();
+        ASSERT_TRUE(store->put("durable", asciiBytes("yes")).ok());
+        ASSERT_TRUE(store->commit().ok());
+        ASSERT_TRUE(store->put("volatile", asciiBytes("no")).ok());
+    }
+    // Tear the trailing (uncommitted) record mid-ciphertext, as a
+    // power cut would.
+    Bytes image = slurp(walPath);
+    image.resize(image.size() - 3);
+    spew(walPath, image);
+
+    {
+        auto reopened = mustOpen(cfg);
+        ASSERT_NE(reopened, nullptr);
+        EXPECT_TRUE(reopened->has("durable"));
+        EXPECT_FALSE(reopened->has("volatile"));
+        EXPECT_GE(reopened->stats().tornBytesDiscarded, 1u);
+        // The truncated record's keystream ran under a sequence number
+        // the next write would reuse: recovery must have rotated to a
+        // fresh generation (compacted log, chained key) before
+        // accepting writes.
+        EXPECT_EQ(reopened->stats().recoveryRekeys, 1u);
+        const WalScan fresh = scanWal(slurp(walPath));
+        ASSERT_EQ(fresh.records.size(), 1u);
+        EXPECT_EQ(fresh.records[0].type, RecordType::keyBlob);
+        ASSERT_TRUE(
+            reopened->put("post-torn", asciiBytes("ok")).ok());
+        ASSERT_TRUE(reopened->commit().ok());
+    }
+    auto again = mustOpen(cfg);
+    ASSERT_NE(again, nullptr);
+    EXPECT_TRUE(again->has("durable"));
+    EXPECT_TRUE(again->has("post-torn"));
+}
+
+TEST(SealedStoreEngine, MidCommitNvFailureIsFatalNotRetryable)
+{
+    TempDir tmp;
+    StoreConfig cfg = configFor(tmp);
+    const std::string nvDir = tmp.root() + "/nvdir";
+    cfg.nvPath = nvDir + "/chip.tpmnv";
+    std::filesystem::create_directories(nvDir);
+    {
+        auto store = mustOpen(cfg);
+        ASSERT_NE(store, nullptr);
+        ASSERT_TRUE(store->put("k", asciiBytes("v")).ok());
+        // The commit record lands and the counter advances, then the
+        // chip-NV persist fails: a retried commit() would append a
+        // duplicate epoch and double-advance the counter, so the
+        // instance must die instead of staying retryable.
+        std::filesystem::remove_all(nvDir);
+        const Status s = store->commit();
+        ASSERT_FALSE(s.ok());
+        EXPECT_FALSE(store->alive());
+        EXPECT_FALSE(store->commit().ok());
+        EXPECT_FALSE(store->put("again", asciiBytes("x")).ok());
+    }
+    // Reopen repairs: the WAL carries the durable commit, the chip is
+    // one increment behind its sidecar image -- the forward-repair
+    // window -- and the committed value is there.
+    std::filesystem::create_directories(nvDir);
+    auto recovered = mustOpen(cfg);
+    ASSERT_NE(recovered, nullptr);
+    EXPECT_EQ(recovered->epoch(), 1u);
+    EXPECT_TRUE(recovered->has("k"));
+}
+
 TEST(SealedStoreEngine, MissingWalForNonEmptyStoreIsRefused)
 {
     TempDir tmp;

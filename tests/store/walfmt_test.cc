@@ -216,6 +216,43 @@ TEST(WalFormat, MutationMacBindsKeyAndSequence)
               std::string::npos);
 }
 
+TEST(WalFormat, EncodedMutationBytesMatchesTheCodec)
+{
+    // The engine bounds mutations with this *before* journaling, so it
+    // must agree byte-for-byte with what encodeMutation emits.
+    Mutation m;
+    m.key = "some-key";
+    m.value = asciiBytes("some-value");
+    m.seq = 3;
+    EXPECT_EQ(encodeMutation(testKey(), m).size(),
+              encodedMutationBytes(m.key.size(), m.value.size()));
+
+    Mutation rm;
+    rm.isRemove = true;
+    rm.key = "k";
+    rm.seq = 4;
+    EXPECT_EQ(encodeMutation(testKey(), rm).size(),
+              encodedMutationBytes(rm.key.size(), 0));
+}
+
+TEST(WalFormat, ChainedGenerationKeyNeverEchoesItsInputs)
+{
+    // Rotation keys are chained through the previous key because the
+    // seeded machine RNG restarts from the same position on every
+    // open: even if a recovery draws the exact bytes that became an
+    // earlier generation's key, the derived key must differ from both
+    // the previous key and the raw draw, and must bind the counter.
+    const Bytes prev = testKey();
+    const Bytes fresh = Rng(0x2222).bytes(32);
+    const Bytes next = chainedGenerationKey(prev, fresh, 7);
+    EXPECT_EQ(next.size(), 32u);
+    EXPECT_NE(next, prev);
+    EXPECT_NE(next, fresh);
+    EXPECT_NE(chainedGenerationKey(prev, prev, 7), prev);
+    EXPECT_NE(chainedGenerationKey(prev, fresh, 8), next);
+    EXPECT_NE(chainedGenerationKey(next, fresh, 7), next);
+}
+
 TEST(WalFormat, CommitMacBindsEpochAndCoverage)
 {
     const Bytes key = testKey();
